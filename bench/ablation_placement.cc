@@ -1,0 +1,96 @@
+// Ablation: where do the heuristics' gains come from? The same PTF-5 real
+// batch sequence is maintained under the three static placement strategies
+// of Section 2.1 — spatial range partitioning (joins concentrate: load
+// imbalance), hash (adjacent chunks scatter: communication), round-robin —
+// crossed with the three maintenance methods.
+//
+// Expected: the baseline suffers most under range placement (the paper's
+// "most of the joins are concentrated on a single node"); the heuristics'
+// relative gain shrinks under round-robin, where static placement is
+// already balanced for uniform-ish update distributions.
+
+#include "bench/bench_util.h"
+
+namespace avm::bench {
+namespace {
+
+struct Row {
+  std::string placement;
+  double seconds[3] = {0, 0, 0};
+};
+
+std::vector<Row>& Rows() {
+  static auto* rows = new std::vector<Row>();
+  return *rows;
+}
+
+void RunCase(::benchmark::State& state, const std::string& placement,
+             MaintenanceMethod method) {
+  for (auto _ : state) {
+    ExperimentScale scale = FigureScale();
+    scale.placement = placement;
+    PreparedExperiment experiment =
+        OrDie(PrepareExperiment(DatasetKind::kPtf5, BatchRegime::kReal,
+                                scale),
+              "prepare experiment");
+    BatchSeries series =
+        OrDie(RunMaintenanceSeries(&experiment, method, PlannerOptions()),
+              "maintenance series");
+    state.counters["sim_total_s"] = series.TotalMaintenanceSeconds();
+
+    auto& rows = Rows();
+    auto it = std::find_if(rows.begin(), rows.end(), [&](const Row& r) {
+      return r.placement == placement;
+    });
+    if (it == rows.end()) {
+      rows.push_back({placement, {0, 0, 0}});
+      it = rows.end() - 1;
+    }
+    it->seconds[static_cast<int>(method)] =
+        series.TotalMaintenanceSeconds();
+  }
+}
+
+void RegisterAll() {
+  for (const char* placement : {"range", "hash", "round-robin"}) {
+    for (MaintenanceMethod method :
+         {MaintenanceMethod::kBaseline, MaintenanceMethod::kDifferential,
+          MaintenanceMethod::kReassign}) {
+      const std::string name =
+          "BM_AblationPlacement/" + std::string(placement) + "/" +
+          std::string(MaintenanceMethodName(method));
+      std::string p = placement;
+      ::benchmark::RegisterBenchmark(
+          name.c_str(),
+          [p, method](::benchmark::State& state) {
+            RunCase(state, p, method);
+          })
+          ->Unit(::benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+void PrintPaperTable() {
+  std::printf(
+      "\n===== Ablation: static placement strategy vs maintenance method "
+      "(PTF-5 real, 10 batches, simulated seconds) =====\n");
+  std::printf("%-14s %13s %13s %13s\n", "placement", "baseline",
+              "differential", "reassign");
+  for (const auto& row : Rows()) {
+    std::printf("%-14s %12.4fs %12.4fs %12.4fs\n", row.placement.c_str(),
+                row.seconds[0], row.seconds[1], row.seconds[2]);
+  }
+}
+
+}  // namespace
+}  // namespace avm::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  avm::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  avm::bench::PrintPaperTable();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Ablation: the reassignment stages' tunables, on the workload where they
+// matter most (PTF-5 correlated batches).
+//
+//   - history window W and decay (Algorithm 3's weights W_l = decay^l):
+//     W = 1 reacts only to the last batch ("highly-unstable reassignments"
+//     the paper warns about); larger windows smooth the signal.
+//   - charge_view_move (Algorithm 2): charging the relocation of the view
+//     chunk itself (the MIP's x-transfer the printed heuristic omits)
+//     suppresses home churn.
+//   - cpu_threshold_slack (Algorithm 3): 0 disables base-chunk moves
+//     entirely, isolating stage 3's contribution.
+
+#include "bench/bench_util.h"
+
+namespace avm::bench {
+namespace {
+
+struct Variant {
+  const char* label;
+  PlannerOptions options;
+};
+
+std::vector<Variant> Variants() {
+  std::vector<Variant> variants;
+  variants.push_back({"default (W=5, decay=.5)", PlannerOptions()});
+  {
+    PlannerOptions o;
+    o.history_window = 1;
+    variants.push_back({"window=1", o});
+  }
+  {
+    PlannerOptions o;
+    o.history_decay = 0.9;
+    variants.push_back({"decay=0.9", o});
+  }
+  {
+    PlannerOptions o;
+    o.charge_view_move = false;
+    variants.push_back({"no view-move charge", o});
+  }
+  {
+    PlannerOptions o;
+    o.cpu_threshold_slack = 0.0;
+    variants.push_back({"no stage-3 moves", o});
+  }
+  {
+    PlannerOptions o;
+    o.cpu_threshold_slack = 4.0;
+    variants.push_back({"slack=4", o});
+  }
+  return variants;
+}
+
+struct Row {
+  std::string label;
+  double total = 0;
+  double last_batch = 0;
+};
+
+std::vector<Row>& Rows() {
+  static auto* rows = new std::vector<Row>();
+  return *rows;
+}
+
+void RunVariant(::benchmark::State& state, const Variant& variant) {
+  for (auto _ : state) {
+    PreparedExperiment experiment =
+        OrDie(PrepareExperiment(DatasetKind::kPtf5, BatchRegime::kCorrelated,
+                                FigureScale()),
+              "prepare experiment");
+    BatchSeries series =
+        OrDie(RunMaintenanceSeries(&experiment, MaintenanceMethod::kReassign,
+                                   variant.options),
+              "maintenance series");
+    state.counters["sim_total_s"] = series.TotalMaintenanceSeconds();
+    Rows().push_back({variant.label, series.TotalMaintenanceSeconds(),
+                      series.reports.back().maintenance_seconds});
+  }
+}
+
+void RegisterAll() {
+  static const std::vector<Variant> variants = Variants();
+  for (const Variant& variant : variants) {
+    const std::string name =
+        "BM_AblationReassign/" + std::string(variant.label);
+    ::benchmark::RegisterBenchmark(
+        name.c_str(),
+        [&variant](::benchmark::State& state) { RunVariant(state, variant); })
+        ->Unit(::benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+void PrintPaperTable() {
+  std::printf(
+      "\n===== Ablation: reassignment tunables (PTF-5 correlated, reassign "
+      "method, simulated seconds) =====\n");
+  std::printf("%-26s %12s %14s\n", "variant", "total", "last batch");
+  for (const auto& row : Rows()) {
+    std::printf("%-26s %11.4fs %13.4fs\n", row.label.c_str(), row.total,
+                row.last_batch);
+  }
+}
+
+}  // namespace
+}  // namespace avm::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  avm::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  avm::bench::PrintPaperTable();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,130 @@
+#ifndef AVM_BENCH_BENCH_UTIL_H_
+#define AVM_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+#include "harness/experiment.h"
+
+namespace avm::bench {
+
+/// Scale used by every figure benchmark: the paper's 8-worker + coordinator
+/// cluster, 10 update batches, and a laptop-sized PTF/GEO dataset whose
+/// structural knobs (skew, pointing windows, drift) mirror the real
+/// workloads. Set AVM_BENCH_SCALE=tiny for smoke runs or =large for a
+/// bigger sweep.
+inline ExperimentScale FigureScale() {
+  ExperimentScale scale;
+  scale.num_workers = 8;
+  scale.num_batches = 10;
+  scale.ptf.time_range = 2240;  // 8 base nights + up to 12 update nights
+  scale.ptf.ra_range = 4000;    // a 40x40 (ra, dec) chunk grid: the real
+  scale.ptf.dec_range = 2000;   // catalog's occupied-chunk space is sparse
+  scale.ptf.base_cells = 24000;
+  scale.ptf.base_pointed_frac = 0.98;  // thin archival background
+  scale.ptf.pointing_ra_chunks = 4;    // one night covers a 4x3-chunk window
+  scale.ptf.pointing_dec_chunks = 3;
+  scale.ptf.batch_cells_min = 4000;
+  scale.ptf.batch_cells_max = 6000;
+  scale.geo.seed_pois = 4000;
+  scale.geo.batch_frac = 0.01;
+
+  const char* env = std::getenv("AVM_BENCH_SCALE");
+  const std::string mode = env == nullptr ? "default" : env;
+  if (mode == "tiny") {
+    scale.ptf.base_cells = 4000;
+    scale.ptf.batch_cells_min = 600;
+    scale.ptf.batch_cells_max = 1000;
+    scale.geo.seed_pois = 800;
+  } else if (mode == "large") {
+    scale.ptf.base_cells = 80000;
+    scale.ptf.batch_cells_min = 8000;
+    scale.ptf.batch_cells_max = 12000;
+    scale.geo.seed_pois = 12000;
+  }
+  return scale;
+}
+
+/// Dies loudly if a Result/Status-bearing expression failed: benchmarks must
+/// not silently measure garbage.
+template <typename T>
+T OrDie(Result<T> result, const char* what) {
+  AVM_CHECK(result.ok()) << what << ": " << result.status().ToString();
+  return std::move(result).value();
+}
+
+inline void OrDie(const Status& status, const char* what) {
+  AVM_CHECK(status.ok()) << what << ": " << status.ToString();
+}
+
+/// The batch regimes a dataset is evaluated under in Figure 3/5/9: PTF rows
+/// use real/correlated/periodic, the GEO row random/correlated/periodic.
+inline std::vector<BatchRegime> RegimesFor(DatasetKind kind) {
+  if (kind == DatasetKind::kGeo) {
+    return {BatchRegime::kRandom, BatchRegime::kCorrelated,
+            BatchRegime::kPeriodic};
+  }
+  return {BatchRegime::kReal, BatchRegime::kCorrelated,
+          BatchRegime::kPeriodic};
+}
+
+/// C-string label for printf-style tables (the name views are literals).
+inline const char* MethodLabel(MaintenanceMethod method) {
+  return MaintenanceMethodName(method).data();
+}
+
+/// A PTF experiment whose batch sequence is produced on demand from the
+/// retained generator — the sensitivity sweeps (Figure 10) need custom
+/// batch construction that PrepareExperiment's fixed regimes do not cover.
+struct PtfFixture {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<PtfGenerator> generator;
+  std::unique_ptr<MaterializedView> view;
+
+  /// Builds the base array and the PTF-25 view (L∞(2) on (ra, dec), any
+  /// time) under spatial range placement.
+  static Result<PtfFixture> MakePtf25(const ExperimentScale& scale) {
+    PtfFixture fixture;
+    fixture.catalog = std::make_unique<Catalog>();
+    fixture.cluster =
+        std::make_unique<Cluster>(scale.num_workers, scale.cost_model);
+    PtfOptions ptf = scale.ptf;
+    ptf.seed ^= scale.seed;
+    AVM_ASSIGN_OR_RETURN(PtfGenerator gen, PtfGenerator::Create(ptf));
+    fixture.generator = std::make_unique<PtfGenerator>(std::move(gen));
+    AVM_ASSIGN_OR_RETURN(
+        DistributedArray base,
+        DistributedArray::Create(fixture.generator->schema(),
+                                 MakeRangePlacement(1),
+                                 fixture.catalog.get(),
+                                 fixture.cluster.get()));
+    AVM_RETURN_IF_ERROR(base.Ingest(fixture.generator->base()));
+    ViewDefinition def;
+    def.view_name = "PTF25_view";
+    def.left_array = "PTF";
+    def.right_array = "PTF";
+    def.mapping = DimMapping::Identity(3);
+    AVM_ASSIGN_OR_RETURN(
+        def.shape,
+        Shape::MinkowskiSum(Shape::LinfBall(3, 2, {1, 2}),
+                            Shape::Window(3, 0, -(ptf.time_range - 1),
+                                          ptf.time_range - 1)));
+    def.aggregates = {{AggregateFunction::kCount, 0, "cnt"}};
+    AVM_ASSIGN_OR_RETURN(
+        MaterializedView view,
+        CreateMaterializedView(std::move(def), MakeRangePlacement(1),
+                               fixture.catalog.get(), fixture.cluster.get()));
+    fixture.view = std::make_unique<MaterializedView>(std::move(view));
+    fixture.cluster->ResetClocks();
+    return fixture;
+  }
+};
+
+}  // namespace avm::bench
+
+#endif  // AVM_BENCH_BENCH_UTIL_H_

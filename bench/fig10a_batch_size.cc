@@ -1,0 +1,100 @@
+// Figure 10a: sensitivity to batch size — maintenance time for update
+// batches of exponentially increasing size (the paper feeds batches of 50,
+// 100, 200, 400, 800, 1600 chunks, in that order, to PTF-25 with real
+// updates). We sweep the batch's cell count with the pointing window scaled
+// alongside, so the chunk count grows the same way. Expected shape:
+// maintenance time grows linearly with batch size; the gap between the
+// heuristics and the baseline widens with larger batches; the optimization
+// overhead stays <~1% of maintenance.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+
+namespace avm::bench {
+namespace {
+
+constexpr uint64_t kBatchCells[] = {400, 800, 1600, 3200, 6400, 12800};
+
+struct Row {
+  uint64_t cells;
+  size_t chunks[3] = {0, 0, 0};
+  double seconds[3] = {0, 0, 0};
+  double opt_seconds[3] = {0, 0, 0};
+};
+
+std::vector<Row>& Rows() {
+  static auto* rows = new std::vector<Row>();
+  return *rows;
+}
+
+void RunMethod(::benchmark::State& state, MaintenanceMethod method) {
+  for (auto _ : state) {
+    ExperimentScale scale = FigureScale();
+    PtfFixture fixture =
+        OrDie(PtfFixture::MakePtf25(scale), "build PTF-25 fixture");
+    ViewMaintainer maintainer(fixture.view.get(), method);
+    double total = 0.0;
+    for (size_t i = 0; i < std::size(kBatchCells); ++i) {
+      const uint64_t cells = kBatchCells[i];
+      // Window area grows with the batch so chunk density stays constant.
+      const int64_t spread = std::max<int64_t>(
+          2, static_cast<int64_t>(std::lround(
+                 2.0 * std::sqrt(static_cast<double>(cells) / 400.0))));
+      std::vector<SparseArray> batches =
+          OrDie(fixture.generator->MakeSpreadBatches(1, spread, cells),
+                "draw batch");
+      MaintenanceReport report =
+          OrDie(maintainer.ApplyBatch(batches[0]), "apply batch");
+      total += report.maintenance_seconds;
+
+      auto& rows = Rows();
+      if (rows.size() <= i) rows.push_back({cells, {0, 0, 0}, {0, 0, 0},
+                                            {0, 0, 0}});
+      rows[i].chunks[static_cast<int>(method)] = report.num_delta_chunks;
+      rows[i].seconds[static_cast<int>(method)] = report.maintenance_seconds;
+      rows[i].opt_seconds[static_cast<int>(method)] =
+          report.optimization_seconds();
+    }
+    state.counters["sim_total_s"] = total;
+  }
+}
+
+void RegisterAll() {
+  for (MaintenanceMethod method :
+       {MaintenanceMethod::kBaseline, MaintenanceMethod::kDifferential,
+        MaintenanceMethod::kReassign}) {
+    const std::string name =
+        "BM_Fig10a/" + std::string(MaintenanceMethodName(method));
+    ::benchmark::RegisterBenchmark(
+        name.c_str(),
+        [method](::benchmark::State& state) { RunMethod(state, method); })
+        ->Unit(::benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+void PrintPaperTable() {
+  std::printf(
+      "\n===== Figure 10a: maintenance time vs batch size "
+      "(PTF-25, simulated seconds) =====\n");
+  std::printf("%-10s %-8s %13s %13s %13s\n", "cells", "chunks", "baseline",
+              "differential", "reassign");
+  for (const auto& row : Rows()) {
+    std::printf("%-10llu %-8zu %12.4fs %12.4fs %12.4fs\n",
+                static_cast<unsigned long long>(row.cells), row.chunks[0],
+                row.seconds[0], row.seconds[1], row.seconds[2]);
+  }
+}
+
+}  // namespace
+}  // namespace avm::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  avm::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  avm::bench::PrintPaperTable();
+  ::benchmark::Shutdown();
+  return 0;
+}

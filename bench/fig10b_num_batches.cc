@@ -1,0 +1,143 @@
+// Figure 10b: sensitivity to the number of batches — a fixed update
+// workload is divided into k equal batches (k = 1, 2, 5, 10, 20) and the
+// total maintenance time of the sequence is reported (PTF-25, real
+// updates). Expected shape per the paper: a sweet spot at a moderate batch
+// count; many tiny batches pay per-batch overhead, which reassign
+// compensates best by converging to a good partitioning.
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+
+namespace avm::bench {
+namespace {
+
+constexpr int kBatchCounts[] = {1, 2, 5, 10, 20};
+constexpr uint64_t kTotalCells = 16000;
+
+struct Row {
+  int num_batches = 0;
+  double seconds[3] = {0, 0, 0};
+};
+
+std::vector<Row>& Rows() {
+  static auto* rows = new std::vector<Row>();
+  return *rows;
+}
+
+/// Splits one update workload into `k` equal batches in time order (the
+/// acquisition order a pipeline would flush them in).
+std::vector<SparseArray> SplitWorkload(const SparseArray& workload, int k) {
+  struct Cell {
+    CellCoord coord;
+    std::vector<double> values;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(workload.NumCells());
+  workload.ForEachCell(
+      [&](std::span<const int64_t> coord, std::span<const double> values) {
+        cells.push_back({CellCoord(coord.begin(), coord.end()),
+                         std::vector<double>(values.begin(), values.end())});
+      });
+  std::sort(cells.begin(), cells.end(),
+            [](const Cell& a, const Cell& b) { return a.coord < b.coord; });
+  std::vector<SparseArray> batches;
+  const size_t per_batch = (cells.size() + static_cast<size_t>(k) - 1) /
+                           static_cast<size_t>(k);
+  for (int b = 0; b < k; ++b) {
+    SparseArray batch(workload.schema());
+    const size_t lo = static_cast<size_t>(b) * per_batch;
+    const size_t hi = std::min(cells.size(), lo + per_batch);
+    for (size_t i = lo; i < hi; ++i) {
+      AVM_CHECK(batch.Set(cells[i].coord, cells[i].values).ok());
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+void RunCase(::benchmark::State& state, int k, MaintenanceMethod method) {
+  for (auto _ : state) {
+    ExperimentScale scale = FigureScale();
+    PtfFixture fixture =
+        OrDie(PtfFixture::MakePtf25(scale), "build PTF-25 fixture");
+    // One fixed workload: a multi-night spread window (drawn identically
+    // for every k and method thanks to the deterministic generator).
+    std::vector<SparseArray> nights = OrDie(
+        fixture.generator->MakeSpreadBatches(4, 6, kTotalCells / 4),
+        "draw workload");
+    SparseArray workload(nights[0].schema());
+    for (const auto& night : nights) {
+      night.ForEachCell(
+          [&](std::span<const int64_t> coord, std::span<const double> v) {
+            AVM_CHECK(workload
+                          .Set(CellCoord(coord.begin(), coord.end()), v)
+                          .ok());
+          });
+    }
+    ViewMaintainer maintainer(fixture.view.get(), method);
+    double total = 0.0;
+    for (const SparseArray& batch : SplitWorkload(workload, k)) {
+      MaintenanceReport report =
+          OrDie(maintainer.ApplyBatch(batch), "apply batch");
+      total += report.maintenance_seconds;
+    }
+    state.counters["sim_total_s"] = total;
+
+    auto& rows = Rows();
+    auto it = std::find_if(rows.begin(), rows.end(),
+                           [&](const Row& r) { return r.num_batches == k; });
+    if (it == rows.end()) {
+      rows.push_back({k, {0, 0, 0}});
+      it = rows.end() - 1;
+    }
+    it->seconds[static_cast<int>(method)] = total;
+  }
+}
+
+void RegisterAll() {
+  for (int k : kBatchCounts) {
+    for (MaintenanceMethod method :
+         {MaintenanceMethod::kBaseline, MaintenanceMethod::kDifferential,
+          MaintenanceMethod::kReassign}) {
+      const std::string name = "BM_Fig10b/batches:" + std::to_string(k) +
+                               "/" +
+                               std::string(MaintenanceMethodName(method));
+      ::benchmark::RegisterBenchmark(
+          name.c_str(),
+          [k, method](::benchmark::State& state) {
+            RunCase(state, k, method);
+          })
+          ->Unit(::benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+void PrintPaperTable() {
+  std::printf(
+      "\n===== Figure 10b: total maintenance time vs number of batches "
+      "(fixed workload, PTF-25, simulated seconds) =====\n");
+  std::printf("%-10s %13s %13s %13s\n", "#batches", "baseline",
+              "differential", "reassign");
+  std::sort(Rows().begin(), Rows().end(),
+            [](const Row& a, const Row& b) {
+              return a.num_batches < b.num_batches;
+            });
+  for (const auto& row : Rows()) {
+    std::printf("%-10d %12.4fs %12.4fs %12.4fs\n", row.num_batches,
+                row.seconds[0], row.seconds[1], row.seconds[2]);
+  }
+}
+
+}  // namespace
+}  // namespace avm::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  avm::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  avm::bench::PrintPaperTable();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 10c: sensitivity to update spread — 10 batches of a fixed cell
+// count are sampled inside a spread x spread window of (ra, dec) chunks
+// (the paper uses spreads 10, 20, 80 over 500-chunk batches; scaled to our
+// grid). Larger spread = less concentrated updates = less sharing, hence
+// longer maintenance; reassign should degrade the least in absolute terms.
+
+#include "bench/bench_util.h"
+
+namespace avm::bench {
+namespace {
+
+constexpr int64_t kSpreads[] = {4, 8, 16};
+constexpr uint64_t kCellsPerBatch = 4000;
+constexpr int kNumBatches = 10;
+
+struct Row {
+  int64_t spread = 0;
+  double seconds[3] = {0, 0, 0};
+};
+
+std::vector<Row>& Rows() {
+  static auto* rows = new std::vector<Row>();
+  return *rows;
+}
+
+void RunCase(::benchmark::State& state, int64_t spread,
+             MaintenanceMethod method) {
+  for (auto _ : state) {
+    ExperimentScale scale = FigureScale();
+    PtfFixture fixture =
+        OrDie(PtfFixture::MakePtf25(scale), "build PTF-25 fixture");
+    std::vector<SparseArray> batches =
+        OrDie(fixture.generator->MakeSpreadBatches(kNumBatches, spread,
+                                                   kCellsPerBatch),
+              "draw batches");
+    ViewMaintainer maintainer(fixture.view.get(), method);
+    double total = 0.0;
+    for (const SparseArray& batch : batches) {
+      total += OrDie(maintainer.ApplyBatch(batch), "apply batch")
+                   .maintenance_seconds;
+    }
+    state.counters["sim_total_s"] = total;
+
+    auto& rows = Rows();
+    auto it = std::find_if(rows.begin(), rows.end(),
+                           [&](const Row& r) { return r.spread == spread; });
+    if (it == rows.end()) {
+      rows.push_back({spread, {0, 0, 0}});
+      it = rows.end() - 1;
+    }
+    it->seconds[static_cast<int>(method)] = total;
+  }
+}
+
+void RegisterAll() {
+  for (int64_t spread : kSpreads) {
+    for (MaintenanceMethod method :
+         {MaintenanceMethod::kBaseline, MaintenanceMethod::kDifferential,
+          MaintenanceMethod::kReassign}) {
+      const std::string name = "BM_Fig10c/spread:" + std::to_string(spread) +
+                               "/" +
+                               std::string(MaintenanceMethodName(method));
+      ::benchmark::RegisterBenchmark(
+          name.c_str(),
+          [spread, method](::benchmark::State& state) {
+            RunCase(state, spread, method);
+          })
+          ->Unit(::benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+void PrintPaperTable() {
+  std::printf(
+      "\n===== Figure 10c: total maintenance time vs update spread "
+      "(10 batches x %llu cells, PTF-25, simulated seconds) =====\n",
+      static_cast<unsigned long long>(kCellsPerBatch));
+  std::printf("%-10s %13s %13s %13s\n", "spread", "baseline", "differential",
+              "reassign");
+  for (const auto& row : Rows()) {
+    std::printf("%-10lld %12.4fs %12.4fs %12.4fs\n",
+                static_cast<long long>(row.spread), row.seconds[0],
+                row.seconds[1], row.seconds[2]);
+  }
+}
+
+}  // namespace
+}  // namespace avm::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  avm::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  avm::bench::PrintPaperTable();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 3: view maintenance time per update batch, for every dataset
+// (PTF-5, PTF-25, GEO), batch regime (real/random, correlated, periodic),
+// and method (baseline, differential, reassign) — the paper's 9-panel grid.
+//
+// Each benchmark runs one (dataset, regime, method) series of batches on the
+// simulated 8-worker cluster; `sim_total_s` is the summed per-batch
+// simulated makespan (the quantity Figure 3 plots per batch; the per-batch
+// series is printed after the run). Expected shape per the paper: the
+// heuristics never lose to the baseline; reassign converges to the largest
+// gains on correlated batches and roughly halves repeated periodic batches.
+
+#include "bench/bench_util.h"
+
+namespace avm::bench {
+namespace {
+
+struct SeriesKey {
+  DatasetKind kind;
+  BatchRegime regime;
+};
+
+std::vector<std::pair<SeriesKey, std::vector<BatchSeries>>>& AllResults() {
+  static auto* results =
+      new std::vector<std::pair<SeriesKey, std::vector<BatchSeries>>>();
+  return *results;
+}
+
+void RunSeries(::benchmark::State& state, DatasetKind kind,
+               BatchRegime regime, MaintenanceMethod method) {
+  for (auto _ : state) {
+    PreparedExperiment experiment =
+        OrDie(PrepareExperiment(kind, regime, FigureScale()),
+              "prepare experiment");
+    BatchSeries series = OrDie(
+        RunMaintenanceSeries(&experiment, method, PlannerOptions()),
+        "maintenance series");
+    state.counters["sim_total_s"] = series.TotalMaintenanceSeconds();
+    state.counters["opt_mean_s"] = series.MeanOptimizationSeconds();
+    state.counters["batches"] = static_cast<double>(series.reports.size());
+
+    // Stash the series for the paper-style table printed at exit.
+    auto& results = AllResults();
+    auto it = std::find_if(results.begin(), results.end(),
+                           [&](const auto& entry) {
+                             return entry.first.kind == kind &&
+                                    entry.first.regime == regime;
+                           });
+    if (it == results.end()) {
+      results.push_back({SeriesKey{kind, regime}, {}});
+      it = results.end() - 1;
+    }
+    it->second.push_back(std::move(series));
+  }
+}
+
+void RegisterAll() {
+  for (DatasetKind kind :
+       {DatasetKind::kPtf5, DatasetKind::kPtf25, DatasetKind::kGeo}) {
+    for (BatchRegime regime : RegimesFor(kind)) {
+      for (MaintenanceMethod method :
+           {MaintenanceMethod::kBaseline, MaintenanceMethod::kDifferential,
+            MaintenanceMethod::kReassign}) {
+        const std::string name =
+            "BM_Fig3/" + std::string(DatasetKindName(kind)) + "/" +
+            std::string(BatchRegimeName(regime)) + "/" +
+            std::string(MaintenanceMethodName(method));
+        ::benchmark::RegisterBenchmark(
+            name.c_str(),
+            [kind, regime, method](::benchmark::State& state) {
+              RunSeries(state, kind, regime, method);
+            })
+            ->Unit(::benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+}
+
+void PrintPaperTables() {
+  std::printf("\n===== Figure 3: maintenance time per update batch "
+              "(simulated seconds) =====\n");
+  for (const auto& [key, series] : AllResults()) {
+    PrintSeriesTable(std::string(DatasetKindName(key.kind)) + " / " +
+                         std::string(BatchRegimeName(key.regime)),
+                     series);
+  }
+}
+
+}  // namespace
+}  // namespace avm::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  avm::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  avm::bench::PrintPaperTables();
+  ::benchmark::Shutdown();
+  return 0;
+}

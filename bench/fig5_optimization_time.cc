@@ -1,0 +1,107 @@
+// Figure 5: average optimization time per update batch — the coordinator's
+// wall-clock cost of computing the maintenance plan, per dataset and method.
+//
+// Baseline's bar is the triple-generation time (the (p, q, v) metadata
+// preprocessing every method performs); differential adds Algorithm 1;
+// reassign adds Algorithms 2 and 3 on top. Expected shape per the paper:
+// differential adds minimal overhead over baseline, reassign at most ~2x the
+// baseline, and every bar is a small fraction of the maintenance time it
+// buys back.
+
+#include "bench/bench_util.h"
+
+namespace avm::bench {
+namespace {
+
+struct OptRow {
+  std::string dataset;
+  std::string regime;
+  double seconds[3] = {0, 0, 0};        // per method, mean per batch
+  double triple_gen[3] = {0, 0, 0};     // mean triple-generation share
+};
+
+std::vector<OptRow>& Rows() {
+  static auto* rows = new std::vector<OptRow>();
+  return *rows;
+}
+
+void RunCase(::benchmark::State& state, DatasetKind kind, BatchRegime regime,
+             MaintenanceMethod method) {
+  for (auto _ : state) {
+    PreparedExperiment experiment = OrDie(
+        PrepareExperiment(kind, regime, FigureScale()), "prepare experiment");
+    BatchSeries series =
+        OrDie(RunMaintenanceSeries(&experiment, method, PlannerOptions()),
+              "maintenance series");
+    double triple_mean = 0.0;
+    for (const auto& r : series.reports) triple_mean += r.triple_gen_seconds;
+    triple_mean /= static_cast<double>(series.reports.size());
+    state.counters["opt_mean_s"] = series.MeanOptimizationSeconds();
+    state.counters["triple_gen_mean_s"] = triple_mean;
+    state.counters["maintenance_total_s"] = series.TotalMaintenanceSeconds();
+
+    auto& rows = Rows();
+    const std::string dataset(DatasetKindName(kind));
+    const std::string regime_name(BatchRegimeName(regime));
+    auto it = std::find_if(rows.begin(), rows.end(), [&](const OptRow& row) {
+      return row.dataset == dataset && row.regime == regime_name;
+    });
+    if (it == rows.end()) {
+      rows.push_back({dataset, regime_name, {0, 0, 0}, {0, 0, 0}});
+      it = rows.end() - 1;
+    }
+    it->seconds[static_cast<int>(method)] = series.MeanOptimizationSeconds();
+    it->triple_gen[static_cast<int>(method)] = triple_mean;
+  }
+}
+
+void RegisterAll() {
+  for (DatasetKind kind :
+       {DatasetKind::kPtf5, DatasetKind::kPtf25, DatasetKind::kGeo}) {
+    for (BatchRegime regime : RegimesFor(kind)) {
+      for (MaintenanceMethod method :
+           {MaintenanceMethod::kBaseline, MaintenanceMethod::kDifferential,
+            MaintenanceMethod::kReassign}) {
+        const std::string name =
+            "BM_Fig5/" + std::string(DatasetKindName(kind)) + "/" +
+            std::string(BatchRegimeName(regime)) + "/" +
+            std::string(MaintenanceMethodName(method));
+        ::benchmark::RegisterBenchmark(
+            name.c_str(),
+            [kind, regime, method](::benchmark::State& state) {
+              RunCase(state, kind, regime, method);
+            })
+            ->Unit(::benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+}
+
+void PrintPaperTable() {
+  std::printf(
+      "\n===== Figure 5: average optimization time per update batch "
+      "(wall-clock seconds) =====\n");
+  std::printf("%-10s %-12s %14s %14s %14s\n", "dataset", "batches",
+              "baseline", "differential", "reassign");
+  for (const auto& row : Rows()) {
+    std::printf("%-10s %-12s %13.5fs %13.5fs %13.5fs\n", row.dataset.c_str(),
+                row.regime.c_str(), row.seconds[0], row.seconds[1],
+                row.seconds[2]);
+  }
+  std::printf(
+      "(baseline = triple generation only; differential adds Algorithm 1; "
+      "reassign adds Algorithms 2+3)\n");
+}
+
+}  // namespace
+}  // namespace avm::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  avm::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  avm::bench::PrintPaperTable();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Figure 9 (Appendix C.1): overall execution time — optimization plus view
+// maintenance — summed over the whole 10-batch sequence, per dataset, batch
+// regime, and method. Expected shape per the paper: the optimization
+// overhead is marginal against the maintenance reduction it buys; reassign's
+// gain is maximized on correlated batches and it beats differential even
+// with the extra planning stages included.
+
+#include "bench/bench_util.h"
+
+namespace avm::bench {
+namespace {
+
+struct OverallRow {
+  std::string dataset;
+  std::string regime;
+  double opt[3] = {0, 0, 0};
+  double maintenance[3] = {0, 0, 0};
+};
+
+std::vector<OverallRow>& Rows() {
+  static auto* rows = new std::vector<OverallRow>();
+  return *rows;
+}
+
+void RunCase(::benchmark::State& state, DatasetKind kind, BatchRegime regime,
+             MaintenanceMethod method) {
+  for (auto _ : state) {
+    PreparedExperiment experiment = OrDie(
+        PrepareExperiment(kind, regime, FigureScale()), "prepare experiment");
+    BatchSeries series =
+        OrDie(RunMaintenanceSeries(&experiment, method, PlannerOptions()),
+              "maintenance series");
+    const double opt = series.TotalOptimizationSeconds();
+    const double maintenance = series.TotalMaintenanceSeconds();
+    state.counters["overall_s"] = opt + maintenance;
+    state.counters["opt_s"] = opt;
+    state.counters["maintenance_s"] = maintenance;
+
+    auto& rows = Rows();
+    const std::string dataset(DatasetKindName(kind));
+    const std::string regime_name(BatchRegimeName(regime));
+    auto it = std::find_if(rows.begin(), rows.end(), [&](const OverallRow& r) {
+      return r.dataset == dataset && r.regime == regime_name;
+    });
+    if (it == rows.end()) {
+      rows.push_back({dataset, regime_name, {0, 0, 0}, {0, 0, 0}});
+      it = rows.end() - 1;
+    }
+    it->opt[static_cast<int>(method)] = opt;
+    it->maintenance[static_cast<int>(method)] = maintenance;
+  }
+}
+
+void RegisterAll() {
+  for (DatasetKind kind :
+       {DatasetKind::kPtf5, DatasetKind::kPtf25, DatasetKind::kGeo}) {
+    for (BatchRegime regime : RegimesFor(kind)) {
+      for (MaintenanceMethod method :
+           {MaintenanceMethod::kBaseline, MaintenanceMethod::kDifferential,
+            MaintenanceMethod::kReassign}) {
+        const std::string name =
+            "BM_Fig9/" + std::string(DatasetKindName(kind)) + "/" +
+            std::string(BatchRegimeName(regime)) + "/" +
+            std::string(MaintenanceMethodName(method));
+        ::benchmark::RegisterBenchmark(
+            name.c_str(),
+            [kind, regime, method](::benchmark::State& state) {
+              RunCase(state, kind, regime, method);
+            })
+            ->Unit(::benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+}
+
+void PrintPaperTable() {
+  std::printf(
+      "\n===== Figure 9: overall time over 10 batches "
+      "(optimization + simulated maintenance, seconds) =====\n");
+  std::printf("%-10s %-12s %15s %15s %15s\n", "dataset", "batches",
+              "baseline", "differential", "reassign");
+  for (const auto& row : Rows()) {
+    std::printf("%-10s %-12s", row.dataset.c_str(), row.regime.c_str());
+    for (int m = 0; m < 3; ++m) {
+      std::printf(" %7.4f+%6.4fs", row.maintenance[m], row.opt[m]);
+    }
+    std::printf("\n");
+  }
+  std::printf("(each cell: maintenance + optimization)\n");
+}
+
+}  // namespace
+}  // namespace avm::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  avm::bench::RegisterAll();
+  ::benchmark::RunSpecifiedBenchmarks();
+  avm::bench::PrintPaperTable();
+  ::benchmark::Shutdown();
+  return 0;
+}

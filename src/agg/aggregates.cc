@@ -1,0 +1,221 @@
+#include "agg/aggregates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace avm {
+
+std::string_view AggregateFunctionName(AggregateFunction fn) {
+  switch (fn) {
+    case AggregateFunction::kCount:
+      return "COUNT";
+    case AggregateFunction::kSum:
+      return "SUM";
+    case AggregateFunction::kAvg:
+      return "AVG";
+    case AggregateFunction::kMin:
+      return "MIN";
+    case AggregateFunction::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+namespace {
+size_t SlotsFor(AggregateFunction fn) {
+  return fn == AggregateFunction::kAvg ? 2 : 1;
+}
+}  // namespace
+
+Result<AggregateLayout> AggregateLayout::Create(
+    std::vector<AggregateSpec> specs, size_t num_base_attrs) {
+  if (specs.empty()) {
+    return Status::InvalidArgument("a view needs at least one aggregate");
+  }
+  std::vector<size_t> slots;
+  slots.reserve(specs.size());
+  size_t next = 0;
+  for (auto& spec : specs) {
+    if (spec.fn != AggregateFunction::kCount &&
+        spec.attr_index >= num_base_attrs) {
+      return Status::InvalidArgument(
+          "aggregate references attribute index " +
+          std::to_string(spec.attr_index) + " but the base array has " +
+          std::to_string(num_base_attrs) + " attributes");
+    }
+    if (spec.output_name.empty()) {
+      spec.output_name = std::string(AggregateFunctionName(spec.fn)) + "_" +
+                         std::to_string(spec.attr_index);
+    }
+    slots.push_back(next);
+    next += SlotsFor(spec.fn);
+  }
+  return AggregateLayout(std::move(specs), std::move(slots), next);
+}
+
+bool AggregateLayout::SupportsRetraction() const {
+  for (const auto& spec : specs_) {
+    if (spec.fn == AggregateFunction::kMin ||
+        spec.fn == AggregateFunction::kMax) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AggregateLayout::InitState(std::span<double> state) const {
+  AVM_CHECK_EQ(state.size(), num_slots_);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const size_t s = slot_of_[i];
+    switch (specs_[i].fn) {
+      case AggregateFunction::kCount:
+      case AggregateFunction::kSum:
+        state[s] = 0.0;
+        break;
+      case AggregateFunction::kAvg:
+        state[s] = 0.0;      // sum
+        state[s + 1] = 0.0;  // count
+        break;
+      case AggregateFunction::kMin:
+        state[s] = std::numeric_limits<double>::infinity();
+        break;
+      case AggregateFunction::kMax:
+        state[s] = -std::numeric_limits<double>::infinity();
+        break;
+    }
+  }
+}
+
+Status AggregateLayout::UpdateState(std::span<double> state,
+                                    std::span<const double> right_values,
+                                    int multiplicity) const {
+  AVM_CHECK_EQ(state.size(), num_slots_);
+  const double m = static_cast<double>(multiplicity);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const size_t s = slot_of_[i];
+    switch (specs_[i].fn) {
+      case AggregateFunction::kCount:
+        state[s] += m;
+        break;
+      case AggregateFunction::kSum:
+        state[s] += m * right_values[specs_[i].attr_index];
+        break;
+      case AggregateFunction::kAvg:
+        state[s] += m * right_values[specs_[i].attr_index];
+        state[s + 1] += m;
+        break;
+      case AggregateFunction::kMin:
+        if (multiplicity < 0) {
+          return Status::FailedPrecondition(
+              "MIN does not support retraction");
+        }
+        state[s] = std::min(state[s], right_values[specs_[i].attr_index]);
+        break;
+      case AggregateFunction::kMax:
+        if (multiplicity < 0) {
+          return Status::FailedPrecondition(
+              "MAX does not support retraction");
+        }
+        state[s] = std::max(state[s], right_values[specs_[i].attr_index]);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+void AggregateLayout::MergeState(std::span<double> dst,
+                                 std::span<const double> src) const {
+  AVM_CHECK_EQ(dst.size(), num_slots_);
+  AVM_CHECK_EQ(src.size(), num_slots_);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const size_t s = slot_of_[i];
+    switch (specs_[i].fn) {
+      case AggregateFunction::kCount:
+      case AggregateFunction::kSum:
+        dst[s] += src[s];
+        break;
+      case AggregateFunction::kAvg:
+        dst[s] += src[s];
+        dst[s + 1] += src[s + 1];
+        break;
+      case AggregateFunction::kMin:
+        dst[s] = std::min(dst[s], src[s]);
+        break;
+      case AggregateFunction::kMax:
+        dst[s] = std::max(dst[s], src[s]);
+        break;
+    }
+  }
+}
+
+void AggregateLayout::Finalize(std::span<const double> state,
+                               std::span<double> out) const {
+  AVM_CHECK_EQ(state.size(), num_slots_);
+  AVM_CHECK_EQ(out.size(), specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const size_t s = slot_of_[i];
+    switch (specs_[i].fn) {
+      case AggregateFunction::kCount:
+      case AggregateFunction::kSum:
+      case AggregateFunction::kMin:
+      case AggregateFunction::kMax:
+        out[i] = state[s];
+        break;
+      case AggregateFunction::kAvg:
+        out[i] = state[s + 1] == 0.0
+                     ? std::numeric_limits<double>::quiet_NaN()
+                     : state[s] / state[s + 1];
+        break;
+    }
+  }
+}
+
+bool AggregateLayout::IsIdentity(std::span<const double> state) const {
+  AVM_CHECK_EQ(state.size(), num_slots_);
+  // Additive slots use a small absolute tolerance: retracting the same
+  // floating-point values in a different order can leave ~1e-16 residue.
+  constexpr double kEps = 1e-9;
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const size_t s = slot_of_[i];
+    switch (specs_[i].fn) {
+      case AggregateFunction::kCount:
+      case AggregateFunction::kSum:
+        if (std::abs(state[s]) > kEps) return false;
+        break;
+      case AggregateFunction::kAvg:
+        if (std::abs(state[s]) > kEps || std::abs(state[s + 1]) > kEps) {
+          return false;
+        }
+        break;
+      case AggregateFunction::kMin:
+        if (state[s] != std::numeric_limits<double>::infinity()) return false;
+        break;
+      case AggregateFunction::kMax:
+        if (state[s] != -std::numeric_limits<double>::infinity()) {
+          return false;
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+std::vector<Attribute> AggregateLayout::StateAttributes() const {
+  std::vector<Attribute> attrs;
+  attrs.reserve(num_slots_);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].fn == AggregateFunction::kAvg) {
+      attrs.push_back({specs_[i].output_name + ".sum", AttributeType::kDouble});
+      attrs.push_back(
+          {specs_[i].output_name + ".count", AttributeType::kDouble});
+    } else {
+      attrs.push_back({specs_[i].output_name, AttributeType::kDouble});
+    }
+  }
+  return attrs;
+}
+
+}  // namespace avm

@@ -1,0 +1,96 @@
+#ifndef AVM_AGG_AGGREGATES_H_
+#define AVM_AGG_AGGREGATES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "array/schema.h"
+#include "common/result.h"
+
+namespace avm {
+
+/// The standard SQL aggregate functions of Section 3. COUNT, SUM, and AVG
+/// are fully incremental (they commute, associate, and support retraction
+/// via negative multiplicities). MIN and MAX are maintainable under
+/// insert-only workloads — the paper's astronomy use case — and reject
+/// retraction.
+enum class AggregateFunction { kCount, kSum, kAvg, kMin, kMax };
+
+std::string_view AggregateFunctionName(AggregateFunction fn);
+
+/// One aggregate in a view definition: the function plus the index of the
+/// joined (right-operand) attribute it consumes. COUNT ignores the index.
+struct AggregateSpec {
+  AggregateFunction fn = AggregateFunction::kCount;
+  size_t attr_index = 0;
+  /// Name of the output attribute in the view schema (e.g. "cnt").
+  std::string output_name;
+};
+
+/// Flat layout of the aggregate *state* attributes a view cell stores. Most
+/// functions use one slot; AVG stores (sum, count) in two slots so partial
+/// states merge exactly. Finalization maps state slots to the user-visible
+/// outputs (one per spec).
+class AggregateLayout {
+ public:
+  /// Validates the specs against the base array's attribute count.
+  static Result<AggregateLayout> Create(std::vector<AggregateSpec> specs,
+                                        size_t num_base_attrs);
+
+  const std::vector<AggregateSpec>& specs() const { return specs_; }
+  size_t num_specs() const { return specs_.size(); }
+
+  /// Number of state slots a view cell stores.
+  size_t num_state_slots() const { return num_slots_; }
+
+  /// First state slot of spec `i`.
+  size_t slot_of(size_t i) const { return slot_of_[i]; }
+
+  /// True if every spec supports retraction (negative multiplicity).
+  bool SupportsRetraction() const;
+
+  /// Writes the identity state (the state of "no rows") into `state`.
+  void InitState(std::span<double> state) const;
+
+  /// Folds one joined row into `state`. `right_values` are the right
+  /// operand's cell attributes; `multiplicity` is +1 for an insert-side
+  /// contribution, -1 for a retraction. Fails for retraction on MIN/MAX.
+  Status UpdateState(std::span<double> state,
+                     std::span<const double> right_values,
+                     int multiplicity) const;
+
+  /// Merges a partial state `src` into `dst` (slot-wise: add for
+  /// COUNT/SUM/AVG, min/max for MIN/MAX). This is the V + ∆V merge
+  /// primitive; it is exact because states are designed to be mergeable.
+  void MergeState(std::span<double> dst, std::span<const double> src) const;
+
+  /// Computes the user-visible outputs (one per spec) from a state. AVG of
+  /// zero rows yields NaN; MIN/MAX of zero rows yield +/-infinity (their
+  /// identities).
+  void Finalize(std::span<const double> state, std::span<double> out) const;
+
+  /// True when a state equals the identity (no surviving contributions);
+  /// such view cells can be garbage-collected after retractions.
+  bool IsIdentity(std::span<const double> state) const;
+
+  /// The state attributes for a view schema (names derived from outputs,
+  /// e.g. "cnt", "avg_s.sum", "avg_s.count").
+  std::vector<Attribute> StateAttributes() const;
+
+ private:
+  AggregateLayout(std::vector<AggregateSpec> specs, std::vector<size_t> slots,
+                  size_t num_slots)
+      : specs_(std::move(specs)),
+        slot_of_(std::move(slots)),
+        num_slots_(num_slots) {}
+
+  std::vector<AggregateSpec> specs_;
+  std::vector<size_t> slot_of_;
+  size_t num_slots_;
+};
+
+}  // namespace avm
+
+#endif  // AVM_AGG_AGGREGATES_H_

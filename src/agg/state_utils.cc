@@ -1,0 +1,25 @@
+#include "agg/state_utils.h"
+
+#include <vector>
+
+namespace avm {
+
+Result<size_t> StripIdentityCells(SparseArray* states,
+                                  const AggregateLayout& layout) {
+  if (states == nullptr) return Status::InvalidArgument("null array");
+  if (states->schema().num_attrs() != layout.num_state_slots()) {
+    return Status::InvalidArgument(
+        "array attributes do not match the aggregate state layout");
+  }
+  std::vector<CellCoord> doomed;
+  states->ForEachCell(
+      [&](std::span<const int64_t> coord, std::span<const double> state) {
+        if (layout.IsIdentity(state)) {
+          doomed.emplace_back(coord.begin(), coord.end());
+        }
+      });
+  for (const auto& coord : doomed) states->Erase(coord);
+  return doomed.size();
+}
+
+}  // namespace avm

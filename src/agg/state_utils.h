@@ -1,0 +1,21 @@
+#ifndef AVM_AGG_STATE_UTILS_H_
+#define AVM_AGG_STATE_UTILS_H_
+
+#include "agg/aggregates.h"
+#include "array/sparse_array.h"
+#include "common/status.h"
+
+namespace avm {
+
+/// Removes every cell whose aggregate state equals the identity (no
+/// surviving contributions) from a state array. After retractions — the
+/// minus half of a ∆-shape differential query — cells can be left with
+/// COUNT 0 / empty AVG; semantically those cells are empty, and stripping
+/// them makes state arrays comparable to from-scratch computations.
+/// Returns the number of cells removed.
+Result<size_t> StripIdentityCells(SparseArray* states,
+                                  const AggregateLayout& layout);
+
+}  // namespace avm
+
+#endif  // AVM_AGG_STATE_UTILS_H_

@@ -1,0 +1,85 @@
+#include "aql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace avm::aql {
+
+bool Token::Is(std::string_view keyword) const {
+  if (kind != TokenKind::kIdentifier) return false;
+  if (text.size() != keyword.size()) return false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) !=
+        std::toupper(static_cast<unsigned char>(keyword[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto peek = [&](size_t at) -> char {
+    return at < n ? input[at] : '\0';
+  };
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && peek(i + 1) == '-') {  // SQL comment to end of line
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      token.kind = TokenKind::kIdentifier;
+      token.text = std::string(input.substr(i, j - i));
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && std::isdigit(static_cast<unsigned char>(
+                                peek(i + 1)))) ||
+               (c == '.' && std::isdigit(static_cast<unsigned char>(
+                                peek(i + 1))))) {
+      size_t j = i;
+      if (input[j] == '-') ++j;
+      bool integer = true;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '.')) {
+        if (input[j] == '.') integer = false;
+        ++j;
+      }
+      token.kind = TokenKind::kNumber;
+      token.text = std::string(input.substr(i, j - i));
+      token.number = std::strtod(token.text.c_str(), nullptr);
+      token.is_integer = integer;
+      i = j;
+    } else if (std::string_view("<>[](),;=.*:").find(c) !=
+               std::string_view::npos) {
+      token.kind = TokenKind::kSymbol;
+      token.text = std::string(1, c);
+      ++i;
+    } else {
+      return Status::InvalidArgument(
+          "unexpected character '" + std::string(1, c) + "' at offset " +
+          std::to_string(i));
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace avm::aql

@@ -1,0 +1,38 @@
+#ifndef AVM_AQL_LEXER_H_
+#define AVM_AQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace avm::aql {
+
+/// Token kinds of the AQL subset (Section 2.1 / 3 of the paper). Keywords
+/// are case-insensitive; identifiers keep their case.
+enum class TokenKind {
+  kIdentifier,  // A, ra, cnt, L1 (keywords are classified by the parser)
+  kNumber,      // 42, -7, 3.5
+  kSymbol,      // one of < > [ ] ( ) , ; = . * : stored in `text`
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // identifier name / symbol / number literal
+  double number = 0.0;   // value for kNumber
+  bool is_integer = false;
+  size_t position = 0;   // byte offset, for error messages
+
+  /// Case-insensitive keyword/identifier comparison (either case works).
+  bool Is(std::string_view upper_keyword) const;
+};
+
+/// Splits an AQL statement into tokens. Fails with InvalidArgument on
+/// characters outside the grammar, reporting the offset.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace avm::aql
+
+#endif  // AVM_AQL_LEXER_H_

@@ -1,0 +1,319 @@
+#include "aql/parser.h"
+
+#include <utility>
+
+#include "aql/lexer.h"
+
+namespace avm::aql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> Parse() {
+    AVM_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    AVM_RETURN_IF_ERROR(ExpectKeyword("ARRAY"));
+    if (Current().Is("VIEW")) {
+      Advance();
+      AVM_ASSIGN_OR_RETURN(CreateViewStatement view, ParseCreateView());
+      AVM_RETURN_IF_ERROR(Finish());
+      return Statement(std::move(view));
+    }
+    AVM_ASSIGN_OR_RETURN(CreateArrayStatement array, ParseCreateArray());
+    AVM_RETURN_IF_ERROR(Finish());
+    return Statement(std::move(array));
+  }
+
+ private:
+  const Token& Current() const { return tokens_[index_]; }
+  void Advance() {
+    if (index_ + 1 < tokens_.size()) ++index_;
+  }
+
+  Status Error(const std::string& expected) const {
+    return Status::InvalidArgument(
+        "expected " + expected + " but found '" +
+        (Current().kind == TokenKind::kEnd ? "<end>" : Current().text) +
+        "' at offset " + std::to_string(Current().position));
+  }
+
+  Status ExpectKeyword(std::string_view keyword) {
+    if (!Current().Is(keyword)) return Error(std::string(keyword));
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(std::string_view symbol) {
+    if (Current().kind != TokenKind::kSymbol || Current().text != symbol) {
+      return Error("'" + std::string(symbol) + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  bool ConsumeSymbol(std::string_view symbol) {
+    if (Current().kind == TokenKind::kSymbol && Current().text == symbol) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ExpectIdentifier(const std::string& what) {
+    if (Current().kind != TokenKind::kIdentifier) return Error(what);
+    std::string name = Current().text;
+    Advance();
+    return name;
+  }
+
+  Result<int64_t> ExpectInteger(const std::string& what) {
+    if (Current().kind != TokenKind::kNumber || !Current().is_integer) {
+      return Error(what + " (integer)");
+    }
+    const int64_t value = static_cast<int64_t>(Current().number);
+    Advance();
+    return value;
+  }
+
+  Result<double> ExpectNumber(const std::string& what) {
+    if (Current().kind != TokenKind::kNumber) return Error(what);
+    const double value = Current().number;
+    Advance();
+    return value;
+  }
+
+  Status Finish() {
+    ConsumeSymbol(";");
+    if (Current().kind != TokenKind::kEnd) return Error("end of statement");
+    return Status::OK();
+  }
+
+  // CREATE ARRAY name <attr:type, ...> [dim = lo, hi, chunk; ...]
+  Result<CreateArrayStatement> ParseCreateArray() {
+    CreateArrayStatement statement;
+    AVM_ASSIGN_OR_RETURN(statement.name, ExpectIdentifier("array name"));
+    AVM_RETURN_IF_ERROR(ExpectSymbol("<"));
+    for (;;) {
+      Attribute attr;
+      AVM_ASSIGN_OR_RETURN(attr.name, ExpectIdentifier("attribute name"));
+      if (ConsumeSymbol(":")) {
+        if (Current().Is("INT") || Current().Is("INT64")) {
+          attr.type = AttributeType::kInt64;
+        } else if (Current().Is("DOUBLE") || Current().Is("FLOAT")) {
+          attr.type = AttributeType::kDouble;
+        } else {
+          return Error("attribute type (int/int64/double/float)");
+        }
+        Advance();
+      } else {
+        attr.type = AttributeType::kDouble;  // untyped attrs default
+      }
+      statement.attrs.push_back(std::move(attr));
+      if (!ConsumeSymbol(",")) break;
+    }
+    AVM_RETURN_IF_ERROR(ExpectSymbol(">"));
+    AVM_RETURN_IF_ERROR(ExpectSymbol("["));
+    for (;;) {
+      DimensionSpec dim;
+      AVM_ASSIGN_OR_RETURN(dim.name, ExpectIdentifier("dimension name"));
+      AVM_RETURN_IF_ERROR(ExpectSymbol("="));
+      AVM_ASSIGN_OR_RETURN(dim.lo, ExpectInteger("dimension start"));
+      AVM_RETURN_IF_ERROR(ExpectSymbol(","));
+      AVM_ASSIGN_OR_RETURN(dim.hi, ExpectInteger("dimension end"));
+      AVM_RETURN_IF_ERROR(ExpectSymbol(","));
+      AVM_ASSIGN_OR_RETURN(dim.chunk_extent,
+                           ExpectInteger("chunk extent"));
+      statement.dims.push_back(std::move(dim));
+      if (!ConsumeSymbol(";")) break;
+    }
+    AVM_RETURN_IF_ERROR(ExpectSymbol("]"));
+    return statement;
+  }
+
+  // name AS SELECT ... FROM ... SIMILARITY JOIN ... ON ... WITH SHAPE ...
+  // [GROUP BY ...]
+  Result<CreateViewStatement> ParseCreateView() {
+    CreateViewStatement statement;
+    AVM_ASSIGN_OR_RETURN(statement.name, ExpectIdentifier("view name"));
+    AVM_RETURN_IF_ERROR(ExpectKeyword("AS"));
+    AVM_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    for (;;) {
+      AVM_ASSIGN_OR_RETURN(AggExpr agg, ParseAggregate());
+      statement.aggs.push_back(std::move(agg));
+      if (!ConsumeSymbol(",")) break;
+    }
+    AVM_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    AVM_ASSIGN_OR_RETURN(statement.left_array,
+                         ExpectIdentifier("left array name"));
+    if (Current().kind == TokenKind::kIdentifier &&
+        !Current().Is("SIMILARITY")) {
+      AVM_ASSIGN_OR_RETURN(statement.left_alias,
+                           ExpectIdentifier("left alias"));
+    }
+    AVM_RETURN_IF_ERROR(ExpectKeyword("SIMILARITY"));
+    AVM_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+    AVM_ASSIGN_OR_RETURN(statement.right_array,
+                         ExpectIdentifier("right array name"));
+    if (Current().kind == TokenKind::kIdentifier && !Current().Is("ON") &&
+        !Current().Is("WITH")) {
+      AVM_ASSIGN_OR_RETURN(statement.right_alias,
+                           ExpectIdentifier("right alias"));
+    }
+    if (Current().Is("ON")) {
+      Advance();
+      for (;;) {
+        AVM_RETURN_IF_ERROR(ExpectSymbol("("));
+        AVM_ASSIGN_OR_RETURN(std::string left, ParseQualifiedDim());
+        AVM_RETURN_IF_ERROR(ExpectSymbol("="));
+        AVM_ASSIGN_OR_RETURN(std::string right, ParseQualifiedDim());
+        AVM_RETURN_IF_ERROR(ExpectSymbol(")"));
+        statement.on_pairs.push_back({std::move(left), std::move(right)});
+        if (!Current().Is("AND")) break;
+        Advance();
+      }
+    }
+    AVM_RETURN_IF_ERROR(ExpectKeyword("WITH"));
+    AVM_RETURN_IF_ERROR(ExpectKeyword("SHAPE"));
+    AVM_ASSIGN_OR_RETURN(statement.shape, ParseShape());
+    if (Current().Is("GROUP")) {
+      Advance();
+      AVM_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      for (;;) {
+        AVM_ASSIGN_OR_RETURN(std::string dim, ParseQualifiedDim());
+        statement.group_by.push_back(std::move(dim));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    return statement;
+  }
+
+  // COUNT(*), SUM(attr), AVG(attr), MIN(attr), MAX(attr) [AS alias]
+  Result<AggExpr> ParseAggregate() {
+    AggExpr agg;
+    if (Current().Is("COUNT")) {
+      agg.fn = AggregateFunction::kCount;
+    } else if (Current().Is("SUM")) {
+      agg.fn = AggregateFunction::kSum;
+    } else if (Current().Is("AVG")) {
+      agg.fn = AggregateFunction::kAvg;
+    } else if (Current().Is("MIN")) {
+      agg.fn = AggregateFunction::kMin;
+    } else if (Current().Is("MAX")) {
+      agg.fn = AggregateFunction::kMax;
+    } else {
+      return Error("aggregate function (COUNT/SUM/AVG/MIN/MAX)");
+    }
+    Advance();
+    AVM_RETURN_IF_ERROR(ExpectSymbol("("));
+    if (agg.fn == AggregateFunction::kCount) {
+      if (!ConsumeSymbol("*")) {
+        // COUNT(attr) is allowed too; the attribute is ignored.
+        if (Current().kind == TokenKind::kIdentifier) {
+          agg.attr = Current().text;
+          Advance();
+        } else {
+          return Error("'*' or attribute name");
+        }
+      }
+    } else {
+      AVM_ASSIGN_OR_RETURN(agg.attr, ExpectIdentifier("attribute name"));
+      // Optionally qualified: alias.attr — keep the attribute part.
+      if (ConsumeSymbol(".")) {
+        AVM_ASSIGN_OR_RETURN(agg.attr, ExpectIdentifier("attribute name"));
+      }
+    }
+    AVM_RETURN_IF_ERROR(ExpectSymbol(")"));
+    if (Current().Is("AS")) {
+      Advance();
+      AVM_ASSIGN_OR_RETURN(agg.alias, ExpectIdentifier("alias"));
+    }
+    return agg;
+  }
+
+  // 'A1.i' or bare 'i' — returns the dim name with any qualifier dropped
+  // after recording it for validation-by-name.
+  Result<std::string> ParseQualifiedDim() {
+    AVM_ASSIGN_OR_RETURN(std::string first,
+                         ExpectIdentifier("dimension name"));
+    if (ConsumeSymbol(".")) {
+      AVM_ASSIGN_OR_RETURN(std::string dim,
+                           ExpectIdentifier("dimension name"));
+      return dim;
+    }
+    return first;
+  }
+
+  Result<std::unique_ptr<ShapeExpr>> ParseShape() {
+    AVM_ASSIGN_OR_RETURN(std::unique_ptr<ShapeExpr> left, ParseShapeTerm());
+    while (ConsumeSymbol("*")) {
+      AVM_ASSIGN_OR_RETURN(std::unique_ptr<ShapeExpr> right,
+                           ParseShapeTerm());
+      auto product = std::make_unique<ShapeExpr>();
+      product->kind = ShapeExpr::Kind::kProduct;
+      product->lhs = std::move(left);
+      product->rhs = std::move(right);
+      left = std::move(product);
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<ShapeExpr>> ParseShapeTerm() {
+    auto term = std::make_unique<ShapeExpr>();
+    if (Current().Is("WINDOW")) {
+      Advance();
+      term->kind = ShapeExpr::Kind::kWindow;
+      AVM_RETURN_IF_ERROR(ExpectSymbol("("));
+      AVM_ASSIGN_OR_RETURN(term->window_dim,
+                           ExpectIdentifier("window dimension"));
+      AVM_RETURN_IF_ERROR(ExpectSymbol(","));
+      AVM_ASSIGN_OR_RETURN(term->window_lo, ExpectInteger("window start"));
+      AVM_RETURN_IF_ERROR(ExpectSymbol(","));
+      AVM_ASSIGN_OR_RETURN(term->window_hi, ExpectInteger("window end"));
+      AVM_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return term;
+    }
+    term->kind = ShapeExpr::Kind::kBall;
+    if (Current().Is("L1")) {
+      term->norm = Shape::Norm::kL1;
+    } else if (Current().Is("L2")) {
+      term->norm = Shape::Norm::kL2;
+    } else if (Current().Is("LINF")) {
+      term->norm = Shape::Norm::kLinf;
+    } else {
+      return Error("shape (L1/L2/LINF/WINDOW)");
+    }
+    Advance();
+    AVM_RETURN_IF_ERROR(ExpectSymbol("("));
+    AVM_ASSIGN_OR_RETURN(term->radius, ExpectNumber("shape radius"));
+    if (term->radius < 0) return Error("non-negative radius");
+    if (ConsumeSymbol(",")) {
+      AVM_RETURN_IF_ERROR(ExpectKeyword("DIMS"));
+      AVM_RETURN_IF_ERROR(ExpectSymbol("("));
+      for (;;) {
+        AVM_ASSIGN_OR_RETURN(std::string dim,
+                             ExpectIdentifier("dimension name"));
+        term->dims.push_back(std::move(dim));
+        if (!ConsumeSymbol(",")) break;
+      }
+      AVM_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    AVM_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return term;
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(std::string_view input) {
+  AVM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace avm::aql

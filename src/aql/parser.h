@@ -1,0 +1,85 @@
+#ifndef AVM_AQL_PARSER_H_
+#define AVM_AQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "agg/aggregates.h"
+#include "array/schema.h"
+#include "common/result.h"
+#include "shape/shape.h"
+
+namespace avm::aql {
+
+/// Unresolved shape expression: dimension names are resolved against the
+/// base array's schema when the statement executes.
+///
+///   shape   := term ( '*' term )*            -- '*' is the Minkowski product
+///   term    := ball | window
+///   ball    := ('L1'|'L2'|'LINF') '(' number [',' 'DIMS' '(' name,+ ')'] ')'
+///   window  := 'WINDOW' '(' name ',' int ',' int ')'
+struct ShapeExpr {
+  enum class Kind { kBall, kWindow, kProduct };
+  Kind kind = Kind::kBall;
+
+  // kBall
+  Shape::Norm norm = Shape::Norm::kL1;
+  double radius = 0.0;
+  std::vector<std::string> dims;  // empty = all dimensions
+
+  // kWindow
+  std::string window_dim;
+  int64_t window_lo = 0;
+  int64_t window_hi = 0;
+
+  // kProduct
+  std::unique_ptr<ShapeExpr> lhs;
+  std::unique_ptr<ShapeExpr> rhs;
+};
+
+/// One aggregate of the SELECT list: COUNT(*), SUM(attr), AVG(attr),
+/// MIN(attr), MAX(attr), each with an optional `AS alias`.
+struct AggExpr {
+  AggregateFunction fn = AggregateFunction::kCount;
+  std::string attr;   // empty for COUNT(*)
+  std::string alias;  // empty = derived name
+};
+
+/// CREATE ARRAY name <attr:type, ...> [dim = lo, hi, chunk; ...];
+struct CreateArrayStatement {
+  std::string name;
+  std::vector<Attribute> attrs;
+  std::vector<DimensionSpec> dims;
+};
+
+/// CREATE ARRAY VIEW name AS
+///   SELECT agg (',' agg)*
+///   FROM array alias SIMILARITY JOIN array alias
+///     ON (a.d = b.d) (AND (a.d = b.d))*
+///   WITH SHAPE shape
+///   [GROUP BY dim (',' dim)*];
+struct CreateViewStatement {
+  std::string name;
+  std::vector<AggExpr> aggs;
+  std::string left_array;
+  std::string left_alias;
+  std::string right_array;
+  std::string right_alias;
+  /// (left dim name, right dim name) pairs from the ON clause, in order.
+  std::vector<std::pair<std::string, std::string>> on_pairs;
+  std::unique_ptr<ShapeExpr> shape;
+  /// Bare or alias-qualified left dims; empty = all left dims.
+  std::vector<std::string> group_by;
+};
+
+using Statement = std::variant<CreateArrayStatement, CreateViewStatement>;
+
+/// Parses one statement (optionally ';'-terminated). Errors carry the
+/// offending token and its offset.
+Result<Statement> ParseStatement(std::string_view input);
+
+}  // namespace avm::aql
+
+#endif  // AVM_AQL_PARSER_H_

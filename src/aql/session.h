@@ -1,0 +1,79 @@
+#ifndef AVM_AQL_SESSION_H_
+#define AVM_AQL_SESSION_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "aql/parser.h"
+#include "cluster/distributed_array.h"
+#include "common/result.h"
+#include "maintenance/maintainer.h"
+#include "view/materialized_view.h"
+
+namespace avm::aql {
+
+/// A statement-level front end over the library: parse and execute the AQL
+/// subset the paper writes its views in, against a bound catalog + cluster.
+///
+///   avm::aql::AqlSession session(&catalog, &cluster);
+///   session.Execute("CREATE ARRAY A <r:int, s:int> [i=1,6,2; j=1,8,2]");
+///   session.Execute(
+///       "CREATE ARRAY VIEW V AS SELECT COUNT(*) AS cnt "
+///       "FROM A A1 SIMILARITY JOIN A A2 ON (A1.i = A2.i) AND (A1.j = A2.j) "
+///       "WITH SHAPE L1(1) GROUP BY A1.i, A1.j");
+///   session.InsertCells("A", tonight);            // incremental maintenance
+///
+/// The session owns the arrays and views it creates and keeps one
+/// ViewMaintainer per view, so inserted cells flow through incremental
+/// maintenance of every view over the target array.
+class AqlSession {
+ public:
+  /// `placement_factory` decides the static chunking strategy of every
+  /// array/view the session creates (default: round-robin).
+  AqlSession(Catalog* catalog, Cluster* cluster,
+             std::function<std::unique_ptr<ChunkPlacement>()>
+                 placement_factory = nullptr,
+             MaintenanceMethod method = MaintenanceMethod::kReassign);
+
+  /// Parses and executes one statement; returns a one-line human-readable
+  /// summary of what happened.
+  Result<std::string> Execute(std::string_view statement);
+
+  /// Inserts a batch of cells into `array_name` and incrementally maintains
+  /// every view defined over it. Returns the per-view reports.
+  Result<std::vector<MaintenanceReport>> InsertCells(
+      const std::string& array_name, const SparseArray& cells);
+
+  /// Lookup of session-created objects (nullptr when absent).
+  DistributedArray* GetArray(const std::string& name);
+  MaterializedView* GetView(const std::string& name);
+
+  size_t num_arrays() const { return arrays_.size(); }
+  size_t num_views() const { return views_.size(); }
+
+ private:
+  struct ViewEntry {
+    std::unique_ptr<MaterializedView> view;
+    std::unique_ptr<ViewMaintainer> maintainer;
+  };
+
+  Result<std::string> ExecuteCreateArray(const CreateArrayStatement& stmt);
+  Result<std::string> ExecuteCreateView(const CreateViewStatement& stmt);
+
+  /// Resolves a parsed shape expression against a base schema.
+  Result<Shape> ResolveShape(const ShapeExpr& expr,
+                             const ArraySchema& schema) const;
+
+  Catalog* catalog_;
+  Cluster* cluster_;
+  std::function<std::unique_ptr<ChunkPlacement>()> placement_factory_;
+  MaintenanceMethod method_;
+  std::map<std::string, std::unique_ptr<DistributedArray>> arrays_;
+  std::map<std::string, ViewEntry> views_;
+};
+
+}  // namespace avm::aql
+
+#endif  // AVM_AQL_SESSION_H_

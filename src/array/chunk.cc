@@ -1,0 +1,112 @@
+#include "array/chunk.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace avm {
+
+void Chunk::UpsertCell(uint64_t offset, const CellCoord& coord,
+                       std::span<const double> values) {
+  AVM_CHECK_EQ(coord.size(), num_dims_);
+  AVM_CHECK_EQ(values.size(), num_attrs_);
+  auto it = index_.find(offset);
+  if (it != index_.end()) {
+    std::memcpy(values_.data() + it->second * num_attrs_, values.data(),
+                num_attrs_ * sizeof(double));
+    return;
+  }
+  const uint32_t row = static_cast<uint32_t>(num_cells());
+  offsets_.push_back(offset);
+  coords_.insert(coords_.end(), coord.begin(), coord.end());
+  values_.insert(values_.end(), values.begin(), values.end());
+  index_.emplace(offset, row);
+}
+
+void Chunk::AccumulateCell(uint64_t offset, const CellCoord& coord,
+                           std::span<const double> values) {
+  AVM_CHECK_EQ(coord.size(), num_dims_);
+  AVM_CHECK_EQ(values.size(), num_attrs_);
+  auto it = index_.find(offset);
+  if (it != index_.end()) {
+    double* dst = values_.data() + it->second * num_attrs_;
+    for (size_t i = 0; i < num_attrs_; ++i) dst[i] += values[i];
+    return;
+  }
+  UpsertCell(offset, coord, values);
+}
+
+bool Chunk::EraseCell(uint64_t offset) {
+  auto it = index_.find(offset);
+  if (it == index_.end()) return false;
+  const uint32_t row = it->second;
+  const uint32_t last = static_cast<uint32_t>(num_cells()) - 1;
+  if (row != last) {
+    // Swap-with-last to keep the row storage dense.
+    offsets_[row] = offsets_[last];
+    std::memcpy(coords_.data() + row * num_dims_,
+                coords_.data() + last * num_dims_, num_dims_ * sizeof(int64_t));
+    std::memcpy(values_.data() + row * num_attrs_,
+                values_.data() + last * num_attrs_,
+                num_attrs_ * sizeof(double));
+    index_[offsets_[row]] = row;
+  }
+  offsets_.pop_back();
+  coords_.resize(coords_.size() - num_dims_);
+  values_.resize(values_.size() - num_attrs_);
+  index_.erase(it);
+  return true;
+}
+
+const double* Chunk::GetCell(uint64_t offset) const {
+  auto it = index_.find(offset);
+  if (it == index_.end()) return nullptr;
+  return values_.data() + it->second * num_attrs_;
+}
+
+double* Chunk::GetMutableCell(uint64_t offset) {
+  auto it = index_.find(offset);
+  if (it == index_.end()) return nullptr;
+  return values_.data() + it->second * num_attrs_;
+}
+
+void Chunk::ForEachCell(
+    const std::function<void(std::span<const int64_t>,
+                             std::span<const double>)>& fn) const {
+  for (size_t row = 0; row < num_cells(); ++row) {
+    fn(CoordOfRow(row), ValuesOfRow(row));
+  }
+}
+
+Status Chunk::AccumulateChunk(const Chunk& other) {
+  if (other.num_dims_ != num_dims_ || other.num_attrs_ != num_attrs_) {
+    return Status::InvalidArgument(
+        "AccumulateChunk: incompatible chunk layouts");
+  }
+  CellCoord coord(num_dims_);
+  for (size_t row = 0; row < other.num_cells(); ++row) {
+    auto c = other.CoordOfRow(row);
+    coord.assign(c.begin(), c.end());
+    AccumulateCell(other.OffsetOfRow(row), coord, other.ValuesOfRow(row));
+  }
+  return Status::OK();
+}
+
+bool Chunk::ContentEquals(const Chunk& other, double tolerance) const {
+  if (num_cells() != other.num_cells()) return false;
+  if (num_dims_ != other.num_dims_ || num_attrs_ != other.num_attrs_) {
+    return false;
+  }
+  for (const auto& [offset, row] : index_) {
+    const double* theirs = other.GetCell(offset);
+    if (theirs == nullptr) return false;
+    const double* ours = values_.data() + row * num_attrs_;
+    for (size_t i = 0; i < num_attrs_; ++i) {
+      if (std::abs(ours[i] - theirs[i]) > tolerance) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace avm

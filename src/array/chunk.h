@@ -1,0 +1,100 @@
+#ifndef AVM_ARRAY_CHUNK_H_
+#define AVM_ARRAY_CHUNK_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "array/coords.h"
+#include "common/status.h"
+
+namespace avm {
+
+/// Sparse storage for one chunk: the non-empty cells of one axis-aligned tile
+/// of the array. Cells are stored structure-of-rows — a flat coordinate
+/// buffer plus a flat attribute-value buffer — with a hash index from the
+/// in-chunk offset to the row, giving O(1) point lookup and append.
+///
+/// A Chunk is the unit of storage, transfer, and join computation, matching
+/// the paper's chunk-granularity processing model. `SizeBytes()` is the
+/// quantity `B_q` that the cost model charges for transfers and joins.
+class Chunk {
+ public:
+  /// Creates an empty chunk for cells of the given dimensionality and
+  /// attribute count.
+  Chunk(size_t num_dims, size_t num_attrs)
+      : num_dims_(num_dims), num_attrs_(num_attrs) {}
+
+  size_t num_dims() const { return num_dims_; }
+  size_t num_attrs() const { return num_attrs_; }
+  size_t num_cells() const { return index_.size(); }
+  bool empty() const { return index_.empty(); }
+
+  /// Inserts a cell or overwrites its attribute values if the offset is
+  /// already present. `offset` is the in-chunk row-major offset computed by
+  /// ChunkGrid::InChunkOffset; `coord` the full cell coordinate.
+  void UpsertCell(uint64_t offset, const CellCoord& coord,
+                  std::span<const double> values);
+
+  /// Adds `values` element-wise into the cell's attributes, inserting the
+  /// cell (initialized to zero) if absent. The merge primitive for
+  /// incrementally maintainable aggregates (COUNT/SUM).
+  void AccumulateCell(uint64_t offset, const CellCoord& coord,
+                      std::span<const double> values);
+
+  /// Removes the cell at `offset` if present; returns whether it existed.
+  bool EraseCell(uint64_t offset);
+
+  /// True if a cell exists at the in-chunk offset.
+  bool HasCell(uint64_t offset) const {
+    return index_.find(offset) != index_.end();
+  }
+
+  /// Attribute values of the cell at `offset`, or nullptr if absent. The
+  /// span is invalidated by any mutation.
+  const double* GetCell(uint64_t offset) const;
+  double* GetMutableCell(uint64_t offset);
+
+  /// Row accessors (rows are stable until an erase).
+  std::span<const int64_t> CoordOfRow(size_t row) const {
+    return {coords_.data() + row * num_dims_, num_dims_};
+  }
+  std::span<const double> ValuesOfRow(size_t row) const {
+    return {values_.data() + row * num_attrs_, num_attrs_};
+  }
+  uint64_t OffsetOfRow(size_t row) const { return offsets_[row]; }
+
+  /// Invokes fn(coord, values) for every cell. Iteration order is insertion
+  /// order (stable across runs for deterministic inputs).
+  void ForEachCell(
+      const std::function<void(std::span<const int64_t>,
+                               std::span<const double>)>& fn) const;
+
+  /// Estimated in-memory/wire footprint: 8 bytes per coordinate component and
+  /// per attribute value. This is the B_q fed to the cost model.
+  uint64_t SizeBytes() const {
+    return 8 * num_cells() * (num_dims_ + num_attrs_);
+  }
+
+  /// Merges every cell of `other` into this chunk with AccumulateCell
+  /// semantics. Dimensionality and attribute counts must match.
+  Status AccumulateChunk(const Chunk& other);
+
+  /// Exact content equality: same cell set with equal values (order
+  /// insensitive). Coordinates compared by offset.
+  bool ContentEquals(const Chunk& other, double tolerance = 0.0) const;
+
+ private:
+  size_t num_dims_;
+  size_t num_attrs_;
+  std::vector<uint64_t> offsets_;  // per-row in-chunk offset
+  std::vector<int64_t> coords_;    // row-major, num_cells x num_dims
+  std::vector<double> values_;     // row-major, num_cells x num_attrs
+  std::unordered_map<uint64_t, uint32_t> index_;  // offset -> row
+};
+
+}  // namespace avm
+
+#endif  // AVM_ARRAY_CHUNK_H_

@@ -1,0 +1,109 @@
+#include "array/chunk_grid.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace avm {
+
+ChunkGrid::ChunkGrid(const ArraySchema& schema) {
+  const auto& dims = schema.dims();
+  lo_.reserve(dims.size());
+  hi_.reserve(dims.size());
+  extent_.reserve(dims.size());
+  chunks_in_dim_.reserve(dims.size());
+  total_slots_ = 1;
+  for (const auto& d : dims) {
+    lo_.push_back(d.lo);
+    hi_.push_back(d.hi);
+    extent_.push_back(d.chunk_extent);
+    chunks_in_dim_.push_back(d.NumChunks());
+    total_slots_ *= d.NumChunks();
+  }
+}
+
+ChunkPos ChunkGrid::PosOfCell(const CellCoord& coord) const {
+  AVM_CHECK_EQ(coord.size(), lo_.size());
+  ChunkPos pos(coord.size());
+  for (size_t i = 0; i < coord.size(); ++i) {
+    AVM_CHECK(coord[i] >= lo_[i] && coord[i] <= hi_[i])
+        << "coordinate " << coord[i] << " outside dim range [" << lo_[i]
+        << ", " << hi_[i] << "]";
+    pos[i] = (coord[i] - lo_[i]) / extent_[i];
+  }
+  return pos;
+}
+
+ChunkId ChunkGrid::IdOfPos(const ChunkPos& pos) const {
+  AVM_CHECK_EQ(pos.size(), lo_.size());
+  ChunkId id = 0;
+  for (size_t i = 0; i < pos.size(); ++i) {
+    AVM_CHECK(pos[i] >= 0 && pos[i] < chunks_in_dim_[i]);
+    id = id * static_cast<uint64_t>(chunks_in_dim_[i]) +
+         static_cast<uint64_t>(pos[i]);
+  }
+  return id;
+}
+
+ChunkPos ChunkGrid::PosOfId(ChunkId id) const {
+  ChunkPos pos(lo_.size());
+  for (size_t i = lo_.size(); i-- > 0;) {
+    const uint64_t n = static_cast<uint64_t>(chunks_in_dim_[i]);
+    pos[i] = static_cast<int64_t>(id % n);
+    id /= n;
+  }
+  AVM_CHECK_EQ(id, 0u) << "chunk id out of range";
+  return pos;
+}
+
+Box ChunkGrid::ChunkBox(const ChunkPos& pos) const {
+  Box box;
+  box.lo.resize(pos.size());
+  box.hi.resize(pos.size());
+  for (size_t i = 0; i < pos.size(); ++i) {
+    box.lo[i] = lo_[i] + pos[i] * extent_[i];
+    box.hi[i] = std::min(hi_[i], box.lo[i] + extent_[i] - 1);
+  }
+  return box;
+}
+
+uint64_t ChunkGrid::InChunkOffset(const CellCoord& coord) const {
+  uint64_t off = 0;
+  for (size_t i = 0; i < coord.size(); ++i) {
+    const int64_t within = (coord[i] - lo_[i]) % extent_[i];
+    off = off * static_cast<uint64_t>(extent_[i]) +
+          static_cast<uint64_t>(within);
+  }
+  return off;
+}
+
+void ChunkGrid::ForEachChunkOverlapping(
+    const Box& box, const std::function<void(ChunkId)>& fn) const {
+  AVM_CHECK_EQ(box.lo.size(), lo_.size());
+  // Clip the box to the array ranges; empty intersection -> no chunks.
+  std::vector<int64_t> first(lo_.size());
+  std::vector<int64_t> last(lo_.size());
+  for (size_t i = 0; i < lo_.size(); ++i) {
+    const int64_t clo = std::max(box.lo[i], lo_[i]);
+    const int64_t chi = std::min(box.hi[i], hi_[i]);
+    if (clo > chi) return;
+    first[i] = (clo - lo_[i]) / extent_[i];
+    last[i] = (chi - lo_[i]) / extent_[i];
+  }
+  // Odometer enumeration of the chunk-position hyper-rectangle.
+  ChunkPos pos = first;
+  for (;;) {
+    fn(IdOfPos(pos));
+    size_t d = pos.size();
+    while (d-- > 0) {
+      if (pos[d] < last[d]) {
+        ++pos[d];
+        break;
+      }
+      pos[d] = first[d];
+      if (d == 0) return;
+    }
+  }
+}
+
+}  // namespace avm

@@ -1,0 +1,82 @@
+#ifndef AVM_ARRAY_CHUNK_GRID_H_
+#define AVM_ARRAY_CHUNK_GRID_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "array/coords.h"
+#include "array/schema.h"
+
+namespace avm {
+
+/// Regular-chunking geometry for an array schema: maps cells to chunks,
+/// linearizes chunk positions into dense ChunkIds (row-major over the chunk
+/// grid), and enumerates the chunks overlapping a coordinate box. All methods
+/// are pure metadata computations — no cell data is touched — which is what
+/// lets the maintenance planners run on the catalog alone (Section 4 of the
+/// paper).
+class ChunkGrid {
+ public:
+  ChunkGrid() = default;
+  explicit ChunkGrid(const ArraySchema& schema);
+
+  size_t num_dims() const { return lo_.size(); }
+
+  /// Total number of chunk slots on the grid (empty chunks included).
+  int64_t TotalChunkSlots() const { return total_slots_; }
+
+  /// Chunk position containing the cell `coord`. Requires the coordinate to
+  /// lie in the schema's ranges.
+  ChunkPos PosOfCell(const CellCoord& coord) const;
+
+  /// ChunkId of the chunk containing `coord`.
+  ChunkId IdOfCell(const CellCoord& coord) const {
+    return IdOfPos(PosOfCell(coord));
+  }
+
+  /// Row-major linearization of a chunk position.
+  ChunkId IdOfPos(const ChunkPos& pos) const;
+
+  /// Inverse of IdOfPos.
+  ChunkPos PosOfId(ChunkId id) const;
+
+  /// Inclusive cell-coordinate box covered by the chunk at `pos`, clipped to
+  /// the array's dimension ranges.
+  Box ChunkBox(const ChunkPos& pos) const;
+  Box ChunkBoxOfId(ChunkId id) const { return ChunkBox(PosOfId(id)); }
+
+  /// In-chunk row-major offset of `coord` within its chunk; the key used by
+  /// Chunk's cell index.
+  uint64_t InChunkOffset(const CellCoord& coord) const;
+
+  /// Invokes `fn` for every chunk position whose box intersects `box`
+  /// (clipped to the array's ranges). The workhorse of shape-based chunk-pair
+  /// enumeration.
+  void ForEachChunkOverlapping(const Box& box,
+                               const std::function<void(ChunkId)>& fn) const;
+
+  /// Number of chunks along dimension `d`.
+  int64_t ChunksInDim(size_t d) const { return chunks_in_dim_[d]; }
+
+  /// True when the two grids chunk the same coordinate space identically
+  /// (same ranges and extents) — the precondition for exact chunk-footprint
+  /// enumeration.
+  bool GeometryEquals(const ChunkGrid& other) const {
+    return lo_ == other.lo_ && hi_ == other.hi_ && extent_ == other.extent_;
+  }
+
+  /// Per-dimension chunk extents.
+  const std::vector<int64_t>& extents() const { return extent_; }
+
+ private:
+  std::vector<int64_t> lo_;            // per-dim range start
+  std::vector<int64_t> hi_;            // per-dim range end
+  std::vector<int64_t> extent_;        // per-dim chunk extent
+  std::vector<int64_t> chunks_in_dim_; // per-dim chunk count
+  int64_t total_slots_ = 0;
+};
+
+}  // namespace avm
+
+#endif  // AVM_ARRAY_CHUNK_GRID_H_

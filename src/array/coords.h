@@ -1,0 +1,67 @@
+#ifndef AVM_ARRAY_COORDS_H_
+#define AVM_ARRAY_COORDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace avm {
+
+/// A cell coordinate: one integer index per dimension, in schema order.
+using CellCoord = std::vector<int64_t>;
+
+/// A chunk position on the regular chunk grid: one chunk index per dimension.
+using ChunkPos = std::vector<int64_t>;
+
+/// Dense linearization of a ChunkPos; the unit of catalog metadata, plan
+/// triples, and chunk-store keys.
+using ChunkId = uint64_t;
+
+/// Hash functor for coordinate vectors, suitable for unordered containers.
+struct CoordHash {
+  size_t operator()(const std::vector<int64_t>& v) const {
+    return static_cast<size_t>(HashInts(v));
+  }
+};
+
+/// Axis-aligned inclusive box [lo, hi] in cell-coordinate space. Used for
+/// chunk extents and shape bounding boxes.
+struct Box {
+  CellCoord lo;
+  CellCoord hi;
+
+  size_t num_dims() const { return lo.size(); }
+
+  /// True if `c` lies inside the box (same dimensionality assumed).
+  bool Contains(const CellCoord& c) const {
+    for (size_t i = 0; i < lo.size(); ++i) {
+      if (c[i] < lo[i] || c[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  /// True if the two boxes overlap in every dimension.
+  bool Intersects(const Box& other) const {
+    for (size_t i = 0; i < lo.size(); ++i) {
+      if (hi[i] < other.lo[i] || other.hi[i] < lo[i]) return false;
+    }
+    return true;
+  }
+
+  /// Number of cells covered (product of per-dim extents); saturating is not
+  /// needed at the scales we target.
+  int64_t NumCells() const {
+    int64_t n = 1;
+    for (size_t i = 0; i < lo.size(); ++i) n *= (hi[i] - lo[i] + 1);
+    return n;
+  }
+
+  bool operator==(const Box& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+};
+
+}  // namespace avm
+
+#endif  // AVM_ARRAY_COORDS_H_

@@ -1,0 +1,107 @@
+#include "array/schema.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace avm {
+
+Result<ArraySchema> ArraySchema::Create(std::string name,
+                                        std::vector<DimensionSpec> dims,
+                                        std::vector<Attribute> attrs) {
+  if (dims.empty()) {
+    return Status::InvalidArgument("array '" + name +
+                                   "' must have at least one dimension");
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& d : dims) {
+    if (d.name.empty()) {
+      return Status::InvalidArgument("dimension with empty name");
+    }
+    if (!seen.insert(d.name).second) {
+      return Status::InvalidArgument("duplicate dimension name '" + d.name +
+                                     "'");
+    }
+    if (d.lo > d.hi) {
+      return Status::InvalidArgument("dimension '" + d.name +
+                                     "' has lo > hi");
+    }
+    if (d.chunk_extent <= 0) {
+      return Status::InvalidArgument("dimension '" + d.name +
+                                     "' has non-positive chunk extent");
+    }
+  }
+  for (const auto& a : attrs) {
+    if (a.name.empty()) {
+      return Status::InvalidArgument("attribute with empty name");
+    }
+    if (!seen.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute name '" + a.name +
+                                     "'");
+    }
+  }
+  return ArraySchema(std::move(name), std::move(dims), std::move(attrs));
+}
+
+Result<size_t> ArraySchema::AttributeIndex(const std::string& name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == name) return i;
+  }
+  return Status::NotFound("attribute '" + name + "' not in schema of '" +
+                          name_ + "'");
+}
+
+Result<size_t> ArraySchema::DimensionIndex(const std::string& name) const {
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i].name == name) return i;
+  }
+  return Status::NotFound("dimension '" + name + "' not in schema of '" +
+                          name_ + "'");
+}
+
+bool ArraySchema::ContainsCoord(const std::vector<int64_t>& coord) const {
+  if (coord.size() != dims_.size()) return false;
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (coord[i] < dims_[i].lo || coord[i] > dims_[i].hi) return false;
+  }
+  return true;
+}
+
+std::string ArraySchema::ToString() const {
+  std::ostringstream out;
+  out << name_ << "<";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << attrs_[i].name << ":"
+        << (attrs_[i].type == AttributeType::kInt64 ? "int64" : "double");
+  }
+  out << ">[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out << ";";
+    out << dims_[i].name << "=" << dims_[i].lo << "," << dims_[i].hi << ","
+        << dims_[i].chunk_extent;
+  }
+  out << "]";
+  return out.str();
+}
+
+bool ArraySchema::StructurallyEquals(const ArraySchema& other) const {
+  if (dims_.size() != other.dims_.size()) return false;
+  if (attrs_.size() != other.attrs_.size()) return false;
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    const auto& a = dims_[i];
+    const auto& b = other.dims_[i];
+    if (a.name != b.name || a.lo != b.lo || a.hi != b.hi ||
+        a.chunk_extent != b.chunk_extent) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name != other.attrs_[i].name ||
+        attrs_[i].type != other.attrs_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace avm

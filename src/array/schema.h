@@ -1,0 +1,92 @@
+#ifndef AVM_ARRAY_SCHEMA_H_
+#define AVM_ARRAY_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace avm {
+
+/// Declared type of an array attribute. Attribute values are stored as
+/// doubles internally (sufficient for the statistics the paper computes);
+/// the declared type controls formatting and validation only.
+enum class AttributeType { kInt64, kDouble };
+
+/// One named attribute of an array cell, e.g. <bright:double>.
+struct Attribute {
+  std::string name;
+  AttributeType type = AttributeType::kDouble;
+};
+
+/// One dimension of an array in the paper's AQL notation
+/// `[name = lo, hi, chunk_extent]`: a finite ordered integer range
+/// partitioned into regular chunks of `chunk_extent` indices each.
+struct DimensionSpec {
+  std::string name;
+  int64_t lo = 1;
+  int64_t hi = 1;
+  int64_t chunk_extent = 1;
+
+  /// Number of valid indices (hi - lo + 1).
+  int64_t Extent() const { return hi - lo + 1; }
+  /// Number of chunks along this dimension.
+  int64_t NumChunks() const {
+    return (Extent() + chunk_extent - 1) / chunk_extent;
+  }
+};
+
+/// Schema of a multi-dimensional array: an ordered list of dimensions and a
+/// list of attributes, as in
+/// `A<r:int,s:int>[i=1,6,2; j=1,8,2]` (Figure 1 of the paper).
+class ArraySchema {
+ public:
+  ArraySchema() = default;
+  ArraySchema(std::string name, std::vector<DimensionSpec> dims,
+              std::vector<Attribute> attrs)
+      : name_(std::move(name)),
+        dims_(std::move(dims)),
+        attrs_(std::move(attrs)) {}
+
+  /// Validates and constructs a schema: at least one dimension, positive
+  /// chunk extents, lo <= hi, unique non-empty names.
+  static Result<ArraySchema> Create(std::string name,
+                                    std::vector<DimensionSpec> dims,
+                                    std::vector<Attribute> attrs);
+
+  const std::string& name() const { return name_; }
+  const std::vector<DimensionSpec>& dims() const { return dims_; }
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+  size_t num_dims() const { return dims_.size(); }
+  size_t num_attrs() const { return attrs_.size(); }
+
+  /// Index of the attribute named `name`, or NotFound.
+  Result<size_t> AttributeIndex(const std::string& name) const;
+  /// Index of the dimension named `name`, or NotFound.
+  Result<size_t> DimensionIndex(const std::string& name) const;
+
+  /// Bytes occupied by one materialized cell: coordinates + attribute values,
+  /// 8 bytes each. This feeds the cost model's chunk sizes B_q.
+  size_t CellBytes() const { return 8 * (num_dims() + num_attrs()); }
+
+  /// True if the coordinate lies inside every dimension range.
+  bool ContainsCoord(const std::vector<int64_t>& coord) const;
+
+  /// AQL-style rendering, e.g. "A<r:double>[i=1,6,2;j=1,8,2]".
+  std::string ToString() const;
+
+  /// Schemas are equal when dimensions and attributes match structurally
+  /// (names, ranges, chunking); the array name is ignored.
+  bool StructurallyEquals(const ArraySchema& other) const;
+
+ private:
+  std::string name_;
+  std::vector<DimensionSpec> dims_;
+  std::vector<Attribute> attrs_;
+};
+
+}  // namespace avm
+
+#endif  // AVM_ARRAY_SCHEMA_H_

@@ -1,0 +1,168 @@
+#include "array/serialization.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace avm {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'V', 'M', 'A', 'R', 'R', '0', '1'};
+
+void WriteU64(std::ostream& out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.write(buf, 8);
+}
+
+void WriteI64(std::ostream& out, int64_t v) {
+  WriteU64(out, static_cast<uint64_t>(v));
+}
+
+void WriteDouble(std::ostream& out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  WriteU64(out, bits);
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+Result<uint64_t> ReadU64(std::istream& in) {
+  char buf[8];
+  in.read(buf, 8);
+  if (in.gcount() != 8) return Status::Internal("truncated array file");
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(buf[i]);
+  }
+  return v;
+}
+
+Result<int64_t> ReadI64(std::istream& in) {
+  AVM_ASSIGN_OR_RETURN(uint64_t v, ReadU64(in));
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ReadDouble(std::istream& in) {
+  AVM_ASSIGN_OR_RETURN(uint64_t bits, ReadU64(in));
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+Result<std::string> ReadString(std::istream& in) {
+  AVM_ASSIGN_OR_RETURN(uint64_t size, ReadU64(in));
+  if (size > (1ull << 20)) {
+    return Status::InvalidArgument("implausible string length in array file");
+  }
+  std::string s(size, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(size));
+  if (static_cast<uint64_t>(in.gcount()) != size) {
+    return Status::Internal("truncated array file");
+  }
+  return s;
+}
+
+}  // namespace
+
+Status SaveArray(const SparseArray& array, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  const ArraySchema& schema = array.schema();
+  WriteString(out, schema.name());
+  WriteU64(out, schema.num_dims());
+  for (const auto& dim : schema.dims()) {
+    WriteString(out, dim.name);
+    WriteI64(out, dim.lo);
+    WriteI64(out, dim.hi);
+    WriteI64(out, dim.chunk_extent);
+  }
+  WriteU64(out, schema.num_attrs());
+  for (const auto& attr : schema.attrs()) {
+    WriteString(out, attr.name);
+    WriteU64(out, attr.type == AttributeType::kInt64 ? 1 : 0);
+  }
+  WriteU64(out, array.NumCells());
+  array.ForEachCell(
+      [&](std::span<const int64_t> coord, std::span<const double> values) {
+        for (int64_t c : coord) WriteI64(out, c);
+        for (double v : values) WriteDouble(out, v);
+      });
+  if (!out.good()) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+Result<SparseArray> LoadArray(std::istream& in) {
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(kMagic));
+  if (in.gcount() != sizeof(kMagic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an avm array file (bad magic)");
+  }
+  AVM_ASSIGN_OR_RETURN(std::string name, ReadString(in));
+  AVM_ASSIGN_OR_RETURN(uint64_t num_dims, ReadU64(in));
+  if (num_dims == 0 || num_dims > 64) {
+    return Status::InvalidArgument("implausible dimensionality");
+  }
+  std::vector<DimensionSpec> dims;
+  for (uint64_t d = 0; d < num_dims; ++d) {
+    DimensionSpec dim;
+    AVM_ASSIGN_OR_RETURN(dim.name, ReadString(in));
+    AVM_ASSIGN_OR_RETURN(dim.lo, ReadI64(in));
+    AVM_ASSIGN_OR_RETURN(dim.hi, ReadI64(in));
+    AVM_ASSIGN_OR_RETURN(dim.chunk_extent, ReadI64(in));
+    dims.push_back(std::move(dim));
+  }
+  AVM_ASSIGN_OR_RETURN(uint64_t num_attrs, ReadU64(in));
+  if (num_attrs > 4096) {
+    return Status::InvalidArgument("implausible attribute count");
+  }
+  std::vector<Attribute> attrs;
+  for (uint64_t a = 0; a < num_attrs; ++a) {
+    Attribute attr;
+    AVM_ASSIGN_OR_RETURN(attr.name, ReadString(in));
+    AVM_ASSIGN_OR_RETURN(uint64_t type, ReadU64(in));
+    attr.type = type == 1 ? AttributeType::kInt64 : AttributeType::kDouble;
+    attrs.push_back(std::move(attr));
+  }
+  AVM_ASSIGN_OR_RETURN(
+      ArraySchema schema,
+      ArraySchema::Create(std::move(name), std::move(dims),
+                          std::move(attrs)));
+  SparseArray array(std::move(schema));
+  AVM_ASSIGN_OR_RETURN(uint64_t num_cells, ReadU64(in));
+  CellCoord coord(num_dims);
+  std::vector<double> values(num_attrs);
+  for (uint64_t i = 0; i < num_cells; ++i) {
+    for (uint64_t d = 0; d < num_dims; ++d) {
+      AVM_ASSIGN_OR_RETURN(coord[d], ReadI64(in));
+    }
+    for (uint64_t a = 0; a < num_attrs; ++a) {
+      AVM_ASSIGN_OR_RETURN(values[a], ReadDouble(in));
+    }
+    AVM_RETURN_IF_ERROR(array.Set(coord, values));
+  }
+  return array;
+}
+
+Status SaveArrayToFile(const SparseArray& array, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  return SaveArray(array, out);
+}
+
+Result<SparseArray> LoadArrayFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  return LoadArray(in);
+}
+
+}  // namespace avm

@@ -1,0 +1,35 @@
+#ifndef AVM_ARRAY_SERIALIZATION_H_
+#define AVM_ARRAY_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "array/sparse_array.h"
+#include "common/result.h"
+
+namespace avm {
+
+/// Binary persistence for sparse arrays: schema (dimensions with ranges and
+/// chunk extents, attributes with types) followed by the non-empty chunks'
+/// cells. The format is versioned and self-describing, so a saved catalog
+/// or view can be reloaded without external metadata. Integers are written
+/// little-endian, fixed-width; doubles as their IEEE-754 bits.
+///
+/// This is single-array, single-file persistence for checkpointing and data
+/// exchange — distributed on-disk chunk storage is out of scope (the
+/// simulated cluster keeps chunks in memory).
+
+/// Writes `array` to the stream. The stream must be binary.
+Status SaveArray(const SparseArray& array, std::ostream& out);
+
+/// Reads an array previously written by SaveArray. Fails with
+/// InvalidArgument on a bad magic/version and with Internal on truncation.
+Result<SparseArray> LoadArray(std::istream& in);
+
+/// File-path convenience wrappers.
+Status SaveArrayToFile(const SparseArray& array, const std::string& path);
+Result<SparseArray> LoadArrayFromFile(const std::string& path);
+
+}  // namespace avm
+
+#endif  // AVM_ARRAY_SERIALIZATION_H_

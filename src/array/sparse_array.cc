@@ -1,0 +1,138 @@
+#include "array/sparse_array.h"
+
+#include "common/string_util.h"
+
+namespace avm {
+
+Status SparseArray::Set(const CellCoord& coord,
+                        std::span<const double> values) {
+  if (!schema_.ContainsCoord(coord)) {
+    return Status::OutOfRange("coordinate " + VecToString(coord) +
+                              " outside array " + schema_.name());
+  }
+  if (values.size() != schema_.num_attrs()) {
+    return Status::InvalidArgument("expected " +
+                                   std::to_string(schema_.num_attrs()) +
+                                   " attribute values");
+  }
+  Chunk& chunk = GetOrCreateChunk(grid_.IdOfCell(coord));
+  chunk.UpsertCell(grid_.InChunkOffset(coord), coord, values);
+  return Status::OK();
+}
+
+Status SparseArray::Accumulate(const CellCoord& coord,
+                               std::span<const double> values) {
+  if (!schema_.ContainsCoord(coord)) {
+    return Status::OutOfRange("coordinate " + VecToString(coord) +
+                              " outside array " + schema_.name());
+  }
+  if (values.size() != schema_.num_attrs()) {
+    return Status::InvalidArgument("expected " +
+                                   std::to_string(schema_.num_attrs()) +
+                                   " attribute values");
+  }
+  Chunk& chunk = GetOrCreateChunk(grid_.IdOfCell(coord));
+  chunk.AccumulateCell(grid_.InChunkOffset(coord), coord, values);
+  return Status::OK();
+}
+
+bool SparseArray::Erase(const CellCoord& coord) {
+  if (!schema_.ContainsCoord(coord)) return false;
+  auto it = chunks_.find(grid_.IdOfCell(coord));
+  if (it == chunks_.end()) return false;
+  const bool erased = it->second.EraseCell(grid_.InChunkOffset(coord));
+  if (erased && it->second.empty()) chunks_.erase(it);
+  return erased;
+}
+
+Result<const double*> SparseArray::Get(const CellCoord& coord) const {
+  if (!schema_.ContainsCoord(coord)) {
+    return Status::OutOfRange("coordinate " + VecToString(coord) +
+                              " outside array " + schema_.name());
+  }
+  const Chunk* chunk = GetChunk(grid_.IdOfCell(coord));
+  if (chunk == nullptr) {
+    return Status::NotFound("empty cell at " + VecToString(coord));
+  }
+  const double* values = chunk->GetCell(grid_.InChunkOffset(coord));
+  if (values == nullptr) {
+    return Status::NotFound("empty cell at " + VecToString(coord));
+  }
+  return values;
+}
+
+bool SparseArray::Has(const CellCoord& coord) const {
+  if (!schema_.ContainsCoord(coord)) return false;
+  const Chunk* chunk = GetChunk(grid_.IdOfCell(coord));
+  return chunk != nullptr && chunk->HasCell(grid_.InChunkOffset(coord));
+}
+
+uint64_t SparseArray::NumCells() const {
+  uint64_t n = 0;
+  for (const auto& [id, chunk] : chunks_) n += chunk.num_cells();
+  return n;
+}
+
+uint64_t SparseArray::SizeBytes() const {
+  uint64_t n = 0;
+  for (const auto& [id, chunk] : chunks_) n += chunk.SizeBytes();
+  return n;
+}
+
+const Chunk* SparseArray::GetChunk(ChunkId id) const {
+  auto it = chunks_.find(id);
+  return it == chunks_.end() ? nullptr : &it->second;
+}
+
+Chunk* SparseArray::GetMutableChunk(ChunkId id) {
+  auto it = chunks_.find(id);
+  return it == chunks_.end() ? nullptr : &it->second;
+}
+
+Chunk& SparseArray::GetOrCreateChunk(ChunkId id) {
+  auto it = chunks_.find(id);
+  if (it == chunks_.end()) {
+    it = chunks_
+             .emplace(id, Chunk(schema_.num_dims(), schema_.num_attrs()))
+             .first;
+  }
+  return it->second;
+}
+
+std::vector<ChunkId> SparseArray::ChunkIds() const {
+  std::vector<ChunkId> ids;
+  ids.reserve(chunks_.size());
+  for (const auto& [id, chunk] : chunks_) ids.push_back(id);
+  return ids;
+}
+
+void SparseArray::ForEachChunk(
+    const std::function<void(ChunkId, const Chunk&)>& fn) const {
+  for (const auto& [id, chunk] : chunks_) fn(id, chunk);
+}
+
+void SparseArray::ForEachCell(
+    const std::function<void(std::span<const int64_t>,
+                             std::span<const double>)>& fn) const {
+  for (const auto& [id, chunk] : chunks_) chunk.ForEachCell(fn);
+}
+
+SparseArray SparseArray::Clone() const {
+  SparseArray copy(schema_);
+  copy.chunks_ = chunks_;
+  return copy;
+}
+
+bool SparseArray::ContentEquals(const SparseArray& other,
+                                double tolerance) const {
+  if (chunks_.size() != other.chunks_.size()) return false;
+  for (const auto& [id, chunk] : chunks_) {
+    const Chunk* theirs = other.GetChunk(id);
+    if (theirs == nullptr || !chunk.ContentEquals(*theirs, tolerance)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace avm

@@ -1,0 +1,97 @@
+#ifndef AVM_ARRAY_SPARSE_ARRAY_H_
+#define AVM_ARRAY_SPARSE_ARRAY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "array/chunk.h"
+#include "array/chunk_grid.h"
+#include "array/coords.h"
+#include "array/schema.h"
+#include "common/result.h"
+
+namespace avm {
+
+/// A single-node sparse multi-dimensional array: a schema, its regular chunk
+/// grid, and the set of non-empty chunks. This is the local building block;
+/// the distributed form (chunks spread across cluster nodes) lives in
+/// storage/distributed_array.h.
+///
+/// Chunks are keyed by ChunkId in an ordered map so that iteration order is
+/// deterministic (row-major over the chunk grid).
+class SparseArray {
+ public:
+  explicit SparseArray(ArraySchema schema)
+      : schema_(std::move(schema)), grid_(schema_) {}
+
+  SparseArray(const SparseArray&) = delete;
+  SparseArray& operator=(const SparseArray&) = delete;
+  SparseArray(SparseArray&&) = default;
+  SparseArray& operator=(SparseArray&&) = default;
+
+  const ArraySchema& schema() const { return schema_; }
+  const ChunkGrid& grid() const { return grid_; }
+
+  /// Inserts or overwrites the cell at `coord`. Fails with OutOfRange if the
+  /// coordinate is outside the dimension ranges or has wrong arity.
+  Status Set(const CellCoord& coord, std::span<const double> values);
+
+  /// Adds values element-wise into the cell (creating it zero-initialized
+  /// first if absent).
+  Status Accumulate(const CellCoord& coord, std::span<const double> values);
+
+  /// Removes the cell; true if it existed.
+  bool Erase(const CellCoord& coord);
+
+  /// Attribute values at `coord`, or NotFound. The pointer is invalidated by
+  /// mutation.
+  Result<const double*> Get(const CellCoord& coord) const;
+
+  bool Has(const CellCoord& coord) const;
+
+  /// Total non-empty cells across all chunks.
+  uint64_t NumCells() const;
+
+  /// Number of non-empty chunks.
+  size_t NumChunks() const { return chunks_.size(); }
+
+  /// Total footprint in bytes (sum of chunk sizes).
+  uint64_t SizeBytes() const;
+
+  /// The chunk at `id`, or nullptr if empty/absent.
+  const Chunk* GetChunk(ChunkId id) const;
+  Chunk* GetMutableChunk(ChunkId id);
+
+  /// Returns the chunk at `id`, creating it empty if absent.
+  Chunk& GetOrCreateChunk(ChunkId id);
+
+  /// Ids of all non-empty chunks, ascending.
+  std::vector<ChunkId> ChunkIds() const;
+
+  /// Invokes fn(id, chunk) for every non-empty chunk, ascending by id.
+  void ForEachChunk(
+      const std::function<void(ChunkId, const Chunk&)>& fn) const;
+
+  /// Invokes fn(coord, values) for every cell, chunk-by-chunk.
+  void ForEachCell(
+      const std::function<void(std::span<const int64_t>,
+                               std::span<const double>)>& fn) const;
+
+  /// Deep copy (schemas are value types; chunk data is duplicated).
+  SparseArray Clone() const;
+
+  /// Exact content equality with optional per-value tolerance.
+  bool ContentEquals(const SparseArray& other, double tolerance = 0.0) const;
+
+ private:
+  ArraySchema schema_;
+  ChunkGrid grid_;
+  std::map<ChunkId, Chunk> chunks_;
+};
+
+}  // namespace avm
+
+#endif  // AVM_ARRAY_SPARSE_ARRAY_H_

@@ -1,0 +1,116 @@
+#include "cluster/catalog.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace avm {
+
+Result<ArrayId> Catalog::RegisterArray(
+    ArraySchema schema, std::unique_ptr<ChunkPlacement> placement) {
+  if (placement == nullptr) {
+    return Status::InvalidArgument("null placement strategy");
+  }
+  if (by_name_.count(schema.name()) > 0) {
+    return Status::AlreadyExists("array '" + schema.name() +
+                                 "' already registered");
+  }
+  auto entry = std::make_unique<ArrayEntry>();
+  entry->id = static_cast<ArrayId>(entries_.size());
+  entry->grid = ChunkGrid(schema);
+  entry->schema = std::move(schema);
+  entry->placement = std::move(placement);
+  const ArrayId id = entry->id;
+  by_name_.emplace(entry->schema.name(), id);
+  entries_.push_back(std::move(entry));
+  return id;
+}
+
+bool Catalog::UnregisterArray(ArrayId id) {
+  if (id >= entries_.size() || entries_[id] == nullptr) return false;
+  by_name_.erase(entries_[id]->schema.name());
+  entries_[id] = nullptr;
+  return true;
+}
+
+Result<ArrayId> Catalog::ArrayIdByName(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("array '" + name + "' not registered");
+  }
+  return it->second;
+}
+
+const Catalog::ArrayEntry& Catalog::GetEntry(ArrayId id) const {
+  AVM_CHECK_LT(id, entries_.size());
+  AVM_CHECK(entries_[id] != nullptr) << "array id " << id << " unregistered";
+  return *entries_[id];
+}
+
+Catalog::ArrayEntry& Catalog::GetMutableEntry(ArrayId id) {
+  AVM_CHECK_LT(id, entries_.size());
+  AVM_CHECK(entries_[id] != nullptr) << "array id " << id << " unregistered";
+  return *entries_[id];
+}
+
+Result<NodeId> Catalog::NodeOf(ArrayId array, ChunkId chunk) const {
+  const ArrayEntry& entry = GetEntry(array);
+  auto it = entry.chunk_node.find(chunk);
+  if (it == entry.chunk_node.end()) {
+    return Status::NotFound("chunk " + std::to_string(chunk) +
+                            " of array '" + entry.schema.name() +
+                            "' has no assignment");
+  }
+  return it->second;
+}
+
+bool Catalog::HasChunk(ArrayId array, ChunkId chunk) const {
+  const ArrayEntry& entry = GetEntry(array);
+  return entry.chunk_node.find(chunk) != entry.chunk_node.end();
+}
+
+uint64_t Catalog::ChunkBytes(ArrayId array, ChunkId chunk) const {
+  const ArrayEntry& entry = GetEntry(array);
+  auto it = entry.chunk_bytes.find(chunk);
+  return it == entry.chunk_bytes.end() ? 0 : it->second;
+}
+
+void Catalog::AssignChunk(ArrayId array, ChunkId chunk, NodeId node) {
+  GetMutableEntry(array).chunk_node[chunk] = node;
+}
+
+void Catalog::SetChunkBytes(ArrayId array, ChunkId chunk, uint64_t bytes) {
+  GetMutableEntry(array).chunk_bytes[chunk] = bytes;
+}
+
+bool Catalog::RemoveChunk(ArrayId array, ChunkId chunk) {
+  ArrayEntry& entry = GetMutableEntry(array);
+  entry.chunk_bytes.erase(chunk);
+  return entry.chunk_node.erase(chunk) > 0;
+}
+
+NodeId Catalog::PlaceByStrategy(ArrayId array, ChunkId chunk,
+                                int num_nodes) const {
+  const ArrayEntry& entry = GetEntry(array);
+  return entry.placement->PlaceChunk(chunk, entry.grid, num_nodes);
+}
+
+std::vector<ChunkId> Catalog::ChunkIdsOf(ArrayId array) const {
+  const ArrayEntry& entry = GetEntry(array);
+  std::vector<ChunkId> ids;
+  ids.reserve(entry.chunk_node.size());
+  for (const auto& [id, node] : entry.chunk_node) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+size_t Catalog::NumChunksOnNode(ArrayId array, NodeId node) const {
+  const ArrayEntry& entry = GetEntry(array);
+  size_t n = 0;
+  for (const auto& [id, assigned] : entry.chunk_node) {
+    if (assigned == node) ++n;
+  }
+  return n;
+}
+
+}  // namespace avm

@@ -1,0 +1,97 @@
+#ifndef AVM_CLUSTER_CATALOG_H_
+#define AVM_CLUSTER_CATALOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "array/chunk_grid.h"
+#include "array/coords.h"
+#include "array/schema.h"
+#include "cluster/placement.h"
+#include "common/result.h"
+#include "storage/chunk_store.h"
+
+namespace avm {
+
+/// The centralized system catalog managed by the coordinator: array schemas,
+/// their chunk grids, each array's chunk-to-node assignment, and per-chunk
+/// sizes. Everything the maintenance planners consume is metadata read from
+/// here — planning never touches cell data, matching the paper's
+/// "preprocessing step over the metadata".
+class Catalog {
+ public:
+  /// Metadata of one registered array.
+  struct ArrayEntry {
+    ArrayId id = 0;
+    ArraySchema schema;
+    ChunkGrid grid;
+    std::unique_ptr<ChunkPlacement> placement;
+    /// Primary location of every non-empty chunk.
+    std::unordered_map<ChunkId, NodeId> chunk_node;
+    /// Size in bytes of every non-empty chunk (the cost model's B_q).
+    std::unordered_map<ChunkId, uint64_t> chunk_bytes;
+  };
+
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers an array with its static placement strategy for new chunks.
+  /// Fails if the name is taken.
+  Result<ArrayId> RegisterArray(ArraySchema schema,
+                                std::unique_ptr<ChunkPlacement> placement);
+
+  /// Drops an array's metadata; true if it existed.
+  bool UnregisterArray(ArrayId id);
+
+  size_t NumArrays() const { return entries_.size(); }
+
+  Result<ArrayId> ArrayIdByName(const std::string& name) const;
+
+  /// Entry accessors; the id must be registered (checked).
+  const ArrayEntry& GetEntry(ArrayId id) const;
+  ArrayEntry& GetMutableEntry(ArrayId id);
+
+  const ArraySchema& SchemaOf(ArrayId id) const { return GetEntry(id).schema; }
+  const ChunkGrid& GridOf(ArrayId id) const { return GetEntry(id).grid; }
+
+  /// Primary node of a chunk, or NotFound if the chunk is empty/unknown.
+  Result<NodeId> NodeOf(ArrayId array, ChunkId chunk) const;
+
+  /// True if the chunk is registered (non-empty).
+  bool HasChunk(ArrayId array, ChunkId chunk) const;
+
+  /// Registered size of the chunk in bytes; 0 if unknown.
+  uint64_t ChunkBytes(ArrayId array, ChunkId chunk) const;
+
+  /// Sets/updates the primary node of a chunk.
+  void AssignChunk(ArrayId array, ChunkId chunk, NodeId node);
+
+  /// Sets/updates the registered size of a chunk.
+  void SetChunkBytes(ArrayId array, ChunkId chunk, uint64_t bytes);
+
+  /// Drops a chunk's assignment and size metadata (the chunk became empty,
+  /// e.g. after a deletion batch); true if it was registered.
+  bool RemoveChunk(ArrayId array, ChunkId chunk);
+
+  /// Applies the array's static placement strategy to a chunk (does not
+  /// record the assignment; callers decide when to commit it).
+  NodeId PlaceByStrategy(ArrayId array, ChunkId chunk, int num_nodes) const;
+
+  /// All registered chunk ids of an array, ascending (deterministic).
+  std::vector<ChunkId> ChunkIdsOf(ArrayId array) const;
+
+  /// Number of chunks of `array` whose primary lives on `node`.
+  size_t NumChunksOnNode(ArrayId array, NodeId node) const;
+
+ private:
+  std::vector<std::unique_ptr<ArrayEntry>> entries_;
+  std::unordered_map<std::string, ArrayId> by_name_;
+};
+
+}  // namespace avm
+
+#endif  // AVM_CLUSTER_CATALOG_H_

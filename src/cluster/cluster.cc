@@ -1,0 +1,114 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace avm {
+
+Cluster::Cluster(int num_workers, CostModel cost_model)
+    : cost_model_(cost_model) {
+  AVM_CHECK_GE(num_workers, 1);
+  workers_ = std::vector<Node>(static_cast<size_t>(num_workers));
+}
+
+ChunkStore& Cluster::store(NodeId node) {
+  if (node == kCoordinatorNode) return coordinator_.store;
+  AVM_CHECK(node >= 0 && node < num_workers()) << "bad node id " << node;
+  return workers_[static_cast<size_t>(node)].store;
+}
+
+const ChunkStore& Cluster::store(NodeId node) const {
+  return const_cast<Cluster*>(this)->store(node);
+}
+
+NodeClock& Cluster::clock(NodeId node) {
+  if (node == kCoordinatorNode) return coordinator_.clock;
+  AVM_CHECK(node >= 0 && node < num_workers()) << "bad node id " << node;
+  return workers_[static_cast<size_t>(node)].clock;
+}
+
+const NodeClock& Cluster::clock(NodeId node) const {
+  return const_cast<Cluster*>(this)->clock(node);
+}
+
+Status Cluster::TransferChunk(ArrayId array, ChunkId chunk, NodeId from,
+                              NodeId to) {
+  if (from == to) return Status::OK();
+  const Chunk* src = store(from).Get(array, chunk);
+  if (src == nullptr) {
+    return Status::NotFound("transfer source node " + std::to_string(from) +
+                            " does not hold chunk " + std::to_string(chunk) +
+                            " of array " + std::to_string(array));
+  }
+  Chunk copy = *src;
+  const uint64_t bytes = copy.SizeBytes();
+  store(to).Put(array, chunk, std::move(copy));
+  clock(from).ntwk_seconds += cost_model_.TransferSeconds(bytes);
+  return Status::OK();
+}
+
+void Cluster::ChargeJoin(NodeId node, uint64_t bytes) {
+  AVM_CHECK_NE(node, kCoordinatorNode)
+      << "the coordinator does not participate in join computation";
+  clock(node).cpu_seconds += cost_model_.JoinSeconds(bytes);
+}
+
+void Cluster::ChargeNetwork(NodeId node, uint64_t bytes) {
+  clock(node).ntwk_seconds += cost_model_.TransferSeconds(bytes);
+}
+
+double Cluster::MakespanSeconds() const {
+  // The paper's maintenance time is measured across the worker servers; the
+  // coordinator streams delta chunks outside the critical path (its clock
+  // remains inspectable via clock(kCoordinatorNode)).
+  double makespan = 0.0;
+  for (const auto& w : workers_) {
+    makespan = std::max(makespan, w.clock.BusySeconds());
+  }
+  return makespan;
+}
+
+double Cluster::LoadImbalance() const {
+  double total = 0.0;
+  double peak = 0.0;
+  for (const auto& w : workers_) {
+    const double busy = w.clock.BusySeconds();
+    total += busy;
+    peak = std::max(peak, busy);
+  }
+  if (total <= 0.0) return 1.0;
+  const double mean = total / static_cast<double>(workers_.size());
+  return peak / mean;
+}
+
+void Cluster::ResetClocks() {
+  coordinator_.clock.Reset();
+  for (auto& w : workers_) w.clock.Reset();
+}
+
+ClusterClockSnapshot ClusterClockSnapshot::Take(const Cluster& cluster) {
+  ClusterClockSnapshot snap;
+  snap.workers.reserve(static_cast<size_t>(cluster.num_workers()));
+  for (NodeId n = 0; n < cluster.num_workers(); ++n) {
+    snap.workers.push_back(cluster.clock(n));
+  }
+  snap.coordinator = cluster.clock(kCoordinatorNode);
+  return snap;
+}
+
+double ClusterClockSnapshot::MakespanSince(const Cluster& cluster) const {
+  auto busy_delta = [](const NodeClock& now, const NodeClock& then) {
+    return std::max(now.ntwk_seconds - then.ntwk_seconds,
+                    now.cpu_seconds - then.cpu_seconds);
+  };
+  double makespan = 0.0;
+  for (NodeId n = 0; n < cluster.num_workers(); ++n) {
+    makespan = std::max(
+        makespan,
+        busy_delta(cluster.clock(n), workers[static_cast<size_t>(n)]));
+  }
+  return makespan;
+}
+
+}  // namespace avm

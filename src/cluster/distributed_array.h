@@ -1,0 +1,83 @@
+#ifndef AVM_CLUSTER_DISTRIBUTED_ARRAY_H_
+#define AVM_CLUSTER_DISTRIBUTED_ARRAY_H_
+
+#include <memory>
+
+#include "array/sparse_array.h"
+#include "cluster/catalog.h"
+#include "cluster/cluster.h"
+#include "common/result.h"
+
+namespace avm {
+
+/// A chunked array whose chunks are spread across the cluster's workers: the
+/// pairing of catalog metadata (schema, grid, chunk->node map, chunk sizes)
+/// with the physical chunks in the node stores. Both base arrays and
+/// materialized views are DistributedArrays.
+///
+/// The handle does not own the data; it borrows the catalog and cluster,
+/// which must outlive it.
+class DistributedArray {
+ public:
+  /// Registers `schema` in the catalog with the given placement strategy for
+  /// new chunks and returns a handle. Fails if the name is taken.
+  static Result<DistributedArray> Create(
+      ArraySchema schema, std::unique_ptr<ChunkPlacement> placement,
+      Catalog* catalog, Cluster* cluster);
+
+  /// Rebinds a handle to an already registered array.
+  static Result<DistributedArray> Open(const std::string& name,
+                                       Catalog* catalog, Cluster* cluster);
+
+  ArrayId id() const { return id_; }
+  const ArraySchema& schema() const { return catalog_->SchemaOf(id_); }
+  const ChunkGrid& grid() const { return catalog_->GridOf(id_); }
+  Catalog* catalog() const { return catalog_; }
+  Cluster* cluster() const { return cluster_; }
+
+  /// Loads a single-node array into the cluster: every chunk is placed by
+  /// the array's static placement strategy, stored on its node, and recorded
+  /// in the catalog. Chunks already present are upsert-merged cell-wise on
+  /// their current node. Schemas must match structurally. Initial loading is
+  /// not charged to the simulated clocks (it precedes the measured
+  /// maintenance, as in the paper).
+  Status Ingest(const SparseArray& local);
+
+  /// Places one chunk on an explicit node: stores the data, records the
+  /// assignment and size. Merges cell-wise if the node already holds a copy.
+  Status PutChunk(ChunkId chunk, Chunk data, NodeId node);
+
+  /// Accumulates `delta` into the chunk's primary copy (creating the chunk
+  /// on `fallback_node` if it does not exist yet) and refreshes the
+  /// catalog's size metadata. The merge primitive used when applying ∆V.
+  Status AccumulateIntoChunk(ChunkId chunk, const Chunk& delta,
+                             NodeId fallback_node);
+
+  /// Collects every primary chunk into a single-node SparseArray (used by
+  /// tests and examples to compare against reference computations).
+  Result<SparseArray> Gather() const;
+
+  /// The primary copy of a chunk, or NotFound.
+  Result<const Chunk*> GetPrimaryChunk(ChunkId chunk) const;
+
+  /// Total non-empty cells across primary chunks.
+  uint64_t NumCells() const;
+
+  /// Total bytes across primary chunks, from catalog metadata.
+  uint64_t TotalBytes() const;
+
+  /// Number of non-empty chunks.
+  size_t NumChunks() const;
+
+ private:
+  DistributedArray(ArrayId id, Catalog* catalog, Cluster* cluster)
+      : id_(id), catalog_(catalog), cluster_(cluster) {}
+
+  ArrayId id_;
+  Catalog* catalog_;
+  Cluster* cluster_;
+};
+
+}  // namespace avm
+
+#endif  // AVM_CLUSTER_DISTRIBUTED_ARRAY_H_

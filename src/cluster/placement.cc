@@ -1,0 +1,44 @@
+#include "cluster/placement.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace avm {
+
+NodeId RoundRobinPlacement::PlaceChunk(ChunkId id, const ChunkGrid& grid,
+                                       int num_nodes) const {
+  (void)grid;
+  AVM_CHECK_GT(num_nodes, 0);
+  return static_cast<NodeId>(id % static_cast<uint64_t>(num_nodes));
+}
+
+NodeId HashPlacement::PlaceChunk(ChunkId id, const ChunkGrid& grid,
+                                 int num_nodes) const {
+  (void)grid;
+  AVM_CHECK_GT(num_nodes, 0);
+  return static_cast<NodeId>(HashMix(id) % static_cast<uint64_t>(num_nodes));
+}
+
+NodeId RangePlacement::PlaceChunk(ChunkId id, const ChunkGrid& grid,
+                                  int num_nodes) const {
+  AVM_CHECK_GT(num_nodes, 0);
+  AVM_CHECK_LT(dim_, grid.num_dims());
+  const int64_t chunks_in_dim = grid.ChunksInDim(dim_);
+  const int64_t pos = grid.PosOfId(id)[dim_];
+  // Evenly sized contiguous slabs along the chosen dimension.
+  const int64_t slab =
+      pos * static_cast<int64_t>(num_nodes) / chunks_in_dim;
+  return static_cast<NodeId>(slab);
+}
+
+std::unique_ptr<ChunkPlacement> MakeRoundRobinPlacement() {
+  return std::make_unique<RoundRobinPlacement>();
+}
+std::unique_ptr<ChunkPlacement> MakeHashPlacement() {
+  return std::make_unique<HashPlacement>();
+}
+std::unique_ptr<ChunkPlacement> MakeRangePlacement(size_t dim) {
+  return std::make_unique<RangePlacement>(dim);
+}
+
+}  // namespace avm

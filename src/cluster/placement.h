@@ -1,0 +1,81 @@
+#ifndef AVM_CLUSTER_PLACEMENT_H_
+#define AVM_CLUSTER_PLACEMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "array/chunk_grid.h"
+#include "array/coords.h"
+
+namespace avm {
+
+/// Worker node index, 0-based. The coordinator is not a worker; it is
+/// addressed by kCoordinatorNode.
+using NodeId = int;
+
+/// Sentinel node id for the coordinator, where freshly ingested delta chunks
+/// live before the maintenance plan spreads them (Section 4: "∆ chunks are
+/// initially stored at the coordinator").
+inline constexpr NodeId kCoordinatorNode = -1;
+
+/// Static chunking/placement strategy: decides the node of a chunk from its
+/// grid position alone. These are the strategies whose pathologies Section
+/// 4.1 describes — hash spreads adjacent chunks apart (communication-heavy),
+/// space partitioning clusters them together (load-imbalanced) — and that
+/// the reassignment stages escape.
+class ChunkPlacement {
+ public:
+  virtual ~ChunkPlacement() = default;
+
+  /// Node for the chunk at `id` on `grid`, among `num_nodes` workers.
+  virtual NodeId PlaceChunk(ChunkId id, const ChunkGrid& grid,
+                            int num_nodes) const = 0;
+
+  /// Strategy name for logs and catalog dumps.
+  virtual std::string Name() const = 0;
+};
+
+/// Round-robin in row-major chunk order (SciDB's default in the paper's
+/// Figure 1): chunk id modulo node count.
+class RoundRobinPlacement final : public ChunkPlacement {
+ public:
+  NodeId PlaceChunk(ChunkId id, const ChunkGrid& grid,
+                    int num_nodes) const override;
+  std::string Name() const override { return "round-robin"; }
+};
+
+/// Hash placement: a mixed hash of the chunk id modulo node count. Adjacent
+/// chunks land on different nodes with high probability.
+class HashPlacement final : public ChunkPlacement {
+ public:
+  NodeId PlaceChunk(ChunkId id, const ChunkGrid& grid,
+                    int num_nodes) const override;
+  std::string Name() const override { return "hash"; }
+};
+
+/// Space partitioning: contiguous slabs of the chunk grid along one
+/// dimension (a 1-D range partition, the simplest of the space-partitioning
+/// family — space-filling curves, quadtrees, k-d trees — the paper cites).
+class RangePlacement final : public ChunkPlacement {
+ public:
+  /// Partitions along dimension `dim` of the chunk grid.
+  explicit RangePlacement(size_t dim = 0) : dim_(dim) {}
+
+  NodeId PlaceChunk(ChunkId id, const ChunkGrid& grid,
+                    int num_nodes) const override;
+  std::string Name() const override {
+    return "range(dim=" + std::to_string(dim_) + ")";
+  }
+
+ private:
+  size_t dim_;
+};
+
+/// Factory helpers.
+std::unique_ptr<ChunkPlacement> MakeRoundRobinPlacement();
+std::unique_ptr<ChunkPlacement> MakeHashPlacement();
+std::unique_ptr<ChunkPlacement> MakeRangePlacement(size_t dim = 0);
+
+}  // namespace avm
+
+#endif  // AVM_CLUSTER_PLACEMENT_H_

@@ -1,0 +1,44 @@
+#ifndef AVM_COMMON_HASH_H_
+#define AVM_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace avm {
+
+/// Mixes `value` into `seed` (boost::hash_combine recipe, 64-bit constants).
+/// Used to hash coordinate vectors and composite keys.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // 64-bit golden-ratio variant of boost::hash_combine.
+  seed ^= value + 0x9E3779B97F4A7C15ull + (seed << 12) + (seed >> 4);
+  return seed;
+}
+
+/// Finalization mix (from MurmurHash3) to spread low-entropy inputs, e.g.
+/// small sequential coordinates, across the full 64-bit space.
+inline uint64_t HashMix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Hashes a span of 64-bit integers (coordinates, chunk positions).
+inline uint64_t HashInts(const int64_t* data, size_t n) {
+  uint64_t h = 0xCBF29CE484222325ull ^ n;
+  for (size_t i = 0; i < n; ++i) {
+    h = HashCombine(h, HashMix(static_cast<uint64_t>(data[i])));
+  }
+  return h;
+}
+
+inline uint64_t HashInts(const std::vector<int64_t>& v) {
+  return HashInts(v.data(), v.size());
+}
+
+}  // namespace avm
+
+#endif  // AVM_COMMON_HASH_H_

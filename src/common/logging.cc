@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace avm {
+
+namespace {
+LogLevel g_log_level = LogLevel::kInfo;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_log_level; }
+void SetLogLevel(LogLevel level) { g_log_level = level; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  const bool fatal = level_ == LogLevel::kFatal;
+  if (fatal || level_ >= g_log_level) {
+    // Strip the directory part for readability.
+    const char* base = file_;
+    for (const char* p = file_; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    std::cerr << "[" << LevelTag(level_) << " " << base << ":" << line_ << "] "
+              << stream_.str() << std::endl;
+  }
+  if (fatal) std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace avm

@@ -1,0 +1,84 @@
+#ifndef AVM_COMMON_LOGGING_H_
+#define AVM_COMMON_LOGGING_H_
+
+#include <sstream>
+
+namespace avm {
+
+/// Severity levels for the library logger. kFatal aborts the process after
+/// emitting the message.
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Process-wide minimum level; messages below it are dropped (kFatal is never
+/// dropped). Defaults to kInfo. Not thread-synchronized by design: set it
+/// once at startup.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-style message collector used by the AVM_LOG macro. Emits to stderr
+/// on destruction; aborts for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Converts a streamed LogMessage expression to void so it can sit on the
+/// false branch of a ternary (the standard glog trick: `&` binds looser than
+/// `<<` but tighter than `?:`).
+struct LogMessageVoidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace avm
+
+#define AVM_LOG(level)                                                      \
+  ::avm::internal_logging::LogMessage(::avm::LogLevel::k##level, __FILE__, \
+                                      __LINE__)
+
+/// CHECK-style invariant assertions: always on, abort with a message when the
+/// condition fails. Use for programming errors, not recoverable conditions.
+/// Streamable: AVM_CHECK(n > 0) << "need positive n, got " << n;
+#define AVM_CHECK(cond)                                     \
+  (cond) ? (void)0                                          \
+         : ::avm::internal_logging::LogMessageVoidify() &   \
+               AVM_LOG(Fatal) << "Check failed: " #cond " "
+
+#define AVM_CHECK_EQ(a, b) \
+  AVM_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AVM_CHECK_NE(a, b) \
+  AVM_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AVM_CHECK_LT(a, b) \
+  AVM_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AVM_CHECK_LE(a, b) \
+  AVM_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AVM_CHECK_GT(a, b) \
+  AVM_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AVM_CHECK_GE(a, b) \
+  AVM_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // AVM_COMMON_LOGGING_H_

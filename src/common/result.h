@@ -1,0 +1,84 @@
+#ifndef AVM_COMMON_RESULT_H_
+#define AVM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace avm {
+
+/// Either a value of type `T` or a non-OK `Status` explaining why the value
+/// could not be produced. The moral equivalent of `absl::StatusOr<T>` /
+/// `arrow::Result<T>`.
+///
+/// Accessing `value()` on an errored result is a programming error and
+/// asserts in debug builds; check `ok()` first or use `AVM_ASSIGN_OR_RETURN`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}
+  /// Implicit construction from an error status: `return Status::NotFound(..)`.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// OK when a value is present, the stored error otherwise.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if present, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace avm
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status
+/// from the enclosing function, otherwise move-assigns the value into `lhs`.
+/// `lhs` may include a declaration: AVM_ASSIGN_OR_RETURN(auto x, Foo());
+#define AVM_ASSIGN_OR_RETURN(lhs, rexpr)                   \
+  AVM_ASSIGN_OR_RETURN_IMPL_(                              \
+      AVM_RESULT_CONCAT_(_avm_result, __LINE__), lhs, rexpr)
+
+#define AVM_RESULT_CONCAT_INNER_(a, b) a##b
+#define AVM_RESULT_CONCAT_(a, b) AVM_RESULT_CONCAT_INNER_(a, b)
+
+#define AVM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // AVM_COMMON_RESULT_H_

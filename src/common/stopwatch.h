@@ -1,0 +1,32 @@
+#ifndef AVM_COMMON_STOPWATCH_H_
+#define AVM_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace avm {
+
+/// Simple wall-clock stopwatch for measuring real (not simulated) time, e.g.
+/// the planner optimization times reported in Figure 5.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace avm
+
+#endif  // AVM_COMMON_STOPWATCH_H_

@@ -1,0 +1,36 @@
+#ifndef AVM_COMMON_STRING_UTIL_H_
+#define AVM_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace avm {
+
+/// Joins the elements of `v` with `sep` using operator<< formatting.
+template <typename T>
+std::string Join(const std::vector<T>& v, const std::string& sep) {
+  std::ostringstream out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out << sep;
+    out << v[i];
+  }
+  return out.str();
+}
+
+/// "[a, b, c]" rendering of a vector, used in error messages and debugging.
+template <typename T>
+std::string VecToString(const std::vector<T>& v) {
+  return "[" + Join(v, ", ") + "]";
+}
+
+/// Human-readable byte count ("343.0 GB", "1.5 KB").
+std::string HumanBytes(uint64_t bytes);
+
+/// Fixed-point formatting with `digits` decimals (printf "%.*f").
+std::string FormatDouble(double v, int digits);
+
+}  // namespace avm
+
+#endif  // AVM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,241 @@
+#include "harness/experiment.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace avm {
+
+namespace {
+
+std::unique_ptr<ChunkPlacement> MakePlacement(const std::string& name,
+                                              size_t range_dim) {
+  if (name == "hash") return MakeHashPlacement();
+  if (name == "range") return MakeRangePlacement(range_dim);
+  return MakeRoundRobinPlacement();
+}
+
+/// The PTF-5 shape: L1(1) on (ra, dec) across the previous time window. At
+/// the paper's cell resolution (1 minute) the 200-day look-back exceeds the
+/// catalog's whole time range, so the window covers all earlier time.
+Shape Ptf5Shape(const PtfOptions& ptf) {
+  Shape spatial = Shape::L1Ball(3, 1, {1, 2});
+  Shape window = Shape::Window(3, 0, -(ptf.time_range - 1), 0);
+  return Shape::MinkowskiSum(spatial, window).value();
+}
+
+/// The PTF-25 shape: L∞(2) on (ra, dec), any time distance.
+Shape Ptf25Shape(const PtfOptions& ptf) {
+  Shape spatial = Shape::LinfBall(3, 2, {1, 2});
+  Shape window =
+      Shape::Window(3, 0, -(ptf.time_range - 1), ptf.time_range - 1);
+  return Shape::MinkowskiSum(spatial, window).value();
+}
+
+}  // namespace
+
+std::string_view DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kPtf5:
+      return "PTF-5";
+    case DatasetKind::kPtf25:
+      return "PTF-25";
+    case DatasetKind::kGeo:
+      return "GEO";
+  }
+  return "?";
+}
+
+std::string_view BatchRegimeName(BatchRegime regime) {
+  switch (regime) {
+    case BatchRegime::kReal:
+      return "real";
+    case BatchRegime::kRandom:
+      return "random";
+    case BatchRegime::kCorrelated:
+      return "correlated";
+    case BatchRegime::kPeriodic:
+      return "periodic";
+  }
+  return "?";
+}
+
+Result<PreparedExperiment> PrepareExperiment(DatasetKind kind,
+                                             BatchRegime regime,
+                                             const ExperimentScale& scale) {
+  PreparedExperiment experiment;
+  experiment.catalog = std::make_unique<Catalog>();
+  experiment.cluster =
+      std::make_unique<Cluster>(scale.num_workers, scale.cost_model);
+  Catalog* catalog = experiment.catalog.get();
+  Cluster* cluster = experiment.cluster.get();
+
+  ViewDefinition def;
+  if (kind == DatasetKind::kGeo) {
+    GeoOptions geo = scale.geo;
+    geo.seed ^= scale.seed;
+    AVM_ASSIGN_OR_RETURN(GeoDataset dataset,
+                         GenerateGeo(geo, scale.num_batches));
+    AVM_ASSIGN_OR_RETURN(
+        DistributedArray base,
+        DistributedArray::Create(dataset.schema,
+                                 MakePlacement(scale.placement, 0), catalog,
+                                 cluster));
+    AVM_RETURN_IF_ERROR(base.Ingest(dataset.base));
+    switch (regime) {
+      case BatchRegime::kReal:
+      case BatchRegime::kRandom:
+        experiment.batches = std::move(dataset.random_batches);
+        break;
+      case BatchRegime::kCorrelated: {
+        AVM_ASSIGN_OR_RETURN(
+            experiment.batches,
+            MakeCorrelatedGeoBatches(&dataset, scale.num_batches));
+        break;
+      }
+      case BatchRegime::kPeriodic: {
+        AVM_ASSIGN_OR_RETURN(
+            experiment.batches,
+            MakePeriodicGeoBatches(&dataset, scale.num_batches));
+        break;
+      }
+    }
+    def.view_name = "GEO_view";
+    def.left_array = "GEO";
+    def.right_array = "GEO";
+    def.mapping = DimMapping::Identity(2);
+    def.shape = Shape::LinfBall(2, 1);
+    def.aggregates = {{AggregateFunction::kCount, 0, "cnt"}};
+  } else {
+    PtfOptions ptf = scale.ptf;
+    ptf.seed ^= scale.seed;
+    AVM_ASSIGN_OR_RETURN(PtfGenerator gen, PtfGenerator::Create(ptf));
+    AVM_ASSIGN_OR_RETURN(
+        DistributedArray base,
+        // PTF range placement partitions the sky (ra), not time: that is
+        // what concentrates a night's pointing on few nodes.
+        DistributedArray::Create(gen.schema(),
+                                 MakePlacement(scale.placement, 1), catalog,
+                                 cluster));
+    AVM_RETURN_IF_ERROR(base.Ingest(gen.base()));
+    switch (regime) {
+      case BatchRegime::kReal:
+      case BatchRegime::kRandom: {
+        AVM_ASSIGN_OR_RETURN(experiment.batches,
+                             gen.MakeRealBatches(scale.num_batches));
+        break;
+      }
+      case BatchRegime::kCorrelated: {
+        AVM_ASSIGN_OR_RETURN(experiment.batches,
+                             gen.MakeCorrelatedBatches(scale.num_batches));
+        break;
+      }
+      case BatchRegime::kPeriodic: {
+        AVM_ASSIGN_OR_RETURN(experiment.batches,
+                             gen.MakePeriodicBatches(scale.num_batches));
+        break;
+      }
+    }
+    def.view_name =
+        kind == DatasetKind::kPtf5 ? "PTF5_view" : "PTF25_view";
+    def.left_array = "PTF";
+    def.right_array = "PTF";
+    def.mapping = DimMapping::Identity(3);
+    def.shape = kind == DatasetKind::kPtf5 ? Ptf5Shape(ptf) : Ptf25Shape(ptf);
+    def.aggregates = {{AggregateFunction::kCount, 0, "cnt"}};
+  }
+
+  const size_t view_range_dim = kind == DatasetKind::kGeo ? 0 : 1;
+  AVM_ASSIGN_OR_RETURN(
+      MaterializedView view,
+      CreateMaterializedView(std::move(def),
+                             MakePlacement(scale.placement, view_range_dim),
+                             catalog, cluster));
+  experiment.view = std::make_unique<MaterializedView>(std::move(view));
+  cluster->ResetClocks();
+  return experiment;
+}
+
+double BatchSeries::TotalMaintenanceSeconds() const {
+  double total = 0.0;
+  for (const auto& r : reports) total += r.maintenance_seconds;
+  return total;
+}
+
+double BatchSeries::TotalOptimizationSeconds() const {
+  double total = 0.0;
+  for (const auto& r : reports) total += r.optimization_seconds();
+  return total;
+}
+
+double BatchSeries::MeanOptimizationSeconds() const {
+  return reports.empty()
+             ? 0.0
+             : TotalOptimizationSeconds() /
+                   static_cast<double>(reports.size());
+}
+
+Result<BatchSeries> RunMaintenanceSeries(PreparedExperiment* experiment,
+                                         MaintenanceMethod method,
+                                         const PlannerOptions& options) {
+  if (experiment == nullptr || experiment->view == nullptr) {
+    return Status::InvalidArgument("experiment not prepared");
+  }
+  BatchSeries series;
+  series.method = method;
+  ViewMaintainer maintainer(experiment->view.get(), method, options);
+  for (const SparseArray& batch : experiment->batches) {
+    AVM_ASSIGN_OR_RETURN(MaintenanceReport report,
+                         maintainer.ApplyBatch(batch));
+    series.reports.push_back(report);
+  }
+  return series;
+}
+
+Result<std::vector<BatchSeries>> RunAllMethods(DatasetKind kind,
+                                               BatchRegime regime,
+                                               const ExperimentScale& scale,
+                                               const PlannerOptions& options) {
+  std::vector<BatchSeries> all;
+  for (MaintenanceMethod method :
+       {MaintenanceMethod::kBaseline, MaintenanceMethod::kDifferential,
+        MaintenanceMethod::kReassign}) {
+    AVM_ASSIGN_OR_RETURN(PreparedExperiment experiment,
+                         PrepareExperiment(kind, regime, scale));
+    AVM_ASSIGN_OR_RETURN(BatchSeries series,
+                         RunMaintenanceSeries(&experiment, method, options));
+    all.push_back(std::move(series));
+  }
+  return all;
+}
+
+void PrintSeriesTable(const std::string& title,
+                      const std::vector<BatchSeries>& series) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-8s", "batch");
+  for (const auto& s : series) {
+    std::printf("%16s", std::string(MaintenanceMethodName(s.method)).c_str());
+  }
+  std::printf("\n");
+  size_t rows = 0;
+  for (const auto& s : series) rows = std::max(rows, s.reports.size());
+  for (size_t i = 0; i < rows; ++i) {
+    std::printf("%-8zu", i + 1);
+    for (const auto& s : series) {
+      if (i < s.reports.size()) {
+        std::printf("%13.4fs ", s.reports[i].maintenance_seconds);
+      } else {
+        std::printf("%15s ", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("%-8s", "total");
+  for (const auto& s : series) {
+    std::printf("%13.4fs ", s.TotalMaintenanceSeconds());
+  }
+  std::printf("\n");
+}
+
+}  // namespace avm

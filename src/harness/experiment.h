@@ -1,0 +1,101 @@
+#ifndef AVM_HARNESS_EXPERIMENT_H_
+#define AVM_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/result.h"
+#include "maintenance/maintainer.h"
+#include "view/materialized_view.h"
+#include "workload/geo.h"
+#include "workload/ptf.h"
+
+namespace avm {
+
+/// The three dataset/view combinations of the paper's evaluation
+/// (Section 6.1, "Views").
+enum class DatasetKind {
+  /// PTF catalog; similarity = L1(1) on (ra, dec) over the previous time
+  /// window (the production "association table").
+  kPtf5,
+  /// PTF catalog; similarity = L∞(2) on (ra, dec), independent of time
+  /// (the scalability stressor).
+  kPtf25,
+  /// LinkedGeoData-like POIs; similarity = L∞(1) on (long, lat).
+  kGeo,
+};
+
+/// The batch regimes of Section 6.1 ("Batch updates"). PTF datasets use
+/// kReal where the paper does; GEO uses kRandom.
+enum class BatchRegime { kReal, kRandom, kCorrelated, kPeriodic };
+
+std::string_view DatasetKindName(DatasetKind kind);
+std::string_view BatchRegimeName(BatchRegime regime);
+
+/// Scale and environment knobs shared by tests, examples, and benches. The
+/// defaults reproduce the paper's setup shape (8 workers + coordinator) at
+/// laptop scale.
+struct ExperimentScale {
+  int num_workers = 8;
+  CostModel cost_model;
+  PtfOptions ptf;
+  GeoOptions geo;
+  int num_batches = 10;
+  /// Static placement strategy for base and view arrays: "range"
+  /// (spatial partitioning — the production-style chunking whose
+  /// concentration of nightly pointings on few nodes motivates the paper's
+  /// optimization; default for the experiments), "round-robin" (SciDB's
+  /// default), or "hash".
+  std::string placement = "range";
+  uint64_t seed = 42;
+};
+
+/// A fully prepared experiment: cluster, catalog, base array, materialized
+/// view, and the batch sequence (not yet applied). Prepare one per
+/// maintenance method with the same scale/seed — generation is
+/// deterministic, so every method sees identical data.
+struct PreparedExperiment {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<MaterializedView> view;
+  std::vector<SparseArray> batches;
+};
+
+/// Builds the dataset, loads the base array, materializes the view, resets
+/// the simulated clocks, and returns the batches to apply.
+Result<PreparedExperiment> PrepareExperiment(DatasetKind kind,
+                                             BatchRegime regime,
+                                             const ExperimentScale& scale);
+
+/// Results of maintaining one batch sequence with one method.
+struct BatchSeries {
+  MaintenanceMethod method;
+  std::vector<MaintenanceReport> reports;
+
+  double TotalMaintenanceSeconds() const;
+  double TotalOptimizationSeconds() const;
+  double MeanOptimizationSeconds() const;
+};
+
+/// Applies every batch with the given method, collecting per-batch reports.
+Result<BatchSeries> RunMaintenanceSeries(PreparedExperiment* experiment,
+                                         MaintenanceMethod method,
+                                         const PlannerOptions& options);
+
+/// Convenience: prepares a fresh experiment per method (same data) and runs
+/// all three methods.
+Result<std::vector<BatchSeries>> RunAllMethods(DatasetKind kind,
+                                               BatchRegime regime,
+                                               const ExperimentScale& scale,
+                                               const PlannerOptions& options);
+
+/// Prints a paper-style series table: one row per batch, one column per
+/// method.
+void PrintSeriesTable(const std::string& title,
+                      const std::vector<BatchSeries>& series);
+
+}  // namespace avm
+
+#endif  // AVM_HARNESS_EXPERIMENT_H_

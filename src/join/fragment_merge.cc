@@ -1,0 +1,44 @@
+#include "join/fragment_merge.h"
+
+#include <vector>
+
+namespace avm {
+
+Status MergeStateFragment(DistributedArray* target, ChunkId v,
+                          const Chunk& fragment, const AggregateLayout& layout,
+                          NodeId fallback_node) {
+  if (fragment.num_attrs() != layout.num_state_slots()) {
+    return Status::InvalidArgument(
+        "fragment attribute count does not match the aggregate state layout");
+  }
+  NodeId node;
+  auto existing = target->catalog()->NodeOf(target->id(), v);
+  if (existing.ok()) {
+    node = existing.value();
+  } else {
+    node = fallback_node;
+    target->catalog()->AssignChunk(target->id(), v, node);
+  }
+  Chunk& dst = target->cluster()->store(node).GetOrCreate(
+      target->id(), v, fragment.num_dims(), fragment.num_attrs());
+
+  std::vector<double> identity(layout.num_state_slots());
+  layout.InitState(identity);
+  CellCoord coord(fragment.num_dims());
+  for (size_t row = 0; row < fragment.num_cells(); ++row) {
+    const uint64_t offset = fragment.OffsetOfRow(row);
+    double* state = dst.GetMutableCell(offset);
+    if (state == nullptr) {
+      auto c = fragment.CoordOfRow(row);
+      coord.assign(c.begin(), c.end());
+      dst.UpsertCell(offset, coord, identity);
+      state = dst.GetMutableCell(offset);
+    }
+    layout.MergeState({state, layout.num_state_slots()},
+                      fragment.ValuesOfRow(row));
+  }
+  target->catalog()->SetChunkBytes(target->id(), v, dst.SizeBytes());
+  return Status::OK();
+}
+
+}  // namespace avm

@@ -1,0 +1,25 @@
+#ifndef AVM_JOIN_FRAGMENT_MERGE_H_
+#define AVM_JOIN_FRAGMENT_MERGE_H_
+
+#include "agg/aggregates.h"
+#include "array/chunk.h"
+#include "cluster/distributed_array.h"
+#include "common/status.h"
+
+namespace avm {
+
+/// Merges a fragment of partial aggregate states into chunk `v` of `target`
+/// (a view or join-result array whose attributes are aggregate state slots),
+/// cell by cell with the layout's state-merge semantics — addition for
+/// COUNT/SUM/AVG, min/max for MIN/MAX. Creates the chunk on `fallback_node`
+/// if it does not exist yet, and refreshes the catalog's size metadata.
+///
+/// This is the V + ∆V primitive: unlike a plain element-wise add it is
+/// correct for every supported aggregate.
+Status MergeStateFragment(DistributedArray* target, ChunkId v,
+                          const Chunk& fragment, const AggregateLayout& layout,
+                          NodeId fallback_node);
+
+}  // namespace avm
+
+#endif  // AVM_JOIN_FRAGMENT_MERGE_H_

@@ -1,0 +1,125 @@
+#include "join/join_kernel.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace avm {
+
+namespace {
+
+/// Folds one matched right cell into the aggregate state of the view cell
+/// keyed by the left cell's projection.
+class FragmentAccumulator {
+ public:
+  FragmentAccumulator(const AggregateLayout& layout, const ViewTarget& target,
+                      std::map<ChunkId, Chunk>* out)
+      : layout_(layout),
+        target_(target),
+        identity_(layout.num_state_slots()),
+        out_(out) {
+    layout_.InitState(identity_);
+  }
+
+  Status Add(std::span<const int64_t> left_coord,
+             std::span<const double> right_values, int multiplicity) {
+    const auto& group_dims = *target_.group_dims;
+    view_coord_.resize(group_dims.size());
+    for (size_t d = 0; d < group_dims.size(); ++d) {
+      view_coord_[d] = left_coord[group_dims[d]];
+    }
+    const ChunkId v = target_.view_grid->IdOfCell(view_coord_);
+    const uint64_t offset = target_.view_grid->InChunkOffset(view_coord_);
+    auto it = out_->find(v);
+    if (it == out_->end()) {
+      it = out_
+               ->emplace(v, Chunk(view_coord_.size(),
+                                  layout_.num_state_slots()))
+               .first;
+    }
+    Chunk& frag = it->second;
+    double* state = frag.GetMutableCell(offset);
+    if (state == nullptr) {
+      frag.UpsertCell(offset, view_coord_, identity_);
+      state = frag.GetMutableCell(offset);
+    }
+    return layout_.UpdateState({state, layout_.num_state_slots()},
+                               right_values, multiplicity);
+  }
+
+ private:
+  const AggregateLayout& layout_;
+  const ViewTarget& target_;
+  std::vector<double> identity_;
+  CellCoord view_coord_;
+  std::map<ChunkId, Chunk>* out_;
+};
+
+}  // namespace
+
+Status JoinAggregateChunkPair(const Chunk& left, const RightOperand& right,
+                              const DimMapping& mapping, const Shape& shape,
+                              const AggregateLayout& layout,
+                              const ViewTarget& target, int multiplicity,
+                              std::map<ChunkId, Chunk>* out_fragments) {
+  AVM_CHECK(right.chunk != nullptr && right.grid != nullptr);
+  AVM_CHECK(target.group_dims != nullptr && target.view_grid != nullptr);
+  AVM_CHECK(out_fragments != nullptr);
+  if (multiplicity != 1 && multiplicity != -1) {
+    return Status::InvalidArgument("multiplicity must be +1 or -1");
+  }
+  if (shape.empty() || left.empty() || right.chunk->empty()) {
+    return Status::OK();
+  }
+
+  FragmentAccumulator acc(layout, target, out_fragments);
+  const Box right_box = right.grid->ChunkBoxOfId(right.chunk_id);
+  CellCoord base;  // image of the left cell in right space
+  CellCoord probe(right_box.lo.size());
+
+  // Strategy choice: probing |σ| offsets per left cell vs scanning the right
+  // chunk's cells per left cell. Pick the smaller inner loop.
+  const bool probe_offsets = shape.size() <= right.chunk->num_cells();
+
+  if (probe_offsets) {
+    for (size_t row = 0; row < left.num_cells(); ++row) {
+      const auto left_coord = left.CoordOfRow(row);
+      mapping.ApplyInto(left_coord, &base);
+      for (const auto& offset : shape.offsets()) {
+        bool inside = true;
+        for (size_t d = 0; d < probe.size(); ++d) {
+          probe[d] = base[d] + offset[d];
+          if (probe[d] < right_box.lo[d] || probe[d] > right_box.hi[d]) {
+            inside = false;
+            break;
+          }
+        }
+        if (!inside) continue;
+        const double* values =
+            right.chunk->GetCell(right.grid->InChunkOffset(probe));
+        if (values == nullptr) continue;
+        AVM_RETURN_IF_ERROR(
+            acc.Add(left_coord, {values, right.chunk->num_attrs()},
+                    multiplicity));
+      }
+    }
+  } else {
+    CellCoord delta(probe.size());
+    for (size_t row = 0; row < left.num_cells(); ++row) {
+      const auto left_coord = left.CoordOfRow(row);
+      mapping.ApplyInto(left_coord, &base);
+      for (size_t rrow = 0; rrow < right.chunk->num_cells(); ++rrow) {
+        const auto right_coord = right.chunk->CoordOfRow(rrow);
+        for (size_t d = 0; d < delta.size(); ++d) {
+          delta[d] = right_coord[d] - base[d];
+        }
+        if (!shape.Contains(delta)) continue;
+        AVM_RETURN_IF_ERROR(acc.Add(left_coord, right.chunk->ValuesOfRow(rrow),
+                                    multiplicity));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace avm

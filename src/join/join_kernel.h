@@ -1,0 +1,60 @@
+#ifndef AVM_JOIN_JOIN_KERNEL_H_
+#define AVM_JOIN_JOIN_KERNEL_H_
+
+#include <map>
+
+#include "agg/aggregates.h"
+#include "array/chunk.h"
+#include "array/chunk_grid.h"
+#include "array/coords.h"
+#include "join/mapping.h"
+#include "shape/shape.h"
+
+namespace avm {
+
+/// Inputs a join kernel needs about the right operand: its chunk's data,
+/// identity, and geometry. The kernel only pairs a left cell with right
+/// cells *inside this chunk*; partner enumeration guarantees that, across
+/// the partner set of a left chunk, every qualifying (left, right) cell pair
+/// is produced exactly once.
+struct RightOperand {
+  const Chunk* chunk = nullptr;
+  ChunkId chunk_id = 0;
+  const ChunkGrid* grid = nullptr;
+};
+
+/// Grouping/output geometry: which left dimensions the view keys on and the
+/// view's chunk grid, so emitted aggregate states land in per-view-chunk
+/// fragments.
+struct ViewTarget {
+  const std::vector<size_t>* group_dims = nullptr;
+  const ChunkGrid* view_grid = nullptr;
+};
+
+/// Executes the fused similarity-join + group-by-aggregate for one chunk
+/// pair: every cell x of `left` is joined with the cells of the right chunk
+/// lying in shape σ around M(x), and each match folds the right cell's
+/// attributes into the aggregate state keyed by x's projection onto the
+/// group dimensions.
+///
+/// `multiplicity` is +1 to add contributions and -1 to retract them (the
+/// signed halves of a ∆-shape differential query).
+///
+/// Partial states are accumulated into `out_fragments`, one sparse fragment
+/// chunk per affected view chunk; fragments from different pairs/nodes merge
+/// exactly because aggregate states are mergeable.
+///
+/// The kernel picks the cheaper of two strategies per pair: probe each of
+/// the |σ| offsets around every left cell (good for small shapes), or scan
+/// the right chunk's cells and test offset membership in σ (good when the
+/// shape is larger than the right chunk is dense, e.g. PTF-5's 1000-offset
+/// space-time shape).
+Status JoinAggregateChunkPair(const Chunk& left, const RightOperand& right,
+                              const DimMapping& mapping, const Shape& shape,
+                              const AggregateLayout& layout,
+                              const ViewTarget& target, int multiplicity,
+                              std::map<ChunkId, Chunk>* out_fragments);
+
+}  // namespace avm
+
+#endif  // AVM_JOIN_JOIN_KERNEL_H_

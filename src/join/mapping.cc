@@ -1,0 +1,82 @@
+#include "join/mapping.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace avm {
+
+DimMapping DimMapping::Identity(size_t num_dims) {
+  std::vector<Term> terms(num_dims);
+  for (size_t d = 0; d < num_dims; ++d) terms[d] = Term{d, 0};
+  return DimMapping(num_dims, std::move(terms));
+}
+
+Result<DimMapping> DimMapping::Create(size_t num_left_dims,
+                                      std::vector<Term> terms) {
+  if (terms.empty()) {
+    return Status::InvalidArgument("mapping needs at least one output dim");
+  }
+  for (const auto& t : terms) {
+    if (t.source_dim >= num_left_dims) {
+      return Status::InvalidArgument(
+          "mapping term references source dim " +
+          std::to_string(t.source_dim) + " but the left operand has " +
+          std::to_string(num_left_dims) + " dims");
+    }
+  }
+  return DimMapping(num_left_dims, std::move(terms));
+}
+
+bool DimMapping::IsIdentity() const {
+  if (terms_.size() != num_left_dims_) return false;
+  for (size_t d = 0; d < terms_.size(); ++d) {
+    if (terms_[d].source_dim != d || terms_[d].offset != 0) return false;
+  }
+  return true;
+}
+
+CellCoord DimMapping::Apply(const CellCoord& left) const {
+  AVM_CHECK_EQ(left.size(), num_left_dims_);
+  CellCoord right(terms_.size());
+  for (size_t d = 0; d < terms_.size(); ++d) {
+    right[d] = left[terms_[d].source_dim] + terms_[d].offset;
+  }
+  return right;
+}
+
+void DimMapping::ApplyInto(std::span<const int64_t> left,
+                           CellCoord* right) const {
+  AVM_CHECK_EQ(left.size(), num_left_dims_);
+  right->resize(terms_.size());
+  for (size_t d = 0; d < terms_.size(); ++d) {
+    (*right)[d] = left[terms_[d].source_dim] + terms_[d].offset;
+  }
+}
+
+Box DimMapping::ApplyBox(const Box& left) const {
+  AVM_CHECK_EQ(left.lo.size(), num_left_dims_);
+  Box right;
+  right.lo.resize(terms_.size());
+  right.hi.resize(terms_.size());
+  for (size_t d = 0; d < terms_.size(); ++d) {
+    right.lo[d] = left.lo[terms_[d].source_dim] + terms_[d].offset;
+    right.hi[d] = left.hi[terms_[d].source_dim] + terms_[d].offset;
+  }
+  return right;
+}
+
+Box DimMapping::PreimageBox(const Box& right_box,
+                            const Box& left_domain) const {
+  AVM_CHECK_EQ(right_box.lo.size(), terms_.size());
+  AVM_CHECK_EQ(left_domain.lo.size(), num_left_dims_);
+  Box left = left_domain;
+  for (size_t d = 0; d < terms_.size(); ++d) {
+    const size_t s = terms_[d].source_dim;
+    left.lo[s] = std::max(left.lo[s], right_box.lo[d] - terms_[d].offset);
+    left.hi[s] = std::min(left.hi[s], right_box.hi[d] - terms_[d].offset);
+  }
+  return left;
+}
+
+}  // namespace avm

@@ -1,0 +1,68 @@
+#ifndef AVM_JOIN_MAPPING_H_
+#define AVM_JOIN_MAPPING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "array/coords.h"
+#include "common/result.h"
+
+namespace avm {
+
+/// The mapping function M of the similarity join definition: positions a
+/// left-operand cell in the right operand's coordinate space, where the
+/// shape σ is then applied around it.
+///
+/// We support per-output-dimension structural maps — pick a source dimension
+/// and add a constant offset — which cover the paper's uses (identity for
+/// self-joins and equi-joins on dimensions, plus translations and dimension
+/// permutations). Each map is monotone per dimension, so boxes map to boxes
+/// and chunk-level planning stays metadata-only.
+class DimMapping {
+ public:
+  /// One output dimension: right_coord[d] = left_coord[source_dim] + offset.
+  struct Term {
+    size_t source_dim = 0;
+    int64_t offset = 0;
+  };
+
+  /// The identity mapping over `num_dims` dimensions.
+  static DimMapping Identity(size_t num_dims);
+
+  /// A general structural mapping; `terms[d]` defines output dimension d.
+  /// Fails if a term references a source dimension >= num_left_dims.
+  static Result<DimMapping> Create(size_t num_left_dims,
+                                   std::vector<Term> terms);
+
+  size_t num_left_dims() const { return num_left_dims_; }
+  size_t num_right_dims() const { return terms_.size(); }
+  const std::vector<Term>& terms() const { return terms_; }
+
+  /// True for the identity (arity preserved, term d reads dim d, offset 0).
+  bool IsIdentity() const;
+
+  /// Maps a left-space coordinate into right space.
+  CellCoord Apply(const CellCoord& left) const;
+  void ApplyInto(std::span<const int64_t> left, CellCoord* right) const;
+
+  /// Maps a left-space box into the right-space box covering its image.
+  Box ApplyBox(const Box& left) const;
+
+  /// The left-space box of all cells whose image lies in `right_box`,
+  /// starting from `left_domain` (typically the left array's full ranges;
+  /// source dims no mapping term reads stay unconstrained). The result may
+  /// be empty (some lo > hi); check with IsEmptyBox.
+  Box PreimageBox(const Box& right_box, const Box& left_domain) const;
+
+ private:
+  DimMapping(size_t num_left_dims, std::vector<Term> terms)
+      : num_left_dims_(num_left_dims), terms_(std::move(terms)) {}
+
+  size_t num_left_dims_;
+  std::vector<Term> terms_;
+};
+
+}  // namespace avm
+
+#endif  // AVM_JOIN_MAPPING_H_

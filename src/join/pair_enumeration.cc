@@ -1,0 +1,77 @@
+#include "join/pair_enumeration.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace avm {
+
+std::vector<ChunkId> EnumerateJoinPartners(
+    const ChunkGrid& left_grid, ChunkId p, const DimMapping& mapping,
+    const Shape& shape, const ChunkGrid& right_grid,
+    const std::function<bool(ChunkId)>& right_chunk_exists) {
+  std::vector<ChunkId> partners;
+  if (shape.empty()) return partners;
+  const Box left_box = left_grid.ChunkBoxOfId(p);
+  const Box image = mapping.ApplyBox(left_box);
+  const Box shape_box = shape.BoundingBox();
+  AVM_CHECK_EQ(image.lo.size(), shape_box.lo.size());
+  Box probe;
+  probe.lo.resize(image.lo.size());
+  probe.hi.resize(image.lo.size());
+  for (size_t d = 0; d < image.lo.size(); ++d) {
+    probe.lo[d] = image.lo[d] + shape_box.lo[d];
+    probe.hi[d] = image.hi[d] + shape_box.hi[d];
+  }
+  right_grid.ForEachChunkOverlapping(probe, [&](ChunkId q) {
+    if (right_chunk_exists(q)) partners.push_back(q);
+  });
+  std::sort(partners.begin(), partners.end());
+  return partners;
+}
+
+std::vector<ChunkId> EnumerateJoinPartnersExact(
+    const ChunkGrid& grid, ChunkId p, const ChunkFootprint& footprint,
+    const std::function<bool(ChunkId)>& right_chunk_exists) {
+  std::vector<ChunkId> partners;
+  const ChunkPos pos = grid.PosOfId(p);
+  ChunkPos candidate(pos.size());
+  for (const auto& delta : footprint.deltas()) {
+    bool inside = true;
+    for (size_t d = 0; d < pos.size(); ++d) {
+      candidate[d] = pos[d] + delta[d];
+      if (candidate[d] < 0 || candidate[d] >= grid.ChunksInDim(d)) {
+        inside = false;
+        break;
+      }
+    }
+    if (!inside) continue;
+    const ChunkId q = grid.IdOfPos(candidate);
+    if (right_chunk_exists(q)) partners.push_back(q);
+  }
+  std::sort(partners.begin(), partners.end());
+  return partners;
+}
+
+std::vector<ChunkId> EnumerateViewTargets(const ChunkGrid& left_grid,
+                                          ChunkId p,
+                                          const std::vector<size_t>& group_dims,
+                                          const ChunkGrid& view_grid) {
+  const Box left_box = left_grid.ChunkBoxOfId(p);
+  Box projected;
+  projected.lo.resize(group_dims.size());
+  projected.hi.resize(group_dims.size());
+  for (size_t d = 0; d < group_dims.size(); ++d) {
+    AVM_CHECK_LT(group_dims[d], left_box.lo.size());
+    projected.lo[d] = left_box.lo[group_dims[d]];
+    projected.hi[d] = left_box.hi[group_dims[d]];
+  }
+  std::vector<ChunkId> targets;
+  view_grid.ForEachChunkOverlapping(projected, [&](ChunkId v) {
+    targets.push_back(v);
+  });
+  std::sort(targets.begin(), targets.end());
+  return targets;
+}
+
+}  // namespace avm

@@ -1,0 +1,52 @@
+#ifndef AVM_JOIN_PAIR_ENUMERATION_H_
+#define AVM_JOIN_PAIR_ENUMERATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "array/chunk_grid.h"
+#include "array/coords.h"
+#include "join/mapping.h"
+#include "shape/chunk_footprint.h"
+#include "shape/shape.h"
+
+namespace avm {
+
+/// Enumerates the right-operand chunk ids that may hold join partners for
+/// cells of left chunk `p` under `mapping` and `shape`: the chunks of
+/// `right_grid` overlapping the shape's bounding box applied around the image
+/// of p's extent, filtered by `right_chunk_exists` (non-empty chunks only).
+///
+/// This is pure metadata — the preprocessing step the paper performs over the
+/// catalog to identify the chunks involved in maintenance. It is a tight
+/// superset: a returned chunk may hold no actual partner cell (bounding-box
+/// approximation of the shape), but no partner chunk is ever missed.
+///
+/// Ids are returned in ascending order.
+std::vector<ChunkId> EnumerateJoinPartners(
+    const ChunkGrid& left_grid, ChunkId p, const DimMapping& mapping,
+    const Shape& shape, const ChunkGrid& right_grid,
+    const std::function<bool(ChunkId)>& right_chunk_exists);
+
+/// Exact variant for identity mappings over identically chunked grids: the
+/// partner chunks are p's grid position plus each delta of the shape's
+/// precomputed chunk footprint. Unlike the bounding-box variant this prunes
+/// chunk pairs a non-convex shape (an L1 diamond, a ∆ shape) can never
+/// join, which is what makes the Section-5 differential-query cost scale
+/// with |∆| instead of |∆'s bounding box|.
+std::vector<ChunkId> EnumerateJoinPartnersExact(
+    const ChunkGrid& grid, ChunkId p, const ChunkFootprint& footprint,
+    const std::function<bool(ChunkId)>& right_chunk_exists);
+
+/// The view chunks whose cells may be affected by contributions grouped from
+/// left chunk `p`'s cells: the chunks of `view_grid` overlapping the
+/// projection of p's extent onto `group_dims` (indices into the left
+/// operand's dimensions). Used for triple generation.
+std::vector<ChunkId> EnumerateViewTargets(const ChunkGrid& left_grid,
+                                          ChunkId p,
+                                          const std::vector<size_t>& group_dims,
+                                          const ChunkGrid& view_grid);
+
+}  // namespace avm
+
+#endif  // AVM_JOIN_PAIR_ENUMERATION_H_

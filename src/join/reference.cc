@@ -1,0 +1,64 @@
+#include "join/reference.h"
+
+#include <vector>
+
+namespace avm {
+
+Result<SparseArray> ReferenceJoinAggregate(const SparseArray& left,
+                                           const SparseArray& right,
+                                           const SimilarityJoinSpec& spec,
+                                           const ArraySchema& result_schema) {
+  if (spec.shape.num_dims() != right.schema().num_dims()) {
+    return Status::InvalidArgument(
+        "shape dimensionality does not match the right operand");
+  }
+  if (result_schema.num_attrs() != spec.layout.num_state_slots()) {
+    return Status::InvalidArgument(
+        "result schema does not match the aggregate state layout");
+  }
+  for (size_t d : spec.group_dims) {
+    if (d >= left.schema().num_dims()) {
+      return Status::InvalidArgument("group dim out of range");
+    }
+  }
+
+  SparseArray result(result_schema);
+  std::vector<double> identity(spec.layout.num_state_slots());
+  spec.layout.InitState(identity);
+
+  Status status = Status::OK();
+  CellCoord base;
+  CellCoord probe;
+  CellCoord group_coord(spec.group_dims.size());
+  left.ForEachCell([&](std::span<const int64_t> coord,
+                       std::span<const double> values) {
+    (void)values;
+    if (!status.ok()) return;
+    spec.mapping.ApplyInto(coord, &base);
+    probe.resize(base.size());
+    for (const auto& offset : spec.shape.offsets()) {
+      for (size_t d = 0; d < base.size(); ++d) probe[d] = base[d] + offset[d];
+      auto partner = right.Get(probe);
+      if (!partner.ok()) continue;
+      for (size_t d = 0; d < spec.group_dims.size(); ++d) {
+        group_coord[d] = coord[spec.group_dims[d]];
+      }
+      // Fetch-or-create the state cell, then fold the partner in.
+      if (!result.Has(group_coord)) {
+        status = result.Set(group_coord, identity);
+        if (!status.ok()) return;
+      }
+      Chunk* chunk = result.GetMutableChunk(result.grid().IdOfCell(group_coord));
+      double* state =
+          chunk->GetMutableCell(result.grid().InChunkOffset(group_coord));
+      status = spec.layout.UpdateState(
+          {state, spec.layout.num_state_slots()},
+          {partner.value(), right.schema().num_attrs()}, 1);
+      if (!status.ok()) return;
+    }
+  });
+  if (!status.ok()) return status;
+  return result;
+}
+
+}  // namespace avm

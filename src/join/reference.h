@@ -1,0 +1,31 @@
+#ifndef AVM_JOIN_REFERENCE_H_
+#define AVM_JOIN_REFERENCE_H_
+
+#include "array/sparse_array.h"
+#include "common/result.h"
+#include "join/similarity_join.h"
+
+namespace avm {
+
+/// Single-node reference evaluation of the similarity-join aggregate: the
+/// straightforward cell-at-a-time computation of
+///     SELECT aggs FROM left SIMILARITY JOIN right ON M WITH SHAPE σ
+///     GROUP BY group_dims of left,
+/// with no chunking, distribution, or incremental machinery involved.
+///
+/// Every distributed/incremental code path in the library is validated
+/// against this oracle in the test suite: maintenance after N batches must
+/// equal the reference over the final data, and differential queries must
+/// equal the reference under the query shape.
+///
+/// `result_schema` must carry the grouped dimensions of `left` and the
+/// layout's state attributes; the returned array holds aggregate states
+/// (finalize with AggregateLayout::Finalize when reading values).
+Result<SparseArray> ReferenceJoinAggregate(const SparseArray& left,
+                                           const SparseArray& right,
+                                           const SimilarityJoinSpec& spec,
+                                           const ArraySchema& result_schema);
+
+}  // namespace avm
+
+#endif  // AVM_JOIN_REFERENCE_H_

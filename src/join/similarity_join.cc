@@ -1,0 +1,93 @@
+#include "join/similarity_join.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "join/fragment_merge.h"
+#include "join/join_kernel.h"
+#include "join/pair_enumeration.h"
+
+namespace avm {
+
+Result<JoinExecutionStats> ExecuteDistributedJoinAggregate(
+    const DistributedArray& left, const DistributedArray& right,
+    const SimilarityJoinSpec& spec, DistributedArray* result) {
+  if (result == nullptr) {
+    return Status::InvalidArgument("null result array");
+  }
+  Cluster* cluster = left.cluster();
+  Catalog* catalog = left.catalog();
+  if (right.cluster() != cluster || result->cluster() != cluster) {
+    return Status::InvalidArgument("operands live on different clusters");
+  }
+  if (spec.shape.num_dims() != right.schema().num_dims()) {
+    return Status::InvalidArgument(
+        "shape dimensionality does not match the right operand");
+  }
+
+  JoinExecutionStats stats;
+  const ChunkGrid& lgrid = left.grid();
+  const ChunkGrid& rgrid = right.grid();
+  const ViewTarget target{&spec.group_dims, &result->grid()};
+
+  // Fragments of partial aggregate states, grouped by the node that
+  // produced them.
+  std::map<NodeId, std::map<ChunkId, Chunk>> fragments_by_node;
+  // (left chunk, node) pairs already shipped, so each replica moves once.
+  std::set<std::pair<ChunkId, NodeId>> shipped;
+
+  for (ChunkId p : catalog->ChunkIdsOf(left.id())) {
+    AVM_ASSIGN_OR_RETURN(NodeId p_node, catalog->NodeOf(left.id(), p));
+    const std::vector<ChunkId> partners = EnumerateJoinPartners(
+        lgrid, p, spec.mapping, spec.shape, rgrid, [&](ChunkId q) {
+          return catalog->HasChunk(right.id(), q);
+        });
+    for (ChunkId q : partners) {
+      AVM_ASSIGN_OR_RETURN(NodeId join_node, catalog->NodeOf(right.id(), q));
+      // Co-locate the left chunk with the right chunk's node (once per
+      // replica target).
+      if (p_node != join_node && shipped.insert({p, join_node}).second) {
+        AVM_RETURN_IF_ERROR(
+            cluster->TransferChunk(left.id(), p, p_node, join_node));
+        stats.bytes_shipped += catalog->ChunkBytes(left.id(), p);
+      }
+      const Chunk* left_chunk = cluster->store(join_node).Get(left.id(), p);
+      const Chunk* right_chunk = cluster->store(join_node).Get(right.id(), q);
+      if (left_chunk == nullptr || right_chunk == nullptr) {
+        return Status::Internal("operand chunk missing from its node store");
+      }
+      cluster->ChargeJoin(join_node, left_chunk->SizeBytes() +
+                                         right_chunk->SizeBytes());
+      const RightOperand rop{right_chunk, q, &rgrid};
+      AVM_RETURN_IF_ERROR(JoinAggregateChunkPair(
+          *left_chunk, rop, spec.mapping, spec.shape, spec.layout, target,
+          /*multiplicity=*/1, &fragments_by_node[join_node]));
+      ++stats.chunk_pairs;
+    }
+  }
+
+  // Ship fragments to each result chunk's home and merge.
+  for (auto& [join_node, fragments] : fragments_by_node) {
+    for (auto& [v, fragment] : fragments) {
+      NodeId home;
+      auto assigned = catalog->NodeOf(result->id(), v);
+      if (assigned.ok()) {
+        home = assigned.value();
+      } else {
+        home = catalog->PlaceByStrategy(result->id(), v,
+                                        cluster->num_workers());
+      }
+      if (home != join_node) {
+        cluster->ChargeNetwork(join_node, fragment.SizeBytes());
+        stats.bytes_shipped += fragment.SizeBytes();
+      }
+      AVM_RETURN_IF_ERROR(
+          MergeStateFragment(result, v, fragment, spec.layout, home));
+      ++stats.fragments;
+    }
+  }
+  return stats;
+}
+
+}  // namespace avm

@@ -1,0 +1,55 @@
+#ifndef AVM_JOIN_SIMILARITY_JOIN_H_
+#define AVM_JOIN_SIMILARITY_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/aggregates.h"
+#include "cluster/distributed_array.h"
+#include "common/result.h"
+#include "join/mapping.h"
+#include "shape/shape.h"
+
+namespace avm {
+
+/// Specification of a shape-based similarity join with group-by aggregation:
+///     SELECT aggs FROM left SIMILARITY JOIN right ON M WITH SHAPE σ
+///     GROUP BY left dims in `group_dims`.
+struct SimilarityJoinSpec {
+  DimMapping mapping = DimMapping::Identity(1);
+  Shape shape = Shape(1);
+  AggregateLayout layout =
+      AggregateLayout::Create({AggregateSpec{}}, 0).value();
+  /// Indices of the left operand's dimensions the output is keyed on.
+  std::vector<size_t> group_dims;
+};
+
+/// Execution statistics of one distributed join.
+struct JoinExecutionStats {
+  uint64_t chunk_pairs = 0;      // kernel invocations
+  uint64_t bytes_shipped = 0;    // operand replicas + result fragments
+  uint64_t fragments = 0;        // result fragments produced
+};
+
+/// Executes the complete distributed similarity-join aggregate — the array
+/// similarity join substrate of [Zhao et al., SIGMOD 2016] that the paper
+/// builds on — writing the aggregated output into `result` (an empty
+/// DistributedArray whose schema has the layout's state attributes and the
+/// grouped dimensions).
+///
+/// Scheduling follows the substrate's convention: each chunk pair joins at
+/// the node storing the right (inner) chunk; left chunks are shipped there
+/// once (replica-tracked) and charged to the sender's network clock; result
+/// fragments ship from the join node to the result chunk's home (existing
+/// assignment, else the result array's placement strategy).
+///
+/// A self-join is simply a call with `left` and `right` bound to the same
+/// array: iterating every chunk as the left operand generates each ordered
+/// chunk pair exactly once.
+Result<JoinExecutionStats> ExecuteDistributedJoinAggregate(
+    const DistributedArray& left, const DistributedArray& right,
+    const SimilarityJoinSpec& spec, DistributedArray* result);
+
+}  // namespace avm
+
+#endif  // AVM_JOIN_SIMILARITY_JOIN_H_

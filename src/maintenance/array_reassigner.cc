@@ -1,0 +1,143 @@
+#include "maintenance/array_reassigner.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+namespace avm {
+
+namespace {
+
+/// Key of an array chunk across batches: (which base array, chunk id).
+using ChunkKey = std::pair<bool, ChunkId>;  // (right_array, id)
+/// Score key: (array chunk, view chunk).
+using ScoreKey = std::pair<ChunkKey, ChunkId>;
+
+}  // namespace
+
+Status ReassignArrayChunks(
+    const MaterializedView& view, const TripleSet& triples,
+    const BatchHistory& history, int num_workers,
+    const PlannerOptions& options,
+    const std::unordered_map<MChunkRef, std::set<NodeId>, MChunkRefHash>&
+        replicas,
+    MaintenancePlan* plan) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+
+  // Accumulate scores over the current batch (weight 1) and the window.
+  std::map<ScoreKey, double> score;
+  double weighted_pair_bytes = 0.0;
+  const HistoryBatch current = MakeHistoryBatch(triples);
+  double weight = 1.0;
+  auto fold = [&](const HistoryBatch& batch, double w) {
+    for (const auto& e : batch.entries) {
+      score[{{e.right_array, e.array_chunk}, e.view_chunk}] +=
+          w * static_cast<double>(e.bytes);
+    }
+    weighted_pair_bytes += w * static_cast<double>(batch.total_pair_bytes);
+  };
+  fold(current, weight);
+  for (const auto& batch : history.batches()) {
+    weight *= options.history_decay;
+    fold(batch, weight);
+  }
+
+  // Per-node CPU budget: the weighted average join load per node.
+  std::vector<double> cpu_thr(
+      static_cast<size_t>(num_workers),
+      options.cpu_threshold_slack * weighted_pair_bytes /
+          static_cast<double>(num_workers));
+
+  // Descending score, deterministic tie-break on the key.
+  std::vector<std::pair<ScoreKey, double>> ordered(score.begin(), score.end());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const auto& x, const auto& y) {
+                     return x.second > y.second;
+                   });
+
+  const Catalog* catalog = view.left_base().catalog();
+  const ArrayId left_id = view.left_base().id();
+  const ArrayId right_id = view.right_base().id();
+  const ArrayId view_id = view.array().id();
+
+  // Resolves y_v: the home chosen by stage 2, else the current location.
+  auto home_of_view_chunk = [&](ChunkId v) -> Result<NodeId> {
+    auto it = plan->view_home.find(v);
+    if (it != plan->view_home.end()) return it->second;
+    return catalog->NodeOf(view_id, v);
+  };
+
+  // The maintenance-time refs a chunk key may have this batch.
+  auto base_ref_of = [](const ChunkKey& key) {
+    return MChunkRef{key.first ? ChunkSide::kRightBase : ChunkSide::kLeftBase,
+                     key.second};
+  };
+  auto delta_ref_of = [](const ChunkKey& key) {
+    return MChunkRef{
+        key.first ? ChunkSide::kRightDelta : ChunkSide::kLeftDelta,
+        key.second};
+  };
+
+  std::set<ChunkKey> done;
+  // Best-scoring view chunk per still-unassigned delta chunk, for the
+  // fallback rule.
+  std::map<ChunkKey, ChunkId> best_view_of;
+
+  for (const auto& [key, s] : ordered) {
+    const ChunkKey& a = key.first;
+    const ChunkId v = key.second;
+    if (done.count(a) > 0) continue;
+    if (best_view_of.count(a) == 0) best_view_of[a] = v;
+
+    auto home = home_of_view_chunk(v);
+    if (!home.ok()) continue;  // view chunk no longer exists
+    const NodeId j = home.value();
+
+    // The move is free only where maintenance replicated the chunk. For a
+    // chunk with a base part this batch, the base copy must be at j; a
+    // delta-only (new) chunk needs its delta replica at j.
+    const ArrayId base_array = a.first ? right_id : left_id;
+    const bool has_base = catalog->HasChunk(base_array, a.second);
+    const MChunkRef ref = has_base ? base_ref_of(a) : delta_ref_of(a);
+    auto rep = replicas.find(ref);
+    if (rep == replicas.end() || rep->second.count(j) == 0) continue;
+
+    uint64_t bytes = 0;
+    auto it = triples.bytes.find(ref);
+    if (it != triples.bytes.end()) {
+      bytes = it->second;
+    } else if (has_base) {
+      bytes = catalog->ChunkBytes(base_array, a.second);
+    }
+    if (cpu_thr[static_cast<size_t>(j)] < static_cast<double>(bytes)) {
+      continue;
+    }
+    cpu_thr[static_cast<size_t>(j)] -= static_cast<double>(bytes);
+    plan->array_moves.push_back({ref, j});
+    done.insert(a);
+  }
+
+  // Fallback for delta chunks that remained unassigned: the home of their
+  // highest-score view chunk.
+  for (const auto& [ref, node] : triples.location) {
+    (void)node;
+    if (!IsDeltaSide(ref.side)) continue;
+    const bool right = ref.side == ChunkSide::kRightDelta;
+    const ChunkKey a{right, ref.id};
+    if (done.count(a) > 0) continue;
+    const ArrayId base_array = right ? right_id : left_id;
+    if (catalog->HasChunk(base_array, ref.id)) {
+      continue;  // merges into the existing base chunk; no new home needed
+    }
+    auto it = best_view_of.find(a);
+    if (it == best_view_of.end()) continue;  // no scored view chunk at all
+    auto home = home_of_view_chunk(it->second);
+    if (!home.ok()) continue;
+    plan->array_moves.push_back({ref, home.value()});
+    done.insert(a);
+  }
+  return Status::OK();
+}
+
+}  // namespace avm

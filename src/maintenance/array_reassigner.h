@@ -1,0 +1,42 @@
+#ifndef AVM_MAINTENANCE_ARRAY_REASSIGNER_H_
+#define AVM_MAINTENANCE_ARRAY_REASSIGNER_H_
+
+#include <set>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "maintenance/history.h"
+#include "maintenance/types.h"
+#include "view/materialized_view.h"
+
+namespace avm {
+
+/// Algorithm 3 — Array Chunk Reassignment. Reuses the replication that view
+/// maintenance already paid for to repartition the base arrays, so future
+/// batches find the chunks co-located with the view chunks they feed.
+///
+/// Every (array chunk a, view chunk v) co-occurrence across the current
+/// batch (weight 1) and the historical window (weight decay^l) accrues
+/// score W_l * B_a. Pairs are visited in descending score; chunk a moves to
+/// the node of v's new home y_v, provided
+///   - maintenance actually replicated a there (x_{a,S_a,j} = 1, taken from
+///     stage 1's replica sets — only then is the move free), and
+///   - the node's CPU budget cpu_thr (the batch-weighted average join load
+///     per node, scaled by options.cpu_threshold_slack) still covers B_a.
+/// Unassigned chunks stay put; a new (delta-only) chunk that cannot be
+/// placed under the budget goes to the home of its highest-score view chunk
+/// (the paper's fallback). NP-hard via quadratic knapsack (Appendix A.3).
+///
+/// Moves are appended to `plan->array_moves`; they carry no simulated cost
+/// (only storage is redistributed).
+Status ReassignArrayChunks(
+    const MaterializedView& view, const TripleSet& triples,
+    const BatchHistory& history, int num_workers,
+    const PlannerOptions& options,
+    const std::unordered_map<MChunkRef, std::set<NodeId>, MChunkRefHash>&
+        replicas,
+    MaintenancePlan* plan);
+
+}  // namespace avm
+
+#endif  // AVM_MAINTENANCE_ARRAY_REASSIGNER_H_

@@ -1,0 +1,85 @@
+#include "maintenance/baseline_planner.h"
+
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+namespace avm {
+
+namespace {
+
+ArrayId BaseArrayIdOf(const MaterializedView& view, ChunkSide side) {
+  switch (side) {
+    case ChunkSide::kLeftBase:
+    case ChunkSide::kLeftDelta:
+      return view.left_base().id();
+    case ChunkSide::kRightBase:
+    case ChunkSide::kRightDelta:
+      return view.right_base().id();
+  }
+  return view.left_base().id();  // unreachable
+}
+
+}  // namespace
+
+Result<MaintenancePlan> PlanBaseline(const MaterializedView& view,
+                                     const TripleSet& triples,
+                                     int num_workers) {
+  MaintenancePlan plan;
+  const Catalog* catalog = view.left_base().catalog();
+
+  // Stage A: assign every delta chunk by the static placement strategy of
+  // its target array and ship it from the coordinator.
+  std::unordered_map<MChunkRef, NodeId, MChunkRefHash> home;
+  for (const auto& [ref, node] : triples.location) {
+    if (!IsDeltaSide(ref.side)) {
+      home[ref] = node;
+      continue;
+    }
+    const NodeId dest = catalog->PlaceByStrategy(
+        BaseArrayIdOf(view, ref.side), ref.id, num_workers);
+    home[ref] = dest;
+    plan.transfers.push_back({ref, node, dest});
+    plan.array_moves.push_back({ref, dest});
+  }
+
+  // Stage B: each pair joins where its stored (non-delta) operand lives.
+  std::set<std::pair<MChunkRef, NodeId>> shipped;
+  plan.joins.reserve(triples.pairs.size());
+  for (size_t i = 0; i < triples.pairs.size(); ++i) {
+    const JoinPair& pair = triples.pairs[i];
+    NodeId join_node;
+    if (!IsDeltaSide(pair.a.side)) {
+      join_node = home.at(pair.a);
+    } else if (!IsDeltaSide(pair.b.side)) {
+      join_node = home.at(pair.b);
+    } else {
+      join_node = home.at(pair.b);  // delta-delta: second operand's new node
+    }
+    for (const MChunkRef& ref : {pair.a, pair.b}) {
+      const NodeId at = home.at(ref);
+      if (at != join_node && shipped.insert({ref, join_node}).second) {
+        plan.transfers.push_back({ref, at, join_node});
+      }
+    }
+    plan.joins.push_back({i, join_node});
+  }
+
+  // Stage C: results merge at the view chunk's current node; new view
+  // chunks are assigned by the view's placement strategy.
+  for (const auto& pair : triples.pairs) {
+    for (ChunkId v : pair.AllViewTargets()) {
+      if (plan.view_home.count(v) > 0) continue;
+      auto it = triples.view_location.find(v);
+      if (it != triples.view_location.end()) {
+        plan.view_home[v] = it->second;
+      } else {
+        plan.view_home[v] =
+            catalog->PlaceByStrategy(view.array().id(), v, num_workers);
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace avm

@@ -1,0 +1,32 @@
+#ifndef AVM_MAINTENANCE_BASELINE_PLANNER_H_
+#define AVM_MAINTENANCE_BASELINE_PLANNER_H_
+
+#include "common/result.h"
+#include "maintenance/types.h"
+#include "view/materialized_view.h"
+
+namespace avm {
+
+/// The baseline view-maintenance planner of Section 4.1: the parallel
+/// relational procedure of Luo et al. [37] adapted to arrays and extended to
+/// batch updates.
+///
+///  - Every delta chunk is first assigned by its array's static placement
+///    strategy and shipped there from the coordinator.
+///  - Each chunk pair joins at the node that *stores* the non-delta operand
+///    (for delta-delta pairs, the second operand's freshly assigned node);
+///    the other operand is shipped there (once per replica target).
+///  - Differential results ship to the view chunk's current node (new view
+///    chunks are assigned by the view's placement strategy); no chunk is
+///    ever reassigned.
+///
+/// Its pathologies — excessive communication under hash-spread chunking and
+/// load imbalance under space-partitioned chunking — are what the heuristic
+/// stages remove.
+Result<MaintenancePlan> PlanBaseline(const MaterializedView& view,
+                                     const TripleSet& triples,
+                                     int num_workers);
+
+}  // namespace avm
+
+#endif  // AVM_MAINTENANCE_BASELINE_PLANNER_H_

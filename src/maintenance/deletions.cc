@@ -1,0 +1,226 @@
+#include "maintenance/deletions.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "join/fragment_merge.h"
+#include "join/join_kernel.h"
+#include "join/pair_enumeration.h"
+
+namespace avm {
+
+namespace {
+
+/// Merges retraction fragments into the view (charging shipping) and
+/// returns the affected (view chunk, offset) pairs for identity cleanup.
+Status MergeRetractions(
+    MaterializedView* view,
+    std::map<NodeId, std::map<ChunkId, Chunk>>* fragments_by_node,
+    std::set<std::pair<ChunkId, uint64_t>>* touched) {
+  Cluster* cluster = view->array().cluster();
+  Catalog* catalog = view->array().catalog();
+  const ArrayId view_id = view->array().id();
+  for (auto& [producer, fragments] : *fragments_by_node) {
+    for (auto& [v, fragment] : fragments) {
+      for (size_t row = 0; row < fragment.num_cells(); ++row) {
+        touched->insert({v, fragment.OffsetOfRow(row)});
+      }
+      auto home_result = catalog->NodeOf(view_id, v);
+      const NodeId home =
+          home_result.ok() ? home_result.value()
+                           : catalog->PlaceByStrategy(
+                                 view_id, v, cluster->num_workers());
+      if (producer != home) {
+        cluster->ChargeNetwork(producer, fragment.SizeBytes());
+      }
+      AVM_RETURN_IF_ERROR(MergeStateFragment(&view->array(), v, fragment,
+                                             view->layout(), home));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<DeletionStats> ApplyDeletionBatch(MaterializedView* view,
+                                         const SparseArray& deleted_cells) {
+  if (view == nullptr) return Status::InvalidArgument("null view");
+  const ViewDefinition& def = view->definition();
+  if (!def.IsSelfJoin() || !def.mapping.IsIdentity()) {
+    return Status::Unimplemented(
+        "deletion batches are supported for identity self-join views");
+  }
+  if (!view->layout().SupportsRetraction()) {
+    return Status::FailedPrecondition(
+        "deletions require retractable aggregates (COUNT/SUM/AVG); this "
+        "view uses MIN/MAX");
+  }
+  DistributedArray& base = view->left_base();
+  Cluster* cluster = base.cluster();
+  Catalog* catalog = base.catalog();
+  const ChunkGrid& grid = base.grid();
+  const AggregateLayout& layout = view->layout();
+  const ViewTarget target{&def.group_dims, &view->array().grid()};
+  const ClusterClockSnapshot before = ClusterClockSnapshot::Take(*cluster);
+  DeletionStats stats;
+
+  // Snapshot the victims with their *current* base values; silently skip
+  // coordinates that do not exist.
+  SparseArray victims(base.schema());
+  {
+    Status status = Status::OK();
+    CellCoord coord;
+    deleted_cells.ForEachCell([&](std::span<const int64_t> c,
+                                  std::span<const double>) {
+      if (!status.ok()) return;
+      coord.assign(c.begin(), c.end());
+      auto node = catalog->NodeOf(base.id(), grid.IdOfCell(coord));
+      if (!node.ok()) return;
+      const Chunk* chunk =
+          cluster->store(node.value()).Get(base.id(), grid.IdOfCell(coord));
+      const double* values =
+          chunk == nullptr ? nullptr
+                           : chunk->GetCell(grid.InChunkOffset(coord));
+      if (values == nullptr) return;
+      status = victims.Set(coord, {values, base.schema().num_attrs()});
+    });
+    AVM_RETURN_IF_ERROR(status);
+  }
+  stats.deleted_cells = victims.NumCells();
+  if (stats.deleted_cells == 0) {
+    return stats;  // nothing to do
+  }
+
+  AVM_ASSIGN_OR_RETURN(
+      ChunkFootprint footprint,
+      ChunkFootprint::Compute(def.shape, grid.extents()));
+  AVM_ASSIGN_OR_RETURN(
+      ChunkFootprint reflected,
+      ChunkFootprint::Compute(def.shape.Reflected(), grid.extents()));
+  auto base_exists = [&](ChunkId q) {
+    return catalog->HasChunk(base.id(), q);
+  };
+
+  std::map<NodeId, std::map<ChunkId, Chunk>> fragments_by_node;
+
+  // Pass B (before erasure): retract the victims' own left-side
+  // contributions — kernel(victims, base incl. victims, -1), evaluated at
+  // each base partner's node (the victim snapshot ships from the
+  // coordinator).
+  {
+    Status status = Status::OK();
+    victims.ForEachChunk([&](ChunkId m, const Chunk& victim_chunk) {
+      if (!status.ok()) return;
+      for (ChunkId q :
+           EnumerateJoinPartnersExact(grid, m, footprint, base_exists)) {
+        auto node = catalog->NodeOf(base.id(), q);
+        if (!node.ok()) continue;
+        const Chunk* right = cluster->store(node.value()).Get(base.id(), q);
+        if (right == nullptr) {
+          status = Status::Internal("base chunk missing from its store");
+          return;
+        }
+        cluster->ChargeNetwork(kCoordinatorNode, victim_chunk.SizeBytes());
+        cluster->ChargeJoin(node.value(),
+                            victim_chunk.SizeBytes() + right->SizeBytes());
+        const RightOperand rop{right, q, &grid};
+        status = JoinAggregateChunkPair(victim_chunk, rop, def.mapping,
+                                        def.shape, layout, target,
+                                        /*multiplicity=*/-1,
+                                        &fragments_by_node[node.value()]);
+        if (!status.ok()) return;
+        ++stats.retraction_joins;
+      }
+    });
+    AVM_RETURN_IF_ERROR(status);
+  }
+
+  // Erase the victims from their base chunks (dropping emptied chunks).
+  {
+    Status status = Status::OK();
+    victims.ForEachChunk([&](ChunkId m, const Chunk& victim_chunk) {
+      if (!status.ok()) return;
+      auto node = catalog->NodeOf(base.id(), m);
+      if (!node.ok()) {
+        status = Status::Internal("victim chunk vanished from the catalog");
+        return;
+      }
+      Chunk* chunk = cluster->store(node.value()).GetMutable(base.id(), m);
+      if (chunk == nullptr) {
+        status = Status::Internal("victim chunk missing from its store");
+        return;
+      }
+      for (size_t row = 0; row < victim_chunk.num_cells(); ++row) {
+        chunk->EraseCell(victim_chunk.OffsetOfRow(row));
+      }
+      if (chunk->empty()) {
+        cluster->store(node.value()).Erase(base.id(), m);
+        catalog->RemoveChunk(base.id(), m);
+      } else {
+        catalog->SetChunkBytes(base.id(), m, chunk->SizeBytes());
+      }
+    });
+    AVM_RETURN_IF_ERROR(status);
+  }
+
+  // Pass A (after erasure): surviving cells retract their deleted partners
+  // — kernel(survivor chunks seeing a victim chunk, victims, -1), at the
+  // survivor's node.
+  {
+    Status status = Status::OK();
+    victims.ForEachChunk([&](ChunkId m, const Chunk& victim_chunk) {
+      if (!status.ok()) return;
+      for (ChunkId q :
+           EnumerateJoinPartnersExact(grid, m, reflected, base_exists)) {
+        auto node = catalog->NodeOf(base.id(), q);
+        if (!node.ok()) continue;
+        const Chunk* left = cluster->store(node.value()).Get(base.id(), q);
+        if (left == nullptr) {
+          status = Status::Internal("base chunk missing from its store");
+          return;
+        }
+        cluster->ChargeNetwork(kCoordinatorNode, victim_chunk.SizeBytes());
+        cluster->ChargeJoin(node.value(),
+                            victim_chunk.SizeBytes() + left->SizeBytes());
+        const RightOperand rop{&victim_chunk, m, &grid};
+        status = JoinAggregateChunkPair(*left, rop, def.mapping, def.shape,
+                                        layout, target,
+                                        /*multiplicity=*/-1,
+                                        &fragments_by_node[node.value()]);
+        if (!status.ok()) return;
+        ++stats.retraction_joins;
+      }
+    });
+    AVM_RETURN_IF_ERROR(status);
+  }
+
+  // Merge all retractions and clean up view cells whose state returned to
+  // the identity (deleted keys and survivors that lost every partner).
+  std::set<std::pair<ChunkId, uint64_t>> touched;
+  AVM_RETURN_IF_ERROR(MergeRetractions(view, &fragments_by_node, &touched));
+  const ArrayId view_id = view->array().id();
+  for (const auto& [v, offset] : touched) {
+    auto node = catalog->NodeOf(view_id, v);
+    if (!node.ok()) continue;
+    Chunk* chunk = cluster->store(node.value()).GetMutable(view_id, v);
+    if (chunk == nullptr) continue;
+    const double* state = chunk->GetCell(offset);
+    if (state != nullptr &&
+        layout.IsIdentity({state, layout.num_state_slots()})) {
+      chunk->EraseCell(offset);
+      ++stats.view_cells_removed;
+    }
+    if (chunk->empty()) {
+      cluster->store(node.value()).Erase(view_id, v);
+      catalog->RemoveChunk(view_id, v);
+    } else {
+      catalog->SetChunkBytes(view_id, v, chunk->SizeBytes());
+    }
+  }
+
+  stats.maintenance_seconds = before.MakespanSince(*cluster);
+  return stats;
+}
+
+}  // namespace avm

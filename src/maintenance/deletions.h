@@ -1,0 +1,43 @@
+#ifndef AVM_MAINTENANCE_DELETIONS_H_
+#define AVM_MAINTENANCE_DELETIONS_H_
+
+#include <cstdint>
+
+#include "array/sparse_array.h"
+#include "common/result.h"
+#include "view/materialized_view.h"
+
+namespace avm {
+
+/// Batch deletions — the other half of "batch updates". The paper's
+/// astronomy pipelines are insert-only, but its aggregate class
+/// (COUNT/SUM/AVG, Section 3) is explicitly chosen to be incrementally
+/// maintainable, which includes retraction; this module completes that
+/// story for self-join views.
+///
+/// Deleting a set D of existing cells changes the view in two ways:
+///   1. every surviving cell x with a deleted partner y ∈ σ[x] retracts
+///      f(y) from its aggregate state (a right-operand pass with
+///      multiplicity -1, mirroring insert maintenance), and
+///   2. the view cells keyed by deleted coordinates disappear.
+/// Cells whose state returns to the aggregate identity after retraction are
+/// also removed, so the maintained view stays content-equal to a
+/// from-scratch recomputation over the surviving data.
+///
+/// Requires every aggregate to support retraction (COUNT/SUM/AVG); MIN/MAX
+/// views fail with FailedPrecondition. Cells in `deleted_cells` that do not
+/// exist in the base are ignored (idempotent deletes).
+struct DeletionStats {
+  uint64_t deleted_cells = 0;
+  uint64_t retraction_joins = 0;
+  uint64_t view_cells_removed = 0;
+  /// Simulated makespan of the deletion batch.
+  double maintenance_seconds = 0.0;
+};
+
+Result<DeletionStats> ApplyDeletionBatch(MaterializedView* view,
+                                         const SparseArray& deleted_cells);
+
+}  // namespace avm
+
+#endif  // AVM_MAINTENANCE_DELETIONS_H_

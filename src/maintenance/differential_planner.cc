@@ -1,0 +1,122 @@
+#include "maintenance/differential_planner.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace avm {
+
+Result<DifferentialPlanResult> PlanDifferentialView(
+    const MaterializedView& view, const TripleSet& triples, int num_workers,
+    const CostModel& cost, const PlannerOptions& options) {
+  if (num_workers < 1) {
+    return Status::InvalidArgument("need at least one worker");
+  }
+  DifferentialPlanResult result{MaintenancePlan{},
+                                MakespanTracker(num_workers),
+                                {}};
+  MaintenancePlan& plan = result.plan;
+  MakespanTracker& tracker = result.tracker;
+  auto& replicas = result.replicas;
+
+  // T[c] starts as {S_c}.
+  for (const auto& [ref, node] : triples.location) {
+    replicas[ref].insert(node);
+  }
+
+  // Random iteration order over the pairs.
+  std::vector<size_t> order(triples.pairs.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(options.seed);
+  rng.Shuffle(order);
+
+  plan.joins.reserve(triples.pairs.size());
+  std::vector<MakespanTracker::Delta> deltas;
+  for (size_t index : order) {
+    const JoinPair& pair = triples.pairs[index];
+    const bool same_operand = pair.a == pair.b;
+    // Candidates are ranked by the global makespan first (the paper's
+    // opt_now); ties — common once some node saturates the max — break
+    // toward less added communication, then the least busy candidate, so
+    // the greedy keeps spreading work instead of collapsing onto one node.
+    double best_cost = std::numeric_limits<double>::infinity();
+    double best_added = std::numeric_limits<double>::infinity();
+    double best_busy = std::numeric_limits<double>::infinity();
+    NodeId best = 0;
+    for (NodeId j = 0; j < num_workers; ++j) {
+      deltas.clear();
+      // Tie-break communication counts only worker-charged transfers: the
+      // coordinator streams deltas outside the makespan, so shipping a
+      // delta is "free" while re-shipping a worker's base chunk is not.
+      double added = 0.0;
+      if (replicas.at(pair.a).count(j) == 0) {
+        const NodeId from = triples.location.at(pair.a);
+        const double seconds =
+            cost.TransferSeconds(triples.bytes.at(pair.a));
+        deltas.push_back({from, seconds, 0.0});
+        if (from != kCoordinatorNode) added += seconds;
+      }
+      if (!same_operand && replicas.at(pair.b).count(j) == 0) {
+        const NodeId from = triples.location.at(pair.b);
+        const double seconds =
+            cost.TransferSeconds(triples.bytes.at(pair.b));
+        deltas.push_back({from, seconds, 0.0});
+        if (from != kCoordinatorNode) added += seconds;
+      }
+      deltas.push_back({j, 0.0, cost.JoinSeconds(pair.bytes)});
+      const double candidate = tracker.EvalWithDeltas(deltas);
+      const double busy =
+          std::max(tracker.ntwk(j),
+                   tracker.cpu(j) + cost.JoinSeconds(pair.bytes));
+      if (candidate < best_cost - 1e-15 ||
+          (candidate <= best_cost + 1e-15 &&
+           (added < best_added - 1e-15 ||
+            (added <= best_added + 1e-15 && busy < best_busy - 1e-15)))) {
+        best_cost = candidate;
+        best_added = added;
+        best_busy = busy;
+        best = j;
+      }
+    }
+    // Commit the chosen node: record transfers, replicas, and the join.
+    deltas.clear();
+    if (replicas.at(pair.a).count(best) == 0) {
+      const NodeId from = triples.location.at(pair.a);
+      deltas.push_back(
+          {from, cost.TransferSeconds(triples.bytes.at(pair.a)), 0.0});
+      plan.transfers.push_back({pair.a, from, best});
+      replicas.at(pair.a).insert(best);
+    }
+    if (!same_operand && replicas.at(pair.b).count(best) == 0) {
+      const NodeId from = triples.location.at(pair.b);
+      deltas.push_back(
+          {from, cost.TransferSeconds(triples.bytes.at(pair.b)), 0.0});
+      plan.transfers.push_back({pair.b, from, best});
+      replicas.at(pair.b).insert(best);
+    }
+    deltas.push_back({best, 0.0, cost.JoinSeconds(pair.bytes)});
+    tracker.Commit(deltas);
+    plan.joins.push_back({index, best});
+  }
+
+  // Default (no-reassignment) view homes; stage 2 overwrites these.
+  const Catalog* catalog = view.left_base().catalog();
+  for (const auto& pair : triples.pairs) {
+    for (ChunkId v : pair.AllViewTargets()) {
+      if (plan.view_home.count(v) > 0) continue;
+      auto it = triples.view_location.find(v);
+      if (it != triples.view_location.end()) {
+        plan.view_home[v] = it->second;
+      } else {
+        plan.view_home[v] =
+            catalog->PlaceByStrategy(view.array().id(), v, num_workers);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace avm

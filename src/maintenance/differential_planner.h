@@ -1,0 +1,48 @@
+#ifndef AVM_MAINTENANCE_DIFFERENTIAL_PLANNER_H_
+#define AVM_MAINTENANCE_DIFFERENTIAL_PLANNER_H_
+
+#include <set>
+#include <unordered_map>
+
+#include "cluster/cost_model.h"
+#include "common/result.h"
+#include "maintenance/makespan_tracker.h"
+#include "maintenance/types.h"
+#include "view/materialized_view.h"
+
+namespace avm {
+
+/// Output of stage 1. Besides the plan (z join placements, x transfers, and
+/// default view homes), it exposes the cost-tracker state and the replica
+/// sets T, which stages 2 and 3 consume.
+struct DifferentialPlanResult {
+  MaintenancePlan plan;
+  MakespanTracker tracker;
+  /// T[c]: every node that holds a copy of chunk c after the planned
+  /// transfers (its origin S_c included).
+  std::unordered_map<MChunkRef, std::set<NodeId>, MChunkRefHash> replicas;
+};
+
+/// Algorithm 1 — Differential View Computation. A randomized greedy
+/// heuristic for the NP-hard stage-1 problem (Appendix A.1): iterate the
+/// unique chunk join pairs of U_0 in random order and evaluate every worker
+/// as the pair's join site, charging
+///   - a transfer of each operand not yet replicated there (billed to the
+///     operand's origin S_c, per the MIP/Figure-7 semantics — the printed
+///     pseudo-code's line 6 checks only q, but the worked example charges
+///     both operands, which is what we implement), and
+///   - the join CPU B_pq at the candidate,
+/// then commit the node minimizing the global max(ntwk, cpu) makespan.
+/// Delta chunks start at the coordinator, whose uplink participates in the
+/// makespan.
+///
+/// The plan's view homes are filled with the no-reassignment defaults
+/// (current node, or the view's placement strategy for new chunks); stage 2
+/// overwrites them.
+Result<DifferentialPlanResult> PlanDifferentialView(
+    const MaterializedView& view, const TripleSet& triples, int num_workers,
+    const CostModel& cost, const PlannerOptions& options);
+
+}  // namespace avm
+
+#endif  // AVM_MAINTENANCE_DIFFERENTIAL_PLANNER_H_

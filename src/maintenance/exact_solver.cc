@@ -1,0 +1,91 @@
+#include "maintenance/exact_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+namespace avm {
+
+Result<double> EvaluateStage1Assignment(const TripleSet& triples,
+                                        const std::vector<NodeId>& assignment,
+                                        int num_workers,
+                                        const CostModel& cost) {
+  if (assignment.size() != triples.pairs.size()) {
+    return Status::InvalidArgument(
+        "assignment must cover every pair exactly once (C3)");
+  }
+  const size_t slots = static_cast<size_t>(num_workers) + 1;
+  std::vector<double> ntwk(slots, 0.0);
+  std::vector<double> cpu(slots, 0.0);
+  auto slot = [&](NodeId node) -> size_t {
+    return node == kCoordinatorNode ? slots - 1 : static_cast<size_t>(node);
+  };
+
+  std::set<std::pair<MChunkRef, NodeId>> replicated;
+  for (size_t i = 0; i < triples.pairs.size(); ++i) {
+    const JoinPair& pair = triples.pairs[i];
+    const NodeId j = assignment[i];
+    if (j < 0 || j >= num_workers) {
+      return Status::InvalidArgument("assignment uses a non-worker node");
+    }
+    for (const MChunkRef& c : {pair.a, pair.b}) {
+      const NodeId origin = triples.location.at(c);
+      if (origin != j && replicated.insert({c, j}).second) {
+        ntwk[slot(origin)] += cost.TransferSeconds(triples.bytes.at(c));
+      }
+      if (pair.a == pair.b) break;  // self pair: one operand
+    }
+    cpu[slot(j)] += cost.JoinSeconds(pair.bytes);
+  }
+  // Workers only; the coordinator slot is informational.
+  double makespan = 0.0;
+  for (size_t k = 0; k + 1 < slots; ++k) {
+    makespan = std::max(makespan, std::max(ntwk[k], cpu[k]));
+  }
+  return makespan;
+}
+
+Result<ExactStage1Solution> SolveStage1Exact(const TripleSet& triples,
+                                             int num_workers,
+                                             const CostModel& cost) {
+  const size_t pairs = triples.pairs.size();
+  if (pairs > 10) {
+    return Status::InvalidArgument(
+        "exact solver is limited to <= 10 pairs (exponential search)");
+  }
+  const double space = std::pow(static_cast<double>(num_workers),
+                                static_cast<double>(pairs));
+  if (space > 1e7) {
+    return Status::InvalidArgument("search space too large for exact solve");
+  }
+
+  ExactStage1Solution best;
+  best.objective = std::numeric_limits<double>::infinity();
+  std::vector<NodeId> assignment(pairs, 0);
+  for (;;) {
+    AVM_ASSIGN_OR_RETURN(
+        double value,
+        EvaluateStage1Assignment(triples, assignment, num_workers, cost));
+    if (value < best.objective) {
+      best.objective = value;
+      best.assignment = assignment;
+    }
+    // Odometer over assignments.
+    size_t d = pairs;
+    bool done = true;
+    while (d-- > 0) {
+      if (assignment[d] + 1 < num_workers) {
+        ++assignment[d];
+        done = false;
+        break;
+      }
+      assignment[d] = 0;
+    }
+    if (done) break;
+  }
+  if (pairs == 0) best.objective = 0.0;
+  return best;
+}
+
+}  // namespace avm

@@ -1,0 +1,38 @@
+#ifndef AVM_MAINTENANCE_EXACT_SOLVER_H_
+#define AVM_MAINTENANCE_EXACT_SOLVER_H_
+
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "common/result.h"
+#include "maintenance/types.h"
+
+namespace avm {
+
+/// The stage-1 objective restricted to what Algorithm 1 optimizes:
+/// co-location transfers (each distinct (chunk, target-node) replica billed
+/// once to the chunk's origin) plus join CPU, makespan over workers and the
+/// coordinator. `assignment[i]` is the join node of `triples.pairs[i]`.
+Result<double> EvaluateStage1Assignment(const TripleSet& triples,
+                                        const std::vector<NodeId>& assignment,
+                                        int num_workers,
+                                        const CostModel& cost);
+
+/// Result of the exhaustive stage-1 search.
+struct ExactStage1Solution {
+  std::vector<NodeId> assignment;
+  double objective = 0.0;
+};
+
+/// Exhaustively minimizes the stage-1 objective over all N^|pairs| join
+/// placements. The problem is NP-hard (Appendix A.1 reduces constrained
+/// bipartite vertex cover to it) — this solver exists to anchor the
+/// heuristic's quality in tests and is CHECK-limited to tiny instances
+/// (pairs <= 10, N^pairs <= ~1e7).
+Result<ExactStage1Solution> SolveStage1Exact(const TripleSet& triples,
+                                             int num_workers,
+                                             const CostModel& cost);
+
+}  // namespace avm
+
+#endif  // AVM_MAINTENANCE_EXACT_SOLVER_H_

@@ -1,0 +1,274 @@
+#include "maintenance/executor.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "join/fragment_merge.h"
+#include "join/join_kernel.h"
+
+namespace avm {
+
+namespace {
+
+/// Resolves maintenance-time chunk refs to concrete arrays.
+class RefResolver {
+ public:
+  RefResolver(MaterializedView* view, DistributedArray* ldelta,
+              DistributedArray* rdelta)
+      : view_(view), ldelta_(ldelta), rdelta_(rdelta) {}
+
+  Result<DistributedArray*> ArrayOf(ChunkSide side) const {
+    switch (side) {
+      case ChunkSide::kLeftBase:
+        return &view_->left_base();
+      case ChunkSide::kRightBase:
+        return &view_->right_base();
+      case ChunkSide::kLeftDelta:
+        if (ldelta_ == nullptr) {
+          return Status::Internal("plan references a missing left delta");
+        }
+        return ldelta_;
+      case ChunkSide::kRightDelta:
+        if (rdelta_ == nullptr) {
+          return Status::Internal("plan references a missing right delta");
+        }
+        return rdelta_;
+    }
+    return Status::Internal("bad chunk side");
+  }
+
+  /// The base array a delta side merges into.
+  DistributedArray& BaseOf(ChunkSide side) const {
+    return (side == ChunkSide::kRightDelta || side == ChunkSide::kRightBase)
+               ? view_->right_base()
+               : view_->left_base();
+  }
+
+ private:
+  MaterializedView* view_;
+  DistributedArray* ldelta_;
+  DistributedArray* rdelta_;
+};
+
+/// Folds the cells of `delta_chunk` into the base chunk resident at `node`
+/// (upsert semantics: new detections are inserts/overwrites of raw data).
+void UpsertCells(const Chunk& delta_chunk, Chunk* base_chunk) {
+  CellCoord coord(delta_chunk.num_dims());
+  for (size_t row = 0; row < delta_chunk.num_cells(); ++row) {
+    auto c = delta_chunk.CoordOfRow(row);
+    coord.assign(c.begin(), c.end());
+    base_chunk->UpsertCell(delta_chunk.OffsetOfRow(row), coord,
+                           delta_chunk.ValuesOfRow(row));
+  }
+}
+
+}  // namespace
+
+Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
+                                              const TripleSet& triples,
+                                              MaterializedView* view,
+                                              DistributedArray* left_delta,
+                                              DistributedArray* right_delta) {
+  if (view == nullptr) return Status::InvalidArgument("null view");
+  ExecutionStats stats;
+  Cluster* cluster = view->array().cluster();
+  Catalog* catalog = view->array().catalog();
+  const RefResolver resolver(view, left_delta, right_delta);
+  const AggregateLayout& layout = view->layout();
+  const ViewDefinition& def = view->definition();
+  const ViewTarget target{&def.group_dims, &view->array().grid()};
+
+  // Step 1: co-location transfers (x variables). Senders' clocks charged.
+  for (const auto& t : plan.transfers) {
+    AVM_ASSIGN_OR_RETURN(DistributedArray * array,
+                         resolver.ArrayOf(t.chunk.side));
+    AVM_RETURN_IF_ERROR(
+        cluster->TransferChunk(array->id(), t.chunk.id, t.from, t.to));
+  }
+
+  // Step 2: joins (z variables). Each direction's output fragments are
+  // tagged with the node that produced them.
+  std::map<NodeId, std::map<ChunkId, Chunk>> fragments_by_node;
+  for (const auto& join : plan.joins) {
+    if (join.pair_index >= triples.pairs.size()) {
+      return Status::Internal("join references a pair outside the triple set");
+    }
+    const JoinPair& pair = triples.pairs[join.pair_index];
+    const NodeId k = join.node;
+    AVM_ASSIGN_OR_RETURN(DistributedArray * a_array,
+                         resolver.ArrayOf(pair.a.side));
+    AVM_ASSIGN_OR_RETURN(DistributedArray * b_array,
+                         resolver.ArrayOf(pair.b.side));
+    const Chunk* a_chunk = cluster->store(k).Get(a_array->id(), pair.a.id);
+    const Chunk* b_chunk = cluster->store(k).Get(b_array->id(), pair.b.id);
+    if (a_chunk == nullptr || b_chunk == nullptr) {
+      return Status::Internal(
+          "plan did not co-locate both operands of a join at node " +
+          std::to_string(k));
+    }
+    cluster->ChargeJoin(k, pair.bytes);
+    auto& fragments = fragments_by_node[k];
+    if (pair.dir_ab) {
+      const RightOperand rop{b_chunk, pair.b.id, &b_array->grid()};
+      AVM_RETURN_IF_ERROR(JoinAggregateChunkPair(*a_chunk, rop, def.mapping,
+                                                 def.shape, layout, target,
+                                                 /*multiplicity=*/1,
+                                                 &fragments));
+      ++stats.joins_executed;
+    }
+    if (pair.dir_ba) {
+      const RightOperand rop{a_chunk, pair.a.id, &a_array->grid()};
+      AVM_RETURN_IF_ERROR(JoinAggregateChunkPair(*b_chunk, rop, def.mapping,
+                                                 def.shape, layout, target,
+                                                 /*multiplicity=*/1,
+                                                 &fragments));
+      ++stats.joins_executed;
+    }
+  }
+
+  // Step 3a: relocate view chunks whose planned home differs from their
+  // current node (the y_v reassignment).
+  const ArrayId view_id = view->array().id();
+  for (const auto& [v, home] : plan.view_home) {
+    auto current = catalog->NodeOf(view_id, v);
+    if (!current.ok() || current.value() == home) continue;
+    AVM_RETURN_IF_ERROR(
+        cluster->TransferChunk(view_id, v, current.value(), home));
+    catalog->AssignChunk(view_id, v, home);
+    ++stats.view_chunks_touched;
+  }
+
+  // Step 3b: ship fragments to their view chunk's home and merge.
+  for (auto& [producer, fragments] : fragments_by_node) {
+    for (auto& [v, fragment] : fragments) {
+      NodeId home;
+      auto planned = plan.view_home.find(v);
+      if (planned != plan.view_home.end()) {
+        home = planned->second;
+      } else {
+        auto current = catalog->NodeOf(view_id, v);
+        home = current.ok() ? current.value()
+                            : catalog->PlaceByStrategy(
+                                  view_id, v, cluster->num_workers());
+      }
+      if (producer != home) {
+        cluster->ChargeNetwork(producer, fragment.SizeBytes());
+      }
+      AVM_RETURN_IF_ERROR(
+          MergeStateFragment(&view->array(), v, fragment, layout, home));
+      ++stats.fragments_merged;
+    }
+  }
+
+  // Step 4: stage-3 storage redistribution of base chunks (free: the data
+  // was already replicated during maintenance; only primaries change).
+  for (const auto& move : plan.array_moves) {
+    if (IsDeltaSide(move.chunk.side)) continue;  // handled with the merge
+    AVM_ASSIGN_OR_RETURN(DistributedArray * array,
+                         resolver.ArrayOf(move.chunk.side));
+    auto current = catalog->NodeOf(array->id(), move.chunk.id);
+    if (!current.ok() || current.value() == move.node) continue;
+    if (cluster->store(move.node).Get(array->id(), move.chunk.id) == nullptr) {
+      // The planner promised a replica here; pay for the move otherwise.
+      AVM_RETURN_IF_ERROR(cluster->TransferChunk(
+          array->id(), move.chunk.id, current.value(), move.node));
+    }
+    catalog->AssignChunk(array->id(), move.chunk.id, move.node);
+    ++stats.base_chunks_moved;
+  }
+
+  // Step 5: fold the delta chunks into their base arrays.
+  std::map<MChunkRef, NodeId> planned_delta_home;
+  for (const auto& move : plan.array_moves) {
+    if (IsDeltaSide(move.chunk.side)) planned_delta_home[move.chunk] = move.node;
+  }
+  for (DistributedArray* delta : {left_delta, right_delta}) {
+    if (delta == nullptr) continue;
+    const ChunkSide side = (delta == right_delta) ? ChunkSide::kRightDelta
+                                                  : ChunkSide::kLeftDelta;
+    DistributedArray& base = resolver.BaseOf(side);
+    for (ChunkId d : catalog->ChunkIdsOf(delta->id())) {
+      NodeId home;
+      const bool base_exists = catalog->HasChunk(base.id(), d);
+      if (base_exists) {
+        AVM_ASSIGN_OR_RETURN(home, catalog->NodeOf(base.id(), d));
+      } else {
+        auto it = planned_delta_home.find(MChunkRef{side, d});
+        home = it != planned_delta_home.end()
+                   ? it->second
+                   : catalog->PlaceByStrategy(base.id(), d,
+                                              cluster->num_workers());
+      }
+      // Make sure the delta data is at the merge site; ship from the
+      // nearest existing replica (join co-location often already paid for
+      // one) rather than always re-sending from the coordinator.
+      if (cluster->store(home).Get(delta->id(), d) == nullptr) {
+        NodeId source = kCoordinatorNode;
+        for (NodeId n = 0; n < cluster->num_workers(); ++n) {
+          if (cluster->store(n).Get(delta->id(), d) != nullptr) {
+            source = n;
+            break;
+          }
+        }
+        AVM_RETURN_IF_ERROR(
+            cluster->TransferChunk(delta->id(), d, source, home));
+      }
+      const Chunk* delta_chunk = cluster->store(home).Get(delta->id(), d);
+      if (base_exists) {
+        Chunk* base_chunk = cluster->store(home).GetMutable(base.id(), d);
+        if (base_chunk == nullptr) {
+          return Status::Internal(
+              "base chunk missing from its primary node during delta merge");
+        }
+        UpsertCells(*delta_chunk, base_chunk);
+        catalog->SetChunkBytes(base.id(), d, base_chunk->SizeBytes());
+      } else {
+        Chunk copy = *delta_chunk;
+        const uint64_t bytes = copy.SizeBytes();
+        cluster->store(home).Put(base.id(), d, std::move(copy));
+        catalog->AssignChunk(base.id(), d, home);
+        catalog->SetChunkBytes(base.id(), d, bytes);
+      }
+      ++stats.delta_chunks_merged;
+    }
+  }
+
+  // Step 6: drop every non-primary replica of the persistent arrays and all
+  // delta copies (scratch space reclaimed after maintenance).
+  std::vector<ArrayId> persistent = {view->left_base().id(), view_id};
+  if (view->right_base().id() != view->left_base().id()) {
+    persistent.push_back(view->right_base().id());
+  }
+  std::vector<ArrayId> transient;
+  if (left_delta != nullptr) transient.push_back(left_delta->id());
+  if (right_delta != nullptr) transient.push_back(right_delta->id());
+  auto cleanup_store = [&](NodeId node) {
+    ChunkStore& store = cluster->store(node);
+    std::vector<std::pair<ArrayId, ChunkId>> drop;
+    store.ForEach([&](ArrayId array, ChunkId chunk, const Chunk&) {
+      for (ArrayId t : transient) {
+        if (array == t) {
+          drop.push_back({array, chunk});
+          return;
+        }
+      }
+      for (ArrayId p : persistent) {
+        if (array == p) {
+          auto primary = catalog->NodeOf(array, chunk);
+          if (!primary.ok() || primary.value() != node) {
+            drop.push_back({array, chunk});
+          }
+          return;
+        }
+      }
+    });
+    for (const auto& [array, chunk] : drop) store.Erase(array, chunk);
+  };
+  cleanup_store(kCoordinatorNode);
+  for (NodeId n = 0; n < cluster->num_workers(); ++n) cleanup_store(n);
+
+  return stats;
+}
+
+}  // namespace avm

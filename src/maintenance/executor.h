@@ -1,0 +1,45 @@
+#ifndef AVM_MAINTENANCE_EXECUTOR_H_
+#define AVM_MAINTENANCE_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "cluster/distributed_array.h"
+#include "common/result.h"
+#include "maintenance/types.h"
+#include "view/materialized_view.h"
+
+namespace avm {
+
+/// Counters from one plan execution.
+struct ExecutionStats {
+  uint64_t joins_executed = 0;      // kernel directions run
+  uint64_t fragments_merged = 0;    // differential-view fragments applied
+  uint64_t view_chunks_touched = 0; // view chunks merged into or relocated
+  uint64_t delta_chunks_merged = 0; // delta chunks folded into the base
+  uint64_t base_chunks_moved = 0;   // stage-3 reassignments applied
+};
+
+/// Executes a maintenance plan for real against the cluster: performs the
+/// planned transfers (chunks are copied between node stores and senders'
+/// network clocks charged), runs every join direction at its assigned node
+/// (CPU charged there), ships and merges the differential-view fragments
+/// into each view chunk's (possibly new) home, folds the delta chunks into
+/// the base array, applies the stage-3 storage redistribution, and finally
+/// drops all non-primary replicas.
+///
+/// The executor validates the plan as it goes: a join whose operands the
+/// plan failed to co-locate is an Internal error, not a silent fallback —
+/// plans produced by the planners must be self-sufficient.
+///
+/// After execution the view's content is exactly the view definition
+/// evaluated over base+delta (verified against full recomputation in the
+/// test suite), and the catalog reflects every reassignment.
+Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
+                                              const TripleSet& triples,
+                                              MaterializedView* view,
+                                              DistributedArray* left_delta,
+                                              DistributedArray* right_delta);
+
+}  // namespace avm
+
+#endif  // AVM_MAINTENANCE_EXECUTOR_H_

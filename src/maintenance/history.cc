@@ -1,0 +1,35 @@
+#include "maintenance/history.h"
+
+namespace avm {
+
+namespace {
+bool IsRightArray(ChunkSide side) {
+  return side == ChunkSide::kRightBase || side == ChunkSide::kRightDelta;
+}
+}  // namespace
+
+HistoryBatch MakeHistoryBatch(const TripleSet& triples) {
+  HistoryBatch batch;
+  for (const auto& pair : triples.pairs) {
+    const auto targets = pair.AllViewTargets();
+    for (ChunkId v : targets) {
+      batch.entries.push_back({pair.a.id, IsRightArray(pair.a.side), v,
+                               triples.bytes.at(pair.a)});
+      if (!(pair.b == pair.a)) {
+        batch.entries.push_back({pair.b.id, IsRightArray(pair.b.side), v,
+                                 triples.bytes.at(pair.b)});
+      }
+      batch.total_pair_bytes += pair.bytes;
+    }
+  }
+  return batch;
+}
+
+void BatchHistory::Push(HistoryBatch batch) {
+  batches_.push_front(std::move(batch));
+  while (batches_.size() > static_cast<size_t>(window_)) {
+    batches_.pop_back();
+  }
+}
+
+}  // namespace avm

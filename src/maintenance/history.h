@@ -1,0 +1,61 @@
+#ifndef AVM_MAINTENANCE_HISTORY_H_
+#define AVM_MAINTENANCE_HISTORY_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "array/coords.h"
+#include "maintenance/types.h"
+
+namespace avm {
+
+/// One (a, v) scoring fact distilled from an update triple (p, q, v): array
+/// chunk `a` (p or q, delta sides collapsed to their array chunk id, since
+/// deltas merge into the base after maintenance) co-occurred with view chunk
+/// `v`. `bytes` snapshots B_a at the batch's time.
+struct ScoreEntry {
+  ChunkId array_chunk = 0;
+  bool right_array = false;  // which base array the chunk belongs to
+  ChunkId view_chunk = 0;
+  uint64_t bytes = 0;
+};
+
+/// The scoring facts of one update batch U_l, plus the batch's total join
+/// input Σ B_pq (used to size Algorithm 3's per-node CPU threshold).
+struct HistoryBatch {
+  std::vector<ScoreEntry> entries;
+  uint64_t total_pair_bytes = 0;
+};
+
+/// Distills a TripleSet into its HistoryBatch form: every (pair, v) triple
+/// contributes one entry per operand.
+HistoryBatch MakeHistoryBatch(const TripleSet& triples);
+
+/// Fixed-size window of past update batches, newest first. Weights follow
+/// exponential decay: the batch `l` steps in the past gets W_l = decay^l
+/// (the current batch, handled by the caller, is l = 0 with weight 1).
+class BatchHistory {
+ public:
+  explicit BatchHistory(int window) : window_(window) {}
+
+  int window() const { return window_; }
+  size_t size() const { return batches_.size(); }
+  bool empty() const { return batches_.empty(); }
+
+  /// Records a completed batch; the oldest is evicted beyond the window.
+  void Push(HistoryBatch batch);
+
+  /// Batches newest (l = 1) to oldest (l = size()).
+  const std::deque<HistoryBatch>& batches() const { return batches_; }
+
+  void Clear() { batches_.clear(); }
+
+ private:
+  int window_;
+  std::deque<HistoryBatch> batches_;
+};
+
+}  // namespace avm
+
+#endif  // AVM_MAINTENANCE_HISTORY_H_

@@ -1,0 +1,194 @@
+#include "maintenance/maintainer.h"
+
+#include <optional>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "maintenance/array_reassigner.h"
+#include "maintenance/baseline_planner.h"
+#include "maintenance/differential_planner.h"
+#include "maintenance/modifications.h"
+#include "maintenance/triple_gen.h"
+#include "maintenance/view_reassigner.h"
+
+namespace avm {
+
+namespace {
+
+/// Registers a transient delta array (chunks at the coordinator) holding the
+/// batch's cells.
+Result<DistributedArray> IngestDelta(const SparseArray& cells,
+                                     const DistributedArray& base,
+                                     const std::string& name, Catalog* catalog,
+                                     Cluster* cluster) {
+  ArraySchema schema(name, base.schema().dims(), base.schema().attrs());
+  AVM_ASSIGN_OR_RETURN(
+      DistributedArray delta,
+      DistributedArray::Create(std::move(schema), MakeRoundRobinPlacement(),
+                               catalog, cluster));
+  Status status = Status::OK();
+  cells.ForEachChunk([&](ChunkId id, const Chunk& chunk) {
+    if (!status.ok()) return;
+    status = delta.PutChunk(id, chunk, kCoordinatorNode);
+  });
+  AVM_RETURN_IF_ERROR(status);
+  return delta;
+}
+
+}  // namespace
+
+std::string_view MaintenanceMethodName(MaintenanceMethod method) {
+  switch (method) {
+    case MaintenanceMethod::kBaseline:
+      return "baseline";
+    case MaintenanceMethod::kDifferential:
+      return "differential";
+    case MaintenanceMethod::kReassign:
+      return "reassign";
+  }
+  return "?";
+}
+
+ViewMaintainer::ViewMaintainer(MaterializedView* view,
+                               MaintenanceMethod method,
+                               PlannerOptions options)
+    : view_(view),
+      method_(method),
+      options_(options),
+      history_(options.history_window) {}
+
+Result<MaintenanceReport> ViewMaintainer::ApplyBatch(
+    const SparseArray& left_delta_cells,
+    const SparseArray* right_delta_cells) {
+  Catalog* catalog = view_->array().catalog();
+  Cluster* cluster = view_->array().cluster();
+  const int num_workers = cluster->num_workers();
+  const std::string tag = "__delta" + std::to_string(batch_counter_++);
+
+  MaintenanceReport report;
+  report.delta_cells = left_delta_cells.NumCells() +
+                       (right_delta_cells != nullptr
+                            ? right_delta_cells->NumCells()
+                            : 0);
+
+  // Split the raw batches into pure inserts and overwrites of existing
+  // cells; the latter take the value-correction path after the insert-side
+  // maintenance (see maintenance/modifications.h).
+  SparseArray left_ins(view_->left_base().schema());
+  SparseArray lmod_old(view_->left_base().schema());
+  SparseArray lmod_new(view_->left_base().schema());
+  AVM_RETURN_IF_ERROR(SplitInsertsAndModifications(view_->left_base(),
+                                                   left_delta_cells, &left_ins,
+                                                   &lmod_old, &lmod_new)
+                          .status());
+  SparseArray right_ins(view_->right_base().schema());
+  SparseArray rmod_old(view_->right_base().schema());
+  SparseArray rmod_new(view_->right_base().schema());
+  if (right_delta_cells != nullptr) {
+    AVM_RETURN_IF_ERROR(
+        SplitInsertsAndModifications(view_->right_base(), *right_delta_cells,
+                                     &right_ins, &rmod_old, &rmod_new)
+            .status());
+  }
+  report.modified_cells = lmod_new.NumCells() + rmod_new.NumCells();
+
+  // Ingest the insert sides at the coordinator as transient delta arrays.
+  AVM_ASSIGN_OR_RETURN(
+      DistributedArray left_delta,
+      IngestDelta(left_ins, view_->left_base(),
+                  view_->definition().left_array + tag, catalog, cluster));
+  std::optional<DistributedArray> right_delta;
+  if (right_delta_cells != nullptr) {
+    AVM_ASSIGN_OR_RETURN(
+        DistributedArray rd,
+        IngestDelta(right_ins, view_->right_base(),
+                    view_->definition().right_array + tag, catalog, cluster));
+    right_delta = std::move(rd);
+  }
+  report.num_delta_chunks =
+      left_delta.NumChunks() +
+      (right_delta.has_value() ? right_delta->NumChunks() : 0);
+
+  // Metadata preprocessing: the update triples U_0.
+  Stopwatch triple_clock;
+  AVM_ASSIGN_OR_RETURN(
+      TripleSet triples,
+      GenerateTriples(*view_, &left_delta,
+                      right_delta.has_value() ? &*right_delta : nullptr,
+                      &footprint_cache_));
+  report.triple_gen_seconds = triple_clock.ElapsedSeconds();
+  report.num_pairs = triples.pairs.size();
+  report.num_triples = triples.num_triples();
+
+  // Plan.
+  Stopwatch plan_clock;
+  MaintenancePlan plan;
+  std::unordered_map<MChunkRef, std::set<NodeId>, MChunkRefHash> replicas;
+  switch (method_) {
+    case MaintenanceMethod::kBaseline: {
+      AVM_ASSIGN_OR_RETURN(plan,
+                           PlanBaseline(*view_, triples, num_workers));
+      break;
+    }
+    case MaintenanceMethod::kDifferential: {
+      AVM_ASSIGN_OR_RETURN(
+          DifferentialPlanResult stage1,
+          PlanDifferentialView(*view_, triples, num_workers,
+                               cluster->cost_model(), options_));
+      plan = std::move(stage1.plan);
+      break;
+    }
+    case MaintenanceMethod::kReassign: {
+      AVM_ASSIGN_OR_RETURN(
+          DifferentialPlanResult stage1,
+          PlanDifferentialView(*view_, triples, num_workers,
+                               cluster->cost_model(), options_));
+      plan = std::move(stage1.plan);
+      replicas = std::move(stage1.replicas);
+      AVM_RETURN_IF_ERROR(ReassignViewChunks(triples, num_workers,
+                                             cluster->cost_model(), options_,
+                                             &stage1.tracker, &plan));
+      AVM_RETURN_IF_ERROR(ReassignArrayChunks(*view_, triples, history_,
+                                              num_workers, options_, replicas,
+                                              &plan));
+      break;
+    }
+  }
+  report.planning_seconds = plan_clock.ElapsedSeconds();
+
+  // Execute against the cluster and measure the batch's simulated makespan.
+  const ClusterClockSnapshot before = ClusterClockSnapshot::Take(*cluster);
+  auto exec = ExecuteMaintenancePlan(
+      plan, triples, view_, &left_delta,
+      right_delta.has_value() ? &*right_delta : nullptr);
+  if (!exec.ok()) return exec.status();
+  report.exec = exec.value();
+
+  // Value corrections for overwritten cells (after the insert merge, so
+  // fresh cells are corrected too). Still inside the measured window.
+  if (view_->definition().IsSelfJoin()) {
+    if (lmod_new.NumCells() > 0) {
+      AVM_RETURN_IF_ERROR(
+          ApplyRightSideModifications(view_, lmod_old, lmod_new).status());
+    }
+  } else {
+    if (lmod_new.NumCells() > 0) {
+      AVM_RETURN_IF_ERROR(ApplyLeftSideModifications(view_, lmod_new));
+    }
+    if (rmod_new.NumCells() > 0) {
+      AVM_RETURN_IF_ERROR(
+          ApplyRightSideModifications(view_, rmod_old, rmod_new).status());
+    }
+  }
+  report.maintenance_seconds = before.MakespanSince(*cluster);
+
+  // Record the batch for future array reassignment and drop the transient
+  // delta arrays.
+  history_.Push(MakeHistoryBatch(triples));
+  catalog->UnregisterArray(left_delta.id());
+  if (right_delta.has_value()) catalog->UnregisterArray(right_delta->id());
+
+  return report;
+}
+
+}  // namespace avm

@@ -1,0 +1,95 @@
+#ifndef AVM_MAINTENANCE_MAINTAINER_H_
+#define AVM_MAINTENANCE_MAINTAINER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "array/sparse_array.h"
+#include "common/result.h"
+#include "maintenance/executor.h"
+#include "maintenance/history.h"
+#include "maintenance/triple_gen.h"
+#include "maintenance/types.h"
+#include "view/materialized_view.h"
+
+namespace avm {
+
+/// The three maintenance strategies compared throughout the paper's
+/// evaluation (Section 6.1, "Methodology").
+enum class MaintenanceMethod {
+  /// Section 4.1: static placement, join at the stored chunk, no
+  /// reassignment.
+  kBaseline,
+  /// Stage 1 only (Algorithm 1): optimized join plan, no reassignment.
+  kDifferential,
+  /// The full three-stage heuristic (Algorithms 1 + 2 + 3) with the
+  /// historical batch window.
+  kReassign,
+};
+
+std::string_view MaintenanceMethodName(MaintenanceMethod method);
+
+/// Everything measured about one maintained batch — the quantities behind
+/// Figures 3, 5, 9 and 10.
+struct MaintenanceReport {
+  /// Wall-clock seconds of metadata preprocessing (triple generation); part
+  /// of every method's optimization time in Figure 5.
+  double triple_gen_seconds = 0.0;
+  /// Wall-clock seconds of planning on top of triple generation (Algorithm
+  /// 1 for differential; + Algorithms 2 and 3 for reassign; 0-ish for
+  /// baseline).
+  double planning_seconds = 0.0;
+  /// Total optimization time (triple generation + planning).
+  double optimization_seconds() const {
+    return triple_gen_seconds + planning_seconds;
+  }
+  /// Simulated maintenance makespan of the batch: max over nodes of
+  /// max(Δntwk, Δcpu) charged while executing the plan.
+  double maintenance_seconds = 0.0;
+  size_t num_pairs = 0;
+  size_t num_triples = 0;
+  size_t num_delta_chunks = 0;
+  uint64_t delta_cells = 0;
+  /// Cells of the batch that overwrote existing coordinates (handled by the
+  /// signed value-correction pass, see maintenance/modifications.h).
+  uint64_t modified_cells = 0;
+  ExecutionStats exec;
+};
+
+/// Keeps one materialized view consistent under cyclic batch updates using a
+/// fixed maintenance method. Owns the historical batch window that
+/// Algorithm 3 consumes. Typical use:
+///
+///   ViewMaintainer maintainer(&view, MaintenanceMethod::kReassign, opts);
+///   for (const SparseArray& batch : nightly_batches) {
+///     AVM_ASSIGN_OR_RETURN(auto report, maintainer.ApplyBatch(batch));
+///   }
+class ViewMaintainer {
+ public:
+  ViewMaintainer(MaterializedView* view, MaintenanceMethod method,
+                 PlannerOptions options = PlannerOptions());
+
+  MaintenanceMethod method() const { return method_; }
+  const PlannerOptions& options() const { return options_; }
+  const BatchHistory& history() const { return history_; }
+
+  /// Integrates one batch of inserts into the base array(s) and brings the
+  /// view up to date. `left_delta_cells` updates the view's left (or only)
+  /// base array; `right_delta_cells`, if given, the right array of a
+  /// two-array view.
+  Result<MaintenanceReport> ApplyBatch(
+      const SparseArray& left_delta_cells,
+      const SparseArray* right_delta_cells = nullptr);
+
+ private:
+  MaterializedView* view_;
+  MaintenanceMethod method_;
+  PlannerOptions options_;
+  BatchHistory history_;
+  TripleGenCache footprint_cache_;
+  uint64_t batch_counter_ = 0;
+};
+
+}  // namespace avm
+
+#endif  // AVM_MAINTENANCE_MAINTAINER_H_

@@ -1,0 +1,92 @@
+#include "maintenance/makespan_tracker.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace avm {
+
+MakespanTracker::MakespanTracker(int num_workers)
+    : num_workers_(num_workers),
+      ntwk_(static_cast<size_t>(num_workers) + 1, 0.0),
+      cpu_(static_cast<size_t>(num_workers) + 1, 0.0) {
+  AVM_CHECK_GE(num_workers, 1);
+  // Only worker slots participate in the objective multiset.
+  for (int i = 0; i < num_workers; ++i) scores_.insert(0.0);
+}
+
+size_t MakespanTracker::Index(NodeId node) const {
+  if (node == kCoordinatorNode) return static_cast<size_t>(num_workers_);
+  AVM_CHECK(node >= 0 && node < num_workers_) << "bad node id " << node;
+  return static_cast<size_t>(node);
+}
+
+double MakespanTracker::ScoreOf(size_t index) const {
+  return std::max(ntwk_[index], cpu_[index]);
+}
+
+double MakespanTracker::EvalWithDeltas(
+    const std::vector<Delta>& deltas) const {
+  // Aggregate per node (a candidate may touch the same node twice, e.g. both
+  // operands originate there).
+  std::unordered_map<size_t, std::pair<double, double>> agg;
+  agg.reserve(deltas.size());
+  for (const auto& d : deltas) {
+    auto& acc = agg[Index(d.node)];
+    acc.first += d.dntwk;
+    acc.second += d.dcpu;
+  }
+  // Max over unaffected workers: remove affected scores from the multiset,
+  // read the max, reinsert. The multiset is logically const here. The
+  // coordinator slot is tracked but never scored.
+  const size_t coordinator = static_cast<size_t>(num_workers_);
+  auto& scores = const_cast<std::multiset<double>&>(scores_);
+  for (const auto& [index, delta] : agg) {
+    if (index == coordinator) continue;
+    auto it = scores.find(ScoreOf(index));
+    AVM_CHECK(it != scores.end());
+    scores.erase(it);
+  }
+  double result = scores.empty() ? 0.0 : *scores.rbegin();
+  for (const auto& [index, delta] : agg) {
+    if (index == coordinator) continue;
+    const double score = std::max(ntwk_[index] + delta.first,
+                                  cpu_[index] + delta.second);
+    result = std::max(result, score);
+    scores.insert(ScoreOf(index));  // restore
+  }
+  return result;
+}
+
+void MakespanTracker::Commit(const std::vector<Delta>& deltas) {
+  const size_t coordinator = static_cast<size_t>(num_workers_);
+  for (const auto& d : deltas) {
+    const size_t index = Index(d.node);
+    if (index == coordinator) {
+      ntwk_[index] += d.dntwk;
+      cpu_[index] += d.dcpu;
+      continue;
+    }
+    auto it = scores_.find(ScoreOf(index));
+    AVM_CHECK(it != scores_.end());
+    scores_.erase(it);
+    ntwk_[index] += d.dntwk;
+    cpu_[index] += d.dcpu;
+    scores_.insert(ScoreOf(index));
+  }
+}
+
+void MakespanTracker::AddNetwork(NodeId node, double seconds) {
+  Commit({Delta{node, seconds, 0.0}});
+}
+
+void MakespanTracker::AddCpu(NodeId node, double seconds) {
+  Commit({Delta{node, 0.0, seconds}});
+}
+
+double MakespanTracker::CurrentMax() const {
+  return scores_.empty() ? 0.0 : *scores_.rbegin();
+}
+
+}  // namespace avm

@@ -1,0 +1,62 @@
+#ifndef AVM_MAINTENANCE_MAKESPAN_TRACKER_H_
+#define AVM_MAINTENANCE_MAKESPAN_TRACKER_H_
+
+#include <set>
+#include <vector>
+
+#include "cluster/placement.h"
+
+namespace avm {
+
+/// Incremental bookkeeping of the planners' objective
+///     max_k max(ntwk[k], cpu[k])
+/// over the *worker* nodes — the paper's Eq. (1) ranges k over the cluster
+/// servers; the coordinator streams delta chunks outside the measured
+/// makespan, so its charges are tracked (AddNetwork/ntwk accept
+/// kCoordinatorNode) but never enter the objective. Candidate moves are
+/// evaluated as small per-node deltas; a multiset of per-node scores makes
+/// each evaluation O(|affected| log N) — the binary-heap trick behind the
+/// paper's O(|U0| N log N) complexity claim for Algorithm 1.
+class MakespanTracker {
+ public:
+  explicit MakespanTracker(int num_workers);
+
+  int num_workers() const { return num_workers_; }
+
+  double ntwk(NodeId node) const { return ntwk_[Index(node)]; }
+  double cpu(NodeId node) const { return cpu_[Index(node)]; }
+
+  /// A candidate change: add `dntwk`/`dcpu` seconds to one node.
+  struct Delta {
+    NodeId node = 0;
+    double dntwk = 0.0;
+    double dcpu = 0.0;
+  };
+
+  /// The objective value if `deltas` were applied (duplicated nodes in the
+  /// list are aggregated). Does not modify state.
+  double EvalWithDeltas(const std::vector<Delta>& deltas) const;
+
+  /// Applies `deltas` permanently.
+  void Commit(const std::vector<Delta>& deltas);
+
+  /// Convenience single-node adders.
+  void AddNetwork(NodeId node, double seconds);
+  void AddCpu(NodeId node, double seconds);
+
+  /// Current objective value.
+  double CurrentMax() const;
+
+ private:
+  size_t Index(NodeId node) const;
+  double ScoreOf(size_t index) const;
+
+  int num_workers_;
+  std::vector<double> ntwk_;  // workers + coordinator (last slot)
+  std::vector<double> cpu_;
+  std::multiset<double> scores_;  // per-node max(ntwk, cpu)
+};
+
+}  // namespace avm
+
+#endif  // AVM_MAINTENANCE_MAKESPAN_TRACKER_H_

@@ -1,0 +1,59 @@
+#ifndef AVM_MAINTENANCE_MODIFICATIONS_H_
+#define AVM_MAINTENANCE_MODIFICATIONS_H_
+
+#include <cstdint>
+
+#include "array/sparse_array.h"
+#include "common/result.h"
+#include "view/materialized_view.h"
+
+namespace avm {
+
+/// Support for batches that *overwrite* existing cells (re-observations —
+/// the paper's own Figure 1(b) overwrites cell [4,4]). An overwritten cell
+/// changes no cell-existence facts, so COUNT aggregates are untouched; for
+/// attribute-dependent aggregates (SUM/AVG) every view cell whose shape
+/// covers the modified cell must retract the old value and fold in the new
+/// one:
+///     ∆V(x) += f(y_new) - f(y_old)   for every modified y ∈ σ[x].
+/// Since aggregates only consume the *right* operand's attributes, the
+/// correction is purely a right-operand pass — modified cells never change
+/// their own group's membership.
+struct ModificationStats {
+  uint64_t mod_cells = 0;
+  uint64_t correction_joins = 0;
+  uint64_t fragments_merged = 0;
+};
+
+/// Splits a raw delta into pure inserts (coordinates absent from `base`)
+/// and modifications (coordinates already present). `mod_old` receives the
+/// *current* base values of the modified coordinates, `mod_new` the batch's
+/// values.
+Result<ModificationStats> SplitInsertsAndModifications(
+    const DistributedArray& base, const SparseArray& raw_delta,
+    SparseArray* inserts, SparseArray* mod_old, SparseArray* mod_new);
+
+/// Applies the signed value-correction pass for modifications of the view's
+/// right operand (for a self-join view, of the single base array), then
+/// upserts the new values into the base chunks. Must run *after* the
+/// insert-side maintenance (so newly inserted cells are also corrected).
+///
+/// Correction kernels run at each affected left chunk's node; the modified
+/// chunks ship there from the coordinator (charged), fragments ship to the
+/// view chunks' homes (charged). COUNT-only views skip the kernels entirely
+/// — the correction is identically zero — and only upsert the values.
+/// Fails with FailedPrecondition if a non-COUNT-only view cannot retract
+/// (MIN/MAX).
+Result<ModificationStats> ApplyRightSideModifications(
+    MaterializedView* view, const SparseArray& mod_old,
+    const SparseArray& mod_new);
+
+/// Modifications of a two-array view's *left* operand never reach the view
+/// (left attributes are group keys' payload, not aggregated), so they only
+/// upsert the new values into the left base chunks.
+Status ApplyLeftSideModifications(MaterializedView* view,
+                                  const SparseArray& mod_new);
+
+}  // namespace avm
+
+#endif  // AVM_MAINTENANCE_MODIFICATIONS_H_

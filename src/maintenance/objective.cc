@@ -1,0 +1,73 @@
+#include "maintenance/objective.h"
+
+#include <algorithm>
+
+namespace avm {
+
+double ObjectiveBreakdown::Makespan() const {
+  // Workers only: the trailing coordinator slot is informational.
+  double makespan = 0.0;
+  for (size_t i = 0; i + 1 < ntwk.size(); ++i) {
+    makespan = std::max(makespan, std::max(ntwk[i], cpu[i]));
+  }
+  return makespan;
+}
+
+Result<ObjectiveBreakdown> EvaluateCurrentBatchObjective(
+    const MaintenancePlan& plan, const TripleSet& triples, int num_workers,
+    const CostModel& cost, bool include_merge_term) {
+  if (num_workers < 1) {
+    return Status::InvalidArgument("need at least one worker");
+  }
+  ObjectiveBreakdown breakdown;
+  const size_t slots = static_cast<size_t>(num_workers) + 1;
+  breakdown.ntwk.assign(slots, 0.0);
+  breakdown.cpu.assign(slots, 0.0);
+  auto slot = [&](NodeId node) -> size_t {
+    return node == kCoordinatorNode ? slots - 1 : static_cast<size_t>(node);
+  };
+
+  for (const auto& t : plan.transfers) {
+    auto it = triples.bytes.find(t.chunk);
+    if (it == triples.bytes.end()) {
+      return Status::InvalidArgument(
+          "plan transfers a chunk absent from the triple set");
+    }
+    breakdown.ntwk[slot(t.from)] += cost.TransferSeconds(it->second);
+  }
+
+  std::vector<NodeId> join_node(triples.pairs.size(), 0);
+  for (const auto& join : plan.joins) {
+    if (join.pair_index >= triples.pairs.size()) {
+      return Status::InvalidArgument("join references an unknown pair");
+    }
+    join_node[join.pair_index] = join.node;
+    breakdown.cpu[slot(join.node)] +=
+        cost.JoinSeconds(triples.pairs[join.pair_index].bytes);
+  }
+
+  if (include_merge_term) {
+    for (size_t i = 0; i < triples.pairs.size(); ++i) {
+      for (ChunkId v : triples.pairs[i].AllViewTargets()) {
+        auto home = plan.view_home.find(v);
+        if (home == plan.view_home.end()) continue;
+        if (home->second != join_node[i]) {
+          breakdown.ntwk[slot(join_node[i])] +=
+              cost.TransferSeconds(triples.pairs[i].bytes);
+        }
+      }
+    }
+    // Relocations of existing view chunks.
+    for (const auto& [v, home] : plan.view_home) {
+      auto current = triples.view_location.find(v);
+      if (current != triples.view_location.end() &&
+          current->second != home) {
+        breakdown.ntwk[slot(current->second)] +=
+            cost.TransferSeconds(triples.view_bytes.at(v));
+      }
+    }
+  }
+  return breakdown;
+}
+
+}  // namespace avm

@@ -1,0 +1,43 @@
+#ifndef AVM_MAINTENANCE_OBJECTIVE_H_
+#define AVM_MAINTENANCE_OBJECTIVE_H_
+
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "common/result.h"
+#include "maintenance/types.h"
+
+namespace avm {
+
+/// Per-node cost breakdown of a plan under the paper's analytical model.
+struct ObjectiveBreakdown {
+  /// Seconds of outgoing communication per worker; the last entry is the
+  /// coordinator's uplink.
+  std::vector<double> ntwk;
+  /// Seconds of join computation per worker (coordinator slot always 0).
+  std::vector<double> cpu;
+
+  /// max_k max(ntwk[k], cpu[k]) over the workers — the value of Eq. (1)'s
+  /// current-batch term (the coordinator slot is informational only).
+  double Makespan() const;
+};
+
+/// Evaluates the current-batch term of the MIP objective (Eq. 1, first
+/// line) for a complete plan, without executing anything:
+///   - every planned transfer charges its sender B_i * T_ntwk,
+///   - every join charges its node B_pq * T_cpu,
+///   - the merge term charges the join node B_pq * T_ntwk for each triple
+///     (p, q, v) whose view home y_v differs from the join node (the MIP's
+///     z_pqk * y_vj coupling, with B_pq as the differential-result proxy),
+///   - relocating an existing view chunk to a new home charges its current
+///     node (an x-transfer).
+/// This is the model the planners optimize and the query integrator's Eq.
+/// (3) compares; the executor independently charges *actual* bytes, and the
+/// tests check the two agree on method ordering.
+Result<ObjectiveBreakdown> EvaluateCurrentBatchObjective(
+    const MaintenancePlan& plan, const TripleSet& triples, int num_workers,
+    const CostModel& cost, bool include_merge_term = true);
+
+}  // namespace avm
+
+#endif  // AVM_MAINTENANCE_OBJECTIVE_H_

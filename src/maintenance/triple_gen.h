@@ -1,0 +1,46 @@
+#ifndef AVM_MAINTENANCE_TRIPLE_GEN_H_
+#define AVM_MAINTENANCE_TRIPLE_GEN_H_
+
+#include <optional>
+
+#include "cluster/distributed_array.h"
+#include "common/result.h"
+#include "maintenance/types.h"
+#include "shape/chunk_footprint.h"
+#include "view/materialized_view.h"
+
+namespace avm {
+
+/// Generates the update triples U_0 for one batch — the coordinator's
+/// metadata-only preprocessing step. For every delta chunk it enumerates,
+/// from the catalog alone:
+///
+///  - the base/delta chunks its cells may join under the view's shape σ
+///    (new view cells: directions with the delta as the group-by operand),
+///  - the base chunks whose *existing* view cells gain contributions from
+///    the delta (directions enumerated under the reflected shape σ⁻¹ —
+///    required for asymmetric shapes such as PTF-5's time look-back),
+///  - and the affected view chunks (the v of each (p, q, v) triple).
+///
+/// `left_delta`/`right_delta` are delta arrays whose chunks sit at the
+/// coordinator; `right_delta` must be null for a self-join view. Either may
+/// be null ("no updates on that side"). Results are deterministic: pairs are
+/// sorted by (a, b).
+///
+/// `cache`, if given, holds the view shape's chunk footprints across
+/// batches — computing them is O(|σ| 2^d) and the view's shape never
+/// changes, so ViewMaintainer reuses one cache for its lifetime.
+struct TripleGenCache {
+  std::optional<ChunkFootprint> footprint;
+  std::optional<ChunkFootprint> reflected;
+  bool initialized = false;
+};
+
+Result<TripleSet> GenerateTriples(const MaterializedView& view,
+                                  const DistributedArray* left_delta,
+                                  const DistributedArray* right_delta,
+                                  TripleGenCache* cache = nullptr);
+
+}  // namespace avm
+
+#endif  // AVM_MAINTENANCE_TRIPLE_GEN_H_

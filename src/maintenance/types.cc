@@ -1,0 +1,25 @@
+#include "maintenance/types.h"
+
+#include <algorithm>
+
+namespace avm {
+
+const std::vector<ChunkId>& JoinPair::AllViewTargets() const {
+  if (!all_view_targets.empty() ||
+      (view_targets_ab.empty() && view_targets_ba.empty())) {
+    return all_view_targets;
+  }
+  // Fill the cache lazily (cheap: the lists are tiny and sorted).
+  auto* self = const_cast<JoinPair*>(this);
+  self->all_view_targets = view_targets_ab;
+  self->all_view_targets.insert(self->all_view_targets.end(),
+                                view_targets_ba.begin(),
+                                view_targets_ba.end());
+  std::sort(self->all_view_targets.begin(), self->all_view_targets.end());
+  self->all_view_targets.erase(std::unique(self->all_view_targets.begin(),
+                                           self->all_view_targets.end()),
+                               self->all_view_targets.end());
+  return all_view_targets;
+}
+
+}  // namespace avm

@@ -1,0 +1,106 @@
+#include "maintenance/view_reassigner.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace avm {
+
+Status ReassignViewChunks(const TripleSet& triples, int num_workers,
+                          const CostModel& cost, const PlannerOptions& options,
+                          MakespanTracker* tracker, MaintenancePlan* plan) {
+  if (tracker == nullptr || plan == nullptr) {
+    return Status::InvalidArgument("null tracker or plan");
+  }
+  if (plan->joins.size() != triples.pairs.size()) {
+    return Status::FailedPrecondition(
+        "stage 1 must assign every pair before view reassignment");
+  }
+
+  // Join node of each pair, from the stage-1 z variables.
+  std::vector<NodeId> join_node(triples.pairs.size(), 0);
+  for (const auto& join : plan->joins) {
+    join_node[join.pair_index] = join.node;
+  }
+
+  // Group the triples by view chunk: v -> contributing pair indices
+  // (ordered map for deterministic iteration before shuffling).
+  std::map<ChunkId, std::vector<size_t>> groups;
+  for (size_t i = 0; i < triples.pairs.size(); ++i) {
+    for (ChunkId v : triples.pairs[i].AllViewTargets()) {
+      groups[v].push_back(i);
+    }
+  }
+
+  std::vector<ChunkId> order;
+  order.reserve(groups.size());
+  for (const auto& [v, pairs] : groups) order.push_back(v);
+  Rng rng(options.seed ^ 0x5eed2ull);
+  rng.Shuffle(order);
+
+  std::vector<MakespanTracker::Delta> deltas;
+  for (ChunkId v : order) {
+    const auto& pair_indices = groups.at(v);
+    auto existing = triples.view_location.find(v);
+    // Ties on the global makespan break toward less added communication,
+    // then toward the chunk's current home (stability over churn).
+    double best_cost = std::numeric_limits<double>::infinity();
+    double best_added = std::numeric_limits<double>::infinity();
+    NodeId best = 0;
+    for (NodeId j2 = 0; j2 < num_workers; ++j2) {
+      deltas.clear();
+      double added = 0.0;
+      for (size_t i : pair_indices) {
+        const uint64_t bpq = triples.pairs[i].bytes;
+        const NodeId j = join_node[i];
+        if (j != j2) {
+          const double seconds = cost.TransferSeconds(bpq);
+          deltas.push_back({j, seconds, 0.0});
+          added += seconds;
+        }
+        deltas.push_back({j2, 0.0, cost.JoinSeconds(bpq)});
+      }
+      if (options.charge_view_move && existing != triples.view_location.end() &&
+          existing->second != j2) {
+        const double seconds =
+            cost.TransferSeconds(triples.view_bytes.at(v));
+        deltas.push_back({existing->second, seconds, 0.0});
+        added += seconds;
+      }
+      const double candidate = tracker->EvalWithDeltas(deltas);
+      const bool is_home = existing != triples.view_location.end() &&
+                           existing->second == j2;
+      const bool best_is_home = existing != triples.view_location.end() &&
+                                existing->second == best;
+      if (candidate < best_cost - 1e-15 ||
+          (candidate <= best_cost + 1e-15 &&
+           (added < best_added - 1e-15 ||
+            (added <= best_added + 1e-15 && is_home && !best_is_home)))) {
+        best_cost = candidate;
+        best_added = added;
+        best = j2;
+      }
+    }
+    // Commit the winner.
+    deltas.clear();
+    for (size_t i : pair_indices) {
+      const uint64_t bpq = triples.pairs[i].bytes;
+      const NodeId j = join_node[i];
+      if (j != best) deltas.push_back({j, cost.TransferSeconds(bpq), 0.0});
+      deltas.push_back({best, 0.0, cost.JoinSeconds(bpq)});
+    }
+    if (options.charge_view_move && existing != triples.view_location.end() &&
+        existing->second != best) {
+      deltas.push_back({existing->second,
+                        cost.TransferSeconds(triples.view_bytes.at(v)), 0.0});
+    }
+    tracker->Commit(deltas);
+    plan->view_home[v] = best;
+  }
+  return Status::OK();
+}
+
+}  // namespace avm

@@ -1,0 +1,31 @@
+#ifndef AVM_MAINTENANCE_VIEW_REASSIGNER_H_
+#define AVM_MAINTENANCE_VIEW_REASSIGNER_H_
+
+#include "cluster/cost_model.h"
+#include "common/status.h"
+#include "maintenance/makespan_tracker.h"
+#include "maintenance/types.h"
+
+namespace avm {
+
+/// Algorithm 2 — View Chunk Reassignment. Given the stage-1 join placement
+/// (the z variables in `plan->joins`) and its accumulated cost state, pick
+/// the merge/home node y_v of every affected view chunk: iterate the view
+/// chunks in random order and evaluate every worker j', charging
+///   - shipping each contributing pair's differential result (proxied by
+///     B_pq, as in the MIP's merge term) from its join node when that node
+///     is not j', and
+///   - the merge CPU B_pq at j',
+/// plus, when `options.charge_view_move` is set, relocating the existing
+/// view chunk from S_v (an x-transfer the MIP charges but the printed
+/// heuristic omits). The minimizing node is committed into `tracker` and
+/// written to `plan->view_home[v]` — reassignment is a side effect of
+/// choosing where to merge (NP-hard via multiprocessor scheduling,
+/// Appendix A.2).
+Status ReassignViewChunks(const TripleSet& triples, int num_workers,
+                          const CostModel& cost, const PlannerOptions& options,
+                          MakespanTracker* tracker, MaintenancePlan* plan);
+
+}  // namespace avm
+
+#endif  // AVM_MAINTENANCE_VIEW_REASSIGNER_H_

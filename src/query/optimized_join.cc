@@ -1,0 +1,221 @@
+#include "query/optimized_join.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <map>
+#include <numeric>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "join/fragment_merge.h"
+#include "join/join_kernel.h"
+#include "join/pair_enumeration.h"
+#include "maintenance/makespan_tracker.h"
+
+namespace avm {
+
+namespace {
+
+struct QueryPair {
+  ChunkId p = 0;  // left operand chunk
+  ChunkId q = 0;  // right operand chunk
+  uint64_t bytes = 0;
+};
+
+}  // namespace
+
+Result<OptimizedJoinStats> ExecuteOptimizedJoinAggregate(
+    const DistributedArray& left, const DistributedArray& right,
+    const SimilarityJoinSpec& spec, int multiplicity,
+    const ResultHomeFn& result_home, DistributedArray* result,
+    uint64_t seed, bool estimate_only) {
+  if (!estimate_only && result == nullptr) {
+    return Status::InvalidArgument("null result array");
+  }
+  Cluster* cluster = left.cluster();
+  Catalog* catalog = left.catalog();
+  const CostModel& cost = cluster->cost_model();
+  const int num_workers = cluster->num_workers();
+
+  if (spec.shape.empty()) return OptimizedJoinStats{};
+
+  // Enumerate the chunk pairs from metadata. Identity joins over aligned
+  // grids use the exact chunk footprint of the shape, so a ∆ shape's pair
+  // count scales with |∆| rather than with its bounding box.
+  const bool exact = spec.mapping.IsIdentity() &&
+                     left.grid().GeometryEquals(right.grid());
+  std::optional<ChunkFootprint> footprint;
+  if (exact) {
+    AVM_ASSIGN_OR_RETURN(
+        ChunkFootprint fp,
+        ChunkFootprint::Compute(spec.shape, left.grid().extents()));
+    footprint = std::move(fp);
+  }
+  auto right_exists = [&](ChunkId c) {
+    return catalog->HasChunk(right.id(), c);
+  };
+  std::vector<QueryPair> pairs;
+  for (ChunkId p : catalog->ChunkIdsOf(left.id())) {
+    const std::vector<ChunkId> partners =
+        exact ? EnumerateJoinPartnersExact(left.grid(), p, *footprint,
+                                           right_exists)
+              : EnumerateJoinPartners(left.grid(), p, spec.mapping,
+                                      spec.shape, right.grid(), right_exists);
+    for (ChunkId q : partners) {
+      pairs.push_back({p, q,
+                       catalog->ChunkBytes(left.id(), p) +
+                           catalog->ChunkBytes(right.id(), q)});
+    }
+  }
+
+  OptimizedJoinStats stats;
+  stats.chunk_pairs = pairs.size();
+
+  // Algorithm-1 greedy placement over the pairs.
+  MakespanTracker tracker(num_workers);
+  std::map<std::pair<ArrayId, ChunkId>, std::set<NodeId>> replicas;
+  auto origin_of = [&](ArrayId array, ChunkId c) -> Result<NodeId> {
+    return catalog->NodeOf(array, c);
+  };
+  std::vector<size_t> order(pairs.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(order);
+
+  std::vector<NodeId> placement(pairs.size(), 0);
+  std::vector<MakespanTracker::Delta> deltas;
+  for (size_t index : order) {
+    const QueryPair& pair = pairs[index];
+    AVM_ASSIGN_OR_RETURN(NodeId sp, origin_of(left.id(), pair.p));
+    AVM_ASSIGN_OR_RETURN(NodeId sq, origin_of(right.id(), pair.q));
+    auto& rep_p = replicas[{left.id(), pair.p}];
+    auto& rep_q = replicas[{right.id(), pair.q}];
+    if (rep_p.empty()) rep_p.insert(sp);
+    if (rep_q.empty()) rep_q.insert(sq);
+    const uint64_t bp = catalog->ChunkBytes(left.id(), pair.p);
+    const uint64_t bq = catalog->ChunkBytes(right.id(), pair.q);
+    const bool same = left.id() == right.id() && pair.p == pair.q;
+
+    // Same candidate ranking as Algorithm 1: global makespan, then least
+    // added communication, then least busy node.
+    double best_cost = std::numeric_limits<double>::infinity();
+    double best_added = std::numeric_limits<double>::infinity();
+    double best_busy = std::numeric_limits<double>::infinity();
+    NodeId best = 0;
+    for (NodeId j = 0; j < num_workers; ++j) {
+      deltas.clear();
+      // Only worker-charged transfers count toward the tie-break.
+      double added = 0.0;
+      if (rep_p.count(j) == 0) {
+        const double seconds = cost.TransferSeconds(bp);
+        deltas.push_back({sp, seconds, 0.0});
+        if (sp != kCoordinatorNode) added += seconds;
+      }
+      if (!same && rep_q.count(j) == 0) {
+        const double seconds = cost.TransferSeconds(bq);
+        deltas.push_back({sq, seconds, 0.0});
+        if (sq != kCoordinatorNode) added += seconds;
+      }
+      deltas.push_back({j, 0.0, cost.JoinSeconds(pair.bytes)});
+      const double candidate = tracker.EvalWithDeltas(deltas);
+      const double busy = std::max(
+          tracker.ntwk(j), tracker.cpu(j) + cost.JoinSeconds(pair.bytes));
+      if (candidate < best_cost - 1e-15 ||
+          (candidate <= best_cost + 1e-15 &&
+           (added < best_added - 1e-15 ||
+            (added <= best_added + 1e-15 && busy < best_busy - 1e-15)))) {
+        best_cost = candidate;
+        best_added = added;
+        best_busy = busy;
+        best = j;
+      }
+    }
+    deltas.clear();
+    if (rep_p.count(best) == 0) {
+      deltas.push_back({sp, cost.TransferSeconds(bp), 0.0});
+      rep_p.insert(best);
+      if (!estimate_only) {
+        AVM_RETURN_IF_ERROR(
+            cluster->TransferChunk(left.id(), pair.p, sp, best));
+      }
+    }
+    if (!same && rep_q.count(best) == 0) {
+      deltas.push_back({sq, cost.TransferSeconds(bq), 0.0});
+      rep_q.insert(best);
+      if (!estimate_only) {
+        AVM_RETURN_IF_ERROR(
+            cluster->TransferChunk(right.id(), pair.q, sq, best));
+      }
+    }
+    deltas.push_back({best, 0.0, cost.JoinSeconds(pair.bytes)});
+    tracker.Commit(deltas);
+    placement[index] = best;
+  }
+
+  // Merge term of the planned cost: shipping each pair's result (B_pq
+  // proxy) from its join node to the affected result chunks' homes.
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const ChunkGrid& result_grid =
+        result != nullptr ? result->grid() : left.grid();
+    for (ChunkId v : EnumerateViewTargets(left.grid(), pairs[i].p,
+                                          spec.group_dims, result_grid)) {
+      if (result_home(v) != placement[i]) {
+        tracker.AddNetwork(placement[i],
+                           cost.TransferSeconds(pairs[i].bytes));
+        break;  // one shipment per pair in the model
+      }
+    }
+  }
+  stats.planned_seconds = tracker.CurrentMax();
+  if (estimate_only) return stats;
+
+  // Execute the kernels at their assigned nodes.
+  std::map<NodeId, std::map<ChunkId, Chunk>> fragments_by_node;
+  const ViewTarget target{&spec.group_dims, &result->grid()};
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const QueryPair& pair = pairs[i];
+    const NodeId k = placement[i];
+    const Chunk* lhs = cluster->store(k).Get(left.id(), pair.p);
+    const Chunk* rhs = cluster->store(k).Get(right.id(), pair.q);
+    if (lhs == nullptr || rhs == nullptr) {
+      return Status::Internal("operands not co-located after transfers");
+    }
+    cluster->ChargeJoin(k, pair.bytes);
+    const RightOperand rop{rhs, pair.q, &right.grid()};
+    AVM_RETURN_IF_ERROR(JoinAggregateChunkPair(*lhs, rop, spec.mapping,
+                                               spec.shape, spec.layout,
+                                               target, multiplicity,
+                                               &fragments_by_node[k]));
+    ++stats.kernel_runs;
+  }
+
+  // Ship fragments to the result homes and merge.
+  for (auto& [producer, fragments] : fragments_by_node) {
+    for (auto& [v, fragment] : fragments) {
+      const NodeId home = result_home(v);
+      if (producer != home) {
+        cluster->ChargeNetwork(producer, fragment.SizeBytes());
+      }
+      AVM_RETURN_IF_ERROR(
+          MergeStateFragment(result, v, fragment, spec.layout, home));
+    }
+  }
+
+  // Drop the scratch replicas created for co-location.
+  for (NodeId n = 0; n < num_workers; ++n) {
+    ChunkStore& store = cluster->store(n);
+    std::vector<std::pair<ArrayId, ChunkId>> drop;
+    store.ForEach([&](ArrayId array, ChunkId chunk, const Chunk&) {
+      if (array != left.id() && array != right.id()) return;
+      auto primary = catalog->NodeOf(array, chunk);
+      if (!primary.ok() || primary.value() != n) drop.push_back({array, chunk});
+    });
+    for (const auto& [array, chunk] : drop) store.Erase(array, chunk);
+  }
+  return stats;
+}
+
+}  // namespace avm

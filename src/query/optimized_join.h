@@ -1,0 +1,44 @@
+#ifndef AVM_QUERY_OPTIMIZED_JOIN_H_
+#define AVM_QUERY_OPTIMIZED_JOIN_H_
+
+#include <functional>
+
+#include "cluster/distributed_array.h"
+#include "common/result.h"
+#include "join/similarity_join.h"
+
+namespace avm {
+
+/// Resolves the home node of a result chunk (where its fragments merge).
+using ResultHomeFn = std::function<NodeId(ChunkId)>;
+
+/// Cost/placement summary of one optimized join run.
+struct OptimizedJoinStats {
+  uint64_t chunk_pairs = 0;
+  uint64_t kernel_runs = 0;
+  /// The planner's predicted makespan for the run (co-location + CPU +
+  /// merge term, B_pq proxy) — the quantity Eq. (3) compares.
+  double planned_seconds = 0.0;
+};
+
+/// Distributed similarity-join aggregate with *optimized* join placement:
+/// instead of pinning each pair at the right operand's node (the substrate
+/// default in join/similarity_join.h), pairs are placed by the Algorithm-1
+/// greedy — every worker is evaluated per pair, charging operand transfers
+/// to their holders and the join CPU to the candidate, minimizing the
+/// global max(ntwk, cpu).
+///
+/// This is the Section-5 reduction: a ∆-shape differential query *is* a
+/// differential-view computation over the base array(s), so it reuses the
+/// stage-1 machinery. `multiplicity` +1 adds contributions, -1 retracts
+/// them (the minus half of a ∆ shape). When `estimate_only` is set, nothing
+/// executes — only the planned cost is computed (the Eq. (3) estimator).
+Result<OptimizedJoinStats> ExecuteOptimizedJoinAggregate(
+    const DistributedArray& left, const DistributedArray& right,
+    const SimilarityJoinSpec& spec, int multiplicity,
+    const ResultHomeFn& result_home, DistributedArray* result,
+    uint64_t seed, bool estimate_only);
+
+}  // namespace avm
+
+#endif  // AVM_QUERY_OPTIMIZED_JOIN_H_

@@ -1,0 +1,178 @@
+#include "query/query_planner.h"
+
+#include <utility>
+
+#include "agg/state_utils.h"
+#include "query/optimized_join.h"
+
+namespace avm {
+
+namespace {
+
+/// Builds the join spec of the view with a substituted shape.
+SimilarityJoinSpec SpecWithShape(const MaterializedView& view, Shape shape) {
+  SimilarityJoinSpec spec = view.JoinSpec();
+  spec.shape = std::move(shape);
+  return spec;
+}
+
+}  // namespace
+
+std::string_view QueryStrategyName(QueryStrategy strategy) {
+  switch (strategy) {
+    case QueryStrategy::kDifferentialOnView:
+      return "differential-on-view";
+    case QueryStrategy::kCompleteJoin:
+      return "complete-join";
+  }
+  return "?";
+}
+
+Result<QueryCostEstimate> SimilarityQueryPlanner::Estimate(
+    const Shape& query_shape) const {
+  AVM_ASSIGN_OR_RETURN(
+      DeltaShape delta,
+      ComputeDeltaShape(view_->definition().shape, query_shape));
+  QueryCostEstimate estimate;
+  estimate.delta_shape_size = delta.size();
+  estimate.query_shape_size = query_shape.size();
+
+  const DistributedArray& left = view_->left_base();
+  const DistributedArray& right = view_->right_base();
+  Catalog* catalog = left.catalog();
+  const ArrayId view_id = view_->array().id();
+  const int num_workers = left.cluster()->num_workers();
+  // In the differential plan, result chunks live where the view chunks do.
+  ResultHomeFn view_home = [&](ChunkId v) {
+    auto node = catalog->NodeOf(view_id, v);
+    return node.ok() ? node.value()
+                     : catalog->PlaceByStrategy(view_id, v, num_workers);
+  };
+  ResultHomeFn fresh_home = [&](ChunkId v) {
+    return catalog->PlaceByStrategy(view_id, v, num_workers);
+  };
+
+  // With the view: the two signed correction joins, run sequentially.
+  estimate.with_view_seconds = 0.0;
+  for (const Shape* shape : {&delta.plus, &delta.minus}) {
+    if (shape->empty()) continue;
+    AVM_ASSIGN_OR_RETURN(
+        OptimizedJoinStats stats,
+        ExecuteOptimizedJoinAggregate(left, right,
+                                      SpecWithShape(*view_, *shape), 1,
+                                      view_home, nullptr, seed_,
+                                      /*estimate_only=*/true));
+    estimate.with_view_seconds += stats.planned_seconds;
+  }
+
+  // From scratch: the complete similarity join under the query shape.
+  AVM_ASSIGN_OR_RETURN(
+      OptimizedJoinStats complete,
+      ExecuteOptimizedJoinAggregate(left, right,
+                                    SpecWithShape(*view_, query_shape), 1,
+                                    fresh_home, nullptr, seed_,
+                                    /*estimate_only=*/true));
+  estimate.complete_join_seconds = complete.planned_seconds;
+
+  estimate.chosen =
+      estimate.with_view_seconds <= estimate.complete_join_seconds
+          ? QueryStrategy::kDifferentialOnView
+          : QueryStrategy::kCompleteJoin;
+  return estimate;
+}
+
+Result<SimilarityQueryPlanner::QueryOutcome> SimilarityQueryPlanner::Execute(
+    const Shape& query_shape, std::optional<QueryStrategy> force) {
+  AVM_ASSIGN_OR_RETURN(QueryCostEstimate estimate, Estimate(query_shape));
+  const QueryStrategy strategy = force.value_or(estimate.chosen);
+
+  AVM_ASSIGN_OR_RETURN(
+      DeltaShape delta,
+      ComputeDeltaShape(view_->definition().shape, query_shape));
+  if (strategy == QueryStrategy::kDifferentialOnView &&
+      !delta.minus.empty() && !view_->layout().SupportsRetraction()) {
+    return Status::FailedPrecondition(
+        "the view's aggregates (MIN/MAX) cannot retract the (view \\ query) "
+        "half of the delta shape; use the complete join");
+  }
+
+  DistributedArray& left = view_->left_base();
+  DistributedArray& right = view_->right_base();
+  Cluster* cluster = left.cluster();
+  Catalog* catalog = left.catalog();
+  const int num_workers = cluster->num_workers();
+
+  // A transient result array with the view's schema.
+  ArraySchema result_schema(
+      view_->definition().view_name + "__qres" +
+          std::to_string(result_counter_++),
+      view_->array().schema().dims(), view_->array().schema().attrs());
+  AVM_ASSIGN_OR_RETURN(
+      DistributedArray result,
+      DistributedArray::Create(std::move(result_schema),
+                               MakeRoundRobinPlacement(), catalog, cluster));
+
+  const ClusterClockSnapshot before = ClusterClockSnapshot::Take(*cluster);
+  if (strategy == QueryStrategy::kDifferentialOnView) {
+    // Seed the result with the view's content, co-located with the view (a
+    // local copy, no communication).
+    const ArrayId view_id = view_->array().id();
+    for (ChunkId v : catalog->ChunkIdsOf(view_id)) {
+      AVM_ASSIGN_OR_RETURN(NodeId node, catalog->NodeOf(view_id, v));
+      AVM_ASSIGN_OR_RETURN(const Chunk* chunk,
+                           view_->array().GetPrimaryChunk(v));
+      AVM_RETURN_IF_ERROR(result.PutChunk(v, *chunk, node));
+    }
+    ResultHomeFn home = [&](ChunkId v) {
+      auto node = catalog->NodeOf(result.id(), v);
+      return node.ok() ? node.value()
+                       : catalog->PlaceByStrategy(result.id(), v,
+                                                  num_workers);
+    };
+    if (!delta.plus.empty()) {
+      AVM_RETURN_IF_ERROR(
+          ExecuteOptimizedJoinAggregate(left, right,
+                                        SpecWithShape(*view_, delta.plus), 1,
+                                        home, &result, seed_,
+                                        /*estimate_only=*/false)
+              .status());
+    }
+    if (!delta.minus.empty()) {
+      AVM_RETURN_IF_ERROR(
+          ExecuteOptimizedJoinAggregate(left, right,
+                                        SpecWithShape(*view_, delta.minus),
+                                        -1, home, &result, seed_,
+                                        /*estimate_only=*/false)
+              .status());
+    }
+  } else {
+    ResultHomeFn home = [&](ChunkId v) {
+      auto node = catalog->NodeOf(result.id(), v);
+      return node.ok() ? node.value()
+                       : catalog->PlaceByStrategy(result.id(), v,
+                                                  num_workers);
+    };
+    AVM_RETURN_IF_ERROR(
+        ExecuteOptimizedJoinAggregate(left, right,
+                                      SpecWithShape(*view_, query_shape), 1,
+                                      home, &result, seed_,
+                                      /*estimate_only=*/false)
+            .status());
+  }
+  const double sim_seconds = before.MakespanSince(*cluster);
+
+  AVM_ASSIGN_OR_RETURN(SparseArray states, result.Gather());
+  AVM_RETURN_IF_ERROR(
+      StripIdentityCells(&states, view_->layout()).status());
+
+  // Drop the transient result array.
+  for (NodeId n = 0; n < num_workers; ++n) {
+    cluster->store(n).EraseArray(result.id());
+  }
+  cluster->store(kCoordinatorNode).EraseArray(result.id());
+  catalog->UnregisterArray(result.id());
+
+  return QueryOutcome{std::move(states), strategy, estimate, sim_seconds};
+}
+
+}  // namespace avm

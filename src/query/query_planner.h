@@ -1,0 +1,77 @@
+#ifndef AVM_QUERY_QUERY_PLANNER_H_
+#define AVM_QUERY_QUERY_PLANNER_H_
+
+#include <optional>
+#include <string>
+
+#include "array/sparse_array.h"
+#include "common/result.h"
+#include "shape/delta_shape.h"
+#include "view/materialized_view.h"
+
+namespace avm {
+
+/// The two ways to answer a similarity-join query when a view with a
+/// different shape is materialized (Section 5).
+enum class QueryStrategy {
+  /// Start from the view and apply signed ∆-shape corrections.
+  kDifferentialOnView,
+  /// Recompute the similarity join from scratch over the base arrays.
+  kCompleteJoin,
+};
+
+std::string_view QueryStrategyName(QueryStrategy strategy);
+
+/// Output of the Eq. (3) analytical cost model.
+struct QueryCostEstimate {
+  double with_view_seconds = 0.0;
+  double complete_join_seconds = 0.0;
+  size_t delta_shape_size = 0;  // |plus| + |minus|
+  size_t query_shape_size = 0;
+  QueryStrategy chosen = QueryStrategy::kCompleteJoin;
+
+  /// The paper's intuition knob: ratios above 1 favor the complete join.
+  double DeltaRatio() const {
+    return query_shape_size == 0
+               ? 0.0
+               : static_cast<double>(delta_shape_size) /
+                     static_cast<double>(query_shape_size);
+  }
+};
+
+/// Answers similarity-join aggregate queries over a view's base array(s),
+/// choosing between the ∆-shape differential evaluation on the view and a
+/// complete similarity join by comparing the two optimization formulations
+/// of Eq. (3). The query must share the view's mapping, aggregates, and
+/// group-by; only the shape differs.
+class SimilarityQueryPlanner {
+ public:
+  explicit SimilarityQueryPlanner(MaterializedView* view, uint64_t seed = 42)
+      : view_(view), seed_(seed) {}
+
+  /// Runs the analytical cost model for both strategies without executing.
+  Result<QueryCostEstimate> Estimate(const Shape& query_shape) const;
+
+  struct QueryOutcome {
+    /// Aggregate states of the result (identity cells stripped); finalize
+    /// with the view's layout for user-visible values.
+    SparseArray states;
+    QueryStrategy used;
+    QueryCostEstimate estimate;
+    /// Simulated makespan of the executed strategy.
+    double sim_seconds = 0.0;
+  };
+
+  /// Estimates, picks the cheaper strategy (or `force`), and executes it.
+  Result<QueryOutcome> Execute(const Shape& query_shape,
+                               std::optional<QueryStrategy> force = {});
+
+ private:
+  MaterializedView* view_;
+  uint64_t seed_;
+  uint64_t result_counter_ = 0;
+};
+
+}  // namespace avm
+
+#endif  // AVM_QUERY_QUERY_PLANNER_H_

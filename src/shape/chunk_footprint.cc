@@ -1,0 +1,64 @@
+#include "shape/chunk_footprint.h"
+
+#include <algorithm>
+
+namespace avm {
+
+namespace {
+
+/// Floor division toward negative infinity (C++ integer division truncates
+/// toward zero).
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+}  // namespace
+
+Result<ChunkFootprint> ChunkFootprint::Compute(
+    const Shape& shape, const std::vector<int64_t>& extents) {
+  if (extents.size() != shape.num_dims()) {
+    return Status::InvalidArgument(
+        "footprint extents must match the shape's dimensionality");
+  }
+  for (int64_t e : extents) {
+    if (e <= 0) {
+      return Status::InvalidArgument("non-positive chunk extent");
+    }
+  }
+  ChunkFootprint footprint;
+  const size_t dims = shape.num_dims();
+  // Per offset, each dimension reaches one or two consecutive chunk deltas;
+  // enumerate their cross product.
+  std::vector<int64_t> lo(dims), hi(dims);
+  CellCoord delta(dims);
+  for (const auto& offset : shape.offsets()) {
+    for (size_t d = 0; d < dims; ++d) {
+      lo[d] = FloorDiv(offset[d], extents[d]);
+      hi[d] = FloorDiv(extents[d] - 1 + offset[d], extents[d]);
+    }
+    // Odometer over the (at most 2^dims) corner combinations.
+    for (size_t i = 0; i < dims; ++i) delta[i] = lo[i];
+    for (;;) {
+      if (footprint.set_.insert(delta).second) {
+        footprint.deltas_.push_back(delta);
+      }
+      size_t d = dims;
+      bool done = true;
+      while (d-- > 0) {
+        if (delta[d] < hi[d]) {
+          ++delta[d];
+          done = false;
+          break;
+        }
+        delta[d] = lo[d];
+      }
+      if (done) break;
+    }
+  }
+  std::sort(footprint.deltas_.begin(), footprint.deltas_.end());
+  return footprint;
+}
+
+}  // namespace avm

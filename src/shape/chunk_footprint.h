@@ -1,0 +1,54 @@
+#ifndef AVM_SHAPE_CHUNK_FOOTPRINT_H_
+#define AVM_SHAPE_CHUNK_FOOTPRINT_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "array/coords.h"
+#include "common/result.h"
+#include "shape/shape.h"
+
+namespace avm {
+
+/// The chunk-granularity footprint of a shape: the set of chunk-position
+/// deltas d such that some cell offset o ∈ σ can lead from a cell of chunk
+/// c to a cell of chunk c + d, for identically chunked and aligned grids
+/// (regular chunking with the given per-dimension extents).
+///
+/// For a cell at in-chunk position i ∈ [0, E) and offset o, the reachable
+/// chunk delta on that dimension is floor((i + o) / E) ∈
+/// { floor(o / E), floor((E - 1 + o) / E) } — at most two consecutive
+/// values — so the exact footprint is computed with |σ| * 2^d marks.
+///
+/// This is what makes chunk-pair enumeration *exact* instead of
+/// bounding-box approximate: an L1 (diamond) shape several chunks wide
+/// covers roughly half the chunk pairs its bounding box suggests, and the
+/// ∆-shapes of query integration (Section 5) produce footprints
+/// proportional to |∆| — the quantity the paper's Figure 6 trades off
+/// against |query|.
+class ChunkFootprint {
+ public:
+  /// Computes the footprint of `shape` for chunks of the given per-dim
+  /// extents (one per shape dimension, each > 0).
+  static Result<ChunkFootprint> Compute(const Shape& shape,
+                                        const std::vector<int64_t>& extents);
+
+  /// Chunk deltas in lexicographic order.
+  const std::vector<CellCoord>& deltas() const { return deltas_; }
+  size_t size() const { return deltas_.size(); }
+  bool empty() const { return deltas_.empty(); }
+
+  bool Contains(const CellCoord& delta) const {
+    return set_.find(delta) != set_.end();
+  }
+
+ private:
+  ChunkFootprint() = default;
+
+  std::vector<CellCoord> deltas_;
+  std::unordered_set<CellCoord, CoordHash> set_;
+};
+
+}  // namespace avm
+
+#endif  // AVM_SHAPE_CHUNK_FOOTPRINT_H_

@@ -1,0 +1,17 @@
+#include "shape/delta_shape.h"
+
+namespace avm {
+
+Result<DeltaShape> ComputeDeltaShape(const Shape& view_shape,
+                                     const Shape& query_shape) {
+  if (view_shape.num_dims() != query_shape.num_dims()) {
+    return Status::InvalidArgument(
+        "delta shape: view and query shapes have different dimensionality");
+  }
+  AVM_ASSIGN_OR_RETURN(Shape plus, Shape::Difference(query_shape, view_shape));
+  AVM_ASSIGN_OR_RETURN(Shape minus,
+                       Shape::Difference(view_shape, query_shape));
+  return DeltaShape{std::move(plus), std::move(minus)};
+}
+
+}  // namespace avm

@@ -1,0 +1,36 @@
+#ifndef AVM_SHAPE_DELTA_SHAPE_H_
+#define AVM_SHAPE_DELTA_SHAPE_H_
+
+#include "common/result.h"
+#include "shape/shape.h"
+
+namespace avm {
+
+/// The ∆ shape of Section 5: the positional symmetric set difference between
+/// a view's shape and a query's shape, split into its signed halves.
+///
+/// To answer a query with shape Q from a view materialized with shape V the
+/// differential query adds contributions over `plus = Q \ V` and retracts
+/// contributions over `minus = V \ Q`:
+///     answer = view ⊕ join(plus) ⊖ join(minus).
+/// The paper's cost heuristic compares |∆| = |plus| + |minus| against |Q|.
+struct DeltaShape {
+  Shape plus;   // query \ view: contributions missing from the view
+  Shape minus;  // view \ query: contributions to retract
+
+  /// Total ∆ size; the numerator of the paper's |∆|/|query| decision ratio.
+  size_t size() const { return plus.size() + minus.size(); }
+
+  /// True when the view shape already equals the query shape.
+  bool empty() const { return plus.empty() && minus.empty(); }
+};
+
+/// Computes the ∆ shape between `view_shape` and `query_shape`; fails when
+/// their dimensionality differs. For the paper's Figure 4b examples:
+/// Delta(L1(1) view, L∞(1) query) has |plus| = 4, |minus| = 0.
+Result<DeltaShape> ComputeDeltaShape(const Shape& view_shape,
+                                     const Shape& query_shape);
+
+}  // namespace avm
+
+#endif  // AVM_SHAPE_DELTA_SHAPE_H_

@@ -1,0 +1,309 @@
+#include "shape/shape.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace avm {
+
+namespace {
+
+/// Normalizes a dim-subset argument: empty means "all dims".
+std::vector<size_t> NormalizeDims(size_t num_dims, std::vector<size_t> dims) {
+  if (dims.empty()) {
+    dims.resize(num_dims);
+    for (size_t i = 0; i < num_dims; ++i) dims[i] = i;
+  }
+  for (size_t d : dims) AVM_CHECK_LT(d, num_dims);
+  return dims;
+}
+
+/// Enumerates every offset assignment over `dims` with per-component range
+/// [-reach, reach], invoking `fn` on a full-dimensional offset vector.
+template <typename Fn>
+void EnumerateBox(size_t num_dims, const std::vector<size_t>& dims,
+                  int64_t reach, Fn&& fn) {
+  CellCoord offset(num_dims, 0);
+  std::vector<int64_t> cursor(dims.size(), -reach);
+  if (dims.empty()) {
+    fn(offset);
+    return;
+  }
+  for (;;) {
+    for (size_t i = 0; i < dims.size(); ++i) offset[dims[i]] = cursor[i];
+    fn(offset);
+    size_t d = dims.size();
+    bool done = true;
+    while (d-- > 0) {
+      if (cursor[d] < reach) {
+        ++cursor[d];
+        done = false;
+        break;
+      }
+      cursor[d] = -reach;
+    }
+    if (done) return;
+  }
+}
+
+}  // namespace
+
+Shape::Shape(size_t num_dims, std::vector<CellCoord> sorted_offsets)
+    : num_dims_(num_dims), sorted_(std::move(sorted_offsets)) {
+  set_.reserve(sorted_.size() * 2);
+  for (const auto& o : sorted_) set_.insert(o);
+}
+
+Result<Shape> Shape::FromOffsets(size_t num_dims,
+                                 std::vector<CellCoord> offsets) {
+  for (const auto& o : offsets) {
+    if (o.size() != num_dims) {
+      return Status::InvalidArgument(
+          "shape offset arity mismatch: expected " + std::to_string(num_dims) +
+          " components, got " + std::to_string(o.size()));
+    }
+  }
+  std::sort(offsets.begin(), offsets.end());
+  offsets.erase(std::unique(offsets.begin(), offsets.end()), offsets.end());
+  return Shape(num_dims, std::move(offsets));
+}
+
+Shape Shape::LinfBall(size_t num_dims, int64_t radius,
+                      std::vector<size_t> dims, bool include_center) {
+  AVM_CHECK_GE(radius, 0);
+  dims = NormalizeDims(num_dims, std::move(dims));
+  std::vector<CellCoord> offsets;
+  EnumerateBox(num_dims, dims, radius, [&](const CellCoord& o) {
+    offsets.push_back(o);
+  });
+  auto shape = FromOffsets(num_dims, std::move(offsets));
+  AVM_CHECK(shape.ok());
+  Shape result = std::move(shape).value();
+  if (!include_center) {
+    CellCoord zero(num_dims, 0);
+    auto diff = Difference(
+        result, FromOffsets(num_dims, {zero}).value());
+    AVM_CHECK(diff.ok());
+    return std::move(diff).value();
+  }
+  return result;
+}
+
+Shape Shape::L1Ball(size_t num_dims, int64_t radius, std::vector<size_t> dims,
+                    bool include_center) {
+  AVM_CHECK_GE(radius, 0);
+  dims = NormalizeDims(num_dims, std::move(dims));
+  std::vector<CellCoord> offsets;
+  EnumerateBox(num_dims, dims, radius, [&](const CellCoord& o) {
+    int64_t norm = 0;
+    for (size_t d : dims) norm += std::abs(o[d]);
+    if (norm > radius) return;
+    if (!include_center && norm == 0) return;
+    offsets.push_back(o);
+  });
+  auto shape = FromOffsets(num_dims, std::move(offsets));
+  AVM_CHECK(shape.ok());
+  return std::move(shape).value();
+}
+
+Shape Shape::L2Ball(size_t num_dims, double radius, std::vector<size_t> dims,
+                    bool include_center) {
+  AVM_CHECK_GE(radius, 0.0);
+  dims = NormalizeDims(num_dims, std::move(dims));
+  const int64_t reach = static_cast<int64_t>(std::floor(radius));
+  const double r2 = radius * radius;
+  std::vector<CellCoord> offsets;
+  EnumerateBox(num_dims, dims, reach, [&](const CellCoord& o) {
+    double norm2 = 0;
+    for (size_t d : dims) {
+      norm2 += static_cast<double>(o[d]) * static_cast<double>(o[d]);
+    }
+    if (norm2 > r2) return;
+    if (!include_center && norm2 == 0) return;
+    offsets.push_back(o);
+  });
+  auto shape = FromOffsets(num_dims, std::move(offsets));
+  AVM_CHECK(shape.ok());
+  return std::move(shape).value();
+}
+
+Shape Shape::HammingBall(size_t num_dims, int64_t radius, int64_t reach,
+                         std::vector<size_t> dims, bool include_center) {
+  AVM_CHECK_GE(radius, 0);
+  AVM_CHECK_GE(reach, 0);
+  dims = NormalizeDims(num_dims, std::move(dims));
+  std::vector<CellCoord> offsets;
+  EnumerateBox(num_dims, dims, reach, [&](const CellCoord& o) {
+    int64_t nonzero = 0;
+    for (size_t d : dims) nonzero += (o[d] != 0) ? 1 : 0;
+    if (nonzero > radius) return;
+    if (!include_center && nonzero == 0) return;
+    offsets.push_back(o);
+  });
+  auto shape = FromOffsets(num_dims, std::move(offsets));
+  AVM_CHECK(shape.ok());
+  return std::move(shape).value();
+}
+
+Shape Shape::WeightedBall(size_t num_dims, Norm norm, double radius,
+                          std::vector<double> weights,
+                          std::vector<size_t> dims, bool include_center) {
+  AVM_CHECK_GE(radius, 0.0);
+  dims = NormalizeDims(num_dims, std::move(dims));
+  AVM_CHECK_EQ(weights.size(), dims.size());
+  for (double w : weights) AVM_CHECK_GT(w, 0.0);
+  // Per-dim reach: |o_d| / w_d <= radius in every norm.
+  int64_t reach = 0;
+  for (double w : weights) {
+    reach = std::max(reach, static_cast<int64_t>(std::floor(radius * w)));
+  }
+  std::vector<CellCoord> offsets;
+  EnumerateBox(num_dims, dims, reach, [&](const CellCoord& o) {
+    double value = 0.0;
+    bool zero = true;
+    for (size_t i = 0; i < dims.size(); ++i) {
+      const double scaled =
+          std::abs(static_cast<double>(o[dims[i]])) / weights[i];
+      zero = zero && o[dims[i]] == 0;
+      switch (norm) {
+        case Norm::kL1:
+          value += scaled;
+          break;
+        case Norm::kL2:
+          value += scaled * scaled;
+          break;
+        case Norm::kLinf:
+          value = std::max(value, scaled);
+          break;
+      }
+    }
+    if (norm == Norm::kL2) value = std::sqrt(value);
+    if (value > radius + 1e-12) return;
+    if (!include_center && zero) return;
+    offsets.push_back(o);
+  });
+  auto shape = FromOffsets(num_dims, std::move(offsets));
+  AVM_CHECK(shape.ok());
+  return std::move(shape).value();
+}
+
+Shape Shape::Window(size_t num_dims, size_t dim, int64_t lo, int64_t hi) {
+  AVM_CHECK_LT(dim, num_dims);
+  AVM_CHECK_LE(lo, hi);
+  std::vector<CellCoord> offsets;
+  offsets.reserve(static_cast<size_t>(hi - lo + 1));
+  for (int64_t v = lo; v <= hi; ++v) {
+    CellCoord o(num_dims, 0);
+    o[dim] = v;
+    offsets.push_back(std::move(o));
+  }
+  auto shape = FromOffsets(num_dims, std::move(offsets));
+  AVM_CHECK(shape.ok());
+  return std::move(shape).value();
+}
+
+Result<Shape> Shape::MinkowskiSum(const Shape& x, const Shape& y) {
+  if (x.num_dims() != y.num_dims()) {
+    return Status::InvalidArgument("MinkowskiSum: dimensionality mismatch");
+  }
+  std::vector<CellCoord> offsets;
+  offsets.reserve(x.size() * y.size());
+  for (const auto& a : x.offsets()) {
+    for (const auto& b : y.offsets()) {
+      CellCoord sum(a.size());
+      for (size_t i = 0; i < a.size(); ++i) sum[i] = a[i] + b[i];
+      offsets.push_back(std::move(sum));
+    }
+  }
+  return FromOffsets(x.num_dims(), std::move(offsets));
+}
+
+Box Shape::BoundingBox() const {
+  Box box;
+  box.lo.assign(num_dims_, 1);
+  box.hi.assign(num_dims_, 0);  // degenerate when empty
+  if (sorted_.empty()) return box;
+  box.lo = sorted_.front();
+  box.hi = sorted_.front();
+  for (const auto& o : sorted_) {
+    for (size_t i = 0; i < num_dims_; ++i) {
+      box.lo[i] = std::min(box.lo[i], o[i]);
+      box.hi[i] = std::max(box.hi[i], o[i]);
+    }
+  }
+  return box;
+}
+
+bool Shape::IsSymmetric() const {
+  CellCoord neg(num_dims_);
+  for (const auto& o : sorted_) {
+    for (size_t i = 0; i < num_dims_; ++i) neg[i] = -o[i];
+    if (!Contains(neg)) return false;
+  }
+  return true;
+}
+
+Shape Shape::Reflected() const {
+  std::vector<CellCoord> offsets;
+  offsets.reserve(sorted_.size());
+  for (const auto& o : sorted_) {
+    CellCoord neg(num_dims_);
+    for (size_t i = 0; i < num_dims_; ++i) neg[i] = -o[i];
+    offsets.push_back(std::move(neg));
+  }
+  auto shape = FromOffsets(num_dims_, std::move(offsets));
+  AVM_CHECK(shape.ok());
+  return std::move(shape).value();
+}
+
+Result<Shape> Shape::Union(const Shape& a, const Shape& b) {
+  if (a.num_dims() != b.num_dims()) {
+    return Status::InvalidArgument("shape Union: dimensionality mismatch");
+  }
+  std::vector<CellCoord> offsets = a.sorted_;
+  offsets.insert(offsets.end(), b.sorted_.begin(), b.sorted_.end());
+  return FromOffsets(a.num_dims(), std::move(offsets));
+}
+
+Result<Shape> Shape::Intersection(const Shape& a, const Shape& b) {
+  if (a.num_dims() != b.num_dims()) {
+    return Status::InvalidArgument(
+        "shape Intersection: dimensionality mismatch");
+  }
+  std::vector<CellCoord> offsets;
+  for (const auto& o : a.sorted_) {
+    if (b.Contains(o)) offsets.push_back(o);
+  }
+  return FromOffsets(a.num_dims(), std::move(offsets));
+}
+
+Result<Shape> Shape::Difference(const Shape& a, const Shape& b) {
+  if (a.num_dims() != b.num_dims()) {
+    return Status::InvalidArgument("shape Difference: dimensionality mismatch");
+  }
+  std::vector<CellCoord> offsets;
+  for (const auto& o : a.sorted_) {
+    if (!b.Contains(o)) offsets.push_back(o);
+  }
+  return FromOffsets(a.num_dims(), std::move(offsets));
+}
+
+std::string Shape::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  for (size_t i = 0; i < sorted_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "(";
+    for (size_t d = 0; d < num_dims_; ++d) {
+      if (d > 0) out << ",";
+      out << sorted_[i][d];
+    }
+    out << ")";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace avm

@@ -1,0 +1,133 @@
+#ifndef AVM_SHAPE_SHAPE_H_
+#define AVM_SHAPE_SHAPE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "array/coords.h"
+#include "common/result.h"
+
+namespace avm {
+
+/// A similarity-join shape σ: a finite set of integer offset vectors applied
+/// around each (mapped) cell. The paper models σ as an attribute-less array
+/// with the dimensionality of the inner join operand; we represent it
+/// directly as its set of non-empty offsets.
+///
+/// Shapes are immutable after construction. Offsets are kept sorted
+/// lexicographically so iteration is deterministic, with a hash set alongside
+/// for O(1) membership tests (needed by the ∆-shape query rewrite).
+///
+/// Factories cover the distances in the paper — Lp-norm balls, per-dimension
+/// windows — and a Minkowski-sum composer to build products such as the PTF-5
+/// view shape: L1(1) on (ra,dec) × a 200-step look-back window on time.
+class Shape {
+ public:
+  /// An empty shape of the given dimensionality (joins nothing).
+  explicit Shape(size_t num_dims) : num_dims_(num_dims) {}
+
+  /// Builds a shape from an explicit offset list; duplicates are removed.
+  /// All offsets must have `num_dims` components.
+  static Result<Shape> FromOffsets(size_t num_dims,
+                                   std::vector<CellCoord> offsets);
+
+  /// L∞ ball of the given radius: every offset with |o_i| <= radius on the
+  /// selected dims (all dims when `dims` is empty) and 0 elsewhere. A
+  /// (2r+1)^k hypercube. `include_center` keeps/removes the all-zero offset.
+  static Shape LinfBall(size_t num_dims, int64_t radius,
+                        std::vector<size_t> dims = {},
+                        bool include_center = true);
+
+  /// L1 ball: offsets with Σ|o_i| <= radius on the selected dims. L1(1) is
+  /// the paper's 5-cell cross.
+  static Shape L1Ball(size_t num_dims, int64_t radius,
+                      std::vector<size_t> dims = {},
+                      bool include_center = true);
+
+  /// L2 ball: offsets with Σ o_i^2 <= radius^2 on the selected dims. The
+  /// radius may be fractional.
+  static Shape L2Ball(size_t num_dims, double radius,
+                      std::vector<size_t> dims = {},
+                      bool include_center = true);
+
+  /// Hamming ball: offsets with at most `radius` non-zero components among
+  /// the selected dims, each non-zero component bounded by |o_i| <= reach.
+  /// (A bound is required to keep the shape finite.)
+  static Shape HammingBall(size_t num_dims, int64_t radius, int64_t reach,
+                           std::vector<size_t> dims = {},
+                           bool include_center = true);
+
+  /// A one-dimensional window along `dim`: offsets with o_dim in [lo, hi]
+  /// and 0 elsewhere. Window(d, -199, 0) is a 200-step look-back.
+  static Shape Window(size_t num_dims, size_t dim, int64_t lo, int64_t hi);
+
+  /// Norm kinds for WeightedBall.
+  enum class Norm { kL1, kL2, kLinf };
+
+  /// Anisotropic norm ball: offsets with ||(o_d / w_d)||_norm <= radius on
+  /// the selected dims (w given per selected dim, in order). With weights
+  /// equal to the chunk extents this builds *chunk-scale* shapes — e.g. an
+  /// L∞ radius of 2 chunks over a (ra, dec) grid of 100 x 50 cell chunks —
+  /// matching the granularity at which the paper's ∆-shape analysis
+  /// operates.
+  static Shape WeightedBall(size_t num_dims, Norm norm, double radius,
+                            std::vector<double> weights,
+                            std::vector<size_t> dims = {},
+                            bool include_center = true);
+
+  /// Minkowski sum {a + b : a ∈ x, b ∈ y}: composes shapes over disjoint (or
+  /// overlapping) dimension subsets into product shapes.
+  static Result<Shape> MinkowskiSum(const Shape& x, const Shape& y);
+
+  size_t num_dims() const { return num_dims_; }
+  size_t size() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+
+  /// True if `offset` is one of the shape's offsets.
+  bool Contains(const CellCoord& offset) const {
+    return set_.find(offset) != set_.end();
+  }
+
+  /// Offsets in deterministic (lexicographic) order.
+  const std::vector<CellCoord>& offsets() const { return sorted_; }
+
+  /// Per-dimension inclusive [min, max] offset bounds; the box used to
+  /// expand a chunk's extent when enumerating join partners. Empty shapes
+  /// return a degenerate box with lo > hi.
+  Box BoundingBox() const;
+
+  /// True if for every offset o, -o is also in the shape. Symmetric shapes
+  /// make the two directions of a self-join mirror images.
+  bool IsSymmetric() const;
+
+  /// The point reflection {-o : o ∈ σ}. A cell y is "seen" by cell x under
+  /// σ exactly when x sees y under the reflection; maintenance uses it to
+  /// find the existing cells whose aggregates a new cell affects.
+  Shape Reflected() const;
+
+  /// Set algebra (inputs must have equal dimensionality).
+  static Result<Shape> Union(const Shape& a, const Shape& b);
+  static Result<Shape> Intersection(const Shape& a, const Shape& b);
+  /// Offsets of `a` not in `b`.
+  static Result<Shape> Difference(const Shape& a, const Shape& b);
+
+  bool operator==(const Shape& other) const {
+    return num_dims_ == other.num_dims_ && sorted_ == other.sorted_;
+  }
+
+  /// "{(0,0), (0,1), ...}" rendering.
+  std::string ToString() const;
+
+ private:
+  Shape(size_t num_dims, std::vector<CellCoord> sorted_offsets);
+
+  size_t num_dims_;
+  std::vector<CellCoord> sorted_;
+  std::unordered_set<CellCoord, CoordHash> set_;
+};
+
+}  // namespace avm
+
+#endif  // AVM_SHAPE_SHAPE_H_

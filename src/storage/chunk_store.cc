@@ -1,0 +1,59 @@
+#include "storage/chunk_store.h"
+
+namespace avm {
+
+uint64_t ChunkStore::Put(ArrayId array, ChunkId chunk, Chunk data) {
+  const uint64_t bytes = data.SizeBytes();
+  chunks_.insert_or_assign(Key{array, chunk}, std::move(data));
+  return bytes;
+}
+
+const Chunk* ChunkStore::Get(ArrayId array, ChunkId chunk) const {
+  auto it = chunks_.find(Key{array, chunk});
+  return it == chunks_.end() ? nullptr : &it->second;
+}
+
+Chunk* ChunkStore::GetMutable(ArrayId array, ChunkId chunk) {
+  auto it = chunks_.find(Key{array, chunk});
+  return it == chunks_.end() ? nullptr : &it->second;
+}
+
+Chunk& ChunkStore::GetOrCreate(ArrayId array, ChunkId chunk, size_t num_dims,
+                               size_t num_attrs) {
+  auto it = chunks_.find(Key{array, chunk});
+  if (it == chunks_.end()) {
+    it = chunks_.emplace(Key{array, chunk}, Chunk(num_dims, num_attrs)).first;
+  }
+  return it->second;
+}
+
+bool ChunkStore::Contains(ArrayId array, ChunkId chunk) const {
+  return chunks_.find(Key{array, chunk}) != chunks_.end();
+}
+
+bool ChunkStore::Erase(ArrayId array, ChunkId chunk) {
+  return chunks_.erase(Key{array, chunk}) > 0;
+}
+
+uint64_t ChunkStore::SizeBytes() const {
+  uint64_t total = 0;
+  for (const auto& [key, chunk] : chunks_) total += chunk.SizeBytes();
+  return total;
+}
+
+void ChunkStore::ForEach(
+    const std::function<void(ArrayId, ChunkId, const Chunk&)>& fn) const {
+  for (const auto& [key, chunk] : chunks_) fn(key.first, key.second, chunk);
+}
+
+size_t ChunkStore::EraseArray(ArrayId array) {
+  size_t dropped = 0;
+  auto it = chunks_.lower_bound(Key{array, 0});
+  while (it != chunks_.end() && it->first.first == array) {
+    it = chunks_.erase(it);
+    ++dropped;
+  }
+  return dropped;
+}
+
+}  // namespace avm

@@ -1,0 +1,72 @@
+#ifndef AVM_STORAGE_CHUNK_STORE_H_
+#define AVM_STORAGE_CHUNK_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "array/chunk.h"
+#include "array/coords.h"
+#include "common/result.h"
+
+namespace avm {
+
+/// Identifier of an array registered in the catalog. Dense, assigned at
+/// registration.
+using ArrayId = uint32_t;
+
+/// The physical chunk container of one node: chunks of any array, keyed by
+/// (array, chunk id). This models a node's local attached storage in the
+/// shared-nothing architecture; a chunk "lives" on node k when k's store
+/// holds it and the catalog maps it there. Replicas created during view
+/// maintenance are additional copies in other nodes' stores.
+///
+/// Keys are kept in an ordered map for deterministic iteration.
+class ChunkStore {
+ public:
+  using Key = std::pair<ArrayId, ChunkId>;
+
+  ChunkStore() = default;
+  ChunkStore(const ChunkStore&) = delete;
+  ChunkStore& operator=(const ChunkStore&) = delete;
+  ChunkStore(ChunkStore&&) = default;
+  ChunkStore& operator=(ChunkStore&&) = default;
+
+  /// Stores (or replaces) a chunk. Returns the stored chunk's size in bytes.
+  uint64_t Put(ArrayId array, ChunkId chunk, Chunk data);
+
+  /// The chunk if present, else nullptr.
+  const Chunk* Get(ArrayId array, ChunkId chunk) const;
+  Chunk* GetMutable(ArrayId array, ChunkId chunk);
+
+  /// The chunk, creating an empty one with the given layout if absent.
+  Chunk& GetOrCreate(ArrayId array, ChunkId chunk, size_t num_dims,
+                     size_t num_attrs);
+
+  bool Contains(ArrayId array, ChunkId chunk) const;
+
+  /// Drops the chunk; true if it was present. Dropping a primary copy is the
+  /// caller's responsibility to coordinate with the catalog.
+  bool Erase(ArrayId array, ChunkId chunk);
+
+  /// Number of chunks held (all arrays).
+  size_t NumChunks() const { return chunks_.size(); }
+
+  /// Total bytes held (all arrays).
+  uint64_t SizeBytes() const;
+
+  /// Invokes fn(array, chunk_id, chunk) for every stored chunk in key order.
+  void ForEach(const std::function<void(ArrayId, ChunkId, const Chunk&)>& fn)
+      const;
+
+  /// Removes every chunk belonging to `array`; returns how many were dropped.
+  size_t EraseArray(ArrayId array);
+
+ private:
+  std::map<Key, Chunk> chunks_;
+};
+
+}  // namespace avm
+
+#endif  // AVM_STORAGE_CHUNK_STORE_H_

@@ -1,0 +1,82 @@
+#include "view/materialized_view.h"
+
+#include <vector>
+
+#include "join/reference.h"
+
+namespace avm {
+
+SimilarityJoinSpec MaterializedView::JoinSpec() const {
+  SimilarityJoinSpec spec;
+  spec.mapping = def_.mapping;
+  spec.shape = def_.shape;
+  spec.layout = layout_;
+  spec.group_dims = def_.group_dims;
+  return spec;
+}
+
+Result<SparseArray> MaterializedView::GatherFinalized() const {
+  AVM_ASSIGN_OR_RETURN(SparseArray states, view_.Gather());
+
+  // Build the finalized schema: same dims, one output attribute per spec.
+  std::vector<Attribute> out_attrs;
+  out_attrs.reserve(layout_.num_specs());
+  for (const auto& spec : layout_.specs()) {
+    out_attrs.push_back({spec.output_name, AttributeType::kDouble});
+  }
+  AVM_ASSIGN_OR_RETURN(
+      ArraySchema out_schema,
+      ArraySchema::Create(def_.view_name + "_finalized",
+                          states.schema().dims(), std::move(out_attrs)));
+
+  SparseArray out(out_schema);
+  std::vector<double> finalized(layout_.num_specs());
+  Status status = Status::OK();
+  CellCoord coord;
+  states.ForEachCell([&](std::span<const int64_t> c,
+                         std::span<const double> state) {
+    if (!status.ok()) return;
+    layout_.Finalize(state, finalized);
+    coord.assign(c.begin(), c.end());
+    status = out.Set(coord, finalized);
+  });
+  if (!status.ok()) return status;
+  return out;
+}
+
+Result<SparseArray> MaterializedView::RecomputeReferenceStates() const {
+  AVM_ASSIGN_OR_RETURN(SparseArray left_local, left_.Gather());
+  AVM_ASSIGN_OR_RETURN(SparseArray right_local, right_.Gather());
+  return ReferenceJoinAggregate(left_local, right_local, JoinSpec(),
+                                view_.schema());
+}
+
+Result<MaterializedView> CreateMaterializedView(
+    ViewDefinition def, std::unique_ptr<ChunkPlacement> placement,
+    Catalog* catalog, Cluster* cluster) {
+  AVM_ASSIGN_OR_RETURN(DistributedArray left,
+                       DistributedArray::Open(def.left_array, catalog,
+                                              cluster));
+  AVM_ASSIGN_OR_RETURN(DistributedArray right,
+                       DistributedArray::Open(def.right_array, catalog,
+                                              cluster));
+  AVM_ASSIGN_OR_RETURN(
+      ArraySchema view_schema,
+      def.DeriveViewSchema(left.schema(), right.schema()));
+  AVM_ASSIGN_OR_RETURN(
+      AggregateLayout layout,
+      AggregateLayout::Create(def.aggregates, right.schema().num_attrs()));
+  AVM_ASSIGN_OR_RETURN(
+      DistributedArray view,
+      DistributedArray::Create(std::move(view_schema), std::move(placement),
+                               catalog, cluster));
+
+  MaterializedView mv(std::move(def), std::move(layout), std::move(view),
+                      std::move(left), std::move(right));
+  auto stats = ExecuteDistributedJoinAggregate(mv.left_base(), mv.right_base(),
+                                               mv.JoinSpec(), &mv.array());
+  if (!stats.ok()) return stats.status();
+  return mv;
+}
+
+}  // namespace avm

@@ -1,0 +1,78 @@
+#ifndef AVM_VIEW_MATERIALIZED_VIEW_H_
+#define AVM_VIEW_MATERIALIZED_VIEW_H_
+
+#include <memory>
+#include <string>
+
+#include "cluster/distributed_array.h"
+#include "common/result.h"
+#include "join/similarity_join.h"
+#include "view/view_definition.h"
+
+namespace avm {
+
+/// A materialized array view: the definition, its aggregate layout, and the
+/// distributed array holding the eagerly evaluated result. Created by
+/// CreateMaterializedView, which registers the view array in the catalog and
+/// evaluates the definition query once (the initial "cooking"); thereafter
+/// the maintenance module keeps it consistent under batch updates.
+class MaterializedView {
+ public:
+  const ViewDefinition& definition() const { return def_; }
+  const AggregateLayout& layout() const { return layout_; }
+
+  /// The view's distributed array (cells hold aggregate *states*).
+  DistributedArray& array() { return view_; }
+  const DistributedArray& array() const { return view_; }
+
+  /// Handles to the base arrays (equal ids for a self-join view).
+  DistributedArray& left_base() { return left_; }
+  const DistributedArray& left_base() const { return left_; }
+  DistributedArray& right_base() { return right_; }
+  const DistributedArray& right_base() const { return right_; }
+
+  /// The join spec equivalent to the view definition, for executors.
+  SimilarityJoinSpec JoinSpec() const;
+
+  /// Gathers the view into a single-node array of *finalized* outputs (one
+  /// attribute per aggregate spec, e.g. the actual AVG instead of sum+count).
+  Result<SparseArray> GatherFinalized() const;
+
+  /// Recomputes the view from scratch into a fresh local array of aggregate
+  /// states — the paper's "complete recomputation" strategy, used as the
+  /// correctness oracle and as the non-incremental alternative.
+  Result<SparseArray> RecomputeReferenceStates() const;
+
+ private:
+  friend Result<MaterializedView> CreateMaterializedView(
+      ViewDefinition def, std::unique_ptr<ChunkPlacement> placement,
+      Catalog* catalog, Cluster* cluster);
+
+  MaterializedView(ViewDefinition def, AggregateLayout layout,
+                   DistributedArray view, DistributedArray left,
+                   DistributedArray right)
+      : def_(std::move(def)),
+        layout_(std::move(layout)),
+        view_(std::move(view)),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  ViewDefinition def_;
+  AggregateLayout layout_;
+  DistributedArray view_;
+  DistributedArray left_;
+  DistributedArray right_;
+};
+
+/// Registers the view array in the catalog (with `placement` deciding the
+/// home of new view chunks) and eagerly materializes the definition query
+/// with the distributed similarity-join operator. The initial
+/// materialization is not part of any measured maintenance window; callers
+/// typically ResetClocks() afterwards.
+Result<MaterializedView> CreateMaterializedView(
+    ViewDefinition def, std::unique_ptr<ChunkPlacement> placement,
+    Catalog* catalog, Cluster* cluster);
+
+}  // namespace avm
+
+#endif  // AVM_VIEW_MATERIALIZED_VIEW_H_

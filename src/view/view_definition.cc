@@ -1,0 +1,57 @@
+#include "view/view_definition.h"
+
+namespace avm {
+
+Result<ArraySchema> ViewDefinition::DeriveViewSchema(
+    const ArraySchema& left_schema, const ArraySchema& right_schema) {
+  if (view_name.empty()) {
+    return Status::InvalidArgument("view needs a name");
+  }
+  if (mapping.num_left_dims() != left_schema.num_dims()) {
+    return Status::InvalidArgument(
+        "mapping arity does not match the left array");
+  }
+  if (mapping.num_right_dims() != right_schema.num_dims()) {
+    return Status::InvalidArgument(
+        "mapping image arity does not match the right array");
+  }
+  if (shape.num_dims() != right_schema.num_dims()) {
+    return Status::InvalidArgument(
+        "shape dimensionality does not match the right array");
+  }
+  if (group_dims.empty()) {
+    group_dims.resize(left_schema.num_dims());
+    for (size_t d = 0; d < group_dims.size(); ++d) group_dims[d] = d;
+  }
+  for (size_t d : group_dims) {
+    if (d >= left_schema.num_dims()) {
+      return Status::InvalidArgument("group dim index out of range");
+    }
+  }
+  if (!view_chunk_extents.empty() &&
+      view_chunk_extents.size() != group_dims.size()) {
+    return Status::InvalidArgument(
+        "view_chunk_extents must have one entry per group dim");
+  }
+
+  AVM_ASSIGN_OR_RETURN(
+      AggregateLayout layout,
+      AggregateLayout::Create(aggregates, right_schema.num_attrs()));
+
+  std::vector<DimensionSpec> dims;
+  dims.reserve(group_dims.size());
+  for (size_t i = 0; i < group_dims.size(); ++i) {
+    DimensionSpec dim = left_schema.dims()[group_dims[i]];
+    if (!view_chunk_extents.empty()) {
+      if (view_chunk_extents[i] <= 0) {
+        return Status::InvalidArgument("non-positive view chunk extent");
+      }
+      dim.chunk_extent = view_chunk_extents[i];
+    }
+    dims.push_back(std::move(dim));
+  }
+  return ArraySchema::Create(view_name, std::move(dims),
+                             layout.StateAttributes());
+}
+
+}  // namespace avm

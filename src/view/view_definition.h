@@ -1,0 +1,53 @@
+#ifndef AVM_VIEW_VIEW_DEFINITION_H_
+#define AVM_VIEW_VIEW_DEFINITION_H_
+
+#include <string>
+#include <vector>
+
+#include "agg/aggregates.h"
+#include "array/schema.h"
+#include "common/result.h"
+#include "join/mapping.h"
+#include "shape/shape.h"
+
+namespace avm {
+
+/// Definition of a materialized array view (Definition 1 of the paper,
+/// restricted to one similarity join — the recursive multi-join case is
+/// handled by stacking views): the AQL statement
+///
+///   CREATE ARRAY VIEW V AS
+///     SELECT aggs FROM left SIMILARITY JOIN right ON M WITH SHAPE σ
+///     GROUP BY <group dims of left>
+///
+/// A self-join view names the same array on both sides. The view's
+/// dimensions are the left operand's dimensions selected by `group_dims`
+/// (ranges inherited); its chunking is inherited from the left array unless
+/// `view_chunk_extents` overrides it — the paper's "chunking can be either
+/// specified explicitly or inferred".
+struct ViewDefinition {
+  std::string view_name;
+  std::string left_array;
+  std::string right_array;
+  DimMapping mapping = DimMapping::Identity(1);
+  Shape shape = Shape(1);
+  std::vector<AggregateSpec> aggregates;
+  /// Indices of the left array's dimensions the view is keyed on; empty
+  /// means all left dimensions.
+  std::vector<size_t> group_dims;
+  /// Optional per-group-dim chunk extents for the view; empty inherits the
+  /// left array's chunking on those dimensions.
+  std::vector<int64_t> view_chunk_extents;
+
+  bool IsSelfJoin() const { return left_array == right_array; }
+
+  /// Validates the definition against the base schemas and derives the
+  /// view's array schema (group dims + aggregate state attributes). Also
+  /// normalizes `group_dims` (empty -> all left dims).
+  Result<ArraySchema> DeriveViewSchema(const ArraySchema& left_schema,
+                                       const ArraySchema& right_schema);
+};
+
+}  // namespace avm
+
+#endif  // AVM_VIEW_VIEW_DEFINITION_H_

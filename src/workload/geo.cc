@@ -1,0 +1,168 @@
+#include "workload/geo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace avm {
+
+Result<GeoDataset> GenerateGeo(const GeoOptions& options, int num_batches) {
+  AVM_ASSIGN_OR_RETURN(
+      ArraySchema schema,
+      ArraySchema::Create(
+          "GEO",
+          {{"long", 1, options.long_range, options.long_chunk},
+           {"lat", 1, options.lat_range, options.lat_chunk}},
+          {{"popularity", AttributeType::kDouble}}));
+  Rng rng(options.seed);
+
+  // City-like cluster centers.
+  struct Cluster {
+    double x, y, sigma;
+  };
+  std::vector<Cluster> clusters;
+  clusters.reserve(static_cast<size_t>(options.num_clusters));
+  for (int i = 0; i < options.num_clusters; ++i) {
+    clusters.push_back(
+        {1.0 + rng.UniformDouble() *
+                   static_cast<double>(options.long_range - 1),
+         1.0 + rng.UniformDouble() * static_cast<double>(options.lat_range - 1),
+         options.cluster_sigma_frac *
+             static_cast<double>(options.long_range) *
+             (0.5 + rng.UniformDouble())});
+  }
+
+  auto clamp_coord = [&](double x, double y) {
+    CellCoord c(2);
+    c[0] = std::clamp<int64_t>(static_cast<int64_t>(std::llround(x)), 1,
+                               options.long_range);
+    c[1] = std::clamp<int64_t>(static_cast<int64_t>(std::llround(y)), 1,
+                               options.lat_range);
+    return c;
+  };
+
+  // Seeds plus Gaussian clones, deduplicated.
+  std::unordered_set<CellCoord, CoordHash> used;
+  std::vector<CellCoord> points;
+  for (uint64_t i = 0; i < options.seed_pois; ++i) {
+    double x;
+    double y;
+    if (rng.Bernoulli(options.uniform_frac)) {
+      x = 1.0 + rng.UniformDouble() *
+                    static_cast<double>(options.long_range - 1);
+      y = 1.0 +
+          rng.UniformDouble() * static_cast<double>(options.lat_range - 1);
+    } else {
+      const Cluster& c =
+          clusters[static_cast<size_t>(rng.Uniform(clusters.size()))];
+      x = rng.Normal(c.x, c.sigma);
+      y = rng.Normal(c.y, c.sigma);
+    }
+    CellCoord seed_coord = clamp_coord(x, y);
+    if (used.insert(seed_coord).second) points.push_back(seed_coord);
+    for (int k = 0; k < options.clones_per_seed; ++k) {
+      CellCoord clone = clamp_coord(rng.Normal(x, options.clone_sigma),
+                                    rng.Normal(y, options.clone_sigma));
+      if (used.insert(clone).second) points.push_back(clone);
+    }
+  }
+
+  // Random split: batches are uniform samples withheld from the base.
+  rng.Shuffle(points);
+  const size_t batch_size = static_cast<size_t>(
+      options.batch_frac * static_cast<double>(points.size()));
+  const size_t withheld =
+      std::min(points.size() / 2,
+               batch_size * static_cast<size_t>(std::max(num_batches, 0)));
+
+  GeoDataset dataset(schema, SparseArray(schema));
+  size_t cursor = 0;
+  for (int b = 0; b < num_batches; ++b) {
+    SparseArray batch(schema);
+    for (size_t i = 0; i < batch_size && cursor < withheld; ++i, ++cursor) {
+      const double values[1] = {rng.UniformDouble()};
+      AVM_RETURN_IF_ERROR(batch.Set(points[cursor], values));
+    }
+    dataset.random_batches.push_back(std::move(batch));
+  }
+  for (; cursor < points.size(); ++cursor) {
+    const double values[1] = {rng.UniformDouble()};
+    AVM_RETURN_IF_ERROR(dataset.base.Set(points[cursor], values));
+  }
+  dataset.used = std::move(used);
+  dataset.rng = rng.Fork();
+  return dataset;
+}
+
+namespace {
+
+/// Draws a fresh batch with the chunk footprint and per-chunk volume of
+/// `prototype`.
+Result<SparseArray> DrawBatchLikeFootprint(const SparseArray& prototype,
+                                           GeoDataset* dataset) {
+  SparseArray batch(dataset->schema);
+  Status status = Status::OK();
+  prototype.ForEachChunk([&](ChunkId id, const Chunk& chunk) {
+    if (!status.ok()) return;
+    const Box box = prototype.grid().ChunkBoxOfId(id);
+    for (size_t i = 0; i < chunk.num_cells(); ++i) {
+      CellCoord coord(2);
+      bool placed = false;
+      for (int attempt = 0; attempt < 1000; ++attempt) {
+        coord[0] = dataset->rng.UniformInt(box.lo[0], box.hi[0]);
+        coord[1] = dataset->rng.UniformInt(box.lo[1], box.hi[1]);
+        if (dataset->used.insert(coord).second) {
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) continue;  // chunk nearly full; keep the footprint anyway
+      const double values[1] = {dataset->rng.UniformDouble()};
+      status = batch.Set(coord, values);
+      if (!status.ok()) return;
+    }
+  });
+  if (!status.ok()) return status;
+  return batch;
+}
+
+}  // namespace
+
+Result<std::vector<SparseArray>> MakeCorrelatedGeoBatches(GeoDataset* dataset,
+                                                          int num_batches) {
+  if (dataset == nullptr || dataset->random_batches.empty()) {
+    return Status::InvalidArgument(
+        "correlated batches need a generated dataset with random batches");
+  }
+  std::vector<SparseArray> batches;
+  batches.reserve(static_cast<size_t>(num_batches));
+  for (int b = 0; b < num_batches; ++b) {
+    AVM_ASSIGN_OR_RETURN(
+        SparseArray batch,
+        DrawBatchLikeFootprint(dataset->random_batches[0], dataset));
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+Result<std::vector<SparseArray>> MakePeriodicGeoBatches(GeoDataset* dataset,
+                                                        int num_batches) {
+  if (dataset == nullptr || dataset->random_batches.size() < 3) {
+    return Status::InvalidArgument(
+        "periodic batches need at least three random batches as prototypes");
+  }
+  static const int kPattern[] = {0, 1, 2, 2, 1, 0, 0, 1, 2, 2};
+  std::vector<SparseArray> batches;
+  batches.reserve(static_cast<size_t>(num_batches));
+  for (int b = 0; b < num_batches; ++b) {
+    const int proto = kPattern[static_cast<size_t>(b) % 10];
+    AVM_ASSIGN_OR_RETURN(
+        SparseArray batch,
+        DrawBatchLikeFootprint(
+            dataset->random_batches[static_cast<size_t>(proto)], dataset));
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+}  // namespace avm

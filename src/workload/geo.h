@@ -1,0 +1,72 @@
+#ifndef AVM_WORKLOAD_GEO_H_
+#define AVM_WORKLOAD_GEO_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "array/sparse_array.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace avm {
+
+/// Synthetic LinkedGeoData-like dataset: 2-D points of interest
+/// GEO[long, lat]. The paper seeds from OpenStreetMap "Place" POIs and adds
+/// 9 Gaussian-jittered clones per seed (σ = 10 miles); we synthesize the
+/// seeds too, from a mixture of city-like Gaussian clusters over a uniform
+/// background, then apply the same cloning recipe.
+struct GeoOptions {
+  int64_t long_range = 2000;
+  int64_t long_chunk = 100;
+  int64_t lat_range = 1000;
+  int64_t lat_chunk = 50;
+
+  /// Seed POIs before cloning.
+  uint64_t seed_pois = 6000;
+  /// Clones per seed (the paper uses 9) and the jitter σ in cells.
+  int clones_per_seed = 9;
+  double clone_sigma = 12.0;
+  /// Fraction of seeds drawn uniformly rather than from a city cluster.
+  double uniform_frac = 0.2;
+  int num_clusters = 25;
+  double cluster_sigma_frac = 0.03;
+
+  /// Fraction of the dataset withheld per update batch (the paper inserts
+  /// 1% random samples).
+  double batch_frac = 0.01;
+
+  uint64_t seed = 11;
+};
+
+/// The generated dataset: the base array plus randomly sampled insert
+/// batches (disjoint from the base and from each other — every batch is a
+/// genuine insert set). Carries the generator state (used coordinates and
+/// RNG) so derived batch regimes can keep drawing fresh points.
+struct GeoDataset {
+  ArraySchema schema;
+  SparseArray base;
+  std::vector<SparseArray> random_batches;
+  std::unordered_set<CellCoord, CoordHash> used;
+  Rng rng;
+
+  GeoDataset(ArraySchema s, SparseArray b)
+      : schema(std::move(s)), base(std::move(b)), rng(0) {}
+};
+
+/// Generates the full dataset and splits it into a base plus `num_batches`
+/// random batches of `batch_frac` of the points each.
+Result<GeoDataset> GenerateGeo(const GeoOptions& options, int num_batches);
+
+/// "Correlated" GEO batches: `num_batches` batches with the chunk footprint
+/// and per-chunk volume of random_batches[0], filled with fresh points.
+Result<std::vector<SparseArray>> MakeCorrelatedGeoBatches(GeoDataset* dataset,
+                                                          int num_batches);
+
+/// "Periodic" GEO batches: the footprints of random_batches[0..2] alternated
+/// in the paper's order 1,2,3,3,2,1,1,2,3,3 (cycled), fresh points each.
+Result<std::vector<SparseArray>> MakePeriodicGeoBatches(GeoDataset* dataset,
+                                                        int num_batches);
+
+}  // namespace avm
+
+#endif  // AVM_WORKLOAD_GEO_H_

@@ -1,0 +1,272 @@
+#include "workload/ptf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace avm {
+
+namespace {
+constexpr int kMaxSampleAttempts = 10000;
+}  // namespace
+
+PtfGenerator::PtfGenerator(PtfOptions options, ArraySchema schema)
+    : options_(options),
+      schema_(std::move(schema)),
+      base_(schema_),
+      rng_(options.seed) {}
+
+Result<PtfGenerator> PtfGenerator::Create(const PtfOptions& options) {
+  AVM_ASSIGN_OR_RETURN(
+      ArraySchema schema,
+      ArraySchema::Create(
+          "PTF",
+          {{"time", 1, options.time_range, options.time_chunk},
+           {"ra", 1, options.ra_range, options.ra_chunk},
+           {"dec", 1, options.dec_range, options.dec_chunk}},
+          {{"bright", AttributeType::kDouble},
+           {"mag", AttributeType::kDouble}}));
+  const int64_t base_span = options.base_nights * options.night_len;
+  if (base_span >= options.time_range) {
+    return Status::InvalidArgument(
+        "base nights exceed the catalog's time range");
+  }
+  PtfGenerator gen(options, std::move(schema));
+
+  // Initial catalog: each base night records a pointing — a small sky
+  // window the telescope actually covered that night — plus a thin uniform
+  // background of archival detections. This reproduces the real catalog's
+  // sparse occupied-chunk space (most (ra, dec) columns hold data for only
+  // a few nights).
+  const double dec_mean =
+      options.dec_mean_frac * static_cast<double>(options.dec_range);
+  const double dec_sigma =
+      options.dec_sigma_frac * static_cast<double>(options.dec_range);
+  const int64_t ra_half = options.pointing_ra_chunks * options.ra_chunk / 2;
+  const int64_t dec_half =
+      options.pointing_dec_chunks * options.dec_chunk / 2;
+  const uint64_t pointed_cells = static_cast<uint64_t>(
+      options.base_pointed_frac * static_cast<double>(options.base_cells));
+  const uint64_t per_night =
+      pointed_cells / static_cast<uint64_t>(options.base_nights);
+  for (int64_t night = 0; night < options.base_nights; ++night) {
+    const int64_t t_lo = night * options.night_len + 1;
+    const int64_t t_hi = t_lo + options.night_len - 1;
+    const int64_t ra_c = gen.rng_.UniformInt(ra_half + 1,
+                                             options.ra_range - ra_half - 1);
+    const int64_t dec_c = static_cast<int64_t>(
+        std::clamp(gen.rng_.Normal(dec_mean, dec_sigma),
+                   static_cast<double>(dec_half + 1),
+                   static_cast<double>(options.dec_range - dec_half - 1)));
+    AVM_ASSIGN_OR_RETURN(
+        SparseArray night_cells,
+        gen.DrawBatch(t_lo, t_hi, ra_c - ra_half, ra_c + ra_half,
+                      dec_c - dec_half, dec_c + dec_half, per_night));
+    Status status = Status::OK();
+    night_cells.ForEachCell([&](std::span<const int64_t> coord,
+                                std::span<const double> values) {
+      if (!status.ok()) return;
+      status = gen.base_.Set(CellCoord(coord.begin(), coord.end()), values);
+    });
+    AVM_RETURN_IF_ERROR(status);
+  }
+  // Uniform archival background.
+  uint64_t placed = gen.base_.NumCells();
+  int attempts = 0;
+  while (placed < options.base_cells) {
+    if (++attempts > kMaxSampleAttempts) {
+      return Status::InvalidArgument(
+          "catalog too dense: cannot place the requested base cells");
+    }
+    CellCoord coord(3);
+    coord[0] = gen.rng_.UniformInt(1, base_span);
+    coord[1] = gen.rng_.UniformInt(1, options.ra_range);
+    coord[2] = static_cast<int64_t>(
+        std::clamp(gen.rng_.Normal(dec_mean, dec_sigma), 1.0,
+                   static_cast<double>(options.dec_range)));
+    if (!gen.used_.insert(coord).second) continue;
+    const double values[2] = {gen.rng_.UniformDouble() * 100.0,
+                              10.0 + gen.rng_.UniformDouble() * 15.0};
+    AVM_RETURN_IF_ERROR(gen.base_.Set(coord, values));
+    ++placed;
+    attempts = 0;
+  }
+  gen.next_night_ = options.base_nights;
+  return gen;
+}
+
+Result<CellCoord> PtfGenerator::SampleFreshCoord(int64_t t_lo, int64_t t_hi,
+                                                 int64_t ra_lo, int64_t ra_hi,
+                                                 int64_t dec_lo,
+                                                 int64_t dec_hi) {
+  for (int attempt = 0; attempt < kMaxSampleAttempts; ++attempt) {
+    CellCoord coord(3);
+    coord[0] = rng_.UniformInt(t_lo, t_hi);
+    coord[1] = rng_.UniformInt(ra_lo, ra_hi);
+    coord[2] = rng_.UniformInt(dec_lo, dec_hi);
+    if (used_.insert(coord).second) return coord;
+  }
+  return Status::Internal(
+      "pointing window saturated: cannot draw a fresh detection");
+}
+
+Result<SparseArray> PtfGenerator::DrawBatch(int64_t t_lo, int64_t t_hi,
+                                            int64_t ra_lo, int64_t ra_hi,
+                                            int64_t dec_lo, int64_t dec_hi,
+                                            uint64_t cells) {
+  t_lo = std::clamp<int64_t>(t_lo, 1, options_.time_range);
+  t_hi = std::clamp<int64_t>(t_hi, 1, options_.time_range);
+  ra_lo = std::clamp<int64_t>(ra_lo, 1, options_.ra_range);
+  ra_hi = std::clamp<int64_t>(ra_hi, 1, options_.ra_range);
+  dec_lo = std::clamp<int64_t>(dec_lo, 1, options_.dec_range);
+  dec_hi = std::clamp<int64_t>(dec_hi, 1, options_.dec_range);
+  SparseArray batch(schema_);
+  for (uint64_t i = 0; i < cells; ++i) {
+    AVM_ASSIGN_OR_RETURN(
+        CellCoord coord,
+        SampleFreshCoord(t_lo, t_hi, ra_lo, ra_hi, dec_lo, dec_hi));
+    const double values[2] = {rng_.UniformDouble() * 100.0,
+                              10.0 + rng_.UniformDouble() * 15.0};
+    AVM_RETURN_IF_ERROR(batch.Set(coord, values));
+  }
+  return batch;
+}
+
+Result<std::vector<SparseArray>> PtfGenerator::MakeRealBatches(
+    int num_batches) {
+  std::vector<SparseArray> batches;
+  batches.reserve(static_cast<size_t>(num_batches));
+  // Pointing center starts mid-sky and drifts each night.
+  double ra_center = 0.35 * static_cast<double>(options_.ra_range);
+  double dec_center =
+      options_.dec_mean_frac * static_cast<double>(options_.dec_range);
+  const int64_t ra_half =
+      options_.pointing_ra_chunks * options_.ra_chunk / 2;
+  const int64_t dec_half =
+      options_.pointing_dec_chunks * options_.dec_chunk / 2;
+  for (int b = 0; b < num_batches; ++b) {
+    const int64_t t_lo = next_night_ * options_.night_len + 1;
+    const int64_t t_hi = t_lo + options_.night_len - 1;
+    if (t_hi > options_.time_range) {
+      return Status::OutOfRange("ran out of nights in the time range");
+    }
+    ++next_night_;
+    const uint64_t cells = options_.batch_cells_min +
+                           rng_.Uniform(options_.batch_cells_max -
+                                        options_.batch_cells_min + 1);
+    const int64_t ra_c = static_cast<int64_t>(ra_center);
+    const int64_t dec_c = static_cast<int64_t>(dec_center);
+    AVM_ASSIGN_OR_RETURN(
+        SparseArray batch,
+        DrawBatch(t_lo, t_hi, ra_c - ra_half, ra_c + ra_half,
+                  dec_c - dec_half, dec_c + dec_half, cells));
+    batches.push_back(std::move(batch));
+    // Drift the pointing for the next night.
+    ra_center += options_.drift_chunks * static_cast<double>(options_.ra_chunk);
+    dec_center += 0.3 * options_.drift_chunks *
+                  static_cast<double>(options_.dec_chunk) *
+                  (rng_.Bernoulli(0.5) ? 1.0 : -1.0);
+    ra_center = std::clamp(
+        ra_center, static_cast<double>(ra_half + 1),
+        static_cast<double>(options_.ra_range - ra_half - 1));
+    dec_center = std::clamp(
+        dec_center, static_cast<double>(dec_half + 1),
+        static_cast<double>(options_.dec_range - dec_half - 1));
+  }
+  return batches;
+}
+
+Result<std::vector<SparseArray>> PtfGenerator::MakeCorrelatedBatches(
+    int num_batches) {
+  // One fixed pointing and one fixed time slice; fresh detections each time.
+  const int64_t t_lo = next_night_ * options_.night_len + 1;
+  const int64_t t_hi = t_lo + options_.night_len - 1;
+  if (t_hi > options_.time_range) {
+    return Status::OutOfRange("ran out of nights in the time range");
+  }
+  ++next_night_;
+  const int64_t ra_half = options_.pointing_ra_chunks * options_.ra_chunk / 2;
+  const int64_t dec_half =
+      options_.pointing_dec_chunks * options_.dec_chunk / 2;
+  const int64_t ra_c = options_.ra_range / 2;
+  const int64_t dec_c = static_cast<int64_t>(
+      options_.dec_mean_frac * static_cast<double>(options_.dec_range));
+  const uint64_t cells =
+      (options_.batch_cells_min + options_.batch_cells_max) / 2;
+  std::vector<SparseArray> batches;
+  batches.reserve(static_cast<size_t>(num_batches));
+  for (int b = 0; b < num_batches; ++b) {
+    AVM_ASSIGN_OR_RETURN(
+        SparseArray batch,
+        DrawBatch(t_lo, t_hi, ra_c - ra_half, ra_c + ra_half,
+                  dec_c - dec_half, dec_c + dec_half, cells));
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+Result<std::vector<SparseArray>> PtfGenerator::MakePeriodicBatches(
+    int num_batches) {
+  // Three pointings; the paper's order 1,2,3,3,2,1,1,2,3,3 cycled.
+  static const int kPattern[] = {0, 1, 2, 2, 1, 0, 0, 1, 2, 2};
+  struct Pointing {
+    int64_t t_lo, t_hi, ra_c, dec_c;
+  };
+  const int64_t ra_half = options_.pointing_ra_chunks * options_.ra_chunk / 2;
+  const int64_t dec_half =
+      options_.pointing_dec_chunks * options_.dec_chunk / 2;
+  std::vector<Pointing> pointings;
+  for (int i = 0; i < 3; ++i) {
+    const int64_t t_lo = next_night_ * options_.night_len + 1;
+    const int64_t t_hi = t_lo + options_.night_len - 1;
+    if (t_hi > options_.time_range) {
+      return Status::OutOfRange("ran out of nights in the time range");
+    }
+    ++next_night_;
+    const int64_t ra_c =
+        (i + 1) * options_.ra_range / 4;
+    const int64_t dec_c = static_cast<int64_t>(
+        options_.dec_mean_frac * static_cast<double>(options_.dec_range)) +
+        (i - 1) * dec_half;
+    pointings.push_back({t_lo, t_hi, ra_c, dec_c});
+  }
+  const uint64_t cells =
+      (options_.batch_cells_min + options_.batch_cells_max) / 2;
+  std::vector<SparseArray> batches;
+  batches.reserve(static_cast<size_t>(num_batches));
+  for (int b = 0; b < num_batches; ++b) {
+    const Pointing& p = pointings[static_cast<size_t>(
+        kPattern[static_cast<size_t>(b) % 10])];
+    AVM_ASSIGN_OR_RETURN(
+        SparseArray batch,
+        DrawBatch(p.t_lo, p.t_hi, p.ra_c - ra_half, p.ra_c + ra_half,
+                  p.dec_c - dec_half, p.dec_c + dec_half, cells));
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+Result<std::vector<SparseArray>> PtfGenerator::MakeSpreadBatches(
+    int num_batches, int64_t spread_chunks, uint64_t cells_per_batch) {
+  const int64_t ra_half = spread_chunks * options_.ra_chunk / 2;
+  const int64_t dec_half = spread_chunks * options_.dec_chunk / 2;
+  const int64_t ra_c = options_.ra_range / 2;
+  const int64_t dec_c = options_.dec_range / 2;
+  std::vector<SparseArray> batches;
+  batches.reserve(static_cast<size_t>(num_batches));
+  for (int b = 0; b < num_batches; ++b) {
+    const int64_t t_lo = next_night_ * options_.night_len + 1;
+    const int64_t t_hi = t_lo + options_.night_len - 1;
+    if (t_hi > options_.time_range) {
+      return Status::OutOfRange("ran out of nights in the time range");
+    }
+    ++next_night_;
+    AVM_ASSIGN_OR_RETURN(
+        SparseArray batch,
+        DrawBatch(t_lo, t_hi, ra_c - ra_half, ra_c + ra_half,
+                  dec_c - dec_half, dec_c + dec_half, cells_per_batch));
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+}  // namespace avm

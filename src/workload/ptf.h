@@ -1,0 +1,118 @@
+#ifndef AVM_WORKLOAD_PTF_H_
+#define AVM_WORKLOAD_PTF_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "array/sparse_array.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace avm {
+
+/// Geometry and statistics of the synthetic PTF-like catalog. The real PTF
+/// catalog is a sparse 3-D array PTF[time, ra, dec] of ~1B detections
+/// (343 GB) heavily skewed around the telescope's latitude; nightly batches
+/// are confined to a small, slowly drifting pointing window. The generator
+/// reproduces those structural properties at laptop scale (see DESIGN.md,
+/// substitutions).
+struct PtfOptions {
+  // Array ranges and regular chunk extents, [time, ra, dec]; the chunk
+  // shape mirrors the paper's (112, 100, 50).
+  int64_t time_range = 1536;
+  int64_t time_chunk = 112;
+  int64_t ra_range = 2000;
+  int64_t ra_chunk = 100;
+  int64_t dec_range = 1000;
+  int64_t dec_chunk = 50;
+
+  /// Cells in the initial catalog (times [1, base_time_slices * night_len]).
+  uint64_t base_cells = 60000;
+  /// Time steps covered by one night's batch.
+  int64_t night_len = 112;
+  /// Nights already in the base catalog before the measured batches start.
+  int64_t base_nights = 8;
+  /// Fraction of base cells drawn from per-night pointings (the telescope
+  /// only records where it looked); the rest is a uniform background of
+  /// archival detections. Pointed nights rarely overlap a later pointing,
+  /// which keeps the occupied-chunk space sparse — the property that makes
+  /// the paper's real batches generate only a few triples per chunk.
+  double base_pointed_frac = 0.85;
+
+  /// Detections cluster around the telescope's declination band.
+  double dec_mean_frac = 0.5;
+  double dec_sigma_frac = 0.15;
+
+  /// Pointing window of one night, in chunks of (ra, dec).
+  int64_t pointing_ra_chunks = 6;
+  int64_t pointing_dec_chunks = 4;
+  /// Night-to-night drift of the pointing center, in chunks.
+  double drift_chunks = 1.5;
+
+  /// Cells per nightly batch vary between these bounds (clouds, moon, ...).
+  uint64_t batch_cells_min = 3000;
+  uint64_t batch_cells_max = 9000;
+
+  uint64_t seed = 7;
+};
+
+/// Deterministic generator of the PTF-like catalog and its update batches.
+/// All emitted cells are distinct (a detection is never re-inserted), so
+/// incremental maintenance over any emitted batch sequence is exactly
+/// equivalent to recomputation — the invariant the tests verify.
+class PtfGenerator {
+ public:
+  static Result<PtfGenerator> Create(const PtfOptions& options);
+
+  const ArraySchema& schema() const { return schema_; }
+  const PtfOptions& options() const { return options_; }
+
+  /// The initial catalog (generated once in Create()).
+  const SparseArray& base() const { return base_; }
+
+  /// "Real" batches: consecutive nights, advancing time slices, pointing
+  /// center drifting across the sky.
+  Result<std::vector<SparseArray>> MakeRealBatches(int num_batches);
+
+  /// "Correlated" batches: the same pointing window and the same time slice
+  /// repeated `num_batches` times with fresh (never colliding) detections —
+  /// an identical chunk footprint every night, the regime where continuous
+  /// reassignment shines.
+  Result<std::vector<SparseArray>> MakeCorrelatedBatches(int num_batches);
+
+  /// "Periodic" batches: three distinct pointings alternated in the paper's
+  /// order 1,2,3,3,2,1,1,2,3,3 (truncated/cycled to `num_batches`).
+  Result<std::vector<SparseArray>> MakePeriodicBatches(int num_batches);
+
+  /// Figure 10c batches: `num_batches` batches of ~`cells_per_batch` cells
+  /// sampled uniformly inside a fixed `spread_chunks` x `spread_chunks`
+  /// window of (ra, dec) chunks; larger spread = less concentrated updates.
+  Result<std::vector<SparseArray>> MakeSpreadBatches(int num_batches,
+                                                     int64_t spread_chunks,
+                                                     uint64_t cells_per_batch);
+
+ private:
+  PtfGenerator(PtfOptions options, ArraySchema schema);
+
+  /// Draws one batch of `cells` fresh detections in the given time slice
+  /// and (ra, dec) window (cell units, clamped to the array ranges).
+  Result<SparseArray> DrawBatch(int64_t t_lo, int64_t t_hi, int64_t ra_lo,
+                                int64_t ra_hi, int64_t dec_lo, int64_t dec_hi,
+                                uint64_t cells);
+
+  /// A fresh coordinate inside the box, never emitted before.
+  Result<CellCoord> SampleFreshCoord(int64_t t_lo, int64_t t_hi,
+                                     int64_t ra_lo, int64_t ra_hi,
+                                     int64_t dec_lo, int64_t dec_hi);
+
+  PtfOptions options_;
+  ArraySchema schema_;
+  SparseArray base_;
+  Rng rng_;
+  std::unordered_set<CellCoord, CoordHash> used_;
+  int64_t next_night_ = 0;  // nights consumed by real batches
+};
+
+}  // namespace avm
+
+#endif  // AVM_WORKLOAD_PTF_H_

@@ -1,0 +1,234 @@
+#include "agg/aggregates.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "agg/state_utils.h"
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+AggregateLayout MakeLayout(std::vector<AggregateSpec> specs,
+                           size_t num_attrs = 2) {
+  auto layout = AggregateLayout::Create(std::move(specs), num_attrs);
+  AVM_CHECK(layout.ok());
+  return std::move(layout).value();
+}
+
+TEST(AggregateLayoutTest, RejectsEmptySpecs) {
+  EXPECT_TRUE(AggregateLayout::Create({}, 1).status().IsInvalidArgument());
+}
+
+TEST(AggregateLayoutTest, RejectsOutOfRangeAttr) {
+  EXPECT_TRUE(AggregateLayout::Create({{AggregateFunction::kSum, 5, "s"}}, 2)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(AggregateLayoutTest, CountIgnoresAttrIndex) {
+  EXPECT_OK(AggregateLayout::Create({{AggregateFunction::kCount, 99, "c"}}, 0)
+                .status());
+}
+
+TEST(AggregateLayoutTest, SlotLayoutAvgTakesTwo) {
+  const auto layout = MakeLayout({{AggregateFunction::kCount, 0, "c"},
+                                  {AggregateFunction::kAvg, 1, "a"},
+                                  {AggregateFunction::kSum, 0, "s"}});
+  EXPECT_EQ(layout.num_state_slots(), 4u);
+  EXPECT_EQ(layout.slot_of(0), 0u);
+  EXPECT_EQ(layout.slot_of(1), 1u);
+  EXPECT_EQ(layout.slot_of(2), 3u);
+}
+
+TEST(AggregateLayoutTest, DefaultOutputNames) {
+  auto layout = AggregateLayout::Create({{AggregateFunction::kSum, 1, ""}}, 2);
+  ASSERT_OK(layout.status());
+  EXPECT_EQ(layout->specs()[0].output_name, "SUM_1");
+}
+
+TEST(AggregateLayoutTest, StateAttributesExpandAvg) {
+  const auto layout = MakeLayout({{AggregateFunction::kAvg, 0, "avg_b"}});
+  const auto attrs = layout.StateAttributes();
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0].name, "avg_b.sum");
+  EXPECT_EQ(attrs[1].name, "avg_b.count");
+}
+
+TEST(AggregateStateTest, CountUpdateMergeFinalize) {
+  const auto layout = MakeLayout({{AggregateFunction::kCount, 0, "c"}});
+  std::vector<double> s1(1), s2(1), out(1);
+  layout.InitState(s1);
+  layout.InitState(s2);
+  const double row[2] = {3.0, 4.0};
+  ASSERT_OK(layout.UpdateState(s1, row, 1));
+  ASSERT_OK(layout.UpdateState(s1, row, 1));
+  ASSERT_OK(layout.UpdateState(s2, row, 1));
+  layout.MergeState(s1, s2);
+  layout.Finalize(s1, out);
+  EXPECT_EQ(out[0], 3.0);
+}
+
+TEST(AggregateStateTest, CountRetraction) {
+  const auto layout = MakeLayout({{AggregateFunction::kCount, 0, "c"}});
+  std::vector<double> s(1), out(1);
+  layout.InitState(s);
+  const double row[2] = {1.0, 1.0};
+  ASSERT_OK(layout.UpdateState(s, row, 1));
+  ASSERT_OK(layout.UpdateState(s, row, 1));
+  ASSERT_OK(layout.UpdateState(s, row, -1));
+  layout.Finalize(s, out);
+  EXPECT_EQ(out[0], 1.0);
+}
+
+TEST(AggregateStateTest, SumTracksAttribute) {
+  const auto layout = MakeLayout({{AggregateFunction::kSum, 1, "s"}});
+  std::vector<double> s(1), out(1);
+  layout.InitState(s);
+  const double r1[2] = {1.0, 10.0};
+  const double r2[2] = {2.0, 32.0};
+  ASSERT_OK(layout.UpdateState(s, r1, 1));
+  ASSERT_OK(layout.UpdateState(s, r2, 1));
+  layout.Finalize(s, out);
+  EXPECT_EQ(out[0], 42.0);
+  ASSERT_OK(layout.UpdateState(s, r1, -1));
+  layout.Finalize(s, out);
+  EXPECT_EQ(out[0], 32.0);
+}
+
+TEST(AggregateStateTest, AvgIsExactUnderMerge) {
+  const auto layout = MakeLayout({{AggregateFunction::kAvg, 0, "a"}});
+  std::vector<double> s1(2), s2(2), out(1);
+  layout.InitState(s1);
+  layout.InitState(s2);
+  const double r1[2] = {10.0, 0}, r2[2] = {20.0, 0}, r3[2] = {60.0, 0};
+  ASSERT_OK(layout.UpdateState(s1, r1, 1));
+  ASSERT_OK(layout.UpdateState(s2, r2, 1));
+  ASSERT_OK(layout.UpdateState(s2, r3, 1));
+  layout.MergeState(s1, s2);
+  layout.Finalize(s1, out);
+  EXPECT_EQ(out[0], 30.0);
+}
+
+TEST(AggregateStateTest, AvgOfNothingIsNaN) {
+  const auto layout = MakeLayout({{AggregateFunction::kAvg, 0, "a"}});
+  std::vector<double> s(2), out(1);
+  layout.InitState(s);
+  layout.Finalize(s, out);
+  EXPECT_TRUE(std::isnan(out[0]));
+}
+
+TEST(AggregateStateTest, MinMaxTrackExtremes) {
+  const auto layout = MakeLayout({{AggregateFunction::kMin, 0, "mn"},
+                                  {AggregateFunction::kMax, 0, "mx"}});
+  std::vector<double> s(2), out(2);
+  layout.InitState(s);
+  for (double v : {5.0, -2.0, 9.0, 1.0}) {
+    const double row[2] = {v, 0};
+    ASSERT_OK(layout.UpdateState(s, row, 1));
+  }
+  layout.Finalize(s, out);
+  EXPECT_EQ(out[0], -2.0);
+  EXPECT_EQ(out[1], 9.0);
+}
+
+TEST(AggregateStateTest, MinMaxIdentitiesAreInfinite) {
+  const auto layout = MakeLayout({{AggregateFunction::kMin, 0, "mn"},
+                                  {AggregateFunction::kMax, 0, "mx"}});
+  std::vector<double> s(2), out(2);
+  layout.InitState(s);
+  layout.Finalize(s, out);
+  EXPECT_EQ(out[0], std::numeric_limits<double>::infinity());
+  EXPECT_EQ(out[1], -std::numeric_limits<double>::infinity());
+}
+
+TEST(AggregateStateTest, MinMaxRejectRetraction) {
+  const auto layout = MakeLayout({{AggregateFunction::kMin, 0, "mn"}});
+  std::vector<double> s(1);
+  layout.InitState(s);
+  const double row[2] = {1.0, 0};
+  EXPECT_TRUE(layout.UpdateState(s, row, -1).IsFailedPrecondition());
+}
+
+TEST(AggregateStateTest, RetractionSupportFlag) {
+  EXPECT_TRUE(MakeLayout({{AggregateFunction::kCount, 0, "c"},
+                          {AggregateFunction::kSum, 0, "s"},
+                          {AggregateFunction::kAvg, 0, "a"}})
+                  .SupportsRetraction());
+  EXPECT_FALSE(MakeLayout({{AggregateFunction::kCount, 0, "c"},
+                           {AggregateFunction::kMax, 0, "m"}})
+                   .SupportsRetraction());
+}
+
+TEST(AggregateStateTest, MinMergeTakesSmaller) {
+  const auto layout = MakeLayout({{AggregateFunction::kMin, 0, "mn"}});
+  std::vector<double> s1(1), s2(1);
+  layout.InitState(s1);
+  layout.InitState(s2);
+  const double r1[2] = {4.0, 0}, r2[2] = {2.0, 0};
+  ASSERT_OK(layout.UpdateState(s1, r1, 1));
+  ASSERT_OK(layout.UpdateState(s2, r2, 1));
+  layout.MergeState(s1, s2);
+  EXPECT_EQ(s1[0], 2.0);
+}
+
+TEST(AggregateStateTest, IsIdentityDetection) {
+  const auto layout = MakeLayout({{AggregateFunction::kCount, 0, "c"},
+                                  {AggregateFunction::kAvg, 0, "a"}});
+  std::vector<double> s(3);
+  layout.InitState(s);
+  EXPECT_TRUE(layout.IsIdentity(s));
+  const double row[2] = {1.0, 0};
+  ASSERT_OK(layout.UpdateState(s, row, 1));
+  EXPECT_FALSE(layout.IsIdentity(s));
+  ASSERT_OK(layout.UpdateState(s, row, -1));
+  EXPECT_TRUE(layout.IsIdentity(s));
+}
+
+TEST(AggregateStateTest, MergeOfIdentityIsNoop) {
+  const auto layout = MakeLayout({{AggregateFunction::kSum, 0, "s"},
+                                  {AggregateFunction::kMax, 1, "m"}});
+  std::vector<double> s(2), identity(2);
+  layout.InitState(s);
+  layout.InitState(identity);
+  const double row[2] = {3.0, 7.0};
+  ASSERT_OK(layout.UpdateState(s, row, 1));
+  std::vector<double> before = s;
+  layout.MergeState(s, identity);
+  EXPECT_EQ(s, before);
+}
+
+TEST(AggregateFunctionNameTest, Names) {
+  EXPECT_EQ(AggregateFunctionName(AggregateFunction::kCount), "COUNT");
+  EXPECT_EQ(AggregateFunctionName(AggregateFunction::kAvg), "AVG");
+}
+
+TEST(StripIdentityCellsTest, RemovesOnlyIdentityCells) {
+  const auto layout = MakeLayout({{AggregateFunction::kCount, 0, "c"}}, 1);
+  auto schema = ArraySchema::Create("S", {{"x", 1, 10, 5}}, {{"c"}});
+  ASSERT_OK(schema.status());
+  SparseArray states(schema.value());
+  ASSERT_OK(states.Set({1}, std::vector<double>{0.0}));  // identity
+  ASSERT_OK(states.Set({2}, std::vector<double>{3.0}));
+  ASSERT_OK(states.Set({3}, std::vector<double>{0.0}));  // identity
+  auto removed = StripIdentityCells(&states, layout);
+  ASSERT_OK(removed.status());
+  EXPECT_EQ(*removed, 2u);
+  EXPECT_EQ(states.NumCells(), 1u);
+  EXPECT_TRUE(states.Has({2}));
+}
+
+TEST(StripIdentityCellsTest, RejectsLayoutMismatch) {
+  const auto layout = MakeLayout({{AggregateFunction::kAvg, 0, "a"}}, 1);
+  auto schema = ArraySchema::Create("S", {{"x", 1, 10, 5}}, {{"c"}});
+  ASSERT_OK(schema.status());
+  SparseArray states(schema.value());
+  EXPECT_TRUE(
+      StripIdentityCells(&states, layout).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace avm

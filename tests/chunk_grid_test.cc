@@ -1,0 +1,184 @@
+#include "array/chunk_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+ChunkGrid Paper2DGrid() {
+  // Figure 1's A[i=1,6,2; j=1,8,2]: a 3x4 chunk grid.
+  auto schema =
+      ArraySchema::Create("A", {{"i", 1, 6, 2}, {"j", 1, 8, 2}}, {{"r"}});
+  AVM_CHECK(schema.ok());
+  return ChunkGrid(schema.value());
+}
+
+TEST(ChunkGridTest, TotalSlots) {
+  EXPECT_EQ(Paper2DGrid().TotalChunkSlots(), 12);
+}
+
+TEST(ChunkGridTest, ChunksInDim) {
+  const ChunkGrid grid = Paper2DGrid();
+  EXPECT_EQ(grid.ChunksInDim(0), 3);
+  EXPECT_EQ(grid.ChunksInDim(1), 4);
+}
+
+TEST(ChunkGridTest, PosOfCell) {
+  const ChunkGrid grid = Paper2DGrid();
+  EXPECT_EQ(grid.PosOfCell({1, 1}), (ChunkPos{0, 0}));
+  EXPECT_EQ(grid.PosOfCell({2, 2}), (ChunkPos{0, 0}));
+  EXPECT_EQ(grid.PosOfCell({3, 1}), (ChunkPos{1, 0}));
+  EXPECT_EQ(grid.PosOfCell({6, 8}), (ChunkPos{2, 3}));
+}
+
+TEST(ChunkGridTest, IdRoundTrip) {
+  const ChunkGrid grid = Paper2DGrid();
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      const ChunkId id = grid.IdOfPos({i, j});
+      EXPECT_EQ(grid.PosOfId(id), (ChunkPos{i, j}));
+    }
+  }
+}
+
+TEST(ChunkGridTest, IdsAreRowMajorAndDense) {
+  const ChunkGrid grid = Paper2DGrid();
+  EXPECT_EQ(grid.IdOfPos({0, 0}), 0u);
+  EXPECT_EQ(grid.IdOfPos({0, 1}), 1u);
+  EXPECT_EQ(grid.IdOfPos({1, 0}), 4u);
+  EXPECT_EQ(grid.IdOfPos({2, 3}), 11u);
+}
+
+TEST(ChunkGridTest, ChunkBox) {
+  const ChunkGrid grid = Paper2DGrid();
+  const Box box = grid.ChunkBox({1, 2});
+  EXPECT_EQ(box.lo, (CellCoord{3, 5}));
+  EXPECT_EQ(box.hi, (CellCoord{4, 6}));
+}
+
+TEST(ChunkGridTest, RaggedChunkBoxClipsToRange) {
+  auto schema = ArraySchema::Create("A", {{"i", 1, 7, 3}}, {{"r"}});
+  ASSERT_OK(schema.status());
+  const ChunkGrid grid(schema.value());
+  EXPECT_EQ(grid.ChunksInDim(0), 3);
+  const Box last = grid.ChunkBox({2});
+  EXPECT_EQ(last.lo[0], 7);
+  EXPECT_EQ(last.hi[0], 7);
+}
+
+TEST(ChunkGridTest, InChunkOffsetIsRowMajorWithinChunk) {
+  const ChunkGrid grid = Paper2DGrid();
+  EXPECT_EQ(grid.InChunkOffset({1, 1}), 0u);
+  EXPECT_EQ(grid.InChunkOffset({1, 2}), 1u);
+  EXPECT_EQ(grid.InChunkOffset({2, 1}), 2u);
+  EXPECT_EQ(grid.InChunkOffset({2, 2}), 3u);
+  // Same relative offsets in another chunk.
+  EXPECT_EQ(grid.InChunkOffset({3, 5}), 0u);
+  EXPECT_EQ(grid.InChunkOffset({4, 6}), 3u);
+}
+
+TEST(ChunkGridTest, OffsetsDistinctWithinChunk) {
+  const ChunkGrid grid = Paper2DGrid();
+  std::set<uint64_t> offsets;
+  for (int64_t i = 3; i <= 4; ++i) {
+    for (int64_t j = 5; j <= 6; ++j) {
+      EXPECT_TRUE(offsets.insert(grid.InChunkOffset({i, j})).second);
+    }
+  }
+}
+
+TEST(ChunkGridTest, ForEachChunkOverlappingFullRange) {
+  const ChunkGrid grid = Paper2DGrid();
+  std::set<ChunkId> ids;
+  grid.ForEachChunkOverlapping({{1, 1}, {6, 8}},
+                               [&](ChunkId id) { ids.insert(id); });
+  EXPECT_EQ(ids.size(), 12u);
+}
+
+TEST(ChunkGridTest, ForEachChunkOverlappingSingleCell) {
+  const ChunkGrid grid = Paper2DGrid();
+  std::set<ChunkId> ids;
+  grid.ForEachChunkOverlapping({{3, 5}, {3, 5}},
+                               [&](ChunkId id) { ids.insert(id); });
+  EXPECT_EQ(ids, (std::set<ChunkId>{grid.IdOfPos({1, 2})}));
+}
+
+TEST(ChunkGridTest, ForEachChunkOverlappingClipsOutOfRange) {
+  const ChunkGrid grid = Paper2DGrid();
+  std::set<ChunkId> ids;
+  grid.ForEachChunkOverlapping({{-5, -5}, {1, 1}},
+                               [&](ChunkId id) { ids.insert(id); });
+  EXPECT_EQ(ids, (std::set<ChunkId>{0}));
+}
+
+TEST(ChunkGridTest, ForEachChunkOverlappingEmptyIntersection) {
+  const ChunkGrid grid = Paper2DGrid();
+  int count = 0;
+  grid.ForEachChunkOverlapping({{7, 9}, {10, 12}}, [&](ChunkId) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ChunkGridTest, ForEachChunkOverlappingCrossBoundary) {
+  const ChunkGrid grid = Paper2DGrid();
+  std::set<ChunkId> ids;
+  grid.ForEachChunkOverlapping({{2, 2}, {3, 3}},
+                               [&](ChunkId id) { ids.insert(id); });
+  // Cells (2..3, 2..3) span chunk rows 0-1 and chunk cols 0-1.
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(ChunkGridTest, ThreeDimensionalRoundTrip) {
+  auto schema = ArraySchema::Create(
+      "P", {{"t", 1, 30, 7}, {"ra", 1, 20, 5}, {"dec", 1, 10, 3}}, {{"b"}});
+  ASSERT_OK(schema.status());
+  const ChunkGrid grid(schema.value());
+  Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    CellCoord coord = {rng.UniformInt(1, 30), rng.UniformInt(1, 20),
+                       rng.UniformInt(1, 10)};
+    const ChunkPos pos = grid.PosOfCell(coord);
+    const ChunkId id = grid.IdOfPos(pos);
+    EXPECT_EQ(grid.PosOfId(id), pos);
+    EXPECT_TRUE(grid.ChunkBox(pos).Contains(coord));
+  }
+}
+
+// Property sweep: the chunk boxes of all slots partition the array domain.
+class GridPartitionTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(GridPartitionTest, BoxesPartitionDomain) {
+  const int64_t extent = GetParam();
+  auto schema = ArraySchema::Create(
+      "A", {{"i", 1, 23, extent}, {"j", 1, 17, 5}}, {{"r"}});
+  ASSERT_OK(schema.status());
+  const ChunkGrid grid(schema.value());
+  int64_t covered = 0;
+  for (int64_t ci = 0; ci < grid.ChunksInDim(0); ++ci) {
+    for (int64_t cj = 0; cj < grid.ChunksInDim(1); ++cj) {
+      covered += grid.ChunkBox({ci, cj}).NumCells();
+    }
+  }
+  EXPECT_EQ(covered, 23 * 17);
+}
+
+INSTANTIATE_TEST_SUITE_P(Extents, GridPartitionTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 11, 23, 30));
+
+TEST(BoxTest, ContainsAndIntersects) {
+  const Box a{{1, 1}, {4, 4}};
+  const Box b{{4, 4}, {6, 6}};
+  const Box c{{5, 5}, {6, 6}};
+  EXPECT_TRUE(a.Contains({2, 3}));
+  EXPECT_FALSE(a.Contains({5, 2}));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_EQ(a.NumCells(), 16);
+}
+
+}  // namespace
+}  // namespace avm

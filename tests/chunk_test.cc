@@ -1,0 +1,169 @@
+#include "array/chunk.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace avm {
+namespace {
+
+std::vector<double> Vals(std::initializer_list<double> v) { return v; }
+
+TEST(ChunkTest, StartsEmpty) {
+  Chunk chunk(2, 1);
+  EXPECT_TRUE(chunk.empty());
+  EXPECT_EQ(chunk.num_cells(), 0u);
+  EXPECT_EQ(chunk.SizeBytes(), 0u);
+}
+
+TEST(ChunkTest, UpsertInsertsAndLooksUp) {
+  Chunk chunk(2, 2);
+  chunk.UpsertCell(3, {1, 2}, Vals({5.0, 6.0}));
+  ASSERT_TRUE(chunk.HasCell(3));
+  const double* v = chunk.GetCell(3);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v[0], 5.0);
+  EXPECT_EQ(v[1], 6.0);
+  EXPECT_EQ(chunk.num_cells(), 1u);
+}
+
+TEST(ChunkTest, UpsertOverwrites) {
+  Chunk chunk(1, 1);
+  chunk.UpsertCell(0, {7}, Vals({1.0}));
+  chunk.UpsertCell(0, {7}, Vals({2.0}));
+  EXPECT_EQ(chunk.num_cells(), 1u);
+  EXPECT_EQ(chunk.GetCell(0)[0], 2.0);
+}
+
+TEST(ChunkTest, AccumulateAddsElementwise) {
+  Chunk chunk(1, 2);
+  chunk.AccumulateCell(5, {3}, Vals({1.0, 10.0}));
+  chunk.AccumulateCell(5, {3}, Vals({2.0, 20.0}));
+  const double* v = chunk.GetCell(5);
+  EXPECT_EQ(v[0], 3.0);
+  EXPECT_EQ(v[1], 30.0);
+}
+
+TEST(ChunkTest, AccumulateCreatesMissingCell) {
+  Chunk chunk(1, 1);
+  chunk.AccumulateCell(9, {4}, Vals({7.0}));
+  EXPECT_EQ(chunk.GetCell(9)[0], 7.0);
+}
+
+TEST(ChunkTest, GetMissingReturnsNull) {
+  Chunk chunk(1, 1);
+  EXPECT_EQ(chunk.GetCell(42), nullptr);
+}
+
+TEST(ChunkTest, EraseRemoves) {
+  Chunk chunk(1, 1);
+  chunk.UpsertCell(1, {1}, Vals({1.0}));
+  chunk.UpsertCell(2, {2}, Vals({2.0}));
+  EXPECT_TRUE(chunk.EraseCell(1));
+  EXPECT_FALSE(chunk.EraseCell(1));
+  EXPECT_EQ(chunk.num_cells(), 1u);
+  EXPECT_EQ(chunk.GetCell(2)[0], 2.0);
+  EXPECT_EQ(chunk.GetCell(1), nullptr);
+}
+
+TEST(ChunkTest, EraseMiddlePreservesOthers) {
+  Chunk chunk(1, 1);
+  for (uint64_t i = 0; i < 10; ++i) {
+    chunk.UpsertCell(i, {static_cast<int64_t>(i)},
+                     Vals({static_cast<double>(i)}));
+  }
+  EXPECT_TRUE(chunk.EraseCell(4));
+  EXPECT_EQ(chunk.num_cells(), 9u);
+  for (uint64_t i = 0; i < 10; ++i) {
+    if (i == 4) {
+      EXPECT_EQ(chunk.GetCell(i), nullptr);
+    } else {
+      ASSERT_NE(chunk.GetCell(i), nullptr);
+      EXPECT_EQ(chunk.GetCell(i)[0], static_cast<double>(i));
+    }
+  }
+}
+
+TEST(ChunkTest, SizeBytesCountsCoordsAndValues) {
+  Chunk chunk(3, 2);
+  chunk.UpsertCell(0, {1, 2, 3}, Vals({1.0, 2.0}));
+  chunk.UpsertCell(1, {1, 2, 4}, Vals({1.0, 2.0}));
+  EXPECT_EQ(chunk.SizeBytes(), 2u * 8u * (3u + 2u));
+}
+
+TEST(ChunkTest, ForEachCellVisitsAll) {
+  Chunk chunk(2, 1);
+  chunk.UpsertCell(0, {1, 1}, Vals({1.0}));
+  chunk.UpsertCell(1, {1, 2}, Vals({2.0}));
+  double total = 0;
+  size_t visits = 0;
+  chunk.ForEachCell([&](std::span<const int64_t> coord,
+                        std::span<const double> values) {
+    EXPECT_EQ(coord.size(), 2u);
+    total += values[0];
+    ++visits;
+  });
+  EXPECT_EQ(visits, 2u);
+  EXPECT_EQ(total, 3.0);
+}
+
+TEST(ChunkTest, AccumulateChunkMergesCellwise) {
+  Chunk a(1, 1);
+  a.UpsertCell(0, {1}, Vals({1.0}));
+  a.UpsertCell(1, {2}, Vals({2.0}));
+  Chunk b(1, 1);
+  b.UpsertCell(1, {2}, Vals({10.0}));
+  b.UpsertCell(2, {3}, Vals({20.0}));
+  ASSERT_TRUE(a.AccumulateChunk(b).ok());
+  EXPECT_EQ(a.num_cells(), 3u);
+  EXPECT_EQ(a.GetCell(0)[0], 1.0);
+  EXPECT_EQ(a.GetCell(1)[0], 12.0);
+  EXPECT_EQ(a.GetCell(2)[0], 20.0);
+}
+
+TEST(ChunkTest, AccumulateChunkRejectsLayoutMismatch) {
+  Chunk a(1, 1);
+  Chunk b(2, 1);
+  EXPECT_TRUE(a.AccumulateChunk(b).IsInvalidArgument());
+}
+
+TEST(ChunkTest, ContentEqualsIgnoresInsertionOrder) {
+  Chunk a(1, 1);
+  a.UpsertCell(0, {1}, Vals({1.0}));
+  a.UpsertCell(1, {2}, Vals({2.0}));
+  Chunk b(1, 1);
+  b.UpsertCell(1, {2}, Vals({2.0}));
+  b.UpsertCell(0, {1}, Vals({1.0}));
+  EXPECT_TRUE(a.ContentEquals(b));
+  EXPECT_TRUE(b.ContentEquals(a));
+}
+
+TEST(ChunkTest, ContentEqualsDetectsValueDiff) {
+  Chunk a(1, 1);
+  a.UpsertCell(0, {1}, Vals({1.0}));
+  Chunk b(1, 1);
+  b.UpsertCell(0, {1}, Vals({1.5}));
+  EXPECT_FALSE(a.ContentEquals(b));
+  EXPECT_TRUE(a.ContentEquals(b, 0.6));
+}
+
+TEST(ChunkTest, ContentEqualsDetectsMissingCell) {
+  Chunk a(1, 1);
+  a.UpsertCell(0, {1}, Vals({1.0}));
+  Chunk b(1, 1);
+  EXPECT_FALSE(a.ContentEquals(b));
+}
+
+TEST(ChunkTest, RowAccessors) {
+  Chunk chunk(2, 1);
+  chunk.UpsertCell(7, {3, 4}, Vals({9.0}));
+  ASSERT_EQ(chunk.num_cells(), 1u);
+  auto coord = chunk.CoordOfRow(0);
+  EXPECT_EQ(coord[0], 3);
+  EXPECT_EQ(coord[1], 4);
+  EXPECT_EQ(chunk.ValuesOfRow(0)[0], 9.0);
+  EXPECT_EQ(chunk.OffsetOfRow(0), 7u);
+}
+
+}  // namespace
+}  // namespace avm

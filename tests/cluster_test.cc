@@ -1,0 +1,268 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/catalog.h"
+#include "cluster/placement.h"
+#include "storage/chunk_store.h"
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+using testing_util::Make2DSchema;
+
+Chunk OneCellChunk(double value = 1.0) {
+  Chunk chunk(2, 1);
+  chunk.UpsertCell(0, {1, 1}, std::vector<double>{value});
+  return chunk;
+}
+
+TEST(ChunkStoreTest, PutGetErase) {
+  ChunkStore store;
+  EXPECT_EQ(store.Put(0, 7, OneCellChunk()), 8u * 3u);
+  ASSERT_NE(store.Get(0, 7), nullptr);
+  EXPECT_TRUE(store.Contains(0, 7));
+  EXPECT_FALSE(store.Contains(0, 8));
+  EXPECT_TRUE(store.Erase(0, 7));
+  EXPECT_FALSE(store.Erase(0, 7));
+  EXPECT_EQ(store.Get(0, 7), nullptr);
+}
+
+TEST(ChunkStoreTest, KeysAreArrayScoped) {
+  ChunkStore store;
+  store.Put(0, 7, OneCellChunk(1.0));
+  store.Put(1, 7, OneCellChunk(2.0));
+  EXPECT_EQ(store.Get(0, 7)->GetCell(0)[0], 1.0);
+  EXPECT_EQ(store.Get(1, 7)->GetCell(0)[0], 2.0);
+  EXPECT_EQ(store.NumChunks(), 2u);
+}
+
+TEST(ChunkStoreTest, GetOrCreate) {
+  ChunkStore store;
+  Chunk& c = store.GetOrCreate(0, 3, 2, 1);
+  EXPECT_TRUE(c.empty());
+  c.UpsertCell(0, {1, 1}, std::vector<double>{9.0});
+  EXPECT_EQ(store.GetOrCreate(0, 3, 2, 1).num_cells(), 1u);
+}
+
+TEST(ChunkStoreTest, EraseArrayDropsOnlyThatArray) {
+  ChunkStore store;
+  store.Put(0, 1, OneCellChunk());
+  store.Put(0, 2, OneCellChunk());
+  store.Put(1, 1, OneCellChunk());
+  EXPECT_EQ(store.EraseArray(0), 2u);
+  EXPECT_EQ(store.NumChunks(), 1u);
+  EXPECT_TRUE(store.Contains(1, 1));
+}
+
+TEST(ChunkStoreTest, SizeBytesSumsChunks) {
+  ChunkStore store;
+  store.Put(0, 1, OneCellChunk());
+  store.Put(0, 2, OneCellChunk());
+  EXPECT_EQ(store.SizeBytes(), 2u * 24u);
+}
+
+TEST(ClusterTest, CreatesWorkersAndCoordinator) {
+  Cluster cluster(3);
+  EXPECT_EQ(cluster.num_workers(), 3);
+  // Every store is distinct.
+  cluster.store(0).Put(0, 1, OneCellChunk());
+  EXPECT_FALSE(cluster.store(1).Contains(0, 1));
+  EXPECT_FALSE(cluster.store(kCoordinatorNode).Contains(0, 1));
+}
+
+TEST(ClusterTest, TransferCopiesAndChargesSender) {
+  Cluster cluster(2);
+  cluster.store(0).Put(0, 5, OneCellChunk());
+  ASSERT_OK(cluster.TransferChunk(0, 5, 0, 1));
+  EXPECT_TRUE(cluster.store(0).Contains(0, 5));  // source keeps its copy
+  EXPECT_TRUE(cluster.store(1).Contains(0, 5));
+  EXPECT_GT(cluster.clock(0).ntwk_seconds, 0.0);
+  EXPECT_EQ(cluster.clock(1).ntwk_seconds, 0.0);
+  EXPECT_EQ(cluster.clock(0).cpu_seconds, 0.0);
+}
+
+TEST(ClusterTest, TransferToSelfIsFree) {
+  Cluster cluster(2);
+  cluster.store(0).Put(0, 5, OneCellChunk());
+  ASSERT_OK(cluster.TransferChunk(0, 5, 0, 0));
+  EXPECT_EQ(cluster.clock(0).ntwk_seconds, 0.0);
+}
+
+TEST(ClusterTest, TransferMissingChunkFails) {
+  Cluster cluster(2);
+  EXPECT_TRUE(cluster.TransferChunk(0, 5, 0, 1).IsNotFound());
+}
+
+TEST(ClusterTest, TransferFromCoordinator) {
+  Cluster cluster(2);
+  cluster.store(kCoordinatorNode).Put(0, 5, OneCellChunk());
+  ASSERT_OK(cluster.TransferChunk(0, 5, kCoordinatorNode, 1));
+  EXPECT_TRUE(cluster.store(1).Contains(0, 5));
+  EXPECT_GT(cluster.clock(kCoordinatorNode).ntwk_seconds, 0.0);
+}
+
+TEST(ClusterTest, ChargesFollowCostModel) {
+  CostModel model;
+  model.t_ntwk_per_byte = 2.0;
+  model.t_cpu_per_byte = 0.5;
+  Cluster cluster(2, model);
+  cluster.ChargeNetwork(0, 10);
+  cluster.ChargeJoin(1, 10);
+  EXPECT_DOUBLE_EQ(cluster.clock(0).ntwk_seconds, 20.0);
+  EXPECT_DOUBLE_EQ(cluster.clock(1).cpu_seconds, 5.0);
+}
+
+TEST(ClusterTest, MakespanIsMaxOfPerNodeBusy) {
+  CostModel model;
+  model.t_ntwk_per_byte = 1.0;
+  model.t_cpu_per_byte = 1.0;
+  Cluster cluster(2, model);
+  cluster.ChargeNetwork(0, 10);
+  cluster.ChargeJoin(0, 4);   // node 0 busy = max(10, 4) = 10
+  cluster.ChargeJoin(1, 7);   // node 1 busy = 7
+  EXPECT_DOUBLE_EQ(cluster.MakespanSeconds(), 10.0);
+}
+
+TEST(ClusterTest, ResetClocksZeroesEverything) {
+  Cluster cluster(2);
+  cluster.ChargeNetwork(0, 100);
+  cluster.ChargeNetwork(kCoordinatorNode, 100);
+  cluster.ResetClocks();
+  EXPECT_DOUBLE_EQ(cluster.MakespanSeconds(), 0.0);
+}
+
+TEST(ClusterTest, LoadImbalanceOfBalancedLoadIsOne) {
+  CostModel model;
+  model.t_cpu_per_byte = 1.0;
+  Cluster cluster(2, model);
+  cluster.ChargeJoin(0, 10);
+  cluster.ChargeJoin(1, 10);
+  EXPECT_DOUBLE_EQ(cluster.LoadImbalance(), 1.0);
+  cluster.ChargeJoin(0, 10);
+  EXPECT_NEAR(cluster.LoadImbalance(), 20.0 / 15.0, 1e-12);
+}
+
+TEST(ClusterClockSnapshotTest, MeasuresWindowedMakespan) {
+  CostModel model;
+  model.t_ntwk_per_byte = 1.0;
+  model.t_cpu_per_byte = 1.0;
+  Cluster cluster(2, model);
+  cluster.ChargeJoin(0, 100);  // before the window
+  const ClusterClockSnapshot snap = ClusterClockSnapshot::Take(cluster);
+  cluster.ChargeJoin(1, 5);
+  cluster.ChargeNetwork(0, 3);
+  EXPECT_DOUBLE_EQ(snap.MakespanSince(cluster), 5.0);
+}
+
+TEST(PlacementTest, RoundRobinCyclesNodes) {
+  const ArraySchema schema = Make2DSchema("A");
+  const ChunkGrid grid(schema);
+  RoundRobinPlacement placement;
+  EXPECT_EQ(placement.PlaceChunk(0, grid, 3), 0);
+  EXPECT_EQ(placement.PlaceChunk(1, grid, 3), 1);
+  EXPECT_EQ(placement.PlaceChunk(2, grid, 3), 2);
+  EXPECT_EQ(placement.PlaceChunk(3, grid, 3), 0);
+}
+
+TEST(PlacementTest, HashSpreadsAndIsDeterministic) {
+  const ArraySchema schema = Make2DSchema("A", 400, 8, 240, 6);
+  const ChunkGrid grid(schema);
+  HashPlacement placement;
+  std::set<NodeId> seen;
+  for (ChunkId id = 0; id < 64; ++id) {
+    const NodeId n = placement.PlaceChunk(id, grid, 4);
+    EXPECT_EQ(n, placement.PlaceChunk(id, grid, 4));
+    EXPECT_GE(n, 0);
+    EXPECT_LT(n, 4);
+    seen.insert(n);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(PlacementTest, RangePartitionsIntoContiguousSlabs) {
+  const ArraySchema schema = Make2DSchema("A");  // 5 x 4 chunks
+  const ChunkGrid grid(schema);
+  RangePlacement placement(0);
+  // Slabs along dim 0 must be monotone in the chunk row.
+  NodeId last = 0;
+  for (int64_t row = 0; row < grid.ChunksInDim(0); ++row) {
+    const NodeId n = placement.PlaceChunk(grid.IdOfPos({row, 0}), grid, 2);
+    EXPECT_GE(n, last);
+    last = n;
+    // Same row, different column -> same node.
+    EXPECT_EQ(n, placement.PlaceChunk(grid.IdOfPos({row, 3}), grid, 2));
+  }
+  EXPECT_EQ(last, 1);
+}
+
+TEST(CatalogTest, RegisterAndLookup) {
+  Catalog catalog;
+  auto id = catalog.RegisterArray(Make2DSchema("A"), MakeRoundRobinPlacement());
+  ASSERT_OK(id.status());
+  EXPECT_EQ(catalog.ArrayIdByName("A").value(), *id);
+  EXPECT_TRUE(catalog.ArrayIdByName("B").status().IsNotFound());
+  EXPECT_EQ(catalog.NumArrays(), 1u);
+}
+
+TEST(CatalogTest, RejectsDuplicateNames) {
+  Catalog catalog;
+  ASSERT_OK(catalog.RegisterArray(Make2DSchema("A"), MakeRoundRobinPlacement())
+                .status());
+  EXPECT_TRUE(
+      catalog.RegisterArray(Make2DSchema("A"), MakeRoundRobinPlacement())
+          .status()
+          .IsAlreadyExists());
+}
+
+TEST(CatalogTest, ChunkAssignmentLifecycle) {
+  Catalog catalog;
+  auto id = catalog.RegisterArray(Make2DSchema("A"), MakeRoundRobinPlacement());
+  ASSERT_OK(id.status());
+  EXPECT_FALSE(catalog.HasChunk(*id, 3));
+  EXPECT_TRUE(catalog.NodeOf(*id, 3).status().IsNotFound());
+  catalog.AssignChunk(*id, 3, 2);
+  catalog.SetChunkBytes(*id, 3, 123);
+  EXPECT_TRUE(catalog.HasChunk(*id, 3));
+  EXPECT_EQ(catalog.NodeOf(*id, 3).value(), 2);
+  EXPECT_EQ(catalog.ChunkBytes(*id, 3), 123u);
+  catalog.AssignChunk(*id, 3, 0);  // reassignment
+  EXPECT_EQ(catalog.NodeOf(*id, 3).value(), 0);
+}
+
+TEST(CatalogTest, ChunkIdsSortedAndCounts) {
+  Catalog catalog;
+  auto id = catalog.RegisterArray(Make2DSchema("A"), MakeRoundRobinPlacement());
+  ASSERT_OK(id.status());
+  catalog.AssignChunk(*id, 9, 1);
+  catalog.AssignChunk(*id, 2, 1);
+  catalog.AssignChunk(*id, 5, 0);
+  EXPECT_EQ(catalog.ChunkIdsOf(*id), (std::vector<ChunkId>{2, 5, 9}));
+  EXPECT_EQ(catalog.NumChunksOnNode(*id, 1), 2u);
+  EXPECT_EQ(catalog.NumChunksOnNode(*id, 0), 1u);
+}
+
+TEST(CatalogTest, UnregisterFreesName) {
+  Catalog catalog;
+  auto id = catalog.RegisterArray(Make2DSchema("A"), MakeRoundRobinPlacement());
+  ASSERT_OK(id.status());
+  EXPECT_TRUE(catalog.UnregisterArray(*id));
+  EXPECT_FALSE(catalog.UnregisterArray(*id));
+  EXPECT_TRUE(catalog.ArrayIdByName("A").status().IsNotFound());
+  // The name can be reused.
+  EXPECT_OK(catalog.RegisterArray(Make2DSchema("A"), MakeRoundRobinPlacement())
+                .status());
+}
+
+TEST(CatalogTest, PlaceByStrategyUsesArrayPlacement) {
+  Catalog catalog;
+  auto id = catalog.RegisterArray(Make2DSchema("A"), MakeRoundRobinPlacement());
+  ASSERT_OK(id.status());
+  EXPECT_EQ(catalog.PlaceByStrategy(*id, 4, 3), 1);
+}
+
+}  // namespace
+}  // namespace avm

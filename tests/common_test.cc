@@ -1,0 +1,3 @@
+#include <gtest/gtest.h>
+#include "common/status.h"
+TEST(Bootstrap, StatusOk) { EXPECT_TRUE(avm::Status::OK().ok()); }

@@ -1,0 +1,152 @@
+#include "maintenance/deletions.h"
+
+#include <gtest/gtest.h>
+
+#include "maintenance/maintainer.h"
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+using testing_util::MakeCountViewFixture;
+using testing_util::RandomDisjointDelta;
+using testing_util::ViewMatchesRecompute;
+
+/// Picks `n` existing cells of the base as a deletion batch.
+SparseArray PickVictims(const SparseArray& base, size_t n) {
+  SparseArray victims(base.schema());
+  size_t taken = 0;
+  base.ForEachCell(
+      [&](std::span<const int64_t> coord, std::span<const double> values) {
+        if (taken >= n) return;
+        if (taken % 2 == 0 || n > base.NumCells() / 2) {
+          CellCoord c(coord.begin(), coord.end());
+          AVM_CHECK(victims.Set(c, values).ok());
+          ++taken;
+        } else {
+          ++taken;  // skip every other candidate for variety
+        }
+      });
+  return victims;
+}
+
+TEST(DeletionsTest, DeletedCellsVanishFromBaseAndView) {
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(3, 120, Shape::L1Ball(2, 1), 800,
+                                            /*with_sum=*/true));
+  SparseArray victims = PickVictims(fixture.local_base, 30);
+  ASSERT_OK_AND_ASSIGN(DeletionStats stats,
+                       ApplyDeletionBatch(fixture.view.get(), victims));
+  EXPECT_GT(stats.deleted_cells, 0u);
+  ASSERT_OK_AND_ASSIGN(SparseArray base_now,
+                       fixture.view->left_base().Gather());
+  victims.ForEachCell(
+      [&](std::span<const int64_t> coord, std::span<const double>) {
+        EXPECT_FALSE(base_now.Has(CellCoord(coord.begin(), coord.end())));
+      });
+  EXPECT_TRUE(ViewMatchesRecompute(*fixture.view));
+}
+
+TEST(DeletionsTest, InterleavedInsertsAndDeletes) {
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(4, 100, Shape::LinfBall(2, 1),
+                                            801, /*with_sum=*/true));
+  ViewMaintainer maintainer(fixture.view.get(),
+                            MaintenanceMethod::kReassign);
+  Rng rng(802);
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_OK_AND_ASSIGN(SparseArray base_now,
+                         fixture.view->left_base().Gather());
+    SparseArray inserts = RandomDisjointDelta(base_now, 40, &rng);
+    ASSERT_OK(maintainer.ApplyBatch(inserts).status());
+    ASSERT_OK_AND_ASSIGN(SparseArray base_after,
+                         fixture.view->left_base().Gather());
+    SparseArray victims = PickVictims(base_after, 25);
+    ASSERT_OK(ApplyDeletionBatch(fixture.view.get(), victims).status());
+    ASSERT_TRUE(ViewMatchesRecompute(*fixture.view)) << "round " << round;
+  }
+}
+
+TEST(DeletionsTest, DeleteEverythingEmptiesTheView) {
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(3, 60, Shape::L1Ball(2, 1), 803));
+  ASSERT_OK_AND_ASSIGN(SparseArray all, fixture.view->left_base().Gather());
+  ASSERT_OK_AND_ASSIGN(DeletionStats stats,
+                       ApplyDeletionBatch(fixture.view.get(), all));
+  EXPECT_EQ(stats.deleted_cells, 60u);
+  EXPECT_EQ(fixture.view->left_base().NumCells(), 0u);
+  EXPECT_EQ(fixture.view->array().NumCells(), 0u);
+}
+
+TEST(DeletionsTest, MissingCoordinatesAreIgnored) {
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(3, 40, Shape::L1Ball(2, 1), 804));
+  Rng rng(805);
+  SparseArray bogus = RandomDisjointDelta(fixture.local_base, 10, &rng);
+  ASSERT_OK_AND_ASSIGN(DeletionStats stats,
+                       ApplyDeletionBatch(fixture.view.get(), bogus));
+  EXPECT_EQ(stats.deleted_cells, 0u);
+  EXPECT_TRUE(ViewMatchesRecompute(*fixture.view));
+}
+
+TEST(DeletionsTest, DeleteIsIdempotent) {
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(3, 80, Shape::L1Ball(2, 1), 806));
+  SparseArray victims = PickVictims(fixture.local_base, 20);
+  ASSERT_OK(ApplyDeletionBatch(fixture.view.get(), victims).status());
+  ASSERT_OK_AND_ASSIGN(DeletionStats second,
+                       ApplyDeletionBatch(fixture.view.get(), victims));
+  EXPECT_EQ(second.deleted_cells, 0u);
+  EXPECT_TRUE(ViewMatchesRecompute(*fixture.view));
+}
+
+TEST(DeletionsTest, AsymmetricShapeRetractsBothRoles) {
+  auto window = Shape::MinkowskiSum(Shape::L1Ball(2, 1, {1}),
+                                    Shape::Window(2, 0, -6, 0));
+  ASSERT_OK(window.status());
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(3, 100, *window, 807,
+                                            /*with_sum=*/true));
+  SparseArray victims = PickVictims(fixture.local_base, 30);
+  ASSERT_OK(ApplyDeletionBatch(fixture.view.get(), victims).status());
+  EXPECT_TRUE(ViewMatchesRecompute(*fixture.view));
+}
+
+TEST(DeletionsTest, MinMaxViewsRejected) {
+  Catalog catalog;
+  Cluster cluster(2);
+  const ArraySchema schema = testing_util::Make2DSchema("base");
+  SparseArray local(schema);
+  ASSERT_OK(local.Set({5, 5}, std::vector<double>{1.0}));
+  ASSERT_OK_AND_ASSIGN(
+      DistributedArray base,
+      DistributedArray::Create(schema, MakeRoundRobinPlacement(), &catalog,
+                               &cluster));
+  ASSERT_OK(base.Ingest(local));
+  ViewDefinition def;
+  def.view_name = "V";
+  def.left_array = "base";
+  def.right_array = "base";
+  def.mapping = DimMapping::Identity(2);
+  def.shape = Shape::L1Ball(2, 1);
+  def.aggregates = {{AggregateFunction::kMax, 0, "mx"}};
+  ASSERT_OK_AND_ASSIGN(
+      MaterializedView view,
+      CreateMaterializedView(std::move(def), MakeRoundRobinPlacement(),
+                             &catalog, &cluster));
+  EXPECT_TRUE(
+      ApplyDeletionBatch(&view, local).status().IsFailedPrecondition());
+}
+
+TEST(DeletionsTest, ChargesSimulatedTime) {
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(3, 80, Shape::L1Ball(2, 1), 808));
+  SparseArray victims = PickVictims(fixture.local_base, 20);
+  ASSERT_OK_AND_ASSIGN(DeletionStats stats,
+                       ApplyDeletionBatch(fixture.view.get(), victims));
+  EXPECT_GT(stats.retraction_joins, 0u);
+  EXPECT_GT(stats.maintenance_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,147 @@
+#include "cluster/distributed_array.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+using testing_util::Make2DSchema;
+
+class DistributedArrayTest : public ::testing::Test {
+ protected:
+  DistributedArrayTest() : cluster_(3), local_(Make2DSchema("A")) {}
+
+  Catalog catalog_;
+  Cluster cluster_;
+  SparseArray local_;
+};
+
+TEST_F(DistributedArrayTest, CreateRegistersInCatalog) {
+  auto array = DistributedArray::Create(Make2DSchema("A"),
+                                        MakeRoundRobinPlacement(), &catalog_,
+                                        &cluster_);
+  ASSERT_OK(array.status());
+  EXPECT_OK(catalog_.ArrayIdByName("A").status());
+}
+
+TEST_F(DistributedArrayTest, OpenBindsExisting) {
+  ASSERT_OK(DistributedArray::Create(Make2DSchema("A"),
+                                     MakeRoundRobinPlacement(), &catalog_,
+                                     &cluster_)
+                .status());
+  auto opened = DistributedArray::Open("A", &catalog_, &cluster_);
+  ASSERT_OK(opened.status());
+  EXPECT_TRUE(DistributedArray::Open("missing", &catalog_, &cluster_)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(DistributedArrayTest, IngestDistributesByPlacement) {
+  Rng rng(3);
+  testing_util::FillRandom(&local_, 120, &rng);
+  auto array = DistributedArray::Create(Make2DSchema("A"),
+                                        MakeRoundRobinPlacement(), &catalog_,
+                                        &cluster_);
+  ASSERT_OK(array.status());
+  ASSERT_OK(array->Ingest(local_));
+  EXPECT_EQ(array->NumCells(), 120u);
+  EXPECT_EQ(array->NumChunks(), local_.NumChunks());
+  // Chunks must land on the placement-designated nodes.
+  for (ChunkId id : catalog_.ChunkIdsOf(array->id())) {
+    const NodeId expected = catalog_.PlaceByStrategy(array->id(), id, 3);
+    EXPECT_EQ(catalog_.NodeOf(array->id(), id).value(), expected);
+    EXPECT_TRUE(cluster_.store(expected).Contains(array->id(), id));
+  }
+}
+
+TEST_F(DistributedArrayTest, IngestRejectsSchemaMismatch) {
+  auto array = DistributedArray::Create(Make2DSchema("A"),
+                                        MakeRoundRobinPlacement(), &catalog_,
+                                        &cluster_);
+  ASSERT_OK(array.status());
+  SparseArray other(Make2DSchema("B", 10, 5, 10, 5));
+  EXPECT_TRUE(array->Ingest(other).IsInvalidArgument());
+}
+
+TEST_F(DistributedArrayTest, GatherRoundTripsContent) {
+  Rng rng(4);
+  testing_util::FillRandom(&local_, 200, &rng);
+  auto array = DistributedArray::Create(Make2DSchema("A"),
+                                        MakeHashPlacement(), &catalog_,
+                                        &cluster_);
+  ASSERT_OK(array.status());
+  ASSERT_OK(array->Ingest(local_));
+  auto gathered = array->Gather();
+  ASSERT_OK(gathered.status());
+  EXPECT_TRUE(gathered->ContentEquals(local_));
+}
+
+TEST_F(DistributedArrayTest, IngestUpsertsIntoExistingChunks) {
+  auto array = DistributedArray::Create(Make2DSchema("A"),
+                                        MakeRoundRobinPlacement(), &catalog_,
+                                        &cluster_);
+  ASSERT_OK(array.status());
+  ASSERT_OK(local_.Set({1, 1}, std::vector<double>{1.0}));
+  ASSERT_OK(array->Ingest(local_));
+  SparseArray more(Make2DSchema("A"));
+  ASSERT_OK(more.Set({1, 2}, std::vector<double>{2.0}));   // same chunk
+  ASSERT_OK(more.Set({1, 1}, std::vector<double>{9.0}));   // overwrite
+  ASSERT_OK(array->Ingest(more));
+  auto gathered = array->Gather();
+  ASSERT_OK(gathered.status());
+  EXPECT_EQ(gathered->NumCells(), 2u);
+  EXPECT_EQ((*gathered->Get({1, 1}))[0], 9.0);
+}
+
+TEST_F(DistributedArrayTest, PutChunkToCoordinator) {
+  auto array = DistributedArray::Create(Make2DSchema("A"),
+                                        MakeRoundRobinPlacement(), &catalog_,
+                                        &cluster_);
+  ASSERT_OK(array.status());
+  Chunk chunk(2, 1);
+  chunk.UpsertCell(0, {1, 1}, std::vector<double>{1.0});
+  ASSERT_OK(array->PutChunk(0, std::move(chunk), kCoordinatorNode));
+  EXPECT_EQ(catalog_.NodeOf(array->id(), 0).value(), kCoordinatorNode);
+  EXPECT_TRUE(cluster_.store(kCoordinatorNode).Contains(array->id(), 0));
+}
+
+TEST_F(DistributedArrayTest, PutChunkRejectsBadNode) {
+  auto array = DistributedArray::Create(Make2DSchema("A"),
+                                        MakeRoundRobinPlacement(), &catalog_,
+                                        &cluster_);
+  ASSERT_OK(array.status());
+  EXPECT_TRUE(
+      array->PutChunk(0, Chunk(2, 1), 99).IsInvalidArgument());
+}
+
+TEST_F(DistributedArrayTest, AccumulateIntoChunkMergesAndTracksBytes) {
+  auto array = DistributedArray::Create(Make2DSchema("A"),
+                                        MakeRoundRobinPlacement(), &catalog_,
+                                        &cluster_);
+  ASSERT_OK(array.status());
+  Chunk delta(2, 1);
+  delta.UpsertCell(0, {1, 1}, std::vector<double>{2.0});
+  ASSERT_OK(array->AccumulateIntoChunk(0, delta, /*fallback_node=*/1));
+  ASSERT_OK(array->AccumulateIntoChunk(0, delta, /*fallback_node=*/2));
+  EXPECT_EQ(catalog_.NodeOf(array->id(), 0).value(), 1);  // fallback once
+  auto chunk = array->GetPrimaryChunk(0);
+  ASSERT_OK(chunk.status());
+  EXPECT_EQ((*chunk)->GetCell(0)[0], 4.0);
+  EXPECT_EQ(catalog_.ChunkBytes(array->id(), 0), (*chunk)->SizeBytes());
+}
+
+TEST_F(DistributedArrayTest, TotalBytesMatchesCatalog) {
+  Rng rng(5);
+  testing_util::FillRandom(&local_, 50, &rng);
+  auto array = DistributedArray::Create(Make2DSchema("A"),
+                                        MakeRoundRobinPlacement(), &catalog_,
+                                        &cluster_);
+  ASSERT_OK(array.status());
+  ASSERT_OK(array->Ingest(local_));
+  EXPECT_EQ(array->TotalBytes(), local_.SizeBytes());
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,151 @@
+#include "maintenance/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "maintenance/baseline_planner.h"
+#include "maintenance/triple_gen.h"
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+using testing_util::MakeCountViewFixture;
+
+struct ExecFixture {
+  testing_util::ViewFixture fixture;
+  std::unique_ptr<DistributedArray> delta;
+  TripleSet triples;
+};
+
+Result<ExecFixture> MakeExecFixture(uint64_t seed, size_t base_cells = 80,
+                                    size_t delta_cells = 30) {
+  ExecFixture out;
+  AVM_ASSIGN_OR_RETURN(
+      out.fixture,
+      MakeCountViewFixture(3, base_cells, Shape::L1Ball(2, 1), seed));
+  Rng rng(seed + 1);
+  SparseArray cells = testing_util::RandomDisjointDelta(
+      out.fixture.local_base, delta_cells, &rng);
+  ArraySchema schema("delta", cells.schema().dims(), cells.schema().attrs());
+  AVM_ASSIGN_OR_RETURN(
+      DistributedArray delta,
+      DistributedArray::Create(schema, MakeRoundRobinPlacement(),
+                               out.fixture.catalog.get(),
+                               out.fixture.cluster.get()));
+  Status status = Status::OK();
+  cells.ForEachChunk([&](ChunkId id, const Chunk& chunk) {
+    if (!status.ok()) return;
+    status = delta.PutChunk(id, chunk, kCoordinatorNode);
+  });
+  AVM_RETURN_IF_ERROR(status);
+  out.delta = std::make_unique<DistributedArray>(std::move(delta));
+  AVM_ASSIGN_OR_RETURN(out.triples,
+                       GenerateTriples(*out.fixture.view, out.delta.get(),
+                                       nullptr));
+  return out;
+}
+
+TEST(ExecutorTest, ExecutesBaselinePlanAndReportsStats) {
+  ASSERT_OK_AND_ASSIGN(auto exec_fixture, MakeExecFixture(600));
+  ASSERT_OK_AND_ASSIGN(
+      MaintenancePlan plan,
+      PlanBaseline(*exec_fixture.fixture.view, exec_fixture.triples, 3));
+  ASSERT_OK_AND_ASSIGN(
+      ExecutionStats stats,
+      ExecuteMaintenancePlan(plan, exec_fixture.triples,
+                             exec_fixture.fixture.view.get(),
+                             exec_fixture.delta.get(), nullptr));
+  EXPECT_GT(stats.joins_executed, 0u);
+  EXPECT_GT(stats.delta_chunks_merged, 0u);
+  EXPECT_TRUE(testing_util::ViewMatchesRecompute(*exec_fixture.fixture.view));
+}
+
+TEST(ExecutorTest, RejectsPlanWithoutColocation) {
+  ASSERT_OK_AND_ASSIGN(auto exec_fixture, MakeExecFixture(601));
+  ASSERT_FALSE(exec_fixture.triples.pairs.empty());
+  // A plan that assigns joins but ships nothing: the delta operand never
+  // reaches a worker, so the executor must fail loudly.
+  MaintenancePlan bogus;
+  for (size_t i = 0; i < exec_fixture.triples.pairs.size(); ++i) {
+    bogus.joins.push_back({i, 0});
+  }
+  auto result = ExecuteMaintenancePlan(bogus, exec_fixture.triples,
+                                       exec_fixture.fixture.view.get(),
+                                       exec_fixture.delta.get(), nullptr);
+  EXPECT_TRUE(result.status().IsInternal());
+}
+
+TEST(ExecutorTest, RejectsJoinReferencingUnknownPair) {
+  ASSERT_OK_AND_ASSIGN(auto exec_fixture, MakeExecFixture(602));
+  MaintenancePlan bogus;
+  bogus.joins.push_back({exec_fixture.triples.pairs.size() + 5, 0});
+  EXPECT_TRUE(ExecuteMaintenancePlan(bogus, exec_fixture.triples,
+                                     exec_fixture.fixture.view.get(),
+                                     exec_fixture.delta.get(), nullptr)
+                  .status()
+                  .IsInternal());
+}
+
+TEST(ExecutorTest, EmptyPlanStillMergesDeltaChunks) {
+  // A plan with no joins (e.g. all updates irrelevant) must still fold the
+  // delta into the base.
+  ASSERT_OK_AND_ASSIGN(
+      auto fixture,
+      MakeCountViewFixture(3, 0, Shape::L1Ball(2, 1), 603));
+  SparseArray cells(fixture.local_base.schema());
+  ASSERT_OK(cells.Set({20, 12}, std::vector<double>{1.0}));
+  ArraySchema schema("delta", cells.schema().dims(), cells.schema().attrs());
+  ASSERT_OK_AND_ASSIGN(
+      DistributedArray delta,
+      DistributedArray::Create(schema, MakeRoundRobinPlacement(),
+                               fixture.catalog.get(), fixture.cluster.get()));
+  Status status = Status::OK();
+  cells.ForEachChunk([&](ChunkId id, const Chunk& chunk) {
+    status = delta.PutChunk(id, chunk, kCoordinatorNode);
+  });
+  ASSERT_OK(status);
+  TripleSet empty_triples;
+  MaintenancePlan empty_plan;
+  ASSERT_OK_AND_ASSIGN(
+      ExecutionStats stats,
+      ExecuteMaintenancePlan(empty_plan, empty_triples, fixture.view.get(),
+                             &delta, nullptr));
+  EXPECT_EQ(stats.joins_executed, 0u);
+  EXPECT_EQ(stats.delta_chunks_merged, 1u);
+  ASSERT_OK_AND_ASSIGN(SparseArray base_now,
+                       fixture.view->left_base().Gather());
+  EXPECT_TRUE(base_now.Has({20, 12}));
+}
+
+TEST(ExecutorTest, ViewHomeRelocationMovesChunkAndCatalog) {
+  ASSERT_OK_AND_ASSIGN(auto exec_fixture, MakeExecFixture(604));
+  Catalog* catalog = exec_fixture.fixture.catalog.get();
+  const ArrayId view_id = exec_fixture.fixture.view->array().id();
+  // Build a baseline plan and forcibly relocate every affected existing
+  // view chunk to node 2.
+  ASSERT_OK_AND_ASSIGN(
+      MaintenancePlan plan,
+      PlanBaseline(*exec_fixture.fixture.view, exec_fixture.triples, 3));
+  for (auto& [v, home] : plan.view_home) home = 2;
+  ASSERT_OK(ExecuteMaintenancePlan(plan, exec_fixture.triples,
+                                   exec_fixture.fixture.view.get(),
+                                   exec_fixture.delta.get(), nullptr)
+                .status());
+  for (const auto& [v, home] : plan.view_home) {
+    EXPECT_EQ(catalog->NodeOf(view_id, v).value(), 2);
+    EXPECT_TRUE(
+        exec_fixture.fixture.cluster->store(2).Contains(view_id, v));
+  }
+  EXPECT_TRUE(testing_util::ViewMatchesRecompute(*exec_fixture.fixture.view));
+}
+
+TEST(ExecutorTest, NullViewRejected) {
+  TripleSet triples;
+  MaintenancePlan plan;
+  EXPECT_TRUE(ExecuteMaintenancePlan(plan, triples, nullptr, nullptr, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,182 @@
+#include "shape/chunk_footprint.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "join/pair_enumeration.h"
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+using testing_util::Make2DSchema;
+
+std::set<CellCoord> DeltaSet(const ChunkFootprint& fp) {
+  return std::set<CellCoord>(fp.deltas().begin(), fp.deltas().end());
+}
+
+TEST(ChunkFootprintTest, RejectsBadInputs) {
+  EXPECT_TRUE(ChunkFootprint::Compute(Shape::L1Ball(2, 1), {4})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ChunkFootprint::Compute(Shape::L1Ball(2, 1), {4, 0})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ChunkFootprintTest, CenterOnlyShapeStaysInChunkNeighborhood) {
+  auto fp = ChunkFootprint::Compute(Shape::L1Ball(2, 0), {4, 4});
+  ASSERT_OK(fp.status());
+  EXPECT_EQ(fp->size(), 1u);
+  EXPECT_TRUE(fp->Contains({0, 0}));
+}
+
+TEST(ChunkFootprintTest, SmallCrossReachesAxisNeighbors) {
+  // L1(1) with 4-cell chunks: a border cell can cross into the next chunk
+  // along each axis, but never diagonally.
+  auto fp = ChunkFootprint::Compute(Shape::L1Ball(2, 1), {4, 4});
+  ASSERT_OK(fp.status());
+  EXPECT_EQ(DeltaSet(*fp),
+            (std::set<CellCoord>{{-1, 0}, {0, -1}, {0, 0}, {0, 1}, {1, 0}}));
+}
+
+TEST(ChunkFootprintTest, LinfReachesDiagonals) {
+  auto fp = ChunkFootprint::Compute(Shape::LinfBall(2, 1), {4, 4});
+  ASSERT_OK(fp.status());
+  EXPECT_EQ(fp->size(), 9u);
+  EXPECT_TRUE(fp->Contains({1, 1}));
+  EXPECT_TRUE(fp->Contains({-1, -1}));
+}
+
+TEST(ChunkFootprintTest, ChunkScaleDiamondPrunesCorners) {
+  // An L1 ball of radius 3 chunks: the bbox has 7x7(+boundary) deltas but
+  // the diamond footprint excludes the far corners.
+  const Shape diamond =
+      Shape::WeightedBall(2, Shape::Norm::kL1, 3.0, {4.0, 4.0});
+  auto fp = ChunkFootprint::Compute(diamond, {4, 4});
+  ASSERT_OK(fp.status());
+  EXPECT_FALSE(fp->Contains({3, 3}));
+  EXPECT_FALSE(fp->Contains({-3, 3}));
+  EXPECT_TRUE(fp->Contains({3, 0}));
+  EXPECT_TRUE(fp->Contains({1, 2}));
+  // Strictly smaller than the bbox enumeration.
+  const Box bbox = diamond.BoundingBox();
+  const int64_t bbox_deltas =
+      ((bbox.hi[0] / 4 + 1) - (bbox.lo[0] / 4 - 1) + 1) *
+      ((bbox.hi[1] / 4 + 1) - (bbox.lo[1] / 4 - 1) + 1);
+  EXPECT_LT(static_cast<int64_t>(fp->size()), bbox_deltas);
+}
+
+TEST(ChunkFootprintTest, AsymmetricWindowIsOneSided) {
+  auto fp =
+      ChunkFootprint::Compute(Shape::Window(2, 0, -8, 0), {4, 4});
+  ASSERT_OK(fp.status());
+  EXPECT_TRUE(fp->Contains({-2, 0}));
+  EXPECT_TRUE(fp->Contains({0, 0}));
+  EXPECT_FALSE(fp->Contains({1, 0}));
+  EXPECT_FALSE(fp->Contains({-3, 0}));
+}
+
+TEST(ChunkFootprintTest, ExactEnumerationMatchesBruteForceCellCheck) {
+  // Property: for random shapes, the footprint-based partner set equals
+  // the set of chunks holding an actual cell-level match, for fully
+  // occupied chunks.
+  const ArraySchema schema = Make2DSchema("A", 40, 4, 40, 4);
+  const ChunkGrid grid(schema);
+  Rng rng(61);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<CellCoord> offsets;
+    const int n = 1 + static_cast<int>(rng.Uniform(6));
+    for (int i = 0; i < n; ++i) {
+      offsets.push_back({rng.UniformInt(-6, 6), rng.UniformInt(-6, 6)});
+    }
+    auto shape = Shape::FromOffsets(2, offsets);
+    ASSERT_OK(shape.status());
+    auto fp = ChunkFootprint::Compute(*shape, {4, 4});
+    ASSERT_OK(fp.status());
+
+    const ChunkId p = grid.IdOfPos({5, 5});
+    auto exact = EnumerateJoinPartnersExact(grid, p, *fp,
+                                            [](ChunkId) { return true; });
+    // Brute force: every cell of p, every offset, mark the target chunk.
+    std::set<ChunkId> expected;
+    const Box box = grid.ChunkBoxOfId(p);
+    for (int64_t x = box.lo[0]; x <= box.hi[0]; ++x) {
+      for (int64_t y = box.lo[1]; y <= box.hi[1]; ++y) {
+        for (const auto& o : shape->offsets()) {
+          const CellCoord target = {x + o[0], y + o[1]};
+          if (schema.ContainsCoord(target)) {
+            expected.insert(grid.IdOfCell(target));
+          }
+        }
+      }
+    }
+    EXPECT_EQ(std::set<ChunkId>(exact.begin(), exact.end()), expected)
+        << "trial " << trial;
+  }
+}
+
+TEST(ChunkFootprintTest, ExactIsSubsetOfBoundingBoxEnumeration) {
+  const ArraySchema schema = Make2DSchema("A", 40, 4, 40, 4);
+  const ChunkGrid grid(schema);
+  const Shape diamond =
+      Shape::WeightedBall(2, Shape::Norm::kL1, 2.0, {4.0, 4.0});
+  auto fp = ChunkFootprint::Compute(diamond, {4, 4});
+  ASSERT_OK(fp.status());
+  const ChunkId p = grid.IdOfPos({5, 5});
+  auto exact = EnumerateJoinPartnersExact(grid, p, *fp,
+                                          [](ChunkId) { return true; });
+  auto bbox = EnumerateJoinPartners(grid, p, DimMapping::Identity(2), diamond,
+                                    grid, [](ChunkId) { return true; });
+  std::set<ChunkId> bbox_set(bbox.begin(), bbox.end());
+  for (ChunkId q : exact) EXPECT_TRUE(bbox_set.count(q) > 0);
+  EXPECT_LT(exact.size(), bbox.size());
+}
+
+TEST(WeightedBallTest, WeightsScaleTheReach) {
+  // Radius 1 "chunk" with weights (4, 2): reach 4 cells on x, 2 on y.
+  const Shape ball =
+      Shape::WeightedBall(2, Shape::Norm::kLinf, 1.0, {4.0, 2.0});
+  EXPECT_TRUE(ball.Contains({4, 2}));
+  EXPECT_TRUE(ball.Contains({-4, -2}));
+  EXPECT_FALSE(ball.Contains({5, 0}));
+  EXPECT_FALSE(ball.Contains({0, 3}));
+}
+
+TEST(WeightedBallTest, L1DiamondInScaledSpace) {
+  const Shape ball = Shape::WeightedBall(2, Shape::Norm::kL1, 1.0,
+                                         {4.0, 2.0});
+  EXPECT_TRUE(ball.Contains({4, 0}));
+  EXPECT_TRUE(ball.Contains({0, 2}));
+  EXPECT_TRUE(ball.Contains({2, 1}));   // 0.5 + 0.5 = 1
+  EXPECT_FALSE(ball.Contains({3, 1}));  // 0.75 + 0.5 > 1
+}
+
+TEST(WeightedBallTest, L2EllipseMembership) {
+  const Shape ball = Shape::WeightedBall(2, Shape::Norm::kL2, 1.0,
+                                         {4.0, 2.0});
+  EXPECT_TRUE(ball.Contains({4, 0}));
+  EXPECT_TRUE(ball.Contains({0, 2}));
+  EXPECT_FALSE(ball.Contains({4, 2}));  // sqrt(1 + 1) > 1
+  EXPECT_FALSE(ball.Contains({3, 2}));  // sqrt(0.5625 + 1) > 1
+}
+
+TEST(WeightedBallTest, UnitWeightsMatchPlainBalls) {
+  EXPECT_EQ(Shape::WeightedBall(2, Shape::Norm::kL1, 2.0, {1.0, 1.0}),
+            Shape::L1Ball(2, 2));
+  EXPECT_EQ(Shape::WeightedBall(2, Shape::Norm::kLinf, 2.0, {1.0, 1.0}),
+            Shape::LinfBall(2, 2));
+  EXPECT_EQ(Shape::WeightedBall(2, Shape::Norm::kL2, 2.0, {1.0, 1.0}),
+            Shape::L2Ball(2, 2.0));
+}
+
+TEST(WeightedBallTest, SubsetDims) {
+  const Shape ball = Shape::WeightedBall(3, Shape::Norm::kLinf, 1.0,
+                                         {4.0, 2.0}, {1, 2});
+  for (const auto& o : ball.offsets()) EXPECT_EQ(o[0], 0);
+  EXPECT_TRUE(ball.Contains({0, 4, 2}));
+}
+
+}  // namespace
+}  // namespace avm

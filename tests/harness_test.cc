@@ -1,0 +1,121 @@
+#include "harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+/// A tiny scale so the full pipeline (generate, load, materialize, maintain)
+/// runs in well under a second per case.
+ExperimentScale TinyScale() {
+  ExperimentScale scale;
+  scale.num_workers = 4;
+  scale.num_batches = 3;
+  scale.ptf.time_range = 1536;
+  scale.ptf.base_cells = 1500;
+  scale.ptf.batch_cells_min = 150;
+  scale.ptf.batch_cells_max = 300;
+  scale.geo.seed_pois = 500;
+  scale.geo.batch_frac = 0.02;
+  return scale;
+}
+
+TEST(HarnessTest, Names) {
+  EXPECT_EQ(DatasetKindName(DatasetKind::kPtf5), "PTF-5");
+  EXPECT_EQ(DatasetKindName(DatasetKind::kPtf25), "PTF-25");
+  EXPECT_EQ(DatasetKindName(DatasetKind::kGeo), "GEO");
+  EXPECT_EQ(BatchRegimeName(BatchRegime::kCorrelated), "correlated");
+}
+
+TEST(HarnessTest, PreparesGeoExperiment) {
+  ASSERT_OK_AND_ASSIGN(
+      PreparedExperiment experiment,
+      PrepareExperiment(DatasetKind::kGeo, BatchRegime::kRandom, TinyScale()));
+  EXPECT_EQ(experiment.batches.size(), 3u);
+  EXPECT_GT(experiment.view->array().NumCells(), 0u);
+  EXPECT_DOUBLE_EQ(experiment.cluster->MakespanSeconds(), 0.0);  // reset
+}
+
+TEST(HarnessTest, PreparesPtf5Experiment) {
+  ASSERT_OK_AND_ASSIGN(
+      PreparedExperiment experiment,
+      PrepareExperiment(DatasetKind::kPtf5, BatchRegime::kReal, TinyScale()));
+  EXPECT_EQ(experiment.batches.size(), 3u);
+  EXPECT_EQ(experiment.view->left_base().schema().num_dims(), 3u);
+  // PTF-5's shape is the backward-looking space-time product.
+  EXPECT_FALSE(experiment.view->definition().shape.IsSymmetric());
+}
+
+TEST(HarnessTest, Ptf25ShapeIsTimeSymmetric) {
+  ASSERT_OK_AND_ASSIGN(
+      PreparedExperiment experiment,
+      PrepareExperiment(DatasetKind::kPtf25, BatchRegime::kReal, TinyScale()));
+  EXPECT_TRUE(experiment.view->definition().shape.IsSymmetric());
+}
+
+TEST(HarnessTest, RunsSeriesAndMaintainsCorrectness) {
+  ASSERT_OK_AND_ASSIGN(
+      PreparedExperiment experiment,
+      PrepareExperiment(DatasetKind::kGeo, BatchRegime::kRandom, TinyScale()));
+  ASSERT_OK_AND_ASSIGN(
+      BatchSeries series,
+      RunMaintenanceSeries(&experiment, MaintenanceMethod::kReassign,
+                           PlannerOptions()));
+  EXPECT_EQ(series.reports.size(), 3u);
+  EXPECT_GT(series.TotalMaintenanceSeconds(), 0.0);
+  EXPECT_GT(series.MeanOptimizationSeconds(), 0.0);
+  EXPECT_TRUE(testing_util::ViewMatchesRecompute(*experiment.view));
+}
+
+TEST(HarnessTest, SameSeedGivesIdenticalBatchesAcrossMethods) {
+  const ExperimentScale scale = TinyScale();
+  ASSERT_OK_AND_ASSIGN(
+      PreparedExperiment e1,
+      PrepareExperiment(DatasetKind::kGeo, BatchRegime::kRandom, scale));
+  ASSERT_OK_AND_ASSIGN(
+      PreparedExperiment e2,
+      PrepareExperiment(DatasetKind::kGeo, BatchRegime::kRandom, scale));
+  ASSERT_EQ(e1.batches.size(), e2.batches.size());
+  for (size_t i = 0; i < e1.batches.size(); ++i) {
+    EXPECT_TRUE(e1.batches[i].ContentEquals(e2.batches[i]));
+  }
+}
+
+TEST(HarnessTest, RunAllMethodsProducesThreeSeries) {
+  ExperimentScale scale = TinyScale();
+  scale.num_batches = 2;
+  ASSERT_OK_AND_ASSIGN(
+      auto all,
+      RunAllMethods(DatasetKind::kGeo, BatchRegime::kCorrelated, scale,
+                    PlannerOptions()));
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].method, MaintenanceMethod::kBaseline);
+  EXPECT_EQ(all[1].method, MaintenanceMethod::kDifferential);
+  EXPECT_EQ(all[2].method, MaintenanceMethod::kReassign);
+  for (const auto& series : all) {
+    EXPECT_EQ(series.reports.size(), 2u);
+  }
+}
+
+TEST(HarnessTest, PtfMaintenanceStaysCorrectAcrossRegimes) {
+  for (BatchRegime regime : {BatchRegime::kReal, BatchRegime::kCorrelated,
+                             BatchRegime::kPeriodic}) {
+    ExperimentScale scale = TinyScale();
+    scale.num_batches = 2;
+    ASSERT_OK_AND_ASSIGN(
+        PreparedExperiment experiment,
+        PrepareExperiment(DatasetKind::kPtf5, regime, scale));
+    ASSERT_OK_AND_ASSIGN(
+        BatchSeries series,
+        RunMaintenanceSeries(&experiment, MaintenanceMethod::kReassign,
+                             PlannerOptions()));
+    EXPECT_EQ(series.reports.size(), 2u);
+    EXPECT_TRUE(testing_util::ViewMatchesRecompute(*experiment.view))
+        << BatchRegimeName(regime);
+  }
+}
+
+}  // namespace
+}  // namespace avm

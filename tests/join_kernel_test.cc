@@ -1,0 +1,257 @@
+#include "join/join_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "join/pair_enumeration.h"
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+using testing_util::Make2DSchema;
+
+AggregateLayout CountLayout() {
+  auto layout =
+      AggregateLayout::Create({{AggregateFunction::kCount, 0, "cnt"}}, 1);
+  AVM_CHECK(layout.ok());
+  return std::move(layout).value();
+}
+
+AggregateLayout CountSumLayout() {
+  auto layout = AggregateLayout::Create({{AggregateFunction::kCount, 0, "c"},
+                                         {AggregateFunction::kSum, 0, "s"}},
+                                        1);
+  AVM_CHECK(layout.ok());
+  return std::move(layout).value();
+}
+
+/// Fixture: one array, the kernel applied to (chunk, chunk) pairs, compared
+/// to a brute-force per-cell evaluation.
+class JoinKernelTest : public ::testing::Test {
+ protected:
+  JoinKernelTest()
+      : schema_(Make2DSchema("A", 16, 4, 16, 4)),
+        array_(schema_),
+        view_grid_(schema_),
+        group_dims_({0, 1}) {}
+
+  /// Sum of kernel outputs over all chunk pairs of the self-join.
+  std::map<CellCoord, double> RunKernelSelfJoin(const Shape& shape,
+                                                const AggregateLayout& layout,
+                                                int multiplicity = 1,
+                                                size_t value_index = 0) {
+    const DimMapping mapping = DimMapping::Identity(2);
+    const ViewTarget target{&group_dims_, &view_grid_};
+    std::map<ChunkId, Chunk> fragments;
+    for (ChunkId p : array_.ChunkIds()) {
+      for (ChunkId q : EnumerateJoinPartners(
+               array_.grid(), p, mapping, shape, array_.grid(),
+               [&](ChunkId c) { return array_.GetChunk(c) != nullptr; })) {
+        const RightOperand rop{array_.GetChunk(q), q, &array_.grid()};
+        AVM_CHECK(JoinAggregateChunkPair(*array_.GetChunk(p), rop, mapping,
+                                         shape, layout, target, multiplicity,
+                                         &fragments)
+                      .ok());
+      }
+    }
+    std::map<CellCoord, double> out;
+    for (const auto& [v, frag] : fragments) {
+      frag.ForEachCell([&](std::span<const int64_t> coord,
+                           std::span<const double> state) {
+        out[CellCoord(coord.begin(), coord.end())] += state[value_index];
+      });
+    }
+    return out;
+  }
+
+  /// Brute-force: for every cell x, count/sum partners y with y-x in shape.
+  std::map<CellCoord, double> BruteForce(const Shape& shape, bool sum) {
+    std::map<CellCoord, double> out;
+    array_.ForEachCell([&](std::span<const int64_t> xs,
+                           std::span<const double>) {
+      CellCoord x(xs.begin(), xs.end());
+      for (const auto& o : shape.offsets()) {
+        CellCoord y = {x[0] + o[0], x[1] + o[1]};
+        auto partner = array_.Get(y);
+        if (!partner.ok()) continue;
+        out[x] += sum ? (*partner)[0] : 1.0;
+      }
+    });
+    return out;
+  }
+
+  ArraySchema schema_;
+  SparseArray array_;
+  ChunkGrid view_grid_;
+  std::vector<size_t> group_dims_;
+};
+
+TEST_F(JoinKernelTest, CountMatchesBruteForceOnRandomData) {
+  Rng rng(21);
+  testing_util::FillRandom(&array_, 80, &rng);
+  const Shape shape = Shape::L1Ball(2, 1);
+  EXPECT_EQ(RunKernelSelfJoin(shape, CountLayout()), BruteForce(shape, false));
+}
+
+TEST_F(JoinKernelTest, CountMatchesBruteForceAcrossChunkBoundaries) {
+  // Cells packed along a chunk boundary exercise cross-chunk pairs.
+  for (int64_t y = 1; y <= 16; ++y) {
+    ASSERT_OK(array_.Set({4, y}, std::vector<double>{1.0}));
+    ASSERT_OK(array_.Set({5, y}, std::vector<double>{1.0}));
+  }
+  const Shape shape = Shape::LinfBall(2, 1);
+  EXPECT_EQ(RunKernelSelfJoin(shape, CountLayout()), BruteForce(shape, false));
+}
+
+TEST_F(JoinKernelTest, SumAggregatesRightValues) {
+  Rng rng(23);
+  testing_util::FillRandom(&array_, 60, &rng);
+  const Shape shape = Shape::LinfBall(2, 1);
+  auto kernel = RunKernelSelfJoin(shape, CountSumLayout(), 1, 1);
+  auto brute = BruteForce(shape, true);
+  ASSERT_EQ(kernel.size(), brute.size());
+  for (const auto& [coord, value] : brute) {
+    EXPECT_NEAR(kernel.at(coord), value, 1e-9);
+  }
+}
+
+TEST_F(JoinKernelTest, AsymmetricShapeRespectsDirection) {
+  ASSERT_OK(array_.Set({8, 8}, std::vector<double>{1.0}));
+  ASSERT_OK(array_.Set({9, 8}, std::vector<double>{1.0}));
+  // Window looking only backward along x: cell (9,8) sees (8,8), not vice
+  // versa.
+  auto shape = Shape::FromOffsets(2, {{-1, 0}});
+  ASSERT_OK(shape.status());
+  auto result = RunKernelSelfJoin(*shape, CountLayout());
+  EXPECT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.at({9, 8}), 1.0);
+}
+
+TEST_F(JoinKernelTest, NegativeMultiplicityRetracts) {
+  Rng rng(25);
+  testing_util::FillRandom(&array_, 40, &rng);
+  const Shape shape = Shape::L1Ball(2, 1);
+  auto plus = RunKernelSelfJoin(shape, CountLayout(), 1);
+  auto minus = RunKernelSelfJoin(shape, CountLayout(), -1);
+  ASSERT_EQ(plus.size(), minus.size());
+  for (const auto& [coord, value] : plus) {
+    EXPECT_EQ(minus.at(coord), -value);
+  }
+}
+
+TEST_F(JoinKernelTest, BothStrategiesAgree) {
+  Rng rng(27);
+  testing_util::FillRandom(&array_, 100, &rng);
+  // A large shape forces the scan strategy; a small one the probe strategy.
+  // Their union of outputs must match brute force either way.
+  for (int64_t radius : {1, 3, 6}) {
+    const Shape shape = Shape::LinfBall(2, radius);
+    EXPECT_EQ(RunKernelSelfJoin(shape, CountLayout()),
+              BruteForce(shape, false))
+        << "radius " << radius;
+  }
+}
+
+TEST_F(JoinKernelTest, EmptyShapeProducesNothing) {
+  Rng rng(29);
+  testing_util::FillRandom(&array_, 20, &rng);
+  EXPECT_TRUE(RunKernelSelfJoin(Shape(2), CountLayout()).empty());
+}
+
+TEST_F(JoinKernelTest, RejectsBadMultiplicity) {
+  ASSERT_OK(array_.Set({1, 1}, std::vector<double>{1.0}));
+  const DimMapping mapping = DimMapping::Identity(2);
+  const ViewTarget target{&group_dims_, &view_grid_};
+  std::map<ChunkId, Chunk> fragments;
+  const ChunkId id = array_.ChunkIds()[0];
+  const RightOperand rop{array_.GetChunk(id), id, &array_.grid()};
+  EXPECT_TRUE(JoinAggregateChunkPair(*array_.GetChunk(id), rop, mapping,
+                                     Shape::L1Ball(2, 1), CountLayout(),
+                                     target, 2, &fragments)
+                  .IsInvalidArgument());
+}
+
+TEST_F(JoinKernelTest, GroupByProjectionCollapsesDimensions) {
+  // Group by x only: the view is 1-D.
+  auto view_schema = ArraySchema::Create("V", {{"x", 1, 16, 4}}, {{"cnt"}});
+  ASSERT_OK(view_schema.status());
+  const ChunkGrid view_grid(view_schema.value());
+  std::vector<size_t> group_dims = {0};
+  ASSERT_OK(array_.Set({2, 3}, std::vector<double>{1.0}));
+  ASSERT_OK(array_.Set({2, 9}, std::vector<double>{1.0}));
+  const DimMapping mapping = DimMapping::Identity(2);
+  const ViewTarget target{&group_dims, &view_grid};
+  std::map<ChunkId, Chunk> fragments;
+  const Shape shape = Shape::L1Ball(2, 0);  // self only
+  for (ChunkId p : array_.ChunkIds()) {
+    const RightOperand rop{array_.GetChunk(p), p, &array_.grid()};
+    ASSERT_OK(JoinAggregateChunkPair(*array_.GetChunk(p), rop, mapping, shape,
+                                     CountLayout(), target, 1, &fragments));
+  }
+  // Both cells have x = 2, so a single view cell accumulates count 2.
+  double total = 0;
+  size_t cells = 0;
+  for (const auto& [v, frag] : fragments) {
+    frag.ForEachCell(
+        [&](std::span<const int64_t> coord, std::span<const double> state) {
+          EXPECT_EQ(coord.size(), 1u);
+          EXPECT_EQ(coord[0], 2);
+          total += state[0];
+          ++cells;
+        });
+  }
+  EXPECT_EQ(cells, 1u);
+  EXPECT_EQ(total, 2.0);
+}
+
+TEST(PairEnumerationTest, PartnersCoverShapeReach) {
+  const ArraySchema schema = Make2DSchema("A", 16, 4, 16, 4);
+  const ChunkGrid grid(schema);
+  // Chunk (1,1) covers cells (5..8, 5..8); with L1(1) its reach touches the
+  // 4-neighborhood chunks but not the diagonals.
+  const ChunkId center = grid.IdOfPos({1, 1});
+  auto partners = EnumerateJoinPartners(grid, center, DimMapping::Identity(2),
+                                        Shape::L1Ball(2, 1), grid,
+                                        [](ChunkId) { return true; });
+  EXPECT_EQ(partners.size(), 9u);  // bbox expansion includes diagonals
+  auto no_expand = EnumerateJoinPartners(grid, center,
+                                         DimMapping::Identity(2),
+                                         Shape::L1Ball(2, 0), grid,
+                                         [](ChunkId) { return true; });
+  EXPECT_EQ(no_expand.size(), 1u);
+}
+
+TEST(PairEnumerationTest, ExistenceFilterApplies) {
+  const ArraySchema schema = Make2DSchema("A", 16, 4, 16, 4);
+  const ChunkGrid grid(schema);
+  auto partners = EnumerateJoinPartners(
+      grid, grid.IdOfPos({1, 1}), DimMapping::Identity(2),
+      Shape::LinfBall(2, 1), grid, [&](ChunkId id) { return id % 2 == 0; });
+  for (ChunkId id : partners) EXPECT_EQ(id % 2, 0u);
+}
+
+TEST(PairEnumerationTest, ViewTargetsProjectChunkBox) {
+  const ArraySchema schema = Make2DSchema("A", 16, 4, 16, 4);
+  const ChunkGrid grid(schema);
+  auto view_schema = ArraySchema::Create("V", {{"x", 1, 16, 4}}, {{"cnt"}});
+  ASSERT_OK(view_schema.status());
+  const ChunkGrid view_grid(view_schema.value());
+  auto targets = EnumerateViewTargets(grid, grid.IdOfPos({2, 1}), {0},
+                                      view_grid);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0], 2u);
+}
+
+TEST(PairEnumerationTest, EmptyShapeHasNoPartners) {
+  const ArraySchema schema = Make2DSchema("A", 16, 4, 16, 4);
+  const ChunkGrid grid(schema);
+  auto partners =
+      EnumerateJoinPartners(grid, 0, DimMapping::Identity(2), Shape(2), grid,
+                            [](ChunkId) { return true; });
+  EXPECT_TRUE(partners.empty());
+}
+
+}  // namespace
+}  // namespace avm

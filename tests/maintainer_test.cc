@@ -1,0 +1,331 @@
+#include "maintenance/maintainer.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+using testing_util::MakeCountViewFixture;
+using testing_util::RandomDisjointDelta;
+using testing_util::ViewMatchesRecompute;
+
+TEST(MaintainerTest, MethodNames) {
+  EXPECT_EQ(MaintenanceMethodName(MaintenanceMethod::kBaseline), "baseline");
+  EXPECT_EQ(MaintenanceMethodName(MaintenanceMethod::kDifferential),
+            "differential");
+  EXPECT_EQ(MaintenanceMethodName(MaintenanceMethod::kReassign), "reassign");
+}
+
+// The central correctness property of the whole system: after any sequence
+// of maintained batches, the view equals recomputation from scratch —
+// for every method, shape, and placement strategy.
+struct MaintainCase {
+  std::string name;
+  MaintenanceMethod method;
+  std::string placement;
+  int64_t radius;
+  bool linf;
+  int batches;
+  size_t cells_per_batch;
+};
+
+class MaintainerPropertyTest : public ::testing::TestWithParam<MaintainCase> {
+};
+
+TEST_P(MaintainerPropertyTest, IncrementalEqualsRecompute) {
+  const MaintainCase& param = GetParam();
+  const Shape shape = param.linf ? Shape::LinfBall(2, param.radius)
+                                 : Shape::L1Ball(2, param.radius);
+  ASSERT_OK_AND_ASSIGN(
+      auto fixture,
+      MakeCountViewFixture(4, 150, shape, 100, /*with_sum=*/true,
+                           param.placement));
+  ViewMaintainer maintainer(fixture.view.get(), param.method);
+  Rng rng(200);
+  for (int b = 0; b < param.batches; ++b) {
+    ASSERT_OK_AND_ASSIGN(SparseArray local_base_now,
+                         fixture.view->left_base().Gather());
+    SparseArray delta =
+        RandomDisjointDelta(local_base_now, param.cells_per_batch, &rng);
+    ASSERT_OK_AND_ASSIGN(MaintenanceReport report,
+                         maintainer.ApplyBatch(delta));
+    EXPECT_EQ(report.delta_cells, param.cells_per_batch);
+    ASSERT_TRUE(ViewMatchesRecompute(*fixture.view))
+        << param.name << " diverged at batch " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, MaintainerPropertyTest,
+    ::testing::Values(
+        MaintainCase{"baseline_rr", MaintenanceMethod::kBaseline,
+                     "round-robin", 1, false, 3, 60},
+        MaintainCase{"differential_rr", MaintenanceMethod::kDifferential,
+                     "round-robin", 1, false, 3, 60},
+        MaintainCase{"reassign_rr", MaintenanceMethod::kReassign,
+                     "round-robin", 1, false, 3, 60},
+        MaintainCase{"baseline_hash", MaintenanceMethod::kBaseline, "hash", 1,
+                     true, 3, 50},
+        MaintainCase{"differential_hash", MaintenanceMethod::kDifferential,
+                     "hash", 1, true, 3, 50},
+        MaintainCase{"reassign_hash", MaintenanceMethod::kReassign, "hash", 1,
+                     true, 3, 50},
+        MaintainCase{"reassign_range", MaintenanceMethod::kReassign, "range",
+                     2, true, 3, 50},
+        MaintainCase{"baseline_range", MaintenanceMethod::kBaseline, "range",
+                     2, true, 3, 50},
+        MaintainCase{"reassign_large_shape", MaintenanceMethod::kReassign,
+                     "round-robin", 3, true, 2, 40}),
+    [](const ::testing::TestParamInfo<MaintainCase>& info) {
+      return info.param.name;
+    });
+
+TEST(MaintainerTest, AsymmetricShapeMaintainsCorrectly) {
+  // A backward-looking window (the PTF-5 structure): new cells must update
+  // *older* cells' views in one direction only.
+  auto window = Shape::MinkowskiSum(Shape::L1Ball(2, 1, {1}),
+                                    Shape::Window(2, 0, -6, 0));
+  ASSERT_OK(window.status());
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(3, 120, *window, 300));
+  ViewMaintainer maintainer(fixture.view.get(),
+                            MaintenanceMethod::kReassign);
+  Rng rng(301);
+  for (int b = 0; b < 3; ++b) {
+    ASSERT_OK_AND_ASSIGN(SparseArray base_now,
+                         fixture.view->left_base().Gather());
+    SparseArray delta = RandomDisjointDelta(base_now, 50, &rng);
+    ASSERT_OK(maintainer.ApplyBatch(delta).status());
+    ASSERT_TRUE(ViewMatchesRecompute(*fixture.view)) << "batch " << b;
+  }
+}
+
+TEST(MaintainerTest, EmptyBatchIsANoop) {
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(3, 80, Shape::L1Ball(2, 1), 310));
+  ASSERT_OK_AND_ASSIGN(SparseArray before, fixture.view->array().Gather());
+  ViewMaintainer maintainer(fixture.view.get(),
+                            MaintenanceMethod::kReassign);
+  SparseArray empty(fixture.local_base.schema());
+  ASSERT_OK_AND_ASSIGN(MaintenanceReport report,
+                       maintainer.ApplyBatch(empty));
+  EXPECT_EQ(report.num_pairs, 0u);
+  EXPECT_EQ(report.maintenance_seconds, 0.0);
+  ASSERT_OK_AND_ASSIGN(SparseArray after, fixture.view->array().Gather());
+  EXPECT_TRUE(before.ContentEquals(after));
+}
+
+TEST(MaintainerTest, IrrelevantUpdateTouchesNoViewCell) {
+  // A delta far away from all data with a small shape: no pairs beyond the
+  // delta's own, view gains exactly the new cells' self-counts.
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(3, 0, Shape::L1Ball(2, 1), 311));
+  SparseArray delta(fixture.local_base.schema());
+  ASSERT_OK(delta.Set({30, 20}, std::vector<double>{1.0}));
+  ViewMaintainer maintainer(fixture.view.get(),
+                            MaintenanceMethod::kBaseline);
+  ASSERT_OK(maintainer.ApplyBatch(delta).status());
+  ASSERT_OK_AND_ASSIGN(SparseArray view_now, fixture.view->array().Gather());
+  EXPECT_EQ(view_now.NumCells(), 1u);
+  EXPECT_TRUE(ViewMatchesRecompute(*fixture.view));
+}
+
+TEST(MaintainerTest, BaseArrayReflectsAllBatches) {
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(3, 100, Shape::L1Ball(2, 1), 312));
+  ViewMaintainer maintainer(fixture.view.get(),
+                            MaintenanceMethod::kDifferential);
+  Rng rng(313);
+  SparseArray expected = fixture.local_base.Clone();
+  for (int b = 0; b < 3; ++b) {
+    SparseArray delta = RandomDisjointDelta(expected, 40, &rng);
+    delta.ForEachCell([&](std::span<const int64_t> coord,
+                          std::span<const double> values) {
+      CellCoord c(coord.begin(), coord.end());
+      AVM_CHECK(expected.Set(c, values).ok());
+    });
+    ASSERT_OK(maintainer.ApplyBatch(delta).status());
+  }
+  ASSERT_OK_AND_ASSIGN(SparseArray base_now,
+                       fixture.view->left_base().Gather());
+  EXPECT_TRUE(base_now.ContentEquals(expected));
+}
+
+TEST(MaintainerTest, ReportsPlausibleMetrics) {
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(4, 150, Shape::L1Ball(2, 1), 314));
+  ViewMaintainer maintainer(fixture.view.get(),
+                            MaintenanceMethod::kReassign);
+  Rng rng(315);
+  SparseArray delta = RandomDisjointDelta(fixture.local_base, 60, &rng);
+  ASSERT_OK_AND_ASSIGN(MaintenanceReport report, maintainer.ApplyBatch(delta));
+  EXPECT_GT(report.num_pairs, 0u);
+  EXPECT_GE(report.num_triples, report.num_pairs);
+  EXPECT_GT(report.num_delta_chunks, 0u);
+  EXPECT_GT(report.maintenance_seconds, 0.0);
+  EXPECT_GE(report.optimization_seconds(), report.triple_gen_seconds);
+  EXPECT_GT(report.exec.joins_executed, 0u);
+  EXPECT_GT(report.exec.delta_chunks_merged, 0u);
+  EXPECT_EQ(report.modified_cells, 0u);
+}
+
+TEST(MaintainerTest, HistoryWindowIsBounded) {
+  PlannerOptions options;
+  options.history_window = 3;
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(3, 80, Shape::L1Ball(2, 1), 316));
+  ViewMaintainer maintainer(fixture.view.get(), MaintenanceMethod::kReassign,
+                            options);
+  Rng rng(317);
+  for (int b = 0; b < 6; ++b) {
+    ASSERT_OK_AND_ASSIGN(SparseArray base_now,
+                         fixture.view->left_base().Gather());
+    SparseArray delta = RandomDisjointDelta(base_now, 20, &rng);
+    ASSERT_OK(maintainer.ApplyBatch(delta).status());
+  }
+  EXPECT_EQ(maintainer.history().size(), 3u);
+}
+
+TEST(MaintainerTest, NoReplicasLeakAcrossBatches) {
+  // After maintenance, every store holds only primary copies.
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(4, 100, Shape::LinfBall(2, 1),
+                                            318));
+  ViewMaintainer maintainer(fixture.view.get(),
+                            MaintenanceMethod::kReassign);
+  Rng rng(319);
+  SparseArray delta = RandomDisjointDelta(fixture.local_base, 50, &rng);
+  ASSERT_OK(maintainer.ApplyBatch(delta).status());
+  Catalog* catalog = fixture.catalog.get();
+  Cluster* cluster = fixture.cluster.get();
+  size_t stored = 0;
+  for (NodeId n = -1; n < 4; ++n) {
+    cluster->store(n).ForEach([&](ArrayId array, ChunkId chunk,
+                                  const Chunk&) {
+      auto primary = catalog->NodeOf(array, chunk);
+      ASSERT_TRUE(primary.ok());
+      EXPECT_EQ(primary.value(), n)
+          << "replica of array " << array << " chunk " << chunk
+          << " leaked on node " << n;
+      ++stored;
+    });
+  }
+  // Everything the catalog lists is physically present (counted above).
+  size_t expected = 0;
+  for (const std::string& name : {"base", "view"}) {
+    auto id = catalog->ArrayIdByName(name);
+    ASSERT_OK(id.status());
+    expected += catalog->ChunkIdsOf(*id).size();
+  }
+  EXPECT_EQ(stored, expected);
+}
+
+TEST(MaintainerTest, TwoArrayViewMaintainsUnderLeftAndRightDeltas) {
+  Catalog catalog;
+  Cluster cluster(3);
+  const ArraySchema a_schema = testing_util::Make2DSchema("A");
+  const ArraySchema b_schema = testing_util::Make2DSchema("B");
+  SparseArray a_local(a_schema), b_local(b_schema);
+  Rng rng(320);
+  testing_util::FillRandom(&a_local, 80, &rng);
+  testing_util::FillRandom(&b_local, 80, &rng);
+  ASSERT_OK_AND_ASSIGN(
+      DistributedArray a,
+      DistributedArray::Create(a_schema, MakeRoundRobinPlacement(), &catalog,
+                               &cluster));
+  ASSERT_OK_AND_ASSIGN(
+      DistributedArray b,
+      DistributedArray::Create(b_schema, MakeHashPlacement(), &catalog,
+                               &cluster));
+  ASSERT_OK(a.Ingest(a_local));
+  ASSERT_OK(b.Ingest(b_local));
+  ViewDefinition def;
+  def.view_name = "V";
+  def.left_array = "A";
+  def.right_array = "B";
+  def.mapping = DimMapping::Identity(2);
+  def.shape = Shape::LinfBall(2, 1);
+  def.aggregates = {{AggregateFunction::kCount, 0, "cnt"},
+                    {AggregateFunction::kSum, 0, "s"}};
+  ASSERT_OK_AND_ASSIGN(
+      MaterializedView view,
+      CreateMaterializedView(std::move(def), MakeRoundRobinPlacement(),
+                             &catalog, &cluster));
+  ViewMaintainer maintainer(&view, MaintenanceMethod::kReassign);
+
+  for (int b_idx = 0; b_idx < 2; ++b_idx) {
+    ASSERT_OK_AND_ASSIGN(SparseArray a_now, view.left_base().Gather());
+    ASSERT_OK_AND_ASSIGN(SparseArray b_now, view.right_base().Gather());
+    SparseArray a_delta = RandomDisjointDelta(a_now, 30, &rng);
+    SparseArray b_delta = RandomDisjointDelta(b_now, 30, &rng);
+    ASSERT_OK(maintainer.ApplyBatch(a_delta, &b_delta).status());
+    ASSERT_TRUE(ViewMatchesRecompute(view)) << "batch " << b_idx;
+  }
+}
+
+TEST(MaintainerTest, TwoArrayViewLeftOnlyDelta) {
+  Catalog catalog;
+  Cluster cluster(2);
+  const ArraySchema a_schema = testing_util::Make2DSchema("A");
+  const ArraySchema b_schema = testing_util::Make2DSchema("B");
+  SparseArray a_local(a_schema), b_local(b_schema);
+  Rng rng(321);
+  testing_util::FillRandom(&a_local, 50, &rng);
+  testing_util::FillRandom(&b_local, 50, &rng);
+  ASSERT_OK_AND_ASSIGN(
+      DistributedArray a,
+      DistributedArray::Create(a_schema, MakeRoundRobinPlacement(), &catalog,
+                               &cluster));
+  ASSERT_OK_AND_ASSIGN(
+      DistributedArray b,
+      DistributedArray::Create(b_schema, MakeRoundRobinPlacement(), &catalog,
+                               &cluster));
+  ASSERT_OK(a.Ingest(a_local));
+  ASSERT_OK(b.Ingest(b_local));
+  ViewDefinition def;
+  def.view_name = "V";
+  def.left_array = "A";
+  def.right_array = "B";
+  def.mapping = DimMapping::Identity(2);
+  def.shape = Shape::L1Ball(2, 2);
+  def.aggregates = {{AggregateFunction::kCount, 0, "cnt"}};
+  ASSERT_OK_AND_ASSIGN(
+      MaterializedView view,
+      CreateMaterializedView(std::move(def), MakeRoundRobinPlacement(),
+                             &catalog, &cluster));
+  ViewMaintainer maintainer(&view, MaintenanceMethod::kDifferential);
+  SparseArray a_delta = RandomDisjointDelta(a_local, 25, &rng);
+  ASSERT_OK(maintainer.ApplyBatch(a_delta).status());
+  EXPECT_TRUE(ViewMatchesRecompute(view));
+}
+
+TEST(MaintainerTest, DeterministicAcrossRuns) {
+  auto run = [&](uint64_t seed) -> Result<double> {
+    AVM_ASSIGN_OR_RETURN(
+        auto fixture,
+        MakeCountViewFixture(4, 120, Shape::L1Ball(2, 1), seed));
+    ViewMaintainer maintainer(fixture.view.get(),
+                              MaintenanceMethod::kReassign);
+    Rng rng(seed + 1);
+    double total = 0;
+    for (int b = 0; b < 2; ++b) {
+      AVM_ASSIGN_OR_RETURN(SparseArray base_now,
+                           fixture.view->left_base().Gather());
+      SparseArray delta = RandomDisjointDelta(base_now, 40, &rng);
+      AVM_ASSIGN_OR_RETURN(MaintenanceReport report,
+                           maintainer.ApplyBatch(delta));
+      total += report.maintenance_seconds;
+    }
+    return total;
+  };
+  auto r1 = run(777);
+  auto r2 = run(777);
+  ASSERT_OK(r1.status());
+  ASSERT_OK(r2.status());
+  EXPECT_DOUBLE_EQ(*r1, *r2);
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,108 @@
+#include "maintenance/makespan_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+TEST(MakespanTrackerTest, StartsAtZero) {
+  MakespanTracker tracker(3);
+  EXPECT_DOUBLE_EQ(tracker.CurrentMax(), 0.0);
+}
+
+TEST(MakespanTrackerTest, CommitUpdatesMax) {
+  MakespanTracker tracker(2);
+  tracker.AddNetwork(0, 5.0);
+  EXPECT_DOUBLE_EQ(tracker.CurrentMax(), 5.0);
+  tracker.AddCpu(1, 7.0);
+  EXPECT_DOUBLE_EQ(tracker.CurrentMax(), 7.0);
+  EXPECT_DOUBLE_EQ(tracker.ntwk(0), 5.0);
+  EXPECT_DOUBLE_EQ(tracker.cpu(1), 7.0);
+}
+
+TEST(MakespanTrackerTest, PerNodeMaxOfNtwkAndCpu) {
+  MakespanTracker tracker(1);
+  tracker.AddNetwork(0, 3.0);
+  tracker.AddCpu(0, 2.0);
+  // Overlapped: the node's score is max(3, 2), not 5.
+  EXPECT_DOUBLE_EQ(tracker.CurrentMax(), 3.0);
+}
+
+TEST(MakespanTrackerTest, CoordinatorTrackedButNotScored) {
+  MakespanTracker tracker(2);
+  tracker.AddNetwork(kCoordinatorNode, 9.0);
+  // The coordinator's uplink is recorded but stays out of the objective
+  // (the paper's max ranges over the worker servers).
+  EXPECT_DOUBLE_EQ(tracker.CurrentMax(), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.ntwk(kCoordinatorNode), 9.0);
+  EXPECT_DOUBLE_EQ(tracker.EvalWithDeltas({{kCoordinatorNode, 5.0, 0.0}}),
+                   0.0);
+}
+
+TEST(MakespanTrackerTest, EvalDoesNotMutate) {
+  MakespanTracker tracker(2);
+  tracker.AddNetwork(0, 4.0);
+  const double eval = tracker.EvalWithDeltas({{1, 0.0, 6.0}});
+  EXPECT_DOUBLE_EQ(eval, 6.0);
+  EXPECT_DOUBLE_EQ(tracker.CurrentMax(), 4.0);
+  EXPECT_DOUBLE_EQ(tracker.cpu(1), 0.0);
+}
+
+TEST(MakespanTrackerTest, EvalAggregatesDuplicateNodes) {
+  MakespanTracker tracker(2);
+  const double eval =
+      tracker.EvalWithDeltas({{0, 2.0, 0.0}, {0, 3.0, 0.0}});
+  EXPECT_DOUBLE_EQ(eval, 5.0);
+}
+
+TEST(MakespanTrackerTest, EvalSeesUnaffectedMax) {
+  MakespanTracker tracker(3);
+  tracker.AddCpu(2, 10.0);
+  // A small delta elsewhere cannot reduce the global max.
+  EXPECT_DOUBLE_EQ(tracker.EvalWithDeltas({{0, 1.0, 0.0}}), 10.0);
+}
+
+TEST(MakespanTrackerTest, EvalMatchesCommitResult) {
+  Rng rng(55);
+  MakespanTracker tracker(4);
+  for (int step = 0; step < 200; ++step) {
+    std::vector<MakespanTracker::Delta> deltas;
+    const int n = 1 + static_cast<int>(rng.Uniform(3));
+    for (int i = 0; i < n; ++i) {
+      NodeId node = static_cast<NodeId>(rng.Uniform(5));
+      if (node == 4) node = kCoordinatorNode;
+      deltas.push_back({node, rng.UniformDouble(),
+                        node == kCoordinatorNode ? 0.0 : rng.UniformDouble()});
+    }
+    const double predicted = tracker.EvalWithDeltas(deltas);
+    tracker.Commit(deltas);
+    EXPECT_NEAR(tracker.CurrentMax(), predicted, 1e-12);
+  }
+}
+
+TEST(MakespanTrackerTest, MatchesBruteForceMax) {
+  Rng rng(56);
+  MakespanTracker tracker(5);
+  std::vector<double> ntwk(6, 0.0), cpu(6, 0.0);
+  for (int step = 0; step < 300; ++step) {
+    NodeId node = static_cast<NodeId>(rng.Uniform(6));
+    const size_t index = node == 5 ? 5u : static_cast<size_t>(node);
+    if (node == 5) node = kCoordinatorNode;
+    const double dn = rng.UniformDouble();
+    const double dc = node == kCoordinatorNode ? 0.0 : rng.UniformDouble();
+    tracker.Commit({{node, dn, dc}});
+    ntwk[index] += dn;
+    cpu[index] += dc;
+    double expected = 0.0;
+    for (size_t i = 0; i < 5; ++i) {  // workers only
+      expected = std::max(expected, std::max(ntwk[i], cpu[i]));
+    }
+    ASSERT_NEAR(tracker.CurrentMax(), expected, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace avm

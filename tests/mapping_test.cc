@@ -1,0 +1,114 @@
+#include "join/mapping.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+TEST(DimMappingTest, IdentityMapsCoordsUnchanged) {
+  const DimMapping m = DimMapping::Identity(3);
+  EXPECT_TRUE(m.IsIdentity());
+  EXPECT_EQ(m.Apply({4, 5, 6}), (CellCoord{4, 5, 6}));
+}
+
+TEST(DimMappingTest, OffsetTranslation) {
+  auto m = DimMapping::Create(2, {{0, 10}, {1, -3}});
+  ASSERT_OK(m.status());
+  EXPECT_FALSE(m->IsIdentity());
+  EXPECT_EQ(m->Apply({1, 5}), (CellCoord{11, 2}));
+}
+
+TEST(DimMappingTest, DimensionPermutation) {
+  auto m = DimMapping::Create(2, {{1, 0}, {0, 0}});
+  ASSERT_OK(m.status());
+  EXPECT_EQ(m->Apply({3, 9}), (CellCoord{9, 3}));
+}
+
+TEST(DimMappingTest, DimensionalityReduction) {
+  // A 3-D array mapped onto a 2-D one by dropping dim 0.
+  auto m = DimMapping::Create(3, {{1, 0}, {2, 0}});
+  ASSERT_OK(m.status());
+  EXPECT_EQ(m->num_right_dims(), 2u);
+  EXPECT_EQ(m->Apply({100, 3, 9}), (CellCoord{3, 9}));
+}
+
+TEST(DimMappingTest, RejectsBadSourceDim) {
+  EXPECT_TRUE(DimMapping::Create(2, {{5, 0}}).status().IsInvalidArgument());
+}
+
+TEST(DimMappingTest, RejectsEmptyTerms) {
+  EXPECT_TRUE(DimMapping::Create(2, {}).status().IsInvalidArgument());
+}
+
+TEST(DimMappingTest, ApplyIntoReusesBuffer) {
+  const DimMapping m = DimMapping::Identity(2);
+  CellCoord out;
+  const int64_t raw[2] = {7, 8};
+  m.ApplyInto({raw, 2}, &out);
+  EXPECT_EQ(out, (CellCoord{7, 8}));
+}
+
+TEST(DimMappingTest, ApplyBoxMapsCorners) {
+  auto m = DimMapping::Create(2, {{0, 5}, {1, 0}});
+  ASSERT_OK(m.status());
+  const Box image = m->ApplyBox({{1, 2}, {3, 4}});
+  EXPECT_EQ(image.lo, (CellCoord{6, 2}));
+  EXPECT_EQ(image.hi, (CellCoord{8, 4}));
+}
+
+TEST(DimMappingTest, PreimageBoxIdentity) {
+  const DimMapping m = DimMapping::Identity(2);
+  const Box domain{{1, 1}, {100, 100}};
+  const Box pre = m.PreimageBox({{5, 6}, {7, 8}}, domain);
+  EXPECT_EQ(pre.lo, (CellCoord{5, 6}));
+  EXPECT_EQ(pre.hi, (CellCoord{7, 8}));
+}
+
+TEST(DimMappingTest, PreimageBoxInvertsOffset) {
+  auto m = DimMapping::Create(1, {{0, 10}});
+  ASSERT_OK(m.status());
+  const Box domain{{1}, {100}};
+  const Box pre = m->PreimageBox({{15}, {20}}, domain);
+  EXPECT_EQ(pre.lo[0], 5);
+  EXPECT_EQ(pre.hi[0], 10);
+}
+
+TEST(DimMappingTest, PreimageBoxClipsToDomain) {
+  const DimMapping m = DimMapping::Identity(1);
+  const Box domain{{1}, {10}};
+  const Box pre = m.PreimageBox({{-5}, {3}}, domain);
+  EXPECT_EQ(pre.lo[0], 1);
+  EXPECT_EQ(pre.hi[0], 3);
+}
+
+TEST(DimMappingTest, PreimageBoxUnconstrainedSourceDims) {
+  // Only dim 1 is read; dim 0 stays the full domain.
+  auto m = DimMapping::Create(2, {{1, 0}});
+  ASSERT_OK(m.status());
+  const Box domain{{1, 1}, {50, 60}};
+  const Box pre = m->PreimageBox({{10}, {20}}, domain);
+  EXPECT_EQ(pre.lo, (CellCoord{1, 10}));
+  EXPECT_EQ(pre.hi, (CellCoord{50, 20}));
+}
+
+TEST(DimMappingTest, PreimageBoxCanBeEmpty) {
+  const DimMapping m = DimMapping::Identity(1);
+  const Box domain{{1}, {10}};
+  const Box pre = m.PreimageBox({{20}, {30}}, domain);
+  EXPECT_GT(pre.lo[0], pre.hi[0]);
+}
+
+TEST(DimMappingTest, PreimageRoundTripContainsOriginal) {
+  auto m = DimMapping::Create(2, {{0, 3}, {1, -2}});
+  ASSERT_OK(m.status());
+  const Box domain{{1, 1}, {100, 100}};
+  const Box original{{10, 10}, {20, 20}};
+  const Box pre = m->PreimageBox(m->ApplyBox(original), domain);
+  EXPECT_TRUE(pre.Contains(original.lo));
+  EXPECT_TRUE(pre.Contains(original.hi));
+}
+
+}  // namespace
+}  // namespace avm

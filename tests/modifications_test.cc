@@ -1,0 +1,202 @@
+#include "maintenance/modifications.h"
+
+#include <gtest/gtest.h>
+
+#include "maintenance/maintainer.h"
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+using testing_util::MakeCountViewFixture;
+using testing_util::RandomDisjointDelta;
+using testing_util::ViewMatchesRecompute;
+
+TEST(SplitTest, SeparatesInsertsFromOverwrites) {
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(3, 0, Shape::L1Ball(2, 1), 400));
+  SparseArray seed(fixture.local_base.schema());
+  ASSERT_OK(seed.Set({5, 5}, std::vector<double>{1.0}));
+  ASSERT_OK(fixture.view->left_base().Ingest(seed));
+
+  SparseArray raw(fixture.local_base.schema());
+  ASSERT_OK(raw.Set({5, 5}, std::vector<double>{9.0}));   // overwrite
+  ASSERT_OK(raw.Set({5, 6}, std::vector<double>{2.0}));   // insert
+  SparseArray ins(raw.schema()), mold(raw.schema()), mnew(raw.schema());
+  ASSERT_OK_AND_ASSIGN(
+      ModificationStats stats,
+      SplitInsertsAndModifications(fixture.view->left_base(), raw, &ins,
+                                   &mold, &mnew));
+  EXPECT_EQ(stats.mod_cells, 1u);
+  EXPECT_EQ(ins.NumCells(), 1u);
+  EXPECT_TRUE(ins.Has({5, 6}));
+  EXPECT_EQ((*mold.Get({5, 5}))[0], 1.0);  // the old value snapshot
+  EXPECT_EQ((*mnew.Get({5, 5}))[0], 9.0);
+}
+
+TEST(ModificationsTest, CountViewUnaffectedByOverwrites) {
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(3, 100, Shape::L1Ball(2, 1), 401));
+  ASSERT_OK_AND_ASSIGN(SparseArray view_before,
+                       fixture.view->array().Gather());
+  // Overwrite 20 existing cells with new values.
+  ViewMaintainer maintainer(fixture.view.get(),
+                            MaintenanceMethod::kReassign);
+  SparseArray batch(fixture.local_base.schema());
+  int taken = 0;
+  fixture.local_base.ForEachCell(
+      [&](std::span<const int64_t> coord, std::span<const double>) {
+        if (taken >= 20) return;
+        ++taken;
+        CellCoord c(coord.begin(), coord.end());
+        AVM_CHECK(batch.Set(c, std::vector<double>{555.0}).ok());
+      });
+  ASSERT_OK_AND_ASSIGN(MaintenanceReport report, maintainer.ApplyBatch(batch));
+  EXPECT_EQ(report.modified_cells, 20u);
+  ASSERT_OK_AND_ASSIGN(SparseArray view_after,
+                       fixture.view->array().Gather());
+  EXPECT_TRUE(view_before.ContentEquals(view_after));
+  // The base cells did change.
+  ASSERT_OK_AND_ASSIGN(SparseArray base_now,
+                       fixture.view->left_base().Gather());
+  int changed = 0;
+  batch.ForEachCell([&](std::span<const int64_t> coord,
+                        std::span<const double>) {
+    CellCoord c(coord.begin(), coord.end());
+    auto v = base_now.Get(c);
+    if (v.ok() && (*v)[0] == 555.0) ++changed;
+  });
+  EXPECT_EQ(changed, 20);
+}
+
+TEST(ModificationsTest, SumViewCorrectedExactly) {
+  ASSERT_OK_AND_ASSIGN(
+      auto fixture,
+      MakeCountViewFixture(3, 120, Shape::L1Ball(2, 1), 402,
+                           /*with_sum=*/true));
+  ViewMaintainer maintainer(fixture.view.get(),
+                            MaintenanceMethod::kReassign);
+  // A batch mixing inserts and overwrites.
+  Rng rng(403);
+  SparseArray batch = RandomDisjointDelta(fixture.local_base, 30, &rng);
+  int overwrites = 0;
+  fixture.local_base.ForEachCell(
+      [&](std::span<const int64_t> coord, std::span<const double> values) {
+        if (overwrites >= 15) return;
+        ++overwrites;
+        CellCoord c(coord.begin(), coord.end());
+        AVM_CHECK(batch.Set(c, std::vector<double>{values[0] + 1000.0}).ok());
+      });
+  ASSERT_OK_AND_ASSIGN(MaintenanceReport report, maintainer.ApplyBatch(batch));
+  EXPECT_EQ(report.modified_cells, 15u);
+  EXPECT_TRUE(ViewMatchesRecompute(*fixture.view));
+}
+
+TEST(ModificationsTest, RepeatedOverwritesOfSameCells) {
+  ASSERT_OK_AND_ASSIGN(
+      auto fixture,
+      MakeCountViewFixture(3, 60, Shape::LinfBall(2, 1), 404,
+                           /*with_sum=*/true));
+  ViewMaintainer maintainer(fixture.view.get(),
+                            MaintenanceMethod::kDifferential);
+  CellCoord victim;
+  fixture.local_base.ForEachCell(
+      [&](std::span<const int64_t> coord, std::span<const double>) {
+        if (victim.empty()) victim.assign(coord.begin(), coord.end());
+      });
+  ASSERT_FALSE(victim.empty());
+  for (double value : {7.0, 13.0, 2.0}) {
+    SparseArray batch(fixture.local_base.schema());
+    ASSERT_OK(batch.Set(victim, std::vector<double>{value}));
+    ASSERT_OK(maintainer.ApplyBatch(batch).status());
+    ASSERT_TRUE(ViewMatchesRecompute(*fixture.view)) << "value " << value;
+  }
+}
+
+TEST(ModificationsTest, MixedBatchAcrossMethods) {
+  for (MaintenanceMethod method :
+       {MaintenanceMethod::kBaseline, MaintenanceMethod::kDifferential,
+        MaintenanceMethod::kReassign}) {
+    ASSERT_OK_AND_ASSIGN(
+        auto fixture,
+        MakeCountViewFixture(3, 100, Shape::L1Ball(2, 1), 405,
+                             /*with_sum=*/true));
+    ViewMaintainer maintainer(fixture.view.get(), method);
+    Rng rng(406);
+    SparseArray batch = RandomDisjointDelta(fixture.local_base, 20, &rng);
+    int overwrites = 0;
+    fixture.local_base.ForEachCell(
+        [&](std::span<const int64_t> coord, std::span<const double>) {
+          if (overwrites >= 10) return;
+          ++overwrites;
+          CellCoord c(coord.begin(), coord.end());
+          AVM_CHECK(batch.Set(c, std::vector<double>{3.14}).ok());
+        });
+    ASSERT_OK(maintainer.ApplyBatch(batch).status());
+    ASSERT_TRUE(ViewMatchesRecompute(*fixture.view))
+        << MaintenanceMethodName(method);
+  }
+}
+
+TEST(ModificationsTest, MinMaxViewRejectsOverwrites) {
+  // Build a MIN view manually; overwrites cannot be retracted.
+  Catalog catalog;
+  Cluster cluster(2);
+  const ArraySchema schema = testing_util::Make2DSchema("base");
+  SparseArray local(schema);
+  ASSERT_OK(local.Set({5, 5}, std::vector<double>{1.0}));
+  ASSERT_OK(local.Set({5, 6}, std::vector<double>{2.0}));
+  ASSERT_OK_AND_ASSIGN(
+      DistributedArray base,
+      DistributedArray::Create(schema, MakeRoundRobinPlacement(), &catalog,
+                               &cluster));
+  ASSERT_OK(base.Ingest(local));
+  ViewDefinition def;
+  def.view_name = "V";
+  def.left_array = "base";
+  def.right_array = "base";
+  def.mapping = DimMapping::Identity(2);
+  def.shape = Shape::L1Ball(2, 1);
+  def.aggregates = {{AggregateFunction::kMin, 0, "mn"}};
+  ASSERT_OK_AND_ASSIGN(
+      MaterializedView view,
+      CreateMaterializedView(std::move(def), MakeRoundRobinPlacement(),
+                             &catalog, &cluster));
+  ViewMaintainer maintainer(&view, MaintenanceMethod::kBaseline);
+  SparseArray batch(schema);
+  ASSERT_OK(batch.Set({5, 5}, std::vector<double>{0.5}));  // overwrite
+  EXPECT_TRUE(maintainer.ApplyBatch(batch).status().IsFailedPrecondition());
+}
+
+TEST(ModificationsTest, MinMaxViewAcceptsPureInserts) {
+  Catalog catalog;
+  Cluster cluster(2);
+  const ArraySchema schema = testing_util::Make2DSchema("base");
+  SparseArray local(schema);
+  Rng rng(407);
+  testing_util::FillRandom(&local, 60, &rng);
+  ASSERT_OK_AND_ASSIGN(
+      DistributedArray base,
+      DistributedArray::Create(schema, MakeRoundRobinPlacement(), &catalog,
+                               &cluster));
+  ASSERT_OK(base.Ingest(local));
+  ViewDefinition def;
+  def.view_name = "V";
+  def.left_array = "base";
+  def.right_array = "base";
+  def.mapping = DimMapping::Identity(2);
+  def.shape = Shape::L1Ball(2, 1);
+  def.aggregates = {{AggregateFunction::kMin, 0, "mn"},
+                    {AggregateFunction::kMax, 0, "mx"}};
+  ASSERT_OK_AND_ASSIGN(
+      MaterializedView view,
+      CreateMaterializedView(std::move(def), MakeRoundRobinPlacement(),
+                             &catalog, &cluster));
+  ViewMaintainer maintainer(&view, MaintenanceMethod::kReassign);
+  SparseArray delta = RandomDisjointDelta(local, 30, &rng);
+  ASSERT_OK(maintainer.ApplyBatch(delta).status());
+  EXPECT_TRUE(ViewMatchesRecompute(view));
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,138 @@
+#include "maintenance/objective.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+/// A hand-built two-pair triple set on 2 workers:
+///   pair 0: delta chunk 1 (coordinator, 100 B) x base chunk 2 (node 0,
+///           300 B), affecting view chunk 1 (node 1, 50 B)
+///   pair 1: delta chunk 1 x delta chunk 3 (coordinator, 200 B), affecting
+///           view chunk 3 (new)
+TripleSet MakeTriples() {
+  TripleSet triples;
+  const MChunkRef d1{ChunkSide::kLeftDelta, 1};
+  const MChunkRef b2{ChunkSide::kLeftBase, 2};
+  const MChunkRef d3{ChunkSide::kLeftDelta, 3};
+  triples.location[d1] = kCoordinatorNode;
+  triples.location[b2] = 0;
+  triples.location[d3] = kCoordinatorNode;
+  triples.bytes[d1] = 100;
+  triples.bytes[b2] = 300;
+  triples.bytes[d3] = 200;
+  JoinPair p0;
+  p0.a = b2;
+  p0.b = d1;
+  p0.dir_ab = p0.dir_ba = true;
+  p0.bytes = 400;
+  p0.view_targets_ab = {1};
+  JoinPair p1;
+  p1.a = d1;
+  p1.b = d3;
+  p1.dir_ab = true;
+  p1.bytes = 300;
+  p1.view_targets_ab = {3};
+  triples.pairs = {p0, p1};
+  triples.view_location[1] = 1;
+  triples.view_bytes[1] = 50;
+  return triples;
+}
+
+CostModel UnitCost() {
+  CostModel cost;
+  cost.t_ntwk_per_byte = 1.0;  // 1 second per byte: easy arithmetic
+  cost.t_cpu_per_byte = 0.5;
+  return cost;
+}
+
+TEST(ObjectiveTest, HandComputedPlanCost) {
+  const TripleSet triples = MakeTriples();
+  MaintenancePlan plan;
+  // Join both pairs at node 1; ship d1 from the coordinator and b2 from 0.
+  plan.transfers.push_back({{ChunkSide::kLeftDelta, 1}, kCoordinatorNode, 1});
+  plan.transfers.push_back({{ChunkSide::kLeftBase, 2}, 0, 1});
+  plan.transfers.push_back({{ChunkSide::kLeftDelta, 3}, kCoordinatorNode, 1});
+  plan.joins.push_back({0, 1});
+  plan.joins.push_back({1, 1});
+  plan.view_home[1] = 1;  // merge local to the join node
+  plan.view_home[3] = 0;  // new chunk homed elsewhere -> merge term fires
+  ASSERT_OK_AND_ASSIGN(
+      ObjectiveBreakdown breakdown,
+      EvaluateCurrentBatchObjective(plan, triples, 2, UnitCost()));
+  // Node 0 sends b2 (300 B): ntwk[0] = 300. The coordinator (slot 2) sends
+  // d1 + d3 = 300 but is not scored. Joins at node 1: cpu[1] = 0.5 * (400 +
+  // 300) = 350. Merge term: pair 1's result (300 B) ships from node 1 to
+  // view chunk 3's home 0: ntwk[1] = 300; pair 0 merges locally.
+  EXPECT_DOUBLE_EQ(breakdown.ntwk[0], 300.0);
+  EXPECT_DOUBLE_EQ(breakdown.ntwk[1], 300.0);
+  EXPECT_DOUBLE_EQ(breakdown.ntwk[2], 300.0);  // coordinator, informational
+  EXPECT_DOUBLE_EQ(breakdown.cpu[1], 350.0);
+  EXPECT_DOUBLE_EQ(breakdown.Makespan(), 350.0);  // max over workers only
+}
+
+TEST(ObjectiveTest, MergeTermToggles) {
+  const TripleSet triples = MakeTriples();
+  MaintenancePlan plan;
+  plan.joins.push_back({0, 0});  // join where both operands... (cost only)
+  plan.joins.push_back({1, 0});
+  plan.view_home[1] = 1;  // remote merge from node 0
+  plan.view_home[3] = 0;
+  ASSERT_OK_AND_ASSIGN(
+      ObjectiveBreakdown with_merge,
+      EvaluateCurrentBatchObjective(plan, triples, 2, UnitCost(), true));
+  ASSERT_OK_AND_ASSIGN(
+      ObjectiveBreakdown without_merge,
+      EvaluateCurrentBatchObjective(plan, triples, 2, UnitCost(), false));
+  // With the merge term, pair 0's 400 B result ships 0 -> 1.
+  EXPECT_DOUBLE_EQ(with_merge.ntwk[0] - without_merge.ntwk[0], 400.0);
+}
+
+TEST(ObjectiveTest, ViewRelocationCharged) {
+  const TripleSet triples = MakeTriples();
+  MaintenancePlan plan;
+  plan.joins.push_back({0, 1});
+  plan.joins.push_back({1, 1});
+  plan.view_home[1] = 0;  // move the existing 50 B view chunk off node 1
+  plan.view_home[3] = 1;
+  ASSERT_OK_AND_ASSIGN(
+      ObjectiveBreakdown breakdown,
+      EvaluateCurrentBatchObjective(plan, triples, 2, UnitCost(), true));
+  // Node 1 ships pair 0's result (400) to node 0, plus the view chunk move
+  // (50): 450.
+  EXPECT_DOUBLE_EQ(breakdown.ntwk[1], 450.0);
+}
+
+TEST(ObjectiveTest, RejectsUnknownChunksAndPairs) {
+  const TripleSet triples = MakeTriples();
+  MaintenancePlan bad_transfer;
+  bad_transfer.transfers.push_back({{ChunkSide::kLeftBase, 99}, 0, 1});
+  EXPECT_TRUE(
+      EvaluateCurrentBatchObjective(bad_transfer, triples, 2, UnitCost())
+          .status()
+          .IsInvalidArgument());
+  MaintenancePlan bad_join;
+  bad_join.joins.push_back({7, 0});
+  EXPECT_TRUE(EvaluateCurrentBatchObjective(bad_join, triples, 2, UnitCost())
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(EvaluateCurrentBatchObjective(MaintenancePlan{}, triples, 0,
+                                            UnitCost())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ObjectiveTest, AllViewTargetsCacheMatchesRecompute) {
+  JoinPair pair;
+  pair.view_targets_ab = {3, 1};
+  pair.view_targets_ba = {2, 3};
+  // Lazily computed union is sorted and deduplicated.
+  EXPECT_EQ(pair.AllViewTargets(), (std::vector<ChunkId>{1, 2, 3}));
+  // Idempotent.
+  EXPECT_EQ(pair.AllViewTargets(), (std::vector<ChunkId>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,193 @@
+// Reproductions of the paper's worked examples: Figure 1 (the running
+// array/view example), Figure 7 (Algorithm 1's candidate evaluation), and
+// Table 2 (Algorithm 2's candidate evaluation).
+
+#include <gtest/gtest.h>
+
+#include "maintenance/maintainer.h"
+#include "maintenance/makespan_tracker.h"
+#include "tests/test_util.h"
+#include "view/materialized_view.h"
+
+namespace avm {
+namespace {
+
+/// Builds the paper's A<r,s>[i=1,6,2; j=1,8,2] with the six initial cells of
+/// Figure 1(a), distributed round-robin over 3 workers, plus the COUNT view.
+struct Figure1 {
+  Catalog catalog;
+  Cluster cluster{3};
+  std::unique_ptr<MaterializedView> view;
+
+  static constexpr struct {
+    int64_t i, j;
+    double r, s;
+  } kInitial[6] = {{1, 2, 2, 5}, {1, 3, 6, 3}, {2, 8, 2, 9},
+                   {4, 4, 2, 1}, {5, 1, 4, 8}, {6, 2, 4, 3}};
+  static constexpr struct {
+    int64_t i, j;
+    double r, s;
+  } kInserts[7] = {{1, 5, 5, 6}, {2, 1, 1, 4}, {2, 3, 4, 9}, {4, 2, 3, 3},
+                   {4, 4, 8, 5}, {5, 4, 2, 6}, {5, 6, 9, 2}};
+
+  Status Build() {
+    AVM_ASSIGN_OR_RETURN(
+        ArraySchema schema,
+        ArraySchema::Create("A", {{"i", 1, 6, 2}, {"j", 1, 8, 2}},
+                            {{"r"}, {"s"}}));
+    SparseArray initial(schema);
+    for (const auto& c : kInitial) {
+      AVM_RETURN_IF_ERROR(
+          initial.Set({c.i, c.j}, std::vector<double>{c.r, c.s}));
+    }
+    AVM_ASSIGN_OR_RETURN(
+        DistributedArray base,
+        DistributedArray::Create(schema, MakeRoundRobinPlacement(), &catalog,
+                                 &cluster));
+    AVM_RETURN_IF_ERROR(base.Ingest(initial));
+    ViewDefinition def;
+    def.view_name = "V";
+    def.left_array = "A";
+    def.right_array = "A";
+    def.mapping = DimMapping::Identity(2);
+    def.shape = Shape::L1Ball(2, 1);
+    def.aggregates = {{AggregateFunction::kCount, 0, "cnt"}};
+    AVM_ASSIGN_OR_RETURN(
+        MaterializedView v,
+        CreateMaterializedView(std::move(def), MakeRoundRobinPlacement(),
+                               &catalog, &cluster));
+    view = std::make_unique<MaterializedView>(std::move(v));
+    return Status::OK();
+  }
+
+  SparseArray InsertBatch() const {
+    ArraySchema schema = view->left_base().schema();
+    SparseArray batch(schema);
+    for (const auto& c : kInserts) {
+      AVM_CHECK(batch.Set({c.i, c.j}, std::vector<double>{c.r, c.s}).ok());
+    }
+    return batch;
+  }
+};
+
+double CountAt(const SparseArray& finalized, int64_t i, int64_t j) {
+  auto v = finalized.Get({i, j});
+  return v.ok() ? (*v)[0] : -1.0;
+}
+
+TEST(PaperFigure1Test, InitialViewMatchesFigure1a) {
+  Figure1 fig;
+  ASSERT_OK(fig.Build());
+  ASSERT_OK_AND_ASSIGN(SparseArray v, fig.view->GatherFinalized());
+  // Figure 1(a): V[1,2] = V[1,3] = 2 (the only adjacent pair); all other
+  // non-empty cells count only themselves.
+  EXPECT_EQ(CountAt(v, 1, 2), 2.0);
+  EXPECT_EQ(CountAt(v, 1, 3), 2.0);
+  EXPECT_EQ(CountAt(v, 2, 8), 1.0);
+  EXPECT_EQ(CountAt(v, 4, 4), 1.0);
+  EXPECT_EQ(CountAt(v, 5, 1), 1.0);
+  EXPECT_EQ(CountAt(v, 6, 2), 1.0);
+  EXPECT_EQ(v.NumCells(), 6u);
+}
+
+class PaperFigure1MaintenanceTest
+    : public ::testing::TestWithParam<MaintenanceMethod> {};
+
+TEST_P(PaperFigure1MaintenanceTest, MaintainedViewMatchesFigure1b) {
+  Figure1 fig;
+  ASSERT_OK(fig.Build());
+  ViewMaintainer maintainer(fig.view.get(), GetParam());
+  ASSERT_OK_AND_ASSIGN(MaintenanceReport report,
+                       maintainer.ApplyBatch(fig.InsertBatch()));
+  // The [4,4] insert overwrites an existing detection.
+  EXPECT_EQ(report.modified_cells, 1u);
+  ASSERT_OK_AND_ASSIGN(SparseArray v, fig.view->GatherFinalized());
+  // Hand-computed neighbor counts over the final 12 cells.
+  EXPECT_EQ(CountAt(v, 1, 2), 2.0);
+  EXPECT_EQ(CountAt(v, 1, 3), 3.0);
+  EXPECT_EQ(CountAt(v, 1, 5), 1.0);
+  EXPECT_EQ(CountAt(v, 2, 1), 1.0);
+  EXPECT_EQ(CountAt(v, 2, 3), 2.0);
+  EXPECT_EQ(CountAt(v, 2, 8), 1.0);
+  EXPECT_EQ(CountAt(v, 4, 2), 1.0);
+  EXPECT_EQ(CountAt(v, 4, 4), 2.0);
+  EXPECT_EQ(CountAt(v, 5, 1), 1.0);
+  EXPECT_EQ(CountAt(v, 5, 4), 2.0);
+  EXPECT_EQ(CountAt(v, 5, 6), 1.0);
+  EXPECT_EQ(CountAt(v, 6, 2), 1.0);
+  EXPECT_EQ(v.NumCells(), 12u);
+  EXPECT_TRUE(testing_util::ViewMatchesRecompute(*fig.view));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, PaperFigure1MaintenanceTest,
+                         ::testing::Values(MaintenanceMethod::kBaseline,
+                                           MaintenanceMethod::kDifferential,
+                                           MaintenanceMethod::kReassign));
+
+TEST(PaperFigure7Test, Algorithm1CandidateEvaluation) {
+  // Figure 7's state while processing the triple (∆A7, A2, *): unit chunks,
+  // Tntwk = 4, Tcpu = 1. Server X holds ∆A7 (S = X), server Y holds A2.
+  //   X: ntwk 0, cpu 4;  Y: ntwk 4, cpu 2;  Z: ntwk 4, cpu 0.
+  MakespanTracker tracker(3);
+  tracker.Commit({{0, 0.0, 4.0}, {1, 4.0, 2.0}, {2, 4.0, 0.0}});
+  const double kTntwk = 4.0;  // per unit chunk
+  const double kTcpu = 1.0;
+  const double kBpq = 2.0;  // two unit chunks joined
+
+  // Join at X: ship A2 from Y (4), compute 2 at X -> opt_now = 8.
+  EXPECT_DOUBLE_EQ(
+      tracker.EvalWithDeltas({{1, kTntwk, 0.0}, {0, 0.0, kBpq * kTcpu}}),
+      8.0);
+  // Join at Y: ship ∆A7 from X (4), compute 2 at Y -> opt_now = 4.
+  EXPECT_DOUBLE_EQ(
+      tracker.EvalWithDeltas({{0, kTntwk, 0.0}, {1, 0.0, kBpq * kTcpu}}),
+      4.0);
+  // Join at Z: ship both, compute at Z -> opt_now = 8.
+  EXPECT_DOUBLE_EQ(
+      tracker.EvalWithDeltas(
+          {{0, kTntwk, 0.0}, {1, kTntwk, 0.0}, {2, 0.0, kBpq * kTcpu}}),
+      8.0);
+  // The paper selects Y.
+}
+
+TEST(PaperTable2Test, Algorithm2CandidateEvaluation) {
+  // Table 2's state after stage 1: ntwk = {32, 36, 30}, cpu = {36, 30, 35};
+  // joins J1, J2 at X, J3 at Y; per-join result transfer 4, merge CPU 2.
+  MakespanTracker tracker(3);
+  tracker.Commit({{0, 32.0, 36.0}, {1, 36.0, 30.0}, {2, 30.0, 35.0}});
+  const double kShip = 4.0;
+  const double kMerge = 2.0;
+
+  // V1 -> X: J3 ships from Y, three merges at X -> 42.
+  EXPECT_DOUBLE_EQ(tracker.EvalWithDeltas({{1, kShip, 0.0},
+                                           {0, 0.0, 3 * kMerge}}),
+                   42.0);
+  // V1 -> Y: J1 and J2 ship from X, three merges at Y -> 40.
+  EXPECT_DOUBLE_EQ(tracker.EvalWithDeltas({{0, 2 * kShip, 0.0},
+                                           {1, 0.0, 3 * kMerge}}),
+                   40.0);
+  // V1 -> Z: all three ship, three merges at Z -> 41.
+  EXPECT_DOUBLE_EQ(tracker.EvalWithDeltas({{0, 2 * kShip, 0.0},
+                                           {1, kShip, 0.0},
+                                           {2, 0.0, 3 * kMerge}}),
+                   41.0);
+  // The paper moves V1 to Y.
+}
+
+TEST(PaperExampleTest, ChunkNumberingMatchesFigure1) {
+  // Figure 1 numbers the six occupied chunks 1..6 in row-major order; our
+  // ids are the dense row-major linearization of the full 3x4 grid.
+  ASSERT_OK_AND_ASSIGN(
+      ArraySchema schema,
+      ArraySchema::Create("A", {{"i", 1, 6, 2}, {"j", 1, 8, 2}},
+                          {{"r"}, {"s"}}));
+  const ChunkGrid grid(schema);
+  // Chunk "1" holds cells (1..2, 1..2), ..., chunk "8" (paper numbering,
+  // new) holds cells (5..6, 5..6).
+  EXPECT_EQ(grid.IdOfCell({1, 2}), grid.IdOfCell({2, 1}));
+  EXPECT_NE(grid.IdOfCell({1, 2}), grid.IdOfCell({1, 3}));
+  EXPECT_EQ(grid.IdOfCell({5, 6}), grid.IdOfPos({2, 2}));
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,201 @@
+#include "query/query_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "join/reference.h"
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+using testing_util::MakeCountViewFixture;
+
+/// The reference answer for a query shape over the view's base data.
+Result<SparseArray> ReferenceAnswer(const testing_util::ViewFixture& fixture,
+                                    const Shape& query_shape) {
+  SimilarityJoinSpec spec = fixture.view->JoinSpec();
+  spec.shape = query_shape;
+  AVM_ASSIGN_OR_RETURN(SparseArray base, fixture.view->left_base().Gather());
+  return ReferenceJoinAggregate(base, base, spec,
+                                fixture.view->array().schema());
+}
+
+TEST(QueryPlannerTest, StrategyNames) {
+  EXPECT_EQ(QueryStrategyName(QueryStrategy::kDifferentialOnView),
+            "differential-on-view");
+  EXPECT_EQ(QueryStrategyName(QueryStrategy::kCompleteJoin), "complete-join");
+}
+
+TEST(QueryPlannerTest, DifferentialAnswerMatchesReference) {
+  // View: L1(1); query: L∞(1) — the paper's 4/9 case where the view wins.
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(3, 150, Shape::L1Ball(2, 1), 500,
+                                            /*with_sum=*/true));
+  SimilarityQueryPlanner planner(fixture.view.get());
+  const Shape query = Shape::LinfBall(2, 1);
+  ASSERT_OK_AND_ASSIGN(
+      auto outcome,
+      planner.Execute(query, QueryStrategy::kDifferentialOnView));
+  ASSERT_OK_AND_ASSIGN(SparseArray reference,
+                       ReferenceAnswer(fixture, query));
+  EXPECT_TRUE(outcome.states.ContentEquals(reference, 1e-9));
+}
+
+TEST(QueryPlannerTest, CompleteJoinAnswerMatchesReference) {
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(3, 150, Shape::L1Ball(2, 1), 501));
+  SimilarityQueryPlanner planner(fixture.view.get());
+  const Shape query = Shape::LinfBall(2, 1);
+  ASSERT_OK_AND_ASSIGN(auto outcome,
+                       planner.Execute(query, QueryStrategy::kCompleteJoin));
+  ASSERT_OK_AND_ASSIGN(SparseArray reference,
+                       ReferenceAnswer(fixture, query));
+  EXPECT_TRUE(outcome.states.ContentEquals(reference, 1e-9));
+}
+
+TEST(QueryPlannerTest, BothStrategiesAgreeWithEachOther) {
+  // Shrinking query (pure retraction): view L∞(2), query L∞(1).
+  ASSERT_OK_AND_ASSIGN(
+      auto fixture,
+      MakeCountViewFixture(3, 120, Shape::LinfBall(2, 2), 502,
+                           /*with_sum=*/true));
+  SimilarityQueryPlanner planner(fixture.view.get());
+  const Shape query = Shape::LinfBall(2, 1);
+  ASSERT_OK_AND_ASSIGN(
+      auto with_view,
+      planner.Execute(query, QueryStrategy::kDifferentialOnView));
+  ASSERT_OK_AND_ASSIGN(auto complete,
+                       planner.Execute(query, QueryStrategy::kCompleteJoin));
+  EXPECT_TRUE(with_view.states.ContentEquals(complete.states, 1e-9));
+}
+
+TEST(QueryPlannerTest, IdenticalShapeQueryIsTheViewItself) {
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(3, 100, Shape::L1Ball(2, 1), 503));
+  SimilarityQueryPlanner planner(fixture.view.get());
+  ASSERT_OK_AND_ASSIGN(
+      auto outcome,
+      planner.Execute(Shape::L1Ball(2, 1),
+                      QueryStrategy::kDifferentialOnView));
+  ASSERT_OK_AND_ASSIGN(SparseArray view_states,
+                       fixture.view->array().Gather());
+  EXPECT_TRUE(outcome.states.ContentEquals(view_states, 1e-9));
+  // And the estimate strongly favors the view (∆ is empty).
+  EXPECT_EQ(outcome.estimate.delta_shape_size, 0u);
+  EXPECT_EQ(outcome.estimate.chosen, QueryStrategy::kDifferentialOnView);
+}
+
+TEST(QueryPlannerTest, EstimateRatioDrivesChoice) {
+  // Small ∆/query ratio -> view; large ratio -> complete join (the paper's
+  // Figure 6 logic).
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(4, 200, Shape::L1Ball(2, 1), 504));
+  SimilarityQueryPlanner planner(fixture.view.get());
+  // Query L∞(1) from view L1(1): ratio 4/9 < 1.
+  ASSERT_OK_AND_ASSIGN(QueryCostEstimate small_delta,
+                       planner.Estimate(Shape::LinfBall(2, 1)));
+  EXPECT_LT(small_delta.DeltaRatio(), 1.0);
+  EXPECT_EQ(small_delta.chosen, QueryStrategy::kDifferentialOnView);
+  // Query L∞(3) from view L1(1): ∆ = 49-5+0... |plus|=44, ratio ~0.9 — use
+  // an even bigger mismatch: L∞(4), |query| = 81, |plus| = 76 plus 0 minus.
+  ASSERT_OK_AND_ASSIGN(QueryCostEstimate big_delta,
+                       planner.Estimate(Shape::LinfBall(2, 4)));
+  EXPECT_GT(big_delta.DeltaRatio(), 0.9);
+  EXPECT_GE(big_delta.with_view_seconds,
+            small_delta.with_view_seconds * 0.9);
+}
+
+TEST(QueryPlannerTest, ExecutePicksEstimatedWinner) {
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(3, 100, Shape::L1Ball(2, 1), 505));
+  SimilarityQueryPlanner planner(fixture.view.get());
+  ASSERT_OK_AND_ASSIGN(auto outcome, planner.Execute(Shape::LinfBall(2, 1)));
+  EXPECT_EQ(outcome.used, outcome.estimate.chosen);
+  EXPECT_GT(outcome.sim_seconds, 0.0);
+}
+
+TEST(QueryPlannerTest, GrowingAndShrinkingDelta) {
+  // View L2(2) vs query L∞(2): both plus and minus components non-empty.
+  ASSERT_OK_AND_ASSIGN(
+      auto fixture,
+      MakeCountViewFixture(3, 120, Shape::L2Ball(2, 2.0), 506,
+                           /*with_sum=*/true));
+  SimilarityQueryPlanner planner(fixture.view.get());
+  const Shape query = Shape::LinfBall(2, 2);
+  ASSERT_OK_AND_ASSIGN(
+      auto outcome,
+      planner.Execute(query, QueryStrategy::kDifferentialOnView));
+  ASSERT_OK_AND_ASSIGN(SparseArray reference,
+                       ReferenceAnswer(fixture, query));
+  EXPECT_TRUE(outcome.states.ContentEquals(reference, 1e-9));
+}
+
+TEST(QueryPlannerTest, ViewStaysIntactAfterQueries) {
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(3, 100, Shape::L1Ball(2, 1), 507));
+  ASSERT_OK_AND_ASSIGN(SparseArray before, fixture.view->array().Gather());
+  SimilarityQueryPlanner planner(fixture.view.get());
+  ASSERT_OK(planner.Execute(Shape::LinfBall(2, 1)).status());
+  ASSERT_OK(
+      planner.Execute(Shape::L1Ball(2, 2), QueryStrategy::kCompleteJoin)
+          .status());
+  ASSERT_OK_AND_ASSIGN(SparseArray after, fixture.view->array().Gather());
+  EXPECT_TRUE(before.ContentEquals(after));
+}
+
+TEST(QueryPlannerTest, RepeatedQueriesDoNotLeakArrays) {
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(3, 80, Shape::L1Ball(2, 1), 508));
+  SimilarityQueryPlanner planner(fixture.view.get());
+  const size_t arrays_before = fixture.catalog->NumArrays();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK(planner.Execute(Shape::LinfBall(2, 1)).status());
+  }
+  // Transient result arrays are unregistered (ids grow, live count stable).
+  size_t live = 0;
+  for (const std::string& name : {"base", "view"}) {
+    if (fixture.catalog->ArrayIdByName(name).ok()) ++live;
+  }
+  EXPECT_EQ(live, 2u);
+  (void)arrays_before;
+}
+
+TEST(QueryPlannerTest, MinViewCannotRetractDelta) {
+  Catalog catalog;
+  Cluster cluster(2);
+  const ArraySchema schema = testing_util::Make2DSchema("base");
+  SparseArray local(schema);
+  Rng rng(509);
+  testing_util::FillRandom(&local, 50, &rng);
+  ASSERT_OK_AND_ASSIGN(
+      DistributedArray base,
+      DistributedArray::Create(schema, MakeRoundRobinPlacement(), &catalog,
+                               &cluster));
+  ASSERT_OK(base.Ingest(local));
+  ViewDefinition def;
+  def.view_name = "V";
+  def.left_array = "base";
+  def.right_array = "base";
+  def.mapping = DimMapping::Identity(2);
+  def.shape = Shape::LinfBall(2, 2);
+  def.aggregates = {{AggregateFunction::kMax, 0, "mx"}};
+  ASSERT_OK_AND_ASSIGN(
+      MaterializedView view,
+      CreateMaterializedView(std::move(def), MakeRoundRobinPlacement(),
+                             &catalog, &cluster));
+  SimilarityQueryPlanner planner(&view);
+  // Query L∞(1) requires retracting the view's outer ring: impossible for
+  // MAX.
+  EXPECT_TRUE(planner
+                  .Execute(Shape::LinfBall(2, 1),
+                           QueryStrategy::kDifferentialOnView)
+                  .status()
+                  .IsFailedPrecondition());
+  // The complete join still works.
+  EXPECT_OK(planner.Execute(Shape::LinfBall(2, 1),
+                            QueryStrategy::kCompleteJoin)
+                .status());
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,130 @@
+#include "array/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+TEST(DimensionSpecTest, ExtentAndChunks) {
+  DimensionSpec d{"i", 1, 6, 2};
+  EXPECT_EQ(d.Extent(), 6);
+  EXPECT_EQ(d.NumChunks(), 3);
+}
+
+TEST(DimensionSpecTest, RaggedLastChunk) {
+  DimensionSpec d{"i", 1, 7, 2};
+  EXPECT_EQ(d.NumChunks(), 4);
+}
+
+TEST(DimensionSpecTest, NonUnitOrigin) {
+  DimensionSpec d{"i", 5, 14, 5};
+  EXPECT_EQ(d.Extent(), 10);
+  EXPECT_EQ(d.NumChunks(), 2);
+}
+
+TEST(ArraySchemaTest, CreateValid) {
+  auto schema = ArraySchema::Create("A", {{"i", 1, 6, 2}, {"j", 1, 8, 2}},
+                                    {{"r"}, {"s"}});
+  ASSERT_OK(schema.status());
+  EXPECT_EQ(schema->num_dims(), 2u);
+  EXPECT_EQ(schema->num_attrs(), 2u);
+  EXPECT_EQ(schema->name(), "A");
+}
+
+TEST(ArraySchemaTest, RejectsNoDims) {
+  EXPECT_TRUE(ArraySchema::Create("A", {}, {}).status().IsInvalidArgument());
+}
+
+TEST(ArraySchemaTest, RejectsBadRange) {
+  EXPECT_TRUE(ArraySchema::Create("A", {{"i", 5, 4, 2}}, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ArraySchemaTest, RejectsZeroChunkExtent) {
+  EXPECT_TRUE(ArraySchema::Create("A", {{"i", 1, 4, 0}}, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ArraySchemaTest, RejectsDuplicateNames) {
+  EXPECT_TRUE(ArraySchema::Create("A", {{"i", 1, 4, 2}, {"i", 1, 4, 2}}, {})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ArraySchema::Create("A", {{"i", 1, 4, 2}}, {{"i"}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ArraySchema::Create("A", {{"i", 1, 4, 2}}, {{"r"}, {"r"}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ArraySchemaTest, RejectsEmptyNames) {
+  EXPECT_TRUE(ArraySchema::Create("A", {{"", 1, 4, 2}}, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ArraySchemaTest, AttributeAndDimensionIndex) {
+  auto schema = ArraySchema::Create("A", {{"i", 1, 4, 2}, {"j", 1, 4, 2}},
+                                    {{"r"}, {"s"}});
+  ASSERT_OK(schema.status());
+  EXPECT_EQ(schema->AttributeIndex("s").value(), 1u);
+  EXPECT_TRUE(schema->AttributeIndex("zzz").status().IsNotFound());
+  EXPECT_EQ(schema->DimensionIndex("j").value(), 1u);
+  EXPECT_TRUE(schema->DimensionIndex("zzz").status().IsNotFound());
+}
+
+TEST(ArraySchemaTest, ContainsCoord) {
+  auto schema =
+      ArraySchema::Create("A", {{"i", 1, 6, 2}, {"j", 1, 8, 2}}, {{"r"}});
+  ASSERT_OK(schema.status());
+  EXPECT_TRUE(schema->ContainsCoord({1, 1}));
+  EXPECT_TRUE(schema->ContainsCoord({6, 8}));
+  EXPECT_FALSE(schema->ContainsCoord({0, 1}));
+  EXPECT_FALSE(schema->ContainsCoord({7, 1}));
+  EXPECT_FALSE(schema->ContainsCoord({1, 9}));
+  EXPECT_FALSE(schema->ContainsCoord({1}));
+  EXPECT_FALSE(schema->ContainsCoord({1, 1, 1}));
+}
+
+TEST(ArraySchemaTest, CellBytes) {
+  auto schema = ArraySchema::Create("A", {{"i", 1, 4, 2}, {"j", 1, 4, 2}},
+                                    {{"r"}, {"s"}, {"t"}});
+  ASSERT_OK(schema.status());
+  EXPECT_EQ(schema->CellBytes(), 8u * 5u);
+}
+
+TEST(ArraySchemaTest, ToStringMatchesAqlNotation) {
+  auto schema = ArraySchema::Create(
+      "A", {{"i", 1, 6, 2}, {"j", 1, 8, 2}},
+      {{"r", AttributeType::kInt64}, {"s", AttributeType::kDouble}});
+  ASSERT_OK(schema.status());
+  EXPECT_EQ(schema->ToString(), "A<r:int64,s:double>[i=1,6,2;j=1,8,2]");
+}
+
+TEST(ArraySchemaTest, StructuralEqualityIgnoresName) {
+  auto a = ArraySchema::Create("A", {{"i", 1, 4, 2}}, {{"r"}});
+  auto b = ArraySchema::Create("B", {{"i", 1, 4, 2}}, {{"r"}});
+  auto c = ArraySchema::Create("C", {{"i", 1, 4, 4}}, {{"r"}});
+  ASSERT_OK(a.status());
+  ASSERT_OK(b.status());
+  ASSERT_OK(c.status());
+  EXPECT_TRUE(a->StructurallyEquals(*b));
+  EXPECT_FALSE(a->StructurallyEquals(*c));
+}
+
+TEST(ArraySchemaTest, StructuralEqualityChecksAttrTypes) {
+  auto a = ArraySchema::Create("A", {{"i", 1, 4, 2}},
+                               {{"r", AttributeType::kInt64}});
+  auto b = ArraySchema::Create("A", {{"i", 1, 4, 2}},
+                               {{"r", AttributeType::kDouble}});
+  ASSERT_OK(a.status());
+  ASSERT_OK(b.status());
+  EXPECT_FALSE(a->StructurallyEquals(*b));
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,86 @@
+#include "array/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+using testing_util::Make2DSchema;
+
+TEST(SerializationTest, RoundTripsContentAndSchema) {
+  SparseArray original(Make2DSchema("saved", 40, 8, 24, 6, 2));
+  Rng rng(950);
+  testing_util::FillRandom(&original, 150, &rng);
+  std::stringstream buffer;
+  ASSERT_OK(SaveArray(original, buffer));
+  ASSERT_OK_AND_ASSIGN(SparseArray loaded, LoadArray(buffer));
+  EXPECT_TRUE(loaded.ContentEquals(original));
+  EXPECT_TRUE(loaded.schema().StructurallyEquals(original.schema()));
+  EXPECT_EQ(loaded.schema().name(), "saved");
+}
+
+TEST(SerializationTest, RoundTripsEmptyArray) {
+  SparseArray original(Make2DSchema("empty"));
+  std::stringstream buffer;
+  ASSERT_OK(SaveArray(original, buffer));
+  ASSERT_OK_AND_ASSIGN(SparseArray loaded, LoadArray(buffer));
+  EXPECT_EQ(loaded.NumCells(), 0u);
+  EXPECT_TRUE(loaded.schema().StructurallyEquals(original.schema()));
+}
+
+TEST(SerializationTest, PreservesAttributeTypesAndNegativeValues) {
+  auto schema = ArraySchema::Create(
+      "typed", {{"t", -10, 10, 4}},
+      {{"i", AttributeType::kInt64}, {"d", AttributeType::kDouble}});
+  ASSERT_OK(schema.status());
+  SparseArray original(schema.value());
+  ASSERT_OK(original.Set({-7}, std::vector<double>{-42.0, 2.5}));
+  ASSERT_OK(original.Set({10}, std::vector<double>{7.0, -0.125}));
+  std::stringstream buffer;
+  ASSERT_OK(SaveArray(original, buffer));
+  ASSERT_OK_AND_ASSIGN(SparseArray loaded, LoadArray(buffer));
+  EXPECT_TRUE(loaded.ContentEquals(original));
+  EXPECT_EQ(loaded.schema().attrs()[0].type, AttributeType::kInt64);
+  EXPECT_EQ((*loaded.Get({-7}))[0], -42.0);
+}
+
+TEST(SerializationTest, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "DEFINITELY NOT AN ARRAY FILE";
+  EXPECT_TRUE(LoadArray(buffer).status().IsInvalidArgument());
+}
+
+TEST(SerializationTest, DetectsTruncation) {
+  SparseArray original(Make2DSchema("trunc"));
+  Rng rng(951);
+  testing_util::FillRandom(&original, 50, &rng);
+  std::stringstream buffer;
+  ASSERT_OK(SaveArray(original, buffer));
+  const std::string full = buffer.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_FALSE(LoadArray(cut).ok());
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/avm_roundtrip.arr";
+  SparseArray original(Make2DSchema("file"));
+  Rng rng(952);
+  testing_util::FillRandom(&original, 80, &rng);
+  ASSERT_OK(SaveArrayToFile(original, path));
+  ASSERT_OK_AND_ASSIGN(SparseArray loaded, LoadArrayFromFile(path));
+  EXPECT_TRUE(loaded.ContentEquals(original));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(
+      LoadArrayFromFile("/nonexistent/path.arr").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,232 @@
+#include "shape/shape.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "shape/delta_shape.h"
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+TEST(ShapeTest, EmptyShape) {
+  Shape s(2);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.Contains({0, 0}));
+}
+
+TEST(ShapeTest, FromOffsetsDeduplicates) {
+  auto s = Shape::FromOffsets(2, {{0, 0}, {0, 1}, {0, 0}});
+  ASSERT_OK(s.status());
+  EXPECT_EQ(s->size(), 2u);
+}
+
+TEST(ShapeTest, FromOffsetsRejectsArityMismatch) {
+  EXPECT_TRUE(
+      Shape::FromOffsets(2, {{0, 0, 0}}).status().IsInvalidArgument());
+}
+
+TEST(ShapeTest, L1RadiusOneIsTheFiveCellCross) {
+  const Shape s = Shape::L1Ball(2, 1);
+  EXPECT_EQ(s.size(), 5u);  // the paper's L1(1) cross
+  EXPECT_TRUE(s.Contains({0, 0}));
+  EXPECT_TRUE(s.Contains({1, 0}));
+  EXPECT_TRUE(s.Contains({-1, 0}));
+  EXPECT_TRUE(s.Contains({0, 1}));
+  EXPECT_TRUE(s.Contains({0, -1}));
+  EXPECT_FALSE(s.Contains({1, 1}));
+}
+
+TEST(ShapeTest, L1SizesFollowDiamondNumbers) {
+  EXPECT_EQ(Shape::L1Ball(2, 0).size(), 1u);
+  EXPECT_EQ(Shape::L1Ball(2, 2).size(), 13u);
+  EXPECT_EQ(Shape::L1Ball(2, 3).size(), 25u);
+}
+
+TEST(ShapeTest, LinfIsTheFullSquare) {
+  const Shape s = Shape::LinfBall(2, 1);
+  EXPECT_EQ(s.size(), 9u);
+  EXPECT_EQ(Shape::LinfBall(2, 2).size(), 25u);  // the paper's L∞(2)
+  EXPECT_TRUE(s.Contains({1, 1}));
+  EXPECT_TRUE(s.Contains({-1, 1}));
+}
+
+TEST(ShapeTest, L2BallMatchesEuclideanPredicate) {
+  const Shape s = Shape::L2Ball(2, 2.0);
+  for (int64_t x = -3; x <= 3; ++x) {
+    for (int64_t y = -3; y <= 3; ++y) {
+      const bool in = std::sqrt(static_cast<double>(x * x + y * y)) <= 2.0;
+      EXPECT_EQ(s.Contains({x, y}), in) << x << "," << y;
+    }
+  }
+}
+
+TEST(ShapeTest, ExcludeCenter) {
+  const Shape s = Shape::L1Ball(2, 1, {}, /*include_center=*/false);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_FALSE(s.Contains({0, 0}));
+}
+
+TEST(ShapeTest, DimSubsetConfinesOffsets) {
+  // L1(1) on dims {1,2} of a 3-D array: offsets are zero on dim 0.
+  const Shape s = Shape::L1Ball(3, 1, {1, 2});
+  EXPECT_EQ(s.size(), 5u);
+  for (const auto& o : s.offsets()) EXPECT_EQ(o[0], 0);
+}
+
+TEST(ShapeTest, HammingBallCountsNonzeroComponents) {
+  const Shape s = Shape::HammingBall(2, 1, 2);
+  // At most 1 nonzero component, each within [-2, 2]: center + 2*4 = 9.
+  EXPECT_EQ(s.size(), 9u);
+  EXPECT_TRUE(s.Contains({2, 0}));
+  EXPECT_FALSE(s.Contains({1, 1}));
+}
+
+TEST(ShapeTest, WindowSpansRange) {
+  const Shape s = Shape::Window(3, 0, -4, 0);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_TRUE(s.Contains({-4, 0, 0}));
+  EXPECT_TRUE(s.Contains({0, 0, 0}));
+  EXPECT_FALSE(s.Contains({1, 0, 0}));
+  EXPECT_FALSE(s.Contains({-5, 0, 0}));
+}
+
+TEST(ShapeTest, MinkowskiSumBuildsProductShapes) {
+  // The PTF-5 construction: a spatial cross times a time window.
+  const Shape spatial = Shape::L1Ball(3, 1, {1, 2});
+  const Shape window = Shape::Window(3, 0, -2, 0);
+  auto product = Shape::MinkowskiSum(spatial, window);
+  ASSERT_OK(product.status());
+  EXPECT_EQ(product->size(), 15u);
+  EXPECT_TRUE(product->Contains({-2, 1, 0}));
+  EXPECT_TRUE(product->Contains({0, 0, 0}));
+  EXPECT_FALSE(product->Contains({-3, 0, 0}));
+  EXPECT_FALSE(product->Contains({-1, 1, 1}));
+}
+
+TEST(ShapeTest, MinkowskiSumRejectsDimMismatch) {
+  EXPECT_TRUE(Shape::MinkowskiSum(Shape::L1Ball(2, 1), Shape::L1Ball(3, 1))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ShapeTest, BoundingBox) {
+  const Shape s = Shape::L1Ball(2, 3);
+  const Box box = s.BoundingBox();
+  EXPECT_EQ(box.lo, (CellCoord{-3, -3}));
+  EXPECT_EQ(box.hi, (CellCoord{3, 3}));
+}
+
+TEST(ShapeTest, BoundingBoxOfAsymmetricWindow) {
+  const Shape s = Shape::Window(2, 0, -5, -1);
+  const Box box = s.BoundingBox();
+  EXPECT_EQ(box.lo[0], -5);
+  EXPECT_EQ(box.hi[0], -1);
+}
+
+TEST(ShapeTest, SymmetryDetection) {
+  EXPECT_TRUE(Shape::L1Ball(2, 2).IsSymmetric());
+  EXPECT_TRUE(Shape::LinfBall(2, 1).IsSymmetric());
+  EXPECT_FALSE(Shape::Window(2, 0, -3, 0).IsSymmetric());
+}
+
+TEST(ShapeTest, ReflectedNegatesOffsets) {
+  const Shape s = Shape::Window(2, 0, -3, -1);
+  const Shape r = s.Reflected();
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_TRUE(r.Contains({1, 0}));
+  EXPECT_TRUE(r.Contains({3, 0}));
+  EXPECT_FALSE(r.Contains({-1, 0}));
+}
+
+TEST(ShapeTest, ReflectionIsInvolution) {
+  const Shape s = Shape::Window(3, 0, -7, 2);
+  EXPECT_EQ(s.Reflected().Reflected(), s);
+}
+
+TEST(ShapeTest, SymmetricShapeEqualsItsReflection) {
+  const Shape s = Shape::L1Ball(2, 2);
+  EXPECT_EQ(s.Reflected(), s);
+}
+
+TEST(ShapeTest, SetAlgebra) {
+  const Shape l1 = Shape::L1Ball(2, 1);
+  const Shape linf = Shape::LinfBall(2, 1);
+  auto uni = Shape::Union(l1, linf);
+  auto inter = Shape::Intersection(l1, linf);
+  auto diff = Shape::Difference(linf, l1);
+  ASSERT_OK(uni.status());
+  ASSERT_OK(inter.status());
+  ASSERT_OK(diff.status());
+  EXPECT_EQ(uni->size(), 9u);    // L1(1) ⊂ L∞(1)
+  EXPECT_EQ(inter->size(), 5u);
+  EXPECT_EQ(diff->size(), 4u);   // the four corners
+  EXPECT_TRUE(diff->Contains({1, 1}));
+  EXPECT_FALSE(diff->Contains({1, 0}));
+}
+
+TEST(DeltaShapeTest, PaperFigure4bLinf1FromL1_1) {
+  // ∆(L∞(1) query from L1(1) view): |plus| = 4 corners, |minus| = 0.
+  auto delta = ComputeDeltaShape(Shape::L1Ball(2, 1), Shape::LinfBall(2, 1));
+  ASSERT_OK(delta.status());
+  EXPECT_EQ(delta->plus.size(), 4u);
+  EXPECT_EQ(delta->minus.size(), 0u);
+  EXPECT_EQ(delta->size(), 4u);
+}
+
+TEST(DeltaShapeTest, PaperFigure4bLinf1FromLinf2) {
+  // ∆(L∞(1) query from L∞(2) view): 25 - 9 = 16 retractions, ratio 16/9.
+  auto delta = ComputeDeltaShape(Shape::LinfBall(2, 2), Shape::LinfBall(2, 1));
+  ASSERT_OK(delta.status());
+  EXPECT_EQ(delta->plus.size(), 0u);
+  EXPECT_EQ(delta->minus.size(), 16u);
+}
+
+TEST(DeltaShapeTest, IdenticalShapesGiveEmptyDelta) {
+  auto delta = ComputeDeltaShape(Shape::L1Ball(2, 2), Shape::L1Ball(2, 2));
+  ASSERT_OK(delta.status());
+  EXPECT_TRUE(delta->empty());
+}
+
+TEST(DeltaShapeTest, RejectsDimMismatch) {
+  EXPECT_TRUE(ComputeDeltaShape(Shape::L1Ball(2, 1), Shape::L1Ball(3, 1))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// Property sweep: |view| - |minus| + |plus| == |query| for any shape pair.
+class DeltaShapeProperty
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(DeltaShapeProperty, SizesAreConsistent) {
+  const auto [vr, qr] = GetParam();
+  const Shape view = Shape::L1Ball(2, vr);
+  const Shape query = Shape::LinfBall(2, qr);
+  auto delta = ComputeDeltaShape(view, query);
+  ASSERT_OK(delta.status());
+  EXPECT_EQ(view.size() - delta->minus.size() + delta->plus.size(),
+            query.size());
+  // plus ∩ view = ∅ and minus ⊂ view.
+  for (const auto& o : delta->plus.offsets()) EXPECT_FALSE(view.Contains(o));
+  for (const auto& o : delta->minus.offsets()) EXPECT_TRUE(view.Contains(o));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Radii, DeltaShapeProperty,
+    ::testing::Values(std::pair<int64_t, int64_t>{1, 1},
+                      std::pair<int64_t, int64_t>{1, 2},
+                      std::pair<int64_t, int64_t>{2, 1},
+                      std::pair<int64_t, int64_t>{3, 2},
+                      std::pair<int64_t, int64_t>{2, 3},
+                      std::pair<int64_t, int64_t>{0, 2}));
+
+TEST(ShapeTest, ToStringIsDeterministic) {
+  const Shape s = Shape::L1Ball(2, 1);
+  EXPECT_EQ(s.ToString(), s.ToString());
+  EXPECT_NE(s.ToString().find("(0,0)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace avm

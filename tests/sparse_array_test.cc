@@ -1,0 +1,144 @@
+#include "array/sparse_array.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+using testing_util::Make2DSchema;
+
+TEST(SparseArrayTest, SetAndGet) {
+  SparseArray a(Make2DSchema("A"));
+  ASSERT_OK(a.Set({3, 4}, std::vector<double>{7.0}));
+  auto v = a.Get({3, 4});
+  ASSERT_OK(v.status());
+  EXPECT_EQ((*v)[0], 7.0);
+}
+
+TEST(SparseArrayTest, GetMissingIsNotFound) {
+  SparseArray a(Make2DSchema("A"));
+  EXPECT_TRUE(a.Get({1, 1}).status().IsNotFound());
+}
+
+TEST(SparseArrayTest, SetOutOfRangeFails) {
+  SparseArray a(Make2DSchema("A"));
+  EXPECT_TRUE(a.Set({0, 1}, std::vector<double>{1.0}).IsOutOfRange());
+  EXPECT_TRUE(a.Set({41, 1}, std::vector<double>{1.0}).IsOutOfRange());
+  EXPECT_TRUE(a.Get({0, 1}).status().IsOutOfRange());
+}
+
+TEST(SparseArrayTest, SetWrongArityFails) {
+  SparseArray a(Make2DSchema("A"));
+  EXPECT_TRUE(a.Set({1, 1}, std::vector<double>{1.0, 2.0})
+                  .IsInvalidArgument());
+}
+
+TEST(SparseArrayTest, SetOverwrites) {
+  SparseArray a(Make2DSchema("A"));
+  ASSERT_OK(a.Set({1, 1}, std::vector<double>{1.0}));
+  ASSERT_OK(a.Set({1, 1}, std::vector<double>{2.0}));
+  EXPECT_EQ(a.NumCells(), 1u);
+  EXPECT_EQ((*a.Get({1, 1}))[0], 2.0);
+}
+
+TEST(SparseArrayTest, AccumulateAdds) {
+  SparseArray a(Make2DSchema("A"));
+  ASSERT_OK(a.Accumulate({1, 1}, std::vector<double>{1.5}));
+  ASSERT_OK(a.Accumulate({1, 1}, std::vector<double>{2.5}));
+  EXPECT_EQ((*a.Get({1, 1}))[0], 4.0);
+}
+
+TEST(SparseArrayTest, EraseRemovesAndDropsEmptyChunk) {
+  SparseArray a(Make2DSchema("A"));
+  ASSERT_OK(a.Set({1, 1}, std::vector<double>{1.0}));
+  EXPECT_EQ(a.NumChunks(), 1u);
+  EXPECT_TRUE(a.Erase({1, 1}));
+  EXPECT_FALSE(a.Erase({1, 1}));
+  EXPECT_EQ(a.NumChunks(), 0u);
+  EXPECT_EQ(a.NumCells(), 0u);
+}
+
+TEST(SparseArrayTest, HasChecksPresence) {
+  SparseArray a(Make2DSchema("A"));
+  ASSERT_OK(a.Set({2, 2}, std::vector<double>{1.0}));
+  EXPECT_TRUE(a.Has({2, 2}));
+  EXPECT_FALSE(a.Has({2, 3}));
+  EXPECT_FALSE(a.Has({0, 0}));  // out of range is simply absent
+}
+
+TEST(SparseArrayTest, CellsGroupIntoChunks) {
+  SparseArray a(Make2DSchema("A", 40, 8, 24, 6));
+  // Two cells in the same chunk, one in another.
+  ASSERT_OK(a.Set({1, 1}, std::vector<double>{1.0}));
+  ASSERT_OK(a.Set({2, 2}, std::vector<double>{1.0}));
+  ASSERT_OK(a.Set({20, 20}, std::vector<double>{1.0}));
+  EXPECT_EQ(a.NumCells(), 3u);
+  EXPECT_EQ(a.NumChunks(), 2u);
+}
+
+TEST(SparseArrayTest, ChunkIdsAscending) {
+  SparseArray a(Make2DSchema("A"));
+  ASSERT_OK(a.Set({40, 24}, std::vector<double>{1.0}));
+  ASSERT_OK(a.Set({1, 1}, std::vector<double>{1.0}));
+  auto ids = a.ChunkIds();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_LT(ids[0], ids[1]);
+}
+
+TEST(SparseArrayTest, ForEachCellVisitsEverything) {
+  SparseArray a(Make2DSchema("A"));
+  Rng rng(5);
+  testing_util::FillRandom(&a, 200, &rng);
+  size_t visits = 0;
+  a.ForEachCell([&](std::span<const int64_t>, std::span<const double>) {
+    ++visits;
+  });
+  EXPECT_EQ(visits, 200u);
+  EXPECT_EQ(a.NumCells(), 200u);
+}
+
+TEST(SparseArrayTest, SizeBytesMatchesCells) {
+  SparseArray a(Make2DSchema("A"));  // 2 dims, 1 attr
+  ASSERT_OK(a.Set({1, 1}, std::vector<double>{1.0}));
+  ASSERT_OK(a.Set({1, 2}, std::vector<double>{1.0}));
+  EXPECT_EQ(a.SizeBytes(), 2u * 8u * 3u);
+}
+
+TEST(SparseArrayTest, CloneIsDeepAndEqual) {
+  SparseArray a(Make2DSchema("A"));
+  Rng rng(6);
+  testing_util::FillRandom(&a, 50, &rng);
+  SparseArray b = a.Clone();
+  EXPECT_TRUE(a.ContentEquals(b));
+  ASSERT_OK(b.Set({1, 1}, std::vector<double>{123.0}));
+  // Mutating the clone must not affect the original.
+  auto original = a.Get({1, 1});
+  if (original.ok()) EXPECT_NE((*original)[0], 123.0);
+}
+
+TEST(SparseArrayTest, ContentEqualsDetectsDifferences) {
+  SparseArray a(Make2DSchema("A"));
+  SparseArray b(Make2DSchema("A"));
+  ASSERT_OK(a.Set({1, 1}, std::vector<double>{1.0}));
+  EXPECT_FALSE(a.ContentEquals(b));
+  ASSERT_OK(b.Set({1, 1}, std::vector<double>{1.0}));
+  EXPECT_TRUE(a.ContentEquals(b));
+  ASSERT_OK(b.Set({1, 1}, std::vector<double>{1.0001}));
+  EXPECT_FALSE(a.ContentEquals(b));
+  EXPECT_TRUE(a.ContentEquals(b, 0.001));
+}
+
+TEST(SparseArrayTest, GetOrCreateChunkReusesChunk) {
+  SparseArray a(Make2DSchema("A"));
+  Chunk& c1 = a.GetOrCreateChunk(3);
+  c1.UpsertCell(0, {1, 19}, std::vector<double>{5.0});
+  Chunk& c2 = a.GetOrCreateChunk(3);
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(c2.num_cells(), 1u);
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,119 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace avm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryOk) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, ErrorFactoriesSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("bad").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, ErrorsAreNotOk) {
+  EXPECT_FALSE(Status::Internal("boom").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  const Status s = Status::NotFound("chunk 7");
+  EXPECT_EQ(s.ToString(), "NotFound: chunk 7");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_NE(Status::NotFound("a"), Status::Internal("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+Status FailsWhen(bool fail) {
+  if (fail) return Status::Internal("requested failure");
+  return Status::OK();
+}
+
+Status Propagates(bool fail) {
+  AVM_RETURN_IF_ERROR(FailsWhen(fail));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Propagates(false).ok());
+  EXPECT_TRUE(Propagates(true).IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> err = Status::NotFound("nope");
+  EXPECT_EQ(err.value_or(-1), -1);
+  Result<int> ok = 7;
+  EXPECT_EQ(ok.value_or(-1), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterEven(int x) {
+  AVM_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  return HalveEven(half);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  auto ok = QuarterEven(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_TRUE(QuarterEven(6).status().IsInvalidArgument());  // 3 is odd
+  EXPECT_TRUE(QuarterEven(5).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,35 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace avm {
+namespace {
+
+TEST(StringUtilTest, JoinWithSeparator) {
+  EXPECT_EQ(Join(std::vector<int>{1, 2, 3}, ", "), "1, 2, 3");
+  EXPECT_EQ(Join(std::vector<int>{7}, ", "), "7");
+  EXPECT_EQ(Join(std::vector<int>{}, ", "), "");
+}
+
+TEST(StringUtilTest, VecToString) {
+  EXPECT_EQ(VecToString(std::vector<int64_t>{1, -2}), "[1, -2]");
+  EXPECT_EQ(VecToString(std::vector<int64_t>{}), "[]");
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(0), "0 B");
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1024), "1.0 KB");
+  EXPECT_EQ(HumanBytes(1536), "1.5 KB");
+  EXPECT_EQ(HumanBytes(1024ull * 1024), "1.0 MB");
+  EXPECT_EQ(HumanBytes(343ull * 1024 * 1024 * 1024), "343.0 GB");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-0.5, 3), "-0.500");
+}
+
+}  // namespace
+}  // namespace avm

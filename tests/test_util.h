@@ -1,0 +1,175 @@
+#ifndef AVM_TESTS_TEST_UTIL_H_
+#define AVM_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "array/sparse_array.h"
+#include "cluster/distributed_array.h"
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "maintenance/maintainer.h"
+#include "view/materialized_view.h"
+
+#define ASSERT_OK(expr)                                                   \
+  do {                                                                    \
+    const auto& _s = (expr);                                              \
+    ASSERT_TRUE(_s.ok()) << _s.ToString();                                \
+  } while (0)
+
+#define EXPECT_OK(expr)                                                   \
+  do {                                                                    \
+    const auto& _s = (expr);                                              \
+    EXPECT_TRUE(_s.ok()) << _s.ToString();                                \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                        \
+  ASSERT_OK_AND_ASSIGN_IMPL_(                                   \
+      AVM_RESULT_CONCAT_(_assert_result, __LINE__), lhs, rexpr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL_(tmp, lhs, rexpr)             \
+  auto tmp = (rexpr);                                           \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();             \
+  lhs = std::move(tmp).value()
+
+namespace avm::testing_util {
+
+/// A 2-D test schema [x=1,x_range,x_chunk; y=1,y_range,y_chunk] with
+/// `num_attrs` double attributes a0, a1, ...
+inline ArraySchema Make2DSchema(const std::string& name, int64_t x_range = 40,
+                                int64_t x_chunk = 8, int64_t y_range = 24,
+                                int64_t y_chunk = 6, size_t num_attrs = 1) {
+  std::vector<Attribute> attrs;
+  for (size_t i = 0; i < num_attrs; ++i) {
+    attrs.push_back({"a" + std::to_string(i), AttributeType::kDouble});
+  }
+  auto schema = ArraySchema::Create(
+      name, {{"x", 1, x_range, x_chunk}, {"y", 1, y_range, y_chunk}},
+      std::move(attrs));
+  AVM_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+/// Fills `array` with `cells` random distinct cells (values uniform in
+/// [0, 100)).
+inline void FillRandom(SparseArray* array, size_t cells, Rng* rng) {
+  const auto& dims = array->schema().dims();
+  std::vector<double> values(array->schema().num_attrs());
+  size_t placed = 0;
+  while (placed < cells) {
+    CellCoord coord(dims.size());
+    for (size_t d = 0; d < dims.size(); ++d) {
+      coord[d] = rng->UniformInt(dims[d].lo, dims[d].hi);
+    }
+    if (array->Has(coord)) continue;
+    for (auto& v : values) v = rng->UniformDouble() * 100.0;
+    AVM_CHECK(array->Set(coord, values).ok());
+    ++placed;
+  }
+}
+
+/// Draws `cells` random cells disjoint from `existing` (and from each
+/// other) into a fresh array.
+inline SparseArray RandomDisjointDelta(const SparseArray& existing,
+                                       size_t cells, Rng* rng) {
+  SparseArray delta(existing.schema());
+  const auto& dims = existing.schema().dims();
+  std::vector<double> values(existing.schema().num_attrs());
+  size_t placed = 0;
+  int attempts = 0;
+  while (placed < cells && attempts < 100000) {
+    ++attempts;
+    CellCoord coord(dims.size());
+    for (size_t d = 0; d < dims.size(); ++d) {
+      coord[d] = rng->UniformInt(dims[d].lo, dims[d].hi);
+    }
+    if (existing.Has(coord) || delta.Has(coord)) continue;
+    for (auto& v : values) v = rng->UniformDouble() * 100.0;
+    AVM_CHECK(delta.Set(coord, values).ok());
+    ++placed;
+  }
+  return delta;
+}
+
+/// A self-join COUNT view over a freshly loaded 2-D base array, ready for
+/// maintenance tests.
+struct ViewFixture {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<MaterializedView> view;
+  SparseArray local_base;  // mirror of the initial content
+
+  ViewFixture() : local_base(Make2DSchema("unused")) {}
+};
+
+/// Builds a fixture: `base_cells` random cells, the given shape, COUNT(*)
+/// plus optional SUM(a0).
+inline Result<ViewFixture> MakeCountViewFixture(
+    int num_workers, size_t base_cells, Shape shape, uint64_t seed = 1,
+    bool with_sum = false, const std::string& placement = "round-robin") {
+  ViewFixture fixture;
+  fixture.catalog = std::make_unique<Catalog>();
+  fixture.cluster = std::make_unique<Cluster>(num_workers);
+  ArraySchema schema = Make2DSchema("base");
+  fixture.local_base = SparseArray(schema);
+  Rng rng(seed);
+  FillRandom(&fixture.local_base, base_cells, &rng);
+
+  auto make_placement = [&]() -> std::unique_ptr<ChunkPlacement> {
+    if (placement == "hash") return MakeHashPlacement();
+    if (placement == "range") return MakeRangePlacement(0);
+    return MakeRoundRobinPlacement();
+  };
+  AVM_ASSIGN_OR_RETURN(
+      DistributedArray base,
+      DistributedArray::Create(schema, make_placement(),
+                               fixture.catalog.get(), fixture.cluster.get()));
+  AVM_RETURN_IF_ERROR(base.Ingest(fixture.local_base));
+
+  ViewDefinition def;
+  def.view_name = "view";
+  def.left_array = "base";
+  def.right_array = "base";
+  def.mapping = DimMapping::Identity(2);
+  def.shape = std::move(shape);
+  def.aggregates = {{AggregateFunction::kCount, 0, "cnt"}};
+  if (with_sum) {
+    def.aggregates.push_back({AggregateFunction::kSum, 0, "sum_a0"});
+  }
+  AVM_ASSIGN_OR_RETURN(
+      MaterializedView view,
+      CreateMaterializedView(std::move(def), make_placement(),
+                             fixture.catalog.get(), fixture.cluster.get()));
+  fixture.view = std::make_unique<MaterializedView>(std::move(view));
+  fixture.cluster->ResetClocks();
+  return fixture;
+}
+
+/// Checks that the maintained view equals recomputation from scratch.
+inline ::testing::AssertionResult ViewMatchesRecompute(
+    const MaterializedView& view) {
+  auto gathered = view.array().Gather();
+  if (!gathered.ok()) {
+    return ::testing::AssertionFailure()
+           << "gather failed: " << gathered.status().ToString();
+  }
+  auto reference = view.RecomputeReferenceStates();
+  if (!reference.ok()) {
+    return ::testing::AssertionFailure()
+           << "recompute failed: " << reference.status().ToString();
+  }
+  if (!gathered.value().ContentEquals(reference.value(), 1e-9)) {
+    return ::testing::AssertionFailure()
+           << "maintained view diverged from recomputation: "
+           << gathered.value().NumCells() << " vs "
+           << reference.value().NumCells() << " cells";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace avm::testing_util
+
+#endif  // AVM_TESTS_TEST_UTIL_H_

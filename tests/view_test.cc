@@ -1,0 +1,207 @@
+#include "view/materialized_view.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "view/view_definition.h"
+
+namespace avm {
+namespace {
+
+using testing_util::Make2DSchema;
+
+TEST(ViewDefinitionTest, DerivesSchemaFromGroupDims) {
+  ViewDefinition def;
+  def.view_name = "V";
+  def.left_array = "A";
+  def.right_array = "A";
+  def.mapping = DimMapping::Identity(2);
+  def.shape = Shape::L1Ball(2, 1);
+  def.aggregates = {{AggregateFunction::kCount, 0, "cnt"}};
+  const ArraySchema base = Make2DSchema("A");
+  auto schema = def.DeriveViewSchema(base, base);
+  ASSERT_OK(schema.status());
+  EXPECT_EQ(schema->num_dims(), 2u);
+  EXPECT_EQ(schema->num_attrs(), 1u);
+  EXPECT_EQ(schema->name(), "V");
+  // group_dims was normalized to all dims.
+  EXPECT_EQ(def.group_dims, (std::vector<size_t>{0, 1}));
+}
+
+TEST(ViewDefinitionTest, GroupDimSubsetAndChunkOverride) {
+  ViewDefinition def;
+  def.view_name = "V";
+  def.left_array = "A";
+  def.right_array = "A";
+  def.mapping = DimMapping::Identity(2);
+  def.shape = Shape::L1Ball(2, 1);
+  def.aggregates = {{AggregateFunction::kCount, 0, "cnt"}};
+  def.group_dims = {1};
+  def.view_chunk_extents = {12};
+  const ArraySchema base = Make2DSchema("A");
+  auto schema = def.DeriveViewSchema(base, base);
+  ASSERT_OK(schema.status());
+  EXPECT_EQ(schema->num_dims(), 1u);
+  EXPECT_EQ(schema->dims()[0].name, "y");
+  EXPECT_EQ(schema->dims()[0].chunk_extent, 12);
+}
+
+TEST(ViewDefinitionTest, RejectsBadInputs) {
+  const ArraySchema base = Make2DSchema("A");
+  ViewDefinition def;
+  def.view_name = "V";
+  def.left_array = "A";
+  def.right_array = "A";
+  def.mapping = DimMapping::Identity(3);  // arity mismatch
+  def.shape = Shape::L1Ball(2, 1);
+  def.aggregates = {{AggregateFunction::kCount, 0, "cnt"}};
+  EXPECT_TRUE(def.DeriveViewSchema(base, base).status().IsInvalidArgument());
+
+  def.mapping = DimMapping::Identity(2);
+  def.shape = Shape::L1Ball(3, 1);  // shape arity mismatch
+  EXPECT_TRUE(def.DeriveViewSchema(base, base).status().IsInvalidArgument());
+
+  def.shape = Shape::L1Ball(2, 1);
+  def.group_dims = {7};  // out of range
+  EXPECT_TRUE(def.DeriveViewSchema(base, base).status().IsInvalidArgument());
+
+  def.group_dims = {0};
+  def.view_chunk_extents = {4, 4};  // wrong arity
+  EXPECT_TRUE(def.DeriveViewSchema(base, base).status().IsInvalidArgument());
+
+  def.view_chunk_extents = {0};  // non-positive
+  EXPECT_TRUE(def.DeriveViewSchema(base, base).status().IsInvalidArgument());
+
+  def.view_chunk_extents.clear();
+  def.view_name = "";
+  EXPECT_TRUE(def.DeriveViewSchema(base, base).status().IsInvalidArgument());
+}
+
+TEST(ViewDefinitionTest, SelfJoinDetection) {
+  ViewDefinition def;
+  def.left_array = "A";
+  def.right_array = "A";
+  EXPECT_TRUE(def.IsSelfJoin());
+  def.right_array = "B";
+  EXPECT_FALSE(def.IsSelfJoin());
+}
+
+TEST(MaterializedViewTest, MaterializationMatchesReference) {
+  ASSERT_OK_AND_ASSIGN(
+      auto fixture,
+      testing_util::MakeCountViewFixture(4, 150, Shape::LinfBall(2, 1), 77));
+  EXPECT_TRUE(testing_util::ViewMatchesRecompute(*fixture.view));
+}
+
+TEST(MaterializedViewTest, ViewCellsCountNeighborsIncludingSelf) {
+  // Three cells in a row: counts 2, 3, 2 under L1(1) with center.
+  Catalog catalog;
+  Cluster cluster(2);
+  const ArraySchema schema = Make2DSchema("base");
+  SparseArray local(schema);
+  for (int64_t y = 5; y <= 7; ++y) {
+    ASSERT_OK(local.Set({5, y}, std::vector<double>{1.0}));
+  }
+  ASSERT_OK_AND_ASSIGN(
+      DistributedArray base,
+      DistributedArray::Create(schema, MakeRoundRobinPlacement(), &catalog,
+                               &cluster));
+  ASSERT_OK(base.Ingest(local));
+  ViewDefinition def;
+  def.view_name = "V";
+  def.left_array = "base";
+  def.right_array = "base";
+  def.mapping = DimMapping::Identity(2);
+  def.shape = Shape::L1Ball(2, 1);
+  def.aggregates = {{AggregateFunction::kCount, 0, "cnt"}};
+  ASSERT_OK_AND_ASSIGN(
+      MaterializedView view,
+      CreateMaterializedView(std::move(def), MakeRoundRobinPlacement(),
+                             &catalog, &cluster));
+  ASSERT_OK_AND_ASSIGN(SparseArray finalized, view.GatherFinalized());
+  EXPECT_EQ((*finalized.Get({5, 5}))[0], 2.0);
+  EXPECT_EQ((*finalized.Get({5, 6}))[0], 3.0);
+  EXPECT_EQ((*finalized.Get({5, 7}))[0], 2.0);
+}
+
+TEST(MaterializedViewTest, GatherFinalizedComputesAvg) {
+  Catalog catalog;
+  Cluster cluster(2);
+  const ArraySchema schema = Make2DSchema("base");
+  SparseArray local(schema);
+  ASSERT_OK(local.Set({5, 5}, std::vector<double>{10.0}));
+  ASSERT_OK(local.Set({5, 6}, std::vector<double>{30.0}));
+  ASSERT_OK_AND_ASSIGN(
+      DistributedArray base,
+      DistributedArray::Create(schema, MakeRoundRobinPlacement(), &catalog,
+                               &cluster));
+  ASSERT_OK(base.Ingest(local));
+  ViewDefinition def;
+  def.view_name = "V";
+  def.left_array = "base";
+  def.right_array = "base";
+  def.mapping = DimMapping::Identity(2);
+  def.shape = Shape::L1Ball(2, 1);
+  def.aggregates = {{AggregateFunction::kAvg, 0, "avg_a"}};
+  ASSERT_OK_AND_ASSIGN(
+      MaterializedView view,
+      CreateMaterializedView(std::move(def), MakeRoundRobinPlacement(),
+                             &catalog, &cluster));
+  // The state array stores (sum, count); finalized stores the mean.
+  EXPECT_EQ(view.array().schema().num_attrs(), 2u);
+  ASSERT_OK_AND_ASSIGN(SparseArray finalized, view.GatherFinalized());
+  EXPECT_EQ(finalized.schema().num_attrs(), 1u);
+  EXPECT_EQ((*finalized.Get({5, 5}))[0], 20.0);  // (10+30)/2
+  EXPECT_EQ((*finalized.Get({5, 6}))[0], 20.0);
+}
+
+TEST(MaterializedViewTest, FailsForUnknownBaseArray) {
+  Catalog catalog;
+  Cluster cluster(2);
+  ViewDefinition def;
+  def.view_name = "V";
+  def.left_array = "missing";
+  def.right_array = "missing";
+  EXPECT_TRUE(CreateMaterializedView(std::move(def),
+                                     MakeRoundRobinPlacement(), &catalog,
+                                     &cluster)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(MaterializedViewTest, TwoArrayView) {
+  Catalog catalog;
+  Cluster cluster(3);
+  const ArraySchema a_schema = Make2DSchema("A");
+  const ArraySchema b_schema = Make2DSchema("B");
+  SparseArray a_local(a_schema), b_local(b_schema);
+  Rng rng(41);
+  testing_util::FillRandom(&a_local, 60, &rng);
+  testing_util::FillRandom(&b_local, 60, &rng);
+  ASSERT_OK_AND_ASSIGN(
+      DistributedArray a,
+      DistributedArray::Create(a_schema, MakeRoundRobinPlacement(), &catalog,
+                               &cluster));
+  ASSERT_OK_AND_ASSIGN(
+      DistributedArray b,
+      DistributedArray::Create(b_schema, MakeHashPlacement(), &catalog,
+                               &cluster));
+  ASSERT_OK(a.Ingest(a_local));
+  ASSERT_OK(b.Ingest(b_local));
+  ViewDefinition def;
+  def.view_name = "V";
+  def.left_array = "A";
+  def.right_array = "B";
+  def.mapping = DimMapping::Identity(2);
+  def.shape = Shape::LinfBall(2, 1);
+  def.aggregates = {{AggregateFunction::kCount, 0, "cnt"}};
+  ASSERT_OK_AND_ASSIGN(
+      MaterializedView view,
+      CreateMaterializedView(std::move(def), MakeRoundRobinPlacement(),
+                             &catalog, &cluster));
+  EXPECT_FALSE(view.definition().IsSelfJoin());
+  EXPECT_TRUE(testing_util::ViewMatchesRecompute(view));
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "tests/test_util.h"
+#include "workload/geo.h"
+#include "workload/ptf.h"
+
+namespace avm {
+namespace {
+
+PtfOptions SmallPtf() {
+  PtfOptions options;
+  options.time_range = 2240;
+  options.base_cells = 3000;
+  options.batch_cells_min = 300;
+  options.batch_cells_max = 600;
+  return options;
+}
+
+TEST(PtfGeneratorTest, BaseHasRequestedCells) {
+  ASSERT_OK_AND_ASSIGN(PtfGenerator gen, PtfGenerator::Create(SmallPtf()));
+  EXPECT_EQ(gen.base().NumCells(), 3000u);
+  EXPECT_EQ(gen.schema().num_dims(), 3u);
+  EXPECT_EQ(gen.schema().num_attrs(), 2u);
+}
+
+TEST(PtfGeneratorTest, DeterministicForSeed) {
+  ASSERT_OK_AND_ASSIGN(PtfGenerator g1, PtfGenerator::Create(SmallPtf()));
+  ASSERT_OK_AND_ASSIGN(PtfGenerator g2, PtfGenerator::Create(SmallPtf()));
+  EXPECT_TRUE(g1.base().ContentEquals(g2.base()));
+  ASSERT_OK_AND_ASSIGN(auto b1, g1.MakeRealBatches(3));
+  ASSERT_OK_AND_ASSIGN(auto b2, g2.MakeRealBatches(3));
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(b1[i].ContentEquals(b2[i]));
+  }
+}
+
+TEST(PtfGeneratorTest, NoCoordinateEverRepeats) {
+  ASSERT_OK_AND_ASSIGN(PtfGenerator gen, PtfGenerator::Create(SmallPtf()));
+  std::unordered_set<CellCoord, CoordHash> seen;
+  auto absorb = [&](const SparseArray& array) {
+    array.ForEachCell(
+        [&](std::span<const int64_t> coord, std::span<const double>) {
+          EXPECT_TRUE(
+              seen.insert(CellCoord(coord.begin(), coord.end())).second);
+        });
+  };
+  absorb(gen.base());
+  ASSERT_OK_AND_ASSIGN(auto real, gen.MakeRealBatches(2));
+  for (const auto& b : real) absorb(b);
+  ASSERT_OK_AND_ASSIGN(auto corr, gen.MakeCorrelatedBatches(3));
+  for (const auto& b : corr) absorb(b);
+  ASSERT_OK_AND_ASSIGN(auto peri, gen.MakePeriodicBatches(4));
+  for (const auto& b : peri) absorb(b);
+}
+
+TEST(PtfGeneratorTest, RealBatchesAdvanceInTime) {
+  ASSERT_OK_AND_ASSIGN(PtfGenerator gen, PtfGenerator::Create(SmallPtf()));
+  ASSERT_OK_AND_ASSIGN(auto batches, gen.MakeRealBatches(3));
+  int64_t last_max_time = 0;
+  for (const auto& batch : batches) {
+    int64_t min_time = INT64_MAX, max_time = 0;
+    batch.ForEachCell(
+        [&](std::span<const int64_t> coord, std::span<const double>) {
+          min_time = std::min(min_time, coord[0]);
+          max_time = std::max(max_time, coord[0]);
+        });
+    EXPECT_GT(min_time, last_max_time);
+    last_max_time = max_time;
+  }
+}
+
+TEST(PtfGeneratorTest, RealBatchSizesVary) {
+  ASSERT_OK_AND_ASSIGN(PtfGenerator gen, PtfGenerator::Create(SmallPtf()));
+  ASSERT_OK_AND_ASSIGN(auto batches, gen.MakeRealBatches(5));
+  std::set<uint64_t> sizes;
+  for (const auto& batch : batches) {
+    EXPECT_GE(batch.NumCells(), SmallPtf().batch_cells_min);
+    EXPECT_LE(batch.NumCells(), SmallPtf().batch_cells_max);
+    sizes.insert(batch.NumCells());
+  }
+  EXPECT_GT(sizes.size(), 1u);  // night-to-night variation
+}
+
+TEST(PtfGeneratorTest, CorrelatedBatchesShareChunkFootprint) {
+  ASSERT_OK_AND_ASSIGN(PtfGenerator gen, PtfGenerator::Create(SmallPtf()));
+  ASSERT_OK_AND_ASSIGN(auto batches, gen.MakeCorrelatedBatches(4));
+  const auto footprint = batches[0].ChunkIds();
+  for (const auto& batch : batches) {
+    // Footprints are near-identical (same pointing, same time slice).
+    const auto ids = batch.ChunkIds();
+    size_t common = 0;
+    std::set<ChunkId> base_set(footprint.begin(), footprint.end());
+    for (ChunkId id : ids) common += base_set.count(id);
+    EXPECT_GE(static_cast<double>(common),
+              0.8 * static_cast<double>(footprint.size()));
+  }
+}
+
+TEST(PtfGeneratorTest, PeriodicBatchesFollowThePattern) {
+  ASSERT_OK_AND_ASSIGN(PtfGenerator gen, PtfGenerator::Create(SmallPtf()));
+  ASSERT_OK_AND_ASSIGN(auto batches, gen.MakePeriodicBatches(10));
+  auto footprint = [](const SparseArray& b) {
+    auto ids = b.ChunkIds();
+    return std::set<ChunkId>(ids.begin(), ids.end());
+  };
+  // Pattern 1,2,3,3,2,1,...: batches 2 and 3 share a pointing, 0 and 5 too.
+  auto overlap = [&](int i, int j) {
+    const auto a = footprint(batches[static_cast<size_t>(i)]);
+    const auto b = footprint(batches[static_cast<size_t>(j)]);
+    size_t common = 0;
+    for (ChunkId id : a) common += b.count(id);
+    return static_cast<double>(common) /
+           static_cast<double>(std::max(a.size(), b.size()));
+  };
+  EXPECT_GT(overlap(2, 3), 0.7);
+  EXPECT_GT(overlap(0, 5), 0.7);
+  EXPECT_LT(overlap(0, 1), 0.5);  // different pointings barely overlap
+}
+
+TEST(PtfGeneratorTest, SpreadBatchesStayInWindow) {
+  ASSERT_OK_AND_ASSIGN(PtfGenerator gen, PtfGenerator::Create(SmallPtf()));
+  const int64_t spread = 4;
+  ASSERT_OK_AND_ASSIGN(auto batches, gen.MakeSpreadBatches(2, spread, 200));
+  const PtfOptions& options = gen.options();
+  const int64_t ra_half = spread * options.ra_chunk / 2;
+  const int64_t dec_half = spread * options.dec_chunk / 2;
+  for (const auto& batch : batches) {
+    batch.ForEachCell(
+        [&](std::span<const int64_t> coord, std::span<const double>) {
+          EXPECT_NEAR(static_cast<double>(coord[1]),
+                      static_cast<double>(options.ra_range / 2),
+                      static_cast<double>(ra_half) + 1);
+          EXPECT_NEAR(static_cast<double>(coord[2]),
+                      static_cast<double>(options.dec_range / 2),
+                      static_cast<double>(dec_half) + 1);
+        });
+  }
+}
+
+TEST(PtfGeneratorTest, FailsWhenTimeRangeExhausted) {
+  PtfOptions options = SmallPtf();
+  options.time_range = options.night_len * (options.base_nights + 2);
+  ASSERT_OK_AND_ASSIGN(PtfGenerator gen, PtfGenerator::Create(options));
+  ASSERT_OK(gen.MakeRealBatches(2).status());
+  EXPECT_TRUE(gen.MakeRealBatches(1).status().IsOutOfRange());
+}
+
+TEST(PtfGeneratorTest, DecSkewConcentratesDetections) {
+  PtfOptions options = SmallPtf();
+  options.dec_sigma_frac = 0.05;
+  ASSERT_OK_AND_ASSIGN(PtfGenerator gen, PtfGenerator::Create(options));
+  // At least 60% of base cells within 2 sigma of the band, widened by the
+  // pointing window's half extent (night pointings spread around their
+  // center).
+  const double mean =
+      options.dec_mean_frac * static_cast<double>(options.dec_range);
+  const double two_sigma =
+      2 * options.dec_sigma_frac * static_cast<double>(options.dec_range) +
+      static_cast<double>(options.pointing_dec_chunks * options.dec_chunk) /
+          2.0;
+  size_t inside = 0;
+  gen.base().ForEachCell(
+      [&](std::span<const int64_t> coord, std::span<const double>) {
+        if (std::abs(static_cast<double>(coord[2]) - mean) <= two_sigma) {
+          ++inside;
+        }
+      });
+  EXPECT_GT(static_cast<double>(inside),
+            0.6 * static_cast<double>(gen.base().NumCells()));
+}
+
+GeoOptions SmallGeo() {
+  GeoOptions options;
+  options.seed_pois = 800;
+  options.batch_frac = 0.02;
+  return options;
+}
+
+TEST(GeoGeneratorTest, SplitsBaseAndBatches) {
+  ASSERT_OK_AND_ASSIGN(GeoDataset dataset, GenerateGeo(SmallGeo(), 5));
+  EXPECT_EQ(dataset.random_batches.size(), 5u);
+  EXPECT_GT(dataset.base.NumCells(), 0u);
+  for (const auto& batch : dataset.random_batches) {
+    EXPECT_GT(batch.NumCells(), 0u);
+  }
+}
+
+TEST(GeoGeneratorTest, BatchesDisjointFromBaseAndEachOther) {
+  ASSERT_OK_AND_ASSIGN(GeoDataset dataset, GenerateGeo(SmallGeo(), 4));
+  std::unordered_set<CellCoord, CoordHash> seen;
+  auto absorb = [&](const SparseArray& array) {
+    array.ForEachCell(
+        [&](std::span<const int64_t> coord, std::span<const double>) {
+          EXPECT_TRUE(
+              seen.insert(CellCoord(coord.begin(), coord.end())).second);
+        });
+  };
+  absorb(dataset.base);
+  for (const auto& batch : dataset.random_batches) absorb(batch);
+}
+
+TEST(GeoGeneratorTest, DeterministicForSeed) {
+  ASSERT_OK_AND_ASSIGN(GeoDataset d1, GenerateGeo(SmallGeo(), 3));
+  ASSERT_OK_AND_ASSIGN(GeoDataset d2, GenerateGeo(SmallGeo(), 3));
+  EXPECT_TRUE(d1.base.ContentEquals(d2.base));
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(d1.random_batches[i].ContentEquals(d2.random_batches[i]));
+  }
+}
+
+TEST(GeoGeneratorTest, CorrelatedBatchesReuseFootprint) {
+  ASSERT_OK_AND_ASSIGN(GeoDataset dataset, GenerateGeo(SmallGeo(), 3));
+  ASSERT_OK_AND_ASSIGN(auto correlated,
+                       MakeCorrelatedGeoBatches(&dataset, 4));
+  const auto proto = dataset.random_batches[0].ChunkIds();
+  for (const auto& batch : correlated) {
+    EXPECT_EQ(batch.ChunkIds(), proto);
+  }
+}
+
+TEST(GeoGeneratorTest, PeriodicRequiresThreePrototypes) {
+  ASSERT_OK_AND_ASSIGN(GeoDataset dataset, GenerateGeo(SmallGeo(), 2));
+  EXPECT_TRUE(
+      MakePeriodicGeoBatches(&dataset, 4).status().IsInvalidArgument());
+}
+
+TEST(GeoGeneratorTest, PeriodicCyclesPrototypes) {
+  ASSERT_OK_AND_ASSIGN(GeoDataset dataset, GenerateGeo(SmallGeo(), 3));
+  ASSERT_OK_AND_ASSIGN(auto periodic, MakePeriodicGeoBatches(&dataset, 10));
+  ASSERT_EQ(periodic.size(), 10u);
+  // Pattern 0,1,2,2,1,0,0,1,2,2: batches 2 and 3 share a footprint.
+  EXPECT_EQ(periodic[2].ChunkIds(), periodic[3].ChunkIds());
+  EXPECT_EQ(periodic[0].ChunkIds(), periodic[5].ChunkIds());
+}
+
+TEST(GeoGeneratorTest, ClustersMakeDataSkewed) {
+  GeoOptions options = SmallGeo();
+  options.uniform_frac = 0.0;
+  options.num_clusters = 3;
+  ASSERT_OK_AND_ASSIGN(GeoDataset dataset, GenerateGeo(options, 0));
+  // With 3 tight clusters, the occupied chunks are far fewer than the grid.
+  const ChunkGrid grid(dataset.schema);
+  EXPECT_LT(dataset.base.NumChunks(),
+            static_cast<size_t>(grid.TotalChunkSlots() / 2));
+}
+
+}  // namespace
+}  // namespace avm
