@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reassignment.dir/ablation_reassignment.cc.o"
+  "CMakeFiles/ablation_reassignment.dir/ablation_reassignment.cc.o.d"
+  "ablation_reassignment"
+  "ablation_reassignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reassignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_batch_size.dir/fig10a_batch_size.cc.o"
+  "CMakeFiles/fig10a_batch_size.dir/fig10a_batch_size.cc.o.d"
+  "fig10a_batch_size"
+  "fig10a_batch_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_batch_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_num_batches.dir/fig10b_num_batches.cc.o"
+  "CMakeFiles/fig10b_num_batches.dir/fig10b_num_batches.cc.o.d"
+  "fig10b_num_batches"
+  "fig10b_num_batches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_num_batches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

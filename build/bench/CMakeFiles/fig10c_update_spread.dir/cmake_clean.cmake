@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10c_update_spread.dir/fig10c_update_spread.cc.o"
+  "CMakeFiles/fig10c_update_spread.dir/fig10c_update_spread.cc.o.d"
+  "fig10c_update_spread"
+  "fig10c_update_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10c_update_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

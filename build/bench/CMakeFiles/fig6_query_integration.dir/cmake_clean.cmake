@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_query_integration.dir/fig6_query_integration.cc.o"
+  "CMakeFiles/fig6_query_integration.dir/fig6_query_integration.cc.o.d"
+  "fig6_query_integration"
+  "fig6_query_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_query_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_overall_time.dir/fig9_overall_time.cc.o"
+  "CMakeFiles/fig9_overall_time.dir/fig9_overall_time.cc.o.d"
+  "fig9_overall_time"
+  "fig9_overall_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_overall_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astronomy_pipeline.dir/astronomy_pipeline.cpp.o"
+  "CMakeFiles/astronomy_pipeline.dir/astronomy_pipeline.cpp.o.d"
+  "astronomy_pipeline"
+  "astronomy_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astronomy_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

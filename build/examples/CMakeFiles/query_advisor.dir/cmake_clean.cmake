@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_advisor.dir/query_advisor.cpp.o"
+  "CMakeFiles/query_advisor.dir/query_advisor.cpp.o.d"
+  "query_advisor"
+  "query_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("array")
+subdirs("shape")
+subdirs("cluster")
+subdirs("storage")
+subdirs("join")
+subdirs("agg")
+subdirs("aql")
+subdirs("view")
+subdirs("maintenance")
+subdirs("query")
+subdirs("workload")
+subdirs("harness")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agg/aggregates.cc" "src/agg/CMakeFiles/avm_agg.dir/aggregates.cc.o" "gcc" "src/agg/CMakeFiles/avm_agg.dir/aggregates.cc.o.d"
+  "/root/repo/src/agg/state_utils.cc" "src/agg/CMakeFiles/avm_agg.dir/state_utils.cc.o" "gcc" "src/agg/CMakeFiles/avm_agg.dir/state_utils.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/array/CMakeFiles/avm_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/avm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avm_agg.dir/aggregates.cc.o"
+  "CMakeFiles/avm_agg.dir/aggregates.cc.o.d"
+  "CMakeFiles/avm_agg.dir/state_utils.cc.o"
+  "CMakeFiles/avm_agg.dir/state_utils.cc.o.d"
+  "libavm_agg.a"
+  "libavm_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avm_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

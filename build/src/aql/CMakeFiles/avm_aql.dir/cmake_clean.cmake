@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avm_aql.dir/lexer.cc.o"
+  "CMakeFiles/avm_aql.dir/lexer.cc.o.d"
+  "CMakeFiles/avm_aql.dir/parser.cc.o"
+  "CMakeFiles/avm_aql.dir/parser.cc.o.d"
+  "CMakeFiles/avm_aql.dir/session.cc.o"
+  "CMakeFiles/avm_aql.dir/session.cc.o.d"
+  "libavm_aql.a"
+  "libavm_aql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avm_aql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

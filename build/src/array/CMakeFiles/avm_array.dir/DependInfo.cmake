@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/chunk.cc" "src/array/CMakeFiles/avm_array.dir/chunk.cc.o" "gcc" "src/array/CMakeFiles/avm_array.dir/chunk.cc.o.d"
+  "/root/repo/src/array/chunk_grid.cc" "src/array/CMakeFiles/avm_array.dir/chunk_grid.cc.o" "gcc" "src/array/CMakeFiles/avm_array.dir/chunk_grid.cc.o.d"
+  "/root/repo/src/array/schema.cc" "src/array/CMakeFiles/avm_array.dir/schema.cc.o" "gcc" "src/array/CMakeFiles/avm_array.dir/schema.cc.o.d"
+  "/root/repo/src/array/serialization.cc" "src/array/CMakeFiles/avm_array.dir/serialization.cc.o" "gcc" "src/array/CMakeFiles/avm_array.dir/serialization.cc.o.d"
+  "/root/repo/src/array/sparse_array.cc" "src/array/CMakeFiles/avm_array.dir/sparse_array.cc.o" "gcc" "src/array/CMakeFiles/avm_array.dir/sparse_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/avm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

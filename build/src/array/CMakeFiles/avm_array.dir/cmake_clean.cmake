@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avm_array.dir/chunk.cc.o"
+  "CMakeFiles/avm_array.dir/chunk.cc.o.d"
+  "CMakeFiles/avm_array.dir/chunk_grid.cc.o"
+  "CMakeFiles/avm_array.dir/chunk_grid.cc.o.d"
+  "CMakeFiles/avm_array.dir/schema.cc.o"
+  "CMakeFiles/avm_array.dir/schema.cc.o.d"
+  "CMakeFiles/avm_array.dir/serialization.cc.o"
+  "CMakeFiles/avm_array.dir/serialization.cc.o.d"
+  "CMakeFiles/avm_array.dir/sparse_array.cc.o"
+  "CMakeFiles/avm_array.dir/sparse_array.cc.o.d"
+  "libavm_array.a"
+  "libavm_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avm_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

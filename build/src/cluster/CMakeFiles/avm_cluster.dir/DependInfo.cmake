@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/catalog.cc" "src/cluster/CMakeFiles/avm_cluster.dir/catalog.cc.o" "gcc" "src/cluster/CMakeFiles/avm_cluster.dir/catalog.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/avm_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/avm_cluster.dir/cluster.cc.o.d"
+  "/root/repo/src/cluster/distributed_array.cc" "src/cluster/CMakeFiles/avm_cluster.dir/distributed_array.cc.o" "gcc" "src/cluster/CMakeFiles/avm_cluster.dir/distributed_array.cc.o.d"
+  "/root/repo/src/cluster/placement.cc" "src/cluster/CMakeFiles/avm_cluster.dir/placement.cc.o" "gcc" "src/cluster/CMakeFiles/avm_cluster.dir/placement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/avm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/avm_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/avm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

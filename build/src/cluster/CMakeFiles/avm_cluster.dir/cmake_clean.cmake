@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avm_cluster.dir/catalog.cc.o"
+  "CMakeFiles/avm_cluster.dir/catalog.cc.o.d"
+  "CMakeFiles/avm_cluster.dir/cluster.cc.o"
+  "CMakeFiles/avm_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/avm_cluster.dir/distributed_array.cc.o"
+  "CMakeFiles/avm_cluster.dir/distributed_array.cc.o.d"
+  "CMakeFiles/avm_cluster.dir/placement.cc.o"
+  "CMakeFiles/avm_cluster.dir/placement.cc.o.d"
+  "libavm_cluster.a"
+  "libavm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libavm_cluster.a"
+)

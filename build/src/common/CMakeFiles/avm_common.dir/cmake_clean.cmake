@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avm_common.dir/logging.cc.o"
+  "CMakeFiles/avm_common.dir/logging.cc.o.d"
+  "CMakeFiles/avm_common.dir/rng.cc.o"
+  "CMakeFiles/avm_common.dir/rng.cc.o.d"
+  "CMakeFiles/avm_common.dir/status.cc.o"
+  "CMakeFiles/avm_common.dir/status.cc.o.d"
+  "CMakeFiles/avm_common.dir/string_util.cc.o"
+  "CMakeFiles/avm_common.dir/string_util.cc.o.d"
+  "libavm_common.a"
+  "libavm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/experiment.cc" "src/harness/CMakeFiles/avm_harness.dir/experiment.cc.o" "gcc" "src/harness/CMakeFiles/avm_harness.dir/experiment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/avm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/maintenance/CMakeFiles/avm_maintenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/avm_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/view/CMakeFiles/avm_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/avm_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/avm_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/avm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/shape/CMakeFiles/avm_shape.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/avm_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/avm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/avm_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

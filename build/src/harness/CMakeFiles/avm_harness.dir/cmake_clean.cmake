@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avm_harness.dir/experiment.cc.o"
+  "CMakeFiles/avm_harness.dir/experiment.cc.o.d"
+  "libavm_harness.a"
+  "libavm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

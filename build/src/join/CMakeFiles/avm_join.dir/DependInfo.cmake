@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/join/fragment_merge.cc" "src/join/CMakeFiles/avm_join.dir/fragment_merge.cc.o" "gcc" "src/join/CMakeFiles/avm_join.dir/fragment_merge.cc.o.d"
+  "/root/repo/src/join/join_kernel.cc" "src/join/CMakeFiles/avm_join.dir/join_kernel.cc.o" "gcc" "src/join/CMakeFiles/avm_join.dir/join_kernel.cc.o.d"
+  "/root/repo/src/join/mapping.cc" "src/join/CMakeFiles/avm_join.dir/mapping.cc.o" "gcc" "src/join/CMakeFiles/avm_join.dir/mapping.cc.o.d"
+  "/root/repo/src/join/pair_enumeration.cc" "src/join/CMakeFiles/avm_join.dir/pair_enumeration.cc.o" "gcc" "src/join/CMakeFiles/avm_join.dir/pair_enumeration.cc.o.d"
+  "/root/repo/src/join/reference.cc" "src/join/CMakeFiles/avm_join.dir/reference.cc.o" "gcc" "src/join/CMakeFiles/avm_join.dir/reference.cc.o.d"
+  "/root/repo/src/join/similarity_join.cc" "src/join/CMakeFiles/avm_join.dir/similarity_join.cc.o" "gcc" "src/join/CMakeFiles/avm_join.dir/similarity_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/agg/CMakeFiles/avm_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/avm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/shape/CMakeFiles/avm_shape.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/avm_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/avm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/avm_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

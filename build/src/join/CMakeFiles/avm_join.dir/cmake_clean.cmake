@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avm_join.dir/fragment_merge.cc.o"
+  "CMakeFiles/avm_join.dir/fragment_merge.cc.o.d"
+  "CMakeFiles/avm_join.dir/join_kernel.cc.o"
+  "CMakeFiles/avm_join.dir/join_kernel.cc.o.d"
+  "CMakeFiles/avm_join.dir/mapping.cc.o"
+  "CMakeFiles/avm_join.dir/mapping.cc.o.d"
+  "CMakeFiles/avm_join.dir/pair_enumeration.cc.o"
+  "CMakeFiles/avm_join.dir/pair_enumeration.cc.o.d"
+  "CMakeFiles/avm_join.dir/reference.cc.o"
+  "CMakeFiles/avm_join.dir/reference.cc.o.d"
+  "CMakeFiles/avm_join.dir/similarity_join.cc.o"
+  "CMakeFiles/avm_join.dir/similarity_join.cc.o.d"
+  "libavm_join.a"
+  "libavm_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avm_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/maintenance/array_reassigner.cc" "src/maintenance/CMakeFiles/avm_maintenance.dir/array_reassigner.cc.o" "gcc" "src/maintenance/CMakeFiles/avm_maintenance.dir/array_reassigner.cc.o.d"
+  "/root/repo/src/maintenance/baseline_planner.cc" "src/maintenance/CMakeFiles/avm_maintenance.dir/baseline_planner.cc.o" "gcc" "src/maintenance/CMakeFiles/avm_maintenance.dir/baseline_planner.cc.o.d"
+  "/root/repo/src/maintenance/deletions.cc" "src/maintenance/CMakeFiles/avm_maintenance.dir/deletions.cc.o" "gcc" "src/maintenance/CMakeFiles/avm_maintenance.dir/deletions.cc.o.d"
+  "/root/repo/src/maintenance/differential_planner.cc" "src/maintenance/CMakeFiles/avm_maintenance.dir/differential_planner.cc.o" "gcc" "src/maintenance/CMakeFiles/avm_maintenance.dir/differential_planner.cc.o.d"
+  "/root/repo/src/maintenance/exact_solver.cc" "src/maintenance/CMakeFiles/avm_maintenance.dir/exact_solver.cc.o" "gcc" "src/maintenance/CMakeFiles/avm_maintenance.dir/exact_solver.cc.o.d"
+  "/root/repo/src/maintenance/executor.cc" "src/maintenance/CMakeFiles/avm_maintenance.dir/executor.cc.o" "gcc" "src/maintenance/CMakeFiles/avm_maintenance.dir/executor.cc.o.d"
+  "/root/repo/src/maintenance/history.cc" "src/maintenance/CMakeFiles/avm_maintenance.dir/history.cc.o" "gcc" "src/maintenance/CMakeFiles/avm_maintenance.dir/history.cc.o.d"
+  "/root/repo/src/maintenance/maintainer.cc" "src/maintenance/CMakeFiles/avm_maintenance.dir/maintainer.cc.o" "gcc" "src/maintenance/CMakeFiles/avm_maintenance.dir/maintainer.cc.o.d"
+  "/root/repo/src/maintenance/makespan_tracker.cc" "src/maintenance/CMakeFiles/avm_maintenance.dir/makespan_tracker.cc.o" "gcc" "src/maintenance/CMakeFiles/avm_maintenance.dir/makespan_tracker.cc.o.d"
+  "/root/repo/src/maintenance/modifications.cc" "src/maintenance/CMakeFiles/avm_maintenance.dir/modifications.cc.o" "gcc" "src/maintenance/CMakeFiles/avm_maintenance.dir/modifications.cc.o.d"
+  "/root/repo/src/maintenance/objective.cc" "src/maintenance/CMakeFiles/avm_maintenance.dir/objective.cc.o" "gcc" "src/maintenance/CMakeFiles/avm_maintenance.dir/objective.cc.o.d"
+  "/root/repo/src/maintenance/triple_gen.cc" "src/maintenance/CMakeFiles/avm_maintenance.dir/triple_gen.cc.o" "gcc" "src/maintenance/CMakeFiles/avm_maintenance.dir/triple_gen.cc.o.d"
+  "/root/repo/src/maintenance/types.cc" "src/maintenance/CMakeFiles/avm_maintenance.dir/types.cc.o" "gcc" "src/maintenance/CMakeFiles/avm_maintenance.dir/types.cc.o.d"
+  "/root/repo/src/maintenance/view_reassigner.cc" "src/maintenance/CMakeFiles/avm_maintenance.dir/view_reassigner.cc.o" "gcc" "src/maintenance/CMakeFiles/avm_maintenance.dir/view_reassigner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/view/CMakeFiles/avm_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/avm_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/avm_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/avm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/shape/CMakeFiles/avm_shape.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/avm_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/avm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/avm_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

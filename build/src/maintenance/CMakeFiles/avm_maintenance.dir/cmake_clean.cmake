@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avm_maintenance.dir/array_reassigner.cc.o"
+  "CMakeFiles/avm_maintenance.dir/array_reassigner.cc.o.d"
+  "CMakeFiles/avm_maintenance.dir/baseline_planner.cc.o"
+  "CMakeFiles/avm_maintenance.dir/baseline_planner.cc.o.d"
+  "CMakeFiles/avm_maintenance.dir/deletions.cc.o"
+  "CMakeFiles/avm_maintenance.dir/deletions.cc.o.d"
+  "CMakeFiles/avm_maintenance.dir/differential_planner.cc.o"
+  "CMakeFiles/avm_maintenance.dir/differential_planner.cc.o.d"
+  "CMakeFiles/avm_maintenance.dir/exact_solver.cc.o"
+  "CMakeFiles/avm_maintenance.dir/exact_solver.cc.o.d"
+  "CMakeFiles/avm_maintenance.dir/executor.cc.o"
+  "CMakeFiles/avm_maintenance.dir/executor.cc.o.d"
+  "CMakeFiles/avm_maintenance.dir/history.cc.o"
+  "CMakeFiles/avm_maintenance.dir/history.cc.o.d"
+  "CMakeFiles/avm_maintenance.dir/maintainer.cc.o"
+  "CMakeFiles/avm_maintenance.dir/maintainer.cc.o.d"
+  "CMakeFiles/avm_maintenance.dir/makespan_tracker.cc.o"
+  "CMakeFiles/avm_maintenance.dir/makespan_tracker.cc.o.d"
+  "CMakeFiles/avm_maintenance.dir/modifications.cc.o"
+  "CMakeFiles/avm_maintenance.dir/modifications.cc.o.d"
+  "CMakeFiles/avm_maintenance.dir/objective.cc.o"
+  "CMakeFiles/avm_maintenance.dir/objective.cc.o.d"
+  "CMakeFiles/avm_maintenance.dir/triple_gen.cc.o"
+  "CMakeFiles/avm_maintenance.dir/triple_gen.cc.o.d"
+  "CMakeFiles/avm_maintenance.dir/types.cc.o"
+  "CMakeFiles/avm_maintenance.dir/types.cc.o.d"
+  "CMakeFiles/avm_maintenance.dir/view_reassigner.cc.o"
+  "CMakeFiles/avm_maintenance.dir/view_reassigner.cc.o.d"
+  "libavm_maintenance.a"
+  "libavm_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avm_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

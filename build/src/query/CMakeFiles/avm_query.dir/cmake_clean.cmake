@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avm_query.dir/optimized_join.cc.o"
+  "CMakeFiles/avm_query.dir/optimized_join.cc.o.d"
+  "CMakeFiles/avm_query.dir/query_planner.cc.o"
+  "CMakeFiles/avm_query.dir/query_planner.cc.o.d"
+  "libavm_query.a"
+  "libavm_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avm_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shape/chunk_footprint.cc" "src/shape/CMakeFiles/avm_shape.dir/chunk_footprint.cc.o" "gcc" "src/shape/CMakeFiles/avm_shape.dir/chunk_footprint.cc.o.d"
+  "/root/repo/src/shape/delta_shape.cc" "src/shape/CMakeFiles/avm_shape.dir/delta_shape.cc.o" "gcc" "src/shape/CMakeFiles/avm_shape.dir/delta_shape.cc.o.d"
+  "/root/repo/src/shape/shape.cc" "src/shape/CMakeFiles/avm_shape.dir/shape.cc.o" "gcc" "src/shape/CMakeFiles/avm_shape.dir/shape.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/array/CMakeFiles/avm_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/avm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avm_shape.dir/chunk_footprint.cc.o"
+  "CMakeFiles/avm_shape.dir/chunk_footprint.cc.o.d"
+  "CMakeFiles/avm_shape.dir/delta_shape.cc.o"
+  "CMakeFiles/avm_shape.dir/delta_shape.cc.o.d"
+  "CMakeFiles/avm_shape.dir/shape.cc.o"
+  "CMakeFiles/avm_shape.dir/shape.cc.o.d"
+  "libavm_shape.a"
+  "libavm_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avm_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

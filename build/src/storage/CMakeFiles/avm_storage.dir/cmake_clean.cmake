@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avm_storage.dir/chunk_store.cc.o"
+  "CMakeFiles/avm_storage.dir/chunk_store.cc.o.d"
+  "libavm_storage.a"
+  "libavm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avm_view.dir/materialized_view.cc.o"
+  "CMakeFiles/avm_view.dir/materialized_view.cc.o.d"
+  "CMakeFiles/avm_view.dir/view_definition.cc.o"
+  "CMakeFiles/avm_view.dir/view_definition.cc.o.d"
+  "libavm_view.a"
+  "libavm_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avm_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avm_workload.dir/geo.cc.o"
+  "CMakeFiles/avm_workload.dir/geo.cc.o.d"
+  "CMakeFiles/avm_workload.dir/ptf.cc.o"
+  "CMakeFiles/avm_workload.dir/ptf.cc.o.d"
+  "libavm_workload.a"
+  "libavm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

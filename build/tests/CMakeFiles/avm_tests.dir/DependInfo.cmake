@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aggregates_test.cc" "tests/CMakeFiles/avm_tests.dir/aggregates_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/aggregates_test.cc.o.d"
+  "/root/repo/tests/aql_test.cc" "tests/CMakeFiles/avm_tests.dir/aql_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/aql_test.cc.o.d"
+  "/root/repo/tests/chunk_grid_test.cc" "tests/CMakeFiles/avm_tests.dir/chunk_grid_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/chunk_grid_test.cc.o.d"
+  "/root/repo/tests/chunk_test.cc" "tests/CMakeFiles/avm_tests.dir/chunk_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/chunk_test.cc.o.d"
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/avm_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/avm_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/deletions_test.cc" "tests/CMakeFiles/avm_tests.dir/deletions_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/deletions_test.cc.o.d"
+  "/root/repo/tests/distributed_array_test.cc" "tests/CMakeFiles/avm_tests.dir/distributed_array_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/distributed_array_test.cc.o.d"
+  "/root/repo/tests/executor_test.cc" "tests/CMakeFiles/avm_tests.dir/executor_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/executor_test.cc.o.d"
+  "/root/repo/tests/footprint_test.cc" "tests/CMakeFiles/avm_tests.dir/footprint_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/footprint_test.cc.o.d"
+  "/root/repo/tests/harness_test.cc" "tests/CMakeFiles/avm_tests.dir/harness_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/harness_test.cc.o.d"
+  "/root/repo/tests/history_test.cc" "tests/CMakeFiles/avm_tests.dir/history_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/history_test.cc.o.d"
+  "/root/repo/tests/join_kernel_test.cc" "tests/CMakeFiles/avm_tests.dir/join_kernel_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/join_kernel_test.cc.o.d"
+  "/root/repo/tests/logging_test.cc" "tests/CMakeFiles/avm_tests.dir/logging_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/logging_test.cc.o.d"
+  "/root/repo/tests/maintainer_test.cc" "tests/CMakeFiles/avm_tests.dir/maintainer_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/maintainer_test.cc.o.d"
+  "/root/repo/tests/makespan_tracker_test.cc" "tests/CMakeFiles/avm_tests.dir/makespan_tracker_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/makespan_tracker_test.cc.o.d"
+  "/root/repo/tests/mapping_test.cc" "tests/CMakeFiles/avm_tests.dir/mapping_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/mapping_test.cc.o.d"
+  "/root/repo/tests/modifications_test.cc" "tests/CMakeFiles/avm_tests.dir/modifications_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/modifications_test.cc.o.d"
+  "/root/repo/tests/objective_test.cc" "tests/CMakeFiles/avm_tests.dir/objective_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/objective_test.cc.o.d"
+  "/root/repo/tests/paper_example_test.cc" "tests/CMakeFiles/avm_tests.dir/paper_example_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/paper_example_test.cc.o.d"
+  "/root/repo/tests/planner_test.cc" "tests/CMakeFiles/avm_tests.dir/planner_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/planner_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/avm_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/recursive_view_test.cc" "tests/CMakeFiles/avm_tests.dir/recursive_view_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/recursive_view_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/avm_tests.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/rng_test.cc.o.d"
+  "/root/repo/tests/schema_test.cc" "tests/CMakeFiles/avm_tests.dir/schema_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/schema_test.cc.o.d"
+  "/root/repo/tests/serialization_test.cc" "tests/CMakeFiles/avm_tests.dir/serialization_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/serialization_test.cc.o.d"
+  "/root/repo/tests/shape_test.cc" "tests/CMakeFiles/avm_tests.dir/shape_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/shape_test.cc.o.d"
+  "/root/repo/tests/similarity_join_test.cc" "tests/CMakeFiles/avm_tests.dir/similarity_join_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/similarity_join_test.cc.o.d"
+  "/root/repo/tests/sparse_array_test.cc" "tests/CMakeFiles/avm_tests.dir/sparse_array_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/sparse_array_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/avm_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/string_util_test.cc" "tests/CMakeFiles/avm_tests.dir/string_util_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/string_util_test.cc.o.d"
+  "/root/repo/tests/triple_gen_test.cc" "tests/CMakeFiles/avm_tests.dir/triple_gen_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/triple_gen_test.cc.o.d"
+  "/root/repo/tests/view_geometry_test.cc" "tests/CMakeFiles/avm_tests.dir/view_geometry_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/view_geometry_test.cc.o.d"
+  "/root/repo/tests/view_test.cc" "tests/CMakeFiles/avm_tests.dir/view_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/view_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/avm_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/avm_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aql/CMakeFiles/avm_aql.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/avm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/avm_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/maintenance/CMakeFiles/avm_maintenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/avm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/view/CMakeFiles/avm_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/avm_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/avm_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/avm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/avm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/shape/CMakeFiles/avm_shape.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/avm_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/avm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
