@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -12,14 +13,45 @@
 
 namespace avm::bench {
 
+/// Host threads the figure benchmarks execute maintenance with. Defaults to
+/// 1 (serial); set from AVM_THREADS or the --threads=N flag (see
+/// ParseThreadsFlag). Simulated makespans are identical at any value — only
+/// real wall-clock changes.
+inline int& BenchThreads() {
+  static int threads = [] {
+    const char* env = std::getenv("AVM_THREADS");
+    const int t = env == nullptr ? 1 : std::atoi(env);
+    return t < 1 ? 1 : t;
+  }();
+  return threads;
+}
+
+/// Consumes a --threads=N (or --threads N) argument before
+/// benchmark::Initialize sees it, storing the value in BenchThreads().
+inline void ParseThreadsFlag(int* argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      BenchThreads() = std::max(1, std::atoi(arg.c_str() + 10));
+    } else if (arg == "--threads" && i + 1 < *argc) {
+      BenchThreads() = std::max(1, std::atoi(argv[++i]));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+}
+
 /// Scale used by every figure benchmark: the paper's 8-worker + coordinator
 /// cluster, 10 update batches, and a laptop-sized PTF/GEO dataset whose
 /// structural knobs (skew, pointing windows, drift) mirror the real
 /// workloads. Set AVM_BENCH_SCALE=tiny for smoke runs or =large for a
-/// bigger sweep.
+/// bigger sweep; AVM_THREADS / --threads=N sets the host thread count.
 inline ExperimentScale FigureScale() {
   ExperimentScale scale;
   scale.num_workers = 8;
+  scale.num_threads = BenchThreads();
   scale.num_batches = 10;
   scale.ptf.time_range = 2240;  // 8 base nights + up to 12 update nights
   scale.ptf.ra_range = 4000;    // a 40x40 (ra, dec) chunk grid: the real

@@ -89,6 +89,7 @@ void PrintPaperTable() {
 }  // namespace avm::bench
 
 int main(int argc, char** argv) {
+  avm::bench::ParseThreadsFlag(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
   avm::bench::RegisterAll();
   ::benchmark::RunSpecifiedBenchmarks();

@@ -35,6 +35,8 @@ void RunSeries(::benchmark::State& state, DatasetKind kind,
         RunMaintenanceSeries(&experiment, method, PlannerOptions()),
         "maintenance series");
     state.counters["sim_total_s"] = series.TotalMaintenanceSeconds();
+    state.counters["wall_exec_s"] = series.TotalExecutionWallSeconds();
+    state.counters["threads"] = static_cast<double>(BenchThreads());
     state.counters["opt_mean_s"] = series.MeanOptimizationSeconds();
     state.counters["batches"] = static_cast<double>(series.reports.size());
 
@@ -90,6 +92,7 @@ void PrintPaperTables() {
 }  // namespace avm::bench
 
 int main(int argc, char** argv) {
+  avm::bench::ParseThreadsFlag(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
   avm::bench::RegisterAll();
   ::benchmark::RunSpecifiedBenchmarks();

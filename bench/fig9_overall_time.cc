@@ -35,6 +35,8 @@ void RunCase(::benchmark::State& state, DatasetKind kind, BatchRegime regime,
     state.counters["overall_s"] = opt + maintenance;
     state.counters["opt_s"] = opt;
     state.counters["maintenance_s"] = maintenance;
+    state.counters["wall_exec_s"] = series.TotalExecutionWallSeconds();
+    state.counters["threads"] = static_cast<double>(BenchThreads());
 
     auto& rows = Rows();
     const std::string dataset(DatasetKindName(kind));
@@ -94,6 +96,7 @@ void PrintPaperTable() {
 }  // namespace avm::bench
 
 int main(int argc, char** argv) {
+  avm::bench::ParseThreadsFlag(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
   avm::bench::RegisterAll();
   ::benchmark::RunSpecifiedBenchmarks();

@@ -6,8 +6,9 @@
 
 namespace avm {
 
-Cluster::Cluster(int num_workers, CostModel cost_model)
-    : cost_model_(cost_model) {
+Cluster::Cluster(int num_workers, CostModel cost_model, int num_threads)
+    : cost_model_(cost_model),
+      pool_(std::make_unique<ThreadPool>(num_threads)) {
   AVM_CHECK_GE(num_workers, 1);
   workers_ = std::vector<Node>(static_cast<size_t>(num_workers));
 }

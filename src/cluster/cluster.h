@@ -1,11 +1,13 @@
 #ifndef AVM_CLUSTER_CLUSTER_H_
 #define AVM_CLUSTER_CLUSTER_H_
 
+#include <memory>
 #include <vector>
 
 #include "cluster/cost_model.h"
 #include "cluster/placement.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "storage/chunk_store.h"
 
 namespace avm {
@@ -31,14 +33,21 @@ namespace avm {
 class Cluster {
  public:
   /// Creates a cluster with `num_workers` worker nodes (>= 1) and a
-  /// coordinator.
-  explicit Cluster(int num_workers, CostModel cost_model = CostModel());
+  /// coordinator. `num_threads` sizes the host thread pool the maintenance
+  /// executor uses to run per-node work concurrently (1 = serial execution;
+  /// simulated clocks and therefore makespans are identical either way).
+  explicit Cluster(int num_workers, CostModel cost_model = CostModel(),
+                   int num_threads = 1);
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
   const CostModel& cost_model() const { return cost_model_; }
+
+  /// The host-side execution pool for parallel maintenance. Never null.
+  ThreadPool* pool() const { return pool_.get(); }
+  int num_threads() const { return pool_->num_threads(); }
 
   /// Store of a worker (0..N-1) or of the coordinator (kCoordinatorNode).
   ChunkStore& store(NodeId node);
@@ -81,6 +90,7 @@ class Cluster {
   CostModel cost_model_;
   std::vector<Node> workers_;
   Node coordinator_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 /// Snapshot of every node's clock, for measuring the simulated makespan of

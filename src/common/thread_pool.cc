@@ -1,0 +1,100 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace avm {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  // A 1-thread pool executes inline; only spawn workers beyond the caller.
+  for (int i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--pending_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++pending_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  all_idle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Per-call completion state, shared with the worker tasks. Indices are
+  // claimed from an atomic counter so a slow index does not stall the rest.
+  struct ForState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable finished;
+  };
+  auto state = std::make_shared<ForState>();
+  auto drain = [state, n, &fn] {
+    size_t i;
+    size_t completed = 0;
+    while ((i = state->next.fetch_add(1)) < n) {
+      fn(i);
+      ++completed;
+    }
+    if (completed > 0 &&
+        state->done.fetch_add(completed) + completed == n) {
+      std::unique_lock<std::mutex> lock(state->mu);
+      state->finished.notify_all();
+    }
+  };
+  const size_t helpers =
+      std::min(n - 1, workers_.size());  // the caller drains too
+  for (size_t i = 0; i < helpers; ++i) Submit(drain);
+  drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->finished.wait(lock,
+                       [&] { return state->done.load() == n; });
+}
+
+}  // namespace avm

@@ -1,0 +1,71 @@
+#ifndef AVM_COMMON_THREAD_POOL_H_
+#define AVM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace avm {
+
+/// A fixed-size pool of worker threads executing submitted tasks FIFO.
+///
+/// The pool is the execution substrate of the parallel maintenance executor:
+/// per-simulated-node work (chunk joins, delta upserts) is packaged into
+/// tasks that run concurrently on real host threads, while simulated clocks
+/// keep measuring the cost model's time. A pool of size 1 degenerates to
+/// serial execution on the caller's thread (no worker is spawned), which
+/// keeps the single-threaded path free of synchronization and trivially
+/// deterministic.
+///
+/// Tasks must not throw — the codebase is Status-based; a task that needs to
+/// report failure stores a Status into state it owns (see ParallelFor usage
+/// in maintenance/executor.cc).
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (clamped to >= 1). One thread
+  /// means inline execution: Submit runs the task immediately on the calling
+  /// thread and no worker threads exist.
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Enqueues `task` for execution (runs it inline for a 1-thread pool).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// Runs fn(0), ..., fn(n-1), distributing indices across the pool's
+  /// workers (plus the calling thread, which also drains indices instead of
+  /// blocking idle), and returns when all n calls completed. Indices are
+  /// claimed dynamically, so per-index work may be uneven. fn must be safe to
+  /// call concurrently from multiple threads with distinct indices.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;   // signalled when queue_ grows/stops
+  std::condition_variable all_idle_;     // signalled when pending_ hits zero
+  std::deque<std::function<void()>> queue_;
+  size_t pending_ = 0;  // queued + currently running tasks
+  bool stop_ = false;
+};
+
+}  // namespace avm
+
+#endif  // AVM_COMMON_THREAD_POOL_H_

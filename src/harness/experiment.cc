@@ -66,8 +66,8 @@ Result<PreparedExperiment> PrepareExperiment(DatasetKind kind,
                                              const ExperimentScale& scale) {
   PreparedExperiment experiment;
   experiment.catalog = std::make_unique<Catalog>();
-  experiment.cluster =
-      std::make_unique<Cluster>(scale.num_workers, scale.cost_model);
+  experiment.cluster = std::make_unique<Cluster>(
+      scale.num_workers, scale.cost_model, scale.num_threads);
   Catalog* catalog = experiment.catalog.get();
   Cluster* cluster = experiment.cluster.get();
 
@@ -176,6 +176,12 @@ double BatchSeries::MeanOptimizationSeconds() const {
                    static_cast<double>(reports.size());
 }
 
+double BatchSeries::TotalExecutionWallSeconds() const {
+  double total = 0.0;
+  for (const auto& r : reports) total += r.execution_wall_seconds;
+  return total;
+}
+
 Result<BatchSeries> RunMaintenanceSeries(PreparedExperiment* experiment,
                                          MaintenanceMethod method,
                                          const PlannerOptions& options) {
@@ -234,6 +240,11 @@ void PrintSeriesTable(const std::string& title,
   std::printf("%-8s", "total");
   for (const auto& s : series) {
     std::printf("%13.4fs ", s.TotalMaintenanceSeconds());
+  }
+  std::printf("\n");
+  std::printf("%-8s", "wall");
+  for (const auto& s : series) {
+    std::printf("%13.4fs ", s.TotalExecutionWallSeconds());
   }
   std::printf("\n");
 }

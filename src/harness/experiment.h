@@ -39,6 +39,10 @@ std::string_view BatchRegimeName(BatchRegime regime);
 /// laptop scale.
 struct ExperimentScale {
   int num_workers = 8;
+  /// Host threads executing maintenance plans (the --threads knob of the
+  /// bench drivers). Changes real wall-clock only; simulated makespans are
+  /// bit-identical at any thread count.
+  int num_threads = 1;
   CostModel cost_model;
   PtfOptions ptf;
   GeoOptions geo;
@@ -77,6 +81,9 @@ struct BatchSeries {
   double TotalMaintenanceSeconds() const;
   double TotalOptimizationSeconds() const;
   double MeanOptimizationSeconds() const;
+  /// Real wall-clock spent executing plans across the series (the quantity
+  /// --threads improves; the simulated totals above are thread-invariant).
+  double TotalExecutionWallSeconds() const;
 };
 
 /// Applies every batch with the given method, collecting per-batch reports.

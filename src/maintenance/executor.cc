@@ -2,10 +2,14 @@
 
 #include <map>
 #include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "join/fragment_merge.h"
 #include "join/join_kernel.h"
+#include "maintenance/makespan_tracker.h"
 
 namespace avm {
 
@@ -51,6 +55,24 @@ class RefResolver {
   DistributedArray* rdelta_;
 };
 
+/// A node id a plan may legally name as a data location: a worker or the
+/// coordinator. Plans produced by the planners never place work outside the
+/// cluster; a stray id is a planner bug surfaced as Internal, not a crash.
+Status ValidatePlanNode(NodeId node, int num_workers, const char* what) {
+  if (node == kCoordinatorNode || (node >= 0 && node < num_workers)) {
+    return Status::OK();
+  }
+  return Status::Internal(std::string(what) + " references unknown node id " +
+                          std::to_string(node));
+}
+
+/// Joins must run on a worker (the coordinator has no join capability).
+Status ValidateJoinNode(NodeId node, int num_workers) {
+  if (node >= 0 && node < num_workers) return Status::OK();
+  return Status::Internal("join assigned to unknown node id " +
+                          std::to_string(node));
+}
+
 /// Folds the cells of `delta_chunk` into the base chunk resident at `node`
 /// (upsert semantics: new detections are inserts/overwrites of raw data).
 void UpsertCells(const Chunk& delta_chunk, Chunk* base_chunk) {
@@ -63,6 +85,18 @@ void UpsertCells(const Chunk& delta_chunk, Chunk* base_chunk) {
   }
 }
 
+/// All join work one worker node executes, plus its outputs. One NodeJoinWork
+/// is the unit of parallelism: a single host task runs the node's joins in
+/// plan order, so per-node fragment accumulation order — and therefore every
+/// floating-point sum — matches the serial path exactly.
+struct NodeJoinWork {
+  NodeId node = 0;
+  std::vector<size_t> join_indices;  // into plan.joins, ascending
+  std::map<ChunkId, Chunk> fragments;
+  uint64_t joins_executed = 0;
+  Status status = Status::OK();
+};
+
 }  // namespace
 
 Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
@@ -74,63 +108,107 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
   ExecutionStats stats;
   Cluster* cluster = view->array().cluster();
   Catalog* catalog = view->array().catalog();
+  const int num_workers = cluster->num_workers();
   const RefResolver resolver(view, left_delta, right_delta);
   const AggregateLayout& layout = view->layout();
   const ViewDefinition& def = view->definition();
   const ViewTarget target{&def.group_dims, &view->array().grid()};
 
   // Step 1: co-location transfers (x variables). Senders' clocks charged.
+  // Serial: transfers mutate node stores, and later steps depend on every
+  // replica being in place.
   for (const auto& t : plan.transfers) {
+    AVM_RETURN_IF_ERROR(
+        ValidatePlanNode(t.from, num_workers, "transfer source"));
+    AVM_RETURN_IF_ERROR(
+        ValidatePlanNode(t.to, num_workers, "transfer destination"));
     AVM_ASSIGN_OR_RETURN(DistributedArray * array,
                          resolver.ArrayOf(t.chunk.side));
     AVM_RETURN_IF_ERROR(
         cluster->TransferChunk(array->id(), t.chunk.id, t.from, t.to));
   }
 
-  // Step 2: joins (z variables). Each direction's output fragments are
-  // tagged with the node that produced them.
-  std::map<NodeId, std::map<ChunkId, Chunk>> fragments_by_node;
-  for (const auto& join : plan.joins) {
+  // Step 2: joins (z variables), grouped by executing node and run
+  // concurrently across nodes on the host thread pool — the real-thread
+  // counterpart of the per-node parallelism the MIP objective assumes.
+  // During the parallel phase tasks only read node stores (all replicas were
+  // placed in step 1) and write task-local state; simulated CPU seconds
+  // accumulate in a ConcurrentClockBank committed after the barrier, so
+  // clocks and makespan are bit-identical to serial execution.
+  std::map<NodeId, NodeJoinWork> work_by_node;
+  for (size_t i = 0; i < plan.joins.size(); ++i) {
+    const auto& join = plan.joins[i];
     if (join.pair_index >= triples.pairs.size()) {
       return Status::Internal("join references a pair outside the triple set");
     }
+    AVM_RETURN_IF_ERROR(ValidateJoinNode(join.node, num_workers));
+    // Resolve operand arrays up front: a missing delta is a plan bug we
+    // report deterministically before any parallel work starts.
     const JoinPair& pair = triples.pairs[join.pair_index];
-    const NodeId k = join.node;
-    AVM_ASSIGN_OR_RETURN(DistributedArray * a_array,
-                         resolver.ArrayOf(pair.a.side));
-    AVM_ASSIGN_OR_RETURN(DistributedArray * b_array,
-                         resolver.ArrayOf(pair.b.side));
-    const Chunk* a_chunk = cluster->store(k).Get(a_array->id(), pair.a.id);
-    const Chunk* b_chunk = cluster->store(k).Get(b_array->id(), pair.b.id);
-    if (a_chunk == nullptr || b_chunk == nullptr) {
-      return Status::Internal(
-          "plan did not co-locate both operands of a join at node " +
-          std::to_string(k));
+    AVM_RETURN_IF_ERROR(resolver.ArrayOf(pair.a.side).status());
+    AVM_RETURN_IF_ERROR(resolver.ArrayOf(pair.b.side).status());
+    NodeJoinWork& work = work_by_node[join.node];
+    work.node = join.node;
+    work.join_indices.push_back(i);
+  }
+  std::vector<NodeJoinWork*> tasks;
+  tasks.reserve(work_by_node.size());
+  for (auto& [node, work] : work_by_node) tasks.push_back(&work);
+
+  ConcurrentClockBank clock_bank(num_workers);
+  const CostModel& cost_model = cluster->cost_model();
+  cluster->pool()->ParallelFor(tasks.size(), [&](size_t t) {
+    NodeJoinWork& work = *tasks[t];
+    const NodeId k = work.node;
+    const ChunkStore& store = cluster->store(k);
+    for (size_t i : work.join_indices) {
+      const MaintenancePlan::Join& join = plan.joins[i];
+      const JoinPair& pair = triples.pairs[join.pair_index];
+      // Operand arrays were validated before the fan-out; value() is safe.
+      DistributedArray* a_array = resolver.ArrayOf(pair.a.side).value();
+      DistributedArray* b_array = resolver.ArrayOf(pair.b.side).value();
+      const Chunk* a_chunk = store.Get(a_array->id(), pair.a.id);
+      const Chunk* b_chunk = store.Get(b_array->id(), pair.b.id);
+      if (a_chunk == nullptr || b_chunk == nullptr) {
+        work.status = Status::Internal(
+            "plan did not co-locate both operands of a join at node " +
+            std::to_string(k));
+        return;
+      }
+      clock_bank.AddCpu(k, cost_model.JoinSeconds(pair.bytes));
+      if (pair.dir_ab) {
+        const RightOperand rop{b_chunk, pair.b.id, &b_array->grid()};
+        work.status = JoinAggregateChunkPair(*a_chunk, rop, def.mapping,
+                                             def.shape, layout, target,
+                                             /*multiplicity=*/1,
+                                             &work.fragments);
+        if (!work.status.ok()) return;
+        ++work.joins_executed;
+      }
+      if (pair.dir_ba) {
+        const RightOperand rop{a_chunk, pair.a.id, &a_array->grid()};
+        work.status = JoinAggregateChunkPair(*b_chunk, rop, def.mapping,
+                                             def.shape, layout, target,
+                                             /*multiplicity=*/1,
+                                             &work.fragments);
+        if (!work.status.ok()) return;
+        ++work.joins_executed;
+      }
     }
-    cluster->ChargeJoin(k, pair.bytes);
-    auto& fragments = fragments_by_node[k];
-    if (pair.dir_ab) {
-      const RightOperand rop{b_chunk, pair.b.id, &b_array->grid()};
-      AVM_RETURN_IF_ERROR(JoinAggregateChunkPair(*a_chunk, rop, def.mapping,
-                                                 def.shape, layout, target,
-                                                 /*multiplicity=*/1,
-                                                 &fragments));
-      ++stats.joins_executed;
-    }
-    if (pair.dir_ba) {
-      const RightOperand rop{a_chunk, pair.a.id, &a_array->grid()};
-      AVM_RETURN_IF_ERROR(JoinAggregateChunkPair(*b_chunk, rop, def.mapping,
-                                                 def.shape, layout, target,
-                                                 /*multiplicity=*/1,
-                                                 &fragments));
-      ++stats.joins_executed;
-    }
+  });
+  clock_bank.CommitTo(cluster);
+  // Surface the first failure in ascending node order (deterministic
+  // regardless of which task hit it first on the wall clock).
+  for (const NodeJoinWork* work : tasks) {
+    AVM_RETURN_IF_ERROR(work->status);
+    stats.joins_executed += work->joins_executed;
   }
 
   // Step 3a: relocate view chunks whose planned home differs from their
   // current node (the y_v reassignment).
   const ArrayId view_id = view->array().id();
   for (const auto& [v, home] : plan.view_home) {
+    AVM_RETURN_IF_ERROR(ValidatePlanNode(home, num_workers, "view home"));
     auto current = catalog->NodeOf(view_id, v);
     if (!current.ok() || current.value() == home) continue;
     AVM_RETURN_IF_ERROR(
@@ -139,24 +217,36 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
     ++stats.view_chunks_touched;
   }
 
-  // Step 3b: ship fragments to their view chunk's home and merge.
-  for (auto& [producer, fragments] : fragments_by_node) {
-    for (auto& [v, fragment] : fragments) {
-      NodeId home;
-      auto planned = plan.view_home.find(v);
-      if (planned != plan.view_home.end()) {
-        home = planned->second;
-      } else {
-        auto current = catalog->NodeOf(view_id, v);
-        home = current.ok() ? current.value()
-                            : catalog->PlaceByStrategy(
-                                  view_id, v, cluster->num_workers());
-      }
+  // Step 3b: ship fragments to their view chunk's home and merge. Fragments
+  // are folded per view chunk in canonical ascending ChunkId order, each
+  // chunk's contributions in ascending producer-node order — a fixed merge
+  // schedule independent of how the join tasks were interleaved, and equal,
+  // per clock, to the serial producer-major order (each producer's charges
+  // stay in ascending-v sequence).
+  std::map<ChunkId, std::vector<std::pair<NodeId, const Chunk*>>>
+      fragments_by_view_chunk;
+  for (const NodeJoinWork* work : tasks) {
+    for (const auto& [v, fragment] : work->fragments) {
+      fragments_by_view_chunk[v].push_back({work->node, &fragment});
+    }
+  }
+  for (const auto& [v, producers] : fragments_by_view_chunk) {
+    NodeId home;
+    auto planned = plan.view_home.find(v);
+    if (planned != plan.view_home.end()) {
+      home = planned->second;
+    } else {
+      auto current = catalog->NodeOf(view_id, v);
+      home = current.ok() ? current.value()
+                          : catalog->PlaceByStrategy(view_id, v,
+                                                     cluster->num_workers());
+    }
+    for (const auto& [producer, fragment] : producers) {
       if (producer != home) {
-        cluster->ChargeNetwork(producer, fragment.SizeBytes());
+        cluster->ChargeNetwork(producer, fragment->SizeBytes());
       }
       AVM_RETURN_IF_ERROR(
-          MergeStateFragment(&view->array(), v, fragment, layout, home));
+          MergeStateFragment(&view->array(), v, *fragment, layout, home));
       ++stats.fragments_merged;
     }
   }
@@ -165,6 +255,8 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
   // was already replicated during maintenance; only primaries change).
   for (const auto& move : plan.array_moves) {
     if (IsDeltaSide(move.chunk.side)) continue;  // handled with the merge
+    AVM_RETURN_IF_ERROR(
+        ValidatePlanNode(move.node, num_workers, "array move"));
     AVM_ASSIGN_OR_RETURN(DistributedArray * array,
                          resolver.ArrayOf(move.chunk.side));
     auto current = catalog->NodeOf(array->id(), move.chunk.id);
@@ -178,11 +270,24 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
     ++stats.base_chunks_moved;
   }
 
-  // Step 5: fold the delta chunks into their base arrays.
+  // Step 5: fold the delta chunks into their base arrays. Transfers,
+  // placement decisions, and catalog writes stay on the control thread; the
+  // cell-level upserts — each touching a distinct base chunk — fan out on
+  // the pool once every operand is in place.
   std::map<MChunkRef, NodeId> planned_delta_home;
   for (const auto& move : plan.array_moves) {
-    if (IsDeltaSide(move.chunk.side)) planned_delta_home[move.chunk] = move.node;
+    if (!IsDeltaSide(move.chunk.side)) continue;
+    AVM_RETURN_IF_ERROR(
+        ValidatePlanNode(move.node, num_workers, "delta move"));
+    planned_delta_home[move.chunk] = move.node;
   }
+  struct UpsertJob {
+    const Chunk* delta_chunk = nullptr;
+    Chunk* base_chunk = nullptr;
+    ArrayId base_id = 0;
+    ChunkId chunk_id = 0;
+  };
+  std::vector<UpsertJob> upserts;
   for (DistributedArray* delta : {left_delta, right_delta}) {
     if (delta == nullptr) continue;
     const ChunkSide side = (delta == right_delta) ? ChunkSide::kRightDelta
@@ -221,8 +326,9 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
           return Status::Internal(
               "base chunk missing from its primary node during delta merge");
         }
-        UpsertCells(*delta_chunk, base_chunk);
-        catalog->SetChunkBytes(base.id(), d, base_chunk->SizeBytes());
+        // Chunk pointers are stable (node stores are node-based maps), so
+        // the job survives later transfers into the same store.
+        upserts.push_back({delta_chunk, base_chunk, base.id(), d});
       } else {
         Chunk copy = *delta_chunk;
         const uint64_t bytes = copy.SizeBytes();
@@ -232,6 +338,13 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
       }
       ++stats.delta_chunks_merged;
     }
+  }
+  cluster->pool()->ParallelFor(upserts.size(), [&](size_t i) {
+    UpsertCells(*upserts[i].delta_chunk, upserts[i].base_chunk);
+  });
+  for (const UpsertJob& job : upserts) {
+    catalog->SetChunkBytes(job.base_id, job.chunk_id,
+                           job.base_chunk->SizeBytes());
   }
 
   // Step 6: drop every non-primary replica of the persistent arrays and all

@@ -28,8 +28,19 @@ struct ExecutionStats {
 /// drops all non-primary replicas.
 ///
 /// The executor validates the plan as it goes: a join whose operands the
-/// plan failed to co-locate is an Internal error, not a silent fallback —
-/// plans produced by the planners must be self-sufficient.
+/// plan failed to co-locate, a reference to a delta that was not supplied,
+/// or a node id outside the cluster is an Internal error, not a silent
+/// fallback or a crash — plans produced by the planners must be
+/// self-sufficient.
+///
+/// Execution is parallel on the cluster's host thread pool
+/// (Cluster::pool()): each simulated node's chunk joins run as one
+/// concurrent task, and delta-chunk upserts fan out per chunk. Simulated
+/// clock charges accumulate in a thread-safe bank committed after each
+/// parallel phase, and fragments merge into view chunks in canonical
+/// ascending-ChunkId order, so the resulting view, catalog, and clocks are
+/// bit-identical to serial execution (--threads 1) regardless of host
+/// scheduling.
 ///
 /// After execution the view's content is exactly the view definition
 /// evaluated over base+delta (verified against full recomputation in the

@@ -156,12 +156,15 @@ Result<MaintenanceReport> ViewMaintainer::ApplyBatch(
   }
   report.planning_seconds = plan_clock.ElapsedSeconds();
 
-  // Execute against the cluster and measure the batch's simulated makespan.
+  // Execute against the cluster and measure the batch's simulated makespan
+  // plus the real wall-clock the (possibly multi-threaded) execution took.
   const ClusterClockSnapshot before = ClusterClockSnapshot::Take(*cluster);
+  Stopwatch exec_clock;
   auto exec = ExecuteMaintenancePlan(
       plan, triples, view_, &left_delta,
       right_delta.has_value() ? &*right_delta : nullptr);
   if (!exec.ok()) return exec.status();
+  report.execution_wall_seconds = exec_clock.ElapsedSeconds();
   report.exec = exec.value();
 
   // Value corrections for overwritten cells (after the insert merge, so

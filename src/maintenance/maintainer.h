@@ -44,8 +44,14 @@ struct MaintenanceReport {
     return triple_gen_seconds + planning_seconds;
   }
   /// Simulated maintenance makespan of the batch: max over nodes of
-  /// max(Δntwk, Δcpu) charged while executing the plan.
+  /// max(Δntwk, Δcpu) charged while executing the plan. Independent of the
+  /// cluster's host thread count — parallel execution changes wall-clock
+  /// only, never the simulated clocks.
   double maintenance_seconds = 0.0;
+  /// Real wall-clock seconds spent executing the plan against the cluster
+  /// (joins, transfers, merges). This is the quantity host parallelism
+  /// (`Cluster` `num_threads` / the benches' --threads knob) improves.
+  double execution_wall_seconds = 0.0;
   size_t num_pairs = 0;
   size_t num_triples = 0;
   size_t num_delta_chunks = 0;

@@ -3,9 +3,22 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "cluster/cluster.h"
 #include "common/logging.h"
 
 namespace avm {
+
+namespace {
+
+/// Atomic a += v via CAS (std::atomic<double>::fetch_add is C++20 but not
+/// universally lock-free on older standard libraries).
+void AtomicAdd(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 MakespanTracker::MakespanTracker(int num_workers)
     : num_workers_(num_workers),
@@ -87,6 +100,47 @@ void MakespanTracker::AddCpu(NodeId node, double seconds) {
 
 double MakespanTracker::CurrentMax() const {
   return scores_.empty() ? 0.0 : *scores_.rbegin();
+}
+
+ConcurrentClockBank::ConcurrentClockBank(int num_workers)
+    : num_workers_(num_workers),
+      slots_(static_cast<size_t>(num_workers) + 1) {
+  AVM_CHECK_GE(num_workers, 1);
+}
+
+size_t ConcurrentClockBank::Index(NodeId node) const {
+  if (node == kCoordinatorNode) return static_cast<size_t>(num_workers_);
+  AVM_CHECK(node >= 0 && node < num_workers_) << "bad node id " << node;
+  return static_cast<size_t>(node);
+}
+
+void ConcurrentClockBank::AddNetwork(NodeId node, double seconds) {
+  AtomicAdd(&slots_[Index(node)].ntwk, seconds);
+}
+
+void ConcurrentClockBank::AddCpu(NodeId node, double seconds) {
+  AtomicAdd(&slots_[Index(node)].cpu, seconds);
+}
+
+double ConcurrentClockBank::ntwk(NodeId node) const {
+  return slots_[Index(node)].ntwk.load(std::memory_order_relaxed);
+}
+
+double ConcurrentClockBank::cpu(NodeId node) const {
+  return slots_[Index(node)].cpu.load(std::memory_order_relaxed);
+}
+
+void ConcurrentClockBank::CommitTo(Cluster* cluster) const {
+  for (NodeId n = 0; n < num_workers_; ++n) {
+    const Slot& slot = slots_[static_cast<size_t>(n)];
+    NodeClock& clock = cluster->clock(n);
+    clock.ntwk_seconds += slot.ntwk.load(std::memory_order_relaxed);
+    clock.cpu_seconds += slot.cpu.load(std::memory_order_relaxed);
+  }
+  const Slot& coord = slots_[static_cast<size_t>(num_workers_)];
+  NodeClock& clock = cluster->clock(kCoordinatorNode);
+  clock.ntwk_seconds += coord.ntwk.load(std::memory_order_relaxed);
+  clock.cpu_seconds += coord.cpu.load(std::memory_order_relaxed);
 }
 
 }  // namespace avm

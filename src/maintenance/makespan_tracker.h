@@ -1,12 +1,15 @@
 #ifndef AVM_MAINTENANCE_MAKESPAN_TRACKER_H_
 #define AVM_MAINTENANCE_MAKESPAN_TRACKER_H_
 
+#include <atomic>
 #include <set>
 #include <vector>
 
 #include "cluster/placement.h"
 
 namespace avm {
+
+class Cluster;
 
 /// Incremental bookkeeping of the planners' objective
 ///     max_k max(ntwk[k], cpu[k])
@@ -55,6 +58,55 @@ class MakespanTracker {
   std::vector<double> ntwk_;  // workers + coordinator (last slot)
   std::vector<double> cpu_;
   std::multiset<double> scores_;  // per-node max(ntwk, cpu)
+};
+
+/// Thread-safe per-node clock accumulators for the parallel maintenance
+/// executor: while per-node work runs concurrently on host threads, each
+/// task adds its simulated network/CPU seconds here (lock-free atomic adds)
+/// instead of touching the Cluster's clocks directly. After the barrier the
+/// single-threaded control path commits the bank to the cluster in ascending
+/// node order, so the simulated clocks — and therefore every reported
+/// makespan — are bit-identical to serial execution regardless of how the
+/// host scheduled the tasks.
+///
+/// Note on determinism: atomic accumulation alone would not be enough if two
+/// threads added to the same slot (floating-point addition is not
+/// associative). The executor charges each node's slot from exactly one task
+/// (per-node work is the unit of parallelism), so per-slot addition order is
+/// fixed; the atomics make the cross-thread publication race-free for TSan
+/// and for any future work-stealing scheduler.
+class ConcurrentClockBank {
+ public:
+  /// Slots for `num_workers` workers plus the coordinator.
+  explicit ConcurrentClockBank(int num_workers);
+
+  int num_workers() const { return num_workers_; }
+
+  /// Adds simulated seconds to a node's clock. Safe to call concurrently
+  /// (distinct or equal nodes).
+  void AddNetwork(NodeId node, double seconds);
+  void AddCpu(NodeId node, double seconds);
+
+  /// Accumulated values (not synchronized with concurrent writers; read
+  /// after the parallel phase joined).
+  double ntwk(NodeId node) const;
+  double cpu(NodeId node) const;
+
+  /// Adds every slot's accumulated seconds onto the cluster's simulated
+  /// clocks, coordinator last, workers in ascending id order. Call once per
+  /// parallel phase, after it completed.
+  void CommitTo(Cluster* cluster) const;
+
+ private:
+  struct Slot {
+    std::atomic<double> ntwk{0.0};
+    std::atomic<double> cpu{0.0};
+  };
+
+  size_t Index(NodeId node) const;
+
+  int num_workers_;
+  std::vector<Slot> slots_;  // workers + coordinator (last slot)
 };
 
 }  // namespace avm

@@ -147,5 +147,170 @@ TEST(ExecutorTest, NullViewRejected) {
                   .IsInvalidArgument());
 }
 
+TEST(ExecutorTest, MissingLeftDeltaRejected) {
+  ASSERT_OK_AND_ASSIGN(auto exec_fixture, MakeExecFixture(605));
+  // The plan ships a left-delta chunk, but no left delta was supplied.
+  MaintenancePlan plan;
+  plan.transfers.push_back(
+      {MChunkRef{ChunkSide::kLeftDelta, 0}, kCoordinatorNode, 0});
+  auto status = ExecuteMaintenancePlan(plan, exec_fixture.triples,
+                                       exec_fixture.fixture.view.get(),
+                                       /*left_delta=*/nullptr,
+                                       /*right_delta=*/nullptr)
+                    .status();
+  EXPECT_TRUE(status.IsInternal()) << status.ToString();
+  EXPECT_EQ(status.message(), "plan references a missing left delta");
+}
+
+TEST(ExecutorTest, MissingRightDeltaRejected) {
+  ASSERT_OK_AND_ASSIGN(auto exec_fixture, MakeExecFixture(606));
+  MaintenancePlan plan;
+  plan.transfers.push_back(
+      {MChunkRef{ChunkSide::kRightDelta, 0}, kCoordinatorNode, 0});
+  auto status = ExecuteMaintenancePlan(plan, exec_fixture.triples,
+                                       exec_fixture.fixture.view.get(),
+                                       exec_fixture.delta.get(),
+                                       /*right_delta=*/nullptr)
+                    .status();
+  EXPECT_TRUE(status.IsInternal()) << status.ToString();
+  EXPECT_EQ(status.message(), "plan references a missing right delta");
+}
+
+TEST(ExecutorTest, JoinOnMissingDeltaRejectedBeforeFanOut) {
+  // A join whose pair references the (absent) delta must fail with the
+  // missing-delta message, not crash inside a worker task.
+  ASSERT_OK_AND_ASSIGN(auto exec_fixture, MakeExecFixture(607));
+  ASSERT_FALSE(exec_fixture.triples.pairs.empty());
+  MaintenancePlan plan;
+  plan.joins.push_back({0, 0});
+  auto status = ExecuteMaintenancePlan(plan, exec_fixture.triples,
+                                       exec_fixture.fixture.view.get(),
+                                       /*left_delta=*/nullptr,
+                                       /*right_delta=*/nullptr)
+                    .status();
+  EXPECT_TRUE(status.IsInternal()) << status.ToString();
+  EXPECT_EQ(status.message(), "plan references a missing left delta");
+}
+
+TEST(ExecutorTest, UnknownJoinNodeRejected) {
+  ASSERT_OK_AND_ASSIGN(auto exec_fixture, MakeExecFixture(608));
+  ASSERT_FALSE(exec_fixture.triples.pairs.empty());
+  MaintenancePlan plan;
+  plan.joins.push_back({0, 99});
+  auto status = ExecuteMaintenancePlan(plan, exec_fixture.triples,
+                                       exec_fixture.fixture.view.get(),
+                                       exec_fixture.delta.get(), nullptr)
+                    .status();
+  EXPECT_TRUE(status.IsInternal()) << status.ToString();
+  EXPECT_EQ(status.message(), "join assigned to unknown node id 99");
+}
+
+TEST(ExecutorTest, JoinAssignedToCoordinatorRejected) {
+  // The coordinator never executes joins; a plan placing one there is a
+  // planner bug, reported as Internal instead of tripping a CHECK.
+  ASSERT_OK_AND_ASSIGN(auto exec_fixture, MakeExecFixture(609));
+  ASSERT_FALSE(exec_fixture.triples.pairs.empty());
+  MaintenancePlan plan;
+  plan.joins.push_back({0, kCoordinatorNode});
+  auto status = ExecuteMaintenancePlan(plan, exec_fixture.triples,
+                                       exec_fixture.fixture.view.get(),
+                                       exec_fixture.delta.get(), nullptr)
+                    .status();
+  EXPECT_TRUE(status.IsInternal()) << status.ToString();
+  EXPECT_EQ(status.message(), "join assigned to unknown node id -1");
+}
+
+TEST(ExecutorTest, UnknownTransferNodeRejected) {
+  ASSERT_OK_AND_ASSIGN(auto exec_fixture, MakeExecFixture(610));
+  MaintenancePlan plan;
+  plan.transfers.push_back(
+      {MChunkRef{ChunkSide::kLeftDelta, 0}, kCoordinatorNode, 42});
+  auto status = ExecuteMaintenancePlan(plan, exec_fixture.triples,
+                                       exec_fixture.fixture.view.get(),
+                                       exec_fixture.delta.get(), nullptr)
+                    .status();
+  EXPECT_TRUE(status.IsInternal()) << status.ToString();
+  EXPECT_EQ(status.message(),
+            "transfer destination references unknown node id 42");
+}
+
+TEST(ExecutorTest, UnknownViewHomeRejected) {
+  ASSERT_OK_AND_ASSIGN(auto exec_fixture, MakeExecFixture(611));
+  MaintenancePlan plan;
+  plan.view_home[0] = 17;
+  auto status = ExecuteMaintenancePlan(plan, exec_fixture.triples,
+                                       exec_fixture.fixture.view.get(),
+                                       exec_fixture.delta.get(), nullptr)
+                    .status();
+  EXPECT_TRUE(status.IsInternal()) << status.ToString();
+  EXPECT_EQ(status.message(), "view home references unknown node id 17");
+}
+
+TEST(ExecutorTest, EmptyPlanWithoutDeltasIsANoOp) {
+  // No joins, no transfers, no deltas: nothing to do, and that is OK — not
+  // a crash, not an error.
+  ASSERT_OK_AND_ASSIGN(
+      auto fixture, MakeCountViewFixture(3, 40, Shape::L1Ball(2, 1), 612));
+  TripleSet empty_triples;
+  MaintenancePlan empty_plan;
+  ASSERT_OK_AND_ASSIGN(
+      ExecutionStats stats,
+      ExecuteMaintenancePlan(empty_plan, empty_triples, fixture.view.get(),
+                             nullptr, nullptr));
+  EXPECT_EQ(stats.joins_executed, 0u);
+  EXPECT_EQ(stats.fragments_merged, 0u);
+  EXPECT_EQ(stats.delta_chunks_merged, 0u);
+  EXPECT_TRUE(testing_util::ViewMatchesRecompute(*fixture.view));
+}
+
+TEST(ExecutorTest, ParallelExecutionMatchesSerialBitForBit) {
+  // The same plan executed on a 1-thread and a 4-thread cluster must leave
+  // identical views and identical simulated clocks.
+  auto run = [](int threads) -> Result<std::pair<SparseArray, double>> {
+    ExecFixture f;
+    AVM_ASSIGN_OR_RETURN(
+        f.fixture,
+        MakeCountViewFixture(3, 80, Shape::L1Ball(2, 1), 613,
+                             /*with_sum=*/true, "round-robin", threads));
+    Rng rng(614);
+    SparseArray cells =
+        testing_util::RandomDisjointDelta(f.fixture.local_base, 30, &rng);
+    ArraySchema schema("delta", cells.schema().dims(),
+                       cells.schema().attrs());
+    AVM_ASSIGN_OR_RETURN(
+        DistributedArray delta,
+        DistributedArray::Create(schema, MakeRoundRobinPlacement(),
+                                 f.fixture.catalog.get(),
+                                 f.fixture.cluster.get()));
+    Status status = Status::OK();
+    cells.ForEachChunk([&](ChunkId id, const Chunk& chunk) {
+      if (!status.ok()) return;
+      status = delta.PutChunk(id, chunk, kCoordinatorNode);
+    });
+    AVM_RETURN_IF_ERROR(status);
+    f.delta = std::make_unique<DistributedArray>(std::move(delta));
+    AVM_ASSIGN_OR_RETURN(
+        f.triples,
+        GenerateTriples(*f.fixture.view, f.delta.get(), nullptr));
+    AVM_ASSIGN_OR_RETURN(MaintenancePlan plan,
+                         PlanBaseline(*f.fixture.view, f.triples, 3));
+    AVM_RETURN_IF_ERROR(ExecuteMaintenancePlan(plan, f.triples,
+                                               f.fixture.view.get(),
+                                               f.delta.get(), nullptr)
+                            .status());
+    AVM_ASSIGN_OR_RETURN(SparseArray view_content,
+                         f.fixture.view->array().Gather());
+    return std::make_pair(std::move(view_content),
+                          f.fixture.cluster->MakespanSeconds());
+  };
+  auto serial = run(1);
+  auto parallel = run(4);
+  ASSERT_OK(serial.status());
+  ASSERT_OK(parallel.status());
+  EXPECT_TRUE(serial.value().first.ContentEquals(parallel.value().first,
+                                                 /*tolerance=*/0.0));
+  EXPECT_EQ(serial.value().second, parallel.value().second);
+}
+
 }  // namespace
 }  // namespace avm

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "cluster/cluster.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "tests/test_util.h"
 
 namespace avm {
@@ -101,6 +103,48 @@ TEST(MakespanTrackerTest, MatchesBruteForceMax) {
       expected = std::max(expected, std::max(ntwk[i], cpu[i]));
     }
     ASSERT_NEAR(tracker.CurrentMax(), expected, 1e-12);
+  }
+}
+
+TEST(ConcurrentClockBankTest, AccumulatesPerNode) {
+  ConcurrentClockBank bank(3);
+  bank.AddNetwork(0, 1.5);
+  bank.AddNetwork(0, 0.5);
+  bank.AddCpu(2, 4.0);
+  bank.AddNetwork(kCoordinatorNode, 2.0);
+  EXPECT_DOUBLE_EQ(bank.ntwk(0), 2.0);
+  EXPECT_DOUBLE_EQ(bank.cpu(0), 0.0);
+  EXPECT_DOUBLE_EQ(bank.cpu(2), 4.0);
+  EXPECT_DOUBLE_EQ(bank.ntwk(kCoordinatorNode), 2.0);
+}
+
+TEST(ConcurrentClockBankTest, CommitAddsOntoClusterClocks) {
+  Cluster cluster(2);
+  cluster.ChargeNetwork(0, 1000);  // pre-existing charge must be preserved
+  const double before = cluster.clock(0).ntwk_seconds;
+  ConcurrentClockBank bank(2);
+  bank.AddNetwork(0, 3.0);
+  bank.AddCpu(1, 5.0);
+  bank.AddCpu(kCoordinatorNode, 7.0);
+  bank.CommitTo(&cluster);
+  EXPECT_DOUBLE_EQ(cluster.clock(0).ntwk_seconds, before + 3.0);
+  EXPECT_DOUBLE_EQ(cluster.clock(1).cpu_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(cluster.clock(kCoordinatorNode).cpu_seconds, 7.0);
+}
+
+TEST(ConcurrentClockBankTest, ConcurrentAddsFromThePoolAreLossless) {
+  ConcurrentClockBank bank(4);
+  ThreadPool pool(4);
+  // Hammer every slot from many tasks; each integer add is exact in double,
+  // so the totals must come out exact no matter the interleaving.
+  pool.ParallelFor(400, [&](size_t i) {
+    const NodeId node = static_cast<NodeId>(i % 4);
+    bank.AddCpu(node, 1.0);
+    bank.AddNetwork(node, 2.0);
+  });
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_DOUBLE_EQ(bank.cpu(n), 100.0);
+    EXPECT_DOUBLE_EQ(bank.ntwk(n), 200.0);
   }
 }
 

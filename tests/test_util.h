@@ -14,15 +14,28 @@
 #include "maintenance/maintainer.h"
 #include "view/materialized_view.h"
 
+namespace avm::testing_util {
+
+/// Copies the status out of a `Status` or `Result<T>` expression so the
+/// ASSERT_OK/EXPECT_OK macros never hold a reference into a temporary
+/// (`ASSERT_OK(f().status())` would otherwise read a dead stack frame).
+inline ::avm::Status StatusFrom(::avm::Status status) { return status; }
+template <typename T>
+::avm::Status StatusFrom(const ::avm::Result<T>& result) {
+  return result.status();
+}
+
+}  // namespace avm::testing_util
+
 #define ASSERT_OK(expr)                                                   \
   do {                                                                    \
-    const auto& _s = (expr);                                              \
+    const ::avm::Status _s = ::avm::testing_util::StatusFrom((expr));     \
     ASSERT_TRUE(_s.ok()) << _s.ToString();                                \
   } while (0)
 
 #define EXPECT_OK(expr)                                                   \
   do {                                                                    \
-    const auto& _s = (expr);                                              \
+    const ::avm::Status _s = ::avm::testing_util::StatusFrom((expr));     \
     EXPECT_TRUE(_s.ok()) << _s.ToString();                                \
   } while (0)
 
@@ -106,13 +119,16 @@ struct ViewFixture {
 };
 
 /// Builds a fixture: `base_cells` random cells, the given shape, COUNT(*)
-/// plus optional SUM(a0).
+/// plus optional SUM(a0). `num_threads` sizes the cluster's host execution
+/// pool (1 = serial maintenance).
 inline Result<ViewFixture> MakeCountViewFixture(
     int num_workers, size_t base_cells, Shape shape, uint64_t seed = 1,
-    bool with_sum = false, const std::string& placement = "round-robin") {
+    bool with_sum = false, const std::string& placement = "round-robin",
+    int num_threads = 1) {
   ViewFixture fixture;
   fixture.catalog = std::make_unique<Catalog>();
-  fixture.cluster = std::make_unique<Cluster>(num_workers);
+  fixture.cluster =
+      std::make_unique<Cluster>(num_workers, CostModel(), num_threads);
   ArraySchema schema = Make2DSchema("base");
   fixture.local_base = SparseArray(schema);
   Rng rng(seed);
