@@ -7,13 +7,20 @@
 
 namespace avm {
 
+void Chunk::Reserve(size_t cells) {
+  offsets_.reserve(cells);
+  coords_.reserve(cells * num_dims_);
+  values_.reserve(cells * num_attrs_);
+  index_.Reserve(cells);
+}
+
 void Chunk::UpsertCell(uint64_t offset, const CellCoord& coord,
                        std::span<const double> values) {
   AVM_CHECK_EQ(coord.size(), num_dims_);
   AVM_CHECK_EQ(values.size(), num_attrs_);
-  auto it = index_.find(offset);
-  if (it != index_.end()) {
-    std::memcpy(values_.data() + it->second * num_attrs_, values.data(),
+  const uint32_t existing = index_.Find(offset);
+  if (existing != OffsetIndex::kNotFound) {
+    std::memcpy(values_.data() + existing * num_attrs_, values.data(),
                 num_attrs_ * sizeof(double));
     return;
   }
@@ -21,26 +28,39 @@ void Chunk::UpsertCell(uint64_t offset, const CellCoord& coord,
   offsets_.push_back(offset);
   coords_.insert(coords_.end(), coord.begin(), coord.end());
   values_.insert(values_.end(), values.begin(), values.end());
-  index_.emplace(offset, row);
+  index_.Insert(offset, row);
 }
 
 void Chunk::AccumulateCell(uint64_t offset, const CellCoord& coord,
                            std::span<const double> values) {
   AVM_CHECK_EQ(coord.size(), num_dims_);
   AVM_CHECK_EQ(values.size(), num_attrs_);
-  auto it = index_.find(offset);
-  if (it != index_.end()) {
-    double* dst = values_.data() + it->second * num_attrs_;
+  const uint32_t row = index_.Find(offset);
+  if (row != OffsetIndex::kNotFound) {
+    double* dst = values_.data() + row * num_attrs_;
     for (size_t i = 0; i < num_attrs_; ++i) dst[i] += values[i];
     return;
   }
   UpsertCell(offset, coord, values);
 }
 
+size_t Chunk::GetOrCreateRow(uint64_t offset, std::span<const int64_t> coord,
+                             std::span<const double> init) {
+  AVM_CHECK_EQ(coord.size(), num_dims_);
+  AVM_CHECK_EQ(init.size(), num_attrs_);
+  const uint32_t existing = index_.Find(offset);
+  if (existing != OffsetIndex::kNotFound) return existing;
+  const uint32_t row = static_cast<uint32_t>(num_cells());
+  offsets_.push_back(offset);
+  coords_.insert(coords_.end(), coord.begin(), coord.end());
+  values_.insert(values_.end(), init.begin(), init.end());
+  index_.Insert(offset, row);
+  return row;
+}
+
 bool Chunk::EraseCell(uint64_t offset) {
-  auto it = index_.find(offset);
-  if (it == index_.end()) return false;
-  const uint32_t row = it->second;
+  const uint32_t row = index_.Find(offset);
+  if (row == OffsetIndex::kNotFound) return false;
   const uint32_t last = static_cast<uint32_t>(num_cells()) - 1;
   if (row != last) {
     // Swap-with-last to keep the row storage dense.
@@ -50,33 +70,13 @@ bool Chunk::EraseCell(uint64_t offset) {
     std::memcpy(values_.data() + row * num_attrs_,
                 values_.data() + last * num_attrs_,
                 num_attrs_ * sizeof(double));
-    index_[offsets_[row]] = row;
+    index_.SetRow(offsets_[row], row);
   }
   offsets_.pop_back();
   coords_.resize(coords_.size() - num_dims_);
   values_.resize(values_.size() - num_attrs_);
-  index_.erase(it);
+  index_.Erase(offset);
   return true;
-}
-
-const double* Chunk::GetCell(uint64_t offset) const {
-  auto it = index_.find(offset);
-  if (it == index_.end()) return nullptr;
-  return values_.data() + it->second * num_attrs_;
-}
-
-double* Chunk::GetMutableCell(uint64_t offset) {
-  auto it = index_.find(offset);
-  if (it == index_.end()) return nullptr;
-  return values_.data() + it->second * num_attrs_;
-}
-
-void Chunk::ForEachCell(
-    const std::function<void(std::span<const int64_t>,
-                             std::span<const double>)>& fn) const {
-  for (size_t row = 0; row < num_cells(); ++row) {
-    fn(CoordOfRow(row), ValuesOfRow(row));
-  }
 }
 
 Status Chunk::AccumulateChunk(const Chunk& other) {
@@ -84,6 +84,7 @@ Status Chunk::AccumulateChunk(const Chunk& other) {
     return Status::InvalidArgument(
         "AccumulateChunk: incompatible chunk layouts");
   }
+  Reserve(num_cells() + other.num_cells());
   CellCoord coord(num_dims_);
   for (size_t row = 0; row < other.num_cells(); ++row) {
     auto c = other.CoordOfRow(row);
@@ -98,8 +99,8 @@ bool Chunk::ContentEquals(const Chunk& other, double tolerance) const {
   if (num_dims_ != other.num_dims_ || num_attrs_ != other.num_attrs_) {
     return false;
   }
-  for (const auto& [offset, row] : index_) {
-    const double* theirs = other.GetCell(offset);
+  for (size_t row = 0; row < num_cells(); ++row) {
+    const double* theirs = other.GetCell(offsets_[row]);
     if (theirs == nullptr) return false;
     const double* ours = values_.data() + row * num_attrs_;
     for (size_t i = 0; i < num_attrs_; ++i) {

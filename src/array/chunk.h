@@ -4,18 +4,19 @@
 #include <cstdint>
 #include <functional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "array/coords.h"
+#include "array/offset_index.h"
 #include "common/status.h"
 
 namespace avm {
 
 /// Sparse storage for one chunk: the non-empty cells of one axis-aligned tile
 /// of the array. Cells are stored structure-of-rows — a flat coordinate
-/// buffer plus a flat attribute-value buffer — with a hash index from the
-/// in-chunk offset to the row, giving O(1) point lookup and append.
+/// buffer plus a flat attribute-value buffer — with a flat open-addressing
+/// index from the in-chunk offset to the row, giving O(1) point lookup and
+/// append without per-probe pointer chasing.
 ///
 /// A Chunk is the unit of storage, transfer, and join computation, matching
 /// the paper's chunk-granularity processing model. `SizeBytes()` is the
@@ -31,6 +32,11 @@ class Chunk {
   size_t num_attrs() const { return num_attrs_; }
   size_t num_cells() const { return index_.size(); }
   bool empty() const { return index_.empty(); }
+
+  /// Pre-sizes the row buffers and the offset index for `cells` cells, so
+  /// bulk loads (deserialization, fragment merges, delta upserts) allocate
+  /// and rehash once instead of per cell.
+  void Reserve(size_t cells);
 
   /// Inserts a cell or overwrites its attribute values if the offset is
   /// already present. `offset` is the in-chunk row-major offset computed by
@@ -49,13 +55,28 @@ class Chunk {
 
   /// True if a cell exists at the in-chunk offset.
   bool HasCell(uint64_t offset) const {
-    return index_.find(offset) != index_.end();
+    return index_.Find(offset) != OffsetIndex::kNotFound;
   }
 
   /// Attribute values of the cell at `offset`, or nullptr if absent. The
   /// span is invalidated by any mutation.
-  const double* GetCell(uint64_t offset) const;
-  double* GetMutableCell(uint64_t offset);
+  const double* GetCell(uint64_t offset) const {
+    const uint32_t row = index_.Find(offset);
+    if (row == OffsetIndex::kNotFound) return nullptr;
+    return values_.data() + row * num_attrs_;
+  }
+  double* GetMutableCell(uint64_t offset) {
+    const uint32_t row = index_.Find(offset);
+    if (row == OffsetIndex::kNotFound) return nullptr;
+    return values_.data() + row * num_attrs_;
+  }
+
+  /// Row of the cell at `offset`, inserting it with `init` values if absent.
+  /// Rows are stable until an erase, so callers accumulating runs of updates
+  /// into one cell (FragmentBuilder) can cache the row across value-buffer
+  /// growth.
+  size_t GetOrCreateRow(uint64_t offset, std::span<const int64_t> coord,
+                        std::span<const double> init);
 
   /// Row accessors (rows are stable until an erase).
   std::span<const int64_t> CoordOfRow(size_t row) const {
@@ -64,13 +85,26 @@ class Chunk {
   std::span<const double> ValuesOfRow(size_t row) const {
     return {values_.data() + row * num_attrs_, num_attrs_};
   }
+  double* MutableValuesOfRow(size_t row) {
+    return values_.data() + row * num_attrs_;
+  }
   uint64_t OffsetOfRow(size_t row) const { return offsets_[row]; }
 
   /// Invokes fn(coord, values) for every cell. Iteration order is insertion
-  /// order (stable across runs for deterministic inputs).
+  /// order (stable across runs for deterministic inputs). The templated form
+  /// binds the visitor statically; pass a std::function only when type
+  /// erasure is genuinely needed.
+  template <typename Fn>
+  void ForEachCell(Fn&& fn) const {
+    for (size_t row = 0; row < num_cells(); ++row) {
+      fn(CoordOfRow(row), ValuesOfRow(row));
+    }
+  }
   void ForEachCell(
       const std::function<void(std::span<const int64_t>,
-                               std::span<const double>)>& fn) const;
+                               std::span<const double>)>& fn) const {
+    ForEachCell<decltype(fn)>(fn);
+  }
 
   /// Estimated in-memory/wire footprint: 8 bytes per coordinate component and
   /// per attribute value. This is the B_q fed to the cost model.
@@ -92,7 +126,7 @@ class Chunk {
   std::vector<uint64_t> offsets_;  // per-row in-chunk offset
   std::vector<int64_t> coords_;    // row-major, num_cells x num_dims
   std::vector<double> values_;     // row-major, num_cells x num_attrs
-  std::unordered_map<uint64_t, uint32_t> index_;  // offset -> row
+  OffsetIndex index_;              // offset -> row
 };
 
 }  // namespace avm

@@ -67,6 +67,23 @@ Box ChunkGrid::ChunkBox(const ChunkPos& pos) const {
   return box;
 }
 
+ChunkGrid::CellSlot ChunkGrid::SlotOfCell(const CellCoord& coord) const {
+  AVM_CHECK_EQ(coord.size(), lo_.size());
+  CellSlot slot;
+  for (size_t i = 0; i < coord.size(); ++i) {
+    AVM_CHECK(coord[i] >= lo_[i] && coord[i] <= hi_[i])
+        << "coordinate " << coord[i] << " outside dim range [" << lo_[i]
+        << ", " << hi_[i] << "]";
+    const int64_t rel = coord[i] - lo_[i];
+    const int64_t pos = rel / extent_[i];
+    slot.id = slot.id * static_cast<uint64_t>(chunks_in_dim_[i]) +
+              static_cast<uint64_t>(pos);
+    slot.offset = slot.offset * static_cast<uint64_t>(extent_[i]) +
+                  static_cast<uint64_t>(rel - pos * extent_[i]);
+  }
+  return slot;
+}
+
 uint64_t ChunkGrid::InChunkOffset(const CellCoord& coord) const {
   uint64_t off = 0;
   for (size_t i = 0; i < coord.size(); ++i) {

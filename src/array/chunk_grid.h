@@ -50,6 +50,18 @@ class ChunkGrid {
   /// Chunk's cell index.
   uint64_t InChunkOffset(const CellCoord& coord) const;
 
+  /// The (ChunkId, in-chunk offset) pair addressing one cell.
+  struct CellSlot {
+    ChunkId id = 0;
+    uint64_t offset = 0;
+  };
+
+  /// Computes IdOfCell and InChunkOffset together in one pass — a single
+  /// division per dimension instead of a divide in PosOfCell plus a modulo
+  /// in InChunkOffset. The addressing step of the join kernel's fragment
+  /// accumulation.
+  CellSlot SlotOfCell(const CellCoord& coord) const;
+
   /// Invokes `fn` for every chunk position whose box intersects `box`
   /// (clipped to the array's ranges). The workhorse of shape-based chunk-pair
   /// enumeration.

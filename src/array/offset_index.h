@@ -1,0 +1,141 @@
+#ifndef AVM_ARRAY_OFFSET_INDEX_H_
+#define AVM_ARRAY_OFFSET_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace avm {
+
+/// Flat open-addressing hash index from in-chunk offsets to row numbers, the
+/// point-lookup structure behind Chunk. Replaces std::unordered_map in the
+/// join hot path: one cache line per probe instead of a bucket pointer chase,
+/// and capacity is reservable so bulk loads rehash once.
+///
+/// Keys are in-chunk row-major offsets, always < the product of the chunk
+/// extents, so the two largest uint64 values are free to serve as the
+/// empty/tombstone slot markers. Linear probing over a power-of-two table;
+/// tombstones left by Erase are reclaimed on the next growth rehash.
+class OffsetIndex {
+ public:
+  static constexpr uint32_t kNotFound = UINT32_MAX;
+
+  OffsetIndex() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Ensures `n` keys fit without rehashing.
+  void Reserve(size_t n) {
+    size_t needed = kMinCapacity;
+    while (needed * kMaxLoadNum < n * kMaxLoadDen) needed <<= 1;
+    if (needed > slots_.size()) Rehash(needed);
+  }
+
+  /// Row of `offset`, or kNotFound.
+  uint32_t Find(uint64_t offset) const {
+    if (slots_.empty()) return kNotFound;
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = Hash(offset) & mask;; i = (i + 1) & mask) {
+      const Slot& s = slots_[i];
+      if (s.key == offset) return s.row;
+      if (s.key == kEmpty) return kNotFound;
+    }
+  }
+
+  /// Inserts offset -> row; the key must not be present.
+  void Insert(uint64_t offset, uint32_t row) {
+    AVM_CHECK(offset < kTombstone) << "in-chunk offset overflows the index";
+    if (slots_.empty() ||
+        (size_ + tombstones_ + 1) * kMaxLoadDen >
+            slots_.size() * kMaxLoadNum) {
+      Rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    }
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = Hash(offset) & mask;; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.key == kEmpty || s.key == kTombstone) {
+        if (s.key == kTombstone) --tombstones_;
+        s.key = offset;
+        s.row = row;
+        ++size_;
+        return;
+      }
+      AVM_CHECK(s.key != offset) << "duplicate offset inserted";
+    }
+  }
+
+  /// Repoints an existing key at a new row (used by swap-with-last erase).
+  void SetRow(uint64_t offset, uint32_t row) {
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = Hash(offset) & mask;; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.key == offset) {
+        s.row = row;
+        return;
+      }
+      AVM_CHECK(s.key != kEmpty) << "SetRow on a missing offset";
+    }
+  }
+
+  /// Removes `offset`; returns whether it was present.
+  bool Erase(uint64_t offset) {
+    if (slots_.empty()) return false;
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = Hash(offset) & mask;; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.key == offset) {
+        s.key = kTombstone;
+        --size_;
+        ++tombstones_;
+        return true;
+      }
+      if (s.key == kEmpty) return false;
+    }
+  }
+
+ private:
+  static constexpr uint64_t kEmpty = UINT64_MAX;
+  static constexpr uint64_t kTombstone = UINT64_MAX - 1;
+  static constexpr size_t kMinCapacity = 16;
+  // Maximum load factor 7/8: linear probing stays short while growth still
+  // amortizes, and Reserve(n) rounds to the next power of two anyway.
+  static constexpr size_t kMaxLoadNum = 7;
+  static constexpr size_t kMaxLoadDen = 8;
+
+  struct Slot {
+    uint64_t key = kEmpty;
+    uint32_t row = 0;
+  };
+
+  static size_t Hash(uint64_t x) {
+    // splitmix64 finalizer: offsets are near-sequential, so low bits must be
+    // well mixed before masking.
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    tombstones_ = 0;
+    const size_t mask = new_capacity - 1;
+    for (const Slot& s : old) {
+      if (s.key >= kTombstone) continue;
+      size_t i = Hash(s.key) & mask;
+      while (slots_[i].key != kEmpty) i = (i + 1) & mask;
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+  size_t tombstones_ = 0;
+};
+
+}  // namespace avm
+
+#endif  // AVM_ARRAY_OFFSET_INDEX_H_

@@ -135,16 +135,40 @@ Result<SparseArray> LoadArray(std::istream& in) {
                           std::move(attrs)));
   SparseArray array(std::move(schema));
   AVM_ASSIGN_OR_RETURN(uint64_t num_cells, ReadU64(in));
-  CellCoord coord(num_dims);
-  std::vector<double> values(num_attrs);
+  // Buffer the cells first so each chunk's storage can be sized in one shot
+  // before insertion, instead of growing its index incrementally. The buffers
+  // grow only as far as the file actually delivers, so a corrupt cell count
+  // still fails on truncation rather than on allocation.
+  std::vector<int64_t> coords;
+  std::vector<double> all_values;
   for (uint64_t i = 0; i < num_cells; ++i) {
     for (uint64_t d = 0; d < num_dims; ++d) {
-      AVM_ASSIGN_OR_RETURN(coord[d], ReadI64(in));
+      AVM_ASSIGN_OR_RETURN(int64_t c, ReadI64(in));
+      coords.push_back(c);
     }
     for (uint64_t a = 0; a < num_attrs; ++a) {
-      AVM_ASSIGN_OR_RETURN(values[a], ReadDouble(in));
+      AVM_ASSIGN_OR_RETURN(double v, ReadDouble(in));
+      all_values.push_back(v);
     }
-    AVM_RETURN_IF_ERROR(array.Set(coord, values));
+  }
+  const ChunkGrid& grid = array.grid();
+  CellCoord coord(num_dims);
+  std::map<ChunkId, size_t> cells_per_chunk;
+  for (uint64_t i = 0; i < num_cells; ++i) {
+    coord.assign(coords.begin() + static_cast<size_t>(i * num_dims),
+                 coords.begin() + static_cast<size_t>((i + 1) * num_dims));
+    // Out-of-range coordinates skip the count so Set reports them below.
+    if (!array.schema().ContainsCoord(coord)) continue;
+    ++cells_per_chunk[grid.IdOfCell(coord)];
+  }
+  for (const auto& [id, n] : cells_per_chunk) {
+    array.GetOrCreateChunk(id).Reserve(n);
+  }
+  for (uint64_t i = 0; i < num_cells; ++i) {
+    coord.assign(coords.begin() + static_cast<size_t>(i * num_dims),
+                 coords.begin() + static_cast<size_t>((i + 1) * num_dims));
+    AVM_RETURN_IF_ERROR(array.Set(
+        coord, {all_values.data() + i * num_attrs, num_attrs}));
   }
   return array;
 }

@@ -111,12 +111,6 @@ void SparseArray::ForEachChunk(
   for (const auto& [id, chunk] : chunks_) fn(id, chunk);
 }
 
-void SparseArray::ForEachCell(
-    const std::function<void(std::span<const int64_t>,
-                             std::span<const double>)>& fn) const {
-  for (const auto& [id, chunk] : chunks_) chunk.ForEachCell(fn);
-}
-
 SparseArray SparseArray::Clone() const {
   SparseArray copy(schema_);
   copy.chunks_ = chunks_;

@@ -75,10 +75,18 @@ class SparseArray {
   void ForEachChunk(
       const std::function<void(ChunkId, const Chunk&)>& fn) const;
 
-  /// Invokes fn(coord, values) for every cell, chunk-by-chunk.
+  /// Invokes fn(coord, values) for every cell, chunk-by-chunk. The template
+  /// lets lambdas inline into the per-cell loop; the std::function overload
+  /// keeps type-erased callers (and out-of-line code) working unchanged.
+  template <typename Fn>
+  void ForEachCell(Fn&& fn) const {
+    for (const auto& [id, chunk] : chunks_) chunk.ForEachCell(fn);
+  }
   void ForEachCell(
       const std::function<void(std::span<const int64_t>,
-                               std::span<const double>)>& fn) const;
+                               std::span<const double>)>& fn) const {
+    ForEachCell<decltype(fn)>(fn);
+  }
 
   /// Deep copy (schemas are value types; chunk data is duplicated).
   SparseArray Clone() const;

@@ -1,0 +1,100 @@
+#include "join/compiled_shape.h"
+
+#include <utility>
+
+namespace avm {
+
+Result<CompiledShape> CompiledShape::Create(const Shape& shape,
+                                            const DimMapping& mapping,
+                                            const ChunkGrid& right_grid) {
+  const size_t nd = right_grid.num_dims();
+  if (shape.num_dims() != nd) {
+    return Status::InvalidArgument(
+        "shape dimensionality does not match the right grid");
+  }
+  if (mapping.num_right_dims() != nd) {
+    return Status::InvalidArgument(
+        "mapping output dimensionality does not match the right grid");
+  }
+  const std::vector<int64_t>& extents = right_grid.extents();
+
+  // Row-major strides over the chunk extents: stride[last] = 1,
+  // stride[d] = stride[d+1] * extent[d+1] — the linearization InChunkOffset
+  // applies one dimension at a time.
+  std::vector<int64_t> strides(nd, 1);
+  for (size_t d = nd; d-- > 1;) {
+    strides[d - 1] = strides[d] * extents[d];
+  }
+
+  std::vector<int64_t> deltas;
+  std::vector<int64_t> components;
+  deltas.reserve(shape.size());
+  components.reserve(shape.size() * nd);
+  for (const CellCoord& offset : shape.offsets()) {
+    int64_t delta = 0;
+    for (size_t d = 0; d < nd; ++d) {
+      delta += offset[d] * strides[d];
+      components.push_back(offset[d]);
+    }
+    deltas.push_back(delta);
+  }
+
+  return CompiledShape(shape, mapping, extents, std::move(deltas),
+                       std::move(components), shape.BoundingBox());
+}
+
+Box CompiledShape::InteriorBox(const Box& right_chunk_box) const {
+  Box interior;
+  const size_t nd = extents_.size();
+  interior.lo.resize(nd);
+  interior.hi.resize(nd);
+  for (size_t d = 0; d < nd; ++d) {
+    interior.lo[d] = right_chunk_box.lo[d] - bounding_box_.lo[d];
+    interior.hi[d] = right_chunk_box.hi[d] - bounding_box_.hi[d];
+  }
+  return interior;
+}
+
+CompiledShapeCache& CompiledShapeCache::Global() {
+  static CompiledShapeCache* cache = new CompiledShapeCache();
+  return *cache;
+}
+
+Result<std::shared_ptr<const CompiledShape>> CompiledShapeCache::Get(
+    const Shape& shape, const DimMapping& mapping, const ChunkGrid& grid) {
+  // Content key: grid geometry, mapping terms, then every shape offset. Two
+  // grids chunking the same space identically (a base array and its deltas)
+  // share an entry even though they are distinct ChunkGrid objects.
+  std::vector<int64_t> key;
+  const size_t nd = grid.num_dims();
+  key.reserve(3 + nd + 2 * mapping.num_right_dims() +
+              shape.size() * shape.num_dims());
+  key.push_back(static_cast<int64_t>(nd));
+  key.insert(key.end(), grid.extents().begin(), grid.extents().end());
+  key.push_back(static_cast<int64_t>(mapping.num_left_dims()));
+  for (const DimMapping::Term& term : mapping.terms()) {
+    key.push_back(static_cast<int64_t>(term.source_dim));
+    key.push_back(term.offset);
+  }
+  key.push_back(static_cast<int64_t>(shape.num_dims()));
+  for (const CellCoord& offset : shape.offsets()) {
+    key.insert(key.end(), offset.begin(), offset.end());
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  AVM_ASSIGN_OR_RETURN(CompiledShape compiled,
+                       CompiledShape::Create(shape, mapping, grid));
+  if (cache_.size() >= kMaxEntries) cache_.clear();
+  auto shared = std::make_shared<const CompiledShape>(std::move(compiled));
+  cache_.emplace(std::move(key), shared);
+  return shared;
+}
+
+size_t CompiledShapeCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace avm

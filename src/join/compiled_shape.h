@@ -1,0 +1,131 @@
+#ifndef AVM_JOIN_COMPILED_SHAPE_H_
+#define AVM_JOIN_COMPILED_SHAPE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "array/chunk_grid.h"
+#include "array/coords.h"
+#include "common/result.h"
+#include "join/mapping.h"
+#include "shape/shape.h"
+
+namespace avm {
+
+/// A shape σ pre-linearized against one chunk-grid geometry, so the join
+/// kernel can resolve most probes with a single integer add instead of a
+/// per-dimension loop.
+///
+/// For every offset o ∈ σ the compiler precomputes its row-major in-chunk
+/// offset delta Σ_d o[d]·stride[d] (strides taken from the grid's chunk
+/// extents). For a left cell whose mapped image `base` lies in the right
+/// chunk's *interior* — at least the shape's bounding box away from every
+/// chunk face — every probe base+o lands in the same chunk, so its in-chunk
+/// offset is exactly `offset(base) + delta`: no per-dimension bounds check,
+/// no ChunkGrid::InChunkOffset call, just an add and an index probe. Cells
+/// outside the interior window (chunk faces, edges, corners, and left cells
+/// mapped near or beyond the right chunk) take the per-dimension boundary
+/// path, which still skips the modulo arithmetic by subtracting the chunk
+/// box origin directly.
+///
+/// Compilation depends only on (shape, mapping, grid geometry), so one
+/// CompiledShape serves every chunk pair of a maintenance plan; see
+/// CompiledShapeCache below for the per-plan memoization.
+class CompiledShape {
+ public:
+  /// Compiles `shape` (applied in right-operand space after `mapping`)
+  /// against `right_grid`'s chunking. Fails if dimensionalities disagree.
+  static Result<CompiledShape> Create(const Shape& shape,
+                                      const DimMapping& mapping,
+                                      const ChunkGrid& right_grid);
+
+  const Shape& shape() const { return shape_; }
+  const DimMapping& mapping() const { return mapping_; }
+  size_t num_dims() const { return extents_.size(); }
+  size_t num_offsets() const { return linear_deltas_.size(); }
+
+  /// Per-offset in-chunk offset deltas, in the shape's deterministic
+  /// (lexicographic) offset order.
+  const std::vector<int64_t>& linear_deltas() const { return linear_deltas_; }
+
+  /// Flat |σ| × num_dims row-major copy of the offset components, laid out
+  /// contiguously for the boundary path.
+  const int64_t* offset_components() const { return components_.data(); }
+
+  /// The per-dim window of base coordinates whose whole probe neighborhood
+  /// stays inside `right_chunk_box`: [box.lo - bbox.lo, box.hi - bbox.hi].
+  /// May be empty (lo > hi) when the shape spans more than a chunk.
+  Box InteriorBox(const Box& right_chunk_box) const;
+
+  /// In-chunk offset of `coord`, known to lie inside the chunk covering
+  /// `right_chunk_box`. Equivalent to ChunkGrid::InChunkOffset but without
+  /// the per-dimension modulo (the box origin is the chunk origin).
+  uint64_t OffsetInChunk(const CellCoord& coord,
+                         const Box& right_chunk_box) const {
+    uint64_t off = 0;
+    for (size_t d = 0; d < extents_.size(); ++d) {
+      off = off * static_cast<uint64_t>(extents_[d]) +
+            static_cast<uint64_t>(coord[d] - right_chunk_box.lo[d]);
+    }
+    return off;
+  }
+
+ private:
+  CompiledShape(Shape shape, DimMapping mapping, std::vector<int64_t> extents,
+                std::vector<int64_t> deltas, std::vector<int64_t> components,
+                Box bounding_box)
+      : shape_(std::move(shape)),
+        mapping_(std::move(mapping)),
+        extents_(std::move(extents)),
+        linear_deltas_(std::move(deltas)),
+        components_(std::move(components)),
+        bounding_box_(std::move(bounding_box)) {}
+
+  Shape shape_;
+  DimMapping mapping_;
+  std::vector<int64_t> extents_;        // right grid chunk extents
+  std::vector<int64_t> linear_deltas_;  // per offset, row-major delta
+  std::vector<int64_t> components_;     // |σ| x num_dims offsets, flat
+  Box bounding_box_;                    // shape bbox (degenerate if empty)
+};
+
+/// Process-wide memoization of CompiledShape keyed by the *content* of
+/// (shape, mapping, grid geometry): a maintenance plan with hundreds of
+/// chunk-joins — or delta and base arrays chunked identically — compiles the
+/// shape exactly once. Get() is thread-safe; hot loops that must not touch
+/// the lock should fetch once up front and pass the CompiledShape down.
+class CompiledShapeCache {
+ public:
+  static CompiledShapeCache& Global();
+
+  /// Returns the memoized compilation, compiling on first use.
+  Result<std::shared_ptr<const CompiledShape>> Get(const Shape& shape,
+                                                   const DimMapping& mapping,
+                                                   const ChunkGrid& grid);
+
+  /// Entries currently memoized (test hook).
+  size_t size() const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::vector<int64_t>& key) const {
+      return static_cast<size_t>(HashInts(key));
+    }
+  };
+
+  // Bounds the cache for long-lived processes cycling through many ad-hoc
+  // shapes; real workloads hold a handful of entries.
+  static constexpr size_t kMaxEntries = 256;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::vector<int64_t>,
+                     std::shared_ptr<const CompiledShape>, KeyHash>
+      cache_;
+};
+
+}  // namespace avm
+
+#endif  // AVM_JOIN_COMPILED_SHAPE_H_

@@ -21,6 +21,7 @@ Status MergeStateFragment(DistributedArray* target, ChunkId v,
   }
   Chunk& dst = target->cluster()->store(node).GetOrCreate(
       target->id(), v, fragment.num_dims(), fragment.num_attrs());
+  dst.Reserve(dst.num_cells() + fragment.num_cells());
 
   std::vector<double> identity(layout.num_state_slots());
   layout.InitState(identity);

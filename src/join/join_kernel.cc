@@ -8,43 +8,65 @@ namespace avm {
 
 namespace {
 
-/// Folds one matched right cell into the aggregate state of the view cell
-/// keyed by the left cell's projection.
-class FragmentAccumulator {
+/// Accumulates matched right cells into per-view-chunk fragments. The view
+/// cell is a pure function of the left cell (its projection onto the group
+/// dimensions), so the builder resolves the destination slot once per left
+/// cell — and reuses it across left cells whose projections coincide — while
+/// every match folds straight into the cached row. Slot creation stays lazy:
+/// a left cell with no matches emits nothing, exactly like the per-pair
+/// map/hash lookups this replaces.
+class FragmentBuilder {
  public:
-  FragmentAccumulator(const AggregateLayout& layout, const ViewTarget& target,
-                      std::map<ChunkId, Chunk>* out)
+  FragmentBuilder(const AggregateLayout& layout, const ViewTarget& target,
+                  std::map<ChunkId, Chunk>* out)
       : layout_(layout),
         target_(target),
         identity_(layout.num_state_slots()),
+        view_coord_(target.group_dims->size()),
         out_(out) {
     layout_.InitState(identity_);
   }
 
-  Status Add(std::span<const int64_t> left_coord,
-             std::span<const double> right_values, int multiplicity) {
-    const auto& group_dims = *target_.group_dims;
-    view_coord_.resize(group_dims.size());
+  /// Keys the builder to `left_coord`'s view cell. Cheap when consecutive
+  /// left cells share a projection (group-by drops the fast-varying dims).
+  void BeginLeftCell(std::span<const int64_t> left_coord) {
+    const std::vector<size_t>& group_dims = *target_.group_dims;
+    bool same = have_key_;
     for (size_t d = 0; d < group_dims.size(); ++d) {
-      view_coord_[d] = left_coord[group_dims[d]];
+      const int64_t c = left_coord[group_dims[d]];
+      if (c != view_coord_[d]) {
+        same = false;
+        view_coord_[d] = c;
+      }
     }
-    const ChunkId v = target_.view_grid->IdOfCell(view_coord_);
-    const uint64_t offset = target_.view_grid->InChunkOffset(view_coord_);
-    auto it = out_->find(v);
-    if (it == out_->end()) {
-      it = out_
-               ->emplace(v, Chunk(view_coord_.size(),
-                                  layout_.num_state_slots()))
-               .first;
+    if (same) return;
+    have_key_ = true;
+    const ChunkGrid::CellSlot slot = target_.view_grid->SlotOfCell(view_coord_);
+    view_chunk_ = slot.id;
+    view_offset_ = slot.offset;
+    located_ = false;
+  }
+
+  /// Folds one matched right cell into the current view cell's state.
+  Status Fold(std::span<const double> right_values, int multiplicity) {
+    if (!located_) {
+      if (chunk_ == nullptr || chunk_id_ != view_chunk_) {
+        auto it = out_->find(view_chunk_);
+        if (it == out_->end()) {
+          it = out_
+                   ->emplace(view_chunk_, Chunk(view_coord_.size(),
+                                                layout_.num_state_slots()))
+                   .first;
+        }
+        chunk_ = &it->second;
+        chunk_id_ = view_chunk_;
+      }
+      row_ = chunk_->GetOrCreateRow(view_offset_, view_coord_, identity_);
+      located_ = true;
     }
-    Chunk& frag = it->second;
-    double* state = frag.GetMutableCell(offset);
-    if (state == nullptr) {
-      frag.UpsertCell(offset, view_coord_, identity_);
-      state = frag.GetMutableCell(offset);
-    }
-    return layout_.UpdateState({state, layout_.num_state_slots()},
-                               right_values, multiplicity);
+    return layout_.UpdateState(
+        {chunk_->MutableValuesOfRow(row_), layout_.num_state_slots()},
+        right_values, multiplicity);
   }
 
  private:
@@ -53,12 +75,20 @@ class FragmentAccumulator {
   std::vector<double> identity_;
   CellCoord view_coord_;
   std::map<ChunkId, Chunk>* out_;
+
+  bool have_key_ = false;    // view_coord_/view_chunk_/view_offset_ valid
+  bool located_ = false;     // row_ resolved for the current key
+  ChunkId view_chunk_ = 0;
+  uint64_t view_offset_ = 0;
+  Chunk* chunk_ = nullptr;   // cached fragment (map nodes are stable)
+  ChunkId chunk_id_ = 0;
+  size_t row_ = 0;           // rows are stable: fragments only append
 };
 
 }  // namespace
 
 Status JoinAggregateChunkPair(const Chunk& left, const RightOperand& right,
-                              const DimMapping& mapping, const Shape& shape,
+                              const CompiledShape& compiled,
                               const AggregateLayout& layout,
                               const ViewTarget& target, int multiplicity,
                               std::map<ChunkId, Chunk>* out_fragments) {
@@ -68,58 +98,101 @@ Status JoinAggregateChunkPair(const Chunk& left, const RightOperand& right,
   if (multiplicity != 1 && multiplicity != -1) {
     return Status::InvalidArgument("multiplicity must be +1 or -1");
   }
-  if (shape.empty() || left.empty() || right.chunk->empty()) {
+  if (compiled.shape().empty() || left.empty() || right.chunk->empty()) {
     return Status::OK();
   }
 
-  FragmentAccumulator acc(layout, target, out_fragments);
+  FragmentBuilder builder(layout, target, out_fragments);
+  const DimMapping& mapping = compiled.mapping();
   const Box right_box = right.grid->ChunkBoxOfId(right.chunk_id);
-  CellCoord base;  // image of the left cell in right space
-  CellCoord probe(right_box.lo.size());
+  const size_t nd = compiled.num_dims();
+  const size_t num_attrs = right.chunk->num_attrs();
+  CellCoord base(nd);  // image of the left cell in right space
 
-  // Strategy choice: probing |σ| offsets per left cell vs scanning the right
-  // chunk's cells per left cell. Pick the smaller inner loop.
-  const bool probe_offsets = shape.size() <= right.chunk->num_cells();
-
-  if (probe_offsets) {
+  if (ChooseJoinStrategy(compiled.num_offsets(), right.chunk->num_cells()) ==
+      JoinStrategy::kProbeOffsets) {
+    const Box interior = compiled.InteriorBox(right_box);
+    const std::vector<int64_t>& deltas = compiled.linear_deltas();
+    const int64_t* components = compiled.offset_components();
     for (size_t row = 0; row < left.num_cells(); ++row) {
       const auto left_coord = left.CoordOfRow(row);
       mapping.ApplyInto(left_coord, &base);
-      for (const auto& offset : shape.offsets()) {
-        bool inside = true;
-        for (size_t d = 0; d < probe.size(); ++d) {
-          probe[d] = base[d] + offset[d];
-          if (probe[d] < right_box.lo[d] || probe[d] > right_box.hi[d]) {
-            inside = false;
-            break;
-          }
+      builder.BeginLeftCell(left_coord);
+      bool is_interior = true;
+      for (size_t d = 0; d < nd; ++d) {
+        if (base[d] < interior.lo[d] || base[d] > interior.hi[d]) {
+          is_interior = false;
+          break;
         }
-        if (!inside) continue;
-        const double* values =
-            right.chunk->GetCell(right.grid->InChunkOffset(probe));
-        if (values == nullptr) continue;
-        AVM_RETURN_IF_ERROR(
-            acc.Add(left_coord, {values, right.chunk->num_attrs()},
-                    multiplicity));
+      }
+      if (is_interior) {
+        // Fast path: every probe is base_offset + precomputed delta.
+        const int64_t base_offset =
+            static_cast<int64_t>(compiled.OffsetInChunk(base, right_box));
+        for (const int64_t delta : deltas) {
+          const double* values = right.chunk->GetCell(
+              static_cast<uint64_t>(base_offset + delta));
+          if (values == nullptr) continue;
+          AVM_RETURN_IF_ERROR(
+              builder.Fold({values, num_attrs}, multiplicity));
+        }
+      } else {
+        // Boundary path: per-dimension checks against the chunk box; probes
+        // that stay inside linearize against the box origin directly.
+        const std::vector<int64_t>& extents = right.grid->extents();
+        const int64_t* offset = components;
+        for (size_t k = 0; k < deltas.size(); ++k, offset += nd) {
+          uint64_t probe_offset = 0;
+          bool inside = true;
+          for (size_t d = 0; d < nd; ++d) {
+            const int64_t p = base[d] + offset[d];
+            if (p < right_box.lo[d] || p > right_box.hi[d]) {
+              inside = false;
+              break;
+            }
+            probe_offset = probe_offset * static_cast<uint64_t>(extents[d]) +
+                           static_cast<uint64_t>(p - right_box.lo[d]);
+          }
+          if (!inside) continue;
+          const double* values = right.chunk->GetCell(probe_offset);
+          if (values == nullptr) continue;
+          AVM_RETURN_IF_ERROR(
+              builder.Fold({values, num_attrs}, multiplicity));
+        }
       }
     }
   } else {
-    CellCoord delta(probe.size());
+    const Shape& shape = compiled.shape();
+    CellCoord delta(nd);
     for (size_t row = 0; row < left.num_cells(); ++row) {
       const auto left_coord = left.CoordOfRow(row);
       mapping.ApplyInto(left_coord, &base);
+      builder.BeginLeftCell(left_coord);
       for (size_t rrow = 0; rrow < right.chunk->num_cells(); ++rrow) {
         const auto right_coord = right.chunk->CoordOfRow(rrow);
-        for (size_t d = 0; d < delta.size(); ++d) {
+        for (size_t d = 0; d < nd; ++d) {
           delta[d] = right_coord[d] - base[d];
         }
         if (!shape.Contains(delta)) continue;
-        AVM_RETURN_IF_ERROR(acc.Add(left_coord, right.chunk->ValuesOfRow(rrow),
-                                    multiplicity));
+        AVM_RETURN_IF_ERROR(
+            builder.Fold(right.chunk->ValuesOfRow(rrow), multiplicity));
       }
     }
   }
   return Status::OK();
+}
+
+Status JoinAggregateChunkPair(const Chunk& left, const RightOperand& right,
+                              const DimMapping& mapping, const Shape& shape,
+                              const AggregateLayout& layout,
+                              const ViewTarget& target, int multiplicity,
+                              std::map<ChunkId, Chunk>* out_fragments) {
+  AVM_CHECK(right.grid != nullptr);
+  AVM_ASSIGN_OR_RETURN(
+      std::shared_ptr<const CompiledShape> compiled,
+      CompiledShapeCache::Global().Get(shape, mapping, *right.grid));
+  return JoinAggregateChunkPair(left, right, *compiled, layout, target,
+                                multiplicity, out_fragments);
 }
 
 }  // namespace avm

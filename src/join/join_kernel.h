@@ -7,6 +7,7 @@
 #include "array/chunk.h"
 #include "array/chunk_grid.h"
 #include "array/coords.h"
+#include "join/compiled_shape.h"
 #include "join/mapping.h"
 #include "shape/shape.h"
 
@@ -31,6 +32,35 @@ struct ViewTarget {
   const ChunkGrid* view_grid = nullptr;
 };
 
+/// The two inner-loop strategies of the chunk-join kernel.
+enum class JoinStrategy {
+  kProbeOffsets,  // probe each of the |σ| offsets around every left cell
+  kScanRight,     // scan the right chunk's cells, test membership in σ
+};
+
+/// Measured relative inner-operation costs of the two strategies (unit: one
+/// probe). A probe is a single add plus a flat-index lookup; a scan step
+/// builds the per-dimension delta vector and tests it against the shape's
+/// coordinate hash set. The ratio comes from microbench_join's sparse
+/// calibration configs (2% density, low hit rate, so the strategy-
+/// independent per-match fold cost stays out of the numbers): ~6 ns per
+/// probe vs ~14-16 ns per scanned cell, i.e. ~2.5 probes per scan step.
+inline constexpr double kProbeCostPerOffset = 1.0;
+inline constexpr double kScanCostPerRightCell = 2.5;
+
+/// Picks the cheaper strategy for one chunk pair by comparing
+/// |σ|·cost_probe against right_cells·cost_scan. Deterministic, so the
+/// accumulation order — and therefore every floating-point sum — is a pure
+/// function of the operands.
+inline JoinStrategy ChooseJoinStrategy(size_t shape_size, size_t right_cells) {
+  const double probe_cost =
+      static_cast<double>(shape_size) * kProbeCostPerOffset;
+  const double scan_cost =
+      static_cast<double>(right_cells) * kScanCostPerRightCell;
+  return probe_cost <= scan_cost ? JoinStrategy::kProbeOffsets
+                                 : JoinStrategy::kScanRight;
+}
+
 /// Executes the fused similarity-join + group-by-aggregate for one chunk
 /// pair: every cell x of `left` is joined with the cells of the right chunk
 /// lying in shape σ around M(x), and each match folds the right cell's
@@ -44,11 +74,21 @@ struct ViewTarget {
 /// chunk per affected view chunk; fragments from different pairs/nodes merge
 /// exactly because aggregate states are mergeable.
 ///
-/// The kernel picks the cheaper of two strategies per pair: probe each of
-/// the |σ| offsets around every left cell (good for small shapes), or scan
-/// the right chunk's cells and test offset membership in σ (good when the
-/// shape is larger than the right chunk is dense, e.g. PTF-5's 1000-offset
-/// space-time shape).
+/// The kernel picks the cheaper of two strategies per pair (see
+/// ChooseJoinStrategy). Under the probe strategy, left cells whose probe
+/// neighborhood lies entirely inside the right chunk take the compiled
+/// interior fast path — one precomputed offset add per probe; only cells on
+/// chunk faces/edges/corners pay the per-dimension boundary checks.
+Status JoinAggregateChunkPair(const Chunk& left, const RightOperand& right,
+                              const CompiledShape& compiled,
+                              const AggregateLayout& layout,
+                              const ViewTarget& target, int multiplicity,
+                              std::map<ChunkId, Chunk>* out_fragments);
+
+/// Convenience entry that memoizes the shape compilation through
+/// CompiledShapeCache::Global(). Call sites issuing many chunk-joins under
+/// one (shape, mapping, grid) should fetch the compilation once and use the
+/// overload above to keep the cache lock out of the hot loop.
 Status JoinAggregateChunkPair(const Chunk& left, const RightOperand& right,
                               const DimMapping& mapping, const Shape& shape,
                               const AggregateLayout& layout,

@@ -4,6 +4,7 @@
 #include <set>
 #include <utility>
 
+#include "join/compiled_shape.h"
 #include "join/fragment_merge.h"
 #include "join/join_kernel.h"
 #include "join/pair_enumeration.h"
@@ -30,6 +31,11 @@ Result<JoinExecutionStats> ExecuteDistributedJoinAggregate(
   const ChunkGrid& lgrid = left.grid();
   const ChunkGrid& rgrid = right.grid();
   const ViewTarget target{&spec.group_dims, &result->grid()};
+  // Compile the shape once for the whole join: every chunk pair below shares
+  // the precomputed offset linearization.
+  AVM_ASSIGN_OR_RETURN(
+      std::shared_ptr<const CompiledShape> compiled,
+      CompiledShapeCache::Global().Get(spec.shape, spec.mapping, rgrid));
 
   // Fragments of partial aggregate states, grouped by the node that
   // produced them.
@@ -61,7 +67,7 @@ Result<JoinExecutionStats> ExecuteDistributedJoinAggregate(
                                          right_chunk->SizeBytes());
       const RightOperand rop{right_chunk, q, &rgrid};
       AVM_RETURN_IF_ERROR(JoinAggregateChunkPair(
-          *left_chunk, rop, spec.mapping, spec.shape, spec.layout, target,
+          *left_chunk, rop, *compiled, spec.layout, target,
           /*multiplicity=*/1, &fragments_by_node[join_node]));
       ++stats.chunk_pairs;
     }

@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "join/compiled_shape.h"
 #include "join/fragment_merge.h"
 #include "join/join_kernel.h"
 #include "join/pair_enumeration.h"
@@ -101,6 +102,11 @@ Result<DeletionStats> ApplyDeletionBatch(MaterializedView* view,
   auto base_exists = [&](ChunkId q) {
     return catalog->HasChunk(base.id(), q);
   };
+  // Both retraction passes run the kernel against the base grid; compile the
+  // shape once for all of their chunk pairs.
+  AVM_ASSIGN_OR_RETURN(
+      std::shared_ptr<const CompiledShape> compiled,
+      CompiledShapeCache::Global().Get(def.shape, def.mapping, grid));
 
   std::map<NodeId, std::map<ChunkId, Chunk>> fragments_by_node;
 
@@ -125,9 +131,8 @@ Result<DeletionStats> ApplyDeletionBatch(MaterializedView* view,
         cluster->ChargeJoin(node.value(),
                             victim_chunk.SizeBytes() + right->SizeBytes());
         const RightOperand rop{right, q, &grid};
-        status = JoinAggregateChunkPair(victim_chunk, rop, def.mapping,
-                                        def.shape, layout, target,
-                                        /*multiplicity=*/-1,
+        status = JoinAggregateChunkPair(victim_chunk, rop, *compiled, layout,
+                                        target, /*multiplicity=*/-1,
                                         &fragments_by_node[node.value()]);
         if (!status.ok()) return;
         ++stats.retraction_joins;
@@ -184,8 +189,7 @@ Result<DeletionStats> ApplyDeletionBatch(MaterializedView* view,
         cluster->ChargeJoin(node.value(),
                             victim_chunk.SizeBytes() + left->SizeBytes());
         const RightOperand rop{&victim_chunk, m, &grid};
-        status = JoinAggregateChunkPair(*left, rop, def.mapping, def.shape,
-                                        layout, target,
+        status = JoinAggregateChunkPair(*left, rop, *compiled, layout, target,
                                         /*multiplicity=*/-1,
                                         &fragments_by_node[node.value()]);
         if (!status.ok()) return;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "join/compiled_shape.h"
 #include "join/fragment_merge.h"
 #include "join/join_kernel.h"
 #include "maintenance/makespan_tracker.h"
@@ -76,6 +77,7 @@ Status ValidateJoinNode(NodeId node, int num_workers) {
 /// Folds the cells of `delta_chunk` into the base chunk resident at `node`
 /// (upsert semantics: new detections are inserts/overwrites of raw data).
 void UpsertCells(const Chunk& delta_chunk, Chunk* base_chunk) {
+  base_chunk->Reserve(base_chunk->num_cells() + delta_chunk.num_cells());
   CellCoord coord(delta_chunk.num_dims());
   for (size_t row = 0; row < delta_chunk.num_cells(); ++row) {
     auto c = delta_chunk.CoordOfRow(row);
@@ -155,6 +157,27 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
   tasks.reserve(work_by_node.size());
   for (auto& [node, work] : work_by_node) tasks.push_back(&work);
 
+  // Compile the view shape once per distinct operand array before the
+  // fan-out: plans with hundreds of chunk-joins share one linearization, and
+  // the hot loop never touches the cache lock. Base and delta arrays chunk
+  // the same space, so these usually all resolve to a single cached entry.
+  std::map<const DistributedArray*, std::shared_ptr<const CompiledShape>>
+      compiled_by_array;
+  for (const auto& [node, work] : work_by_node) {
+    for (size_t i : work.join_indices) {
+      const JoinPair& pair = triples.pairs[plan.joins[i].pair_index];
+      for (const ChunkSide side : {pair.a.side, pair.b.side}) {
+        const DistributedArray* array = resolver.ArrayOf(side).value();
+        auto& slot = compiled_by_array[array];
+        if (slot == nullptr) {
+          AVM_ASSIGN_OR_RETURN(slot,
+                               CompiledShapeCache::Global().Get(
+                                   def.shape, def.mapping, array->grid()));
+        }
+      }
+    }
+  }
+
   ConcurrentClockBank clock_bank(num_workers);
   const CostModel& cost_model = cluster->cost_model();
   cluster->pool()->ParallelFor(tasks.size(), [&](size_t t) {
@@ -178,19 +201,17 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
       clock_bank.AddCpu(k, cost_model.JoinSeconds(pair.bytes));
       if (pair.dir_ab) {
         const RightOperand rop{b_chunk, pair.b.id, &b_array->grid()};
-        work.status = JoinAggregateChunkPair(*a_chunk, rop, def.mapping,
-                                             def.shape, layout, target,
-                                             /*multiplicity=*/1,
-                                             &work.fragments);
+        work.status = JoinAggregateChunkPair(
+            *a_chunk, rop, *compiled_by_array.at(b_array), layout, target,
+            /*multiplicity=*/1, &work.fragments);
         if (!work.status.ok()) return;
         ++work.joins_executed;
       }
       if (pair.dir_ba) {
         const RightOperand rop{a_chunk, pair.a.id, &a_array->grid()};
-        work.status = JoinAggregateChunkPair(*b_chunk, rop, def.mapping,
-                                             def.shape, layout, target,
-                                             /*multiplicity=*/1,
-                                             &work.fragments);
+        work.status = JoinAggregateChunkPair(
+            *b_chunk, rop, *compiled_by_array.at(a_array), layout, target,
+            /*multiplicity=*/1, &work.fragments);
         if (!work.status.ok()) return;
         ++work.joins_executed;
       }

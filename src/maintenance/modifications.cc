@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "join/compiled_shape.h"
 #include "join/fragment_merge.h"
 #include "join/join_kernel.h"
 
@@ -125,6 +126,11 @@ Result<ModificationStats> ApplyRightSideModifications(
     const ViewTarget target{&def.group_dims, &view->array().grid()};
     std::map<NodeId, std::map<ChunkId, Chunk>> fragments_by_node;
     std::set<std::pair<ChunkId, NodeId>> shipped;
+    // One shape compilation serves the -1 and +1 kernel runs of every
+    // (left chunk, modified chunk) pair below.
+    AVM_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledShape> compiled,
+                         CompiledShapeCache::Global().Get(
+                             def.shape, def.mapping, right.grid()));
 
     Status status = Status::OK();
     mod_old.ForEachChunk([&](ChunkId m, const Chunk& old_chunk) {
@@ -160,12 +166,12 @@ Result<ModificationStats> ApplyRightSideModifications(
         const RightOperand old_op{&old_chunk, m, &right.grid()};
         const RightOperand new_op{new_chunk, m, &right.grid()};
         auto& fragments = fragments_by_node[node.value()];
-        status = JoinAggregateChunkPair(*left_chunk, old_op, def.mapping,
-                                        def.shape, layout, target,
+        status = JoinAggregateChunkPair(*left_chunk, old_op, *compiled,
+                                        layout, target,
                                         /*multiplicity=*/-1, &fragments);
         if (!status.ok()) return;
-        status = JoinAggregateChunkPair(*left_chunk, new_op, def.mapping,
-                                        def.shape, layout, target,
+        status = JoinAggregateChunkPair(*left_chunk, new_op, *compiled,
+                                        layout, target,
                                         /*multiplicity=*/1, &fragments);
         ++stats.correction_joins;
       });

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "join/compiled_shape.h"
 #include "join/fragment_merge.h"
 #include "join/join_kernel.h"
 #include "join/pair_enumeration.h"
@@ -172,9 +173,13 @@ Result<OptimizedJoinStats> ExecuteOptimizedJoinAggregate(
   stats.planned_seconds = tracker.CurrentMax();
   if (estimate_only) return stats;
 
-  // Execute the kernels at their assigned nodes.
+  // Execute the kernels at their assigned nodes, sharing one shape
+  // compilation across all pairs.
   std::map<NodeId, std::map<ChunkId, Chunk>> fragments_by_node;
   const ViewTarget target{&spec.group_dims, &result->grid()};
+  AVM_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledShape> compiled,
+                       CompiledShapeCache::Global().Get(
+                           spec.shape, spec.mapping, right.grid()));
   for (size_t i = 0; i < pairs.size(); ++i) {
     const QueryPair& pair = pairs[i];
     const NodeId k = placement[i];
@@ -185,9 +190,9 @@ Result<OptimizedJoinStats> ExecuteOptimizedJoinAggregate(
     }
     cluster->ChargeJoin(k, pair.bytes);
     const RightOperand rop{rhs, pair.q, &right.grid()};
-    AVM_RETURN_IF_ERROR(JoinAggregateChunkPair(*lhs, rop, spec.mapping,
-                                               spec.shape, spec.layout,
-                                               target, multiplicity,
+    AVM_RETURN_IF_ERROR(JoinAggregateChunkPair(*lhs, rop, *compiled,
+                                               spec.layout, target,
+                                               multiplicity,
                                                &fragments_by_node[k]));
     ++stats.kernel_runs;
   }

@@ -165,5 +165,69 @@ TEST(ChunkTest, RowAccessors) {
   EXPECT_EQ(chunk.OffsetOfRow(0), 7u);
 }
 
+TEST(ChunkTest, ReservePreservesContentAcrossBulkInsert) {
+  Chunk chunk(1, 1);
+  chunk.UpsertCell(0, {0}, Vals({-1.0}));
+  chunk.Reserve(1000);
+  EXPECT_EQ(chunk.num_cells(), 1u);
+  for (uint64_t i = 1; i < 1000; ++i) {
+    chunk.UpsertCell(i, {static_cast<int64_t>(i)},
+                     Vals({static_cast<double>(i)}));
+  }
+  ASSERT_EQ(chunk.num_cells(), 1000u);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const double* v = chunk.GetCell(i);
+    ASSERT_NE(v, nullptr) << "offset " << i;
+    EXPECT_EQ(v[0], i == 0 ? -1.0 : static_cast<double>(i));
+  }
+}
+
+TEST(ChunkTest, GetOrCreateRowInsertsOnceAndStaysStable) {
+  Chunk chunk(2, 2);
+  const std::vector<int64_t> coord = {5, 6};
+  const size_t row = chunk.GetOrCreateRow(11, coord, Vals({0.0, 0.0}));
+  EXPECT_EQ(chunk.num_cells(), 1u);
+  EXPECT_EQ(chunk.GetOrCreateRow(11, coord, Vals({9.0, 9.0})), row);
+  EXPECT_EQ(chunk.num_cells(), 1u);
+  // Second call must not overwrite: init applies only on insert.
+  EXPECT_EQ(chunk.ValuesOfRow(row)[0], 0.0);
+
+  chunk.MutableValuesOfRow(row)[0] = 4.0;
+  chunk.MutableValuesOfRow(row)[1] = 8.0;
+  // The row survives value-buffer growth from later inserts.
+  for (uint64_t i = 0; i < 100; ++i) {
+    chunk.GetOrCreateRow(100 + i, coord, Vals({1.0, 1.0}));
+  }
+  EXPECT_EQ(chunk.GetCell(11)[0], 4.0);
+  EXPECT_EQ(chunk.ValuesOfRow(row)[1], 8.0);
+}
+
+TEST(ChunkTest, EraseThenReinsertKeepsIndexConsistent) {
+  // Swap-with-last erase plus tombstoned index slots: interleave erases and
+  // re-inserts and verify every surviving cell resolves correctly.
+  Chunk chunk(1, 1);
+  for (uint64_t i = 0; i < 64; ++i) {
+    chunk.UpsertCell(i, {static_cast<int64_t>(i)},
+                     Vals({static_cast<double>(i)}));
+  }
+  for (uint64_t i = 0; i < 64; i += 2) EXPECT_TRUE(chunk.EraseCell(i));
+  for (uint64_t i = 0; i < 64; i += 4) {
+    chunk.UpsertCell(i, {static_cast<int64_t>(i)}, Vals({100.0 + i}));
+  }
+  ASSERT_EQ(chunk.num_cells(), 32u + 16u);
+  for (uint64_t i = 0; i < 64; ++i) {
+    const double* v = chunk.GetCell(i);
+    if (i % 4 == 0) {
+      ASSERT_NE(v, nullptr);
+      EXPECT_EQ(v[0], 100.0 + i);
+    } else if (i % 2 == 0) {
+      EXPECT_EQ(v, nullptr);
+    } else {
+      ASSERT_NE(v, nullptr);
+      EXPECT_EQ(v[0], static_cast<double>(i));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace avm

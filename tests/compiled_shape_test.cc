@@ -1,0 +1,327 @@
+#include "join/compiled_shape.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "agg/aggregates.h"
+#include "array/sparse_array.h"
+#include "common/rng.h"
+#include "join/join_kernel.h"
+#include "join/pair_enumeration.h"
+#include "join/reference.h"
+#include "join/similarity_join.h"
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+/// Anisotropic 2-D schema: 3x3 chunks of 7x4 cells.
+ArraySchema Aniso2D() {
+  auto schema = ArraySchema::Create(
+      "A2", {{"x", 1, 21, 7}, {"y", 1, 12, 4}},
+      {{"v", AttributeType::kDouble}});
+  AVM_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+/// Anisotropic 3-D schema: 2x3x2 chunks of 5x3x4 cells.
+ArraySchema Aniso3D() {
+  auto schema = ArraySchema::Create(
+      "A3", {{"x", 1, 10, 5}, {"y", 1, 9, 3}, {"z", 1, 8, 4}},
+      {{"v", AttributeType::kDouble}});
+  AVM_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+AggregateLayout CountSumLayout() {
+  auto layout = AggregateLayout::Create({{AggregateFunction::kCount, 0, "c"},
+                                         {AggregateFunction::kSum, 0, "s"}},
+                                        1);
+  AVM_CHECK(layout.ok());
+  return std::move(layout).value();
+}
+
+TEST(CompiledShapeTest, LinearDeltasMatchGridOffsets) {
+  const ArraySchema schema = Aniso2D();
+  const ChunkGrid grid(schema);
+  const Shape shape = Shape::LinfBall(2, 1);
+  ASSERT_OK_AND_ASSIGN(
+      CompiledShape compiled,
+      CompiledShape::Create(shape, DimMapping::Identity(2), grid));
+  ASSERT_EQ(compiled.num_offsets(), shape.size());
+
+  // An interior base cell of the center chunk: every probe's grid offset
+  // must equal base_offset + delta, in the shape's offset order.
+  const CellCoord base = {10, 6};
+  const Box box = grid.ChunkBoxOfId(grid.IdOfCell(base));
+  const uint64_t base_offset = grid.InChunkOffset(base);
+  ASSERT_EQ(compiled.OffsetInChunk(base, box), base_offset);
+  const auto& offsets = shape.offsets();
+  for (size_t k = 0; k < offsets.size(); ++k) {
+    const CellCoord probe = {base[0] + offsets[k][0], base[1] + offsets[k][1]};
+    ASSERT_EQ(grid.IdOfCell(probe), grid.IdOfCell(base))
+        << "test cell is not interior";
+    EXPECT_EQ(static_cast<int64_t>(grid.InChunkOffset(probe)),
+              static_cast<int64_t>(base_offset) + compiled.linear_deltas()[k]);
+  }
+}
+
+TEST(CompiledShapeTest, InteriorBoxShrinksByBoundingBox) {
+  const ArraySchema schema = Aniso2D();
+  const ChunkGrid grid(schema);
+  const Shape shape = Shape::L1Ball(2, 2);  // bbox [-2,2] x [-2,2]
+  ASSERT_OK_AND_ASSIGN(
+      CompiledShape compiled,
+      CompiledShape::Create(shape, DimMapping::Identity(2), grid));
+
+  const Box box = grid.ChunkBoxOfId(grid.IdOfCell({10, 6}));  // 7x4 chunk
+  const Box interior = compiled.InteriorBox(box);
+  EXPECT_EQ(interior.lo[0], box.lo[0] + 2);
+  EXPECT_EQ(interior.hi[0], box.hi[0] - 2);
+  // The y extent (4) is smaller than the bbox span (5): empty window, every
+  // cell of this chunk takes the boundary path.
+  EXPECT_GT(interior.lo[1], interior.hi[1]);
+}
+
+TEST(CompiledShapeTest, OffsetInChunkMatchesGridEverywhere) {
+  const ArraySchema schema = Aniso3D();
+  const ChunkGrid grid(schema);
+  ASSERT_OK_AND_ASSIGN(
+      CompiledShape compiled,
+      CompiledShape::Create(Shape::LinfBall(3, 1), DimMapping::Identity(3),
+                            grid));
+  for (const CellCoord& coord :
+       {CellCoord{1, 1, 1}, CellCoord{5, 3, 4}, CellCoord{6, 4, 5},
+        CellCoord{10, 9, 8}, CellCoord{3, 7, 6}}) {
+    const Box box = grid.ChunkBoxOfId(grid.IdOfCell(coord));
+    EXPECT_EQ(compiled.OffsetInChunk(coord, box), grid.InChunkOffset(coord));
+  }
+}
+
+TEST(CompiledShapeTest, CreateRejectsDimensionMismatch) {
+  const ChunkGrid grid(Aniso2D());
+  EXPECT_FALSE(
+      CompiledShape::Create(Shape::LinfBall(3, 1), DimMapping::Identity(3),
+                            grid)
+          .ok());
+}
+
+TEST(CompiledShapeCacheTest, MemoizesByContent) {
+  CompiledShapeCache& cache = CompiledShapeCache::Global();
+  // A shape unlikely to collide with other tests' cache entries.
+  ASSERT_OK_AND_ASSIGN(
+      const Shape shape,
+      Shape::FromOffsets(2, {{0, 0}, {3, -2}, {-1, 4}, {2, 2}}));
+  const DimMapping mapping = DimMapping::Identity(2);
+  const ChunkGrid grid_a(Aniso2D());
+
+  ASSERT_OK_AND_ASSIGN(auto first, cache.Get(shape, mapping, grid_a));
+  const size_t size_after_first = cache.size();
+  ASSERT_OK_AND_ASSIGN(auto second, cache.Get(shape, mapping, grid_a));
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.size(), size_after_first);
+
+  // Same extents, different array ranges: compilation depends only on the
+  // chunk extents, so the entry is shared.
+  auto shifted = ArraySchema::Create(
+      "A2b", {{"x", 5, 39, 7}, {"y", 2, 21, 4}},
+      {{"v", AttributeType::kDouble}});
+  ASSERT_OK(shifted);
+  const ChunkGrid grid_b(shifted.value());
+  ASSERT_OK_AND_ASSIGN(auto third, cache.Get(shape, mapping, grid_b));
+  EXPECT_EQ(first.get(), third.get());
+  EXPECT_EQ(cache.size(), size_after_first);
+
+  // Different chunk extents: a distinct compilation.
+  const ChunkGrid grid_c(Aniso3D());
+  ASSERT_OK_AND_ASSIGN(
+      const Shape shape3,
+      Shape::FromOffsets(3, {{0, 0, 0}, {3, -2, 1}, {-1, 4, 0}}));
+  ASSERT_OK_AND_ASSIGN(auto fourth,
+                       cache.Get(shape3, DimMapping::Identity(3), grid_c));
+  EXPECT_NE(static_cast<const void*>(first.get()),
+            static_cast<const void*>(fourth.get()));
+  EXPECT_GT(cache.size(), size_after_first);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized interior/boundary equivalence: the chunked kernel summed over
+// all chunk pairs must match the unchunked reference evaluation for shapes
+// of every metric, on anisotropic tilings, including cells on chunk faces,
+// edges, and corners, under both multiplicities.
+// ---------------------------------------------------------------------------
+
+/// Fills `array` with random cells plus deterministic cells on every chunk
+/// corner (and some face midpoints), so the boundary path always executes.
+void FillWithBoundaryCells(SparseArray* array, size_t random_cells, Rng* rng) {
+  testing_util::FillRandom(array, random_cells, rng);
+  const ChunkGrid& grid = array->grid();
+  const size_t nd = array->schema().num_dims();
+  for (int64_t slot = 0; slot < grid.TotalChunkSlots(); ++slot) {
+    const Box box = grid.ChunkBoxOfId(static_cast<ChunkId>(slot));
+    // All 2^nd corners of the chunk box.
+    for (uint32_t mask = 0; mask < (1u << nd); ++mask) {
+      CellCoord corner(nd);
+      for (size_t d = 0; d < nd; ++d) {
+        corner[d] = (mask >> d) & 1 ? box.hi[d] : box.lo[d];
+      }
+      const double v = rng->UniformDouble() * 100.0;
+      AVM_CHECK(array->Set(corner, {&v, 1}).ok());
+    }
+    // A face-center cell per dimension (edge/face coverage beyond corners).
+    for (size_t d = 0; d < nd; ++d) {
+      CellCoord face(nd);
+      for (size_t e = 0; e < nd; ++e) {
+        face[e] = e == d ? box.lo[e] : (box.lo[e] + box.hi[e]) / 2;
+      }
+      const double v = rng->UniformDouble() * 100.0;
+      AVM_CHECK(array->Set(face, {&v, 1}).ok());
+    }
+  }
+}
+
+/// Runs the chunked kernel over every (left chunk, right partner) pair and
+/// merges the fragments into a result array with state attributes.
+SparseArray RunChunkedJoin(const SparseArray& left, const SparseArray& right,
+                           const SimilarityJoinSpec& spec,
+                           const ArraySchema& result_schema,
+                           int multiplicity) {
+  const ChunkGrid view_grid(result_schema);
+  const ViewTarget target{&spec.group_dims, &view_grid};
+  std::map<ChunkId, Chunk> fragments;
+  for (ChunkId p : left.ChunkIds()) {
+    for (ChunkId q : EnumerateJoinPartners(
+             left.grid(), p, spec.mapping, spec.shape, right.grid(),
+             [&](ChunkId c) { return right.GetChunk(c) != nullptr; })) {
+      const RightOperand rop{right.GetChunk(q), q, &right.grid()};
+      AVM_CHECK(JoinAggregateChunkPair(*left.GetChunk(p), rop, spec.mapping,
+                                       spec.shape, spec.layout, target,
+                                       multiplicity, &fragments)
+                    .ok());
+    }
+  }
+  SparseArray out(result_schema);
+  CellCoord coord(result_schema.num_dims());
+  for (const auto& [v, frag] : fragments) {
+    frag.ForEachCell([&](std::span<const int64_t> c,
+                         std::span<const double> state) {
+      coord.assign(c.begin(), c.end());
+      AVM_CHECK(out.Accumulate(coord, state).ok());
+    });
+  }
+  return out;
+}
+
+/// Negates every state value (COUNT/SUM/AVG states are linear, so this is
+/// the exact expectation for multiplicity -1).
+SparseArray Negated(const SparseArray& array) {
+  SparseArray out(array.schema());
+  CellCoord coord(array.schema().num_dims());
+  std::vector<double> neg(array.schema().num_attrs());
+  array.ForEachCell([&](std::span<const int64_t> c,
+                        std::span<const double> values) {
+    coord.assign(c.begin(), c.end());
+    for (size_t i = 0; i < values.size(); ++i) neg[i] = -values[i];
+    AVM_CHECK(out.Set(coord, neg).ok());
+  });
+  return out;
+}
+
+struct NamedShape {
+  const char* name;
+  Shape shape;
+};
+
+std::vector<NamedShape> ShapeSuite(size_t nd) {
+  std::vector<NamedShape> shapes;
+  shapes.push_back({"L1(2)", Shape::L1Ball(nd, 2)});
+  shapes.push_back({"L2(1.8)", Shape::L2Ball(nd, 1.8)});
+  shapes.push_back({"Linf(1)", Shape::LinfBall(nd, 1)});
+  shapes.push_back({"Hamming(1,2)", Shape::HammingBall(nd, 1, 2)});
+  std::vector<double> weights(nd);
+  for (size_t d = 0; d < nd; ++d) weights[d] = 1.0 + 0.5 * static_cast<double>(d);
+  shapes.push_back(
+      {"WeightedL2(1.5)",
+       Shape::WeightedBall(nd, Shape::Norm::kL2, 1.5, weights)});
+  return shapes;
+}
+
+void RunEquivalenceSuite(const ArraySchema& schema, size_t random_cells,
+                         uint64_t seed) {
+  const size_t nd = schema.num_dims();
+  Rng rng(seed);
+  SparseArray left(schema);
+  SparseArray right(schema);
+  FillWithBoundaryCells(&left, random_cells, &rng);
+  FillWithBoundaryCells(&right, random_cells, &rng);
+
+  SimilarityJoinSpec spec;
+  spec.mapping = DimMapping::Identity(nd);
+  spec.layout = CountSumLayout();
+  spec.group_dims.resize(nd);
+  for (size_t d = 0; d < nd; ++d) spec.group_dims[d] = d;
+
+  std::vector<DimensionSpec> vdims = schema.dims();
+  auto result_schema = ArraySchema::Create("V", std::move(vdims),
+                                           spec.layout.StateAttributes());
+  ASSERT_OK(result_schema);
+
+  for (NamedShape& named : ShapeSuite(nd)) {
+    spec.shape = named.shape;
+    ASSERT_OK_AND_ASSIGN(
+        SparseArray expected,
+        ReferenceJoinAggregate(left, right, spec, result_schema.value()));
+    const SparseArray actual =
+        RunChunkedJoin(left, right, spec, result_schema.value(), 1);
+    EXPECT_TRUE(actual.ContentEquals(expected, 1e-9))
+        << named.name << ": chunked kernel disagrees with reference";
+
+    const SparseArray retracted =
+        RunChunkedJoin(left, right, spec, result_schema.value(), -1);
+    EXPECT_TRUE(retracted.ContentEquals(Negated(expected), 1e-9))
+        << named.name << ": multiplicity -1 is not the exact negation";
+  }
+}
+
+TEST(JoinEquivalenceTest, AnisotropicTiling2D) {
+  RunEquivalenceSuite(Aniso2D(), /*random_cells=*/100, /*seed=*/0xA2);
+}
+
+TEST(JoinEquivalenceTest, AnisotropicTiling3D) {
+  RunEquivalenceSuite(Aniso3D(), /*random_cells=*/180, /*seed=*/0xA3);
+}
+
+TEST(JoinEquivalenceTest, SparseChunksUseScanStrategy) {
+  // A 49-offset shape over chunks holding only a handful of cells sits past
+  // the probe-vs-scan crossover (|σ| > 2.5 * right_cells), so this case
+  // exercises the scan path against the reference.
+  const ArraySchema schema = Aniso2D();
+  Rng rng(0x5C);
+  SparseArray left(schema);
+  SparseArray right(schema);
+  testing_util::FillRandom(&left, 14, &rng);
+  testing_util::FillRandom(&right, 14, &rng);
+
+  SimilarityJoinSpec spec;
+  spec.mapping = DimMapping::Identity(2);
+  spec.layout = CountSumLayout();
+  spec.group_dims = {0, 1};
+  spec.shape = Shape::LinfBall(2, 3);
+  ASSERT_EQ(ChooseJoinStrategy(spec.shape.size(), 5),
+            JoinStrategy::kScanRight);
+
+  auto result_schema = ArraySchema::Create("V", schema.dims(),
+                                           spec.layout.StateAttributes());
+  ASSERT_OK(result_schema);
+  ASSERT_OK_AND_ASSIGN(
+      SparseArray expected,
+      ReferenceJoinAggregate(left, right, spec, result_schema.value()));
+  const SparseArray actual =
+      RunChunkedJoin(left, right, spec, result_schema.value(), 1);
+  EXPECT_TRUE(actual.ContentEquals(expected, 1e-9));
+}
+
+}  // namespace
+}  // namespace avm

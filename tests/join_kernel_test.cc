@@ -154,6 +154,18 @@ TEST_F(JoinKernelTest, BothStrategiesAgree) {
   }
 }
 
+TEST(ChooseJoinStrategyTest, PinsCostCrossoverOnBothSides) {
+  // With kProbeCostPerOffset = 1.0 and kScanCostPerRightCell = 2.5, the
+  // crossover for 100 right cells sits at exactly 250 shape offsets (ties
+  // go to probing). These pins fail if either constant drifts.
+  EXPECT_EQ(ChooseJoinStrategy(250, 100), JoinStrategy::kProbeOffsets);
+  EXPECT_EQ(ChooseJoinStrategy(251, 100), JoinStrategy::kScanRight);
+  // Small-end sanity: a 2-offset shape probes even over a 1-cell chunk; a
+  // 3-offset shape scans it.
+  EXPECT_EQ(ChooseJoinStrategy(2, 1), JoinStrategy::kProbeOffsets);
+  EXPECT_EQ(ChooseJoinStrategy(3, 1), JoinStrategy::kScanRight);
+}
+
 TEST_F(JoinKernelTest, EmptyShapeProducesNothing) {
   Rng rng(29);
   testing_util::FillRandom(&array_, 20, &rng);
