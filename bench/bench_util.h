@@ -1,5 +1,4 @@
-#ifndef AVM_BENCH_BENCH_UTIL_H_
-#define AVM_BENCH_BENCH_UTIL_H_
+#pragma once
 
 #include <benchmark/benchmark.h>
 
@@ -8,7 +7,7 @@
 #include <cstdlib>
 #include <string>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "harness/experiment.h"
 
 namespace avm::bench {
@@ -159,4 +158,3 @@ struct PtfFixture {
 
 }  // namespace avm::bench
 
-#endif  // AVM_BENCH_BENCH_UTIL_H_

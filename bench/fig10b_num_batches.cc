@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "bench/bench_util.h"
+#include "common/check.h"
 
 namespace avm::bench {
 namespace {

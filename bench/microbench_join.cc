@@ -23,7 +23,7 @@
 #include "array/chunk_grid.h"
 #include "array/schema.h"
 #include "array/sparse_array.h"
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "join/compiled_shape.h"
@@ -175,7 +175,11 @@ SparseArray MakeDenseChunkArray(size_t num_dims, int64_t extent,
                                 double density, uint64_t seed) {
   std::vector<DimensionSpec> dims(num_dims);
   for (size_t d = 0; d < num_dims; ++d) {
-    dims[d] = {"d" + std::to_string(d), 0, extent - 1, extent};
+    // += rather than `"d" + ...`: the rvalue operator+ chain trips a GCC 12
+    // -Wrestrict false positive at -O3.
+    std::string dim_name = "d";
+    dim_name += std::to_string(d);
+    dims[d] = {std::move(dim_name), 0, extent - 1, extent};
   }
   auto schema = ArraySchema::Create("bench", std::move(dims),
                                     {{"v", AttributeType::kDouble}});

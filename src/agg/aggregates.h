@@ -1,5 +1,4 @@
-#ifndef AVM_AGG_AGGREGATES_H_
-#define AVM_AGG_AGGREGATES_H_
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -93,4 +92,3 @@ class AggregateLayout {
 
 }  // namespace avm
 
-#endif  // AVM_AGG_AGGREGATES_H_

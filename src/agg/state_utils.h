@@ -1,5 +1,4 @@
-#ifndef AVM_AGG_STATE_UTILS_H_
-#define AVM_AGG_STATE_UTILS_H_
+#pragma once
 
 #include "agg/aggregates.h"
 #include "array/sparse_array.h"
@@ -18,4 +17,3 @@ Result<size_t> StripIdentityCells(SparseArray* states,
 
 }  // namespace avm
 
-#endif  // AVM_AGG_STATE_UTILS_H_

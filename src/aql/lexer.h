@@ -1,5 +1,4 @@
-#ifndef AVM_AQL_LEXER_H_
-#define AVM_AQL_LEXER_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -35,4 +34,3 @@ Result<std::vector<Token>> Tokenize(std::string_view input);
 
 }  // namespace avm::aql
 
-#endif  // AVM_AQL_LEXER_H_

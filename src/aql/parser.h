@@ -1,5 +1,4 @@
-#ifndef AVM_AQL_PARSER_H_
-#define AVM_AQL_PARSER_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -82,4 +81,3 @@ Result<Statement> ParseStatement(std::string_view input);
 
 }  // namespace avm::aql
 
-#endif  // AVM_AQL_PARSER_H_

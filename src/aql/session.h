@@ -1,5 +1,4 @@
-#ifndef AVM_AQL_SESSION_H_
-#define AVM_AQL_SESSION_H_
+#pragma once
 
 #include <functional>
 #include <map>
@@ -76,4 +75,3 @@ class AqlSession {
 
 }  // namespace avm::aql
 
-#endif  // AVM_AQL_SESSION_H_

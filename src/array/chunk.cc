@@ -3,7 +3,8 @@
 #include <cmath>
 #include <cstring>
 
-#include "common/logging.h"
+#include "array/chunk_grid.h"
+#include "common/check.h"
 
 namespace avm {
 
@@ -92,6 +93,48 @@ Status Chunk::AccumulateChunk(const Chunk& other) {
     AccumulateCell(other.OffsetOfRow(row), coord, other.ValuesOfRow(row));
   }
   return Status::OK();
+}
+
+void Chunk::CheckInvariants(const ChunkGrid* grid, ChunkId id) const {
+  // Row storage: the three flat buffers describe the same cell count.
+  const size_t cells = offsets_.size();
+  AVM_CHECK_EQ(coords_.size(), cells * num_dims_)
+      << "coordinate buffer size disagrees with the row count";
+  AVM_CHECK_EQ(values_.size(), cells * num_attrs_)
+      << "value buffer size disagrees with the row count";
+
+  // Offset index: internally consistent, covers exactly the stored rows,
+  // and maps each row's offset back to that row.
+  index_.CheckInvariants();
+  AVM_CHECK_EQ(index_.size(), cells)
+      << "offset index entry count disagrees with the row count";
+  for (size_t row = 0; row < cells; ++row) {
+    AVM_CHECK_EQ(static_cast<size_t>(index_.Find(offsets_[row])), row)
+        << "offset " << offsets_[row]
+        << " does not index its own row (duplicate or stale index entry)";
+  }
+
+  if (grid == nullptr) return;
+
+  // Geometry: every cell lies inside this chunk's box and re-linearizes to
+  // (id, stored offset). This is the Chunk <-> ChunkGrid addressing
+  // contract the offset-linearized join fast paths rely on.
+  AVM_CHECK_EQ(grid->num_dims(), num_dims_)
+      << "grid dimensionality disagrees with the chunk layout";
+  const Box box = grid->ChunkBoxOfId(id);
+  CellCoord coord(num_dims_);
+  for (size_t row = 0; row < cells; ++row) {
+    const auto c = CoordOfRow(row);
+    coord.assign(c.begin(), c.end());
+    AVM_CHECK(box.Contains(coord))
+        << "cell of row " << row << " lies outside chunk " << id << "'s box";
+    const ChunkGrid::CellSlot slot = grid->SlotOfCell(coord);
+    AVM_CHECK_EQ(slot.id, id)
+        << "cell of row " << row << " linearizes into a different chunk";
+    AVM_CHECK_EQ(slot.offset, offsets_[row])
+        << "stored in-chunk offset of row " << row
+        << " disagrees with the grid's linearization";
+  }
 }
 
 bool Chunk::ContentEquals(const Chunk& other, double tolerance) const {

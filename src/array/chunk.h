@@ -1,5 +1,4 @@
-#ifndef AVM_ARRAY_CHUNK_H_
-#define AVM_ARRAY_CHUNK_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -11,6 +10,9 @@
 #include "common/status.h"
 
 namespace avm {
+
+class ChunkGrid;
+struct ChunkTestPeer;
 
 /// Sparse storage for one chunk: the non-empty cells of one axis-aligned tile
 /// of the array. Cells are stored structure-of-rows — a flat coordinate
@@ -120,7 +122,22 @@ class Chunk {
   /// insensitive). Coordinates compared by offset.
   bool ContentEquals(const Chunk& other, double tolerance = 0.0) const;
 
+  /// Debug structural validator. Checks the row storage and the offset
+  /// index agree: buffer sizes are consistent with the cell count, the
+  /// index maps every row's offset back to that row, and the index's own
+  /// table invariants hold. When `grid` is given, additionally checks the
+  /// geometry contract for the chunk at `id`: every cell coordinate lies in
+  /// the chunk's box and re-linearizes (SlotOfCell) to exactly (id, its
+  /// stored offset) — the consistency the PR-2 fast paths depend on.
+  ///
+  /// Violations fire AVM_CHECK (routed through the installed failure
+  /// handler). O(cells); intended for Debug/test builds via the
+  /// kDebugChecksEnabled gate, not for Release hot paths.
+  void CheckInvariants(const ChunkGrid* grid = nullptr, ChunkId id = 0) const;
+
  private:
+  friend struct ChunkTestPeer;  // contract tests corrupt state deliberately
+
   size_t num_dims_;
   size_t num_attrs_;
   std::vector<uint64_t> offsets_;  // per-row in-chunk offset
@@ -131,4 +148,3 @@ class Chunk {
 
 }  // namespace avm
 
-#endif  // AVM_ARRAY_CHUNK_H_

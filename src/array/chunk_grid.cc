@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace avm {
 
@@ -92,6 +92,30 @@ uint64_t ChunkGrid::InChunkOffset(const CellCoord& coord) const {
           static_cast<uint64_t>(within);
   }
   return off;
+}
+
+void ChunkGrid::CheckInvariants() const {
+  const size_t dims = lo_.size();
+  AVM_CHECK_EQ(hi_.size(), dims);
+  AVM_CHECK_EQ(extent_.size(), dims);
+  AVM_CHECK_EQ(chunks_in_dim_.size(), dims);
+  int64_t slots = 1;
+  for (size_t i = 0; i < dims; ++i) {
+    AVM_CHECK_LE(lo_[i], hi_[i]) << "empty range in dimension " << i;
+    AVM_CHECK_GT(extent_[i], 0) << "non-positive extent in dimension " << i;
+    const int64_t range = hi_[i] - lo_[i] + 1;
+    AVM_CHECK_EQ(chunks_in_dim_[i], (range + extent_[i] - 1) / extent_[i])
+        << "chunk count of dimension " << i
+        << " disagrees with its range and extent";
+    slots *= chunks_in_dim_[i];
+  }
+  if (dims == 0) {
+    // Default-constructed (0) or built from a dimensionless schema (1).
+    AVM_CHECK_LE(total_slots_, 1);
+    return;
+  }
+  AVM_CHECK_EQ(total_slots_, slots)
+      << "total chunk-slot count is not the per-dimension product";
 }
 
 void ChunkGrid::ForEachChunkOverlapping(

@@ -1,5 +1,4 @@
-#ifndef AVM_ARRAY_CHUNK_GRID_H_
-#define AVM_ARRAY_CHUNK_GRID_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -81,6 +80,12 @@ class ChunkGrid {
   /// Per-dimension chunk extents.
   const std::vector<int64_t>& extents() const { return extent_; }
 
+  /// Debug structural validator: the per-dimension vectors agree in length,
+  /// every range is non-empty with a positive chunk extent, the chunk counts
+  /// are the ceil-divided range sizes, and `TotalChunkSlots()` is their
+  /// product. Violations fire AVM_CHECK; O(dims).
+  void CheckInvariants() const;
+
  private:
   std::vector<int64_t> lo_;            // per-dim range start
   std::vector<int64_t> hi_;            // per-dim range end
@@ -91,4 +96,3 @@ class ChunkGrid {
 
 }  // namespace avm
 
-#endif  // AVM_ARRAY_CHUNK_GRID_H_

@@ -1,5 +1,4 @@
-#ifndef AVM_ARRAY_COORDS_H_
-#define AVM_ARRAY_COORDS_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -64,4 +63,3 @@ struct Box {
 
 }  // namespace avm
 
-#endif  // AVM_ARRAY_COORDS_H_

@@ -1,10 +1,9 @@
-#ifndef AVM_ARRAY_OFFSET_INDEX_H_
-#define AVM_ARRAY_OFFSET_INDEX_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace avm {
 
@@ -79,6 +78,35 @@ class OffsetIndex {
     }
   }
 
+  /// Debug structural validator: the table is a power-of-two open-addressing
+  /// array whose live/tombstone counters match the slots, and every live key
+  /// is reachable through its probe chain (no key orphaned by a bad rehash
+  /// or an out-of-order tombstone write). O(capacity); call from
+  /// Chunk::CheckInvariants in Debug/test builds, never from kernels.
+  void CheckInvariants() const {
+    AVM_CHECK(slots_.empty() || (slots_.size() & (slots_.size() - 1)) == 0)
+        << "capacity " << slots_.size() << " is not a power of two";
+    size_t live = 0;
+    size_t dead = 0;
+    for (const Slot& s : slots_) {
+      if (s.key == kEmpty) continue;
+      if (s.key == kTombstone) {
+        ++dead;
+        continue;
+      }
+      ++live;
+      AVM_CHECK_EQ(Find(s.key), s.row)
+          << "offset " << s.key << " unreachable through its probe chain";
+    }
+    AVM_CHECK_EQ(live, size_) << "live-slot count drifted from size_";
+    AVM_CHECK_EQ(dead, tombstones_)
+        << "tombstone count drifted from tombstones_";
+    AVM_CHECK(slots_.empty() ||
+              (size_ + tombstones_) * kMaxLoadDen <=
+                  slots_.size() * kMaxLoadNum)
+        << "load factor above the rehash threshold";
+  }
+
   /// Removes `offset`; returns whether it was present.
   bool Erase(uint64_t offset) {
     if (slots_.empty()) return false;
@@ -138,4 +166,3 @@ class OffsetIndex {
 
 }  // namespace avm
 
-#endif  // AVM_ARRAY_OFFSET_INDEX_H_

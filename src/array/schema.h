@@ -1,5 +1,4 @@
-#ifndef AVM_ARRAY_SCHEMA_H_
-#define AVM_ARRAY_SCHEMA_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -89,4 +88,3 @@ class ArraySchema {
 
 }  // namespace avm
 
-#endif  // AVM_ARRAY_SCHEMA_H_

@@ -1,5 +1,4 @@
-#ifndef AVM_ARRAY_SERIALIZATION_H_
-#define AVM_ARRAY_SERIALIZATION_H_
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -32,4 +31,3 @@ Result<SparseArray> LoadArrayFromFile(const std::string& path);
 
 }  // namespace avm
 
-#endif  // AVM_ARRAY_SERIALIZATION_H_

@@ -1,5 +1,6 @@
 #include "array/sparse_array.h"
 
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace avm {
@@ -115,6 +116,19 @@ SparseArray SparseArray::Clone() const {
   SparseArray copy(schema_);
   copy.chunks_ = chunks_;
   return copy;
+}
+
+void SparseArray::CheckInvariants() const {
+  grid_.CheckInvariants();
+  for (const auto& [id, chunk] : chunks_) {
+    AVM_CHECK_LT(id, static_cast<ChunkId>(grid_.TotalChunkSlots()))
+        << "chunk id outside the grid of array " << schema_.name();
+    AVM_CHECK_EQ(chunk.num_dims(), schema_.num_dims())
+        << "chunk dimensionality disagrees with the schema";
+    AVM_CHECK_EQ(chunk.num_attrs(), schema_.num_attrs())
+        << "chunk attribute count disagrees with the schema";
+    chunk.CheckInvariants(&grid_, id);
+  }
 }
 
 bool SparseArray::ContentEquals(const SparseArray& other,

@@ -1,5 +1,4 @@
-#ifndef AVM_ARRAY_SPARSE_ARRAY_H_
-#define AVM_ARRAY_SPARSE_ARRAY_H_
+#pragma once
 
 #include <functional>
 #include <map>
@@ -94,6 +93,13 @@ class SparseArray {
   /// Exact content equality with optional per-value tolerance.
   bool ContentEquals(const SparseArray& other, double tolerance = 0.0) const;
 
+  /// Debug structural validator: the grid's geometry invariants hold, every
+  /// chunk id is a valid grid slot, every chunk matches the schema's layout,
+  /// and each chunk passes its own index/geometry contract (cells inside
+  /// the chunk box, offsets consistent with the grid linearization).
+  /// Violations fire AVM_CHECK; O(total cells).
+  void CheckInvariants() const;
+
  private:
   ArraySchema schema_;
   ChunkGrid grid_;
@@ -102,4 +108,3 @@ class SparseArray {
 
 }  // namespace avm
 
-#endif  // AVM_ARRAY_SPARSE_ARRAY_H_

@@ -1,5 +1,4 @@
-#ifndef AVM_CLUSTER_CATALOG_H_
-#define AVM_CLUSTER_CATALOG_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -94,4 +93,3 @@ class Catalog {
 
 }  // namespace avm
 
-#endif  // AVM_CLUSTER_CATALOG_H_

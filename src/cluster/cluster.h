@@ -1,5 +1,4 @@
-#ifndef AVM_CLUSTER_CLUSTER_H_
-#define AVM_CLUSTER_CLUSTER_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -106,4 +105,3 @@ struct ClusterClockSnapshot {
 
 }  // namespace avm
 
-#endif  // AVM_CLUSTER_CLUSTER_H_

@@ -1,5 +1,4 @@
-#ifndef AVM_CLUSTER_COST_MODEL_H_
-#define AVM_CLUSTER_COST_MODEL_H_
+#pragma once
 
 #include <algorithm>
 #include <cstdint>
@@ -49,4 +48,3 @@ struct NodeClock {
 
 }  // namespace avm
 
-#endif  // AVM_CLUSTER_COST_MODEL_H_

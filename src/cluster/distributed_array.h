@@ -1,5 +1,4 @@
-#ifndef AVM_CLUSTER_DISTRIBUTED_ARRAY_H_
-#define AVM_CLUSTER_DISTRIBUTED_ARRAY_H_
+#pragma once
 
 #include <memory>
 
@@ -80,4 +79,3 @@ class DistributedArray {
 
 }  // namespace avm
 
-#endif  // AVM_CLUSTER_DISTRIBUTED_ARRAY_H_

@@ -1,7 +1,7 @@
 #include "cluster/placement.h"
 
+#include "common/check.h"
 #include "common/hash.h"
-#include "common/logging.h"
 
 namespace avm {
 

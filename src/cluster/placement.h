@@ -1,5 +1,4 @@
-#ifndef AVM_CLUSTER_PLACEMENT_H_
-#define AVM_CLUSTER_PLACEMENT_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -78,4 +77,3 @@ std::unique_ptr<ChunkPlacement> MakeRangePlacement(size_t dim = 0);
 
 }  // namespace avm
 
-#endif  // AVM_CLUSTER_PLACEMENT_H_

@@ -1,0 +1,43 @@
+#include "common/check.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace avm {
+
+namespace {
+
+std::atomic<CheckFailureHandler> g_handler{&AbortingCheckFailureHandler};
+
+}  // namespace
+
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
+  if (handler == nullptr) handler = &AbortingCheckFailureHandler;
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+void AbortingCheckFailureHandler(const char* file, int line,
+                                 const std::string& message) {
+  { internal_logging::LogMessage(LogLevel::kFatal, file, line) << message; }
+  std::abort();  // unreachable: a Fatal LogMessage aborts on destruction
+}
+
+void ThrowingCheckFailureHandler(const char* file, int line,
+                                 const std::string& message) {
+  std::ostringstream what;
+  what << file << ":" << line << " " << message;
+  throw CheckFailedError(what.str());
+}
+
+namespace internal_check {
+
+CheckFailure::~CheckFailure() noexcept(false) {
+  CheckFailureHandler handler = g_handler.load(std::memory_order_acquire);
+  handler(file_, line_, stream_.str());
+  std::abort();  // contract: handlers do not return
+}
+
+}  // namespace internal_check
+}  // namespace avm

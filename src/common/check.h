@@ -1,0 +1,201 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "common/status.h"
+
+/// Contract-checking macros for the whole project. Three tiers:
+///
+///   AVM_CHECK(cond)    — always on, in every build type. For invariants
+///                        whose violation means memory is already suspect or
+///                        results would be silently wrong (index corruption,
+///                        impossible enum values). Cost must be O(1) and off
+///                        the innermost kernel loops.
+///   AVM_DCHECK(cond)   — Debug/test builds only; compiles out entirely when
+///                        NDEBUG is defined (the condition is parsed but
+///                        never evaluated, so Release kernels pay nothing).
+///                        For per-element and per-iteration contracts.
+///   AVM_CHECK_OK(expr) — checks a Status (or Result<T>) expression is OK;
+///                        AVM_DCHECK_OK is its compiled-out sibling.
+///
+/// All macros stream context: AVM_CHECK(n > 0) << "need n, got " << n;
+/// Comparison forms (AVM_CHECK_EQ/NE/LT/LE/GT/GE and AVM_DCHECK_*) print
+/// both operands. Operands may be re-evaluated once more on the failure
+/// path, so they must be side-effect free.
+///
+/// Failure is routed through a process-wide pluggable handler: binaries keep
+/// the default handler (log the message with file:line, then abort), while
+/// tests install a throwing handler (ScopedThrowingCheckHandler) so death
+/// paths — deliberately corrupted chunks, malformed maintenance plans — are
+/// unit-testable without death tests.
+
+namespace avm {
+
+/// Thrown by the throwing failure handler that tests install via
+/// ScopedThrowingCheckHandler. what() is "file:line message".
+class CheckFailedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A check-failure sink. Handlers should not return; one that does is
+/// followed by std::abort() (the contract is already violated, continuing
+/// would compute garbage).
+using CheckFailureHandler = void (*)(const char* file, int line,
+                                     const std::string& message);
+
+/// Installs `handler` process-wide and returns the previous one. Passing
+/// nullptr restores the default aborting handler. Thread-safe; intended for
+/// test fixtures, not for per-call-site customization.
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler);
+
+/// The default handler: logs "Check failed ..." at Fatal severity (which
+/// aborts). Exposed so tests can assert handler round-tripping.
+[[noreturn]] void AbortingCheckFailureHandler(const char* file, int line,
+                                              const std::string& message);
+
+/// Throws CheckFailedError instead of aborting. Never install this in a
+/// binary: check failures on thread-pool workers would escape the task and
+/// terminate; in tests the executor's validators run on the control thread.
+[[noreturn]] void ThrowingCheckFailureHandler(const char* file, int line,
+                                              const std::string& message);
+
+/// RAII guard that makes check failures throw CheckFailedError for its
+/// scope, restoring the previous handler on destruction.
+class ScopedThrowingCheckHandler {
+ public:
+  ScopedThrowingCheckHandler()
+      : previous_(SetCheckFailureHandler(ThrowingCheckFailureHandler)) {}
+  ~ScopedThrowingCheckHandler() { SetCheckFailureHandler(previous_); }
+
+  ScopedThrowingCheckHandler(const ScopedThrowingCheckHandler&) = delete;
+  ScopedThrowingCheckHandler& operator=(const ScopedThrowingCheckHandler&) =
+      delete;
+
+ private:
+  CheckFailureHandler previous_;
+};
+
+/// True when AVM_DCHECK and the debug structural validators are active in
+/// this build (NDEBUG undefined). Lets call sites gate whole validation
+/// passes — `if constexpr (kDebugChecksEnabled)` — so Release binaries skip
+/// even the loop around the checks.
+#ifndef NDEBUG
+inline constexpr bool kDebugChecksEnabled = true;
+#else
+inline constexpr bool kDebugChecksEnabled = false;
+#endif
+
+namespace internal_check {
+
+/// Streamed message collector for a failed check. Fires the installed
+/// failure handler from its destructor (end of the check's full
+/// expression); the destructor is noexcept(false) because the test handler
+/// throws.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* prefix)
+      : file_(file), line_(line) {
+    stream_ << prefix;
+  }
+  ~CheckFailure() noexcept(false);
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Converts a streamed CheckFailure expression to void so it can sit on the
+/// false branch of a ternary (`&` binds looser than `<<` but tighter than
+/// `?:`).
+struct Voidify {
+  /// Const ref so both a bare CheckFailure temporary and a streamed chain
+  /// (whose operator<< returns an lvalue reference) bind.
+  void operator&(const CheckFailure&) {}
+};
+
+/// Normalizes the operand of AVM_CHECK_OK to a Status by value (a reference
+/// into a temporary Result would dangle past the init-statement).
+inline Status AsStatus(const Status& s) { return s; }
+template <typename ResultLike>
+Status AsStatus(const ResultLike& r) {
+  return r.status();
+}
+
+}  // namespace internal_check
+}  // namespace avm
+
+#define AVM_CHECK_FAIL_STREAM_(prefix)        \
+  ::avm::internal_check::Voidify() &          \
+      ::avm::internal_check::CheckFailure(__FILE__, __LINE__, prefix)
+
+/// Always-on invariant check; streams extra context on the right.
+#define AVM_CHECK(cond) \
+  (cond) ? (void)0 : AVM_CHECK_FAIL_STREAM_("Check failed: " #cond " ")
+
+#define AVM_CHECK_EQ(a, b) \
+  AVM_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AVM_CHECK_NE(a, b) \
+  AVM_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AVM_CHECK_LT(a, b) \
+  AVM_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AVM_CHECK_LE(a, b) \
+  AVM_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AVM_CHECK_GT(a, b) \
+  AVM_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AVM_CHECK_GE(a, b) \
+  AVM_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+/// Always-on check that a Status (or Result<T>) expression is OK. The
+/// expression is evaluated exactly once. The switch wrapper scopes the
+/// evaluated status, avoids dangling-else, and keeps the macro a single
+/// statement that accepts streamed context.
+#define AVM_CHECK_OK(expr)                                            \
+  switch (const ::avm::Status _avm_check_ok_status =                  \
+              ::avm::internal_check::AsStatus((expr));                \
+          0)                                                          \
+  case 0:                                                             \
+  default:                                                            \
+    if (_avm_check_ok_status.ok()) {                                  \
+    } else                                                            \
+      AVM_CHECK_FAIL_STREAM_("Check failed: " #expr " is OK ")        \
+          << "(status = " << _avm_check_ok_status.ToString() << ") "
+
+/// Debug-only tier. With NDEBUG the `while (false)` guard makes the whole
+/// statement dead: operands still type-check (no #ifdef rot) but are never
+/// evaluated, and every optimizing build folds the statement away — the
+/// property the Release bench gate relies on.
+#ifndef NDEBUG
+#define AVM_DCHECK(cond) AVM_CHECK(cond)
+#define AVM_DCHECK_OK(expr) AVM_CHECK_OK(expr)
+#else
+#define AVM_DCHECK(cond) \
+  while (false) AVM_CHECK(cond)
+#define AVM_DCHECK_OK(expr) \
+  while (false) AVM_CHECK_OK(expr)
+#endif
+
+#define AVM_DCHECK_EQ(a, b) \
+  AVM_DCHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AVM_DCHECK_NE(a, b) \
+  AVM_DCHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AVM_DCHECK_LT(a, b) \
+  AVM_DCHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AVM_DCHECK_LE(a, b) \
+  AVM_DCHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AVM_DCHECK_GT(a, b) \
+  AVM_DCHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define AVM_DCHECK_GE(a, b) \
+  AVM_DCHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "

@@ -1,5 +1,4 @@
-#ifndef AVM_COMMON_HASH_H_
-#define AVM_COMMON_HASH_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -41,4 +40,3 @@ inline uint64_t HashInts(const std::vector<int64_t>& v) {
 
 }  // namespace avm
 
-#endif  // AVM_COMMON_HASH_H_

@@ -1,5 +1,4 @@
-#ifndef AVM_COMMON_LOGGING_H_
-#define AVM_COMMON_LOGGING_H_
+#pragma once
 
 #include <sstream>
 
@@ -60,25 +59,6 @@ struct LogMessageVoidify {
   ::avm::internal_logging::LogMessage(::avm::LogLevel::k##level, __FILE__, \
                                       __LINE__)
 
-/// CHECK-style invariant assertions: always on, abort with a message when the
-/// condition fails. Use for programming errors, not recoverable conditions.
-/// Streamable: AVM_CHECK(n > 0) << "need positive n, got " << n;
-#define AVM_CHECK(cond)                                     \
-  (cond) ? (void)0                                          \
-         : ::avm::internal_logging::LogMessageVoidify() &   \
-               AVM_LOG(Fatal) << "Check failed: " #cond " "
+/// The CHECK-style contract macros (AVM_CHECK, AVM_DCHECK, AVM_CHECK_OK,
+/// comparison forms) live in common/check.h.
 
-#define AVM_CHECK_EQ(a, b) \
-  AVM_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
-#define AVM_CHECK_NE(a, b) \
-  AVM_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
-#define AVM_CHECK_LT(a, b) \
-  AVM_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
-#define AVM_CHECK_LE(a, b) \
-  AVM_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
-#define AVM_CHECK_GT(a, b) \
-  AVM_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
-#define AVM_CHECK_GE(a, b) \
-  AVM_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
-
-#endif  // AVM_COMMON_LOGGING_H_

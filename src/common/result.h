@@ -1,10 +1,9 @@
-#ifndef AVM_COMMON_RESULT_H_
-#define AVM_COMMON_RESULT_H_
+#pragma once
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
+#include "common/check.h"
 #include "common/status.h"
 
 namespace avm {
@@ -14,15 +13,19 @@ namespace avm {
 /// `arrow::Result<T>`.
 ///
 /// Accessing `value()` on an errored result is a programming error and
-/// asserts in debug builds; check `ok()` first or use `AVM_ASSIGN_OR_RETURN`.
+/// trips an AVM_DCHECK in debug builds; check `ok()` first or use
+/// `AVM_ASSIGN_OR_RETURN`.
+///
+/// [[nodiscard]] for the same reason as Status: a dropped Result is a
+/// silently swallowed error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value: `return some_t;`.
   Result(T value) : value_(std::move(value)) {}
   /// Implicit construction from an error status: `return Status::NotFound(..)`.
   Result(Status status) : status_(std::move(status)) {
-    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+    AVM_DCHECK(!status_.ok()) << "Result(Status) requires a non-OK status";
     if (status_.ok()) {
       status_ = Status::Internal("Result constructed from OK status");
     }
@@ -39,15 +42,15 @@ class Result {
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    AVM_DCHECK(ok()) << "value() on an errored Result: " << status_.ToString();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    AVM_DCHECK(ok()) << "value() on an errored Result: " << status_.ToString();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    AVM_DCHECK(ok()) << "value() on an errored Result: " << status_.ToString();
     return *std::move(value_);
   }
 
@@ -81,4 +84,3 @@ class Result {
   if (!tmp.ok()) return tmp.status();               \
   lhs = std::move(tmp).value()
 
-#endif  // AVM_COMMON_RESULT_H_

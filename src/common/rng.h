@@ -1,5 +1,4 @@
-#ifndef AVM_COMMON_RNG_H_
-#define AVM_COMMON_RNG_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -63,4 +62,3 @@ class Rng {
 
 }  // namespace avm
 
-#endif  // AVM_COMMON_RNG_H_

@@ -1,5 +1,4 @@
-#ifndef AVM_COMMON_STATUS_H_
-#define AVM_COMMON_STATUS_H_
+#pragma once
 
 #include <string>
 #include <string_view>
@@ -27,7 +26,11 @@ std::string_view StatusCodeName(StatusCode code);
 /// Value-semantic error carrier. Functions that can fail return `Status` (or
 /// `Result<T>`, see result.h) instead of throwing: exceptions never cross the
 /// public API. An OK status carries no message and is cheap to copy.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status return hides failures, so every
+/// call site must consume it — return it, branch on ok(), or assert with
+/// AVM_CHECK_OK.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -102,4 +105,3 @@ inline bool operator!=(const Status& a, const Status& b) { return !(a == b); }
     if (!_avm_status.ok()) return _avm_status;   \
   } while (0)
 
-#endif  // AVM_COMMON_STATUS_H_

@@ -1,5 +1,4 @@
-#ifndef AVM_COMMON_STOPWATCH_H_
-#define AVM_COMMON_STOPWATCH_H_
+#pragma once
 
 #include <chrono>
 
@@ -29,4 +28,3 @@ class Stopwatch {
 
 }  // namespace avm
 
-#endif  // AVM_COMMON_STOPWATCH_H_

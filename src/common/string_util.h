@@ -1,5 +1,4 @@
-#ifndef AVM_COMMON_STRING_UTIL_H_
-#define AVM_COMMON_STRING_UTIL_H_
+#pragma once
 
 #include <cstdint>
 #include <sstream>
@@ -20,9 +19,14 @@ std::string Join(const std::vector<T>& v, const std::string& sep) {
 }
 
 /// "[a, b, c]" rendering of a vector, used in error messages and debugging.
+/// Built with += (not `"[" + Join(...)`) — the rvalue operator+ chain trips
+/// a GCC 12 -Wrestrict false positive at -O3.
 template <typename T>
 std::string VecToString(const std::vector<T>& v) {
-  return "[" + Join(v, ", ") + "]";
+  std::string out = "[";
+  out += Join(v, ", ");
+  out += "]";
+  return out;
 }
 
 /// Human-readable byte count ("343.0 GB", "1.5 KB").
@@ -33,4 +37,3 @@ std::string FormatDouble(double v, int digits);
 
 }  // namespace avm
 
-#endif  // AVM_COMMON_STRING_UTIL_H_

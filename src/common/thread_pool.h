@@ -1,5 +1,4 @@
-#ifndef AVM_COMMON_THREAD_POOL_H_
-#define AVM_COMMON_THREAD_POOL_H_
+#pragma once
 
 #include <condition_variable>
 #include <cstddef>
@@ -68,4 +67,3 @@ class ThreadPool {
 
 }  // namespace avm
 
-#endif  // AVM_COMMON_THREAD_POOL_H_

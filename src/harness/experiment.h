@@ -1,5 +1,4 @@
-#ifndef AVM_HARNESS_EXPERIMENT_H_
-#define AVM_HARNESS_EXPERIMENT_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -105,4 +104,3 @@ void PrintSeriesTable(const std::string& title,
 
 }  // namespace avm
 
-#endif  // AVM_HARNESS_EXPERIMENT_H_

@@ -1,5 +1,4 @@
-#ifndef AVM_JOIN_COMPILED_SHAPE_H_
-#define AVM_JOIN_COMPILED_SHAPE_H_
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -128,4 +127,3 @@ class CompiledShapeCache {
 
 }  // namespace avm
 
-#endif  // AVM_JOIN_COMPILED_SHAPE_H_

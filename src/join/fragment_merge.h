@@ -1,5 +1,4 @@
-#ifndef AVM_JOIN_FRAGMENT_MERGE_H_
-#define AVM_JOIN_FRAGMENT_MERGE_H_
+#pragma once
 
 #include "agg/aggregates.h"
 #include "array/chunk.h"
@@ -22,4 +21,3 @@ Status MergeStateFragment(DistributedArray* target, ChunkId v,
 
 }  // namespace avm
 
-#endif  // AVM_JOIN_FRAGMENT_MERGE_H_

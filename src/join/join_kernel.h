@@ -1,5 +1,4 @@
-#ifndef AVM_JOIN_JOIN_KERNEL_H_
-#define AVM_JOIN_JOIN_KERNEL_H_
+#pragma once
 
 #include <map>
 
@@ -97,4 +96,3 @@ Status JoinAggregateChunkPair(const Chunk& left, const RightOperand& right,
 
 }  // namespace avm
 
-#endif  // AVM_JOIN_JOIN_KERNEL_H_

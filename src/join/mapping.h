@@ -1,5 +1,4 @@
-#ifndef AVM_JOIN_MAPPING_H_
-#define AVM_JOIN_MAPPING_H_
+#pragma once
 
 #include <cstdint>
 #include <span>
@@ -65,4 +64,3 @@ class DimMapping {
 
 }  // namespace avm
 
-#endif  // AVM_JOIN_MAPPING_H_

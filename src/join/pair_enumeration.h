@@ -1,5 +1,4 @@
-#ifndef AVM_JOIN_PAIR_ENUMERATION_H_
-#define AVM_JOIN_PAIR_ENUMERATION_H_
+#pragma once
 
 #include <functional>
 #include <vector>
@@ -49,4 +48,3 @@ std::vector<ChunkId> EnumerateViewTargets(const ChunkGrid& left_grid,
 
 }  // namespace avm
 
-#endif  // AVM_JOIN_PAIR_ENUMERATION_H_

@@ -1,5 +1,4 @@
-#ifndef AVM_JOIN_REFERENCE_H_
-#define AVM_JOIN_REFERENCE_H_
+#pragma once
 
 #include "array/sparse_array.h"
 #include "common/result.h"
@@ -28,4 +27,3 @@ Result<SparseArray> ReferenceJoinAggregate(const SparseArray& left,
 
 }  // namespace avm
 
-#endif  // AVM_JOIN_REFERENCE_H_

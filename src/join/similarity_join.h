@@ -1,5 +1,4 @@
-#ifndef AVM_JOIN_SIMILARITY_JOIN_H_
-#define AVM_JOIN_SIMILARITY_JOIN_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -52,4 +51,3 @@ Result<JoinExecutionStats> ExecuteDistributedJoinAggregate(
 
 }  // namespace avm
 
-#endif  // AVM_JOIN_SIMILARITY_JOIN_H_

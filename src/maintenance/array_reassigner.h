@@ -1,5 +1,4 @@
-#ifndef AVM_MAINTENANCE_ARRAY_REASSIGNER_H_
-#define AVM_MAINTENANCE_ARRAY_REASSIGNER_H_
+#pragma once
 
 #include <set>
 #include <unordered_map>
@@ -39,4 +38,3 @@ Status ReassignArrayChunks(
 
 }  // namespace avm
 
-#endif  // AVM_MAINTENANCE_ARRAY_REASSIGNER_H_

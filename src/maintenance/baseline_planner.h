@@ -1,5 +1,4 @@
-#ifndef AVM_MAINTENANCE_BASELINE_PLANNER_H_
-#define AVM_MAINTENANCE_BASELINE_PLANNER_H_
+#pragma once
 
 #include "common/result.h"
 #include "maintenance/types.h"
@@ -29,4 +28,3 @@ Result<MaintenancePlan> PlanBaseline(const MaterializedView& view,
 
 }  // namespace avm
 
-#endif  // AVM_MAINTENANCE_BASELINE_PLANNER_H_

@@ -1,5 +1,4 @@
-#ifndef AVM_MAINTENANCE_DELETIONS_H_
-#define AVM_MAINTENANCE_DELETIONS_H_
+#pragma once
 
 #include <cstdint>
 
@@ -40,4 +39,3 @@ Result<DeletionStats> ApplyDeletionBatch(MaterializedView* view,
 
 }  // namespace avm
 
-#endif  // AVM_MAINTENANCE_DELETIONS_H_

@@ -1,5 +1,4 @@
-#ifndef AVM_MAINTENANCE_DIFFERENTIAL_PLANNER_H_
-#define AVM_MAINTENANCE_DIFFERENTIAL_PLANNER_H_
+#pragma once
 
 #include <set>
 #include <unordered_map>
@@ -45,4 +44,3 @@ Result<DifferentialPlanResult> PlanDifferentialView(
 
 }  // namespace avm
 
-#endif  // AVM_MAINTENANCE_DIFFERENTIAL_PLANNER_H_

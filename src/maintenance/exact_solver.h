@@ -1,5 +1,4 @@
-#ifndef AVM_MAINTENANCE_EXACT_SOLVER_H_
-#define AVM_MAINTENANCE_EXACT_SOLVER_H_
+#pragma once
 
 #include <vector>
 
@@ -35,4 +34,3 @@ Result<ExactStage1Solution> SolveStage1Exact(const TripleSet& triples,
 
 }  // namespace avm
 
-#endif  // AVM_MAINTENANCE_EXACT_SOLVER_H_

@@ -6,11 +6,13 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/thread_pool.h"
 #include "join/compiled_shape.h"
 #include "join/fragment_merge.h"
 #include "join/join_kernel.h"
 #include "maintenance/makespan_tracker.h"
+#include "maintenance/plan_validator.h"
 
 namespace avm {
 
@@ -115,6 +117,15 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
   const AggregateLayout& layout = view->layout();
   const ViewDefinition& def = view->definition();
   const ViewTarget target{&def.group_dims, &view->array().grid()};
+
+  // In Debug/test builds, re-check the plan contract at the execution
+  // boundary: the executor trusts co-location and the exactly-once join
+  // assignment below, so a malformed plan must be caught before it mutates
+  // any node store.
+  if constexpr (kDebugChecksEnabled) {
+    ValidateMaintenancePlan(plan, triples, num_workers,
+                            &cluster->cost_model());
+  }
 
   // Step 1: co-location transfers (x variables). Senders' clocks charged.
   // Serial: transfers mutate node stores, and later steps depend on every
@@ -401,6 +412,13 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
   };
   cleanup_store(kCoordinatorNode);
   for (NodeId n = 0; n < cluster->num_workers(); ++n) cleanup_store(n);
+
+  // Post-batch audit: the catalog's bookkeeping for the persistent arrays
+  // must match the physical stores, and no scratch replica may survive the
+  // cleanup above.
+  if constexpr (kDebugChecksEnabled) {
+    ValidateCatalogStoreConsistency(*catalog, *cluster, persistent);
+  }
 
   return stats;
 }

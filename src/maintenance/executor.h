@@ -1,5 +1,4 @@
-#ifndef AVM_MAINTENANCE_EXECUTOR_H_
-#define AVM_MAINTENANCE_EXECUTOR_H_
+#pragma once
 
 #include <cstdint>
 
@@ -53,4 +52,3 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
 
 }  // namespace avm
 
-#endif  // AVM_MAINTENANCE_EXECUTOR_H_

@@ -1,5 +1,4 @@
-#ifndef AVM_MAINTENANCE_HISTORY_H_
-#define AVM_MAINTENANCE_HISTORY_H_
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -58,4 +57,3 @@ class BatchHistory {
 
 }  // namespace avm
 
-#endif  // AVM_MAINTENANCE_HISTORY_H_

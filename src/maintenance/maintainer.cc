@@ -3,11 +3,13 @@
 #include <optional>
 #include <vector>
 
+#include "common/check.h"
 #include "common/stopwatch.h"
 #include "maintenance/array_reassigner.h"
 #include "maintenance/baseline_planner.h"
 #include "maintenance/differential_planner.h"
 #include "maintenance/modifications.h"
+#include "maintenance/plan_validator.h"
 #include "maintenance/triple_gen.h"
 #include "maintenance/view_reassigner.h"
 
@@ -119,11 +121,17 @@ Result<MaintenanceReport> ViewMaintainer::ApplyBatch(
   report.triple_gen_seconds = triple_clock.ElapsedSeconds();
   report.num_pairs = triples.pairs.size();
   report.num_triples = triples.num_triples();
+  if constexpr (kDebugChecksEnabled) {
+    ValidateTripleSet(triples, num_workers);
+  }
 
-  // Plan.
+  // Plan. In Debug/test builds every planner stage is followed by the
+  // structural validator — Algorithms 1-3 each preserve the plan contract,
+  // so a violation pinpoints the stage that broke it.
   Stopwatch plan_clock;
   MaintenancePlan plan;
   std::unordered_map<MChunkRef, std::set<NodeId>, MChunkRefHash> replicas;
+  const CostModel* cost = &cluster->cost_model();
   switch (method_) {
     case MaintenanceMethod::kBaseline: {
       AVM_ASSIGN_OR_RETURN(plan,
@@ -145,14 +153,23 @@ Result<MaintenanceReport> ViewMaintainer::ApplyBatch(
                                cluster->cost_model(), options_));
       plan = std::move(stage1.plan);
       replicas = std::move(stage1.replicas);
+      if constexpr (kDebugChecksEnabled) {
+        ValidateMaintenancePlan(plan, triples, num_workers, cost);
+      }
       AVM_RETURN_IF_ERROR(ReassignViewChunks(triples, num_workers,
                                              cluster->cost_model(), options_,
                                              &stage1.tracker, &plan));
+      if constexpr (kDebugChecksEnabled) {
+        ValidateMaintenancePlan(plan, triples, num_workers, cost);
+      }
       AVM_RETURN_IF_ERROR(ReassignArrayChunks(*view_, triples, history_,
                                               num_workers, options_, replicas,
                                               &plan));
       break;
     }
+  }
+  if constexpr (kDebugChecksEnabled) {
+    ValidateMaintenancePlan(plan, triples, num_workers, cost);
   }
   report.planning_seconds = plan_clock.ElapsedSeconds();
 

@@ -1,5 +1,4 @@
-#ifndef AVM_MAINTENANCE_MAINTAINER_H_
-#define AVM_MAINTENANCE_MAINTAINER_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -98,4 +97,3 @@ class ViewMaintainer {
 
 }  // namespace avm
 
-#endif  // AVM_MAINTENANCE_MAINTAINER_H_

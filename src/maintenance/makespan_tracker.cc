@@ -4,7 +4,7 @@
 #include <unordered_map>
 
 #include "cluster/cluster.h"
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace avm {
 
@@ -75,6 +75,10 @@ double MakespanTracker::EvalWithDeltas(
 void MakespanTracker::Commit(const std::vector<Delta>& deltas) {
   const size_t coordinator = static_cast<size_t>(num_workers_);
   for (const auto& d : deltas) {
+    // Maintenance only ever accrues time; a negative charge means a cost
+    // formula went wrong upstream.
+    AVM_DCHECK_GE(d.dntwk, 0.0) << "negative network charge on " << d.node;
+    AVM_DCHECK_GE(d.dcpu, 0.0) << "negative cpu charge on " << d.node;
     const size_t index = Index(d.node);
     if (index == coordinator) {
       ntwk_[index] += d.dntwk;
@@ -115,10 +119,12 @@ size_t ConcurrentClockBank::Index(NodeId node) const {
 }
 
 void ConcurrentClockBank::AddNetwork(NodeId node, double seconds) {
+  AVM_DCHECK_GE(seconds, 0.0) << "negative network charge on " << node;
   AtomicAdd(&slots_[Index(node)].ntwk, seconds);
 }
 
 void ConcurrentClockBank::AddCpu(NodeId node, double seconds) {
+  AVM_DCHECK_GE(seconds, 0.0) << "negative cpu charge on " << node;
   AtomicAdd(&slots_[Index(node)].cpu, seconds);
 }
 

@@ -1,5 +1,4 @@
-#ifndef AVM_MAINTENANCE_MAKESPAN_TRACKER_H_
-#define AVM_MAINTENANCE_MAKESPAN_TRACKER_H_
+#pragma once
 
 #include <atomic>
 #include <set>
@@ -111,4 +110,3 @@ class ConcurrentClockBank {
 
 }  // namespace avm
 
-#endif  // AVM_MAINTENANCE_MAKESPAN_TRACKER_H_

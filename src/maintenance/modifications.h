@@ -1,5 +1,4 @@
-#ifndef AVM_MAINTENANCE_MODIFICATIONS_H_
-#define AVM_MAINTENANCE_MODIFICATIONS_H_
+#pragma once
 
 #include <cstdint>
 
@@ -56,4 +55,3 @@ Status ApplyLeftSideModifications(MaterializedView* view,
 
 }  // namespace avm
 
-#endif  // AVM_MAINTENANCE_MODIFICATIONS_H_

@@ -1,5 +1,4 @@
-#ifndef AVM_MAINTENANCE_OBJECTIVE_H_
-#define AVM_MAINTENANCE_OBJECTIVE_H_
+#pragma once
 
 #include <vector>
 
@@ -40,4 +39,3 @@ Result<ObjectiveBreakdown> EvaluateCurrentBatchObjective(
 
 }  // namespace avm
 
-#endif  // AVM_MAINTENANCE_OBJECTIVE_H_

@@ -1,0 +1,221 @@
+#include "maintenance/plan_validator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "maintenance/objective.h"
+
+namespace avm {
+
+namespace {
+
+bool IsWorker(NodeId node, int num_workers) {
+  return node >= 0 && node < num_workers;
+}
+
+bool IsWorkerOrCoordinator(NodeId node, int num_workers) {
+  return node == kCoordinatorNode || IsWorker(node, num_workers);
+}
+
+/// Human-readable chunk-ref tag for check messages.
+std::string RefTag(const MChunkRef& ref) {
+  static constexpr const char* kSideNames[] = {"left-base", "right-base",
+                                               "left-delta", "right-delta"};
+  return std::string(kSideNames[static_cast<int>(ref.side)]) + "/" +
+         std::to_string(ref.id);
+}
+
+}  // namespace
+
+void ValidateTripleSet(const TripleSet& triples, int num_workers) {
+  for (size_t i = 0; i < triples.pairs.size(); ++i) {
+    const JoinPair& pair = triples.pairs[i];
+    AVM_CHECK(pair.dir_ab || pair.dir_ba)
+        << "pair " << i << " has no join direction";
+    for (const MChunkRef& ref : {pair.a, pair.b}) {
+      auto loc = triples.location.find(ref);
+      AVM_CHECK(loc != triples.location.end())
+          << "pair " << i << " operand " << RefTag(ref) << " has no location";
+      AVM_CHECK(IsWorkerOrCoordinator(loc->second, num_workers))
+          << "operand " << RefTag(ref) << " located at unknown node "
+          << loc->second;
+      if (IsDeltaSide(ref.side)) {
+        AVM_CHECK_EQ(loc->second, kCoordinatorNode)
+            << "delta chunk " << RefTag(ref)
+            << " must start at the coordinator";
+      }
+      AVM_CHECK(triples.bytes.count(ref) != 0)
+          << "pair " << i << " operand " << RefTag(ref)
+          << " has no registered size";
+    }
+    // The cached target union must cover exactly the directional lists.
+    const std::vector<ChunkId>& all = pair.AllViewTargets();
+    AVM_CHECK(std::is_sorted(all.begin(), all.end()))
+        << "pair " << i << " target union is unsorted";
+    const std::set<ChunkId> expected(all.begin(), all.end());
+    std::set<ChunkId> direct(pair.view_targets_ab.begin(),
+                             pair.view_targets_ab.end());
+    direct.insert(pair.view_targets_ba.begin(), pair.view_targets_ba.end());
+    AVM_CHECK(expected == direct)
+        << "pair " << i
+        << " cached view-target union disagrees with its directions";
+    AVM_CHECK_EQ(expected.size(), all.size())
+        << "pair " << i << " target union has duplicates";
+  }
+  for (const auto& [v, node] : triples.view_location) {
+    AVM_CHECK(IsWorker(node, num_workers))
+        << "view chunk " << v << " located at unknown node " << node;
+    AVM_CHECK(triples.view_bytes.count(v) != 0)
+        << "existing view chunk " << v << " has no registered size";
+  }
+}
+
+void ValidateMaintenancePlan(const MaintenancePlan& plan,
+                             const TripleSet& triples, int num_workers,
+                             const CostModel* cost) {
+  // z variables: every pair joined exactly once, on a worker.
+  std::vector<uint32_t> joined(triples.pairs.size(), 0);
+  for (const auto& join : plan.joins) {
+    AVM_CHECK_LT(join.pair_index, triples.pairs.size())
+        << "join references a pair outside the triple set";
+    AVM_CHECK(IsWorker(join.node, num_workers))
+        << "join of pair " << join.pair_index << " assigned to unknown node "
+        << join.node;
+    ++joined[join.pair_index];
+  }
+  for (size_t i = 0; i < joined.size(); ++i) {
+    AVM_CHECK_EQ(joined[i], 1u)
+        << "pair " << i << " must be joined exactly once";
+  }
+
+  // x variables: replay the transfers from the initial locations S. Every
+  // shipped chunk must be known, every source must already hold a copy.
+  std::unordered_map<MChunkRef, std::set<NodeId>, MChunkRefHash> replicas;
+  replicas.reserve(triples.location.size());
+  for (const auto& [ref, node] : triples.location) replicas[ref].insert(node);
+  for (const auto& t : plan.transfers) {
+    auto it = replicas.find(t.chunk);
+    AVM_CHECK(it != replicas.end())
+        << "transfer of unknown chunk " << RefTag(t.chunk);
+    AVM_CHECK(IsWorkerOrCoordinator(t.from, num_workers))
+        << "transfer of " << RefTag(t.chunk) << " from unknown node "
+        << t.from;
+    AVM_CHECK(IsWorker(t.to, num_workers))
+        << "transfer of " << RefTag(t.chunk) << " to unknown node " << t.to;
+    AVM_CHECK(it->second.count(t.from) != 0)
+        << "transfer ships " << RefTag(t.chunk) << " from node " << t.from
+        << ", which holds no copy at that point in the plan";
+    AVM_CHECK_NE(t.from, t.to)
+        << "self-transfer of " << RefTag(t.chunk) << " at node " << t.to;
+    it->second.insert(t.to);
+  }
+
+  // Co-location: after the planned transfers, both operands of every join
+  // are present at its node — the executor never improvises.
+  for (const auto& join : plan.joins) {
+    const JoinPair& pair = triples.pairs[join.pair_index];
+    for (const MChunkRef& ref : {pair.a, pair.b}) {
+      auto it = replicas.find(ref);
+      AVM_CHECK(it != replicas.end() && it->second.count(join.node) != 0)
+          << "plan does not co-locate operand " << RefTag(ref)
+          << " of pair " << join.pair_index << " at join node " << join.node;
+    }
+  }
+
+  // y_v variables: view ownership is a partition of the affected view
+  // chunks — every affected chunk has exactly one home (map keys are
+  // unique), and no home is assigned to an unaffected chunk.
+  std::set<ChunkId> affected;
+  for (const JoinPair& pair : triples.pairs) {
+    const auto& targets = pair.AllViewTargets();
+    affected.insert(targets.begin(), targets.end());
+  }
+  for (ChunkId v : affected) {
+    auto it = plan.view_home.find(v);
+    AVM_CHECK(it != plan.view_home.end())
+        << "affected view chunk " << v << " has no planned home";
+    AVM_CHECK(IsWorker(it->second, num_workers))
+        << "view chunk " << v << " assigned to unknown node " << it->second;
+  }
+  AVM_CHECK_EQ(plan.view_home.size(), affected.size())
+      << "plan assigns homes to view chunks outside the affected set";
+
+  // y variables for array chunks: known chunks, worker targets, at most one
+  // reassignment per chunk (each delta chunk ends up with exactly one home).
+  std::unordered_set<MChunkRef, MChunkRefHash> moved;
+  for (const auto& move : plan.array_moves) {
+    AVM_CHECK(triples.location.count(move.chunk) != 0)
+        << "array move of unknown chunk " << RefTag(move.chunk);
+    AVM_CHECK(IsWorker(move.node, num_workers))
+        << "array move of " << RefTag(move.chunk) << " to unknown node "
+        << move.node;
+    AVM_CHECK(moved.insert(move.chunk).second)
+        << "chunk " << RefTag(move.chunk) << " reassigned more than once";
+  }
+
+  // Makespan accounting: the analytical objective of the plan must be
+  // finite and non-negative on every node, in both resources.
+  if (cost != nullptr) {
+    auto breakdown =
+        EvaluateCurrentBatchObjective(plan, triples, num_workers, *cost);
+    AVM_CHECK(breakdown.ok())
+        << "objective evaluation failed: " << breakdown.status().ToString();
+    for (const std::vector<double>* series :
+         {&breakdown->ntwk, &breakdown->cpu}) {
+      for (double seconds : *series) {
+        AVM_CHECK(std::isfinite(seconds) && seconds >= 0.0)
+            << "negative or non-finite makespan charge " << seconds;
+      }
+    }
+    AVM_CHECK_GE(breakdown->Makespan(), 0.0);
+  }
+}
+
+void ValidateCatalogStoreConsistency(const Catalog& catalog,
+                                     const Cluster& cluster,
+                                     const std::vector<ArrayId>& arrays) {
+  const int num_workers = cluster.num_workers();
+  for (ArrayId array : arrays) {
+    const ChunkGrid& grid = catalog.GridOf(array);
+    for (ChunkId id : catalog.ChunkIdsOf(array)) {
+      auto node = catalog.NodeOf(array, id);
+      AVM_CHECK(node.ok()) << "registered chunk " << id << " of array "
+                           << array << " has no primary node";
+      AVM_CHECK(IsWorker(node.value(), num_workers))
+          << "chunk " << id << " of array " << array
+          << " registered at unknown node " << node.value();
+      const Chunk* chunk = cluster.store(node.value()).Get(array, id);
+      AVM_CHECK(chunk != nullptr)
+          << "catalog places chunk " << id << " of array " << array
+          << " on node " << node.value() << " but the store lacks it";
+      AVM_CHECK_EQ(catalog.ChunkBytes(array, id), chunk->SizeBytes())
+          << "registered size of chunk " << id << " of array " << array
+          << " drifted from the stored bytes";
+      chunk->CheckInvariants(&grid, id);
+    }
+  }
+  // No store may hold a copy of these arrays the catalog does not place
+  // there: maintenance must have dropped its scratch replicas.
+  auto audit_store = [&](NodeId node) {
+    cluster.store(node).ForEach(
+        [&](ArrayId array, ChunkId id, const Chunk&) {
+          if (std::find(arrays.begin(), arrays.end(), array) == arrays.end()) {
+            return;
+          }
+          auto primary = catalog.NodeOf(array, id);
+          AVM_CHECK(primary.ok() && primary.value() == node)
+              << "node " << node << " holds an unregistered replica of chunk "
+              << id << " of array " << array;
+        });
+  };
+  audit_store(kCoordinatorNode);
+  for (NodeId n = 0; n < num_workers; ++n) audit_store(n);
+}
+
+}  // namespace avm

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "cluster/catalog.h"
+#include "cluster/cluster.h"
+#include "cluster/cost_model.h"
+#include "maintenance/types.h"
+
+namespace avm {
+
+/// Debug structural validators for maintenance plans and post-execution
+/// cluster state. All functions report violations through AVM_CHECK — the
+/// installed failure handler aborts in binaries and throws in tests — and
+/// are designed to run after each planner stage and each executor batch in
+/// Debug/test builds (`if constexpr (kDebugChecksEnabled)`); they are never
+/// on a Release hot path.
+
+/// Checks the structural contract every planner stage must maintain
+/// (Algorithms 1-3 preserve it invariantly, so the same validator runs
+/// after stage 1, stage 2, and stage 3):
+///
+///  - every join references a pair inside the triple set, every pair is
+///    joined exactly once (the z variables form a partition of U_0's unique
+///    pairs), and every join runs on a worker node;
+///  - transfers move known chunks between known nodes, and replaying them
+///    from the triple set's initial locations S never ships a chunk from a
+///    node that does not hold a copy;
+///  - after the replay, both operands of every join are co-located at the
+///    join's node (plans are self-sufficient: the executor never has to
+///    improvise a transfer);
+///  - view ownership stays a partition: `view_home` assigns exactly the
+///    affected view chunks (no affected chunk unassigned, no stray
+///    assignments), each to a single worker;
+///  - array moves name known chunks, target workers, and reassign any chunk
+///    at most once (delta chunks get exactly one post-maintenance home).
+///
+/// When `cost` is non-null additionally evaluates the analytical objective
+/// of the plan and checks the makespan accounting: every per-node
+/// network/CPU charge is finite and non-negative.
+void ValidateMaintenancePlan(const MaintenancePlan& plan,
+                             const TripleSet& triples, int num_workers,
+                             const CostModel* cost = nullptr);
+
+/// Checks the triple set itself is well-formed before planning: pair
+/// operands carry locations and sizes, delta chunks start at the
+/// coordinator, directional view-target lists are consistent with the
+/// cached union, and every affected view chunk with a location also has a
+/// registered size.
+void ValidateTripleSet(const TripleSet& triples, int num_workers);
+
+/// Post-execution audit that the catalog's replica bookkeeping matches the
+/// physical node stores for the given arrays: every registered chunk's
+/// primary node actually holds the chunk, the registered size matches the
+/// stored bytes, the chunk passes its geometry contract on the array's
+/// grid, and no worker store holds a copy the catalog does not know about
+/// (maintenance must drop its scratch replicas).
+void ValidateCatalogStoreConsistency(const Catalog& catalog,
+                                     const Cluster& cluster,
+                                     const std::vector<ArrayId>& arrays);
+
+}  // namespace avm

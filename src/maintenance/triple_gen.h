@@ -1,5 +1,4 @@
-#ifndef AVM_MAINTENANCE_TRIPLE_GEN_H_
-#define AVM_MAINTENANCE_TRIPLE_GEN_H_
+#pragma once
 
 #include <optional>
 
@@ -43,4 +42,3 @@ Result<TripleSet> GenerateTriples(const MaterializedView& view,
 
 }  // namespace avm
 
-#endif  // AVM_MAINTENANCE_TRIPLE_GEN_H_

@@ -1,5 +1,4 @@
-#ifndef AVM_MAINTENANCE_TYPES_H_
-#define AVM_MAINTENANCE_TYPES_H_
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -145,4 +144,3 @@ struct MaintenancePlan {
 
 }  // namespace avm
 
-#endif  // AVM_MAINTENANCE_TYPES_H_

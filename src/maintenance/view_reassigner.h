@@ -1,5 +1,4 @@
-#ifndef AVM_MAINTENANCE_VIEW_REASSIGNER_H_
-#define AVM_MAINTENANCE_VIEW_REASSIGNER_H_
+#pragma once
 
 #include "cluster/cost_model.h"
 #include "common/status.h"
@@ -28,4 +27,3 @@ Status ReassignViewChunks(const TripleSet& triples, int num_workers,
 
 }  // namespace avm
 
-#endif  // AVM_MAINTENANCE_VIEW_REASSIGNER_H_

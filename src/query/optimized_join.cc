@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <limits>
-#include <optional>
 #include <map>
 #include <numeric>
+#include <optional>
 #include <set>
 #include <utility>
 #include <vector>

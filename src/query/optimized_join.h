@@ -1,5 +1,4 @@
-#ifndef AVM_QUERY_OPTIMIZED_JOIN_H_
-#define AVM_QUERY_OPTIMIZED_JOIN_H_
+#pragma once
 
 #include <functional>
 
@@ -41,4 +40,3 @@ Result<OptimizedJoinStats> ExecuteOptimizedJoinAggregate(
 
 }  // namespace avm
 
-#endif  // AVM_QUERY_OPTIMIZED_JOIN_H_

@@ -1,5 +1,4 @@
-#ifndef AVM_QUERY_QUERY_PLANNER_H_
-#define AVM_QUERY_QUERY_PLANNER_H_
+#pragma once
 
 #include <optional>
 #include <string>
@@ -74,4 +73,3 @@ class SimilarityQueryPlanner {
 
 }  // namespace avm
 
-#endif  // AVM_QUERY_QUERY_PLANNER_H_

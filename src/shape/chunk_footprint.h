@@ -1,5 +1,4 @@
-#ifndef AVM_SHAPE_CHUNK_FOOTPRINT_H_
-#define AVM_SHAPE_CHUNK_FOOTPRINT_H_
+#pragma once
 
 #include <unordered_set>
 #include <vector>
@@ -51,4 +50,3 @@ class ChunkFootprint {
 
 }  // namespace avm
 
-#endif  // AVM_SHAPE_CHUNK_FOOTPRINT_H_

@@ -1,5 +1,4 @@
-#ifndef AVM_SHAPE_DELTA_SHAPE_H_
-#define AVM_SHAPE_DELTA_SHAPE_H_
+#pragma once
 
 #include "common/result.h"
 #include "shape/shape.h"
@@ -33,4 +32,3 @@ Result<DeltaShape> ComputeDeltaShape(const Shape& view_shape,
 
 }  // namespace avm
 
-#endif  // AVM_SHAPE_DELTA_SHAPE_H_

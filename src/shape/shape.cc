@@ -4,7 +4,7 @@
 #include <cmath>
 #include <sstream>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace avm {
 

@@ -1,5 +1,4 @@
-#ifndef AVM_SHAPE_SHAPE_H_
-#define AVM_SHAPE_SHAPE_H_
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -130,4 +129,3 @@ class Shape {
 
 }  // namespace avm
 
-#endif  // AVM_SHAPE_SHAPE_H_

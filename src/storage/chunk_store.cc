@@ -46,6 +46,10 @@ void ChunkStore::ForEach(
   for (const auto& [key, chunk] : chunks_) fn(key.first, key.second, chunk);
 }
 
+void ChunkStore::CheckInvariants() const {
+  for (const auto& [key, chunk] : chunks_) chunk.CheckInvariants();
+}
+
 size_t ChunkStore::EraseArray(ArrayId array) {
   size_t dropped = 0;
   auto it = chunks_.lower_bound(Key{array, 0});

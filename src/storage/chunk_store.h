@@ -1,5 +1,4 @@
-#ifndef AVM_STORAGE_CHUNK_STORE_H_
-#define AVM_STORAGE_CHUNK_STORE_H_
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -63,10 +62,15 @@ class ChunkStore {
   /// Removes every chunk belonging to `array`; returns how many were dropped.
   size_t EraseArray(ArrayId array);
 
+  /// Debug structural audit: every stored chunk passes its internal
+  /// row-storage/index contract. Geometry is not checked here (a store
+  /// holds chunks of many arrays; pass the grid at the call sites that have
+  /// it). Violations fire AVM_CHECK; O(total cells).
+  void CheckInvariants() const;
+
  private:
   std::map<Key, Chunk> chunks_;
 };
 
 }  // namespace avm
 
-#endif  // AVM_STORAGE_CHUNK_STORE_H_

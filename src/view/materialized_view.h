@@ -1,5 +1,4 @@
-#ifndef AVM_VIEW_MATERIALIZED_VIEW_H_
-#define AVM_VIEW_MATERIALIZED_VIEW_H_
+#pragma once
 
 #include <memory>
 #include <string>
@@ -75,4 +74,3 @@ Result<MaterializedView> CreateMaterializedView(
 
 }  // namespace avm
 
-#endif  // AVM_VIEW_MATERIALIZED_VIEW_H_

@@ -1,5 +1,4 @@
-#ifndef AVM_VIEW_VIEW_DEFINITION_H_
-#define AVM_VIEW_VIEW_DEFINITION_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -50,4 +49,3 @@ struct ViewDefinition {
 
 }  // namespace avm
 
-#endif  // AVM_VIEW_VIEW_DEFINITION_H_

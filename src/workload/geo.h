@@ -1,5 +1,4 @@
-#ifndef AVM_WORKLOAD_GEO_H_
-#define AVM_WORKLOAD_GEO_H_
+#pragma once
 
 #include <unordered_set>
 #include <vector>
@@ -69,4 +68,3 @@ Result<std::vector<SparseArray>> MakePeriodicGeoBatches(GeoDataset* dataset,
 
 }  // namespace avm
 
-#endif  // AVM_WORKLOAD_GEO_H_

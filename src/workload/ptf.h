@@ -1,5 +1,4 @@
-#ifndef AVM_WORKLOAD_PTF_H_
-#define AVM_WORKLOAD_PTF_H_
+#pragma once
 
 #include <unordered_set>
 #include <vector>
@@ -115,4 +114,3 @@ class PtfGenerator {
 
 }  // namespace avm
 
-#endif  // AVM_WORKLOAD_PTF_H_

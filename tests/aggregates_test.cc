@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "agg/state_utils.h"
+#include "common/check.h"
 #include "tests/test_util.h"
 
 namespace avm {

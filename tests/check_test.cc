@@ -1,0 +1,187 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace avm {
+namespace {
+
+TEST(CheckTest, HandlerRoundTrips) {
+  CheckFailureHandler previous =
+      SetCheckFailureHandler(ThrowingCheckFailureHandler);
+  EXPECT_EQ(SetCheckFailureHandler(previous), &ThrowingCheckFailureHandler);
+}
+
+TEST(CheckTest, NullRestoresDefaultHandler) {
+  SetCheckFailureHandler(ThrowingCheckFailureHandler);
+  SetCheckFailureHandler(nullptr);
+  EXPECT_EQ(SetCheckFailureHandler(nullptr), &AbortingCheckFailureHandler);
+}
+
+TEST(CheckTest, ScopedHandlerRestoresOnExit) {
+  CheckFailureHandler before = SetCheckFailureHandler(nullptr);
+  SetCheckFailureHandler(before);
+  {
+    ScopedThrowingCheckHandler guard;
+    EXPECT_THROW(AVM_CHECK(false), CheckFailedError);
+  }
+  EXPECT_EQ(SetCheckFailureHandler(before), before);
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  ScopedThrowingCheckHandler guard;
+  AVM_CHECK(true);
+  AVM_CHECK(1 + 1 == 2) << "never evaluated";
+  AVM_CHECK_EQ(4, 4);
+  AVM_CHECK_NE(4, 5);
+  AVM_CHECK_LT(4, 5);
+  AVM_CHECK_LE(4, 4);
+  AVM_CHECK_GT(5, 4);
+  AVM_CHECK_GE(5, 5);
+}
+
+TEST(CheckTest, FailureMessageNamesConditionAndLocation) {
+  ScopedThrowingCheckHandler guard;
+  try {
+    AVM_CHECK(2 < 1);
+    FAIL() << "check did not fire";
+  } catch (const CheckFailedError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("Check failed: 2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cc"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckTest, StreamedContextReachesTheMessage) {
+  ScopedThrowingCheckHandler guard;
+  const int n = -3;
+  try {
+    AVM_CHECK(n >= 0) << "need a count, got " << n;
+    FAIL() << "check did not fire";
+  } catch (const CheckFailedError& e) {
+    EXPECT_NE(std::string(e.what()).find("need a count, got -3"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CheckTest, ComparisonFormsPrintBothOperands) {
+  ScopedThrowingCheckHandler guard;
+  try {
+    AVM_CHECK_EQ(3, 4) << "extra";
+    FAIL() << "check did not fire";
+  } catch (const CheckFailedError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("(3 vs 4)"), std::string::npos) << what;
+    EXPECT_NE(what.find("extra"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckTest, BindsCorrectlyInsideUnbracedIfElse) {
+  ScopedThrowingCheckHandler guard;
+  // The ternary expansion must not capture the else branch.
+  bool reached_else = false;
+  if (false)
+    AVM_CHECK(true) << "not this one";
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+}
+
+Status CountedStatus(int* calls, Status result) {
+  ++*calls;
+  return result;
+}
+
+TEST(CheckTest, CheckOkPassesAndEvaluatesOnce) {
+  ScopedThrowingCheckHandler guard;
+  int calls = 0;
+  AVM_CHECK_OK(CountedStatus(&calls, Status::OK()));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckTest, CheckOkFailureCarriesStatusAndContext) {
+  ScopedThrowingCheckHandler guard;
+  int calls = 0;
+  try {
+    AVM_CHECK_OK(CountedStatus(&calls, Status::InvalidArgument("bad arg")))
+        << "while testing";
+    FAIL() << "check did not fire";
+  } catch (const CheckFailedError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad arg"), std::string::npos) << what;
+    EXPECT_NE(what.find("while testing"), std::string::npos) << what;
+  }
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckTest, CheckOkAcceptsResult) {
+  ScopedThrowingCheckHandler guard;
+  Result<int> good(7);
+  AVM_CHECK_OK(good);
+  Result<int> bad(Status::NotFound("no such thing"));
+  EXPECT_THROW(AVM_CHECK_OK(bad), CheckFailedError);
+}
+
+TEST(CheckTest, CheckOkBindsCorrectlyInsideUnbracedIfElse) {
+  ScopedThrowingCheckHandler guard;
+  bool reached_else = false;
+  if (false)
+    AVM_CHECK_OK(Status::OK());
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+}
+
+bool SetFlagAndReturnTrue(bool* flag) {
+  *flag = true;
+  return true;
+}
+
+TEST(CheckTest, DcheckEvaluatesOperandsOnlyInDebugBuilds) {
+  ScopedThrowingCheckHandler guard;
+  bool evaluated = false;
+  AVM_DCHECK(SetFlagAndReturnTrue(&evaluated));
+  EXPECT_EQ(evaluated, kDebugChecksEnabled);
+
+  int ok_calls = 0;
+  AVM_DCHECK_OK(CountedStatus(&ok_calls, Status::OK()));
+  EXPECT_EQ(ok_calls, kDebugChecksEnabled ? 1 : 0);
+}
+
+TEST(CheckTest, DcheckFiresOnlyInDebugBuilds) {
+  ScopedThrowingCheckHandler guard;
+  if (kDebugChecksEnabled) {
+    EXPECT_THROW(AVM_DCHECK(false), CheckFailedError);
+    EXPECT_THROW(AVM_DCHECK_EQ(1, 2), CheckFailedError);
+    EXPECT_THROW(AVM_DCHECK_OK(Status::Internal("boom")), CheckFailedError);
+  } else {
+    AVM_DCHECK(false) << "dead in this build";
+    AVM_DCHECK_EQ(1, 2);
+    AVM_DCHECK_OK(Status::Internal("boom"));
+  }
+}
+
+TEST(CheckTest, DebugChecksFlagMatchesBuildMode) {
+#ifdef NDEBUG
+  EXPECT_FALSE(kDebugChecksEnabled);
+#else
+  EXPECT_TRUE(kDebugChecksEnabled);
+#endif
+}
+
+TEST(CheckTest, ThrowingHandlerFormatsFileLineMessage) {
+  try {
+    ThrowingCheckFailureHandler("some/file.cc", 42, "the message");
+    FAIL() << "handler did not throw";
+  } catch (const CheckFailedError& e) {
+    EXPECT_STREQ(e.what(), "some/file.cc:42 the message");
+  }
+}
+
+}  // namespace
+}  // namespace avm

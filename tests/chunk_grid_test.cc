@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "tests/test_util.h"
 

@@ -1,3 +1,5 @@
 #include <gtest/gtest.h>
+
 #include "common/status.h"
+
 TEST(Bootstrap, StatusOk) { EXPECT_TRUE(avm::Status::OK().ok()); }

@@ -7,6 +7,7 @@
 
 #include "agg/aggregates.h"
 #include "array/sparse_array.h"
+#include "common/check.h"
 #include "common/rng.h"
 #include "join/join_kernel.h"
 #include "join/pair_enumeration.h"

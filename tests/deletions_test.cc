@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/check.h"
 #include "maintenance/maintainer.h"
 #include "tests/test_util.h"
 

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/check.h"
 #include "maintenance/deletions.h"
 #include "maintenance/maintainer.h"
 #include "tests/test_util.h"

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string_view>
+
+#include "common/check.h"
 #include "maintenance/baseline_planner.h"
 #include "maintenance/triple_gen.h"
 #include "tests/test_util.h"
@@ -10,6 +13,31 @@ namespace avm {
 namespace {
 
 using testing_util::MakeCountViewFixture;
+
+/// Executes a deliberately malformed plan and expects rejection. In
+/// Debug/test builds the structural validator at the executor entry fires
+/// first (surfaced through the throwing handler); in Release the executor's
+/// own Status path rejects it with `expected_message`.
+void ExpectPlanRejected(const MaintenancePlan& plan, const TripleSet& triples,
+                        MaterializedView* view, DistributedArray* left_delta,
+                        DistributedArray* right_delta,
+                        std::string_view expected_message = {}) {
+  if constexpr (kDebugChecksEnabled) {
+    ScopedThrowingCheckHandler guard;
+    EXPECT_THROW(ExecuteMaintenancePlan(plan, triples, view, left_delta,
+                                        right_delta)
+                     .status(),
+                 CheckFailedError);
+  } else {
+    auto status =
+        ExecuteMaintenancePlan(plan, triples, view, left_delta, right_delta)
+            .status();
+    EXPECT_TRUE(status.IsInternal()) << status.ToString();
+    if (!expected_message.empty()) {
+      EXPECT_EQ(status.message(), expected_message);
+    }
+  }
+}
 
 struct ExecFixture {
   testing_util::ViewFixture fixture;
@@ -69,21 +97,18 @@ TEST(ExecutorTest, RejectsPlanWithoutColocation) {
   for (size_t i = 0; i < exec_fixture.triples.pairs.size(); ++i) {
     bogus.joins.push_back({i, 0});
   }
-  auto result = ExecuteMaintenancePlan(bogus, exec_fixture.triples,
-                                       exec_fixture.fixture.view.get(),
-                                       exec_fixture.delta.get(), nullptr);
-  EXPECT_TRUE(result.status().IsInternal());
+  ExpectPlanRejected(bogus, exec_fixture.triples,
+                     exec_fixture.fixture.view.get(),
+                     exec_fixture.delta.get(), nullptr);
 }
 
 TEST(ExecutorTest, RejectsJoinReferencingUnknownPair) {
   ASSERT_OK_AND_ASSIGN(auto exec_fixture, MakeExecFixture(602));
   MaintenancePlan bogus;
   bogus.joins.push_back({exec_fixture.triples.pairs.size() + 5, 0});
-  EXPECT_TRUE(ExecuteMaintenancePlan(bogus, exec_fixture.triples,
-                                     exec_fixture.fixture.view.get(),
-                                     exec_fixture.delta.get(), nullptr)
-                  .status()
-                  .IsInternal());
+  ExpectPlanRejected(bogus, exec_fixture.triples,
+                     exec_fixture.fixture.view.get(),
+                     exec_fixture.delta.get(), nullptr);
 }
 
 TEST(ExecutorTest, EmptyPlanStillMergesDeltaChunks) {
@@ -153,13 +178,10 @@ TEST(ExecutorTest, MissingLeftDeltaRejected) {
   MaintenancePlan plan;
   plan.transfers.push_back(
       {MChunkRef{ChunkSide::kLeftDelta, 0}, kCoordinatorNode, 0});
-  auto status = ExecuteMaintenancePlan(plan, exec_fixture.triples,
-                                       exec_fixture.fixture.view.get(),
-                                       /*left_delta=*/nullptr,
-                                       /*right_delta=*/nullptr)
-                    .status();
-  EXPECT_TRUE(status.IsInternal()) << status.ToString();
-  EXPECT_EQ(status.message(), "plan references a missing left delta");
+  ExpectPlanRejected(plan, exec_fixture.triples,
+                     exec_fixture.fixture.view.get(),
+                     /*left_delta=*/nullptr, /*right_delta=*/nullptr,
+                     "plan references a missing left delta");
 }
 
 TEST(ExecutorTest, MissingRightDeltaRejected) {
@@ -167,13 +189,10 @@ TEST(ExecutorTest, MissingRightDeltaRejected) {
   MaintenancePlan plan;
   plan.transfers.push_back(
       {MChunkRef{ChunkSide::kRightDelta, 0}, kCoordinatorNode, 0});
-  auto status = ExecuteMaintenancePlan(plan, exec_fixture.triples,
-                                       exec_fixture.fixture.view.get(),
-                                       exec_fixture.delta.get(),
-                                       /*right_delta=*/nullptr)
-                    .status();
-  EXPECT_TRUE(status.IsInternal()) << status.ToString();
-  EXPECT_EQ(status.message(), "plan references a missing right delta");
+  ExpectPlanRejected(plan, exec_fixture.triples,
+                     exec_fixture.fixture.view.get(),
+                     exec_fixture.delta.get(), /*right_delta=*/nullptr,
+                     "plan references a missing right delta");
 }
 
 TEST(ExecutorTest, JoinOnMissingDeltaRejectedBeforeFanOut) {
@@ -183,13 +202,10 @@ TEST(ExecutorTest, JoinOnMissingDeltaRejectedBeforeFanOut) {
   ASSERT_FALSE(exec_fixture.triples.pairs.empty());
   MaintenancePlan plan;
   plan.joins.push_back({0, 0});
-  auto status = ExecuteMaintenancePlan(plan, exec_fixture.triples,
-                                       exec_fixture.fixture.view.get(),
-                                       /*left_delta=*/nullptr,
-                                       /*right_delta=*/nullptr)
-                    .status();
-  EXPECT_TRUE(status.IsInternal()) << status.ToString();
-  EXPECT_EQ(status.message(), "plan references a missing left delta");
+  ExpectPlanRejected(plan, exec_fixture.triples,
+                     exec_fixture.fixture.view.get(),
+                     /*left_delta=*/nullptr, /*right_delta=*/nullptr,
+                     "plan references a missing left delta");
 }
 
 TEST(ExecutorTest, UnknownJoinNodeRejected) {
@@ -197,12 +213,10 @@ TEST(ExecutorTest, UnknownJoinNodeRejected) {
   ASSERT_FALSE(exec_fixture.triples.pairs.empty());
   MaintenancePlan plan;
   plan.joins.push_back({0, 99});
-  auto status = ExecuteMaintenancePlan(plan, exec_fixture.triples,
-                                       exec_fixture.fixture.view.get(),
-                                       exec_fixture.delta.get(), nullptr)
-                    .status();
-  EXPECT_TRUE(status.IsInternal()) << status.ToString();
-  EXPECT_EQ(status.message(), "join assigned to unknown node id 99");
+  ExpectPlanRejected(plan, exec_fixture.triples,
+                     exec_fixture.fixture.view.get(),
+                     exec_fixture.delta.get(), nullptr,
+                     "join assigned to unknown node id 99");
 }
 
 TEST(ExecutorTest, JoinAssignedToCoordinatorRejected) {
@@ -212,12 +226,10 @@ TEST(ExecutorTest, JoinAssignedToCoordinatorRejected) {
   ASSERT_FALSE(exec_fixture.triples.pairs.empty());
   MaintenancePlan plan;
   plan.joins.push_back({0, kCoordinatorNode});
-  auto status = ExecuteMaintenancePlan(plan, exec_fixture.triples,
-                                       exec_fixture.fixture.view.get(),
-                                       exec_fixture.delta.get(), nullptr)
-                    .status();
-  EXPECT_TRUE(status.IsInternal()) << status.ToString();
-  EXPECT_EQ(status.message(), "join assigned to unknown node id -1");
+  ExpectPlanRejected(plan, exec_fixture.triples,
+                     exec_fixture.fixture.view.get(),
+                     exec_fixture.delta.get(), nullptr,
+                     "join assigned to unknown node id -1");
 }
 
 TEST(ExecutorTest, UnknownTransferNodeRejected) {
@@ -225,25 +237,20 @@ TEST(ExecutorTest, UnknownTransferNodeRejected) {
   MaintenancePlan plan;
   plan.transfers.push_back(
       {MChunkRef{ChunkSide::kLeftDelta, 0}, kCoordinatorNode, 42});
-  auto status = ExecuteMaintenancePlan(plan, exec_fixture.triples,
-                                       exec_fixture.fixture.view.get(),
-                                       exec_fixture.delta.get(), nullptr)
-                    .status();
-  EXPECT_TRUE(status.IsInternal()) << status.ToString();
-  EXPECT_EQ(status.message(),
-            "transfer destination references unknown node id 42");
+  ExpectPlanRejected(plan, exec_fixture.triples,
+                     exec_fixture.fixture.view.get(),
+                     exec_fixture.delta.get(), nullptr,
+                     "transfer destination references unknown node id 42");
 }
 
 TEST(ExecutorTest, UnknownViewHomeRejected) {
   ASSERT_OK_AND_ASSIGN(auto exec_fixture, MakeExecFixture(611));
   MaintenancePlan plan;
   plan.view_home[0] = 17;
-  auto status = ExecuteMaintenancePlan(plan, exec_fixture.triples,
-                                       exec_fixture.fixture.view.get(),
-                                       exec_fixture.delta.get(), nullptr)
-                    .status();
-  EXPECT_TRUE(status.IsInternal()) << status.ToString();
-  EXPECT_EQ(status.message(), "view home references unknown node id 17");
+  ExpectPlanRejected(plan, exec_fixture.triples,
+                     exec_fixture.fixture.view.get(),
+                     exec_fixture.delta.get(), nullptr,
+                     "view home references unknown node id 17");
 }
 
 TEST(ExecutorTest, EmptyPlanWithoutDeltasIsANoOp) {

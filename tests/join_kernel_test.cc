@@ -4,6 +4,7 @@
 
 #include <map>
 
+#include "common/check.h"
 #include "join/pair_enumeration.h"
 #include "tests/test_util.h"
 

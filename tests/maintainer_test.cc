@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/check.h"
 #include "tests/test_util.h"
 
 namespace avm {
@@ -214,7 +215,7 @@ TEST(MaintainerTest, NoReplicasLeakAcrossBatches) {
   }
   // Everything the catalog lists is physically present (counted above).
   size_t expected = 0;
-  for (const std::string& name : {"base", "view"}) {
+  for (const std::string name : {"base", "view"}) {
     auto id = catalog->ArrayIdByName(name);
     ASSERT_OK(id.status());
     expected += catalog->ChunkIdsOf(*id).size();

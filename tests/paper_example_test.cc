@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/check.h"
 #include "maintenance/maintainer.h"
 #include "maintenance/makespan_tracker.h"
 #include "tests/test_util.h"

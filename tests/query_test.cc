@@ -153,7 +153,7 @@ TEST(QueryPlannerTest, RepeatedQueriesDoNotLeakArrays) {
   }
   // Transient result arrays are unregistered (ids grow, live count stable).
   size_t live = 0;
-  for (const std::string& name : {"base", "view"}) {
+  for (const std::string name : {"base", "view"}) {
     if (fixture.catalog->ArrayIdByName(name).ok()) ++live;
   }
   EXPECT_EQ(live, 2u);

@@ -116,7 +116,9 @@ TEST(SparseArrayTest, CloneIsDeepAndEqual) {
   ASSERT_OK(b.Set({1, 1}, std::vector<double>{123.0}));
   // Mutating the clone must not affect the original.
   auto original = a.Get({1, 1});
-  if (original.ok()) EXPECT_NE((*original)[0], 123.0);
+  if (original.ok()) {
+    EXPECT_NE((*original)[0], 123.0);
+  }
 }
 
 TEST(SparseArrayTest, ContentEqualsDetectsDifferences) {

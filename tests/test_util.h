@@ -1,5 +1,4 @@
-#ifndef AVM_TESTS_TEST_UTIL_H_
-#define AVM_TESTS_TEST_UTIL_H_
+#pragma once
 
 #include <gtest/gtest.h>
 
@@ -8,7 +7,7 @@
 
 #include "array/sparse_array.h"
 #include "cluster/distributed_array.h"
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "maintenance/maintainer.h"
@@ -188,4 +187,3 @@ inline ::testing::AssertionResult ViewMatchesRecompute(
 
 }  // namespace avm::testing_util
 
-#endif  // AVM_TESTS_TEST_UTIL_H_

@@ -1,0 +1,309 @@
+#!/usr/bin/env python3
+"""avm_lint: repo-specific static checks the compiler does not enforce.
+
+Run from the repository root:
+
+    python3 tools/lint/avm_lint.py [paths...]
+
+With no arguments lints ``src/ tests/ bench/``. Exits non-zero if any
+finding is reported. A finding can be suppressed by appending
+``// avm-lint: allow(<rule>)`` to the offending line.
+
+Rules
+-----
+raw-assert            <assert.h>-style ``assert(...)``. Use AVM_CHECK /
+                      AVM_DCHECK from common/check.h: they stream context,
+                      route through the pluggable failure handler (testable
+                      death paths), and DCHECK compiles out cleanly.
+naked-new             ``new`` outside the leaky-singleton idiom
+                      (``static T* x = new T...``). Ownership lives in
+                      containers and value types in this codebase.
+naked-delete          any ``delete`` expression (``= delete`` declarations
+                      are fine).
+std-function-hot-path ``std::function`` in the join/index hot paths, where
+                      its type-erased indirect call defeats inlining. Use a
+                      template parameter or a compiled plan instead.
+missing-pragma-once   header without ``#pragma once`` as its first
+                      directive.
+discarded-status      a bare statement calling a function declared (in this
+                      repo's headers) to return Status or Result<...>.
+                      Both types are [[nodiscard]], so the compiler catches
+                      most of these; the linter also covers code compiled
+                      only under other configurations.
+include-order         first include of ``src/**/*.cc`` is not its own
+                      header, or an include block is not internally sorted,
+                      or a ``".."`` relative include appears.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterator
+
+DEFAULT_PATHS = ["src", "tests", "bench"]
+EXTENSIONS = {".h", ".cc"}
+
+# Files whose inner loops are the measured join/probe kernels: type-erased
+# callables are banned here specifically.
+HOT_PATH_FILES = {
+    "src/join/join_kernel.h",
+    "src/join/join_kernel.cc",
+    "src/join/compiled_shape.h",
+    "src/join/compiled_shape.cc",
+    "src/join/similarity_join.h",
+    "src/join/similarity_join.cc",
+    "src/array/offset_index.h",
+}
+
+ALLOW_RE = re.compile(r"//\s*avm-lint:\s*allow\(([\w,\s-]+)\)")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Blanks out string/char literals and ``//`` comments (keeps length)."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                if line[i] == "\\":
+                    i += 1
+                i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def allowed_rules(line: str) -> set[str]:
+    m = ALLOW_RE.search(line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",")}
+
+
+def iter_files(paths: list[str]) -> Iterator[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            if os.path.splitext(path)[1] in EXTENSIONS:
+                yield path
+            continue
+        for root, _dirs, files in os.walk(path):
+            for name in sorted(files):
+                if os.path.splitext(name)[1] in EXTENSIONS:
+                    yield os.path.join(root, name)
+
+
+def harvest_status_functions(paths: list[str]) -> set[str]:
+    """Names of functions declared in headers to return Status/Result."""
+    names: set[str] = set()
+    decl = re.compile(
+        r"^\s*(?:virtual\s+|static\s+|inline\s+)*"
+        r"(?:Status|Result<[^;{}=]+>)\s+"
+        r"(?:\w+::)*(\w+)\s*\("
+    )
+    for path in iter_files(paths):
+        if not path.endswith(".h"):
+            continue
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                m = decl.match(strip_comments_and_strings(line))
+                if m:
+                    names.add(m.group(1))
+    # Factory-style helpers whose returned status IS the value of interest
+    # when discarded make no sense to call bare; keep everything harvested.
+    return names
+
+
+ASSERT_RE = re.compile(r"(?<![\w_])assert\s*\(")
+NEW_RE = re.compile(r"(?<![\w_])new(?![\w_])")
+DELETE_RE = re.compile(r"(?<![\w_])delete(?![\w_])")
+LEAKY_SINGLETON_RE = re.compile(r"(?<![\w_])static(?![\w_]).*=\s*$|"
+                                r"(?<![\w_])static(?![\w_]).*=.*"
+                                r"(?<![\w_])new(?![\w_])")
+EQ_DELETE_RE = re.compile(r"=\s*delete\s*[;,)]")
+STD_FUNCTION_RE = re.compile(r"std\s*::\s*function")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+
+# A bare call statement: optional qualification, a harvested name, an open
+# paren, and no '=', 'return', or other consuming context on the line.
+STMT_PREFIX_BLOCKERS = re.compile(
+    r"(?<![\w_])(return|if|while|for|switch|case|co_return|throw)(?![\w_])"
+    r"|=|\breinterpret_cast\b|\(void\)"
+)
+
+
+def lint_file(path: str, status_functions: set[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    with open(path, encoding="utf-8") as f:
+        raw_lines = f.read().splitlines()
+
+    rel = path.replace(os.sep, "/")
+    is_header = rel.endswith(".h")
+    in_block_comment = False
+    pending_static = False  # previous code line opened `static ... =`
+    prev_code = ""  # previous non-comment code line, stripped
+
+    def report(line_no: int, rule: str, message: str) -> None:
+        if rule in allowed_rules(raw_lines[line_no - 1]):
+            return
+        findings.append(Finding(rel, line_no, rule, message))
+
+    # --- missing-pragma-once -------------------------------------------
+    if is_header:
+        has_pragma = any(
+            line.strip() == "#pragma once" for line in raw_lines[:30]
+        )
+        if not has_pragma:
+            report(1, "missing-pragma-once",
+                   "header must start with #pragma once")
+
+    # --- include-order -------------------------------------------------
+    includes: list[tuple[int, str, str]] = []  # (line_no, kind, path)
+    for i, raw in enumerate(raw_lines, start=1):
+        m = INCLUDE_RE.match(raw)
+        if m:
+            includes.append((i, m.group(1), m.group(2)))
+    if includes:
+        own_header = None
+        if rel.startswith("src/") and rel.endswith(".cc"):
+            candidate = rel[len("src/"):-len(".cc")] + ".h"
+            if os.path.exists(os.path.join("src", candidate)):
+                own_header = candidate
+        if own_header is not None:
+            first = includes[0]
+            if not (first[1] == '"' and first[2] == own_header):
+                report(first[0], "include-order",
+                       f'first include must be own header "{own_header}"')
+        for line_no, kind, inc in includes:
+            if inc.startswith(".."):
+                report(line_no, "include-order",
+                       "relative include; use the src-root path")
+        # Within each contiguous block, includes must be same-kind and
+        # sorted (the own-header line is its own block by convention).
+        start = 1 if own_header is not None else 0
+        block: list[tuple[int, str, str]] = []
+
+        def check_block(block: list[tuple[int, str, str]]) -> None:
+            if len(block) < 2:
+                return
+            kinds = {k for (_n, k, _p) in block}
+            if len(kinds) > 1:
+                report(block[0][0], "include-order",
+                       "mixed <...> and \"...\" includes in one block; "
+                       "separate with a blank line")
+                return
+            paths = [p for (_n, _k, p) in block]
+            if paths != sorted(paths):
+                report(block[0][0], "include-order",
+                       "includes in this block are not sorted")
+
+        prev_line = None
+        for entry in includes[start:]:
+            if prev_line is not None and entry[0] != prev_line + 1:
+                check_block(block)
+                block = []
+            block.append(entry)
+            prev_line = entry[0]
+        check_block(block)
+
+    # --- line-based rules ----------------------------------------------
+    for i, raw in enumerate(raw_lines, start=1):
+        stripped = raw.strip()
+        if in_block_comment:
+            if "*/" in stripped:
+                in_block_comment = False
+            continue
+        if stripped.startswith("/*") and "*/" not in stripped:
+            in_block_comment = True
+            continue
+        if stripped.startswith("//") or stripped.startswith("*"):
+            continue
+        code = strip_comments_and_strings(raw)
+
+        if ASSERT_RE.search(code) and "static_assert" not in code:
+            report(i, "raw-assert",
+                   "use AVM_CHECK/AVM_DCHECK instead of assert()")
+
+        if NEW_RE.search(code):
+            if not (LEAKY_SINGLETON_RE.search(code) or pending_static):
+                report(i, "naked-new",
+                       "naked new; use containers/value types (the leaky "
+                       "singleton `static T* x = new T` is the one "
+                       "allowed form)")
+        if DELETE_RE.search(code) and not EQ_DELETE_RE.search(code):
+            # `... =\n    delete;` wrapped by the formatter is still a
+            # deleted-function declaration, not a delete expression.
+            if not (re.match(r"^\s*delete\s*;", code)
+                    and prev_code.endswith("=")):
+                report(i, "naked-delete", "manual delete; own memory with "
+                                          "containers or value types")
+        pending_static = bool(re.search(
+            r"(?<![\w_])static(?![\w_])[^;{}]*=\s*$", code))
+
+        if rel in HOT_PATH_FILES and STD_FUNCTION_RE.search(code):
+            report(i, "std-function-hot-path",
+                   "std::function in a join/index hot path; use a template "
+                   "parameter or compiled plan")
+
+        # discarded-status: a statement that is exactly a call to a
+        # Status/Result-returning function. Only lines that *begin* a
+        # statement count — continuations of a wrapped expression (previous
+        # code line ends mid-statement) are the caller's business.
+        starts_statement = prev_code == "" or prev_code.endswith(
+            (";", "{", "}", ":"))
+        m = re.match(r"^\s*(?:[A-Za-z_]\w*(?:::|\.|->))*([A-Za-z_]\w*)\s*\(",
+                     code)
+        if (starts_statement and m and m.group(1) in status_functions
+                and not STMT_PREFIX_BLOCKERS.search(
+                    code[: m.start(1)])
+                and re.search(r"\)\s*;\s*$", code)):
+            report(i, "discarded-status",
+                   f"result of {m.group(1)}() is discarded; check or "
+                   "propagate the Status")
+
+        if code.strip():
+            prev_code = code.strip()
+
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    paths = argv[1:] or DEFAULT_PATHS
+    paths = [p for p in paths if os.path.exists(p)]
+    status_functions = harvest_status_functions(DEFAULT_PATHS)
+    all_findings: list[Finding] = []
+    count = 0
+    for path in iter_files(paths):
+        count += 1
+        all_findings.extend(lint_file(path, status_functions))
+    for finding in all_findings:
+        print(finding)
+    print(f"avm_lint: {count} files, {len(all_findings)} finding(s)",
+          file=sys.stderr)
+    return 1 if all_findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
