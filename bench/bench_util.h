@@ -9,6 +9,8 @@
 
 #include "common/check.h"
 #include "harness/experiment.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace avm::bench {
 
@@ -40,6 +42,61 @@ inline void ParseThreadsFlag(int* argc, char** argv) {
     }
   }
   *argc = kept;
+}
+
+/// Output paths for the telemetry artifacts, empty = not requested.
+inline std::string& TraceOutPath() {
+  static std::string path;
+  return path;
+}
+
+inline std::string& MetricsOutPath() {
+  static std::string path;
+  return path;
+}
+
+/// Consumes --trace-out[=| ]FILE and --metrics-out[=| ]FILE before
+/// benchmark::Initialize sees them. Requesting either artifact turns
+/// telemetry collection on for the whole process; without these flags the
+/// benches run with telemetry disabled (the configuration the Release bench
+/// gate measures).
+inline void ParseTelemetryFlags(int* argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      TraceOutPath() = arg.substr(12);
+    } else if (arg == "--trace-out" && i + 1 < *argc) {
+      TraceOutPath() = argv[++i];
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      MetricsOutPath() = arg.substr(14);
+    } else if (arg == "--metrics-out" && i + 1 < *argc) {
+      MetricsOutPath() = argv[++i];
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  if (!TraceOutPath().empty() || !MetricsOutPath().empty()) {
+    EnableTelemetry();
+  }
+}
+
+/// Writes the requested telemetry artifacts (call once, after the benchmark
+/// loop). Dies on I/O failure — a bench that silently drops its requested
+/// trace is worse than one that aborts.
+inline void FinishTelemetry() {
+  if (!TraceOutPath().empty()) {
+    AVM_CHECK(WriteChromeTrace(TraceOutPath()))
+        << "failed to write trace to " << TraceOutPath();
+    std::fprintf(stderr, "wrote Chrome trace to %s\n", TraceOutPath().c_str());
+  }
+  if (!MetricsOutPath().empty()) {
+    AVM_CHECK(WriteMetricsJson(MetricsRegistry::Global().Snapshot(),
+                               MetricsOutPath()))
+        << "failed to write metrics to " << MetricsOutPath();
+    std::fprintf(stderr, "wrote metrics to %s\n", MetricsOutPath().c_str());
+  }
 }
 
 /// Scale used by every figure benchmark: the paper's 8-worker + coordinator

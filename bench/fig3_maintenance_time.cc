@@ -93,10 +93,12 @@ void PrintPaperTables() {
 
 int main(int argc, char** argv) {
   avm::bench::ParseThreadsFlag(&argc, argv);
+  avm::bench::ParseTelemetryFlags(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
   avm::bench::RegisterAll();
   ::benchmark::RunSpecifiedBenchmarks();
   avm::bench::PrintPaperTables();
+  avm::bench::FinishTelemetry();
   ::benchmark::Shutdown();
   return 0;
 }

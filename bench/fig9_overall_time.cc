@@ -97,10 +97,12 @@ void PrintPaperTable() {
 
 int main(int argc, char** argv) {
   avm::bench::ParseThreadsFlag(&argc, argv);
+  avm::bench::ParseTelemetryFlags(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
   avm::bench::RegisterAll();
   ::benchmark::RunSpecifiedBenchmarks();
   avm::bench::PrintPaperTable();
+  avm::bench::FinishTelemetry();
   ::benchmark::Shutdown();
   return 0;
 }

@@ -25,11 +25,12 @@
 #include "array/sparse_array.h"
 #include "common/check.h"
 #include "common/rng.h"
-#include "common/stopwatch.h"
 #include "join/compiled_shape.h"
 #include "join/join_kernel.h"
 #include "join/mapping.h"
 #include "shape/shape.h"
+#include "telemetry/stopwatch.h"
+#include "telemetry/telemetry.h"
 
 namespace avm {
 namespace {
@@ -311,11 +312,64 @@ BenchResult RunConfig(const BenchConfig& config, int64_t extent,
   return result;
 }
 
+/// In-process A/B of the telemetry gate's cost on the optimized kernel:
+/// per-run seconds with collection disabled (the shipping configuration —
+/// every instrumentation site is one predicted branch) and enabled (live
+/// counters). Measured back to back in one process so the comparison is free
+/// of cross-run and cross-machine noise; the CI bench-smoke gate bounds
+/// overhead_frac.
+struct TelemetryAB {
+  double disabled_s = 0.0;
+  double enabled_s = 0.0;
+  double overhead_frac = 0.0;
+};
+
+TelemetryAB MeasureTelemetryOverhead(const BenchConfig& config, int64_t extent,
+                                     double target_seconds) {
+  const SparseArray array = MakeDenseChunkArray(
+      config.num_dims, extent, config.density, /*seed=*/0xC0FFEE ^ extent);
+  const Chunk* chunk = array.GetChunk(0);
+  AVM_CHECK(chunk != nullptr) << "empty telemetry A/B chunk";
+  const Shape shape = Shape::LinfBall(config.num_dims, config.radius);
+  const DimMapping mapping = DimMapping::Identity(config.num_dims);
+  std::vector<size_t> group_dims(config.num_dims);
+  for (size_t d = 0; d < config.num_dims; ++d) group_dims[d] = d;
+  auto layout_result = AggregateLayout::Create(
+      {{AggregateFunction::kCount, 0, "cnt"},
+       {AggregateFunction::kSum, 0, "sum"}},
+      /*num_base_attrs=*/1);
+  AVM_CHECK(layout_result.ok()) << layout_result.status().ToString();
+  const AggregateLayout layout = std::move(layout_result).value();
+  const RightOperand rop{chunk, 0, &array.grid()};
+  const ViewTarget target{&group_dims, &array.grid()};
+  auto compiled_result =
+      CompiledShapeCache::Global().Get(shape, mapping, array.grid());
+  AVM_CHECK(compiled_result.ok()) << compiled_result.status().ToString();
+  const CompiledShape& compiled = *compiled_result.value();
+  auto run = [&] {
+    std::map<ChunkId, Chunk> frags;
+    AVM_CHECK(
+        JoinAggregateChunkPair(*chunk, rop, compiled, layout, target, 1, &frags)
+            .ok());
+  };
+
+  AVM_CHECK(!TelemetryEnabled())
+      << "telemetry A/B must start from the disabled state";
+  TelemetryAB ab;
+  ab.disabled_s = TimePerRun(run, target_seconds);
+  EnableTelemetry();
+  ab.enabled_s = TimePerRun(run, target_seconds);
+  DisableTelemetry();
+  ab.overhead_frac = ab.enabled_s / ab.disabled_s - 1.0;
+  return ab;
+}
+
 void WriteJson(const std::string& path, const std::string& mode,
                int64_t extent_2d, const std::vector<BenchResult>& results,
                const BenchResult& default_preset,
                const BenchResult& calib_probe,
-               const BenchResult& calib_scan) {
+               const BenchResult& calib_scan,
+               const TelemetryAB& telemetry) {
   FILE* out = std::fopen(path.c_str(), "w");
   AVM_CHECK(out != nullptr) << "cannot open " << path;
 
@@ -349,6 +403,11 @@ void WriteJson(const std::string& path, const std::string& mode,
                "  \"measured_costs\": {\"probe_ns\": %.4f, \"scan_ns\": %.4f, "
                "\"scan_over_probe\": %.4f},\n",
                probe_ns, scan_ns, scan_ns / probe_ns);
+  std::fprintf(out,
+               "  \"telemetry\": {\"disabled_s\": %.6e, \"enabled_s\": %.6e, "
+               "\"overhead_frac\": %.4f},\n",
+               telemetry.disabled_s, telemetry.enabled_s,
+               telemetry.overhead_frac);
   std::fprintf(out, "  \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
@@ -462,8 +521,14 @@ int Main(int argc, char** argv) {
   results.push_back(calib_scan);
 
   const BenchResult& default_preset = results[default_preset_index];
+  const TelemetryAB telemetry = MeasureTelemetryOverhead(
+      default_preset.config, extent_2d, target_seconds);
+  std::printf("telemetry A/B on %s: disabled %.3e s, enabled %.3e s "
+              "(overhead %+.2f%%)\n",
+              default_preset.config.name.c_str(), telemetry.disabled_s,
+              telemetry.enabled_s, telemetry.overhead_frac * 100.0);
   WriteJson(out_path, smoke ? "smoke" : "full", extent_2d, results,
-            default_preset, calib_probe, calib_scan);
+            default_preset, calib_probe, calib_scan, telemetry);
   std::printf("wrote %s (default preset speedup: %.2fx)\n", out_path.c_str(),
               default_preset.speedup);
   return 0;

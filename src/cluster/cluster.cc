@@ -45,18 +45,24 @@ Status Cluster::TransferChunk(ArrayId array, ChunkId chunk, NodeId from,
   Chunk copy = *src;
   const uint64_t bytes = copy.SizeBytes();
   store(to).Put(array, chunk, std::move(copy));
-  clock(from).ntwk_seconds += cost_model_.TransferSeconds(bytes);
+  NodeClock& sender = clock(from);
+  sender.ntwk_seconds += cost_model_.TransferSeconds(bytes);
+  sender.ntwk_bytes += bytes;
   return Status::OK();
 }
 
 void Cluster::ChargeJoin(NodeId node, uint64_t bytes) {
   AVM_CHECK_NE(node, kCoordinatorNode)
       << "the coordinator does not participate in join computation";
-  clock(node).cpu_seconds += cost_model_.JoinSeconds(bytes);
+  NodeClock& c = clock(node);
+  c.cpu_seconds += cost_model_.JoinSeconds(bytes);
+  c.cpu_bytes += bytes;
 }
 
 void Cluster::ChargeNetwork(NodeId node, uint64_t bytes) {
-  clock(node).ntwk_seconds += cost_model_.TransferSeconds(bytes);
+  NodeClock& c = clock(node);
+  c.ntwk_seconds += cost_model_.TransferSeconds(bytes);
+  c.ntwk_bytes += bytes;
 }
 
 double Cluster::MakespanSeconds() const {
@@ -110,6 +116,26 @@ double ClusterClockSnapshot::MakespanSince(const Cluster& cluster) const {
         busy_delta(cluster.clock(n), workers[static_cast<size_t>(n)]));
   }
   return makespan;
+}
+
+std::vector<NodeActivity> ClusterClockSnapshot::ActivitySince(
+    const Cluster& cluster) const {
+  auto delta = [](const NodeClock& now, const NodeClock& then) {
+    NodeActivity a;
+    a.ntwk_seconds = now.ntwk_seconds - then.ntwk_seconds;
+    a.cpu_seconds = now.cpu_seconds - then.cpu_seconds;
+    a.ntwk_bytes = now.ntwk_bytes - then.ntwk_bytes;
+    a.cpu_bytes = now.cpu_bytes - then.cpu_bytes;
+    return a;
+  };
+  std::vector<NodeActivity> activity;
+  activity.reserve(workers.size() + 1);
+  for (NodeId n = 0; n < cluster.num_workers(); ++n) {
+    activity.push_back(
+        delta(cluster.clock(n), workers[static_cast<size_t>(n)]));
+  }
+  activity.push_back(delta(cluster.clock(kCoordinatorNode), coordinator));
+  return activity;
 }
 
 }  // namespace avm

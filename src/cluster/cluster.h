@@ -92,6 +92,17 @@ class Cluster {
   std::unique_ptr<ThreadPool> pool_;
 };
 
+/// Per-node clock deltas over one operation window, in simulated seconds
+/// plus the exact byte totals behind them. Produced by
+/// ClusterClockSnapshot::ActivitySince; consumed by telemetry (per-node
+/// trace spans) and MaintenanceReport.
+struct NodeActivity {
+  double ntwk_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  uint64_t ntwk_bytes = 0;
+  uint64_t cpu_bytes = 0;
+};
+
 /// Snapshot of every node's clock, for measuring the simulated makespan of
 /// one operation window: max over nodes of max(Δntwk, Δcpu) since the
 /// snapshot (communication and computation overlap per node).
@@ -101,6 +112,10 @@ struct ClusterClockSnapshot {
 
   static ClusterClockSnapshot Take(const Cluster& cluster);
   double MakespanSince(const Cluster& cluster) const;
+
+  /// Per-node deltas since this snapshot: workers 0..N-1, coordinator last
+  /// (index num_workers).
+  std::vector<NodeActivity> ActivitySince(const Cluster& cluster) const;
 };
 
 }  // namespace avm

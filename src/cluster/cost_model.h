@@ -36,6 +36,12 @@ struct CostModel {
 struct NodeClock {
   double ntwk_seconds = 0.0;
   double cpu_seconds = 0.0;
+  /// Byte totals behind the simulated seconds. The cost model is linear, so
+  /// seconds == bytes * rate — but the integer totals are exact, which lets
+  /// telemetry cross-check trace spans against clock charges without
+  /// floating-point tolerance.
+  uint64_t ntwk_bytes = 0;
+  uint64_t cpu_bytes = 0;
 
   /// This node's busy time under overlapped communication/computation.
   double BusySeconds() const { return std::max(ntwk_seconds, cpu_seconds); }
@@ -43,6 +49,8 @@ struct NodeClock {
   void Reset() {
     ntwk_seconds = 0.0;
     cpu_seconds = 0.0;
+    ntwk_bytes = 0;
+    cpu_bytes = 0;
   }
 };
 

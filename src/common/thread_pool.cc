@@ -4,7 +4,28 @@
 #include <atomic>
 #include <memory>
 
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+
 namespace avm {
+
+namespace {
+
+/// Runs one pool task, recording its latency and the run counter when
+/// telemetry is on (one branch otherwise).
+void RunTimed(const std::function<void()>& task) {
+  if (!TelemetryEnabled()) {
+    task();
+    return;
+  }
+  const int64_t start_ns = TraceNowNs();
+  task();
+  HistogramRecord(HistogramId::kPoolTaskSeconds,
+                  static_cast<double>(TraceNowNs() - start_ns) * 1e-9);
+  CountAdd(CounterId::kPoolTasksRun);
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(num_threads < 1 ? 1 : num_threads) {
@@ -33,7 +54,8 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    GaugeAdd(GaugeId::kPoolQueueDepth, -1);
+    RunTimed(task);
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--pending_ == 0) all_idle_.notify_all();
@@ -43,7 +65,7 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   if (workers_.empty()) {
-    task();
+    RunTimed(task);
     return;
   }
   {
@@ -51,6 +73,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
     ++pending_;
   }
+  GaugeAdd(GaugeId::kPoolQueueDepth, 1);
   task_ready_.notify_one();
 }
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/string_util.h"
+#include "telemetry/trace.h"
 
 namespace avm {
 
@@ -64,6 +65,7 @@ std::string_view BatchRegimeName(BatchRegime regime) {
 Result<PreparedExperiment> PrepareExperiment(DatasetKind kind,
                                              BatchRegime regime,
                                              const ExperimentScale& scale) {
+  ScopedSpan prepare_span("harness.prepare", "harness");
   PreparedExperiment experiment;
   experiment.catalog = std::make_unique<Catalog>();
   experiment.cluster = std::make_unique<Cluster>(
@@ -191,7 +193,11 @@ Result<BatchSeries> RunMaintenanceSeries(PreparedExperiment* experiment,
   BatchSeries series;
   series.method = method;
   ViewMaintainer maintainer(experiment->view.get(), method, options);
+  int64_t batch_index = 0;
   for (const SparseArray& batch : experiment->batches) {
+    ScopedSpan batch_span("harness.batch", "harness");
+    batch_span.AddArg("batch", batch_index++);
+    batch_span.AddArg("method", static_cast<int64_t>(method));
     AVM_ASSIGN_OR_RETURN(MaintenanceReport report,
                          maintainer.ApplyBatch(batch));
     series.reports.push_back(report);

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "telemetry/metrics.h"
+
 namespace avm {
 
 Result<CompiledShape> CompiledShape::Create(const Shape& shape,
@@ -83,7 +85,13 @@ Result<std::shared_ptr<const CompiledShape>> CompiledShapeCache::Get(
 
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    ++hits_;
+    CountAdd(CounterId::kShapeCacheHits);
+    return it->second;
+  }
+  ++misses_;
+  CountAdd(CounterId::kShapeCacheMisses);
   AVM_ASSIGN_OR_RETURN(CompiledShape compiled,
                        CompiledShape::Create(shape, mapping, grid));
   if (cache_.size() >= kMaxEntries) cache_.clear();
@@ -95,6 +103,16 @@ Result<std::shared_ptr<const CompiledShape>> CompiledShapeCache::Get(
 size_t CompiledShapeCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return cache_.size();
+}
+
+uint64_t CompiledShapeCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t CompiledShapeCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
 }
 
 }  // namespace avm

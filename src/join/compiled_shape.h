@@ -108,6 +108,12 @@ class CompiledShapeCache {
   /// Entries currently memoized (test hook).
   size_t size() const;
 
+  /// Lifetime hit/miss totals of Get(). Always maintained (they live under
+  /// the cache lock anyway); also mirrored into the telemetry registry as
+  /// CounterId::kShapeCacheHits / kShapeCacheMisses when enabled.
+  uint64_t hits() const;
+  uint64_t misses() const;
+
  private:
   struct KeyHash {
     size_t operator()(const std::vector<int64_t>& key) const {
@@ -123,6 +129,8 @@ class CompiledShapeCache {
   std::unordered_map<std::vector<int64_t>,
                      std::shared_ptr<const CompiledShape>, KeyHash>
       cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
 };
 
 }  // namespace avm

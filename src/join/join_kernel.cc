@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "telemetry/metrics.h"
 
 namespace avm {
 
@@ -109,8 +110,17 @@ Status JoinAggregateChunkPair(const Chunk& left, const RightOperand& right,
   const size_t num_attrs = right.chunk->num_attrs();
   CellCoord base(nd);  // image of the left cell in right space
 
-  if (ChooseJoinStrategy(compiled.num_offsets(), right.chunk->num_cells()) ==
-      JoinStrategy::kProbeOffsets) {
+  // Path accumulators, folded into the registry once per invocation so the
+  // per-cell loops never touch telemetry state (only these locals).
+  uint64_t interior_cells = 0;
+  uint64_t boundary_cells = 0;
+  uint64_t probes = 0;
+  uint64_t scanned_cells = 0;
+  const bool probe_strategy =
+      ChooseJoinStrategy(compiled.num_offsets(), right.chunk->num_cells()) ==
+      JoinStrategy::kProbeOffsets;
+
+  if (probe_strategy) {
     const Box interior = compiled.InteriorBox(right_box);
     const std::vector<int64_t>& deltas = compiled.linear_deltas();
     const int64_t* components = compiled.offset_components();
@@ -125,7 +135,9 @@ Status JoinAggregateChunkPair(const Chunk& left, const RightOperand& right,
           break;
         }
       }
+      probes += deltas.size();
       if (is_interior) {
+        ++interior_cells;
         // Fast path: every probe is base_offset + precomputed delta.
         const int64_t base_offset =
             static_cast<int64_t>(compiled.OffsetInChunk(base, right_box));
@@ -137,6 +149,7 @@ Status JoinAggregateChunkPair(const Chunk& left, const RightOperand& right,
               builder.Fold({values, num_attrs}, multiplicity));
         }
       } else {
+        ++boundary_cells;
         // Boundary path: per-dimension checks against the chunk box; probes
         // that stay inside linearize against the box origin directly.
         const std::vector<int64_t>& extents = right.grid->extents();
@@ -168,6 +181,7 @@ Status JoinAggregateChunkPair(const Chunk& left, const RightOperand& right,
       const auto left_coord = left.CoordOfRow(row);
       mapping.ApplyInto(left_coord, &base);
       builder.BeginLeftCell(left_coord);
+      scanned_cells += right.chunk->num_cells();
       for (size_t rrow = 0; rrow < right.chunk->num_cells(); ++rrow) {
         const auto right_coord = right.chunk->CoordOfRow(rrow);
         for (size_t d = 0; d < nd; ++d) {
@@ -178,6 +192,14 @@ Status JoinAggregateChunkPair(const Chunk& left, const RightOperand& right,
             builder.Fold(right.chunk->ValuesOfRow(rrow), multiplicity));
       }
     }
+  }
+  if (TelemetryEnabled()) {
+    CountAdd(probe_strategy ? CounterId::kJoinProbePairs
+                            : CounterId::kJoinScanPairs);
+    CountAdd(CounterId::kJoinInteriorCells, interior_cells);
+    CountAdd(CounterId::kJoinBoundaryCells, boundary_cells);
+    CountAdd(CounterId::kJoinProbes, probes);
+    CountAdd(CounterId::kJoinScannedCells, scanned_cells);
   }
   return Status::OK();
 }

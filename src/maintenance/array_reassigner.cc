@@ -5,6 +5,8 @@
 #include <tuple>
 #include <vector>
 
+#include "telemetry/metrics.h"
+
 namespace avm {
 
 namespace {
@@ -137,6 +139,10 @@ Status ReassignArrayChunks(
     plan->array_moves.push_back({ref, home.value()});
     done.insert(a);
   }
+  // Algorithm 3 walks the scored (array chunk, view chunk) list once;
+  // accepts are the storage moves actually emitted (both passes).
+  CountAdd(CounterId::kPlanStage3Candidates, ordered.size());
+  CountAdd(CounterId::kPlanStage3Accepts, done.size());
   return Status::OK();
 }
 

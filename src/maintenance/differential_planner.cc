@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "telemetry/metrics.h"
 
 namespace avm {
 
@@ -101,6 +102,12 @@ Result<DifferentialPlanResult> PlanDifferentialView(
     tracker.Commit(deltas);
     plan.joins.push_back({index, best});
   }
+  // Algorithm 1 evaluates every worker for every pair and commits one
+  // assignment per pair.
+  CountAdd(CounterId::kPlanStage1Candidates,
+           static_cast<uint64_t>(order.size()) *
+               static_cast<uint64_t>(num_workers));
+  CountAdd(CounterId::kPlanStage1Accepts, order.size());
 
   // Default (no-reassignment) view homes; stage 2 overwrites these.
   const Catalog* catalog = view.left_base().catalog();

@@ -1,6 +1,7 @@
 #include "maintenance/executor.h"
 
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
@@ -13,6 +14,8 @@
 #include "join/join_kernel.h"
 #include "maintenance/makespan_tracker.h"
 #include "maintenance/plan_validator.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace avm {
 
@@ -98,8 +101,61 @@ struct NodeJoinWork {
   std::vector<size_t> join_indices;  // into plan.joins, ascending
   std::map<ChunkId, Chunk> fragments;
   uint64_t joins_executed = 0;
+  uint64_t bytes_joined = 0;
   Status status = Status::OK();
 };
+
+/// Exports the simulated per-node clock deltas of this execution as spans on
+/// synthetic "sim" timelines (one network lane and one cpu lane per node),
+/// positioned at the node's pre-execution clock value so consecutive batches
+/// tile the simulated time axis. Also folds the batch totals into the
+/// registry counters that the acceptance checks reconcile against the
+/// MakespanTracker.
+void EmitSimulatedClockTelemetry(const ClusterClockSnapshot& entry,
+                                 const ExecutionStats& stats,
+                                 int num_workers) {
+  TraceCollector& collector = TraceCollector::Global();
+  uint64_t total_ntwk_bytes = 0;
+  uint64_t total_cpu_bytes = 0;
+  for (size_t i = 0; i < stats.per_node.size(); ++i) {
+    const NodeActivity& a = stats.per_node[i];
+    total_ntwk_bytes += a.ntwk_bytes;
+    total_cpu_bytes += a.cpu_bytes;
+    const bool coordinator = i == static_cast<size_t>(num_workers);
+    const NodeClock& then = coordinator ? entry.coordinator : entry.workers[i];
+    const int64_t node =
+        coordinator ? kCoordinatorNode : static_cast<int64_t>(i);
+    if (a.ntwk_seconds > 0.0 || a.ntwk_bytes > 0) {
+      TraceEvent e;
+      e.name = "sim.ntwk";
+      e.cat = "sim";
+      e.ts_ns = static_cast<int64_t>(then.ntwk_seconds * 1e9);
+      e.dur_ns = static_cast<int64_t>(a.ntwk_seconds * 1e9);
+      e.tid = kSimTidBase + 2 * static_cast<int32_t>(i);
+      e.num_args = 2;
+      e.args[0] = TraceArg{"node", node};
+      e.args[1] = TraceArg{"bytes", static_cast<int64_t>(a.ntwk_bytes)};
+      collector.Emit(e);
+    }
+    if (a.cpu_seconds > 0.0 || a.cpu_bytes > 0) {
+      TraceEvent e;
+      e.name = "sim.cpu";
+      e.cat = "sim";
+      e.ts_ns = static_cast<int64_t>(then.cpu_seconds * 1e9);
+      e.dur_ns = static_cast<int64_t>(a.cpu_seconds * 1e9);
+      e.tid = kSimTidBase + 2 * static_cast<int32_t>(i) + 1;
+      e.num_args = 2;
+      e.args[0] = TraceArg{"node", node};
+      e.args[1] = TraceArg{"bytes", static_cast<int64_t>(a.cpu_bytes)};
+      collector.Emit(e);
+    }
+  }
+  CountAdd(CounterId::kExecBytesTransferred, total_ntwk_bytes);
+  CountAdd(CounterId::kExecBytesJoined, total_cpu_bytes);
+  CountAdd(CounterId::kExecJoinsExecuted, stats.joins_executed);
+  CountAdd(CounterId::kExecFragmentsMerged, stats.fragments_merged);
+  CountAdd(CounterId::kExecDeltaChunksMerged, stats.delta_chunks_merged);
+}
 
 }  // namespace
 
@@ -111,6 +167,10 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
   if (view == nullptr) return Status::InvalidArgument("null view");
   ExecutionStats stats;
   Cluster* cluster = view->array().cluster();
+  // Pre-execution clocks: per-node activity (and the sim-timeline spans) are
+  // deltas against this. Cheap (one NodeClock copy per node), so always on.
+  const ClusterClockSnapshot entry_clocks = ClusterClockSnapshot::Take(*cluster);
+  ScopedSpan exec_span("exec.batch", "exec");
   Catalog* catalog = view->array().catalog();
   const int num_workers = cluster->num_workers();
   const RefResolver resolver(view, left_delta, right_delta);
@@ -130,15 +190,20 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
   // Step 1: co-location transfers (x variables). Senders' clocks charged.
   // Serial: transfers mutate node stores, and later steps depend on every
   // replica being in place.
-  for (const auto& t : plan.transfers) {
-    AVM_RETURN_IF_ERROR(
-        ValidatePlanNode(t.from, num_workers, "transfer source"));
-    AVM_RETURN_IF_ERROR(
-        ValidatePlanNode(t.to, num_workers, "transfer destination"));
-    AVM_ASSIGN_OR_RETURN(DistributedArray * array,
-                         resolver.ArrayOf(t.chunk.side));
-    AVM_RETURN_IF_ERROR(
-        cluster->TransferChunk(array->id(), t.chunk.id, t.from, t.to));
+  {
+    ScopedSpan transfer_span("exec.transfers", "exec");
+    transfer_span.AddArg("transfers",
+                         static_cast<int64_t>(plan.transfers.size()));
+    for (const auto& t : plan.transfers) {
+      AVM_RETURN_IF_ERROR(
+          ValidatePlanNode(t.from, num_workers, "transfer source"));
+      AVM_RETURN_IF_ERROR(
+          ValidatePlanNode(t.to, num_workers, "transfer destination"));
+      AVM_ASSIGN_OR_RETURN(DistributedArray * array,
+                           resolver.ArrayOf(t.chunk.side));
+      AVM_RETURN_IF_ERROR(
+          cluster->TransferChunk(array->id(), t.chunk.id, t.from, t.to));
+    }
   }
 
   // Step 2: joins (z variables), grouped by executing node and run
@@ -191,9 +256,19 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
 
   ConcurrentClockBank clock_bank(num_workers);
   const CostModel& cost_model = cluster->cost_model();
+  // optional<> so the phase span can close right after the clock commit
+  // without re-scoping the fan-out below.
+  std::optional<ScopedSpan> join_phase_span(std::in_place, "exec.joins",
+                                            "exec");
+  join_phase_span->AddArg("nodes", static_cast<int64_t>(tasks.size()));
   cluster->pool()->ParallelFor(tasks.size(), [&](size_t t) {
     NodeJoinWork& work = *tasks[t];
     const NodeId k = work.node;
+    // One wall-clock span per simulated node's join task, on whichever host
+    // thread ran it; compare against the node's "sim.cpu" lane to see how
+    // simulated charges line up with host execution.
+    ScopedSpan node_span("exec.node_joins", "exec");
+    node_span.AddArg("node", k);
     const ChunkStore& store = cluster->store(k);
     for (size_t i : work.join_indices) {
       const MaintenancePlan::Join& join = plan.joins[i];
@@ -209,7 +284,8 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
             std::to_string(k));
         return;
       }
-      clock_bank.AddCpu(k, cost_model.JoinSeconds(pair.bytes));
+      clock_bank.AddCpu(k, cost_model.JoinSeconds(pair.bytes), pair.bytes);
+      work.bytes_joined += pair.bytes;
       if (pair.dir_ab) {
         const RightOperand rop{b_chunk, pair.b.id, &b_array->grid()};
         work.status = JoinAggregateChunkPair(
@@ -227,8 +303,12 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
         ++work.joins_executed;
       }
     }
+    node_span.AddArg("joins", static_cast<int64_t>(work.joins_executed));
+    node_span.AddArg("bytes_joined",
+                     static_cast<int64_t>(work.bytes_joined));
   });
   clock_bank.CommitTo(cluster);
+  join_phase_span.reset();
   // Surface the first failure in ascending node order (deterministic
   // regardless of which task hit it first on the wall clock).
   for (const NodeJoinWork* work : tasks) {
@@ -238,6 +318,8 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
 
   // Step 3a: relocate view chunks whose planned home differs from their
   // current node (the y_v reassignment).
+  std::optional<ScopedSpan> merge_span(std::in_place, "exec.view_merge",
+                                       "exec");
   const ArrayId view_id = view->array().id();
   for (const auto& [v, home] : plan.view_home) {
     AVM_RETURN_IF_ERROR(ValidatePlanNode(home, num_workers, "view home"));
@@ -282,6 +364,9 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
       ++stats.fragments_merged;
     }
   }
+  merge_span->AddArg("fragments",
+                     static_cast<int64_t>(stats.fragments_merged));
+  merge_span.reset();
 
   // Step 4: stage-3 storage redistribution of base chunks (free: the data
   // was already replicated during maintenance; only primaries change).
@@ -306,6 +391,8 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
   // placement decisions, and catalog writes stay on the control thread; the
   // cell-level upserts — each touching a distinct base chunk — fan out on
   // the pool once every operand is in place.
+  std::optional<ScopedSpan> fold_span(std::in_place, "exec.delta_fold",
+                                      "exec");
   std::map<MChunkRef, NodeId> planned_delta_home;
   for (const auto& move : plan.array_moves) {
     if (!IsDeltaSide(move.chunk.side)) continue;
@@ -378,7 +465,11 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
     catalog->SetChunkBytes(job.base_id, job.chunk_id,
                            job.base_chunk->SizeBytes());
   }
+  fold_span->AddArg("delta_chunks",
+                    static_cast<int64_t>(stats.delta_chunks_merged));
+  fold_span.reset();
 
+  ScopedSpan cleanup_span("exec.cleanup", "exec");
   // Step 6: drop every non-primary replica of the persistent arrays and all
   // delta copies (scratch space reclaimed after maintenance).
   std::vector<ArrayId> persistent = {view->left_base().id(), view_id};
@@ -420,6 +511,10 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
     ValidateCatalogStoreConsistency(*catalog, *cluster, persistent);
   }
 
+  stats.per_node = entry_clocks.ActivitySince(*cluster);
+  if (TelemetryEnabled()) {
+    EmitSimulatedClockTelemetry(entry_clocks, stats, num_workers);
+  }
   return stats;
 }
 

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "cluster/cluster.h"
 #include "cluster/distributed_array.h"
 #include "common/result.h"
 #include "maintenance/types.h"
@@ -16,6 +18,10 @@ struct ExecutionStats {
   uint64_t view_chunks_touched = 0; // view chunks merged into or relocated
   uint64_t delta_chunks_merged = 0; // delta chunks folded into the base
   uint64_t base_chunks_moved = 0;   // stage-3 reassignments applied
+  /// Simulated clock deltas over this execution, workers 0..N-1 then the
+  /// coordinator. The byte totals are exact, so telemetry consumers (and
+  /// tests) can reconcile trace spans against MakespanTracker charges.
+  std::vector<NodeActivity> per_node;
 };
 
 /// Executes a maintenance plan for real against the cluster: performs the

@@ -4,7 +4,6 @@
 #include <vector>
 
 #include "common/check.h"
-#include "common/stopwatch.h"
 #include "maintenance/array_reassigner.h"
 #include "maintenance/baseline_planner.h"
 #include "maintenance/differential_planner.h"
@@ -12,6 +11,9 @@
 #include "maintenance/plan_validator.h"
 #include "maintenance/triple_gen.h"
 #include "maintenance/view_reassigner.h"
+#include "telemetry/metrics.h"
+#include "telemetry/stopwatch.h"
+#include "telemetry/trace.h"
 
 namespace avm {
 
@@ -67,6 +69,16 @@ Result<MaintenanceReport> ViewMaintainer::ApplyBatch(
   const int num_workers = cluster->num_workers();
   const std::string tag = "__delta" + std::to_string(batch_counter_++);
 
+  // The whole-batch telemetry window: simulated clocks are delta'd against
+  // this snapshot, registry counters against `metrics_before`.
+  const ClusterClockSnapshot batch_entry = ClusterClockSnapshot::Take(*cluster);
+  const bool telemetry = TelemetryEnabled();
+  MetricsSnapshot metrics_before;
+  if (telemetry) metrics_before = MetricsRegistry::Global().Snapshot();
+  Stopwatch batch_clock;
+  ScopedSpan batch_span("maint.batch", "maint");
+  batch_span.AddArg("batch", static_cast<int64_t>(batch_counter_ - 1));
+
   MaintenanceReport report;
   report.delta_cells = left_delta_cells.NumCells() +
                        (right_delta_cells != nullptr
@@ -76,6 +88,7 @@ Result<MaintenanceReport> ViewMaintainer::ApplyBatch(
   // Split the raw batches into pure inserts and overwrites of existing
   // cells; the latter take the value-correction path after the insert-side
   // maintenance (see maintenance/modifications.h).
+  std::optional<ScopedSpan> split_span(std::in_place, "maint.split", "maint");
   SparseArray left_ins(view_->left_base().schema());
   SparseArray lmod_old(view_->left_base().schema());
   SparseArray lmod_new(view_->left_base().schema());
@@ -93,8 +106,11 @@ Result<MaintenanceReport> ViewMaintainer::ApplyBatch(
             .status());
   }
   report.modified_cells = lmod_new.NumCells() + rmod_new.NumCells();
+  split_span.reset();
 
   // Ingest the insert sides at the coordinator as transient delta arrays.
+  std::optional<ScopedSpan> ingest_span(std::in_place, "maint.ingest",
+                                        "maint");
   AVM_ASSIGN_OR_RETURN(
       DistributedArray left_delta,
       IngestDelta(left_ins, view_->left_base(),
@@ -110,14 +126,21 @@ Result<MaintenanceReport> ViewMaintainer::ApplyBatch(
   report.num_delta_chunks =
       left_delta.NumChunks() +
       (right_delta.has_value() ? right_delta->NumChunks() : 0);
+  ingest_span.reset();
 
   // Metadata preprocessing: the update triples U_0.
   Stopwatch triple_clock;
-  AVM_ASSIGN_OR_RETURN(
-      TripleSet triples,
-      GenerateTriples(*view_, &left_delta,
-                      right_delta.has_value() ? &*right_delta : nullptr,
-                      &footprint_cache_));
+  TripleSet triples;
+  {
+    ScopedSpan triple_span("plan.triples", "plan");
+    AVM_ASSIGN_OR_RETURN(
+        TripleSet triples_tmp,
+        GenerateTriples(*view_, &left_delta,
+                        right_delta.has_value() ? &*right_delta : nullptr,
+                        &footprint_cache_));
+    triples = std::move(triples_tmp);
+    triple_span.AddArg("pairs", static_cast<int64_t>(triples.pairs.size()));
+  }
   report.triple_gen_seconds = triple_clock.ElapsedSeconds();
   report.num_pairs = triples.pairs.size();
   report.num_triples = triples.num_triples();
@@ -134,11 +157,13 @@ Result<MaintenanceReport> ViewMaintainer::ApplyBatch(
   const CostModel* cost = &cluster->cost_model();
   switch (method_) {
     case MaintenanceMethod::kBaseline: {
+      ScopedSpan stage_span("plan.baseline", "plan");
       AVM_ASSIGN_OR_RETURN(plan,
                            PlanBaseline(*view_, triples, num_workers));
       break;
     }
     case MaintenanceMethod::kDifferential: {
+      ScopedSpan stage_span("plan.stage1", "plan");
       AVM_ASSIGN_OR_RETURN(
           DifferentialPlanResult stage1,
           PlanDifferentialView(*view_, triples, num_workers,
@@ -147,24 +172,35 @@ Result<MaintenanceReport> ViewMaintainer::ApplyBatch(
       break;
     }
     case MaintenanceMethod::kReassign: {
-      AVM_ASSIGN_OR_RETURN(
-          DifferentialPlanResult stage1,
-          PlanDifferentialView(*view_, triples, num_workers,
-                               cluster->cost_model(), options_));
-      plan = std::move(stage1.plan);
-      replicas = std::move(stage1.replicas);
+      std::optional<DifferentialPlanResult> stage1;
+      {
+        ScopedSpan stage_span("plan.stage1", "plan");
+        AVM_ASSIGN_OR_RETURN(
+            DifferentialPlanResult result,
+            PlanDifferentialView(*view_, triples, num_workers,
+                                 cluster->cost_model(), options_));
+        stage1 = std::move(result);
+      }
+      plan = std::move(stage1->plan);
+      replicas = std::move(stage1->replicas);
       if constexpr (kDebugChecksEnabled) {
         ValidateMaintenancePlan(plan, triples, num_workers, cost);
       }
-      AVM_RETURN_IF_ERROR(ReassignViewChunks(triples, num_workers,
-                                             cluster->cost_model(), options_,
-                                             &stage1.tracker, &plan));
+      {
+        ScopedSpan stage_span("plan.stage2", "plan");
+        AVM_RETURN_IF_ERROR(ReassignViewChunks(triples, num_workers,
+                                               cluster->cost_model(), options_,
+                                               &stage1->tracker, &plan));
+      }
       if constexpr (kDebugChecksEnabled) {
         ValidateMaintenancePlan(plan, triples, num_workers, cost);
       }
-      AVM_RETURN_IF_ERROR(ReassignArrayChunks(*view_, triples, history_,
-                                              num_workers, options_, replicas,
-                                              &plan));
+      {
+        ScopedSpan stage_span("plan.stage3", "plan");
+        AVM_RETURN_IF_ERROR(ReassignArrayChunks(*view_, triples, history_,
+                                                num_workers, options_,
+                                                replicas, &plan));
+      }
       break;
     }
   }
@@ -186,6 +222,9 @@ Result<MaintenanceReport> ViewMaintainer::ApplyBatch(
 
   // Value corrections for overwritten cells (after the insert merge, so
   // fresh cells are corrected too). Still inside the measured window.
+  std::optional<ScopedSpan> mods_span(std::in_place, "maint.modifications",
+                                      "maint");
+  mods_span->AddArg("cells", static_cast<int64_t>(report.modified_cells));
   if (view_->definition().IsSelfJoin()) {
     if (lmod_new.NumCells() > 0) {
       AVM_RETURN_IF_ERROR(
@@ -200,6 +239,7 @@ Result<MaintenanceReport> ViewMaintainer::ApplyBatch(
           ApplyRightSideModifications(view_, rmod_old, rmod_new).status());
     }
   }
+  mods_span.reset();
   report.maintenance_seconds = before.MakespanSince(*cluster);
 
   // Record the batch for future array reassignment and drop the transient
@@ -207,6 +247,31 @@ Result<MaintenanceReport> ViewMaintainer::ApplyBatch(
   history_.Push(MakeHistoryBatch(triples));
   catalog->UnregisterArray(left_delta.id());
   if (right_delta.has_value()) catalog->UnregisterArray(right_delta->id());
+
+  // Per-batch activity breakdown: simulated per-node clock deltas over the
+  // whole batch window (always; exact bytes), plus registry counter deltas
+  // when telemetry is on.
+  report.per_node = batch_entry.ActivitySince(*cluster);
+  for (const NodeActivity& a : report.per_node) {
+    report.bytes_transferred += a.ntwk_bytes;
+    report.bytes_joined += a.cpu_bytes;
+  }
+  if (telemetry) {
+    const MetricsSnapshot delta =
+        MetricsRegistry::Global().Snapshot().DeltaSince(metrics_before);
+    report.telemetry_collected = true;
+    report.plan_candidates = delta.counter(CounterId::kPlanStage1Candidates) +
+                             delta.counter(CounterId::kPlanStage2Candidates) +
+                             delta.counter(CounterId::kPlanStage3Candidates);
+    report.plan_accepts = delta.counter(CounterId::kPlanStage1Accepts) +
+                          delta.counter(CounterId::kPlanStage2Accepts) +
+                          delta.counter(CounterId::kPlanStage3Accepts);
+    report.shape_cache_hits = delta.counter(CounterId::kShapeCacheHits);
+    report.shape_cache_misses = delta.counter(CounterId::kShapeCacheMisses);
+    CountAdd(CounterId::kBatchesMaintained);
+    HistogramRecord(HistogramId::kBatchApplySeconds,
+                    batch_clock.ElapsedSeconds());
+  }
 
   return report;
 }

@@ -59,6 +59,22 @@ struct MaintenanceReport {
   /// signed value-correction pass, see maintenance/modifications.h).
   uint64_t modified_cells = 0;
   ExecutionStats exec;
+
+  /// Simulated clock deltas over the whole batch window (ingest + execution
+  /// + modification corrections), workers 0..N-1 then the coordinator.
+  /// Always populated; the byte totals are exact.
+  std::vector<NodeActivity> per_node;
+  /// Network/CPU byte totals behind `per_node`, summed over all nodes.
+  uint64_t bytes_transferred = 0;
+  uint64_t bytes_joined = 0;
+  /// Registry counter deltas scoped to this batch. Only populated while
+  /// telemetry is enabled (`telemetry_collected`); the simulated-clock
+  /// fields above do not depend on telemetry.
+  bool telemetry_collected = false;
+  uint64_t plan_candidates = 0;    // Algorithms 1-3 candidate evaluations
+  uint64_t plan_accepts = 0;       // Algorithms 1-3 committed decisions
+  uint64_t shape_cache_hits = 0;
+  uint64_t shape_cache_misses = 0;
 };
 
 /// Keeps one materialized view consistent under cyclic batch updates using a

@@ -118,14 +118,20 @@ size_t ConcurrentClockBank::Index(NodeId node) const {
   return static_cast<size_t>(node);
 }
 
-void ConcurrentClockBank::AddNetwork(NodeId node, double seconds) {
+void ConcurrentClockBank::AddNetwork(NodeId node, double seconds,
+                                     uint64_t bytes) {
   AVM_DCHECK_GE(seconds, 0.0) << "negative network charge on " << node;
-  AtomicAdd(&slots_[Index(node)].ntwk, seconds);
+  Slot& slot = slots_[Index(node)];
+  AtomicAdd(&slot.ntwk, seconds);
+  slot.ntwk_bytes.fetch_add(bytes, std::memory_order_relaxed);
 }
 
-void ConcurrentClockBank::AddCpu(NodeId node, double seconds) {
+void ConcurrentClockBank::AddCpu(NodeId node, double seconds,
+                                 uint64_t bytes) {
   AVM_DCHECK_GE(seconds, 0.0) << "negative cpu charge on " << node;
-  AtomicAdd(&slots_[Index(node)].cpu, seconds);
+  Slot& slot = slots_[Index(node)];
+  AtomicAdd(&slot.cpu, seconds);
+  slot.cpu_bytes.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 double ConcurrentClockBank::ntwk(NodeId node) const {
@@ -136,17 +142,26 @@ double ConcurrentClockBank::cpu(NodeId node) const {
   return slots_[Index(node)].cpu.load(std::memory_order_relaxed);
 }
 
+uint64_t ConcurrentClockBank::ntwk_bytes(NodeId node) const {
+  return slots_[Index(node)].ntwk_bytes.load(std::memory_order_relaxed);
+}
+
+uint64_t ConcurrentClockBank::cpu_bytes(NodeId node) const {
+  return slots_[Index(node)].cpu_bytes.load(std::memory_order_relaxed);
+}
+
 void ConcurrentClockBank::CommitTo(Cluster* cluster) const {
-  for (NodeId n = 0; n < num_workers_; ++n) {
-    const Slot& slot = slots_[static_cast<size_t>(n)];
-    NodeClock& clock = cluster->clock(n);
+  auto apply = [](const Slot& slot, NodeClock& clock) {
     clock.ntwk_seconds += slot.ntwk.load(std::memory_order_relaxed);
     clock.cpu_seconds += slot.cpu.load(std::memory_order_relaxed);
+    clock.ntwk_bytes += slot.ntwk_bytes.load(std::memory_order_relaxed);
+    clock.cpu_bytes += slot.cpu_bytes.load(std::memory_order_relaxed);
+  };
+  for (NodeId n = 0; n < num_workers_; ++n) {
+    apply(slots_[static_cast<size_t>(n)], cluster->clock(n));
   }
-  const Slot& coord = slots_[static_cast<size_t>(num_workers_)];
-  NodeClock& clock = cluster->clock(kCoordinatorNode);
-  clock.ntwk_seconds += coord.ntwk.load(std::memory_order_relaxed);
-  clock.cpu_seconds += coord.cpu.load(std::memory_order_relaxed);
+  apply(slots_[static_cast<size_t>(num_workers_)],
+        cluster->clock(kCoordinatorNode));
 }
 
 }  // namespace avm

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <set>
 #include <vector>
 
@@ -81,15 +82,18 @@ class ConcurrentClockBank {
 
   int num_workers() const { return num_workers_; }
 
-  /// Adds simulated seconds to a node's clock. Safe to call concurrently
-  /// (distinct or equal nodes).
-  void AddNetwork(NodeId node, double seconds);
-  void AddCpu(NodeId node, double seconds);
+  /// Adds simulated seconds to a node's clock, plus the byte total behind
+  /// the charge (kept exactly, for telemetry cross-checks). Safe to call
+  /// concurrently (distinct or equal nodes).
+  void AddNetwork(NodeId node, double seconds, uint64_t bytes = 0);
+  void AddCpu(NodeId node, double seconds, uint64_t bytes = 0);
 
   /// Accumulated values (not synchronized with concurrent writers; read
   /// after the parallel phase joined).
   double ntwk(NodeId node) const;
   double cpu(NodeId node) const;
+  uint64_t ntwk_bytes(NodeId node) const;
+  uint64_t cpu_bytes(NodeId node) const;
 
   /// Adds every slot's accumulated seconds onto the cluster's simulated
   /// clocks, coordinator last, workers in ascending id order. Call once per
@@ -100,6 +104,8 @@ class ConcurrentClockBank {
   struct Slot {
     std::atomic<double> ntwk{0.0};
     std::atomic<double> cpu{0.0};
+    std::atomic<uint64_t> ntwk_bytes{0};
+    std::atomic<uint64_t> cpu_bytes{0};
   };
 
   size_t Index(NodeId node) const;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "telemetry/metrics.h"
 
 namespace avm {
 
@@ -100,6 +101,12 @@ Status ReassignViewChunks(const TripleSet& triples, int num_workers,
     tracker->Commit(deltas);
     plan->view_home[v] = best;
   }
+  // Algorithm 2 evaluates every worker as a home for every affected view
+  // chunk and commits one home per chunk.
+  CountAdd(CounterId::kPlanStage2Candidates,
+           static_cast<uint64_t>(order.size()) *
+               static_cast<uint64_t>(num_workers));
+  CountAdd(CounterId::kPlanStage2Accepts, order.size());
   return Status::OK();
 }
 

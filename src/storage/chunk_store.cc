@@ -1,9 +1,33 @@
 #include "storage/chunk_store.h"
 
+#include "telemetry/metrics.h"
+
 namespace avm {
+
+namespace {
+
+/// Residency gauges aggregate over every ChunkStore in the process (all
+/// simulated nodes). They track deltas from the moment telemetry was
+/// enabled, so chunks stored before enabling are not counted.
+void TrackResident(int64_t chunks_delta, int64_t bytes_delta) {
+  if (chunks_delta != 0) {
+    GaugeAdd(GaugeId::kStoreResidentChunks, chunks_delta);
+  }
+  if (bytes_delta != 0) GaugeAdd(GaugeId::kStoreResidentBytes, bytes_delta);
+}
+
+}  // namespace
 
 uint64_t ChunkStore::Put(ArrayId array, ChunkId chunk, Chunk data) {
   const uint64_t bytes = data.SizeBytes();
+  if (TelemetryEnabled()) {
+    auto it = chunks_.find(Key{array, chunk});
+    const bool existed = it != chunks_.end();
+    TrackResident(existed ? 0 : 1,
+                  static_cast<int64_t>(bytes) -
+                      (existed ? static_cast<int64_t>(it->second.SizeBytes())
+                               : 0));
+  }
   chunks_.insert_or_assign(Key{array, chunk}, std::move(data));
   return bytes;
 }
@@ -23,6 +47,9 @@ Chunk& ChunkStore::GetOrCreate(ArrayId array, ChunkId chunk, size_t num_dims,
   auto it = chunks_.find(Key{array, chunk});
   if (it == chunks_.end()) {
     it = chunks_.emplace(Key{array, chunk}, Chunk(num_dims, num_attrs)).first;
+    if (TelemetryEnabled()) {
+      TrackResident(1, static_cast<int64_t>(it->second.SizeBytes()));
+    }
   }
   return it->second;
 }
@@ -32,6 +59,13 @@ bool ChunkStore::Contains(ArrayId array, ChunkId chunk) const {
 }
 
 bool ChunkStore::Erase(ArrayId array, ChunkId chunk) {
+  if (TelemetryEnabled()) {
+    auto it = chunks_.find(Key{array, chunk});
+    if (it == chunks_.end()) return false;
+    TrackResident(-1, -static_cast<int64_t>(it->second.SizeBytes()));
+    chunks_.erase(it);
+    return true;
+  }
   return chunks_.erase(Key{array, chunk}) > 0;
 }
 
@@ -52,10 +86,16 @@ void ChunkStore::CheckInvariants() const {
 
 size_t ChunkStore::EraseArray(ArrayId array) {
   size_t dropped = 0;
+  int64_t bytes_dropped = 0;
+  const bool telemetry = TelemetryEnabled();
   auto it = chunks_.lower_bound(Key{array, 0});
   while (it != chunks_.end() && it->first.first == array) {
+    if (telemetry) bytes_dropped += static_cast<int64_t>(it->second.SizeBytes());
     it = chunks_.erase(it);
     ++dropped;
+  }
+  if (telemetry && dropped > 0) {
+    TrackResident(-static_cast<int64_t>(dropped), -bytes_dropped);
   }
   return dropped;
 }

@@ -1,0 +1,187 @@
+#include "telemetry/metrics.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+namespace avm {
+
+namespace {
+
+/// Maps a duration to its power-of-two-nanosecond bucket.
+size_t BucketFor(double seconds) {
+  if (seconds <= 0.0) return 0;
+  const double ns = seconds * 1e9;
+  // Saturate instead of overflowing the cast for absurd durations.
+  if (ns >= 9e18) return kNumHistogramBuckets - 1;
+  const uint64_t n = static_cast<uint64_t>(ns);
+  const size_t bucket = static_cast<size_t>(std::bit_width(n));
+  return bucket < kNumHistogramBuckets ? bucket : kNumHistogramBuckets - 1;
+}
+
+void AppendJsonKey(std::string* out, const char* name) {
+  out->push_back('"');
+  out->append(name);  // metric names are literals, never need escaping
+  out->append("\":");
+}
+
+}  // namespace
+
+double HistogramBucketUpperSeconds(size_t bucket) {
+  if (bucket == 0) return 1e-9;
+  return static_cast<double>(uint64_t{1} << bucket) * 1e-9;
+}
+
+uint64_t MetricsSnapshot::histogram_total(HistogramId id) const {
+  uint64_t total = 0;
+  for (uint64_t count : histograms[static_cast<size_t>(id)]) total += count;
+  return total;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& base) const {
+  MetricsSnapshot delta;
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    delta.counters[i] = counters[i] - base.counters[i];
+  }
+  delta.gauges = gauges;
+  for (size_t h = 0; h < kNumHistograms; ++h) {
+    for (size_t b = 0; b < kNumHistogramBuckets; ++b) {
+      delta.histograms[h][b] = histograms[h][b] - base.histograms[h][b];
+    }
+  }
+  return delta;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::MetricShard* MetricsRegistry::LocalShard() {
+  // Owned by the registry, cached per thread. Shards are zeroed, never
+  // freed, so the cached pointer cannot dangle.
+  thread_local MetricShard* shard = nullptr;
+  if (shard == nullptr) {
+    auto owned = std::make_unique<MetricShard>();
+    shard = owned.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::move(owned));
+  }
+  return shard;
+}
+
+void MetricsRegistry::Add(CounterId id, uint64_t v) {
+  std::atomic<uint64_t>& slot = LocalShard()->counters[static_cast<size_t>(id)];
+  // Single-writer slot: a relaxed load+store pair is enough (and cheaper
+  // than fetch_add on some targets); Snapshot only needs eventual totals.
+  slot.store(slot.load(std::memory_order_relaxed) + v,
+             std::memory_order_relaxed);
+}
+
+void MetricsRegistry::GaugeAdd(GaugeId id, int64_t v) {
+  gauges_[static_cast<size_t>(id)].fetch_add(v, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::GaugeSet(GaugeId id, int64_t v) {
+  gauges_[static_cast<size_t>(id)].store(v, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Record(HistogramId id, double seconds) {
+  std::atomic<uint64_t>& slot =
+      LocalShard()->histograms[static_cast<size_t>(id)][BucketFor(seconds)];
+  slot.store(slot.load(std::memory_order_relaxed) + 1,
+             std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    for (size_t i = 0; i < kNumCounters; ++i) {
+      snapshot.counters[i] +=
+          shard->counters[i].load(std::memory_order_relaxed);
+    }
+    for (size_t h = 0; h < kNumHistograms; ++h) {
+      for (size_t b = 0; b < kNumHistogramBuckets; ++b) {
+        snapshot.histograms[h][b] +=
+            shard->histograms[h][b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+  for (size_t g = 0; g < kNumGauges; ++g) {
+    snapshot.gauges[g] = gauges_[g].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& shard : shards_) {
+    for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& hist : shard->histograms) {
+      for (auto& b : hist) b.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+}
+
+size_t MetricsRegistry::NumShardsForTesting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.size();
+}
+
+std::string MetricsJson(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  char buf[64];
+  out.append("{\n  \"counters\": {");
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    if (i != 0) out.push_back(',');
+    out.append("\n    ");
+    AppendJsonKey(&out, CounterName(static_cast<CounterId>(i)));
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, snapshot.counters[i]);
+    out.append(buf);
+  }
+  out.append("\n  },\n  \"gauges\": {");
+  for (size_t g = 0; g < kNumGauges; ++g) {
+    if (g != 0) out.push_back(',');
+    out.append("\n    ");
+    AppendJsonKey(&out, GaugeName(static_cast<GaugeId>(g)));
+    std::snprintf(buf, sizeof(buf), "%" PRId64, snapshot.gauges[g]);
+    out.append(buf);
+  }
+  out.append("\n  },\n  \"histograms\": {");
+  for (size_t h = 0; h < kNumHistograms; ++h) {
+    const HistogramId id = static_cast<HistogramId>(h);
+    if (h != 0) out.push_back(',');
+    out.append("\n    ");
+    AppendJsonKey(&out, HistogramName(id));
+    std::snprintf(buf, sizeof(buf), "{\"total\": %" PRIu64 ", \"buckets\": [",
+                  snapshot.histogram_total(id));
+    out.append(buf);
+    bool first = true;
+    for (size_t b = 0; b < kNumHistogramBuckets; ++b) {
+      const uint64_t count = snapshot.histograms[h][b];
+      if (count == 0) continue;  // buckets are sparse in practice
+      if (!first) out.append(", ");
+      first = false;
+      std::snprintf(buf, sizeof(buf), "[%.9g, %" PRIu64 "]",
+                    HistogramBucketUpperSeconds(b), count);
+      out.append(buf);
+    }
+    out.append("]}");
+  }
+  out.append("\n  }\n}\n");
+  return out;
+}
+
+bool WriteMetricsJson(const MetricsSnapshot& snapshot,
+                      const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = MetricsJson(snapshot);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace avm

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+/// Metrics registry: monotonic counters and latency histograms on a
+/// lock-free per-thread-shard fast path, plus a small set of global gauges.
+///
+/// Sharding model: each recording thread owns one `MetricShard` — plain
+/// arrays of relaxed atomics indexed by metric id. The owning thread is the
+/// only writer, so increments are single-writer relaxed stores (no CAS, no
+/// contention, no false sharing across threads). `Snapshot()` takes the
+/// registry mutex and sums relaxed loads across shards; it may miss
+/// increments that race with it, which is fine for monitoring (a later
+/// snapshot observes them). Shards are never freed: a thread that exits
+/// leaves its totals behind, and `ResetForTesting()` zeroes shards in place
+/// rather than dropping them so cached thread-local pointers stay valid.
+///
+/// Gauges are different: multiple threads legitimately move the same gauge
+/// (e.g. producer/consumer on the pool queue depth), so they are plain
+/// global atomics with fetch_add, not shards.
+
+namespace avm {
+
+/// Histogram buckets are powers of two of nanoseconds: bucket i counts
+/// samples in [2^(i-1), 2^i) ns, bucket 0 counts sub-nanosecond samples and
+/// the last bucket absorbs everything >= 2^(kNumHistogramBuckets-2) ns
+/// (~36 minutes). 40 buckets, fixed, so shards stay flat arrays.
+inline constexpr size_t kNumHistogramBuckets = 40;
+
+/// Inclusive upper bound of histogram bucket `bucket`, in seconds.
+double HistogramBucketUpperSeconds(size_t bucket);
+
+/// A merged point-in-time view of the registry. Counters and histogram
+/// buckets are cumulative since process start (or the last reset); use
+/// DeltaSince to scope them to a window, e.g. one maintenance batch.
+struct MetricsSnapshot {
+  std::array<uint64_t, kNumCounters> counters{};
+  std::array<int64_t, kNumGauges> gauges{};
+  std::array<std::array<uint64_t, kNumHistogramBuckets>, kNumHistograms>
+      histograms{};
+
+  uint64_t counter(CounterId id) const {
+    return counters[static_cast<size_t>(id)];
+  }
+  int64_t gauge(GaugeId id) const { return gauges[static_cast<size_t>(id)]; }
+  uint64_t histogram_total(HistogramId id) const;
+
+  /// Counters/histograms become this-minus-base; gauges keep the current
+  /// (instantaneous) value.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& base) const;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Fast-path recorders. Callers normally go through the gated free
+  /// functions below; calling these directly records even when disabled.
+  void Add(CounterId id, uint64_t v);
+  void GaugeAdd(GaugeId id, int64_t v);
+  void GaugeSet(GaugeId id, int64_t v);
+  void Record(HistogramId id, double seconds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes all shards and gauges in place (shards stay registered so
+  /// thread-local pointers remain valid). Test-only.
+  void ResetForTesting();
+
+  /// Number of thread shards ever registered. The disabled-mode
+  /// zero-allocation test asserts this stays 0.
+  size_t NumShardsForTesting() const;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry() = default;
+
+  struct MetricShard {
+    std::array<std::atomic<uint64_t>, kNumCounters> counters{};
+    std::array<std::array<std::atomic<uint64_t>, kNumHistogramBuckets>,
+               kNumHistograms>
+        histograms{};
+  };
+
+  MetricShard* LocalShard();
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<MetricShard>> shards_;
+  std::array<std::atomic<int64_t>, kNumGauges> gauges_{};
+};
+
+// Gated fast-path helpers: one relaxed-bool branch when telemetry is off.
+
+inline void CountAdd(CounterId id, uint64_t v = 1) {
+  if (!TelemetryEnabled()) return;
+  MetricsRegistry::Global().Add(id, v);
+}
+
+inline void GaugeAdd(GaugeId id, int64_t v) {
+  if (!TelemetryEnabled()) return;
+  MetricsRegistry::Global().GaugeAdd(id, v);
+}
+
+inline void GaugeSet(GaugeId id, int64_t v) {
+  if (!TelemetryEnabled()) return;
+  MetricsRegistry::Global().GaugeSet(id, v);
+}
+
+inline void HistogramRecord(HistogramId id, double seconds) {
+  if (!TelemetryEnabled()) return;
+  MetricsRegistry::Global().Record(id, seconds);
+}
+
+/// Serializes a snapshot as JSON: {"counters":{...},"gauges":{...},
+/// "histograms":{name:{"total":n,"buckets":[[upper_s,count],...]}}}.
+/// Zero entries are kept so the schema is stable. Returns false on I/O error.
+bool WriteMetricsJson(const MetricsSnapshot& snapshot, const std::string& path);
+
+/// In-memory variant of WriteMetricsJson, for tests and embedding.
+std::string MetricsJson(const MetricsSnapshot& snapshot);
+
+}  // namespace avm

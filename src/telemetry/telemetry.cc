@@ -1,0 +1,84 @@
+#include "telemetry/telemetry.h"
+
+#include <chrono>
+
+namespace avm {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// The trace epoch: pinned by the first EnableTelemetry so exported
+// timestamps start near zero instead of at machine uptime.
+std::atomic<int64_t> g_epoch_ns{0};
+
+}  // namespace
+
+void EnableTelemetry() {
+  int64_t expected = 0;
+  g_epoch_ns.compare_exchange_strong(expected, SteadyNowNs(),
+                                     std::memory_order_relaxed);
+  telemetry_internal::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void DisableTelemetry() {
+  telemetry_internal::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+int64_t TraceNowNs() {
+  return SteadyNowNs() - g_epoch_ns.load(std::memory_order_relaxed);
+}
+
+const char* CounterName(CounterId id) {
+  switch (id) {
+    case CounterId::kPlanStage1Candidates: return "plan.stage1.candidates";
+    case CounterId::kPlanStage1Accepts: return "plan.stage1.accepts";
+    case CounterId::kPlanStage2Candidates: return "plan.stage2.candidates";
+    case CounterId::kPlanStage2Accepts: return "plan.stage2.accepts";
+    case CounterId::kPlanStage3Candidates: return "plan.stage3.candidates";
+    case CounterId::kPlanStage3Accepts: return "plan.stage3.accepts";
+    case CounterId::kExecBytesTransferred: return "exec.bytes_transferred";
+    case CounterId::kExecBytesJoined: return "exec.bytes_joined";
+    case CounterId::kExecJoinsExecuted: return "exec.joins_executed";
+    case CounterId::kExecFragmentsMerged: return "exec.fragments_merged";
+    case CounterId::kExecDeltaChunksMerged: return "exec.delta_chunks_merged";
+    case CounterId::kJoinProbePairs: return "join.probe_pairs";
+    case CounterId::kJoinScanPairs: return "join.scan_pairs";
+    case CounterId::kJoinInteriorCells: return "join.interior_cells";
+    case CounterId::kJoinBoundaryCells: return "join.boundary_cells";
+    case CounterId::kJoinProbes: return "join.probes";
+    case CounterId::kJoinScannedCells: return "join.scanned_cells";
+    case CounterId::kShapeCacheHits: return "shape_cache.hits";
+    case CounterId::kShapeCacheMisses: return "shape_cache.misses";
+    case CounterId::kPoolTasksRun: return "pool.tasks_run";
+    case CounterId::kBatchesMaintained: return "maint.batches";
+    case CounterId::kTraceEventsDropped: return "trace.events_dropped";
+    case CounterId::kNumCounterIds: break;
+  }
+  return "unknown";
+}
+
+const char* GaugeName(GaugeId id) {
+  switch (id) {
+    case GaugeId::kPoolQueueDepth: return "pool.queue_depth";
+    case GaugeId::kStoreResidentChunks: return "store.resident_chunks";
+    case GaugeId::kStoreResidentBytes: return "store.resident_bytes";
+    case GaugeId::kNumGaugeIds: break;
+  }
+  return "unknown";
+}
+
+const char* HistogramName(HistogramId id) {
+  switch (id) {
+    case HistogramId::kPoolTaskSeconds: return "pool.task_seconds";
+    case HistogramId::kBatchApplySeconds: return "maint.batch_apply_seconds";
+    case HistogramId::kNumHistogramIds: break;
+  }
+  return "unknown";
+}
+
+}  // namespace avm

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+/// Telemetry core: the process-wide enable gate, the fixed metric-id space,
+/// and the trace clock. This library is a dependency-free leaf (std only) so
+/// every layer — including avm_common — can link it without cycles.
+///
+/// Gating contract: every instrumentation point in the codebase is guarded by
+/// TelemetryEnabled(), a single relaxed atomic-bool load. With telemetry
+/// disabled (the default) an instrumented call site costs exactly that one
+/// predictable branch: no clock read, no shard lookup, no allocation. The
+/// Release bench gate in CI holds the disabled build to the checked-in
+/// kernel baseline.
+
+namespace avm {
+
+namespace telemetry_internal {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace telemetry_internal
+
+/// True while telemetry collection is on. The one-branch fast path.
+inline bool TelemetryEnabled() {
+  return telemetry_internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns collection on (idempotent). The first enable pins the trace epoch;
+/// spans and metrics recorded before enabling are lost by design.
+void EnableTelemetry();
+
+/// Turns collection off. Buffered metrics/trace events stay readable.
+void DisableTelemetry();
+
+/// Nanoseconds on the steady trace clock since the trace epoch (the first
+/// EnableTelemetry call). Monotonic; also usable for plain durations.
+int64_t TraceNowNs();
+
+// ---------------------------------------------------------------------------
+// Metric id space. Fixed at compile time so a per-thread shard is a plain
+// array indexed by id — the lock-free fast path needs no registration
+// handshake and no hashing.
+// ---------------------------------------------------------------------------
+
+/// Monotonic counters.
+enum class CounterId : uint16_t {
+  kPlanStage1Candidates,   // Algorithm 1 candidate nodes evaluated
+  kPlanStage1Accepts,      // Algorithm 1 join assignments committed
+  kPlanStage2Candidates,   // Algorithm 2 candidate homes evaluated
+  kPlanStage2Accepts,      // Algorithm 2 view homes committed
+  kPlanStage3Candidates,   // Algorithm 3 scored (chunk, view) pairs visited
+  kPlanStage3Accepts,      // Algorithm 3 array moves emitted
+  kExecBytesTransferred,   // network bytes charged during plan execution
+  kExecBytesJoined,        // join input bytes charged during plan execution
+  kExecJoinsExecuted,      // kernel directions run by the executor
+  kExecFragmentsMerged,    // differential-view fragments applied
+  kExecDeltaChunksMerged,  // delta chunks folded into base arrays
+  kJoinProbePairs,         // chunk pairs taking the probe strategy
+  kJoinScanPairs,          // chunk pairs taking the scan strategy
+  kJoinInteriorCells,      // left cells on the compiled interior fast path
+  kJoinBoundaryCells,      // left cells on the per-dimension boundary path
+  kJoinProbes,             // offset probes issued (both probe sub-paths)
+  kJoinScannedCells,       // right cells visited by the scan strategy
+  kShapeCacheHits,         // CompiledShapeCache::Get served from cache
+  kShapeCacheMisses,       // CompiledShapeCache::Get compiled a new entry
+  kPoolTasksRun,           // thread-pool tasks executed
+  kBatchesMaintained,      // ViewMaintainer::ApplyBatch completions
+  kTraceEventsDropped,     // span events overwritten in a full ring buffer
+  kNumCounterIds,
+};
+
+/// Instantaneous values (set/add; signed).
+enum class GaugeId : uint16_t {
+  kPoolQueueDepth,       // tasks queued but not yet picked up
+  kStoreResidentChunks,  // chunks resident across all ChunkStores
+  kStoreResidentBytes,   // bytes resident across all ChunkStores
+  kNumGaugeIds,
+};
+
+/// Fixed-bucket (power-of-two nanoseconds) latency histograms.
+enum class HistogramId : uint16_t {
+  kPoolTaskSeconds,   // thread-pool task execution time
+  kBatchApplySeconds, // wall time of one ViewMaintainer::ApplyBatch
+  kNumHistogramIds,
+};
+
+inline constexpr size_t kNumCounters =
+    static_cast<size_t>(CounterId::kNumCounterIds);
+inline constexpr size_t kNumGauges =
+    static_cast<size_t>(GaugeId::kNumGaugeIds);
+inline constexpr size_t kNumHistograms =
+    static_cast<size_t>(HistogramId::kNumHistogramIds);
+
+/// Dotted export names ("exec.bytes_joined"); stable across a process.
+const char* CounterName(CounterId id);
+const char* GaugeName(GaugeId id);
+const char* HistogramName(HistogramId id);
+
+}  // namespace avm

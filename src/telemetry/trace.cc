@@ -1,0 +1,162 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "telemetry/metrics.h"
+
+namespace avm {
+
+namespace {
+
+/// Escapes a NUL-terminated string into a JSON string body. Span names are
+/// literals in practice, but the writer must not emit invalid JSON even if
+/// someone passes a funny one.
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(static_cast<char>(c));
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(static_cast<char>(c));
+    }
+  }
+}
+
+}  // namespace
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+TraceCollector::ThreadBuffer* TraceCollector::LocalBuffer() {
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    // The ring grows on demand (vector doubling) up to the capacity cap, so
+    // threads that emit a handful of events never pay for a full buffer.
+    auto owned = std::make_unique<ThreadBuffer>();
+    buffer = owned.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer->tid = next_tid_++;
+    buffers_.push_back(std::move(owned));
+  }
+  return buffer;
+}
+
+void TraceCollector::Emit(const TraceEvent& event) {
+  ThreadBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  TraceEvent stamped = event;
+  if (stamped.tid < 0) stamped.tid = buffer->tid;
+  if (buffer->ring.size() < kTraceBufferCapacity) {
+    buffer->ring.push_back(stamped);
+  } else {
+    buffer->ring[buffer->appended % kTraceBufferCapacity] = stamped;
+    CountAdd(CounterId::kTraceEventsDropped);
+  }
+  ++buffer->appended;
+}
+
+std::vector<TraceEvent> TraceCollector::Collect() const {
+  std::vector<TraceEvent> events;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    events.insert(events.end(), buffer->ring.begin(), buffer->ring.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+              return a.dur_ns > b.dur_ns;  // parents before children
+            });
+  return events;
+}
+
+void TraceCollector::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->ring.clear();
+    buffer->appended = 0;
+  }
+}
+
+size_t TraceCollector::NumBuffersForTesting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffers_.size();
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* cat)
+    : active_(TelemetryEnabled()) {
+  if (!active_) return;
+  event_.name = name;
+  event_.cat = cat;
+  event_.ts_ns = TraceNowNs();
+}
+
+void ScopedSpan::AddArg(const char* key, int64_t value) {
+  if (!active_ || event_.num_args >= kMaxTraceArgs) return;
+  event_.args[event_.num_args++] = TraceArg{key, value};
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  event_.dur_ns = TraceNowNs() - event_.ts_ns;
+  TraceCollector::Global().Emit(event_);
+}
+
+std::string ChromeTraceJson() {
+  const std::vector<TraceEvent> events = TraceCollector::Global().Collect();
+  std::string out;
+  out.reserve(events.size() * 160 + 64);
+  out.append("{\"traceEvents\":[");
+  char buf[160];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out.append(",\n");
+    first = false;
+    out.append("{\"name\":\"");
+    AppendEscaped(&out, e.name != nullptr ? e.name : "?");
+    out.append("\",\"cat\":\"");
+    AppendEscaped(&out, e.cat != nullptr ? e.cat : "?");
+    // Chrome expects microseconds; keep ns precision in the fraction.
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"pid\":1,\"tid\":%" PRId32
+                  ",\"ts\":%.3f,\"dur\":%.3f",
+                  e.tid, static_cast<double>(e.ts_ns) / 1e3,
+                  static_cast<double>(e.dur_ns) / 1e3);
+    out.append(buf);
+    if (e.num_args > 0) {
+      out.append(",\"args\":{");
+      for (uint32_t a = 0; a < e.num_args; ++a) {
+        if (a != 0) out.push_back(',');
+        out.push_back('"');
+        AppendEscaped(&out, e.args[a].key != nullptr ? e.args[a].key : "?");
+        std::snprintf(buf, sizeof(buf), "\":%" PRId64, e.args[a].value);
+        out.append(buf);
+      }
+      out.push_back('}');
+    }
+    out.push_back('}');
+  }
+  out.append("],\"displayTimeUnit\":\"ms\"}\n");
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = ChromeTraceJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace avm

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+/// Tracing layer: RAII spans collected into per-thread ring buffers and
+/// exported as Chrome trace-event JSON (load in chrome://tracing or
+/// https://ui.perfetto.dev).
+///
+/// Span lifetime rules:
+///  - A span measures from construction to destruction; nest spans by
+///    scoping, destruction order gives well-formed containment.
+///  - `name`/`cat` and arg keys must be string literals (or otherwise
+///    outlive the collector): events store the pointers, not copies.
+///  - A span constructed while telemetry is disabled is inert forever,
+///    even if telemetry is enabled before it dies — half-open spans would
+///    otherwise produce nonsense durations against the trace epoch.
+///  - Buffers are bounded rings (kTraceBufferCapacity events per thread);
+///    when full, the oldest events are overwritten and
+///    CounterId::kTraceEventsDropped counts the loss.
+///
+/// Threading: each OS thread appends to its own buffer under that buffer's
+/// own mutex (uncontended in steady state — only export takes them all).
+/// Spans mark coarse phases, not per-cell work, so a mutex is fine here;
+/// the lock-free budget is spent on the metrics shards instead.
+
+namespace avm {
+
+/// Sized so a full figure-bench run (hundreds of batches, ~25 main-thread
+/// spans each, plus two sim lanes per node per batch) fits with several-fold
+/// headroom; at ~100 B/event a saturated thread buffer costs ~6.5 MB, and
+/// buffers grow on demand so threads that emit little stay small.
+inline constexpr size_t kTraceBufferCapacity = 65536;
+inline constexpr size_t kMaxTraceArgs = 4;
+
+/// Synthetic "thread" ids for simulated-cluster timelines: worker node k
+/// exports as tid kSimTidBase + 2k (network lane) and kSimTidBase + 2k + 1
+/// (cpu lane); the coordinator uses k = num_workers. Real threads get small
+/// ids in registration order, so the lanes never collide.
+inline constexpr int32_t kSimTidBase = 10000;
+
+struct TraceArg {
+  const char* key = nullptr;
+  int64_t value = 0;
+};
+
+/// One Chrome "complete" (ph:"X") event. POD so the ring buffer is a flat
+/// array with no per-event allocation.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  int64_t ts_ns = 0;   // start, on the TraceNowNs clock
+  int64_t dur_ns = 0;
+  int32_t tid = -1;    // -1 = stamp with the emitting thread's id
+  uint32_t num_args = 0;
+  TraceArg args[kMaxTraceArgs];
+};
+
+class TraceCollector {
+ public:
+  static TraceCollector& Global();
+
+  /// Appends to the calling thread's ring buffer. Events with tid == -1 are
+  /// stamped with the calling thread's registered id; synthetic timelines
+  /// (simulated clocks) pass an explicit tid instead.
+  void Emit(const TraceEvent& event);
+
+  /// All buffered events from every thread, sorted by (tid, ts).
+  std::vector<TraceEvent> Collect() const;
+
+  /// Drops all buffered events (buffers stay registered). Test-only.
+  void ResetForTesting();
+
+  /// Number of per-thread buffers ever registered; the disabled-mode
+  /// zero-allocation test asserts this stays 0.
+  size_t NumBuffersForTesting() const;
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+ private:
+  TraceCollector() = default;
+
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    int32_t tid = 0;
+    uint64_t appended = 0;  // total ever; size = min(appended, capacity)
+    std::vector<TraceEvent> ring;
+  };
+
+  ThreadBuffer* LocalBuffer();
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  int32_t next_tid_ = 1;
+};
+
+/// RAII span. Records [construction, destruction) as one complete event on
+/// the current thread's timeline. No-op when telemetry is disabled at
+/// construction time.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* cat = "maint");
+  ~ScopedSpan();
+
+  /// Attaches a key/value to the event (silently dropped past
+  /// kMaxTraceArgs). Safe to call on an inert span.
+  void AddArg(const char* key, int64_t value);
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceEvent event_;
+  bool active_;
+};
+
+/// Serializes everything collected so far as Chrome trace JSON:
+/// {"traceEvents":[{"name",...,"ph":"X","ts":µs,"dur":µs,...},...],
+///  "displayTimeUnit":"ms"}. Returns false on I/O error.
+bool WriteChromeTrace(const std::string& path);
+
+/// In-memory variant of WriteChromeTrace, for tests and embedding.
+std::string ChromeTraceJson();
+
+}  // namespace avm

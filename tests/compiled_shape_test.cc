@@ -9,6 +9,7 @@
 #include "array/sparse_array.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "harness/experiment.h"
 #include "join/join_kernel.h"
 #include "join/pair_enumeration.h"
 #include "join/reference.h"
@@ -145,6 +146,54 @@ TEST(CompiledShapeCacheTest, MemoizesByContent) {
   EXPECT_NE(static_cast<const void*>(first.get()),
             static_cast<const void*>(fourth.get()));
   EXPECT_GT(cache.size(), size_after_first);
+}
+
+TEST(CompiledShapeCacheTest, CountsHitsAndMisses) {
+  CompiledShapeCache& cache = CompiledShapeCache::Global();
+  // A shape unique to this test so other tests' entries cannot pre-warm it.
+  ASSERT_OK_AND_ASSIGN(const Shape shape,
+                       Shape::FromOffsets(2, {{0, 0}, {5, -3}, {-4, 1}}));
+  const DimMapping mapping = DimMapping::Identity(2);
+  const ChunkGrid grid(Aniso2D());
+  const uint64_t hits_before = cache.hits();
+  const uint64_t misses_before = cache.misses();
+  ASSERT_OK(cache.Get(shape, mapping, grid));  // cold: exactly one miss
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+  EXPECT_EQ(cache.hits(), hits_before);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(cache.Get(shape, mapping, grid));
+  }
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+  EXPECT_EQ(cache.hits(), hits_before + 5);
+}
+
+TEST(CompiledShapeCacheTest, RepeatedPresetPrefetchIsAllHits) {
+  // The executor prefetches each batch's shape compilations before its
+  // parallel join phase. Repeating an identical preset must therefore be
+  // 100% cache hits: zero new misses across the entire second series.
+  ExperimentScale scale;
+  scale.num_workers = 4;
+  scale.num_batches = 2;
+  scale.geo.seed_pois = 400;
+  scale.geo.batch_frac = 0.02;
+  auto run = [&scale] {
+    ASSERT_OK_AND_ASSIGN(
+        PreparedExperiment experiment,
+        PrepareExperiment(DatasetKind::kGeo, BatchRegime::kRandom, scale));
+    ASSERT_OK_AND_ASSIGN(
+        BatchSeries series,
+        RunMaintenanceSeries(&experiment, MaintenanceMethod::kReassign,
+                             PlannerOptions()));
+    ASSERT_EQ(series.reports.size(), 2u);
+  };
+
+  CompiledShapeCache& cache = CompiledShapeCache::Global();
+  run();  // cold: may compile the preset's shapes
+  const uint64_t misses_after_first = cache.misses();
+  const uint64_t hits_after_first = cache.hits();
+  run();  // identical repeat
+  EXPECT_EQ(cache.misses(), misses_after_first);
+  EXPECT_GT(cache.hits(), hits_after_first);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,211 @@
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Minimal recursive-descent JSON parser for machine-checking the telemetry
+/// exporters in tests (Chrome trace JSON, metrics JSON). Handles the full
+/// value grammar — objects, arrays, strings with escapes, numbers, booleans,
+/// null — and rejects trailing garbage. Test-only: error reporting is just
+/// "nullopt", and numbers all become double.
+
+namespace avm::testing_util {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member lookup; nullptr if absent or not an object.
+  const JsonValue* Find(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+namespace json_internal {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> Parse() {
+    std::optional<JsonValue> value = ParseValue();
+    SkipSpace();
+    if (!value.has_value() || pos_ != text_.size()) return std::nullopt;
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  std::optional<std::string> ParseString() {
+    if (!Consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          // BMP code point to UTF-8 (surrogate pairs are not produced by our
+          // exporters; decode them as two raw code units).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    JsonValue value;
+    if (c == '{') {
+      ++pos_;
+      value.kind = JsonValue::Kind::kObject;
+      SkipSpace();
+      if (Consume('}')) return value;
+      for (;;) {
+        std::optional<std::string> key = ParseString();
+        if (!key.has_value() || !Consume(':')) return std::nullopt;
+        std::optional<JsonValue> member = ParseValue();
+        if (!member.has_value()) return std::nullopt;
+        value.object.emplace(std::move(*key), std::move(*member));
+        if (Consume(',')) continue;
+        if (Consume('}')) return value;
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      value.kind = JsonValue::Kind::kArray;
+      SkipSpace();
+      if (Consume(']')) return value;
+      for (;;) {
+        std::optional<JsonValue> element = ParseValue();
+        if (!element.has_value()) return std::nullopt;
+        value.array.push_back(std::move(*element));
+        if (Consume(',')) continue;
+        if (Consume(']')) return value;
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      std::optional<std::string> s = ParseString();
+      if (!s.has_value()) return std::nullopt;
+      value.kind = JsonValue::Kind::kString;
+      value.string = std::move(*s);
+      return value;
+    }
+    if (c == 't') {
+      if (!ConsumeLiteral("true")) return std::nullopt;
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (c == 'f') {
+      if (!ConsumeLiteral("false")) return std::nullopt;
+      value.kind = JsonValue::Kind::kBool;
+      return value;
+    }
+    if (c == 'n') {
+      if (!ConsumeLiteral("null")) return std::nullopt;
+      return value;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      const char* start = text_.data() + pos_;
+      char* end = nullptr;
+      value.kind = JsonValue::Kind::kNumber;
+      value.number = std::strtod(start, &end);
+      if (end == start) return std::nullopt;
+      pos_ += static_cast<size_t>(end - start);
+      return value;
+    }
+    return std::nullopt;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace json_internal
+
+/// Parses `text` as one JSON document; nullopt on any syntax error or
+/// trailing garbage.
+inline std::optional<JsonValue> ParseJson(std::string_view text) {
+  return json_internal::Parser(text).Parse();
+}
+
+}  // namespace avm::testing_util

@@ -132,6 +132,87 @@ TEST(ConcurrentClockBankTest, CommitAddsOntoClusterClocks) {
   EXPECT_DOUBLE_EQ(cluster.clock(kCoordinatorNode).cpu_seconds, 7.0);
 }
 
+TEST(ConcurrentClockBankTest, ParallelChargesMatchSerialBitExactly) {
+  // Randomized equivalence: the same per-node charge scripts applied
+  // serially, from 8 concurrent threads (one per node — the executor's unit
+  // of parallelism, which fixes per-slot addition order), and to a
+  // MakespanTracker must produce bit-identical clocks and exact byte totals.
+  constexpr int kNodes = 8;
+  struct Charge {
+    bool cpu;
+    double seconds;
+    uint64_t bytes;
+  };
+  Rng rng(77);
+  std::vector<std::vector<Charge>> scripts(kNodes + 1);
+  for (auto& script : scripts) {
+    const int n = 50 + static_cast<int>(rng.Uniform(50));
+    for (int i = 0; i < n; ++i) {
+      script.push_back({rng.Bernoulli(0.5), rng.UniformDouble(),
+                        rng.Uniform(1u << 20)});
+    }
+  }
+  auto node_of = [](size_t s) {
+    return s == kNodes ? kCoordinatorNode : static_cast<NodeId>(s);
+  };
+  auto apply = [&](ConcurrentClockBank* bank, size_t s) {
+    const NodeId node = node_of(s);
+    for (const Charge& c : scripts[s]) {
+      if (c.cpu) {
+        bank->AddCpu(node, c.seconds, c.bytes);
+      } else {
+        bank->AddNetwork(node, c.seconds, c.bytes);
+      }
+    }
+  };
+
+  ConcurrentClockBank serial(kNodes);
+  MakespanTracker tracker(kNodes);
+  for (size_t s = 0; s <= kNodes; ++s) {
+    apply(&serial, s);
+    for (const Charge& c : scripts[s]) {
+      if (c.cpu) {
+        tracker.AddCpu(node_of(s), c.seconds);
+      } else {
+        tracker.AddNetwork(node_of(s), c.seconds);
+      }
+    }
+  }
+
+  ConcurrentClockBank parallel(kNodes);
+  ThreadPool pool(8);
+  pool.ParallelFor(kNodes + 1, [&](size_t s) { apply(&parallel, s); });
+
+  for (size_t s = 0; s <= kNodes; ++s) {
+    const NodeId node = node_of(s);
+    // == (not NEAR): per-node addition order is identical, so the float
+    // sums must match bit for bit; the byte sums are exact integers.
+    EXPECT_EQ(serial.ntwk(node), parallel.ntwk(node)) << "slot " << s;
+    EXPECT_EQ(serial.cpu(node), parallel.cpu(node)) << "slot " << s;
+    EXPECT_EQ(serial.ntwk_bytes(node), parallel.ntwk_bytes(node));
+    EXPECT_EQ(serial.cpu_bytes(node), parallel.cpu_bytes(node));
+    EXPECT_EQ(tracker.ntwk(node), parallel.ntwk(node)) << "slot " << s;
+    EXPECT_EQ(tracker.cpu(node), parallel.cpu(node)) << "slot " << s;
+  }
+
+  // Committing either bank yields identical cluster clocks and byte totals.
+  Cluster from_serial(kNodes);
+  Cluster from_parallel(kNodes);
+  serial.CommitTo(&from_serial);
+  parallel.CommitTo(&from_parallel);
+  for (size_t s = 0; s <= kNodes; ++s) {
+    const NodeId node = node_of(s);
+    EXPECT_EQ(from_serial.clock(node).ntwk_seconds,
+              from_parallel.clock(node).ntwk_seconds);
+    EXPECT_EQ(from_serial.clock(node).cpu_seconds,
+              from_parallel.clock(node).cpu_seconds);
+    EXPECT_EQ(from_serial.clock(node).ntwk_bytes,
+              from_parallel.clock(node).ntwk_bytes);
+    EXPECT_EQ(from_serial.clock(node).cpu_bytes,
+              from_parallel.clock(node).cpu_bytes);
+  }
+}
+
 TEST(ConcurrentClockBankTest, ConcurrentAddsFromThePoolAreLossless) {
   ConcurrentClockBank bank(4);
   ThreadPool pool(4);

@@ -33,6 +33,11 @@ discarded-status      a bare statement calling a function declared (in this
 include-order         first include of ``src/**/*.cc`` is not its own
                       header, or an include block is not internally sorted,
                       or a ``".."`` relative include appears.
+chrono                raw ``std::chrono`` (or ``#include <chrono>``) in
+                      ``src/`` outside ``src/telemetry/``. Time is measured
+                      through one instrumented path — telemetry's Stopwatch,
+                      TraceNowNs, and ScopedSpan — so traces and metrics
+                      stay comparable; ad-hoc chrono timing bypasses it.
 """
 
 from __future__ import annotations
@@ -144,6 +149,7 @@ LEAKY_SINGLETON_RE = re.compile(r"(?<![\w_])static(?![\w_]).*=\s*$|"
                                 r"(?<![\w_])new(?![\w_])")
 EQ_DELETE_RE = re.compile(r"=\s*delete\s*[;,)]")
 STD_FUNCTION_RE = re.compile(r"std\s*::\s*function")
+CHRONO_RE = re.compile(r"std\s*::\s*chrono|#\s*include\s*<chrono>")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 
 # A bare call statement: optional qualification, a harvested name, an open
@@ -266,6 +272,12 @@ def lint_file(path: str, status_functions: set[str]) -> list[Finding]:
             report(i, "std-function-hot-path",
                    "std::function in a join/index hot path; use a template "
                    "parameter or compiled plan")
+
+        if (rel.startswith("src/") and not rel.startswith("src/telemetry/")
+                and CHRONO_RE.search(code)):
+            report(i, "chrono",
+                   "raw std::chrono outside src/telemetry/; time through "
+                   "telemetry's Stopwatch / TraceNowNs / ScopedSpan")
 
         # discarded-status: a statement that is exactly a call to a
         # Status/Result-returning function. Only lines that *begin* a
