@@ -7,6 +7,10 @@
 #include <cstdlib>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "common/check.h"
 #include "harness/experiment.h"
 #include "telemetry/metrics.h"
@@ -42,6 +46,24 @@ inline void ParseThreadsFlag(int* argc, char** argv) {
     }
   }
   *argc = kept;
+}
+
+/// Peak resident set size of this process in bytes, 0 where unavailable.
+/// Monotone over the process lifetime (the kernel's high-water mark), so a
+/// benchmark reports it once after its run to bound real host memory — the
+/// figure that should shrink when chunk movement stops deep-copying.
+inline uint64_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
 }
 
 /// Output paths for the telemetry artifacts, empty = not requested.

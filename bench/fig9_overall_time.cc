@@ -37,6 +37,7 @@ void RunCase(::benchmark::State& state, DatasetKind kind, BatchRegime regime,
     state.counters["maintenance_s"] = maintenance;
     state.counters["wall_exec_s"] = series.TotalExecutionWallSeconds();
     state.counters["threads"] = static_cast<double>(BenchThreads());
+    state.counters["peak_rss_bytes"] = static_cast<double>(PeakRssBytes());
 
     auto& rows = Rows();
     const std::string dataset(DatasetKindName(kind));
@@ -90,6 +91,8 @@ void PrintPaperTable() {
     std::printf("\n");
   }
   std::printf("(each cell: maintenance + optimization)\n");
+  std::printf("peak RSS: %.1f MiB\n",
+              static_cast<double>(PeakRssBytes()) / (1024.0 * 1024.0));
 }
 
 }  // namespace

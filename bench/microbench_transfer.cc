@@ -1,0 +1,257 @@
+// Microbenchmark for copy-free chunk movement: times the three store-level
+// data-movement operations maintenance leans on — a point-to-point transfer,
+// replication to every worker, and the delta-becomes-base fold — with chunk
+// aliasing on (refcount-bump handles, the shipping configuration) and off
+// (deep copies, the pre-COW behavior, kept switchable in ChunkStore for
+// exactly this A/B). Both modes run in one process on one machine, so the
+// reported speedup isolates the handle design. Also exercises the ChunkPool
+// acquire/release loop against fresh allocation.
+//
+// Emits machine-readable results to BENCH_transfer.json (or --out=PATH);
+// --smoke shrinks the chunk and the timing budget for CI, where the
+// bench-smoke gate enforces aliased >= 5x deep-copy on transfer/replicate.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "array/chunk.h"
+#include "array/chunk_pool.h"
+#include "array/coords.h"
+#include "cluster/cluster.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "storage/chunk_store.h"
+#include "telemetry/stopwatch.h"
+
+namespace avm {
+namespace {
+
+constexpr ArrayId kArray = 0;
+constexpr ArrayId kFoldTarget = 1;
+constexpr ChunkId kChunk = 0;
+
+/// A dense 2-d chunk with one attribute and `cells` rows (offsets 0..n-1).
+Chunk MakeChunk(size_t cells) {
+  Chunk chunk(/*num_dims=*/2, /*num_attrs=*/1);
+  chunk.Reserve(cells);
+  Rng rng(0xBEEF ^ cells);
+  const int64_t extent = 1 << 12;
+  CellCoord coord(2);
+  for (size_t i = 0; i < cells; ++i) {
+    coord[0] = static_cast<int64_t>(i) / extent;
+    coord[1] = static_cast<int64_t>(i) % extent;
+    const double v = rng.UniformDouble();
+    chunk.UpsertCell(i, coord, {&v, 1});
+  }
+  return chunk;
+}
+
+/// Times `run` with calibrated repetitions; returns seconds per invocation
+/// (best of three trials).
+template <typename Fn>
+double TimePerRun(Fn&& run, double target_seconds) {
+  Stopwatch calibrate;
+  run();
+  const double once = calibrate.ElapsedSeconds();
+  size_t reps = 1;
+  if (once < target_seconds) {
+    reps = static_cast<size_t>(target_seconds / (once + 1e-9)) + 1;
+    if (reps > 100000) reps = 100000;
+  }
+  double best = 1e300;
+  for (int trial = 0; trial < 3; ++trial) {
+    Stopwatch timer;
+    for (size_t i = 0; i < reps; ++i) run();
+    const double per_run = timer.ElapsedSeconds() / static_cast<double>(reps);
+    if (per_run < best) best = per_run;
+  }
+  return best;
+}
+
+struct OpResult {
+  std::string op;
+  uint64_t bytes_moved = 0;  // logical bytes one invocation moves
+  double aliased_s = 0.0;
+  double deep_s = 0.0;
+  double aliased_bytes_per_sec = 0.0;
+  double deep_bytes_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+/// Runs `op` (one data-movement invocation, self-cleaning so it can repeat)
+/// under both aliasing modes.
+template <typename Fn>
+OpResult MeasureOp(const std::string& name, uint64_t bytes_moved, Fn&& op,
+                   double target_seconds) {
+  OpResult result;
+  result.op = name;
+  result.bytes_moved = bytes_moved;
+  SetChunkAliasingEnabled(true);
+  result.aliased_s = TimePerRun(op, target_seconds);
+  SetChunkAliasingEnabled(false);
+  result.deep_s = TimePerRun(op, target_seconds);
+  SetChunkAliasingEnabled(true);
+  const double bytes = static_cast<double>(bytes_moved);
+  result.aliased_bytes_per_sec = bytes / result.aliased_s;
+  result.deep_bytes_per_sec = bytes / result.deep_s;
+  result.speedup = result.deep_s / result.aliased_s;
+  return result;
+}
+
+/// ChunkPool A/B: building a fragment-sized chunk from pooled capacity vs a
+/// fresh allocation each time. Not mode-switched (the pool is orthogonal to
+/// aliasing); reported alongside so one JSON covers both PR-5 mechanisms.
+struct PoolResult {
+  double pooled_s = 0.0;
+  double fresh_s = 0.0;
+  double speedup = 0.0;
+};
+
+PoolResult MeasurePool(size_t cells, double target_seconds) {
+  const int64_t extent = 1 << 12;
+  CellCoord coord(2);
+  const auto fill = [&](Chunk* chunk) {
+    chunk->Reserve(cells);
+    for (size_t i = 0; i < cells; ++i) {
+      coord[0] = static_cast<int64_t>(i) / extent;
+      coord[1] = static_cast<int64_t>(i) % extent;
+      const double v = 1.0;
+      chunk->UpsertCell(i, coord, {&v, 1});
+    }
+  };
+  PoolResult result;
+  // Warm the pool so the steady state (capacity parked from a previous
+  // batch) is what gets measured.
+  ChunkPool::Release(MakeChunk(cells));
+  result.pooled_s = TimePerRun(
+      [&] {
+        Chunk chunk = ChunkPool::Acquire(2, 1);
+        fill(&chunk);
+        ChunkPool::Release(std::move(chunk));
+      },
+      target_seconds);
+  result.fresh_s = TimePerRun(
+      [&] {
+        Chunk chunk(2, 1);
+        fill(&chunk);
+      },
+      target_seconds);
+  ChunkPool::DrainForTesting();
+  result.speedup = result.fresh_s / result.pooled_s;
+  return result;
+}
+
+void WriteJson(const std::string& path, const std::string& mode, size_t cells,
+               uint64_t chunk_bytes, const std::vector<OpResult>& results,
+               const PoolResult& pool) {
+  FILE* out = std::fopen(path.c_str(), "w");
+  AVM_CHECK(out != nullptr) << "cannot open " << path;
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"microbench_transfer\",\n");
+  std::fprintf(out, "  \"mode\": \"%s\",\n", mode.c_str());
+  std::fprintf(out, "  \"chunk_cells\": %zu,\n", cells);
+  std::fprintf(out, "  \"chunk_bytes\": %llu,\n",
+               static_cast<unsigned long long>(chunk_bytes));
+  std::fprintf(out,
+               "  \"pool\": {\"pooled_s\": %.6e, \"fresh_s\": %.6e, "
+               "\"speedup\": %.4f},\n",
+               pool.pooled_s, pool.fresh_s, pool.speedup);
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const OpResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"op\": \"%s\", \"bytes_moved\": %llu, "
+                 "\"aliased_s\": %.6e, \"deep_s\": %.6e, "
+                 "\"aliased_bytes_per_sec\": %.6e, "
+                 "\"deep_bytes_per_sec\": %.6e, \"speedup\": %.4f}%s\n",
+                 r.op.c_str(), static_cast<unsigned long long>(r.bytes_moved),
+                 r.aliased_s, r.deep_s, r.aliased_bytes_per_sec,
+                 r.deep_bytes_per_sec, r.speedup,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path = "BENCH_transfer.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out=PATH] [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  const size_t cells = smoke ? 4096 : 65536;
+  const double target_seconds = smoke ? 0.01 : 0.05;
+  const int num_workers = 8;
+
+  Cluster cluster(num_workers);
+  const uint64_t chunk_bytes =
+      cluster.store(0).Put(kArray, kChunk, MakeChunk(cells));
+
+  std::vector<OpResult> results;
+
+  // transfer: one point-to-point move (the step-1 co-location primitive).
+  results.push_back(MeasureOp(
+      "transfer", chunk_bytes,
+      [&] {
+        AVM_CHECK(cluster.TransferChunk(kArray, kChunk, 0, 1).ok());
+        cluster.store(1).Erase(kArray, kChunk);
+      },
+      target_seconds));
+
+  // replicate: fan the chunk out to every other worker (join co-location of
+  // a hot delta chunk).
+  results.push_back(MeasureOp(
+      "replicate", chunk_bytes * static_cast<uint64_t>(num_workers - 1),
+      [&] {
+        for (NodeId n = 1; n < num_workers; ++n) {
+          AVM_CHECK(cluster.TransferChunk(kArray, kChunk, 0, n).ok());
+        }
+        for (NodeId n = 1; n < num_workers; ++n) {
+          cluster.store(n).Erase(kArray, kChunk);
+        }
+      },
+      target_seconds));
+
+  // fold: the executor's delta-becomes-base path — the store's own handle is
+  // re-put under the base array id.
+  results.push_back(MeasureOp(
+      "fold", chunk_bytes,
+      [&] {
+        ChunkHandle delta = cluster.store(0).GetHandle(kArray, kChunk);
+        AVM_CHECK(delta != nullptr);
+        cluster.store(0).PutHandle(kFoldTarget, kChunk, std::move(delta));
+        cluster.store(0).Erase(kFoldTarget, kChunk);
+      },
+      target_seconds));
+
+  const PoolResult pool = MeasurePool(cells / 4, target_seconds);
+
+  std::printf("%-10s %14s %12s %12s %10s\n", "op", "bytes", "aliased s",
+              "deep s", "speedup");
+  for (const OpResult& r : results) {
+    std::printf("%-10s %14llu %12.3e %12.3e %9.1fx\n", r.op.c_str(),
+                static_cast<unsigned long long>(r.bytes_moved), r.aliased_s,
+                r.deep_s, r.speedup);
+  }
+  std::printf("pool acquire+fill vs fresh: %.3e s vs %.3e s (%.2fx)\n",
+              pool.pooled_s, pool.fresh_s, pool.speedup);
+  WriteJson(out_path, smoke ? "smoke" : "full", cells, chunk_bytes, results,
+            pool);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace avm
+
+int main(int argc, char** argv) { return avm::Main(argc, argv); }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstring>
+#include <string>
+#include <utility>
 
 #include "array/chunk_grid.h"
 #include "common/check.h"
@@ -13,6 +15,44 @@ void Chunk::Reserve(size_t cells) {
   coords_.reserve(cells * num_dims_);
   values_.reserve(cells * num_attrs_);
   index_.Reserve(cells);
+}
+
+void Chunk::ClearAndRelayout(size_t num_dims, size_t num_attrs) {
+  num_dims_ = num_dims;
+  num_attrs_ = num_attrs;
+  offsets_.clear();
+  coords_.clear();
+  values_.clear();
+  index_.Clear();
+}
+
+Status Chunk::AdoptRows(std::vector<uint64_t> offsets,
+                        std::vector<int64_t> coords,
+                        std::vector<double> values) {
+  const size_t cells = offsets.size();
+  if (coords.size() != cells * num_dims_ || values.size() != cells * num_attrs_) {
+    return Status::InvalidArgument(
+        "AdoptRows: buffer lengths disagree with the row count");
+  }
+  OffsetIndex index;
+  index.Reserve(cells);
+  for (size_t row = 0; row < cells; ++row) {
+    if (offsets[row] >= UINT64_MAX - 1) {
+      // The index reserves the top two keys as slot markers; real in-chunk
+      // offsets never get near them, so this is corrupt input.
+      return Status::InvalidArgument("AdoptRows: implausible in-chunk offset");
+    }
+    if (index.Find(offsets[row]) != OffsetIndex::kNotFound) {
+      return Status::InvalidArgument("AdoptRows: duplicate in-chunk offset " +
+                                     std::to_string(offsets[row]));
+    }
+    index.Insert(offsets[row], static_cast<uint32_t>(row));
+  }
+  offsets_ = std::move(offsets);
+  coords_ = std::move(coords);
+  values_ = std::move(values);
+  index_ = std::move(index);
+  return Status::OK();
 }
 
 void Chunk::UpsertCell(uint64_t offset, const CellCoord& coord,

@@ -40,6 +40,34 @@ class Chunk {
   /// and rehash once instead of per cell.
   void Reserve(size_t cells);
 
+  /// Empties the chunk and re-layouts it for the given dimensionality and
+  /// attribute count, keeping every buffer's capacity. This is what makes a
+  /// pooled chunk free to reuse: the next fill appends into memory the
+  /// previous batch already paid to allocate.
+  void ClearAndRelayout(size_t num_dims, size_t num_attrs);
+
+  /// Bytes of buffer capacity currently held (row buffers plus the offset
+  /// index table) — the quantity a pool of emptied chunks keeps parked.
+  uint64_t CapacityBytes() const {
+    return offsets_.capacity() * sizeof(uint64_t) +
+           coords_.capacity() * sizeof(int64_t) +
+           values_.capacity() * sizeof(double) + index_.CapacityBytes();
+  }
+
+  /// Replaces the chunk's contents with pre-assembled row buffers in one
+  /// move: `offsets` holds one in-chunk offset per row, `coords` num_dims
+  /// components per row, `values` num_attrs slots per row. The offset index
+  /// is rebuilt with a single reserve. Fails on inconsistent buffer lengths
+  /// or duplicate offsets (the bulk-deserialization entry point must reject
+  /// corrupt input instead of corrupting the index).
+  Status AdoptRows(std::vector<uint64_t> offsets, std::vector<int64_t> coords,
+                   std::vector<double> values);
+
+  /// Raw row-buffer views, for bulk serialization. Invalidated by mutation.
+  std::span<const uint64_t> RowOffsets() const { return offsets_; }
+  std::span<const int64_t> RowCoords() const { return coords_; }
+  std::span<const double> RowValues() const { return values_; }
+
   /// Inserts a cell or overwrites its attribute values if the offset is
   /// already present. `offset` is the in-chunk row-major offset computed by
   /// ChunkGrid::InChunkOffset; `coord` the full cell coordinate.

@@ -1,0 +1,110 @@
+#include "array/chunk_pool.h"
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace avm {
+
+namespace {
+
+/// Bounds keep parked memory modest: a shard serves one thread's working set
+/// of fragment chunks per batch; the overflow absorbs the control thread's
+/// post-merge releases until worker threads drain it on the next batch.
+constexpr size_t kLocalCapacity = 16;
+constexpr size_t kOverflowCapacity = 256;
+
+struct LocalShard {
+  std::vector<Chunk> chunks;
+
+  ~LocalShard() {
+    // A thread exiting with parked chunks frees them here; keep the gauge
+    // honest.
+    int64_t bytes = 0;
+    for (const Chunk& c : chunks) {
+      bytes += static_cast<int64_t>(c.CapacityBytes());
+    }
+    if (bytes != 0) GaugeAdd(GaugeId::kChunkPoolBytes, -bytes);
+  }
+};
+
+LocalShard& Local() {
+  thread_local LocalShard shard;
+  return shard;
+}
+
+struct Overflow {
+  std::mutex mu;
+  std::vector<Chunk> chunks;
+};
+
+Overflow& GlobalOverflow() {
+  static Overflow* overflow = new Overflow();
+  return *overflow;
+}
+
+}  // namespace
+
+Chunk ChunkPool::Acquire(size_t num_dims, size_t num_attrs) {
+  LocalShard& shard = Local();
+  if (shard.chunks.empty()) {
+    Overflow& overflow = GlobalOverflow();
+    std::lock_guard<std::mutex> lock(overflow.mu);
+    if (!overflow.chunks.empty()) {
+      shard.chunks.push_back(std::move(overflow.chunks.back()));
+      overflow.chunks.pop_back();
+    }
+  }
+  if (shard.chunks.empty()) {
+    CountAdd(CounterId::kChunkPoolMisses);
+    return Chunk(num_dims, num_attrs);
+  }
+  Chunk chunk = std::move(shard.chunks.back());
+  shard.chunks.pop_back();
+  CountAdd(CounterId::kChunkPoolHits);
+  GaugeAdd(GaugeId::kChunkPoolBytes,
+           -static_cast<int64_t>(chunk.CapacityBytes()));
+  chunk.ClearAndRelayout(num_dims, num_attrs);
+  return chunk;
+}
+
+void ChunkPool::Release(Chunk&& chunk) {
+  chunk.ClearAndRelayout(chunk.num_dims(), chunk.num_attrs());
+  const int64_t bytes = static_cast<int64_t>(chunk.CapacityBytes());
+  LocalShard& shard = Local();
+  if (shard.chunks.size() < kLocalCapacity) {
+    shard.chunks.push_back(std::move(chunk));
+    GaugeAdd(GaugeId::kChunkPoolBytes, bytes);
+    return;
+  }
+  Overflow& overflow = GlobalOverflow();
+  std::lock_guard<std::mutex> lock(overflow.mu);
+  if (overflow.chunks.size() < kOverflowCapacity) {
+    overflow.chunks.push_back(std::move(chunk));
+    GaugeAdd(GaugeId::kChunkPoolBytes, bytes);
+  }
+  // else: both tiers full; the chunk dies here and its memory returns to
+  // the allocator.
+}
+
+size_t ChunkPool::LocalFreeForTesting() { return Local().chunks.size(); }
+
+void ChunkPool::DrainForTesting() {
+  LocalShard& shard = Local();
+  int64_t bytes = 0;
+  for (const Chunk& c : shard.chunks) {
+    bytes += static_cast<int64_t>(c.CapacityBytes());
+  }
+  shard.chunks.clear();
+  Overflow& overflow = GlobalOverflow();
+  std::lock_guard<std::mutex> lock(overflow.mu);
+  for (const Chunk& c : overflow.chunks) {
+    bytes += static_cast<int64_t>(c.CapacityBytes());
+  }
+  overflow.chunks.clear();
+  if (bytes != 0) GaugeAdd(GaugeId::kChunkPoolBytes, -bytes);
+}
+
+}  // namespace avm

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+
+#include "array/chunk.h"
+
+namespace avm {
+
+/// Free list of emptied Chunks with retained buffer capacity, so steady-state
+/// maintenance batches build their scratch fragments into memory previous
+/// batches already allocated instead of hitting the allocator per chunk.
+///
+/// Structure: a per-thread shard (lock-free, the fast path for the parallel
+/// join phase, which acquires fragments on pool worker threads) backed by a
+/// small mutex-protected global overflow list. The overflow is what closes
+/// the producer/consumer loop: fragments are acquired on worker threads but
+/// released after the serial merge on the control thread, so without a
+/// shared tier the workers' shards would never refill.
+///
+/// Pooled chunks are always empty (Release clears them); Acquire re-layouts
+/// for the requested dimensionality/attribute count, so a pooled chunk is
+/// indistinguishable from a fresh one except for its retained capacity.
+/// Telemetry: chunk_pool.hits / chunk_pool.misses counters and the
+/// chunk_pool.bytes gauge (capacity parked across all shards).
+class ChunkPool {
+ public:
+  /// A cleared chunk with the given layout; reuses pooled capacity when any
+  /// is available (local shard first, then the global overflow).
+  static Chunk Acquire(size_t num_dims, size_t num_attrs);
+
+  /// Returns a chunk to the pool: cleared in place, capacity retained. When
+  /// both the local shard and the overflow are full the chunk is simply
+  /// destroyed — the pool bounds parked memory, it does not grow unbounded.
+  static void Release(Chunk&& chunk);
+
+  /// Chunks parked in this thread's shard (not counting the overflow).
+  static size_t LocalFreeForTesting();
+
+  /// Frees every pooled chunk reachable from this thread: the local shard
+  /// and the global overflow. Other threads' shards are untouched.
+  static void DrainForTesting();
+
+  ChunkPool() = delete;
+};
+
+}  // namespace avm

@@ -107,6 +107,18 @@ class OffsetIndex {
         << "load factor above the rehash threshold";
   }
 
+  /// Empties the index while keeping the slot table allocated, so a pooled
+  /// chunk's next bulk load reuses the capacity instead of rehashing from
+  /// scratch.
+  void Clear() {
+    for (Slot& s : slots_) s = Slot{};
+    size_ = 0;
+    tombstones_ = 0;
+  }
+
+  /// Bytes held by the slot table (capacity, not live entries).
+  uint64_t CapacityBytes() const { return slots_.capacity() * sizeof(Slot); }
+
   /// Removes `offset`; returns whether it was present.
   bool Erase(uint64_t offset) {
     if (slots_.empty()) return false;

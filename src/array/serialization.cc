@@ -1,5 +1,6 @@
 #include "array/serialization.h"
 
+#include <bit>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -9,7 +10,14 @@ namespace avm {
 
 namespace {
 
-constexpr char kMagic[8] = {'A', 'V', 'M', 'A', 'R', 'R', '0', '1'};
+// The v2 chunk sections are raw memcpy'd little-endian buffers; this
+// persistence layer targets little-endian hosts only (everything this repo
+// builds on). A big-endian port would add byte-swapping shims here.
+static_assert(std::endian::native == std::endian::little,
+              "bulk array serialization assumes a little-endian host");
+
+constexpr char kMagicV1[8] = {'A', 'V', 'M', 'A', 'R', 'R', '0', '1'};
+constexpr char kMagicV2[8] = {'A', 'V', 'M', 'A', 'R', 'R', '0', '2'};
 
 void WriteU64(std::ostream& out, uint64_t v) {
   char buf[8];
@@ -68,11 +76,33 @@ Result<std::string> ReadString(std::istream& in) {
   return s;
 }
 
-}  // namespace
+/// One length-prefixed bulk section: element count, then the raw buffer in
+/// one write. This is what makes v2 save/load O(bytes) stream operations
+/// instead of O(cells) formatted ones.
+template <typename T>
+void WriteBlock(std::ostream& out, std::span<const T> data) {
+  WriteU64(out, data.size());
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(T)));
+}
 
-Status SaveArray(const SparseArray& array, std::ostream& out) {
-  out.write(kMagic, sizeof(kMagic));
-  const ArraySchema& schema = array.schema();
+template <typename T>
+Result<std::vector<T>> ReadBlock(std::istream& in, uint64_t max_elems,
+                                 const char* what) {
+  AVM_ASSIGN_OR_RETURN(uint64_t n, ReadU64(in));
+  if (n > max_elems) {
+    return Status::InvalidArgument(std::string("implausible ") + what +
+                                   " block length in array file");
+  }
+  std::vector<T> data(n);
+  const std::streamsize bytes =
+      static_cast<std::streamsize>(n * sizeof(T));
+  in.read(reinterpret_cast<char*>(data.data()), bytes);
+  if (in.gcount() != bytes) return Status::Internal("truncated array file");
+  return data;
+}
+
+void WriteSchema(std::ostream& out, const ArraySchema& schema) {
   WriteString(out, schema.name());
   WriteU64(out, schema.num_dims());
   for (const auto& dim : schema.dims()) {
@@ -86,23 +116,9 @@ Status SaveArray(const SparseArray& array, std::ostream& out) {
     WriteString(out, attr.name);
     WriteU64(out, attr.type == AttributeType::kInt64 ? 1 : 0);
   }
-  WriteU64(out, array.NumCells());
-  array.ForEachCell(
-      [&](std::span<const int64_t> coord, std::span<const double> values) {
-        for (int64_t c : coord) WriteI64(out, c);
-        for (double v : values) WriteDouble(out, v);
-      });
-  if (!out.good()) return Status::Internal("write failed");
-  return Status::OK();
 }
 
-Result<SparseArray> LoadArray(std::istream& in) {
-  char magic[sizeof(kMagic)];
-  in.read(magic, sizeof(kMagic));
-  if (in.gcount() != sizeof(kMagic) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("not an avm array file (bad magic)");
-  }
+Result<ArraySchema> ReadSchema(std::istream& in) {
   AVM_ASSIGN_OR_RETURN(std::string name, ReadString(in));
   AVM_ASSIGN_OR_RETURN(uint64_t num_dims, ReadU64(in));
   if (num_dims == 0 || num_dims > 64) {
@@ -129,11 +145,15 @@ Result<SparseArray> LoadArray(std::istream& in) {
     attr.type = type == 1 ? AttributeType::kInt64 : AttributeType::kDouble;
     attrs.push_back(std::move(attr));
   }
-  AVM_ASSIGN_OR_RETURN(
-      ArraySchema schema,
-      ArraySchema::Create(std::move(name), std::move(dims),
-                          std::move(attrs)));
-  SparseArray array(std::move(schema));
+  return ArraySchema::Create(std::move(name), std::move(dims),
+                             std::move(attrs));
+}
+
+/// v1 cell section: per-cell interleaved coord/values stream, loaded through
+/// the range-checked SparseArray::Set path.
+Result<SparseArray> LoadCellsV1(std::istream& in, SparseArray array) {
+  const size_t num_dims = array.schema().num_dims();
+  const size_t num_attrs = array.schema().num_attrs();
   AVM_ASSIGN_OR_RETURN(uint64_t num_cells, ReadU64(in));
   // Buffer the cells first so each chunk's storage can be sized in one shot
   // before insertion, instead of growing its index incrementally. The buffers
@@ -171,6 +191,109 @@ Result<SparseArray> LoadArray(std::istream& in) {
         coord, {all_values.data() + i * num_attrs, num_attrs}));
   }
   return array;
+}
+
+/// v2 chunk section: per chunk, the id then the three row buffers as bulk
+/// blocks. Geometry is re-validated row by row before adoption — a corrupt
+/// file fails with a Status, never a CHECK, and never leaves a chunk whose
+/// cells lie outside its box.
+Result<SparseArray> LoadChunksV2(std::istream& in, SparseArray array) {
+  const size_t num_dims = array.schema().num_dims();
+  const size_t num_attrs = array.schema().num_attrs();
+  const ChunkGrid& grid = array.grid();
+  AVM_ASSIGN_OR_RETURN(uint64_t num_chunks, ReadU64(in));
+  if (num_chunks > static_cast<uint64_t>(grid.TotalChunkSlots())) {
+    return Status::InvalidArgument("implausible chunk count in array file");
+  }
+  constexpr uint64_t kMaxCellsPerChunk = 1ull << 32;
+  CellCoord coord(num_dims);
+  for (uint64_t c = 0; c < num_chunks; ++c) {
+    AVM_ASSIGN_OR_RETURN(uint64_t id, ReadU64(in));
+    if (id >= static_cast<uint64_t>(grid.TotalChunkSlots())) {
+      return Status::InvalidArgument("chunk id outside the grid");
+    }
+    const ChunkId chunk_id = static_cast<ChunkId>(id);
+    if (array.GetChunk(chunk_id) != nullptr) {
+      return Status::InvalidArgument("duplicate chunk in array file");
+    }
+    AVM_ASSIGN_OR_RETURN(
+        std::vector<uint64_t> offsets,
+        ReadBlock<uint64_t>(in, kMaxCellsPerChunk, "offset"));
+    AVM_ASSIGN_OR_RETURN(
+        std::vector<int64_t> coords,
+        ReadBlock<int64_t>(in, offsets.size() * num_dims, "coordinate"));
+    AVM_ASSIGN_OR_RETURN(
+        std::vector<double> values,
+        ReadBlock<double>(in, offsets.size() * num_attrs, "value"));
+    if (coords.size() != offsets.size() * num_dims ||
+        values.size() != offsets.size() * num_attrs) {
+      return Status::InvalidArgument(
+          "chunk section lengths disagree in array file");
+    }
+    for (size_t row = 0; row < offsets.size(); ++row) {
+      coord.assign(coords.begin() + static_cast<ptrdiff_t>(row * num_dims),
+                   coords.begin() + static_cast<ptrdiff_t>((row + 1) * num_dims));
+      if (!array.schema().ContainsCoord(coord)) {
+        return Status::InvalidArgument(
+            "cell coordinate outside the schema's ranges");
+      }
+      const ChunkGrid::CellSlot slot = grid.SlotOfCell(coord);
+      if (slot.id != chunk_id || slot.offset != offsets[row]) {
+        return Status::InvalidArgument(
+            "cell does not linearize to its recorded chunk slot");
+      }
+    }
+    AVM_RETURN_IF_ERROR(array.GetOrCreateChunk(chunk_id).AdoptRows(
+        std::move(offsets), std::move(coords), std::move(values)));
+  }
+  return array;
+}
+
+}  // namespace
+
+Status SaveArray(const SparseArray& array, std::ostream& out) {
+  out.write(kMagicV2, sizeof(kMagicV2));
+  WriteSchema(out, array.schema());
+  WriteU64(out, array.NumChunks());
+  array.ForEachChunk([&](ChunkId id, const Chunk& chunk) {
+    WriteU64(out, id);
+    WriteBlock<uint64_t>(out, chunk.RowOffsets());
+    WriteBlock<int64_t>(out, chunk.RowCoords());
+    WriteBlock<double>(out, chunk.RowValues());
+  });
+  if (!out.good()) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+Status SaveArrayV1(const SparseArray& array, std::ostream& out) {
+  out.write(kMagicV1, sizeof(kMagicV1));
+  WriteSchema(out, array.schema());
+  WriteU64(out, array.NumCells());
+  array.ForEachCell(
+      [&](std::span<const int64_t> coord, std::span<const double> values) {
+        for (int64_t c : coord) WriteI64(out, c);
+        for (double v : values) WriteDouble(out, v);
+      });
+  if (!out.good()) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+Result<SparseArray> LoadArray(std::istream& in) {
+  char magic[sizeof(kMagicV2)];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic)) {
+    return Status::InvalidArgument("not an avm array file (bad magic)");
+  }
+  int version = 0;
+  if (std::memcmp(magic, kMagicV1, sizeof(magic)) == 0) version = 1;
+  if (std::memcmp(magic, kMagicV2, sizeof(magic)) == 0) version = 2;
+  if (version == 0) {
+    return Status::InvalidArgument("not an avm array file (bad magic)");
+  }
+  AVM_ASSIGN_OR_RETURN(ArraySchema schema, ReadSchema(in));
+  SparseArray array(std::move(schema));
+  return version == 1 ? LoadCellsV1(in, std::move(array))
+                      : LoadChunksV2(in, std::move(array));
 }
 
 Status SaveArrayToFile(const SparseArray& array, const std::string& path) {

@@ -9,20 +9,34 @@
 namespace avm {
 
 /// Binary persistence for sparse arrays: schema (dimensions with ranges and
-/// chunk extents, attributes with types) followed by the non-empty chunks'
-/// cells. The format is versioned and self-describing, so a saved catalog
-/// or view can be reloaded without external metadata. Integers are written
+/// chunk extents, attributes with types) followed by the chunk data. The
+/// format is versioned and self-describing, so a saved catalog or view can
+/// be reloaded without external metadata. Integers are written
 /// little-endian, fixed-width; doubles as their IEEE-754 bits.
+///
+/// Two on-disk versions exist:
+///  - AVMARR01 (legacy): per-cell interleaved coord/values stream. Still
+///    readable; no longer written.
+///  - AVMARR02 (current): per chunk, the three row buffers
+///    (offsets/coords/values) each as one length-prefixed bulk block, so
+///    save and load are a handful of large stream operations per chunk
+///    instead of one formatted read/write per value.
 ///
 /// This is single-array, single-file persistence for checkpointing and data
 /// exchange — distributed on-disk chunk storage is out of scope (the
 /// simulated cluster keeps chunks in memory).
 
-/// Writes `array` to the stream. The stream must be binary.
+/// Writes `array` to the stream in the current (AVMARR02) format. The
+/// stream must be binary.
 Status SaveArray(const SparseArray& array, std::ostream& out);
 
-/// Reads an array previously written by SaveArray. Fails with
-/// InvalidArgument on a bad magic/version and with Internal on truncation.
+/// Writes `array` in the legacy AVMARR01 per-cell format. Kept so the
+/// backward-compat read path stays testable; new code uses SaveArray.
+Status SaveArrayV1(const SparseArray& array, std::ostream& out);
+
+/// Reads an array previously written by SaveArray (either version). Fails
+/// with InvalidArgument on a bad magic/version or structurally corrupt
+/// contents and with Internal on truncation.
 Result<SparseArray> LoadArray(std::istream& in);
 
 /// File-path convenience wrappers.

@@ -36,15 +36,17 @@ const NodeClock& Cluster::clock(NodeId node) const {
 Status Cluster::TransferChunk(ArrayId array, ChunkId chunk, NodeId from,
                               NodeId to) {
   if (from == to) return Status::OK();
-  const Chunk* src = store(from).Get(array, chunk);
+  ChunkHandle src = store(from).GetHandle(array, chunk);
   if (src == nullptr) {
     return Status::NotFound("transfer source node " + std::to_string(from) +
                             " does not hold chunk " + std::to_string(chunk) +
                             " of array " + std::to_string(array));
   }
-  Chunk copy = *src;
-  const uint64_t bytes = copy.SizeBytes();
-  store(to).Put(array, chunk, std::move(copy));
+  // Copy-free: the destination store aliases the source's Chunk; the bytes
+  // are duplicated only if one side later mutates (ChunkStore COW). The
+  // *simulated* network charge below is unchanged — the cost model still
+  // sees the full chunk cross the wire.
+  const uint64_t bytes = store(to).PutHandle(array, chunk, std::move(src));
   NodeClock& sender = clock(from);
   sender.ntwk_seconds += cost_model_.TransferSeconds(bytes);
   sender.ntwk_bytes += bytes;

@@ -49,7 +49,8 @@ Status DistributedArray::Ingest(const SparseArray& local) {
   return status;
 }
 
-Status DistributedArray::PutChunk(ChunkId chunk, Chunk data, NodeId node) {
+Status DistributedArray::PutChunk(
+    ChunkId chunk, Chunk data, NodeId node) {  // avm-lint: allow(chunk-by-value)
   if (node != kCoordinatorNode &&
       (node < 0 || node >= cluster_->num_workers())) {
     return Status::InvalidArgument("bad node id " + std::to_string(node));

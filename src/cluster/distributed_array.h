@@ -44,7 +44,7 @@ class DistributedArray {
 
   /// Places one chunk on an explicit node: stores the data, records the
   /// assignment and size. Merges cell-wise if the node already holds a copy.
-  Status PutChunk(ChunkId chunk, Chunk data, NodeId node);
+  Status PutChunk(ChunkId chunk, Chunk data, NodeId node);  // avm-lint: allow(chunk-by-value)
 
   /// Accumulates `delta` into the chunk's primary copy (creating the chunk
   /// on `fallback_node` if it does not exist yet) and refreshes the

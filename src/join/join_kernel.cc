@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "array/chunk_pool.h"
 #include "common/check.h"
 #include "telemetry/metrics.h"
 
@@ -54,8 +55,11 @@ class FragmentBuilder {
       if (chunk_ == nullptr || chunk_id_ != view_chunk_) {
         auto it = out_->find(view_chunk_);
         if (it == out_->end()) {
+          // Pooled acquire: steady-state batches build fragments into
+          // buffers released by previous merges instead of fresh heap.
           it = out_
-                   ->emplace(view_chunk_, Chunk(view_coord_.size(),
+                   ->emplace(view_chunk_,
+                             ChunkPool::Acquire(view_coord_.size(),
                                                 layout_.num_state_slots()))
                    .first;
         }

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "array/chunk_pool.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "join/compiled_shape.h"
@@ -367,6 +368,15 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
   merge_span->AddArg("fragments",
                      static_cast<int64_t>(stats.fragments_merged));
   merge_span.reset();
+  // The fragment scratch chunks are dead after the merge; park their buffer
+  // capacity in the pool so the next batch's join phase (which acquires on
+  // the worker threads, see FragmentBuilder) skips the allocator.
+  for (NodeJoinWork* work : tasks) {
+    for (auto& [v, fragment] : work->fragments) {
+      ChunkPool::Release(std::move(fragment));
+    }
+    work->fragments.clear();
+  }
 
   // Step 4: stage-3 storage redistribution of base chunks (free: the data
   // was already replicated during maintenance; only primaries change).
@@ -438,20 +448,25 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
         AVM_RETURN_IF_ERROR(
             cluster->TransferChunk(delta->id(), d, source, home));
       }
-      const Chunk* delta_chunk = cluster->store(home).Get(delta->id(), d);
+      ChunkHandle delta_handle = cluster->store(home).GetHandle(delta->id(), d);
       if (base_exists) {
         Chunk* base_chunk = cluster->store(home).GetMutable(base.id(), d);
         if (base_chunk == nullptr) {
           return Status::Internal(
               "base chunk missing from its primary node during delta merge");
         }
-        // Chunk pointers are stable (node stores are node-based maps), so
-        // the job survives later transfers into the same store.
-        upserts.push_back({delta_chunk, base_chunk, base.id(), d});
+        // Both raw pointers stay valid across the loop: store entries are
+        // only replaced via same-key Put/PutHandle, and no later iteration
+        // re-puts a key fetched here (transfers are guarded by a presence
+        // check, and each delta / base id is visited exactly once).
+        upserts.push_back({delta_handle.get(), base_chunk, base.id(), d});
       } else {
-        Chunk copy = *delta_chunk;
-        const uint64_t bytes = copy.SizeBytes();
-        cluster->store(home).Put(base.id(), d, std::move(copy));
+        // The delta chunk *becomes* the base chunk: alias it instead of
+        // copying. Step 6 erases the transient delta entry; the base entry's
+        // handle keeps the bytes alive, so after cleanup the store owns the
+        // chunk uniquely and future-batch folds mutate it copy-free.
+        const uint64_t bytes =
+            cluster->store(home).PutHandle(base.id(), d, std::move(delta_handle));
         catalog->AssignChunk(base.id(), d, home);
         catalog->SetChunkBytes(base.id(), d, bytes);
       }

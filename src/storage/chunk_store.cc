@@ -1,5 +1,6 @@
 #include "storage/chunk_store.h"
 
+#include "common/check.h"
 #include "telemetry/metrics.h"
 
 namespace avm {
@@ -8,7 +9,9 @@ namespace {
 
 /// Residency gauges aggregate over every ChunkStore in the process (all
 /// simulated nodes). They track deltas from the moment telemetry was
-/// enabled, so chunks stored before enabling are not counted.
+/// enabled, so chunks stored before enabling are not counted. Aliased
+/// replicas count in full per holding store (logical residency, matching
+/// SizeBytes).
 void TrackResident(int64_t chunks_delta, int64_t bytes_delta) {
   if (chunks_delta != 0) {
     GaugeAdd(GaugeId::kStoreResidentChunks, chunks_delta);
@@ -18,51 +21,104 @@ void TrackResident(int64_t chunks_delta, int64_t bytes_delta) {
 
 }  // namespace
 
-uint64_t ChunkStore::Put(ArrayId array, ChunkId chunk, Chunk data) {
+uint64_t ChunkStore::Put(ArrayId array, ChunkId chunk,
+                         Chunk data) {  // avm-lint: allow(chunk-by-value)
   const uint64_t bytes = data.SizeBytes();
   if (TelemetryEnabled()) {
     auto it = chunks_.find(Key{array, chunk});
     const bool existed = it != chunks_.end();
     TrackResident(existed ? 0 : 1,
                   static_cast<int64_t>(bytes) -
-                      (existed ? static_cast<int64_t>(it->second.SizeBytes())
+                      (existed ? static_cast<int64_t>(it->second->SizeBytes())
                                : 0));
   }
-  chunks_.insert_or_assign(Key{array, chunk}, std::move(data));
+  chunks_.insert_or_assign(Key{array, chunk},
+                           std::make_shared<Chunk>(std::move(data)));
+  return bytes;
+}
+
+uint64_t ChunkStore::PutHandle(ArrayId array, ChunkId chunk,
+                               ChunkHandle data) {
+  AVM_CHECK(data != nullptr) << "PutHandle of a null chunk handle";
+  const uint64_t bytes = data->SizeBytes();
+  if (TelemetryEnabled()) {
+    auto it = chunks_.find(Key{array, chunk});
+    const bool existed = it != chunks_.end();
+    TrackResident(existed ? 0 : 1,
+                  static_cast<int64_t>(bytes) -
+                      (existed ? static_cast<int64_t>(it->second->SizeBytes())
+                               : 0));
+  }
+  std::shared_ptr<Chunk> entry;
+  if (ChunkAliasingEnabled()) {
+    entry = std::const_pointer_cast<Chunk>(std::move(data));
+    CountAdd(CounterId::kStoreChunksAliased);
+  } else {
+    entry = std::make_shared<Chunk>(*data);
+    CountAdd(CounterId::kStoreChunksDeepCopied);
+  }
+  chunks_.insert_or_assign(Key{array, chunk}, std::move(entry));
   return bytes;
 }
 
 const Chunk* ChunkStore::Get(ArrayId array, ChunkId chunk) const {
   auto it = chunks_.find(Key{array, chunk});
-  return it == chunks_.end() ? nullptr : &it->second;
+  return it == chunks_.end() ? nullptr : it->second.get();
+}
+
+ChunkHandle ChunkStore::GetHandle(ArrayId array, ChunkId chunk) const {
+  auto it = chunks_.find(Key{array, chunk});
+  return it == chunks_.end() ? nullptr : it->second;
 }
 
 Chunk* ChunkStore::GetMutable(ArrayId array, ChunkId chunk) {
   auto it = chunks_.find(Key{array, chunk});
-  return it == chunks_.end() ? nullptr : &it->second;
+  if (it == chunks_.end()) return nullptr;
+  if (it->second.use_count() > 1) {
+    // COW break: other replicas (or outstanding handles) still reference
+    // this Chunk; give this store a private copy before the mutation. The
+    // use_count read is race-free under the store's external-quiescence
+    // contract: whoever may concurrently bump the count holds a handle
+    // already, so the count can only over-estimate — never 1 while another
+    // owner exists.
+    it->second = std::make_shared<Chunk>(*it->second);
+    CountAdd(CounterId::kStoreCowBreaks);
+  }
+  return it->second.get();
 }
 
 Chunk& ChunkStore::GetOrCreate(ArrayId array, ChunkId chunk, size_t num_dims,
                                size_t num_attrs) {
   auto it = chunks_.find(Key{array, chunk});
   if (it == chunks_.end()) {
-    it = chunks_.emplace(Key{array, chunk}, Chunk(num_dims, num_attrs)).first;
+    it = chunks_
+             .emplace(Key{array, chunk},
+                      std::make_shared<Chunk>(num_dims, num_attrs))
+             .first;
     if (TelemetryEnabled()) {
-      TrackResident(1, static_cast<int64_t>(it->second.SizeBytes()));
+      TrackResident(1, static_cast<int64_t>(it->second->SizeBytes()));
     }
+  } else if (it->second.use_count() > 1) {
+    it->second = std::make_shared<Chunk>(*it->second);
+    CountAdd(CounterId::kStoreCowBreaks);
   }
-  return it->second;
+  return *it->second;
 }
 
 bool ChunkStore::Contains(ArrayId array, ChunkId chunk) const {
   return chunks_.find(Key{array, chunk}) != chunks_.end();
 }
 
+bool ChunkStore::IsAliased(ArrayId array, ChunkId chunk) const {
+  auto it = chunks_.find(Key{array, chunk});
+  return it != chunks_.end() && it->second.use_count() > 1;
+}
+
 bool ChunkStore::Erase(ArrayId array, ChunkId chunk) {
   if (TelemetryEnabled()) {
     auto it = chunks_.find(Key{array, chunk});
     if (it == chunks_.end()) return false;
-    TrackResident(-1, -static_cast<int64_t>(it->second.SizeBytes()));
+    TrackResident(-1, -static_cast<int64_t>(it->second->SizeBytes()));
     chunks_.erase(it);
     return true;
   }
@@ -71,17 +127,22 @@ bool ChunkStore::Erase(ArrayId array, ChunkId chunk) {
 
 uint64_t ChunkStore::SizeBytes() const {
   uint64_t total = 0;
-  for (const auto& [key, chunk] : chunks_) total += chunk.SizeBytes();
+  for (const auto& [key, chunk] : chunks_) total += chunk->SizeBytes();
   return total;
 }
 
 void ChunkStore::ForEach(
     const std::function<void(ArrayId, ChunkId, const Chunk&)>& fn) const {
-  for (const auto& [key, chunk] : chunks_) fn(key.first, key.second, chunk);
+  for (const auto& [key, chunk] : chunks_) fn(key.first, key.second, *chunk);
 }
 
 void ChunkStore::CheckInvariants() const {
-  for (const auto& [key, chunk] : chunks_) chunk.CheckInvariants();
+  for (const auto& [key, chunk] : chunks_) {
+    AVM_CHECK(chunk != nullptr)
+        << "store entry (" << key.first << ", " << key.second
+        << ") holds a null chunk handle";
+    chunk->CheckInvariants();
+  }
 }
 
 size_t ChunkStore::EraseArray(ArrayId array) {
@@ -90,7 +151,9 @@ size_t ChunkStore::EraseArray(ArrayId array) {
   const bool telemetry = TelemetryEnabled();
   auto it = chunks_.lower_bound(Key{array, 0});
   while (it != chunks_.end() && it->first.first == array) {
-    if (telemetry) bytes_dropped += static_cast<int64_t>(it->second.SizeBytes());
+    if (telemetry) {
+      bytes_dropped += static_cast<int64_t>(it->second->SizeBytes());
+    }
     it = chunks_.erase(it);
     ++dropped;
   }

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <utility>
 
 #include "array/chunk.h"
@@ -15,11 +17,44 @@ namespace avm {
 /// registration.
 using ArrayId = uint32_t;
 
+/// Shared, immutable-by-default reference to a stored chunk. Replicas created
+/// during view maintenance alias the same Chunk through handles like this
+/// one; the bytes are duplicated only when some store actually mutates its
+/// copy (see ChunkStore::GetMutable).
+using ChunkHandle = std::shared_ptr<const Chunk>;
+
+namespace chunk_store_internal {
+inline std::atomic<bool> g_aliasing_enabled{true};
+}  // namespace chunk_store_internal
+
+/// Process-wide switch for PutHandle's aliasing fast path. On (the default),
+/// storing a handle is a refcount bump; off, it deep-copies the chunk —
+/// the pre-COW behavior, kept switchable so microbench_transfer can measure
+/// both modes in one binary. Not for production use.
+inline bool ChunkAliasingEnabled() {
+  return chunk_store_internal::g_aliasing_enabled.load(
+      std::memory_order_relaxed);
+}
+inline void SetChunkAliasingEnabled(bool enabled) {
+  chunk_store_internal::g_aliasing_enabled.store(enabled,
+                                                 std::memory_order_relaxed);
+}
+
 /// The physical chunk container of one node: chunks of any array, keyed by
 /// (array, chunk id). This models a node's local attached storage in the
 /// shared-nothing architecture; a chunk "lives" on node k when k's store
 /// holds it and the catalog maps it there. Replicas created during view
-/// maintenance are additional copies in other nodes' stores.
+/// maintenance are additional entries in other nodes' stores that *alias*
+/// the same Chunk — copy-on-write, so moving a chunk is a refcount bump and
+/// the bytes are duplicated only when a store mutates its copy.
+///
+/// Concurrency contract: all mutating entry points (Put/PutHandle/
+/// GetMutable/GetOrCreate/Erase) must be called with the store externally
+/// quiesced — in this codebase, from the executor's control thread or from a
+/// parallel phase in which each task owns disjoint chunks. Concurrent
+/// *readers of other stores* aliasing the same Chunk are always safe: a COW
+/// break replaces this store's handle with a fresh deep copy and never
+/// touches the shared original.
 ///
 /// Keys are kept in an ordered map for deterministic iteration.
 class ChunkStore {
@@ -32,27 +67,54 @@ class ChunkStore {
   ChunkStore(ChunkStore&&) = default;
   ChunkStore& operator=(ChunkStore&&) = default;
 
-  /// Stores (or replaces) a chunk. Returns the stored chunk's size in bytes.
-  uint64_t Put(ArrayId array, ChunkId chunk, Chunk data);
+  /// Stores (or replaces) a chunk by value (fresh data the store becomes the
+  /// first owner of). Returns the stored chunk's size in bytes.
+  uint64_t Put(ArrayId array, ChunkId chunk,
+               Chunk data);  // avm-lint: allow(chunk-by-value)
 
-  /// The chunk if present, else nullptr.
+  /// Stores (or replaces) a chunk by handle: the copy-free replica path.
+  /// With aliasing enabled this is a refcount bump; otherwise it deep-copies
+  /// (the measurement baseline). Returns the chunk's size in bytes.
+  uint64_t PutHandle(ArrayId array, ChunkId chunk, ChunkHandle data);
+
+  /// The chunk if present, else nullptr. Never triggers a copy.
   const Chunk* Get(ArrayId array, ChunkId chunk) const;
+
+  /// The owning handle if present, else nullptr — the source side of a
+  /// copy-free transfer. The handle keeps the Chunk alive past Erase/Put.
+  ChunkHandle GetHandle(ArrayId array, ChunkId chunk) const;
+
+  /// Mutable access with copy-on-write: if this store's entry aliases a
+  /// Chunk that other handles still reference, the entry is first replaced
+  /// by a deep copy (a "COW break", counted in telemetry), so the mutation
+  /// never reaches the other replicas. Returns nullptr if absent. Any
+  /// previously obtained raw pointer or handle for this key keeps observing
+  /// the pre-break chunk.
   Chunk* GetMutable(ArrayId array, ChunkId chunk);
 
   /// The chunk, creating an empty one with the given layout if absent.
+  /// Applies the same copy-on-write rule as GetMutable when the existing
+  /// entry is shared.
   Chunk& GetOrCreate(ArrayId array, ChunkId chunk, size_t num_dims,
                      size_t num_attrs);
 
   bool Contains(ArrayId array, ChunkId chunk) const;
 
+  /// True if the entry shares its Chunk with at least one other handle
+  /// (another store's entry or an outstanding ChunkHandle).
+  bool IsAliased(ArrayId array, ChunkId chunk) const;
+
   /// Drops the chunk; true if it was present. Dropping a primary copy is the
-  /// caller's responsibility to coordinate with the catalog.
+  /// caller's responsibility to coordinate with the catalog. The bytes are
+  /// freed only when the last aliasing handle goes away.
   bool Erase(ArrayId array, ChunkId chunk);
 
   /// Number of chunks held (all arrays).
   size_t NumChunks() const { return chunks_.size(); }
 
-  /// Total bytes held (all arrays).
+  /// Total bytes held (all arrays). Aliased replicas count in full on every
+  /// store holding them: this is the *logical* residency the simulated cost
+  /// model charges for, not host RSS.
   uint64_t SizeBytes() const;
 
   /// Invokes fn(array, chunk_id, chunk) for every stored chunk in key order.
@@ -62,15 +124,20 @@ class ChunkStore {
   /// Removes every chunk belonging to `array`; returns how many were dropped.
   size_t EraseArray(ArrayId array);
 
-  /// Debug structural audit: every stored chunk passes its internal
-  /// row-storage/index contract. Geometry is not checked here (a store
+  /// Debug structural audit: every entry holds a live chunk that passes its
+  /// internal row-storage/index contract. Aliased replicas are legal (they
+  /// are the point of the handle design); each shared Chunk is still checked
+  /// from every store referencing it. Geometry is not checked here (a store
   /// holds chunks of many arrays; pass the grid at the call sites that have
   /// it). Violations fire AVM_CHECK; O(total cells).
   void CheckInvariants() const;
 
  private:
-  std::map<Key, Chunk> chunks_;
+  /// Entries are non-const internally; Get/GetHandle project constness out.
+  /// Every stored Chunk was created by a ChunkStore via make_shared<Chunk>
+  /// (never from a genuinely const object), so PutHandle's
+  /// const_pointer_cast back to the mutable type is sound.
+  std::map<Key, std::shared_ptr<Chunk>> chunks_;
 };
 
 }  // namespace avm
-

@@ -54,6 +54,11 @@ const char* CounterName(CounterId id) {
     case CounterId::kJoinScannedCells: return "join.scanned_cells";
     case CounterId::kShapeCacheHits: return "shape_cache.hits";
     case CounterId::kShapeCacheMisses: return "shape_cache.misses";
+    case CounterId::kStoreChunksAliased: return "store.chunks_aliased";
+    case CounterId::kStoreChunksDeepCopied: return "store.chunks_deep_copied";
+    case CounterId::kStoreCowBreaks: return "store.cow_breaks";
+    case CounterId::kChunkPoolHits: return "chunk_pool.hits";
+    case CounterId::kChunkPoolMisses: return "chunk_pool.misses";
     case CounterId::kPoolTasksRun: return "pool.tasks_run";
     case CounterId::kBatchesMaintained: return "maint.batches";
     case CounterId::kTraceEventsDropped: return "trace.events_dropped";
@@ -67,6 +72,7 @@ const char* GaugeName(GaugeId id) {
     case GaugeId::kPoolQueueDepth: return "pool.queue_depth";
     case GaugeId::kStoreResidentChunks: return "store.resident_chunks";
     case GaugeId::kStoreResidentBytes: return "store.resident_bytes";
+    case GaugeId::kChunkPoolBytes: return "chunk_pool.bytes";
     case GaugeId::kNumGaugeIds: break;
   }
   return "unknown";

@@ -64,6 +64,11 @@ enum class CounterId : uint16_t {
   kJoinScannedCells,       // right cells visited by the scan strategy
   kShapeCacheHits,         // CompiledShapeCache::Get served from cache
   kShapeCacheMisses,       // CompiledShapeCache::Get compiled a new entry
+  kStoreChunksAliased,     // handle puts served by a refcount bump
+  kStoreChunksDeepCopied,  // handle puts that duplicated the chunk bytes
+  kStoreCowBreaks,         // mutations of a shared chunk that forced a copy
+  kChunkPoolHits,          // ChunkPool acquires served from the free list
+  kChunkPoolMisses,        // ChunkPool acquires that allocated a fresh chunk
   kPoolTasksRun,           // thread-pool tasks executed
   kBatchesMaintained,      // ViewMaintainer::ApplyBatch completions
   kTraceEventsDropped,     // span events overwritten in a full ring buffer
@@ -75,6 +80,7 @@ enum class GaugeId : uint16_t {
   kPoolQueueDepth,       // tasks queued but not yet picked up
   kStoreResidentChunks,  // chunks resident across all ChunkStores
   kStoreResidentBytes,   // bytes resident across all ChunkStores
+  kChunkPoolBytes,       // row-buffer capacity parked in ChunkPool free lists
   kNumGaugeIds,
 };
 

@@ -1,0 +1,263 @@
+#include "storage/chunk_store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "array/chunk.h"
+#include "array/chunk_pool.h"
+#include "array/coords.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+
+namespace avm {
+namespace {
+
+/// A 2-d, 1-attr chunk with rows at offsets 0..cells-1.
+Chunk MakeChunk(size_t cells) {
+  Chunk chunk(/*num_dims=*/2, /*num_attrs=*/1);
+  chunk.Reserve(cells);
+  CellCoord coord(2);
+  for (size_t i = 0; i < cells; ++i) {
+    coord[0] = static_cast<int64_t>(i / 8);
+    coord[1] = static_cast<int64_t>(i % 8);
+    const double v = static_cast<double>(i) * 0.5;
+    chunk.UpsertCell(i, coord, {&v, 1});
+  }
+  return chunk;
+}
+
+/// Restores the process-wide aliasing switch on scope exit.
+struct AliasingModeGuard {
+  ~AliasingModeGuard() { SetChunkAliasingEnabled(true); }
+};
+
+TEST(ChunkStoreTest, PutHandleAliasesTheSameChunk) {
+  ChunkStore a;
+  ChunkStore b;
+  a.Put(0, 0, MakeChunk(10));
+  ChunkHandle handle = a.GetHandle(0, 0);
+  ASSERT_NE(handle, nullptr);
+  EXPECT_EQ(b.PutHandle(0, 0, std::move(handle)), a.Get(0, 0)->SizeBytes());
+  // Copy-free: both stores resolve to the same object.
+  EXPECT_EQ(a.Get(0, 0), b.Get(0, 0));
+  EXPECT_TRUE(a.IsAliased(0, 0));
+  EXPECT_TRUE(b.IsAliased(0, 0));
+  // Logical residency still charges each holder in full.
+  EXPECT_EQ(a.SizeBytes(), b.SizeBytes());
+}
+
+TEST(ChunkStoreTest, GetMutableBreaksSharingBeforeMutation) {
+  ChunkStore a;
+  ChunkStore b;
+  a.Put(0, 0, MakeChunk(10));
+  b.PutHandle(0, 0, a.GetHandle(0, 0));
+  const Chunk* shared = a.Get(0, 0);
+
+  Chunk* mut = b.GetMutable(0, 0);
+  ASSERT_NE(mut, nullptr);
+  EXPECT_NE(mut, shared) << "mutable access to a shared chunk must COW";
+  const double v = 42.0;
+  mut->UpsertCell(99, {9, 9}, {&v, 1});
+
+  EXPECT_EQ(a.Get(0, 0), shared);
+  EXPECT_EQ(a.Get(0, 0)->num_cells(), 10u);
+  EXPECT_EQ(b.Get(0, 0)->num_cells(), 11u);
+  EXPECT_FALSE(a.IsAliased(0, 0));
+  EXPECT_FALSE(b.IsAliased(0, 0));
+}
+
+TEST(ChunkStoreTest, GetMutableOnSoleOwnerDoesNotCopy) {
+  ChunkStore store;
+  store.Put(0, 0, MakeChunk(10));
+  const Chunk* before = store.Get(0, 0);
+  EXPECT_EQ(store.GetMutable(0, 0), before);
+  EXPECT_EQ(store.GetMutable(7, 7), nullptr);
+}
+
+TEST(ChunkStoreTest, GetOrCreateAppliesCopyOnWrite) {
+  ChunkStore a;
+  ChunkStore b;
+  a.Put(0, 0, MakeChunk(4));
+  b.PutHandle(0, 0, a.GetHandle(0, 0));
+  const Chunk* shared = a.Get(0, 0);
+  Chunk& broken = b.GetOrCreate(0, 0, 2, 1);
+  EXPECT_NE(&broken, shared);
+  EXPECT_EQ(broken.num_cells(), 4u);
+  // Absent key: creates empty with the requested layout.
+  Chunk& fresh = b.GetOrCreate(1, 5, 3, 2);
+  EXPECT_EQ(fresh.num_cells(), 0u);
+  EXPECT_EQ(fresh.num_dims(), 3u);
+  EXPECT_EQ(fresh.num_attrs(), 2u);
+}
+
+TEST(ChunkStoreTest, EraseOfOneReplicaLeavesTheOtherIntact) {
+  ChunkStore a;
+  ChunkStore b;
+  a.Put(0, 0, MakeChunk(6));
+  b.PutHandle(0, 0, a.GetHandle(0, 0));
+  EXPECT_TRUE(a.Erase(0, 0));
+  ASSERT_NE(b.Get(0, 0), nullptr);
+  EXPECT_EQ(b.Get(0, 0)->num_cells(), 6u);
+  EXPECT_FALSE(b.IsAliased(0, 0));
+  b.CheckInvariants();
+}
+
+TEST(ChunkStoreTest, HandleOutlivesTheStoreEntry) {
+  ChunkStore store;
+  store.Put(0, 0, MakeChunk(3));
+  ChunkHandle handle = store.GetHandle(0, 0);
+  store.Erase(0, 0);
+  ASSERT_NE(handle, nullptr);
+  EXPECT_EQ(handle->num_cells(), 3u);
+}
+
+TEST(ChunkStoreTest, DisabledAliasingDeepCopiesOnPutHandle) {
+  AliasingModeGuard guard;
+  ChunkStore a;
+  ChunkStore b;
+  a.Put(0, 0, MakeChunk(5));
+  SetChunkAliasingEnabled(false);
+  b.PutHandle(0, 0, a.GetHandle(0, 0));
+  EXPECT_NE(a.Get(0, 0), b.Get(0, 0));
+  EXPECT_FALSE(a.IsAliased(0, 0));
+  EXPECT_TRUE(b.Get(0, 0)->ContentEquals(*a.Get(0, 0)));
+}
+
+TEST(ChunkStoreTest, TelemetryCountsAliasesDeepCopiesAndCowBreaks) {
+  AliasingModeGuard guard;
+  EnableTelemetry();
+  MetricsRegistry::Global().ResetForTesting();
+
+  ChunkStore a;
+  ChunkStore b;
+  ChunkStore c;
+  a.Put(0, 0, MakeChunk(8));
+  b.PutHandle(0, 0, a.GetHandle(0, 0));      // aliased
+  SetChunkAliasingEnabled(false);
+  c.PutHandle(0, 0, a.GetHandle(0, 0));      // deep copy
+  SetChunkAliasingEnabled(true);
+  (void)b.GetMutable(0, 0);                  // COW break (a still shares)
+  (void)b.GetMutable(0, 0);                  // sole owner now: no break
+
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.counter(CounterId::kStoreChunksAliased), 1u);
+  EXPECT_EQ(snapshot.counter(CounterId::kStoreChunksDeepCopied), 1u);
+  EXPECT_EQ(snapshot.counter(CounterId::kStoreCowBreaks), 1u);
+  DisableTelemetry();
+}
+
+// Two stores alias one chunk; one thread keeps reading through store `a`
+// while another thread takes mutable access through store `b`. The COW break
+// replaces only b's entry, so the reader never observes the mutation — and
+// the whole schedule must be race-free under AVM_SANITIZE=thread.
+TEST(ChunkStoreTest, CowBreakIsRaceFreeAgainstReadersOfOtherStores) {
+  ChunkStore a;
+  ChunkStore b;
+  constexpr size_t kCells = 256;
+  a.Put(0, 0, MakeChunk(kCells));
+  b.PutHandle(0, 0, a.GetHandle(0, 0));
+
+  std::atomic<bool> go{false};
+  double checksum = 0.0;
+  std::thread reader([&] {
+    while (!go.load(std::memory_order_acquire)) {
+    }
+    const Chunk* chunk = a.Get(0, 0);
+    double sum = 0.0;
+    for (int iter = 0; iter < 50; ++iter) {
+      for (size_t row = 0; row < chunk->num_cells(); ++row) {
+        sum += chunk->ValuesOfRow(row)[0];
+      }
+    }
+    checksum = sum;
+  });
+  std::thread writer([&] {
+    while (!go.load(std::memory_order_acquire)) {
+    }
+    Chunk* mut = b.GetMutable(0, 0);
+    ASSERT_NE(mut, nullptr);
+    const double v = -1.0;
+    mut->UpsertCell(kCells + 1, {31, 31}, {&v, 1});
+  });
+  go.store(true, std::memory_order_release);
+  reader.join();
+  writer.join();
+
+  EXPECT_GT(checksum, 0.0);
+  EXPECT_EQ(a.Get(0, 0)->num_cells(), kCells);
+  EXPECT_EQ(b.Get(0, 0)->num_cells(), kCells + 1);
+  a.CheckInvariants();
+  b.CheckInvariants();
+}
+
+TEST(ChunkPoolTest, ReuseReturnsAClearedChunk) {
+  ChunkPool::DrainForTesting();
+  ChunkPool::Release(MakeChunk(64));
+  EXPECT_EQ(ChunkPool::LocalFreeForTesting(), 1u);
+  Chunk reused = ChunkPool::Acquire(3, 2);
+  EXPECT_EQ(ChunkPool::LocalFreeForTesting(), 0u);
+  EXPECT_EQ(reused.num_cells(), 0u);
+  EXPECT_EQ(reused.num_dims(), 3u);
+  EXPECT_EQ(reused.num_attrs(), 2u);
+  // Indistinguishable from fresh: usable under the new layout.
+  const double vals[2] = {1.0, 2.0};
+  reused.UpsertCell(0, {0, 0, 0}, vals);
+  EXPECT_EQ(reused.num_cells(), 1u);
+  reused.CheckInvariants();
+  ChunkPool::DrainForTesting();
+}
+
+TEST(ChunkPoolTest, ReuseRetainsBufferCapacity) {
+  ChunkPool::DrainForTesting();
+  Chunk big = MakeChunk(512);
+  const uint64_t capacity = big.CapacityBytes();
+  ASSERT_GT(capacity, 0u);
+  ChunkPool::Release(std::move(big));
+  Chunk reused = ChunkPool::Acquire(2, 1);
+  EXPECT_GE(reused.CapacityBytes(), capacity)
+      << "pooled reuse must keep the row-buffer capacity";
+  ChunkPool::DrainForTesting();
+}
+
+TEST(ChunkPoolTest, AcquireOnEmptyPoolAllocatesFresh) {
+  ChunkPool::DrainForTesting();
+  Chunk fresh = ChunkPool::Acquire(2, 1);
+  EXPECT_EQ(fresh.num_cells(), 0u);
+  EXPECT_EQ(fresh.num_dims(), 2u);
+}
+
+TEST(ChunkPoolTest, ParkedMemoryIsBounded) {
+  ChunkPool::DrainForTesting();
+  // Far more releases than the local shard holds: the surplus spills to the
+  // overflow (or dies), never growing the local free list unboundedly.
+  for (int i = 0; i < 64; ++i) ChunkPool::Release(MakeChunk(4));
+  EXPECT_LE(ChunkPool::LocalFreeForTesting(), 16u);
+  ChunkPool::DrainForTesting();
+  EXPECT_EQ(ChunkPool::LocalFreeForTesting(), 0u);
+}
+
+TEST(ChunkPoolTest, TelemetryCountsHitsMissesAndParkedBytes) {
+  ChunkPool::DrainForTesting();
+  EnableTelemetry();
+  MetricsRegistry::Global().ResetForTesting();
+
+  ChunkPool::Release(MakeChunk(32));
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_GT(snapshot.gauge(GaugeId::kChunkPoolBytes), 0);
+
+  Chunk hit = ChunkPool::Acquire(2, 1);    // served from the free list
+  Chunk miss = ChunkPool::Acquire(2, 1);   // pool now empty
+  snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.counter(CounterId::kChunkPoolHits), 1u);
+  EXPECT_EQ(snapshot.counter(CounterId::kChunkPoolMisses), 1u);
+  EXPECT_EQ(snapshot.gauge(GaugeId::kChunkPoolBytes), 0);
+
+  ChunkPool::DrainForTesting();
+  DisableTelemetry();
+}
+
+}  // namespace
+}  // namespace avm

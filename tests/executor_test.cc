@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "maintenance/baseline_planner.h"
 #include "maintenance/triple_gen.h"
+#include "telemetry/metrics.h"
 #include "tests/test_util.h"
 
 namespace avm {
@@ -140,6 +141,49 @@ TEST(ExecutorTest, EmptyPlanStillMergesDeltaChunks) {
   ASSERT_OK_AND_ASSIGN(SparseArray base_now,
                        fixture.view->left_base().Gather());
   EXPECT_TRUE(base_now.Has({20, 12}));
+}
+
+TEST(ExecutorTest, FreshBaseDeltaFoldAliasesInsteadOfCopying) {
+  // Regression for the step-5 fold: a delta chunk with no existing base
+  // chunk must *become* the base via a handle alias — zero deep copies and
+  // zero COW breaks end to end, proven through the store telemetry.
+  ASSERT_OK_AND_ASSIGN(auto fixture,
+                       MakeCountViewFixture(3, 0, Shape::L1Ball(2, 1), 612));
+  SparseArray cells(fixture.local_base.schema());
+  ASSERT_OK(cells.Set({20, 12}, std::vector<double>{1.0}));
+  ASSERT_OK(cells.Set({4, 20}, std::vector<double>{2.0}));
+  ArraySchema schema("delta", cells.schema().dims(), cells.schema().attrs());
+  ASSERT_OK_AND_ASSIGN(
+      DistributedArray delta,
+      DistributedArray::Create(schema, MakeRoundRobinPlacement(),
+                               fixture.catalog.get(), fixture.cluster.get()));
+  Status status = Status::OK();
+  cells.ForEachChunk([&](ChunkId id, const Chunk& chunk) {
+    status = delta.PutChunk(id, chunk, kCoordinatorNode);
+  });
+  ASSERT_OK(status);
+
+  EnableTelemetry();
+  MetricsRegistry::Global().ResetForTesting();
+  TripleSet empty_triples;
+  MaintenancePlan empty_plan;
+  ASSERT_OK_AND_ASSIGN(
+      ExecutionStats stats,
+      ExecuteMaintenancePlan(empty_plan, empty_triples, fixture.view.get(),
+                             &delta, nullptr));
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  DisableTelemetry();
+
+  EXPECT_GT(stats.delta_chunks_merged, 0u);
+  EXPECT_GT(snapshot.counter(CounterId::kStoreChunksAliased), 0u)
+      << "delta-to-base fold should ride the handle path";
+  EXPECT_EQ(snapshot.counter(CounterId::kStoreChunksDeepCopied), 0u)
+      << "no store should deep-copy during a fresh-base fold";
+  EXPECT_EQ(snapshot.counter(CounterId::kStoreCowBreaks), 0u);
+  ASSERT_OK_AND_ASSIGN(SparseArray base_now,
+                       fixture.view->left_base().Gather());
+  EXPECT_TRUE(base_now.Has({20, 12}));
+  EXPECT_TRUE(base_now.Has({4, 20}));
 }
 
 TEST(ExecutorTest, ViewHomeRelocationMovesChunkAndCatalog) {

@@ -38,6 +38,14 @@ chrono                raw ``std::chrono`` (or ``#include <chrono>``) in
                       through one instrumented path — telemetry's Stopwatch,
                       TraceNowNs, and ScopedSpan — so traces and metrics
                       stay comparable; ad-hoc chrono timing bypasses it.
+chunk-by-value        a ``Chunk`` passed by value (function parameter) or
+                      copied out of a pointer/handle (``Chunk x = *p``) in
+                      ``src/``. Chunk movement is copy-free: stores hand out
+                      ChunkHandle aliases and break sharing lazily via COW
+                      (ChunkStore::GetMutable), so a by-value Chunk is
+                      usually an accidental deep copy of the row buffers.
+                      Intentional first-owner sinks (e.g. ChunkStore::Put)
+                      carry an explicit allow().
 """
 
 from __future__ import annotations
@@ -150,6 +158,15 @@ LEAKY_SINGLETON_RE = re.compile(r"(?<![\w_])static(?![\w_]).*=\s*$|"
 EQ_DELETE_RE = re.compile(r"=\s*delete\s*[;,)]")
 STD_FUNCTION_RE = re.compile(r"std\s*::\s*function")
 CHRONO_RE = re.compile(r"std\s*::\s*chrono|#\s*include\s*<chrono>")
+# A Chunk (not ChunkId/ChunkStore/...) taken by value in a parameter list:
+# `Chunk name` directly after '(' or ',', with no &/&&/* declarator. A
+# parenthesized local like `Chunk c(2, 1)` does not match (the next token
+# after the name is '(' rather than ',' or ')').
+CHUNK_BYVAL_PARAM_RE = re.compile(
+    r"[(,]\s*(?:const\s+)?Chunk\s+\w+\s*(?:[,)]|=[^=])")
+# A Chunk deep-copied out of a pointer or handle: `Chunk x = *p;`.
+CHUNK_DEREF_COPY_RE = re.compile(
+    r"(?<![\w_:])Chunk\s+\w+\s*=\s*\*")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 
 # A bare call statement: optional qualification, a harvested name, an open
@@ -278,6 +295,13 @@ def lint_file(path: str, status_functions: set[str]) -> list[Finding]:
             report(i, "chrono",
                    "raw std::chrono outside src/telemetry/; time through "
                    "telemetry's Stopwatch / TraceNowNs / ScopedSpan")
+
+        if rel.startswith("src/") and (CHUNK_BYVAL_PARAM_RE.search(code)
+                                       or CHUNK_DEREF_COPY_RE.search(code)):
+            report(i, "chunk-by-value",
+                   "Chunk passed or copied by value; chunk movement is "
+                   "copy-free — pass const Chunk& / ChunkHandle, or mutate "
+                   "through ChunkStore::GetMutable (COW)")
 
         # discarded-status: a statement that is exactly a call to a
         # Status/Result-returning function. Only lines that *begin* a
