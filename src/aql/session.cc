@@ -2,6 +2,7 @@
 
 #include <sstream>
 #include <utility>
+#include <vector>
 
 namespace avm::aql {
 
@@ -167,6 +168,7 @@ Result<std::string> AqlSession::ExecuteCreateView(
                                                       method_);
   const uint64_t cells = entry.view->array().NumCells();
   views_.emplace(stmt.name, std::move(entry));
+  PublishAllViews();
 
   std::ostringstream out;
   out << "materialized view " << stmt.name << " over " << stmt.left_array
@@ -207,8 +209,23 @@ Result<std::vector<MaintenanceReport>> AqlSession::InsertCells(
   if (!maintained) {
     // No view over this array: plain ingest.
     AVM_RETURN_IF_ERROR(it->second->Ingest(cells));
+    return reports;
   }
+  // One publish for the whole statement, after every affected view's
+  // maintenance: the new epoch re-pins untouched views too, so a snapshot
+  // always sees a mutually consistent view set.
+  const uint64_t epoch = PublishAllViews();
+  for (MaintenanceReport& report : reports) report.published_epoch = epoch;
   return reports;
+}
+
+uint64_t AqlSession::PublishAllViews() {
+  std::vector<ViewPin> pins;
+  pins.reserve(views_.size());
+  for (const auto& [name, entry] : views_) {
+    pins.push_back(EpochManager::PinView(*entry.view));
+  }
+  return epochs_.Publish(std::move(pins));
 }
 
 DistributedArray* AqlSession::GetArray(const std::string& name) {

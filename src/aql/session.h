@@ -9,6 +9,8 @@
 #include "cluster/distributed_array.h"
 #include "common/result.h"
 #include "maintenance/maintainer.h"
+#include "serve/epoch_manager.h"
+#include "serve/snapshot_query.h"
 #include "view/materialized_view.h"
 
 namespace avm::aql {
@@ -41,9 +43,29 @@ class AqlSession {
   Result<std::string> Execute(std::string_view statement);
 
   /// Inserts a batch of cells into `array_name` and incrementally maintains
-  /// every view defined over it. Returns the per-view reports.
+  /// every view defined over it, then publishes ONE epoch carrying every
+  /// session view — maintained and untouched alike — so the whole view set
+  /// becomes visible to readers atomically (a snapshot can never pair view
+  /// A at epoch n+1 with view B at epoch n). Returns the per-view reports.
   Result<std::vector<MaintenanceReport>> InsertCells(
       const std::string& array_name, const SparseArray& cells);
+
+  /// Serving path. OpenSnapshot pins the current epoch (every view the
+  /// session had published at that point) and is safe to call from any
+  /// reader thread concurrently with Execute/InsertCells running on the
+  /// session's control thread; Query evaluates a similarity-join/aggregate
+  /// read purely against the snapshot's pinned handles — never against the
+  /// epoch maintenance is rewriting in the stores.
+  ReadSnapshot OpenSnapshot() const { return epochs_.OpenSnapshot(); }
+  Result<SnapshotQueryResult> Query(const ReadSnapshot& snapshot,
+                                    const SnapshotQuery& query) const {
+    return EvaluateSnapshotQuery(snapshot, query);
+  }
+  /// Convenience: one-shot query against a freshly opened snapshot.
+  Result<SnapshotQueryResult> Query(const SnapshotQuery& query) const {
+    return EvaluateSnapshotQuery(OpenSnapshot(), query);
+  }
+  const EpochManager& epoch_manager() const { return epochs_; }
 
   /// Lookup of session-created objects (nullptr when absent).
   DistributedArray* GetArray(const std::string& name);
@@ -65,12 +87,18 @@ class AqlSession {
   Result<Shape> ResolveShape(const ShapeExpr& expr,
                              const ArraySchema& schema) const;
 
+  /// Pins every session view and swaps them in as one epoch. Control thread
+  /// only (reads catalog + stores); called at every view-set change point
+  /// (view creation, batch commit).
+  uint64_t PublishAllViews();
+
   Catalog* catalog_;
   Cluster* cluster_;
   std::function<std::unique_ptr<ChunkPlacement>()> placement_factory_;
   MaintenanceMethod method_;
   std::map<std::string, std::unique_ptr<DistributedArray>> arrays_;
   std::map<std::string, ViewEntry> views_;
+  EpochManager epochs_;
 };
 
 }  // namespace avm::aql

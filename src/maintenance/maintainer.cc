@@ -248,6 +248,16 @@ Result<MaintenanceReport> ViewMaintainer::ApplyBatch(
   catalog->UnregisterArray(left_delta.id());
   if (right_delta.has_value()) catalog->UnregisterArray(right_delta->id());
 
+  // Batch commit: publish the post-batch view version as a new epoch, so
+  // concurrent snapshot readers atomically flip to it. Readers pinning the
+  // pre-batch epoch keep their handles (the mutations above COW'd around
+  // them) until their snapshots drop.
+  if (epoch_manager_ != nullptr) {
+    std::vector<ViewPin> pins;
+    pins.push_back(EpochManager::PinView(*view_));
+    report.published_epoch = epoch_manager_->Publish(std::move(pins));
+  }
+
   // Per-batch activity breakdown: simulated per-node clock deltas over the
   // whole batch window (always; exact bytes), plus registry counter deltas
   // when telemetry is on.

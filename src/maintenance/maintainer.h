@@ -9,6 +9,7 @@
 #include "maintenance/history.h"
 #include "maintenance/triple_gen.h"
 #include "maintenance/types.h"
+#include "serve/epoch_manager.h"
 #include "view/materialized_view.h"
 
 namespace avm {
@@ -75,6 +76,9 @@ struct MaintenanceReport {
   uint64_t plan_accepts = 0;       // Algorithms 1-3 committed decisions
   uint64_t shape_cache_hits = 0;
   uint64_t shape_cache_misses = 0;
+  /// Epoch id published at this batch's commit; 0 when no EpochManager is
+  /// attached (batch-only mode, no concurrent serving).
+  uint64_t published_epoch = 0;
 };
 
 /// Keeps one materialized view consistent under cyclic batch updates using a
@@ -102,6 +106,16 @@ class ViewMaintainer {
       const SparseArray& left_delta_cells,
       const SparseArray* right_delta_cells = nullptr);
 
+  /// Turns batch commits into epoch publishes: after every successful
+  /// ApplyBatch the maintainer pins the view's chunks and swaps a fresh
+  /// epoch into `manager`, so snapshot readers flip from the pre-batch view
+  /// version to the post-batch one atomically. Pass nullptr to detach.
+  /// The manager must outlive the maintainer (or the detach). Callers that
+  /// publish several views as one set (AqlSession) publish through the
+  /// manager themselves instead of attaching per-view maintainers.
+  void AttachEpochManager(EpochManager* manager) { epoch_manager_ = manager; }
+  EpochManager* epoch_manager() const { return epoch_manager_; }
+
  private:
   MaterializedView* view_;
   MaintenanceMethod method_;
@@ -109,6 +123,7 @@ class ViewMaintainer {
   BatchHistory history_;
   TripleGenCache footprint_cache_;
   uint64_t batch_counter_ = 0;
+  EpochManager* epoch_manager_ = nullptr;
 };
 
 }  // namespace avm

@@ -1,0 +1,101 @@
+#include "serve/epoch_manager.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace avm {
+
+EpochManager::EpochManager() : stats_(std::make_shared<Stats>()) {}
+
+ViewPin EpochManager::PinView(const MaterializedView& view) {
+  ViewPin pin;
+  pin.name = view.definition().view_name;
+  const DistributedArray& array = view.array();
+  pin.array_id = array.id();
+  pin.schema = array.schema();
+  pin.layout = view.layout();
+  const Catalog* catalog = array.catalog();
+  const Cluster* cluster = array.cluster();
+  for (ChunkId chunk : catalog->ChunkIdsOf(array.id())) {
+    Result<NodeId> node = catalog->NodeOf(array.id(), chunk);
+    AVM_CHECK(node.ok()) << "registered chunk " << chunk
+                         << " of view '" << pin.name << "' has no node";
+    ChunkHandle handle =
+        cluster->store(node.value()).GetHandle(array.id(), chunk);
+    AVM_CHECK(handle != nullptr)
+        << "catalog maps chunk " << chunk << " of view '" << pin.name
+        << "' to node " << node.value() << " but the store lacks it";
+    pin.cells += handle->num_cells();
+    pin.chunks.emplace(chunk, std::move(handle));
+  }
+  return pin;
+}
+
+uint64_t EpochManager::Publish(std::vector<ViewPin> views) {
+  ScopedSpan span("serve.publish", "serve");
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = ++last_id_;
+  auto epoch = std::make_shared<ViewEpoch>(id, std::move(views));
+  // The retire hook captures only the shared stats block: it may fire on a
+  // reader thread after this manager is gone.
+  epoch->set_retire_hook([stats = stats_](const ViewEpoch& retired) {
+    const int64_t now_ns = TraceNowNs();
+    std::lock_guard<std::mutex> stats_lock(stats->mu);
+    ++stats->retired;
+    auto it = stats->superseded_at_ns.find(retired.id());
+    if (it != stats->superseded_at_ns.end()) {
+      const double lag_s =
+          static_cast<double>(now_ns - it->second) * 1e-9;
+      ++stats->lagged;
+      stats->total_lag_seconds += lag_s;
+      if (lag_s > stats->max_lag_seconds) stats->max_lag_seconds = lag_s;
+      stats->superseded_at_ns.erase(it);
+    }
+  });
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_->mu);
+    ++stats_->published;
+    if (current_ != nullptr) {
+      stats_->superseded_at_ns.emplace(current_->id(), TraceNowNs());
+    }
+  }
+  current_ = std::move(epoch);  // the superseded epoch may retire here
+  span.AddArg("epoch", static_cast<int64_t>(id));
+  CountAdd(CounterId::kServeEpochsPublished);
+  return id;
+}
+
+ReadSnapshot EpochManager::OpenSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_ == nullptr) return ReadSnapshot();
+  return ReadSnapshot(current_);
+}
+
+uint64_t EpochManager::current_epoch_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ == nullptr ? 0 : current_->id();
+}
+
+uint64_t EpochManager::epochs_live() const {
+  std::lock_guard<std::mutex> lock(stats_->mu);
+  AVM_CHECK(stats_->published >= stats_->retired)
+      << "retired more epochs than were published";
+  return stats_->published - stats_->retired;
+}
+
+EpochManager::RetirementStats EpochManager::retirement() const {
+  std::lock_guard<std::mutex> lock(stats_->mu);
+  RetirementStats out;
+  out.published = stats_->published;
+  out.retired = stats_->retired;
+  out.lagged = stats_->lagged;
+  out.total_lag_seconds = stats_->total_lag_seconds;
+  out.max_lag_seconds = stats_->max_lag_seconds;
+  return out;
+}
+
+}  // namespace avm

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/view_epoch.h"
+#include "view/materialized_view.h"
+
+namespace avm {
+
+/// The publication point of snapshot-isolated serving: holds the *current*
+/// ViewEpoch for one view set and swaps a freshly pinned epoch in atomically
+/// at every maintenance batch commit.
+///
+/// Threading model (the whole point of the class):
+///   - Publish/PinView run on the maintenance control thread — they read the
+///     catalog and the cluster stores, which are not thread-safe.
+///   - OpenSnapshot may be called from any number of reader threads at any
+///     time; it only touches the manager's mutex-protected current-epoch
+///     slot and the epoch's refcount. Readers then evaluate queries against
+///     the snapshot's pinned handles without ever touching catalog, cluster,
+///     or stores — so queries proceed concurrently with the executor
+///     rewriting the next epoch underneath.
+///   - An epoch retires when its last reference (the manager's current slot
+///     or any reader's snapshot) drops; retirement may therefore happen on a
+///     reader thread. Retirement accounting lives in a shared stats block
+///     that outlives both the manager and the epochs.
+class EpochManager {
+ public:
+  EpochManager();
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Gathers a pinned, immutable view of `view` as of now: value copies of
+  /// schema/layout plus owning handles to every registered chunk, resolved
+  /// through the catalog's chunk->node map. Maintenance control thread only.
+  static ViewPin PinView(const MaterializedView& view);
+
+  /// Atomically swaps in a new current epoch holding `views` and returns its
+  /// id (monotone, starting at 1). The superseded epoch stays alive while
+  /// readers still pin it and retires when the last one drops. Maintenance
+  /// control thread only.
+  uint64_t Publish(std::vector<ViewPin> views);
+
+  /// A lease on the current epoch; invalid if nothing was published yet.
+  /// Safe from any thread, any time.
+  ReadSnapshot OpenSnapshot() const;
+
+  /// Id of the current epoch (0 before the first publish). Any thread.
+  uint64_t current_epoch_id() const;
+
+  /// Epochs published by this manager that have not retired yet. Any thread.
+  uint64_t epochs_live() const;
+
+  /// Retirement accounting: how long superseded epochs lingered before their
+  /// last reader dropped them (the epoch-retirement lag the serve driver
+  /// reports). The current epoch is not superseded and never counts.
+  struct RetirementStats {
+    uint64_t published = 0;
+    uint64_t retired = 0;
+    /// Retired epochs that had been superseded (lag is defined for these).
+    uint64_t lagged = 0;
+    double total_lag_seconds = 0.0;
+    double max_lag_seconds = 0.0;
+  };
+  RetirementStats retirement() const;
+
+ private:
+  /// Shared with every published epoch's retire hook; outlives the manager.
+  struct Stats {
+    std::mutex mu;
+    uint64_t published = 0;
+    uint64_t retired = 0;
+    uint64_t lagged = 0;
+    double total_lag_seconds = 0.0;
+    double max_lag_seconds = 0.0;
+    /// Publish-of-successor timestamp per superseded epoch id.
+    std::unordered_map<uint64_t, int64_t> superseded_at_ns;
+  };
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const ViewEpoch> current_;
+  uint64_t last_id_ = 0;
+  std::shared_ptr<Stats> stats_;
+};
+
+}  // namespace avm

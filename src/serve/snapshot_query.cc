@@ -1,0 +1,87 @@
+#include "serve/snapshot_query.h"
+
+#include <utility>
+
+#include "array/chunk_grid.h"
+#include "telemetry/metrics.h"
+#include "telemetry/stopwatch.h"
+#include "telemetry/trace.h"
+
+namespace avm {
+
+Result<SnapshotQueryResult> EvaluateSnapshotQuery(const ReadSnapshot& snapshot,
+                                                  const SnapshotQuery& query) {
+  if (!snapshot.valid()) {
+    return Status::FailedPrecondition(
+        "snapshot query before any epoch was published");
+  }
+  const ViewPin* pin = snapshot.epoch().Find(query.view);
+  if (pin == nullptr) {
+    return Status::NotFound("epoch " + std::to_string(snapshot.epoch_id()) +
+                            " does not serve view '" + query.view + "'");
+  }
+  const size_t num_dims = pin->schema.num_dims();
+  const bool bounded = !query.lo.empty() || !query.hi.empty();
+  if (bounded &&
+      (query.lo.size() != num_dims || query.hi.size() != num_dims)) {
+    return Status::InvalidArgument(
+        "query region arity does not match view dimensionality");
+  }
+  Box region;
+  if (bounded) {
+    for (size_t d = 0; d < num_dims; ++d) {
+      if (query.lo[d] > query.hi[d]) {
+        return Status::InvalidArgument("query region is empty in dimension " +
+                                       std::to_string(d));
+      }
+    }
+    region.lo.assign(query.lo.begin(), query.lo.end());
+    region.hi.assign(query.hi.begin(), query.hi.end());
+  }
+
+  Stopwatch clock;
+  ScopedSpan span("serve.query", "serve");
+  span.AddArg("epoch", static_cast<int64_t>(snapshot.epoch_id()));
+
+  // Finalized output schema: the view's dims, one attribute per aggregate.
+  std::vector<Attribute> out_attrs;
+  out_attrs.reserve(pin->layout.num_specs());
+  for (const AggregateSpec& spec : pin->layout.specs()) {
+    out_attrs.push_back({spec.output_name, AttributeType::kDouble});
+  }
+  AVM_ASSIGN_OR_RETURN(
+      ArraySchema out_schema,
+      ArraySchema::Create(pin->name + "_q", pin->schema.dims(),
+                          std::move(out_attrs)));
+
+  // The pinned grid geometry lets bounded queries skip whole chunks.
+  const ChunkGrid grid(pin->schema);
+  SnapshotQueryResult result{snapshot.epoch_id(), 0, SparseArray(out_schema)};
+  std::vector<double> finalized(pin->layout.num_specs());
+  CellCoord coord;
+  Status status = Status::OK();
+  for (const auto& [chunk_id, handle] : pin->chunks) {
+    if (bounded && !grid.ChunkBoxOfId(chunk_id).Intersects(region)) continue;
+    handle->ForEachCell([&](std::span<const int64_t> c,
+                            std::span<const double> state) {
+      if (!status.ok()) return;
+      ++result.cells_scanned;
+      if (bounded) {
+        for (size_t d = 0; d < num_dims; ++d) {
+          if (c[d] < region.lo[d] || c[d] > region.hi[d]) return;
+        }
+      }
+      pin->layout.Finalize(state, finalized);
+      coord.assign(c.begin(), c.end());
+      status = result.finalized.Set(coord, finalized);
+    });
+    if (!status.ok()) return status;
+  }
+
+  span.AddArg("cells", static_cast<int64_t>(result.cells_scanned));
+  CountAdd(CounterId::kServeQueries);
+  HistogramRecord(HistogramId::kServeQuerySeconds, clock.ElapsedSeconds());
+  return result;
+}
+
+}  // namespace avm

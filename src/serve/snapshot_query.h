@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "array/sparse_array.h"
+#include "common/result.h"
+#include "serve/view_epoch.h"
+
+namespace avm {
+
+/// A read against one view of a pinned epoch: the finalized aggregates of
+/// every view cell inside an optional axis-aligned region. This is the
+/// serving form of the paper's similarity-join aggregate — the join ran
+/// eagerly at materialization/maintenance time, so a query is a scan of the
+/// maintained states, finalized on the way out (AVG = sum/count, etc.).
+struct SnapshotQuery {
+  std::string view;
+  /// Inclusive per-dimension bounds; both empty = the whole view. When
+  /// given, both must have exactly the view's dimensionality.
+  std::vector<int64_t> lo;
+  std::vector<int64_t> hi;
+};
+
+struct SnapshotQueryResult {
+  /// The epoch the result was computed against — every cell comes from this
+  /// one published version (snapshot isolation).
+  uint64_t epoch_id = 0;
+  /// View cells visited (pre-filter), for plumbing/latency diagnostics.
+  uint64_t cells_scanned = 0;
+  /// Finalized outputs: same dims as the view, one attribute per aggregate.
+  SparseArray finalized;
+};
+
+/// Evaluates `query` against the snapshot's pinned handles. Touches no
+/// catalog, cluster, or store state, so any number of evaluations proceed
+/// concurrently with each other and with maintenance of later epochs.
+/// Fails with FailedPrecondition on an invalid snapshot, NotFound when the
+/// epoch does not carry the view, InvalidArgument on a malformed region.
+Result<SnapshotQueryResult> EvaluateSnapshotQuery(const ReadSnapshot& snapshot,
+                                                  const SnapshotQuery& query);
+
+}  // namespace avm

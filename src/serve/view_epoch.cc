@@ -1,0 +1,79 @@
+#include "serve/view_epoch.h"
+
+#include "common/check.h"
+#include "telemetry/metrics.h"
+
+namespace avm {
+
+ViewEpoch::ViewEpoch(uint64_t id, std::vector<ViewPin> views)
+    : id_(id), views_(std::move(views)) {
+  for (const ViewPin& pin : views_) {
+    for (const auto& [chunk_id, handle] : pin.chunks) {
+      AVM_CHECK(handle != nullptr)
+          << "epoch " << id_ << " pins a null handle for view '" << pin.name
+          << "' chunk " << chunk_id;
+    }
+  }
+  AddEpochPin();
+}
+
+ViewEpoch::~ViewEpoch() {
+  if (retire_hook_) retire_hook_(*this);
+  CountAdd(CounterId::kServeEpochsRetired);
+  ReleaseEpochPin();
+}
+
+const ViewPin* ViewEpoch::Find(std::string_view view_name) const {
+  for (const ViewPin& pin : views_) {
+    if (pin.name == view_name) return &pin;
+  }
+  return nullptr;
+}
+
+uint64_t ViewEpoch::PinnedBytes() const {
+  uint64_t total = 0;
+  for (const ViewPin& pin : views_) {
+    for (const auto& [chunk_id, handle] : pin.chunks) {
+      total += handle->SizeBytes();
+    }
+  }
+  return total;
+}
+
+ReadSnapshot::ReadSnapshot(std::shared_ptr<const ViewEpoch> epoch)
+    : epoch_(std::move(epoch)) {
+  if (epoch_ != nullptr) {
+    CountAdd(CounterId::kServeSnapshotsOpened);
+    GaugeAdd(GaugeId::kServeSnapshotsOpen, 1);
+  }
+}
+
+ReadSnapshot::~ReadSnapshot() { Release(); }
+
+ReadSnapshot::ReadSnapshot(ReadSnapshot&& other) noexcept
+    : epoch_(std::move(other.epoch_)) {
+  other.epoch_ = nullptr;
+}
+
+ReadSnapshot& ReadSnapshot::operator=(ReadSnapshot&& other) noexcept {
+  if (this != &other) {
+    Release();
+    epoch_ = std::move(other.epoch_);
+    other.epoch_ = nullptr;
+  }
+  return *this;
+}
+
+void ReadSnapshot::Release() {
+  if (epoch_ != nullptr) {
+    GaugeAdd(GaugeId::kServeSnapshotsOpen, -1);
+    epoch_ = nullptr;
+  }
+}
+
+const ViewEpoch& ReadSnapshot::epoch() const {
+  AVM_CHECK(epoch_ != nullptr) << "epoch() on an invalid ReadSnapshot";
+  return *epoch_;
+}
+
+}  // namespace avm

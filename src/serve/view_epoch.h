@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "agg/aggregates.h"
+#include "array/schema.h"
+#include "storage/chunk_store.h"
+
+namespace avm {
+
+/// Everything a reader needs to evaluate queries over one view without
+/// touching the catalog, the cluster, or the view object itself: the view's
+/// identity, a value copy of its (state) schema and aggregate layout, and an
+/// owning handle to every chunk the view had when the epoch was published.
+/// The handles keep the chunk bytes alive — and, via the store's epoch-pin
+/// rule, physically immutable — for as long as the pin exists.
+struct ViewPin {
+  std::string name;
+  ArrayId array_id = 0;
+  /// The view array's schema (cells hold aggregate *states*).
+  ArraySchema schema;
+  /// Finalizes states into user-visible outputs.
+  AggregateLayout layout = AggregateLayout::Create({AggregateSpec{}}, 0).value();
+  /// Owning handles of every non-empty view chunk at publish time.
+  std::map<ChunkId, ChunkHandle> chunks;
+  /// Total cells across the pinned chunks (diagnostics).
+  uint64_t cells = 0;
+};
+
+/// One published, immutable version of a view set. Constructed by
+/// EpochManager::Publish on the maintenance control thread and from then on
+/// only read: readers resolve views by name and walk the pinned handles.
+///
+/// Lifecycle: an epoch is *current* from its publish until the next publish
+/// supersedes it, then stays alive while any ReadSnapshot still references
+/// it, and *retires* (destructor) when the last reference drops — releasing
+/// its chunk pins, so chunks whose only owner was this epoch are freed.
+/// Construction/destruction register a process-wide epoch pin
+/// (storage/chunk_store.h), which switches every ChunkStore to conservative
+/// copy-on-write for the epoch's whole lifetime.
+class ViewEpoch {
+ public:
+  ViewEpoch(uint64_t id, std::vector<ViewPin> views);
+  ~ViewEpoch();
+
+  ViewEpoch(const ViewEpoch&) = delete;
+  ViewEpoch& operator=(const ViewEpoch&) = delete;
+
+  /// Monotone publication id (1-based; 0 means "nothing published yet").
+  uint64_t id() const { return id_; }
+
+  const std::vector<ViewPin>& views() const { return views_; }
+
+  /// The pin for `view_name`, or nullptr if this epoch does not carry it.
+  const ViewPin* Find(std::string_view view_name) const;
+
+  /// Logical bytes held alive by this epoch's handles (each pinned chunk
+  /// counted once, whether or not a store still holds it).
+  uint64_t PinnedBytes() const;
+
+  /// Hook invoked from the destructor, before the pins drop. Installed by
+  /// EpochManager to observe retirement (lag accounting); the callback must
+  /// not touch the manager's epoch state (it may run on a reader thread, and
+  /// the manager may already be gone — capture shared state by value).
+  void set_retire_hook(std::function<void(const ViewEpoch&)> hook) {
+    retire_hook_ = std::move(hook);
+  }
+
+ private:
+  uint64_t id_;
+  std::vector<ViewPin> views_;
+  std::function<void(const ViewEpoch&)> retire_hook_;
+};
+
+/// A reader's lease on one epoch: keeps the epoch (and through it every
+/// pinned chunk) alive until the snapshot is destroyed. Move-only so the
+/// serve.snapshots_open gauge stays an exact count of outstanding leases.
+/// Opening is a shared_ptr copy under the manager's mutex; evaluation against
+/// a snapshot never blocks on — and is never blocked by — maintenance.
+class ReadSnapshot {
+ public:
+  /// An empty (invalid) snapshot; EpochManager::OpenSnapshot before the
+  /// first publish returns one.
+  ReadSnapshot() = default;
+
+  explicit ReadSnapshot(std::shared_ptr<const ViewEpoch> epoch);
+  ~ReadSnapshot();
+
+  ReadSnapshot(ReadSnapshot&& other) noexcept;
+  ReadSnapshot& operator=(ReadSnapshot&& other) noexcept;
+  ReadSnapshot(const ReadSnapshot&) = delete;
+  ReadSnapshot& operator=(const ReadSnapshot&) = delete;
+
+  bool valid() const { return epoch_ != nullptr; }
+
+  /// The pinned epoch; requires valid().
+  const ViewEpoch& epoch() const;
+
+  /// Id of the pinned epoch, 0 for an invalid snapshot.
+  uint64_t epoch_id() const { return epoch_ == nullptr ? 0 : epoch_->id(); }
+
+ private:
+  void Release();
+
+  std::shared_ptr<const ViewEpoch> epoch_;
+};
+
+}  // namespace avm

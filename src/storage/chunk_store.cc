@@ -21,6 +21,18 @@ void TrackResident(int64_t chunks_delta, int64_t bytes_delta) {
 
 }  // namespace
 
+void AddEpochPin() {
+  chunk_store_internal::g_epoch_pins.fetch_add(1, std::memory_order_acq_rel);
+  GaugeAdd(GaugeId::kStoreEpochsLive, 1);
+}
+
+void ReleaseEpochPin() {
+  const int64_t before = chunk_store_internal::g_epoch_pins.fetch_sub(
+      1, std::memory_order_acq_rel);
+  AVM_CHECK(before > 0) << "epoch pin underflow";
+  GaugeAdd(GaugeId::kStoreEpochsLive, -1);
+}
+
 uint64_t ChunkStore::Put(ArrayId array, ChunkId chunk,
                          Chunk data) {  // avm-lint: allow(chunk-by-value)
   const uint64_t bytes = data.SizeBytes();
@@ -74,13 +86,15 @@ ChunkHandle ChunkStore::GetHandle(ArrayId array, ChunkId chunk) const {
 Chunk* ChunkStore::GetMutable(ArrayId array, ChunkId chunk) {
   auto it = chunks_.find(Key{array, chunk});
   if (it == chunks_.end()) return nullptr;
-  if (it->second.use_count() > 1) {
-    // COW break: other replicas (or outstanding handles) still reference
-    // this Chunk; give this store a private copy before the mutation. The
-    // use_count read is race-free under the store's external-quiescence
-    // contract: whoever may concurrently bump the count holds a handle
-    // already, so the count can only over-estimate — never 1 while another
-    // owner exists.
+  if (it->second.use_count() > 1 || EpochPinsActive() > 0) {
+    // COW break: other replicas (or outstanding handles) may still
+    // reference this Chunk; give this store a private copy before the
+    // mutation. The use_count sole-owner fast path is sound only in the
+    // quiesced configuration: whoever could concurrently bump the count
+    // holds a handle already, so the count can only over-estimate. While a
+    // view epoch is live that reasoning fails — snapshot readers clone
+    // handles from the epoch on their own threads, so a transient
+    // use_count of 1 proves nothing — and every mutation must copy.
     it->second = std::make_shared<Chunk>(*it->second);
     CountAdd(CounterId::kStoreCowBreaks);
   }
@@ -98,7 +112,9 @@ Chunk& ChunkStore::GetOrCreate(ArrayId array, ChunkId chunk, size_t num_dims,
     if (TelemetryEnabled()) {
       TrackResident(1, static_cast<int64_t>(it->second->SizeBytes()));
     }
-  } else if (it->second.use_count() > 1) {
+  } else if (it->second.use_count() > 1 || EpochPinsActive() > 0) {
+    // Same conservative rule as GetMutable; a freshly created entry above
+    // needs no copy (nothing can reference it yet).
     it->second = std::make_shared<Chunk>(*it->second);
     CountAdd(CounterId::kStoreCowBreaks);
   }

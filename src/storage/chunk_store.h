@@ -25,7 +25,26 @@ using ChunkHandle = std::shared_ptr<const Chunk>;
 
 namespace chunk_store_internal {
 inline std::atomic<bool> g_aliasing_enabled{true};
+inline std::atomic<int64_t> g_epoch_pins{0};
 }  // namespace chunk_store_internal
+
+/// Number of live view epochs (src/serve) currently pinning chunk handles,
+/// process-wide. While this is nonzero, reader threads may clone handles out
+/// of a pinned epoch at any time, so a `use_count() == 1` observation on a
+/// store entry is not proof of sole ownership: the count is allowed to be
+/// stale the instant it is read. GetMutable/GetOrCreate therefore skip the
+/// sole-owner fast path and always deep-copy an existing entry while epochs
+/// are live (see the class contract below).
+inline int64_t EpochPinsActive() {
+  return chunk_store_internal::g_epoch_pins.load(std::memory_order_acquire);
+}
+
+/// Called by ViewEpoch's constructor/destructor (one pin per live epoch).
+/// Must be invoked on, or synchronized with, the thread that drives store
+/// mutation so that a mutation observing zero pins genuinely precedes the
+/// epoch's publication. Also mirrored to the store.epochs_live gauge.
+void AddEpochPin();
+void ReleaseEpochPin();
 
 /// Process-wide switch for PutHandle's aliasing fast path. On (the default),
 /// storing a handle is a refcount bump; off, it deep-copies the chunk —
@@ -49,12 +68,23 @@ inline void SetChunkAliasingEnabled(bool enabled) {
 /// the bytes are duplicated only when a store mutates its copy.
 ///
 /// Concurrency contract: all mutating entry points (Put/PutHandle/
-/// GetMutable/GetOrCreate/Erase) must be called with the store externally
-/// quiesced — in this codebase, from the executor's control thread or from a
-/// parallel phase in which each task owns disjoint chunks. Concurrent
-/// *readers of other stores* aliasing the same Chunk are always safe: a COW
-/// break replaces this store's handle with a fresh deep copy and never
-/// touches the shared original.
+/// GetMutable/GetOrCreate/Erase) must be called with the store's *map*
+/// externally quiesced — in this codebase, from the executor's control
+/// thread or from a parallel phase in which each task owns disjoint chunks.
+/// Concurrent *readers of other stores* aliasing the same Chunk are always
+/// safe: a COW break replaces this store's handle with a fresh deep copy and
+/// never touches the shared original.
+///
+/// Snapshot serving (src/serve) adds concurrent readers that hold chunk
+/// handles *without* touching any store: a published ViewEpoch pins a set of
+/// handles, and reader threads may clone them at any moment. That breaks the
+/// old use_count()-based sole-ownership test — the count can transiently
+/// read 1 on the mutating thread while a reader is acquiring a handle — so
+/// while any epoch is live (EpochPinsActive() > 0), GetMutable/GetOrCreate
+/// unconditionally deep-copy existing entries before handing out a mutable
+/// pointer. Chunks an epoch pinned are thus physically immutable for the
+/// epoch's whole lifetime; the sole-owner in-place fast path applies only in
+/// the quiesced, epoch-free configuration.
 ///
 /// Keys are kept in an ordered map for deterministic iteration.
 class ChunkStore {

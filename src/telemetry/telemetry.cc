@@ -62,6 +62,10 @@ const char* CounterName(CounterId id) {
     case CounterId::kPoolTasksRun: return "pool.tasks_run";
     case CounterId::kBatchesMaintained: return "maint.batches";
     case CounterId::kTraceEventsDropped: return "trace.events_dropped";
+    case CounterId::kServeEpochsPublished: return "serve.epochs_published";
+    case CounterId::kServeEpochsRetired: return "serve.epochs_retired";
+    case CounterId::kServeSnapshotsOpened: return "serve.snapshots_opened";
+    case CounterId::kServeQueries: return "serve.queries";
     case CounterId::kNumCounterIds: break;
   }
   return "unknown";
@@ -73,6 +77,8 @@ const char* GaugeName(GaugeId id) {
     case GaugeId::kStoreResidentChunks: return "store.resident_chunks";
     case GaugeId::kStoreResidentBytes: return "store.resident_bytes";
     case GaugeId::kChunkPoolBytes: return "chunk_pool.bytes";
+    case GaugeId::kStoreEpochsLive: return "store.epochs_live";
+    case GaugeId::kServeSnapshotsOpen: return "serve.snapshots_open";
     case GaugeId::kNumGaugeIds: break;
   }
   return "unknown";
@@ -82,6 +88,7 @@ const char* HistogramName(HistogramId id) {
   switch (id) {
     case HistogramId::kPoolTaskSeconds: return "pool.task_seconds";
     case HistogramId::kBatchApplySeconds: return "maint.batch_apply_seconds";
+    case HistogramId::kServeQuerySeconds: return "serve.query_seconds";
     case HistogramId::kNumHistogramIds: break;
   }
   return "unknown";

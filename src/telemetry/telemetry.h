@@ -72,6 +72,10 @@ enum class CounterId : uint16_t {
   kPoolTasksRun,           // thread-pool tasks executed
   kBatchesMaintained,      // ViewMaintainer::ApplyBatch completions
   kTraceEventsDropped,     // span events overwritten in a full ring buffer
+  kServeEpochsPublished,   // view epochs swapped in by EpochManager::Publish
+  kServeEpochsRetired,     // view epochs whose last reader dropped
+  kServeSnapshotsOpened,   // ReadSnapshots handed out
+  kServeQueries,           // snapshot queries evaluated
   kNumCounterIds,
 };
 
@@ -81,6 +85,8 @@ enum class GaugeId : uint16_t {
   kStoreResidentChunks,  // chunks resident across all ChunkStores
   kStoreResidentBytes,   // bytes resident across all ChunkStores
   kChunkPoolBytes,       // row-buffer capacity parked in ChunkPool free lists
+  kStoreEpochsLive,      // view epochs currently pinning chunk handles
+  kServeSnapshotsOpen,   // ReadSnapshots currently held by readers
   kNumGaugeIds,
 };
 
@@ -88,6 +94,7 @@ enum class GaugeId : uint16_t {
 enum class HistogramId : uint16_t {
   kPoolTaskSeconds,   // thread-pool task execution time
   kBatchApplySeconds, // wall time of one ViewMaintainer::ApplyBatch
+  kServeQuerySeconds, // wall time of one snapshot query evaluation
   kNumHistogramIds,
 };
 

@@ -34,6 +34,12 @@ struct AliasingModeGuard {
   ~AliasingModeGuard() { SetChunkAliasingEnabled(true); }
 };
 
+/// Holds one epoch pin for the scope, as a live ViewEpoch would.
+struct EpochPinGuard {
+  EpochPinGuard() { AddEpochPin(); }
+  ~EpochPinGuard() { ReleaseEpochPin(); }
+};
+
 TEST(ChunkStoreTest, PutHandleAliasesTheSameChunk) {
   ChunkStore a;
   ChunkStore b;
@@ -191,6 +197,80 @@ TEST(ChunkStoreTest, CowBreakIsRaceFreeAgainstReadersOfOtherStores) {
   EXPECT_EQ(b.Get(0, 0)->num_cells(), kCells + 1);
   a.CheckInvariants();
   b.CheckInvariants();
+}
+
+// The transient-use_count hazard: while a snapshot reader may clone handles
+// out of a published epoch at any moment, observing use_count() == 1 on the
+// mutating thread proves nothing — the store must deep-copy even apparent
+// sole owners. These tests pin an epoch directly and check the conservative
+// contract that replaces the old external-quiescence assumption.
+TEST(ChunkStoreTest, EpochPinForcesDeepCopyOnApparentSoleOwner) {
+  ChunkStore store;
+  store.Put(0, 0, MakeChunk(10));
+  const Chunk* before = store.Get(0, 0);
+  ASSERT_FALSE(store.IsAliased(0, 0)) << "entry must start as sole owner";
+
+  EpochPinGuard pin;
+  Chunk* mut = store.GetMutable(0, 0);
+  ASSERT_NE(mut, nullptr);
+  // Pointer comparison only: the copy is allocated while `before` is still
+  // alive, so distinct addresses are guaranteed (the original is freed right
+  // after the swap — never dereference it here).
+  EXPECT_NE(mut, before)
+      << "with a live epoch, even use_count()==1 entries must deep-copy";
+  EXPECT_EQ(mut->num_cells(), 10u);
+  // The replaced entry serves subsequent reads; a second mutable access
+  // copies again (the new entry could have been pinned meanwhile).
+  EXPECT_EQ(store.Get(0, 0), mut);
+  EXPECT_NE(store.GetMutable(0, 0), mut);
+  EXPECT_EQ(store.GetMutable(9, 9), nullptr);
+}
+
+TEST(ChunkStoreTest, EpochPinPreservesPinnedHandleContent) {
+  ChunkStore store;
+  store.Put(0, 0, MakeChunk(6));
+  ChunkHandle pinned = store.GetHandle(0, 0);  // as an epoch would hold it
+
+  EpochPinGuard pin;
+  Chunk* mut = store.GetMutable(0, 0);
+  ASSERT_NE(mut, nullptr);
+  const double v = 7.0;
+  mut->UpsertCell(50, {6, 2}, {&v, 1});
+  // The epoch's handle still observes the pre-mutation chunk, bit for bit.
+  EXPECT_EQ(pinned->num_cells(), 6u);
+  EXPECT_EQ(store.Get(0, 0)->num_cells(), 7u);
+}
+
+TEST(ChunkStoreTest, EpochPinAppliesToGetOrCreateButNotFreshCreates) {
+  EnableTelemetry();
+  MetricsRegistry::Global().ResetForTesting();
+  ChunkStore store;
+  store.Put(0, 0, MakeChunk(5));
+  const Chunk* before = store.Get(0, 0);
+
+  EpochPinGuard pin;
+  Chunk& broken = store.GetOrCreate(0, 0, 2, 1);
+  EXPECT_NE(&broken, before);
+  EXPECT_EQ(broken.num_cells(), 5u);
+  // Creating an absent entry mints a chunk no epoch can reference: no copy.
+  Chunk& fresh = store.GetOrCreate(1, 1, 2, 1);
+  EXPECT_EQ(fresh.num_cells(), 0u);
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.counter(CounterId::kStoreCowBreaks), 1u);
+  DisableTelemetry();
+}
+
+TEST(ChunkStoreTest, SoleOwnerFastPathReturnsOnceEpochsRetire) {
+  ChunkStore store;
+  store.Put(0, 0, MakeChunk(4));
+  {
+    EpochPinGuard pin;
+    const Chunk* pinned_entry = store.Get(0, 0);
+    EXPECT_NE(store.GetMutable(0, 0), pinned_entry) << "copy while pinned";
+  }
+  // No live epochs: the quiesced in-place fast path is sound again.
+  const Chunk* entry = store.Get(0, 0);
+  EXPECT_EQ(store.GetMutable(0, 0), entry);
 }
 
 TEST(ChunkPoolTest, ReuseReturnsAClearedChunk) {

@@ -1,0 +1,297 @@
+#include "serve/epoch_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "array/chunk.h"
+#include "common/rng.h"
+#include "serve/view_epoch.h"
+#include "shape/shape.h"
+#include "storage/chunk_store.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+using testing_util::MakeCountViewFixture;
+using testing_util::ViewFixture;
+
+/// A standalone handle to a 2-d, 1-attr chunk with `cells` rows.
+ChunkHandle MakeHandle(size_t cells) {
+  auto chunk = std::make_shared<Chunk>(/*num_dims=*/2, /*num_attrs=*/1);
+  CellCoord coord(2);
+  for (size_t i = 0; i < cells; ++i) {
+    coord[0] = static_cast<int64_t>(i / 8);
+    coord[1] = static_cast<int64_t>(i % 8);
+    const double v = static_cast<double>(i);
+    chunk->UpsertCell(i, coord, {&v, 1});
+  }
+  return chunk;
+}
+
+/// A pin of a synthetic one-chunk view (no catalog/cluster needed).
+ViewPin MakePin(const std::string& name, size_t cells) {
+  ViewPin pin;
+  pin.name = name;
+  pin.schema = testing_util::Make2DSchema(name);
+  pin.layout = AggregateLayout::Create(
+                   {{AggregateFunction::kCount, 0, "cnt"}}, 1)
+                   .value();
+  pin.chunks.emplace(0, MakeHandle(cells));
+  pin.cells = cells;
+  return pin;
+}
+
+TEST(ViewEpochTest, PublishAssignsMonotoneIdsStartingAtOne) {
+  EpochManager manager;
+  EXPECT_EQ(manager.current_epoch_id(), 0u);
+  EXPECT_FALSE(manager.OpenSnapshot().valid());
+  EXPECT_EQ(manager.OpenSnapshot().epoch_id(), 0u);
+
+  std::vector<ViewPin> first;
+  first.push_back(MakePin("v", 4));
+  EXPECT_EQ(manager.Publish(std::move(first)), 1u);
+  for (uint64_t expected = 2; expected <= 6; ++expected) {
+    std::vector<ViewPin> pins;
+    pins.push_back(MakePin("v", 4));
+    EXPECT_EQ(manager.Publish(std::move(pins)), expected);
+    EXPECT_EQ(manager.current_epoch_id(), expected);
+  }
+}
+
+TEST(ViewEpochTest, SnapshotHeldAcrossPublishesReadsOriginalHandles) {
+  EpochManager manager;
+  std::vector<ViewPin> pins;
+  pins.push_back(MakePin("v", 7));
+  manager.Publish(std::move(pins));
+
+  ReadSnapshot held = manager.OpenSnapshot();
+  ASSERT_TRUE(held.valid());
+  EXPECT_EQ(held.epoch_id(), 1u);
+  const ViewPin* pin = held.epoch().Find("v");
+  ASSERT_NE(pin, nullptr);
+  const Chunk* original = pin->chunks.at(0).get();
+
+  for (int i = 0; i < 10; ++i) {
+    std::vector<ViewPin> next;
+    next.push_back(MakePin("v", 7 + i));
+    manager.Publish(std::move(next));
+  }
+  EXPECT_EQ(manager.current_epoch_id(), 11u);
+
+  // The held snapshot still resolves the exact pre-publish handles.
+  EXPECT_EQ(held.epoch_id(), 1u);
+  EXPECT_EQ(held.epoch().Find("v")->chunks.at(0).get(), original);
+  EXPECT_EQ(held.epoch().Find("v")->chunks.at(0)->num_cells(), 7u);
+
+  ReadSnapshot fresh = manager.OpenSnapshot();
+  EXPECT_EQ(fresh.epoch_id(), 11u);
+  EXPECT_NE(fresh.epoch().Find("v")->chunks.at(0).get(), original);
+}
+
+TEST(ViewEpochTest, RetiredEpochFreesSoleOwnerChunks) {
+  EnableTelemetry();
+  MetricsRegistry::Global().ResetForTesting();
+  const int64_t pins_before = EpochPinsActive();
+
+  EpochManager manager;
+  ChunkStore store;
+  std::weak_ptr<const Chunk> watch;
+  {
+    // The chunk lives in a store, is pinned by epoch 1, then erased from the
+    // store — the epoch is now the sole owner.
+    Chunk chunk(2, 1);
+    const double v = 3.0;
+    chunk.UpsertCell(0, {1, 1}, {&v, 1});
+    store.Put(0, 0, std::move(chunk));
+    ViewPin pin = MakePin("v", 2);
+    pin.chunks[0] = store.GetHandle(0, 0);
+    watch = pin.chunks[0];
+    std::vector<ViewPin> pins;
+    pins.push_back(std::move(pin));
+    manager.Publish(std::move(pins));
+    store.Erase(0, 0);
+  }
+  EXPECT_EQ(EpochPinsActive(), pins_before + 1);
+  EXPECT_FALSE(watch.expired()) << "pinned chunk freed while its epoch lives";
+  EXPECT_EQ(manager.epochs_live(), 1u);
+
+  // Superseding with no open snapshots retires epoch 1 immediately; its
+  // sole-owner chunk must be freed with it (no leak).
+  std::vector<ViewPin> next;
+  next.push_back(MakePin("v", 3));
+  manager.Publish(std::move(next));
+  EXPECT_TRUE(watch.expired())
+      << "retired epoch must release its sole-owner chunks";
+  EXPECT_EQ(manager.epochs_live(), 1u);
+  EXPECT_EQ(EpochPinsActive(), pins_before + 1);
+
+  // The pin count is mirrored to the store.epochs_live gauge.
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.counter(CounterId::kServeEpochsPublished), 2u);
+  EXPECT_EQ(snapshot.counter(CounterId::kServeEpochsRetired), 1u);
+  DisableTelemetry();
+}
+
+TEST(ViewEpochTest, SnapshotKeepsSupersededEpochAliveUntilDropped) {
+  const int64_t pins_before = EpochPinsActive();
+  EpochManager manager;
+  std::vector<ViewPin> pins;
+  pins.push_back(MakePin("v", 5));
+  manager.Publish(std::move(pins));
+
+  std::weak_ptr<const Chunk> watch;
+  {
+    ReadSnapshot held = manager.OpenSnapshot();
+    watch = held.epoch().Find("v")->chunks.at(0);
+    std::vector<ViewPin> next;
+    next.push_back(MakePin("v", 6));
+    manager.Publish(std::move(next));
+    // Superseded but pinned by `held`: chunk stays, both epochs live.
+    EXPECT_FALSE(watch.expired());
+    EXPECT_EQ(manager.epochs_live(), 2u);
+    EXPECT_EQ(EpochPinsActive(), pins_before + 2);
+  }
+  // Last reader dropped: epoch 1 retires on the closing thread.
+  EXPECT_TRUE(watch.expired());
+  EXPECT_EQ(manager.epochs_live(), 1u);
+  EXPECT_EQ(EpochPinsActive(), pins_before + 1);
+
+  const EpochManager::RetirementStats stats = manager.retirement();
+  EXPECT_EQ(stats.published, 2u);
+  EXPECT_EQ(stats.retired, 1u);
+  EXPECT_EQ(stats.lagged, 1u);
+  EXPECT_GE(stats.max_lag_seconds, 0.0);
+  EXPECT_GE(stats.total_lag_seconds, 0.0);
+}
+
+TEST(ViewEpochTest, MoveTransfersTheLease) {
+  EpochManager manager;
+  std::vector<ViewPin> pins;
+  pins.push_back(MakePin("v", 2));
+  manager.Publish(std::move(pins));
+
+  ReadSnapshot a = manager.OpenSnapshot();
+  ASSERT_TRUE(a.valid());
+  ReadSnapshot b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): tested on purpose
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.epoch_id(), 1u);
+  ReadSnapshot c;
+  c = std::move(b);
+  EXPECT_FALSE(b.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(manager.epochs_live(), 1u);
+}
+
+// Randomized open/close/publish interleavings: after every step the manager's
+// live-epoch accounting, the process-wide pin count, and every snapshot's
+// pinned id must agree with a shadow model.
+TEST(ViewEpochTest, RandomizedInterleavingsKeepAccountingExact) {
+  const int64_t pins_before = EpochPinsActive();
+  EpochManager manager;
+  Rng rng(20260809);
+  std::vector<ReadSnapshot> open;
+  std::vector<uint64_t> open_ids;  // shadow: epoch id per open snapshot
+  uint64_t last_published = 0;
+
+  for (int step = 0; step < 400; ++step) {
+    const uint64_t action = rng.Uniform(3);
+    if (action == 0) {
+      std::vector<ViewPin> pins;
+      pins.push_back(MakePin("v", 1 + rng.Uniform(8)));
+      const uint64_t id = manager.Publish(std::move(pins));
+      EXPECT_EQ(id, last_published + 1) << "publish ids must be monotone";
+      last_published = id;
+    } else if (action == 1 && last_published > 0) {
+      ReadSnapshot snapshot = manager.OpenSnapshot();
+      ASSERT_TRUE(snapshot.valid());
+      EXPECT_EQ(snapshot.epoch_id(), last_published)
+          << "a new snapshot must pin the current epoch";
+      open_ids.push_back(snapshot.epoch_id());
+      open.push_back(std::move(snapshot));
+    } else if (!open.empty()) {
+      const size_t victim = rng.Uniform(open.size());
+      EXPECT_EQ(open[victim].epoch_id(), open_ids[victim])
+          << "a held snapshot must keep its epoch id across publishes";
+      open.erase(open.begin() + victim);
+      open_ids.erase(open_ids.begin() + victim);
+    }
+
+    // Live epochs = the current one plus every distinct superseded epoch
+    // still pinned by an open snapshot.
+    std::set<uint64_t> alive(open_ids.begin(), open_ids.end());
+    if (last_published > 0) alive.insert(last_published);
+    EXPECT_EQ(manager.epochs_live(), alive.size());
+    EXPECT_EQ(EpochPinsActive() - pins_before,
+              static_cast<int64_t>(alive.size()));
+  }
+
+  open.clear();
+  if (last_published > 0) {
+    EXPECT_EQ(manager.epochs_live(), 1u);
+    EXPECT_EQ(EpochPinsActive() - pins_before, 1);
+  }
+  const EpochManager::RetirementStats stats = manager.retirement();
+  EXPECT_EQ(stats.published, last_published);
+  EXPECT_EQ(stats.retired + manager.epochs_live(), stats.published);
+}
+
+TEST(ViewEpochTest, PinViewCapturesTheMaintainedViewByValue) {
+  ASSERT_OK_AND_ASSIGN(ViewFixture fixture,
+                       MakeCountViewFixture(/*num_workers=*/2,
+                                            /*base_cells=*/60,
+                                            Shape::LinfBall(2, 1)));
+  EpochManager manager;
+  ViewPin pin = EpochManager::PinView(*fixture.view);
+  EXPECT_EQ(pin.name, "view");
+  EXPECT_EQ(pin.array_id, fixture.view->array().id());
+  EXPECT_EQ(pin.cells, fixture.view->array().NumCells());
+  EXPECT_EQ(pin.layout.num_specs(), fixture.view->layout().num_specs());
+  uint64_t pinned_cells = 0;
+  for (const auto& [chunk_id, handle] : pin.chunks) {
+    ASSERT_NE(handle, nullptr);
+    pinned_cells += handle->num_cells();
+  }
+  EXPECT_EQ(pinned_cells, pin.cells);
+  std::vector<ViewPin> pins;
+  pins.push_back(std::move(pin));
+  EXPECT_EQ(manager.Publish(std::move(pins)), 1u);
+  EXPECT_GT(manager.OpenSnapshot().epoch().PinnedBytes(), 0u);
+}
+
+TEST(ViewEpochTest, AttachedMaintainerPublishesAtBatchCommit) {
+  ASSERT_OK_AND_ASSIGN(ViewFixture fixture,
+                       MakeCountViewFixture(/*num_workers=*/2,
+                                            /*base_cells=*/50,
+                                            Shape::LinfBall(2, 1)));
+  EpochManager manager;
+  ViewMaintainer maintainer(fixture.view.get(), MaintenanceMethod::kReassign);
+  maintainer.AttachEpochManager(&manager);
+  EXPECT_EQ(manager.current_epoch_id(), 0u);
+
+  Rng rng(7);
+  for (uint64_t batch = 1; batch <= 3; ++batch) {
+    const SparseArray delta =
+        testing_util::RandomDisjointDelta(fixture.local_base, 20, &rng);
+    delta.ForEachCell([&](std::span<const int64_t> c,
+                          std::span<const double> v) {
+      const CellCoord coord(c.begin(), c.end());
+      AVM_CHECK(fixture.local_base.Set(coord, v).ok());
+    });
+    ASSERT_OK_AND_ASSIGN(MaintenanceReport report,
+                         maintainer.ApplyBatch(delta));
+    EXPECT_EQ(report.published_epoch, batch);
+    EXPECT_EQ(manager.current_epoch_id(), batch);
+  }
+}
+
+}  // namespace
+}  // namespace avm

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "maintenance/deletions.h"
+#include "serve/epoch_manager.h"
+#include "serve/snapshot_query.h"
+#include "shape/shape.h"
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+using testing_util::MakeCountViewFixture;
+using testing_util::ViewFixture;
+
+// The concurrency stress oracle of the serve layer: M reader threads open
+// snapshots and evaluate a fixed probe query while the control thread commits
+// K maintenance batches (inserts and deletions) and publishes each commit as
+// an epoch. Every observed result must bit-match the expected finalized view
+// of *some* published epoch — no torn reads (a mix of two epochs), no
+// invented epochs — and epoch ids must be non-decreasing per reader.
+//
+// Protocol: the control thread derives the expected finalized content from
+// the freshly maintained view (itself cross-checked against the differential
+// oracle's from-scratch recomputation), registers it under the epoch id it is
+// about to publish, and only then publishes. A reader can therefore never
+// observe an epoch whose expectation is not yet registered.
+//
+// The whole schedule runs under TSan in the serve-smoke CI job.
+TEST(ServeStressTest, ConcurrentReadersBitMatchSomePublishedEpoch) {
+  constexpr int kReaders = 3;
+  constexpr int kBatches = 6;
+  constexpr size_t kBatchCells = 24;
+
+  ASSERT_OK_AND_ASSIGN(
+      ViewFixture fixture,
+      MakeCountViewFixture(/*num_workers=*/2, /*base_cells=*/120,
+                           Shape::LinfBall(2, 1), /*seed=*/11,
+                           /*with_sum=*/true));
+  MaterializedView* view = fixture.view.get();
+  ViewMaintainer maintainer(view, MaintenanceMethod::kReassign);
+  EpochManager manager;
+
+  // Expected finalized content per published epoch, registered pre-publish.
+  std::mutex oracle_mu;
+  std::map<uint64_t, SparseArray> expected;
+
+  auto publish_with_oracle = [&]() {
+    ASSERT_OK_AND_ASSIGN(SparseArray finalized, view->GatherFinalized());
+    {
+      std::lock_guard<std::mutex> lock(oracle_mu);
+      expected.emplace(manager.current_epoch_id() + 1, std::move(finalized));
+    }
+    const uint64_t id = manager.Publish({EpochManager::PinView(*view)});
+    std::lock_guard<std::mutex> lock(oracle_mu);
+    ASSERT_TRUE(expected.count(id) == 1)
+        << "published id " << id << " skipped the registered expectation";
+  };
+  publish_with_oracle();  // epoch 1: the initial materialization
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries_served{0};
+  std::mutex failures_mu;
+  std::vector<std::string> failures;
+  auto fail = [&](std::string message) {
+    std::lock_guard<std::mutex> lock(failures_mu);
+    failures.push_back(std::move(message));
+  };
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t last_seen = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        ReadSnapshot snapshot = manager.OpenSnapshot();
+        Result<SnapshotQueryResult> result =
+            EvaluateSnapshotQuery(snapshot, SnapshotQuery{"view", {}, {}});
+        if (!result.ok()) {
+          fail("reader " + std::to_string(r) +
+               ": query failed: " + result.status().ToString());
+          return;
+        }
+        const uint64_t epoch = result.value().epoch_id;
+        if (epoch < last_seen) {
+          fail("reader " + std::to_string(r) + ": epoch went backwards: " +
+               std::to_string(last_seen) + " -> " + std::to_string(epoch));
+          return;
+        }
+        last_seen = epoch;
+        {
+          std::lock_guard<std::mutex> lock(oracle_mu);
+          auto it = expected.find(epoch);
+          if (it == expected.end()) {
+            fail("reader " + std::to_string(r) + ": observed epoch " +
+                 std::to_string(epoch) + " was never registered");
+            return;
+          }
+          // Bit-match (tolerance 0): the result must be exactly the
+          // finalized content of the published epoch, not a torn blend.
+          if (!result.value().finalized.ContentEquals(it->second, 0.0)) {
+            fail("reader " + std::to_string(r) +
+                 ": result diverged from epoch " + std::to_string(epoch) +
+                 " (torn read?)");
+            return;
+          }
+        }
+        queries_served.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Maintenance loop: alternate insert batches with deletion batches, verify
+  // the maintained view against the differential oracle, publish each commit.
+  Rng rng(99);
+  for (int batch = 0; batch < kBatches; ++batch) {
+    if (batch % 2 == 0) {
+      const SparseArray delta = testing_util::RandomDisjointDelta(
+          fixture.local_base, kBatchCells, &rng);
+      delta.ForEachCell([&](std::span<const int64_t> c,
+                            std::span<const double> v) {
+        const CellCoord coord(c.begin(), c.end());
+        ASSERT_OK(fixture.local_base.Set(coord, v));
+      });
+      ASSERT_OK(maintainer.ApplyBatch(delta));
+    } else {
+      // Delete a sample of existing cells.
+      SparseArray doomed(fixture.local_base.schema());
+      size_t taken = 0;
+      fixture.local_base.ForEachCell([&](std::span<const int64_t> c,
+                                         std::span<const double> v) {
+        if (taken >= kBatchCells / 2 || rng.Uniform(4) != 0) return;
+        const CellCoord coord(c.begin(), c.end());
+        ASSERT_OK(doomed.Set(coord, v));
+        ++taken;
+      });
+      doomed.ForEachCell([&](std::span<const int64_t> c,
+                             std::span<const double>) {
+        const CellCoord coord(c.begin(), c.end());
+        ASSERT_TRUE(fixture.local_base.Erase(coord));
+      });
+      ASSERT_OK(ApplyDeletionBatch(view, doomed));
+    }
+    ASSERT_TRUE(testing_util::ViewMatchesRecompute(*view));
+    publish_with_oracle();
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  for (const std::string& message : failures) ADD_FAILURE() << message;
+  EXPECT_GT(queries_served.load(), 0u) << "readers never completed a query";
+  EXPECT_EQ(manager.current_epoch_id(),
+            static_cast<uint64_t>(kBatches) + 1);
+
+  // Quiesced: the final epoch's content equals the live view's.
+  ASSERT_OK_AND_ASSIGN(
+      SnapshotQueryResult last,
+      EvaluateSnapshotQuery(manager.OpenSnapshot(),
+                            SnapshotQuery{"view", {}, {}}));
+  ASSERT_OK_AND_ASSIGN(SparseArray now, view->GatherFinalized());
+  EXPECT_TRUE(last.finalized.ContentEquals(now, 0.0));
+}
+
+// Bounded (regioned) snapshot queries prune by the pinned grid geometry and
+// still return exactly the finalized cells inside the region.
+TEST(ServeStressTest, BoundedQueryMatchesFilteredGather) {
+  ASSERT_OK_AND_ASSIGN(ViewFixture fixture,
+                       MakeCountViewFixture(/*num_workers=*/2,
+                                            /*base_cells=*/100,
+                                            Shape::LinfBall(2, 1)));
+  EpochManager manager;
+  manager.Publish({EpochManager::PinView(*fixture.view)});
+
+  const SnapshotQuery query{"view", {1, 1}, {12, 9}};
+  ASSERT_OK_AND_ASSIGN(
+      SnapshotQueryResult result,
+      EvaluateSnapshotQuery(manager.OpenSnapshot(), query));
+  ASSERT_OK_AND_ASSIGN(SparseArray all, fixture.view->GatherFinalized());
+  SparseArray inside(result.finalized.schema());
+  all.ForEachCell([&](std::span<const int64_t> c,
+                      std::span<const double> v) {
+    if (c[0] < 1 || c[0] > 12 || c[1] < 1 || c[1] > 9) return;
+    const CellCoord coord(c.begin(), c.end());
+    ASSERT_OK(inside.Set(coord, v));
+  });
+  EXPECT_TRUE(result.finalized.ContentEquals(inside, 0.0));
+  EXPECT_GE(result.cells_scanned, inside.NumCells());
+  EXPECT_LE(result.cells_scanned, all.NumCells())
+      << "chunk pruning must not scan more than the whole view";
+}
+
+TEST(ServeStressTest, QueryErrorsAreTyped) {
+  EpochManager manager;
+  const Result<SnapshotQueryResult> invalid =
+      EvaluateSnapshotQuery(manager.OpenSnapshot(), SnapshotQuery{"v", {}, {}});
+  EXPECT_EQ(invalid.status().code(), StatusCode::kFailedPrecondition);
+
+  ASSERT_OK_AND_ASSIGN(ViewFixture fixture,
+                       MakeCountViewFixture(/*num_workers=*/1,
+                                            /*base_cells=*/20,
+                                            Shape::LinfBall(2, 1)));
+  manager.Publish({EpochManager::PinView(*fixture.view)});
+  EXPECT_EQ(EvaluateSnapshotQuery(manager.OpenSnapshot(),
+                                  SnapshotQuery{"nope", {}, {}})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(EvaluateSnapshotQuery(manager.OpenSnapshot(),
+                                  SnapshotQuery{"view", {1}, {2}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(EvaluateSnapshotQuery(manager.OpenSnapshot(),
+                                  SnapshotQuery{"view", {5, 5}, {1, 1}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace avm
