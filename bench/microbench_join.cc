@@ -1,8 +1,13 @@
 // Microbenchmark for the similarity-join chunk kernel: times the offset-
 // linearized kernel against a faithful copy of the pre-linearization kernel
 // on single-chunk self-joins, sweeping dimensionality, shape radius, and
-// chunk density. Emits machine-readable results to BENCH_join.json (or
-// --out=PATH); --smoke shrinks the sweep for CI.
+// chunk density. Every config additionally runs a representation A/B of the
+// optimized kernel — forced-sparse, forced-dense (explicitly densified
+// copy), and auto (whatever the hysteresis policy picks) — with the dense
+// fragments gated bit-identical (tolerance 0) against the sparse reference.
+// Emits machine-readable results to BENCH_join.json (or --out=PATH);
+// --smoke shrinks the sweep for CI, which gates the forced-dense interior
+// speedup at the 2d_r2_d90 preset.
 //
 // The baseline below intentionally reproduces the old kernel's inner loops —
 // per-offset per-dimension bounds checks, grid InChunkOffset (divide/modulo
@@ -155,6 +160,23 @@ struct BenchConfig {
   double density = 0.5;    // fill fraction of the chunk
 };
 
+/// Pins the process densification policy for a scope; arrays built by the
+/// bench must stay sparse so the forced-sparse column is actually sparse,
+/// then the auto column re-enables the policy deliberately.
+class ScopedDensificationMode {
+ public:
+  explicit ScopedDensificationMode(DensificationMode mode)
+      : saved_(GetDensificationMode()) {
+    SetDensificationMode(mode);
+  }
+  ~ScopedDensificationMode() { SetDensificationMode(saved_); }
+  ScopedDensificationMode(const ScopedDensificationMode&) = delete;
+  ScopedDensificationMode& operator=(const ScopedDensificationMode&) = delete;
+
+ private:
+  DensificationMode saved_;
+};
+
 struct BenchResult {
   BenchConfig config;
   size_t shape_offsets = 0;
@@ -168,6 +190,16 @@ struct BenchResult {
   double baseline_cells_per_sec = 0.0;
   double optimized_cells_per_sec = 0.0;
   double speedup = 0.0;
+  // Representation A/B of the optimized kernel on the same inputs.
+  // `optimized_s` above is the forced-sparse column; `dense_s` runs both
+  // sides of the self-join on an explicitly densified copy; `auto_s` runs
+  // on a copy left to the hysteresis policy (`auto_rep` records its pick).
+  double dense_s = 0.0;
+  double auto_s = 0.0;
+  const char* auto_rep = "sparse";
+  double dense_cells_per_sec = 0.0;
+  // Forced-sparse over forced-dense kernel time: the dense-interior payoff.
+  double dense_interior_speedup = 0.0;
 };
 
 /// Single-chunk array spanning [0, extent)^nd with one double attribute,
@@ -238,10 +270,23 @@ double TimePerRun(Fn&& run, double target_seconds) {
 
 BenchResult RunConfig(const BenchConfig& config, int64_t extent,
                       double target_seconds) {
+  // Build forced-sparse so the baseline and forced-sparse columns measure
+  // the coordinate-list representation even at densities past the
+  // auto-densify threshold.
+  ScopedDensificationMode pin_sparse(DensificationMode::kForceSparse);
   const SparseArray array = MakeDenseChunkArray(
       config.num_dims, extent, config.density, /*seed=*/0xC0FFEE ^ extent);
   const Chunk* chunk = array.GetChunk(0);
   AVM_CHECK(chunk != nullptr) << "empty bench chunk";
+  AVM_CHECK(chunk->rep() == ChunkRep::kSparse) << "bench chunk not sparse";
+
+  Chunk dense_chunk(*chunk);
+  dense_chunk.Densify(array.grid(), /*id=*/0);
+  Chunk auto_chunk(*chunk);
+  {
+    ScopedDensificationMode pin_auto(DensificationMode::kAuto);
+    auto_chunk.MaybeAdaptRepresentation(array.grid(), /*id=*/0);
+  }
 
   const Shape shape = Shape::LinfBall(config.num_dims, config.radius);
   const DimMapping mapping = DimMapping::Identity(config.num_dims);
@@ -279,6 +324,23 @@ BenchResult RunConfig(const BenchConfig& config, int64_t extent,
         << "kernel mismatch on " << config.name;
   }
 
+  // Bit-identity gate for the dense path: the vectorized interior must
+  // reproduce the sparse reference exactly (tolerance 0), not approximately
+  // — determinism of maintained views depends on it.
+  const RightOperand dense_rop{&dense_chunk, 0, &array.grid()};
+  const RightOperand auto_rop{&auto_chunk, 0, &array.grid()};
+  std::map<ChunkId, Chunk> dense_frags;
+  AVM_CHECK(JoinAggregateChunkPair(dense_chunk, dense_rop, compiled, layout,
+                                   target, 1, &dense_frags)
+                .ok());
+  AVM_CHECK_EQ(dense_frags.size(), opt_frags.size());
+  for (const auto& [id, frag] : dense_frags) {
+    auto it = opt_frags.find(id);
+    AVM_CHECK(it != opt_frags.end());
+    AVM_CHECK(frag.ContentEquals(it->second, 0.0))
+        << "dense kernel not bit-identical on " << config.name;
+  }
+
   BenchResult result;
   result.config = config;
   result.shape_offsets = shape.size();
@@ -301,6 +363,24 @@ BenchResult RunConfig(const BenchConfig& config, int64_t extent,
                       .ok());
       },
       target_seconds);
+  result.dense_s = TimePerRun(
+      [&] {
+        std::map<ChunkId, Chunk> frags;
+        AVM_CHECK(JoinAggregateChunkPair(dense_chunk, dense_rop, compiled,
+                                         layout, target, 1, &frags)
+                      .ok());
+      },
+      target_seconds);
+  result.auto_s = TimePerRun(
+      [&] {
+        std::map<ChunkId, Chunk> frags;
+        AVM_CHECK(JoinAggregateChunkPair(auto_chunk, auto_rop, compiled,
+                                         layout, target, 1, &frags)
+                      .ok());
+      },
+      target_seconds);
+  result.auto_rep =
+      auto_chunk.rep() == ChunkRep::kDense ? "dense" : "sparse";
 
   const double cells = static_cast<double>(chunk->num_cells());
   const double pairs = static_cast<double>(result.pairs_folded);
@@ -309,6 +389,8 @@ BenchResult RunConfig(const BenchConfig& config, int64_t extent,
   result.baseline_cells_per_sec = cells / result.baseline_s;
   result.optimized_cells_per_sec = cells / result.optimized_s;
   result.speedup = result.baseline_s / result.optimized_s;
+  result.dense_cells_per_sec = cells / result.dense_s;
+  result.dense_interior_speedup = result.optimized_s / result.dense_s;
   return result;
 }
 
@@ -326,6 +408,9 @@ struct TelemetryAB {
 
 TelemetryAB MeasureTelemetryOverhead(const BenchConfig& config, int64_t extent,
                                      double target_seconds) {
+  // Sparse on purpose: the A/B tracks the shipping sparse probe path, so
+  // its numbers stay comparable across the representation change.
+  ScopedDensificationMode pin_sparse(DensificationMode::kForceSparse);
   const SparseArray array = MakeDenseChunkArray(
       config.num_dims, extent, config.density, /*seed=*/0xC0FFEE ^ extent);
   const Chunk* chunk = array.GetChunk(0);
@@ -367,6 +452,7 @@ TelemetryAB MeasureTelemetryOverhead(const BenchConfig& config, int64_t extent,
 void WriteJson(const std::string& path, const std::string& mode,
                int64_t extent_2d, const std::vector<BenchResult>& results,
                const BenchResult& default_preset,
+               const BenchResult& dense_gate_preset,
                const BenchResult& calib_probe,
                const BenchResult& calib_scan,
                const TelemetryAB& telemetry) {
@@ -399,10 +485,30 @@ void WriteJson(const std::string& path, const std::string& mode,
                default_preset.baseline_cells_per_sec,
                default_preset.optimized_cells_per_sec,
                default_preset.speedup);
+  // Dense-path per-unit costs from the same calibration configs' forced-
+  // dense column; these are what kDenseProbeCostPerOffset /
+  // kDenseScanCostPerRightCell in join/join_kernel.h model.
+  const double dense_probe_ns =
+      calib_probe.dense_s * 1e9 /
+      (static_cast<double>(calib_probe.right_cells) *
+       static_cast<double>(calib_probe.shape_offsets));
+  const double dense_scan_ns =
+      calib_scan.dense_s * 1e9 /
+      (static_cast<double>(calib_scan.right_cells) *
+       static_cast<double>(calib_scan.right_cells));
+  std::fprintf(out,
+               "  \"dense_gate\": {\"name\": \"%s\", \"sparse_s\": %.6e, "
+               "\"dense_s\": %.6e, \"dense_interior_speedup\": %.4f},\n",
+               dense_gate_preset.config.name.c_str(),
+               dense_gate_preset.optimized_s, dense_gate_preset.dense_s,
+               dense_gate_preset.dense_interior_speedup);
   std::fprintf(out,
                "  \"measured_costs\": {\"probe_ns\": %.4f, \"scan_ns\": %.4f, "
-               "\"scan_over_probe\": %.4f},\n",
-               probe_ns, scan_ns, scan_ns / probe_ns);
+               "\"scan_over_probe\": %.4f, \"dense_probe_ns\": %.4f, "
+               "\"dense_scan_ns\": %.4f, \"sparse_over_dense_probe\": "
+               "%.4f},\n",
+               probe_ns, scan_ns, scan_ns / probe_ns, dense_probe_ns,
+               dense_scan_ns, probe_ns / dense_probe_ns);
   std::fprintf(out,
                "  \"telemetry\": {\"disabled_s\": %.6e, \"enabled_s\": %.6e, "
                "\"overhead_frac\": %.4f},\n",
@@ -418,14 +524,17 @@ void WriteJson(const std::string& path, const std::string& mode,
         "\"pairs_folded\": %llu, \"baseline_s\": %.6e, \"optimized_s\": "
         "%.6e, \"baseline_pairs_per_sec\": %.6e, \"optimized_pairs_per_sec\": "
         "%.6e, \"baseline_cells_per_sec\": %.6e, \"optimized_cells_per_sec\": "
-        "%.6e, \"speedup\": %.4f}%s\n",
+        "%.6e, \"speedup\": %.4f, \"dense_s\": %.6e, \"auto_s\": %.6e, "
+        "\"auto_rep\": \"%s\", \"dense_cells_per_sec\": %.6e, "
+        "\"dense_interior_speedup\": %.4f}%s\n",
         r.config.name.c_str(), r.config.num_dims,
         static_cast<long long>(r.config.radius), r.config.density,
         r.shape_offsets, r.right_cells,
         static_cast<unsigned long long>(r.pairs_folded), r.baseline_s,
         r.optimized_s, r.baseline_pairs_per_sec, r.optimized_pairs_per_sec,
         r.baseline_cells_per_sec, r.optimized_cells_per_sec, r.speedup,
-        i + 1 < results.size() ? "," : "");
+        r.dense_s, r.auto_s, r.auto_rep, r.dense_cells_per_sec,
+        r.dense_interior_speedup, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
@@ -454,6 +563,8 @@ int Main(int argc, char** argv) {
   if (smoke) {
     configs.push_back({"2d_r2_d50", 2, 2, 0.5});
     configs.push_back({"3d_r1_d50", 3, 1, 0.5});
+    // High-density preset the CI dense-interior gate reads.
+    configs.push_back({"2d_r2_d90", 2, 2, 0.9});
   } else {
     for (size_t nd : {size_t{2}, size_t{3}}) {
       for (int64_t r : {int64_t{1}, int64_t{2}, int64_t{3}}) {
@@ -470,21 +581,28 @@ int Main(int argc, char** argv) {
 
   std::vector<BenchResult> results;
   size_t default_preset_index = SIZE_MAX;
-  std::printf("%-12s %8s %8s %10s %12s %12s %8s\n", "config", "|sigma|",
-              "cells", "pairs", "base cell/s", "opt cell/s", "speedup");
+  size_t dense_gate_index = SIZE_MAX;
+  std::printf("%-12s %8s %8s %10s %12s %12s %8s %12s %8s %7s\n", "config",
+              "|sigma|", "cells", "pairs", "base cell/s", "opt cell/s",
+              "speedup", "dense cell/s", "dns spd", "auto");
   for (const BenchConfig& config : configs) {
     const int64_t extent = config.num_dims == 2 ? extent_2d : extent_3d;
     results.push_back(RunConfig(config, extent, target_seconds));
     const BenchResult& r = results.back();
-    std::printf("%-12s %8zu %8zu %10llu %12.3e %12.3e %7.2fx\n",
+    std::printf("%-12s %8zu %8zu %10llu %12.3e %12.3e %7.2fx %12.3e %7.2fx "
+                "%7s\n",
                 r.config.name.c_str(), r.shape_offsets, r.right_cells,
                 static_cast<unsigned long long>(r.pairs_folded),
                 r.baseline_cells_per_sec, r.optimized_cells_per_sec,
-                r.speedup);
+                r.speedup, r.dense_cells_per_sec, r.dense_interior_speedup,
+                r.auto_rep);
     if (r.config.name == "2d_r2_d50") default_preset_index = results.size() - 1;
+    if (r.config.name == "2d_r2_d90") dense_gate_index = results.size() - 1;
   }
   AVM_CHECK(default_preset_index != SIZE_MAX)
       << "sweep lost the default preset";
+  AVM_CHECK(dense_gate_index != SIZE_MAX)
+      << "sweep lost the dense-gate preset";
 
   // Forced-scan config: the shape is far past the probe-vs-scan crossover
   // (|σ| > kScanCostPerRightCell * right_cells), so both kernels take the
@@ -521,6 +639,7 @@ int Main(int argc, char** argv) {
   results.push_back(calib_scan);
 
   const BenchResult& default_preset = results[default_preset_index];
+  const BenchResult& dense_gate_preset = results[dense_gate_index];
   const TelemetryAB telemetry = MeasureTelemetryOverhead(
       default_preset.config, extent_2d, target_seconds);
   std::printf("telemetry A/B on %s: disabled %.3e s, enabled %.3e s "
@@ -528,9 +647,13 @@ int Main(int argc, char** argv) {
               default_preset.config.name.c_str(), telemetry.disabled_s,
               telemetry.enabled_s, telemetry.overhead_frac * 100.0);
   WriteJson(out_path, smoke ? "smoke" : "full", extent_2d, results,
-            default_preset, calib_probe, calib_scan, telemetry);
-  std::printf("wrote %s (default preset speedup: %.2fx)\n", out_path.c_str(),
-              default_preset.speedup);
+            default_preset, dense_gate_preset, calib_probe, calib_scan,
+            telemetry);
+  std::printf("wrote %s (default preset speedup: %.2fx; dense interior at "
+              "%s: %.2fx)\n",
+              out_path.c_str(), default_preset.speedup,
+              dense_gate_preset.config.name.c_str(),
+              dense_gate_preset.dense_interior_speedup);
   return 0;
 }
 

@@ -1,5 +1,6 @@
 #include "array/chunk.h"
 
+#include <bit>
 #include <cmath>
 #include <cstring>
 #include <string>
@@ -7,10 +8,26 @@
 
 #include "array/chunk_grid.h"
 #include "common/check.h"
+#include "telemetry/metrics.h"
 
 namespace avm {
 
+namespace {
+
+/// Unclipped slot volume of one chunk of `grid`: the product of the chunk
+/// extents. Edge chunks clipped by the array ranges address a subset of
+/// these offsets; the dense layout sizes for the full extent box because the
+/// in-chunk offset — the dense slot index — is linearized against it.
+uint64_t SlotVolume(const ChunkGrid& grid) {
+  uint64_t volume = 1;
+  for (int64_t e : grid.extents()) volume *= static_cast<uint64_t>(e);
+  return volume;
+}
+
+}  // namespace
+
 void Chunk::Reserve(size_t cells) {
+  if (rep_ == ChunkRep::kDense) return;
   offsets_.reserve(cells);
   coords_.reserve(cells * num_dims_);
   values_.reserve(cells * num_attrs_);
@@ -20,10 +37,17 @@ void Chunk::Reserve(size_t cells) {
 void Chunk::ClearAndRelayout(size_t num_dims, size_t num_attrs) {
   num_dims_ = num_dims;
   num_attrs_ = num_attrs;
+  rep_ = ChunkRep::kSparse;
   offsets_.clear();
   coords_.clear();
   values_.clear();
   index_.Clear();
+  dense_origin_.clear();
+  dense_extents_.clear();
+  dense_volume_ = 0;
+  dense_cells_ = 0;
+  bitmap_.clear();
+  lanes_.clear();
 }
 
 Status Chunk::AdoptRows(std::vector<uint64_t> offsets,
@@ -48,6 +72,7 @@ Status Chunk::AdoptRows(std::vector<uint64_t> offsets,
     }
     index.Insert(offsets[row], static_cast<uint32_t>(row));
   }
+  ClearAndRelayout(num_dims_, num_attrs_);
   offsets_ = std::move(offsets);
   coords_ = std::move(coords);
   values_ = std::move(values);
@@ -55,10 +80,71 @@ Status Chunk::AdoptRows(std::vector<uint64_t> offsets,
   return Status::OK();
 }
 
-void Chunk::UpsertCell(uint64_t offset, const CellCoord& coord,
+Status Chunk::AdoptDense(std::vector<int64_t> origin,
+                         std::vector<int64_t> extents,
+                         std::vector<uint64_t> bitmap,
+                         std::vector<double> lanes) {
+  if (origin.size() != num_dims_ || extents.size() != num_dims_) {
+    return Status::InvalidArgument(
+        "AdoptDense: box arity disagrees with the chunk layout");
+  }
+  uint64_t volume = 1;
+  for (int64_t e : extents) {
+    if (e <= 0) return Status::InvalidArgument("AdoptDense: non-positive extent");
+    volume *= static_cast<uint64_t>(e);
+  }
+  if (volume == 0 || volume > kMaxDenseVolume) {
+    return Status::InvalidArgument("AdoptDense: implausible box volume");
+  }
+  if (bitmap.size() != (volume + 63) / 64 ||
+      lanes.size() != volume * num_attrs_) {
+    return Status::InvalidArgument(
+        "AdoptDense: buffer lengths disagree with the box volume");
+  }
+  if ((volume & 63) != 0 &&
+      (bitmap.back() >> (volume & 63)) != 0) {
+    return Status::InvalidArgument(
+        "AdoptDense: nonzero bitmap bits beyond the box volume");
+  }
+  size_t cells = 0;
+  for (uint64_t word : bitmap) cells += std::popcount(word);
+  // Vacant-lane invariant: the branch-free kernel folds vacant slots
+  // blindly, so a nonzero lane behind a clear bit is corrupt input.
+  for (uint64_t off = 0; off < volume; ++off) {
+    if ((bitmap[off >> 6] >> (off & 63)) & 1u) continue;
+    for (size_t a = 0; a < num_attrs_; ++a) {
+      if (lanes[off * num_attrs_ + a] != 0.0) {
+        return Status::InvalidArgument(
+            "AdoptDense: nonzero value lane behind a vacant slot");
+      }
+    }
+  }
+  ClearAndRelayout(num_dims_, num_attrs_);
+  rep_ = ChunkRep::kDense;
+  dense_origin_ = std::move(origin);
+  dense_extents_ = std::move(extents);
+  dense_volume_ = volume;
+  dense_cells_ = cells;
+  bitmap_ = std::move(bitmap);
+  lanes_ = std::move(lanes);
+  return Status::OK();
+}
+
+void Chunk::UpsertCell(uint64_t offset, std::span<const int64_t> coord,
                        std::span<const double> values) {
   AVM_CHECK_EQ(coord.size(), num_dims_);
   AVM_CHECK_EQ(values.size(), num_attrs_);
+  if (rep_ == ChunkRep::kDense) {
+    AVM_CHECK_LT(offset, dense_volume_)
+        << "dense upsert outside the chunk box";
+    if (!DenseBit(offset)) {
+      bitmap_[offset >> 6] |= uint64_t{1} << (offset & 63);
+      ++dense_cells_;
+    }
+    std::memcpy(lanes_.data() + offset * num_attrs_, values.data(),
+                num_attrs_ * sizeof(double));
+    return;
+  }
   const uint32_t existing = index_.Find(offset);
   if (existing != OffsetIndex::kNotFound) {
     std::memcpy(values_.data() + existing * num_attrs_, values.data(),
@@ -72,10 +158,23 @@ void Chunk::UpsertCell(uint64_t offset, const CellCoord& coord,
   index_.Insert(offset, row);
 }
 
-void Chunk::AccumulateCell(uint64_t offset, const CellCoord& coord,
+void Chunk::AccumulateCell(uint64_t offset, std::span<const int64_t> coord,
                            std::span<const double> values) {
   AVM_CHECK_EQ(coord.size(), num_dims_);
   AVM_CHECK_EQ(values.size(), num_attrs_);
+  if (rep_ == ChunkRep::kDense) {
+    AVM_CHECK_LT(offset, dense_volume_)
+        << "dense accumulate outside the chunk box";
+    double* dst = lanes_.data() + offset * num_attrs_;
+    if (DenseBit(offset)) {
+      for (size_t i = 0; i < num_attrs_; ++i) dst[i] += values[i];
+    } else {
+      bitmap_[offset >> 6] |= uint64_t{1} << (offset & 63);
+      ++dense_cells_;
+      std::memcpy(dst, values.data(), num_attrs_ * sizeof(double));
+    }
+    return;
+  }
   const uint32_t row = index_.Find(offset);
   if (row != OffsetIndex::kNotFound) {
     double* dst = values_.data() + row * num_attrs_;
@@ -87,6 +186,8 @@ void Chunk::AccumulateCell(uint64_t offset, const CellCoord& coord,
 
 size_t Chunk::GetOrCreateRow(uint64_t offset, std::span<const int64_t> coord,
                              std::span<const double> init) {
+  AVM_CHECK(rep_ == ChunkRep::kSparse)
+      << "GetOrCreateRow on a dense chunk (use GetOrCreateCell)";
   AVM_CHECK_EQ(coord.size(), num_dims_);
   AVM_CHECK_EQ(init.size(), num_attrs_);
   const uint32_t existing = index_.Find(offset);
@@ -99,7 +200,32 @@ size_t Chunk::GetOrCreateRow(uint64_t offset, std::span<const int64_t> coord,
   return row;
 }
 
+Chunk::CellRef Chunk::GetOrCreateCell(uint64_t offset,
+                                      std::span<const int64_t> coord,
+                                      std::span<const double> init) {
+  if (rep_ == ChunkRep::kSparse) return GetOrCreateRow(offset, coord, init);
+  AVM_CHECK_EQ(coord.size(), num_dims_);
+  AVM_CHECK_EQ(init.size(), num_attrs_);
+  AVM_CHECK_LT(offset, dense_volume_) << "dense create outside the chunk box";
+  if (!DenseBit(offset)) {
+    bitmap_[offset >> 6] |= uint64_t{1} << (offset & 63);
+    ++dense_cells_;
+    std::memcpy(lanes_.data() + offset * num_attrs_, init.data(),
+                num_attrs_ * sizeof(double));
+  }
+  return static_cast<CellRef>(offset);
+}
+
 bool Chunk::EraseCell(uint64_t offset) {
+  if (rep_ == ChunkRep::kDense) {
+    if (offset >= dense_volume_ || !DenseBit(offset)) return false;
+    bitmap_[offset >> 6] &= ~(uint64_t{1} << (offset & 63));
+    --dense_cells_;
+    // Re-zero the vacated lanes: the branch-free kernel folds them blindly.
+    std::memset(lanes_.data() + offset * num_attrs_, 0,
+                num_attrs_ * sizeof(double));
+    return true;
+  }
   const uint32_t row = index_.Find(offset);
   if (row == OffsetIndex::kNotFound) return false;
   const uint32_t last = static_cast<uint32_t>(num_cells()) - 1;
@@ -120,22 +246,191 @@ bool Chunk::EraseCell(uint64_t offset) {
   return true;
 }
 
+void Chunk::Densify(const ChunkGrid& grid, ChunkId id) {
+  AVM_CHECK(rep_ == ChunkRep::kSparse) << "Densify on a dense chunk";
+  AVM_CHECK_EQ(grid.num_dims(), num_dims_)
+      << "grid dimensionality disagrees with the chunk layout";
+  const uint64_t volume = SlotVolume(grid);
+  AVM_CHECK(volume > 0 && volume <= kMaxDenseVolume)
+      << "chunk box volume " << volume << " outside the densifiable range";
+  const Box box = grid.ChunkBoxOfId(id);
+
+  dense_origin_ = box.lo;
+  dense_extents_ = grid.extents();
+  dense_volume_ = volume;
+  dense_cells_ = offsets_.size();
+  bitmap_.assign((volume + 63) / 64, 0);
+  lanes_.assign(volume * num_attrs_, 0.0);
+  for (size_t row = 0; row < offsets_.size(); ++row) {
+    const uint64_t off = offsets_[row];
+    AVM_CHECK_LT(off, volume) << "cell offset outside the chunk box volume";
+    bitmap_[off >> 6] |= uint64_t{1} << (off & 63);
+    std::memcpy(lanes_.data() + off * num_attrs_,
+                values_.data() + row * num_attrs_,
+                num_attrs_ * sizeof(double));
+  }
+  rep_ = ChunkRep::kDense;
+  offsets_.clear();
+  coords_.clear();
+  values_.clear();
+  index_.Clear();
+}
+
+void Chunk::Sparsify() {
+  AVM_CHECK(rep_ == ChunkRep::kDense) << "Sparsify on a sparse chunk";
+  offsets_.clear();
+  coords_.clear();
+  values_.clear();
+  index_.Clear();
+  offsets_.reserve(dense_cells_);
+  coords_.reserve(dense_cells_ * num_dims_);
+  values_.reserve(dense_cells_ * num_attrs_);
+  index_.Reserve(dense_cells_);
+
+  CellCoord coord = dense_origin_;
+  uint32_t row = 0;
+  for (uint64_t off = 0; off < dense_volume_; ++off) {
+    if (DenseBit(off)) {
+      offsets_.push_back(off);
+      coords_.insert(coords_.end(), coord.begin(), coord.end());
+      values_.insert(values_.end(), lanes_.begin() + off * num_attrs_,
+                     lanes_.begin() + (off + 1) * num_attrs_);
+      index_.Insert(off, row++);
+    }
+    for (size_t d = num_dims_; d-- > 0;) {
+      if (++coord[d] < dense_origin_[d] + dense_extents_[d]) break;
+      coord[d] = dense_origin_[d];
+    }
+  }
+  rep_ = ChunkRep::kSparse;
+  dense_origin_.clear();
+  dense_extents_.clear();
+  dense_volume_ = 0;
+  dense_cells_ = 0;
+  bitmap_.clear();
+  lanes_.clear();
+}
+
+bool Chunk::MaybeAdaptRepresentation(const ChunkGrid& grid, ChunkId id) {
+  const DensificationMode mode = GetDensificationMode();
+  if (mode == DensificationMode::kForceSparse) {
+    if (rep_ != ChunkRep::kDense) return false;
+    Sparsify();
+    CountAdd(CounterId::kChunksSparsified);
+    return true;
+  }
+  const uint64_t volume = SlotVolume(grid);
+  if (volume == 0 || volume > kMaxDenseVolume) return false;
+  if (mode == DensificationMode::kForceDense) {
+    if (rep_ != ChunkRep::kSparse || empty()) return false;
+    Densify(grid, id);
+    CountAdd(CounterId::kChunksDensified);
+    return true;
+  }
+  // kAuto: hysteresis band against the unclipped slot volume. Clipped edge
+  // chunks under-report occupancy and so densify a little late; harmless.
+  const double occupancy =
+      static_cast<double>(num_cells()) / static_cast<double>(volume);
+  if (rep_ == ChunkRep::kSparse && occupancy >= kDensifyDensity) {
+    Densify(grid, id);
+    CountAdd(CounterId::kChunksDensified);
+    return true;
+  }
+  if (rep_ == ChunkRep::kDense && occupancy <= kSparsifyDensity) {
+    Sparsify();
+    CountAdd(CounterId::kChunksSparsified);
+    return true;
+  }
+  return false;
+}
+
 Status Chunk::AccumulateChunk(const Chunk& other) {
   if (other.num_dims_ != num_dims_ || other.num_attrs_ != num_attrs_) {
     return Status::InvalidArgument(
         "AccumulateChunk: incompatible chunk layouts");
   }
   Reserve(num_cells() + other.num_cells());
-  CellCoord coord(num_dims_);
-  for (size_t row = 0; row < other.num_cells(); ++row) {
-    auto c = other.CoordOfRow(row);
-    coord.assign(c.begin(), c.end());
-    AccumulateCell(other.OffsetOfRow(row), coord, other.ValuesOfRow(row));
+  other.ForEachCellWithOffset(
+      [this](uint64_t offset, std::span<const int64_t> coord,
+             std::span<const double> values) {
+        AccumulateCell(offset, coord, values);
+      });
+  return Status::OK();
+}
+
+Status Chunk::UpsertChunk(const Chunk& other) {
+  if (other.num_dims_ != num_dims_ || other.num_attrs_ != num_attrs_) {
+    return Status::InvalidArgument("UpsertChunk: incompatible chunk layouts");
   }
+  Reserve(num_cells() + other.num_cells());
+  other.ForEachCellWithOffset(
+      [this](uint64_t offset, std::span<const int64_t> coord,
+             std::span<const double> values) {
+        UpsertCell(offset, coord, values);
+      });
   return Status::OK();
 }
 
 void Chunk::CheckInvariants(const ChunkGrid* grid, ChunkId id) const {
+  if (rep_ == ChunkRep::kDense) {
+    // Box metadata: arity, positive extents, volume product.
+    AVM_CHECK_EQ(dense_origin_.size(), num_dims_)
+        << "dense box origin arity disagrees with the chunk layout";
+    AVM_CHECK_EQ(dense_extents_.size(), num_dims_)
+        << "dense box extent arity disagrees with the chunk layout";
+    uint64_t volume = 1;
+    for (int64_t e : dense_extents_) {
+      AVM_CHECK_GT(e, 0) << "non-positive dense box extent";
+      volume *= static_cast<uint64_t>(e);
+    }
+    AVM_CHECK_EQ(dense_volume_, volume)
+        << "stored dense volume disagrees with the box extents";
+    AVM_CHECK_EQ(bitmap_.size(), (volume + 63) / 64)
+        << "bitmap word count disagrees with the box volume";
+    AVM_CHECK_EQ(lanes_.size(), volume * num_attrs_)
+        << "lane buffer size disagrees with the box volume";
+    if ((volume & 63) != 0) {
+      AVM_CHECK_EQ(bitmap_.back() >> (volume & 63), 0u)
+          << "nonzero bitmap bits beyond the box volume";
+    }
+    // Bitmap <-> lane agreement: the population matches the cell count and
+    // every vacant slot's lanes are zero (the branch-free kernel invariant).
+    size_t population = 0;
+    for (uint64_t word : bitmap_) population += std::popcount(word);
+    AVM_CHECK_EQ(population, dense_cells_)
+        << "bitmap population disagrees with the stored cell count";
+    for (uint64_t off = 0; off < volume; ++off) {
+      if (DenseBit(off)) continue;
+      for (size_t a = 0; a < num_attrs_; ++a) {
+        AVM_CHECK_EQ(lanes_[off * num_attrs_ + a], 0.0)
+            << "nonzero value lane behind the vacant slot at offset " << off;
+      }
+    }
+    if (grid == nullptr) return;
+    AVM_CHECK_EQ(grid->num_dims(), num_dims_)
+        << "grid dimensionality disagrees with the chunk layout";
+    const Box box = grid->ChunkBoxOfId(id);
+    AVM_CHECK(dense_origin_ == box.lo)
+        << "dense box origin disagrees with the grid for chunk " << id;
+    AVM_CHECK(dense_extents_ == grid->extents())
+        << "dense box extents disagree with the grid's chunk extents";
+    CellCoord coord(num_dims_);
+    ForEachCellWithOffset([&](uint64_t offset, std::span<const int64_t> c,
+                              std::span<const double>) {
+      coord.assign(c.begin(), c.end());
+      AVM_CHECK(box.Contains(coord))
+          << "dense cell at offset " << offset << " lies outside chunk " << id
+          << "'s box";
+      const ChunkGrid::CellSlot slot = grid->SlotOfCell(coord);
+      AVM_CHECK_EQ(slot.id, id)
+          << "dense cell at offset " << offset
+          << " linearizes into a different chunk";
+      AVM_CHECK_EQ(slot.offset, offset)
+          << "dense slot offset disagrees with the grid's linearization";
+    });
+    return;
+  }
+
   // Row storage: the three flat buffers describe the same cell count.
   const size_t cells = offsets_.size();
   AVM_CHECK_EQ(coords_.size(), cells * num_dims_)
@@ -182,15 +477,23 @@ bool Chunk::ContentEquals(const Chunk& other, double tolerance) const {
   if (num_dims_ != other.num_dims_ || num_attrs_ != other.num_attrs_) {
     return false;
   }
-  for (size_t row = 0; row < num_cells(); ++row) {
-    const double* theirs = other.GetCell(offsets_[row]);
-    if (theirs == nullptr) return false;
-    const double* ours = values_.data() + row * num_attrs_;
-    for (size_t i = 0; i < num_attrs_; ++i) {
-      if (std::abs(ours[i] - theirs[i]) > tolerance) return false;
+  bool equal = true;
+  ForEachCellWithOffset([&](uint64_t offset, std::span<const int64_t>,
+                            std::span<const double> values) {
+    if (!equal) return;
+    const double* theirs = other.GetCell(offset);
+    if (theirs == nullptr) {
+      equal = false;
+      return;
     }
-  }
-  return true;
+    for (size_t i = 0; i < num_attrs_; ++i) {
+      if (std::abs(values[i] - theirs[i]) > tolerance) {
+        equal = false;
+        return;
+      }
+    }
+  });
+  return equal;
 }
 
 }  // namespace avm

@@ -1,12 +1,16 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "array/coords.h"
 #include "array/offset_index.h"
+#include "common/check.h"
 #include "common/status.h"
 
 namespace avm {
@@ -14,121 +18,336 @@ namespace avm {
 class ChunkGrid;
 struct ChunkTestPeer;
 
-/// Sparse storage for one chunk: the non-empty cells of one axis-aligned tile
-/// of the array. Cells are stored structure-of-rows — a flat coordinate
+/// The two physical layouts a Chunk can hold its cells in. Logical content
+/// (the set of (offset, coord, values) cells) is representation-independent;
+/// every public cell operation dispatches on the active layout.
+enum class ChunkRep : uint8_t {
+  /// Coordinate list: structure-of-rows buffers plus an open-addressing
+  /// offset index. Compact at low density, O(1) point ops.
+  kSparse,
+  /// Cell-indexed flat buffer: one value-lane slot per cell of the chunk
+  /// box plus a validity bitmap. The in-chunk offset *is* the slot index,
+  /// so a probe is a bit test and an array load — no hashing — and the
+  /// join kernel's interior fast path becomes a pure stride pattern.
+  kDense,
+};
+
+/// Process-wide densification policy. kAuto applies the hysteresis
+/// thresholds below; the forced modes pin every chunk that passes through
+/// MaybeAdaptRepresentation to one layout, for representation A/B
+/// measurement (bench) and differential testing. Not for production tuning.
+enum class DensificationMode : uint8_t { kAuto, kForceSparse, kForceDense };
+
+namespace chunk_internal {
+inline std::atomic<DensificationMode> g_densification_mode{
+    DensificationMode::kAuto};
+}  // namespace chunk_internal
+
+inline DensificationMode GetDensificationMode() {
+  return chunk_internal::g_densification_mode.load(std::memory_order_relaxed);
+}
+inline void SetDensificationMode(DensificationMode mode) {
+  chunk_internal::g_densification_mode.store(mode, std::memory_order_relaxed);
+}
+
+/// Hysteresis band of the auto policy, in cells per chunk-box slot.
+///
+/// The physical-bytes crossover sits far lower (a dense slot costs
+/// 8·num_attrs + 1/8 bytes against ~8·(1 + num_dims + num_attrs) plus index
+/// overhead per sparse cell, i.e. ~0.18 occupancy for 2-D single-attribute
+/// chunks), and the measured dense-probe advantage (see
+/// kDenseProbeCostPerOffset in join/join_kernel.h and the bench's dense
+/// calibration configs) already pays off by ~0.3. Densify is set above both
+/// so conversion only happens when the dense win is decisive; the sparsify
+/// floor sits well below it so a chunk oscillating around one threshold
+/// never thrashes between layouts (deletion batches must drop density by
+/// >2x before the conversion is undone).
+inline constexpr double kDensifyDensity = 0.45;
+inline constexpr double kSparsifyDensity = 0.20;
+
+/// Upper bound on dense slots per chunk (64 Mi lanes at one attribute ==
+/// 512 MiB). Under the auto policy the bound is unreachable (densify
+/// requires cells >= 0.45·volume), but kForceDense would otherwise let a
+/// single cell in a huge chunk allocate its whole box.
+inline constexpr uint64_t kMaxDenseVolume = uint64_t{1} << 26;
+
+/// Borrowed read-only view of a dense chunk's buffers, for kernels that
+/// stride over the lanes directly (join interior fast path). Invalidated by
+/// any mutation or representation change.
+struct DenseChunkView {
+  const uint64_t* bitmap = nullptr;  // ceil(volume/64) words, slot-indexed
+  const double* lanes = nullptr;     // volume x num_attrs, invalid slots 0.0
+  const int64_t* origin = nullptr;   // chunk box lo, num_dims entries
+  const int64_t* extents = nullptr;  // chunk extents, num_dims entries
+  uint64_t volume = 0;               // product of extents
+};
+
+/// Storage for one chunk: the non-empty cells of one axis-aligned tile of
+/// the array, held in one of two physical representations (see ChunkRep).
+/// The sparse layout stores cells structure-of-rows — a flat coordinate
 /// buffer plus a flat attribute-value buffer — with a flat open-addressing
-/// index from the in-chunk offset to the row, giving O(1) point lookup and
-/// append without per-probe pointer chasing.
+/// index from the in-chunk offset to the row. The dense layout stores one
+/// slot per cell of the chunk box, indexed directly by the in-chunk offset,
+/// with a validity bitmap; vacant slots keep their value lanes zeroed (an
+/// invariant the vectorized join kernel relies on).
 ///
 /// A Chunk is the unit of storage, transfer, and join computation, matching
 /// the paper's chunk-granularity processing model. `SizeBytes()` is the
-/// quantity `B_q` that the cost model charges for transfers and joins.
+/// quantity `B_q` that the cost model charges for transfers and joins; it is
+/// a pure function of the logical content, so plans and simulated clocks are
+/// representation-independent (PhysicalSizeBytes reports the actual
+/// footprint).
 class Chunk {
  public:
-  /// Creates an empty chunk for cells of the given dimensionality and
-  /// attribute count.
+  /// Creates an empty (sparse) chunk for cells of the given dimensionality
+  /// and attribute count.
   Chunk(size_t num_dims, size_t num_attrs)
       : num_dims_(num_dims), num_attrs_(num_attrs) {}
 
   size_t num_dims() const { return num_dims_; }
   size_t num_attrs() const { return num_attrs_; }
-  size_t num_cells() const { return index_.size(); }
-  bool empty() const { return index_.empty(); }
+  ChunkRep rep() const { return rep_; }
+  size_t num_cells() const {
+    return rep_ == ChunkRep::kSparse ? index_.size() : dense_cells_;
+  }
+  bool empty() const { return num_cells() == 0; }
 
-  /// Pre-sizes the row buffers and the offset index for `cells` cells, so
-  /// bulk loads (deserialization, fragment merges, delta upserts) allocate
-  /// and rehash once instead of per cell.
+  /// Pre-sizes the sparse row buffers and the offset index for `cells`
+  /// cells, so bulk loads (deserialization, fragment merges, delta upserts)
+  /// allocate and rehash once instead of per cell. No-op on a dense chunk
+  /// (its buffers are already fully sized).
   void Reserve(size_t cells);
 
-  /// Empties the chunk and re-layouts it for the given dimensionality and
-  /// attribute count, keeping every buffer's capacity. This is what makes a
-  /// pooled chunk free to reuse: the next fill appends into memory the
-  /// previous batch already paid to allocate.
+  /// Empties the chunk, reverts it to the sparse representation, and
+  /// re-layouts it for the given dimensionality and attribute count, keeping
+  /// every buffer's capacity. This is what makes a pooled chunk free to
+  /// reuse: the next fill appends into memory the previous batch already
+  /// paid to allocate.
   void ClearAndRelayout(size_t num_dims, size_t num_attrs);
 
-  /// Bytes of buffer capacity currently held (row buffers plus the offset
-  /// index table) — the quantity a pool of emptied chunks keeps parked.
+  /// Bytes of buffer capacity currently held (row buffers, the offset index
+  /// table, and any dense bitmap/lane capacity) — the quantity a pool of
+  /// emptied chunks keeps parked.
   uint64_t CapacityBytes() const {
     return offsets_.capacity() * sizeof(uint64_t) +
            coords_.capacity() * sizeof(int64_t) +
-           values_.capacity() * sizeof(double) + index_.CapacityBytes();
+           values_.capacity() * sizeof(double) + index_.CapacityBytes() +
+           bitmap_.capacity() * sizeof(uint64_t) +
+           lanes_.capacity() * sizeof(double) +
+           (dense_origin_.capacity() + dense_extents_.capacity()) *
+               sizeof(int64_t);
   }
 
-  /// Replaces the chunk's contents with pre-assembled row buffers in one
-  /// move: `offsets` holds one in-chunk offset per row, `coords` num_dims
-  /// components per row, `values` num_attrs slots per row. The offset index
-  /// is rebuilt with a single reserve. Fails on inconsistent buffer lengths
-  /// or duplicate offsets (the bulk-deserialization entry point must reject
-  /// corrupt input instead of corrupting the index).
+  /// Replaces the chunk's contents with pre-assembled sparse row buffers in
+  /// one move: `offsets` holds one in-chunk offset per row, `coords`
+  /// num_dims components per row, `values` num_attrs slots per row. The
+  /// offset index is rebuilt with a single reserve, and the chunk ends up
+  /// sparse regardless of its previous representation. Fails on
+  /// inconsistent buffer lengths or duplicate offsets (the bulk-
+  /// deserialization entry point must reject corrupt input instead of
+  /// corrupting the index).
   Status AdoptRows(std::vector<uint64_t> offsets, std::vector<int64_t> coords,
                    std::vector<double> values);
 
-  /// Raw row-buffer views, for bulk serialization. Invalidated by mutation.
-  std::span<const uint64_t> RowOffsets() const { return offsets_; }
-  std::span<const int64_t> RowCoords() const { return coords_; }
-  std::span<const double> RowValues() const { return values_; }
+  /// Replaces the chunk's contents with a pre-assembled dense block:
+  /// `origin`/`extents` describe the chunk box (num_dims entries each),
+  /// `bitmap` holds ceil(volume/64) validity words and `lanes`
+  /// volume·num_attrs values. Fails — without modifying the chunk — on
+  /// inconsistent lengths, nonzero trailing bitmap bits, or a nonzero value
+  /// lane of a vacant slot (the zeroed-vacant-lanes invariant must hold on
+  /// entry; the AVMARR03 loader rejects corrupt input here). Geometry
+  /// against a grid is the caller's check.
+  Status AdoptDense(std::vector<int64_t> origin, std::vector<int64_t> extents,
+                    std::vector<uint64_t> bitmap, std::vector<double> lanes);
+
+  /// Raw sparse row-buffer views, for bulk serialization. Sparse
+  /// representation only; invalidated by mutation.
+  std::span<const uint64_t> RowOffsets() const {
+    AVM_DCHECK(rep_ == ChunkRep::kSparse);
+    return offsets_;
+  }
+  std::span<const int64_t> RowCoords() const {
+    AVM_DCHECK(rep_ == ChunkRep::kSparse);
+    return coords_;
+  }
+  std::span<const double> RowValues() const {
+    AVM_DCHECK(rep_ == ChunkRep::kSparse);
+    return values_;
+  }
+
+  /// Borrowed view of the dense buffers. Dense representation only.
+  DenseChunkView dense_view() const {
+    AVM_CHECK(rep_ == ChunkRep::kDense)
+        << "dense_view() on a sparse chunk";
+    return DenseChunkView{bitmap_.data(), lanes_.data(), dense_origin_.data(),
+                          dense_extents_.data(), dense_volume_};
+  }
 
   /// Inserts a cell or overwrites its attribute values if the offset is
   /// already present. `offset` is the in-chunk row-major offset computed by
   /// ChunkGrid::InChunkOffset; `coord` the full cell coordinate.
-  void UpsertCell(uint64_t offset, const CellCoord& coord,
+  void UpsertCell(uint64_t offset, std::span<const int64_t> coord,
                   std::span<const double> values);
+  void UpsertCell(uint64_t offset, std::initializer_list<int64_t> coord,
+                  std::span<const double> values) {
+    UpsertCell(offset, std::span<const int64_t>{coord.begin(), coord.size()},
+               values);
+  }
 
   /// Adds `values` element-wise into the cell's attributes, inserting the
   /// cell (initialized to zero) if absent. The merge primitive for
   /// incrementally maintainable aggregates (COUNT/SUM).
-  void AccumulateCell(uint64_t offset, const CellCoord& coord,
+  void AccumulateCell(uint64_t offset, std::span<const int64_t> coord,
                       std::span<const double> values);
+  void AccumulateCell(uint64_t offset, std::initializer_list<int64_t> coord,
+                      std::span<const double> values) {
+    AccumulateCell(offset,
+                   std::span<const int64_t>{coord.begin(), coord.size()},
+                   values);
+  }
 
   /// Removes the cell at `offset` if present; returns whether it existed.
+  /// On a dense chunk the slot's value lanes are re-zeroed (the vacant-lane
+  /// invariant).
   bool EraseCell(uint64_t offset);
 
   /// True if a cell exists at the in-chunk offset.
   bool HasCell(uint64_t offset) const {
-    return index_.Find(offset) != OffsetIndex::kNotFound;
+    if (rep_ == ChunkRep::kSparse) {
+      return index_.Find(offset) != OffsetIndex::kNotFound;
+    }
+    return offset < dense_volume_ && DenseBit(offset);
   }
 
   /// Attribute values of the cell at `offset`, or nullptr if absent. The
-  /// span is invalidated by any mutation.
+  /// pointer is invalidated by any mutation or representation change.
   const double* GetCell(uint64_t offset) const {
-    const uint32_t row = index_.Find(offset);
-    if (row == OffsetIndex::kNotFound) return nullptr;
-    return values_.data() + row * num_attrs_;
+    if (rep_ == ChunkRep::kSparse) {
+      const uint32_t row = index_.Find(offset);
+      if (row == OffsetIndex::kNotFound) return nullptr;
+      return values_.data() + row * num_attrs_;
+    }
+    if (offset >= dense_volume_ || !DenseBit(offset)) return nullptr;
+    return lanes_.data() + offset * num_attrs_;
   }
   double* GetMutableCell(uint64_t offset) {
-    const uint32_t row = index_.Find(offset);
-    if (row == OffsetIndex::kNotFound) return nullptr;
-    return values_.data() + row * num_attrs_;
+    return const_cast<double*>(std::as_const(*this).GetCell(offset));
+  }
+
+  /// Stable handle to one cell's attribute values, valid across subsequent
+  /// insertions (sparse rows only move on erase; dense slots never move).
+  /// Resolved back to a fresh pointer by StateOfCellRef, so callers
+  /// accumulating runs of updates into one cell (FragmentBuilder) stay
+  /// correct across value-buffer growth.
+  using CellRef = size_t;
+
+  /// CellRef of the cell at `offset`, inserting it with `init` values if
+  /// absent.
+  CellRef GetOrCreateCell(uint64_t offset, std::span<const int64_t> coord,
+                          std::span<const double> init);
+
+  /// The attribute values behind a CellRef obtained from GetOrCreateCell.
+  /// The pointer itself is invalidated by mutation; the ref is not.
+  double* StateOfCellRef(CellRef ref) {
+    return (rep_ == ChunkRep::kSparse ? values_.data() : lanes_.data()) +
+           ref * num_attrs_;
   }
 
   /// Row of the cell at `offset`, inserting it with `init` values if absent.
-  /// Rows are stable until an erase, so callers accumulating runs of updates
-  /// into one cell (FragmentBuilder) can cache the row across value-buffer
-  /// growth.
+  /// Sparse representation only (new code outside src/array uses
+  /// GetOrCreateCell, which dispatches).
   size_t GetOrCreateRow(uint64_t offset, std::span<const int64_t> coord,
                         std::span<const double> init);
 
-  /// Row accessors (rows are stable until an erase).
+  /// Sparse row accessors (rows are stable until an erase). Sparse
+  /// representation only; kernel code outside src/array iterates through
+  /// the representation-dispatching visitors below instead.
   std::span<const int64_t> CoordOfRow(size_t row) const {
+    AVM_DCHECK(rep_ == ChunkRep::kSparse);
     return {coords_.data() + row * num_dims_, num_dims_};
   }
   std::span<const double> ValuesOfRow(size_t row) const {
+    AVM_DCHECK(rep_ == ChunkRep::kSparse);
     return {values_.data() + row * num_attrs_, num_attrs_};
   }
   double* MutableValuesOfRow(size_t row) {
+    AVM_DCHECK(rep_ == ChunkRep::kSparse);
     return values_.data() + row * num_attrs_;
   }
-  uint64_t OffsetOfRow(size_t row) const { return offsets_[row]; }
+  uint64_t OffsetOfRow(size_t row) const {
+    AVM_DCHECK(rep_ == ChunkRep::kSparse);
+    return offsets_[row];
+  }
 
-  /// Invokes fn(coord, values) for every cell. Iteration order is insertion
-  /// order (stable across runs for deterministic inputs). The templated form
-  /// binds the visitor statically; pass a std::function only when type
-  /// erasure is genuinely needed.
+  /// Invokes fn(offset, coord, values) for every cell. Iteration order is
+  /// insertion order on a sparse chunk and ascending offset order on a
+  /// dense one (both stable across runs for deterministic inputs; they
+  /// coincide for row-major-built chunks).
+  template <typename Fn>
+  void ForEachCellWithOffset(Fn&& fn) const {
+    if (rep_ == ChunkRep::kSparse) {
+      for (size_t row = 0; row < offsets_.size(); ++row) {
+        fn(offsets_[row],
+           std::span<const int64_t>{coords_.data() + row * num_dims_,
+                                    num_dims_},
+           std::span<const double>{values_.data() + row * num_attrs_,
+                                   num_attrs_});
+      }
+      return;
+    }
+    CellCoord coord = dense_origin_;
+    for (uint64_t off = 0; off < dense_volume_; ++off) {
+      if (DenseBit(off)) {
+        fn(off, std::span<const int64_t>{coord},
+           std::span<const double>{lanes_.data() + off * num_attrs_,
+                                   num_attrs_});
+      }
+      for (size_t d = num_dims_; d-- > 0;) {
+        if (++coord[d] < dense_origin_[d] + dense_extents_[d]) break;
+        coord[d] = dense_origin_[d];
+      }
+    }
+  }
+
+  /// Status-propagating visitor: fn(offset, coord, values) -> Status; stops
+  /// at the first error. Same iteration order as ForEachCellWithOffset.
+  template <typename Fn>
+  Status VisitCells(Fn&& fn) const {
+    if (rep_ == ChunkRep::kSparse) {
+      for (size_t row = 0; row < offsets_.size(); ++row) {
+        AVM_RETURN_IF_ERROR(
+            fn(offsets_[row],
+               std::span<const int64_t>{coords_.data() + row * num_dims_,
+                                        num_dims_},
+               std::span<const double>{values_.data() + row * num_attrs_,
+                                       num_attrs_}));
+      }
+      return Status::OK();
+    }
+    CellCoord coord = dense_origin_;
+    for (uint64_t off = 0; off < dense_volume_; ++off) {
+      if (DenseBit(off)) {
+        AVM_RETURN_IF_ERROR(
+            fn(off, std::span<const int64_t>{coord},
+               std::span<const double>{lanes_.data() + off * num_attrs_,
+                                       num_attrs_}));
+      }
+      for (size_t d = num_dims_; d-- > 0;) {
+        if (++coord[d] < dense_origin_[d] + dense_extents_[d]) break;
+        coord[d] = dense_origin_[d];
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Invokes fn(coord, values) for every cell (iteration order as above).
+  /// The templated form binds the visitor statically; pass a std::function
+  /// only when type erasure is genuinely needed.
   template <typename Fn>
   void ForEachCell(Fn&& fn) const {
-    for (size_t row = 0; row < num_cells(); ++row) {
-      fn(CoordOfRow(row), ValuesOfRow(row));
-    }
+    ForEachCellWithOffset(
+        [&fn](uint64_t, std::span<const int64_t> coord,
+              std::span<const double> values) { fn(coord, values); });
   }
   void ForEachCell(
       const std::function<void(std::span<const int64_t>,
@@ -136,43 +355,103 @@ class Chunk {
     ForEachCell<decltype(fn)>(fn);
   }
 
-  /// Estimated in-memory/wire footprint: 8 bytes per coordinate component and
-  /// per attribute value. This is the B_q fed to the cost model.
+  /// Estimated logical in-memory/wire footprint: 8 bytes per coordinate
+  /// component and per attribute value of every *occupied* cell. This is the
+  /// B_q fed to the cost model — deliberately representation-independent, so
+  /// plans and simulated clocks do not change when a chunk converts.
   uint64_t SizeBytes() const {
     return 8 * num_cells() * (num_dims_ + num_attrs_);
   }
 
+  /// Actual bytes of the active representation's buffers (host RSS truth,
+  /// reported per format by the store.resident_{sparse,dense}_bytes gauges).
+  uint64_t PhysicalSizeBytes() const {
+    if (rep_ == ChunkRep::kSparse) {
+      return offsets_.size() * sizeof(uint64_t) +
+             coords_.size() * sizeof(int64_t) +
+             values_.size() * sizeof(double) + index_.CapacityBytes();
+    }
+    return bitmap_.size() * sizeof(uint64_t) + lanes_.size() * sizeof(double) +
+           (dense_origin_.size() + dense_extents_.size()) * sizeof(int64_t);
+  }
+
+  /// Converts to the dense representation over the chunk box of `id` in
+  /// `grid`. Precondition: currently sparse, every cell offset inside the
+  /// box volume, and the volume within kMaxDenseVolume (callers go through
+  /// MaybeAdaptRepresentation, which checks the policy and the bound).
+  void Densify(const ChunkGrid& grid, ChunkId id);
+
+  /// Converts to the sparse representation. Cells are materialized in
+  /// ascending offset order. Precondition: currently dense.
+  void Sparsify();
+
+  /// Applies the process-wide densification policy to this chunk (which
+  /// must belong to slot `id` of `grid`): under kAuto, densifies at
+  /// occupancy >= kDensifyDensity and sparsifies at <= kSparsifyDensity
+  /// (occupancy measured against the unclipped slot volume, the product of
+  /// the grid's chunk extents); the forced modes pin the representation.
+  /// Returns true if a conversion happened (also counted in telemetry as
+  /// chunk.densified / chunk.sparsified). O(1) when no conversion fires, so
+  /// it is safe to call after every mutation batch.
+  bool MaybeAdaptRepresentation(const ChunkGrid& grid, ChunkId id);
+
   /// Merges every cell of `other` into this chunk with AccumulateCell
-  /// semantics. Dimensionality and attribute counts must match.
+  /// semantics. Dimensionality and attribute counts must match; the two
+  /// chunks may use different representations.
   Status AccumulateChunk(const Chunk& other);
 
-  /// Exact content equality: same cell set with equal values (order
-  /// insensitive). Coordinates compared by offset.
+  /// Merges every cell of `other` into this chunk with UpsertCell
+  /// (overwrite) semantics. Dimensionality and attribute counts must match;
+  /// the two chunks may use different representations.
+  Status UpsertChunk(const Chunk& other);
+
+  /// Exact content equality: same cell set with equal values (order and
+  /// representation insensitive). Coordinates compared by offset.
   bool ContentEquals(const Chunk& other, double tolerance = 0.0) const;
 
-  /// Debug structural validator. Checks the row storage and the offset
-  /// index agree: buffer sizes are consistent with the cell count, the
-  /// index maps every row's offset back to that row, and the index's own
-  /// table invariants hold. When `grid` is given, additionally checks the
-  /// geometry contract for the chunk at `id`: every cell coordinate lies in
-  /// the chunk's box and re-linearizes (SlotOfCell) to exactly (id, its
-  /// stored offset) — the consistency the PR-2 fast paths depend on.
+  /// Debug structural validator. For a sparse chunk, checks the row storage
+  /// and the offset index agree: buffer sizes are consistent with the cell
+  /// count, the index maps every row's offset back to that row, and the
+  /// index's own table invariants hold. For a dense chunk, checks the box
+  /// metadata, bitmap, and lanes agree: buffer sizes match the box volume,
+  /// the stored cell count equals the bitmap population, trailing bitmap
+  /// bits are clear, and every vacant slot's value lanes are zero (the
+  /// invariant the branch-free join kernel relies on). When `grid` is
+  /// given, additionally checks the geometry contract for the chunk at
+  /// `id`: every cell coordinate lies in the chunk's box and re-linearizes
+  /// (SlotOfCell) to exactly (id, its stored offset) — and, dense, that the
+  /// stored box equals the grid's.
   ///
   /// Violations fire AVM_CHECK (routed through the installed failure
-  /// handler). O(cells); intended for Debug/test builds via the
-  /// kDebugChecksEnabled gate, not for Release hot paths.
+  /// handler). O(cells) sparse, O(volume) dense; intended for Debug/test
+  /// builds via the kDebugChecksEnabled gate, not for Release hot paths.
   void CheckInvariants(const ChunkGrid* grid = nullptr, ChunkId id = 0) const;
 
  private:
   friend struct ChunkTestPeer;  // contract tests corrupt state deliberately
 
+  bool DenseBit(uint64_t off) const {
+    return (bitmap_[off >> 6] >> (off & 63)) & 1u;
+  }
+
   size_t num_dims_;
   size_t num_attrs_;
+  ChunkRep rep_ = ChunkRep::kSparse;
+
+  // Sparse representation (active when rep_ == kSparse).
   std::vector<uint64_t> offsets_;  // per-row in-chunk offset
   std::vector<int64_t> coords_;    // row-major, num_cells x num_dims
   std::vector<double> values_;     // row-major, num_cells x num_attrs
   OffsetIndex index_;              // offset -> row
+
+  // Dense representation (active when rep_ == kDense). Vacant slots keep
+  // their lanes zeroed so the vectorized kernel can fold them blindly.
+  std::vector<int64_t> dense_origin_;   // chunk box lo
+  std::vector<int64_t> dense_extents_;  // per-dim chunk extents
+  uint64_t dense_volume_ = 0;           // product of extents
+  size_t dense_cells_ = 0;              // bitmap population
+  std::vector<uint64_t> bitmap_;        // slot validity, ceil(volume/64)
+  std::vector<double> lanes_;           // volume x num_attrs values
 };
 
 }  // namespace avm
-

@@ -18,6 +18,11 @@ static_assert(std::endian::native == std::endian::little,
 
 constexpr char kMagicV1[8] = {'A', 'V', 'M', 'A', 'R', 'R', '0', '1'};
 constexpr char kMagicV2[8] = {'A', 'V', 'M', 'A', 'R', 'R', '0', '2'};
+constexpr char kMagicV3[8] = {'A', 'V', 'M', 'A', 'R', 'R', '0', '3'};
+
+// v3 per-chunk representation tags.
+constexpr uint64_t kRepTagSparse = 0;
+constexpr uint64_t kRepTagDense = 1;
 
 void WriteU64(std::ostream& out, uint64_t v) {
   char buf[8];
@@ -193,20 +198,113 @@ Result<SparseArray> LoadCellsV1(std::istream& in, SparseArray array) {
   return array;
 }
 
-/// v2 chunk section: per chunk, the id then the three row buffers as bulk
-/// blocks. Geometry is re-validated row by row before adoption — a corrupt
-/// file fails with a Status, never a CHECK, and never leaves a chunk whose
-/// cells lie outside its box.
-Result<SparseArray> LoadChunksV2(std::istream& in, SparseArray array) {
-  const size_t num_dims = array.schema().num_dims();
-  const size_t num_attrs = array.schema().num_attrs();
+/// One sparse chunk section body (shared by v2 and v3): the three row
+/// buffers as bulk blocks. Geometry is re-validated row by row before
+/// adoption — a corrupt file fails with a Status, never a CHECK, and never
+/// leaves a chunk whose cells lie outside its box.
+Status LoadSparseChunkBody(std::istream& in, SparseArray* array,
+                           ChunkId chunk_id) {
+  const size_t num_dims = array->schema().num_dims();
+  const size_t num_attrs = array->schema().num_attrs();
+  const ChunkGrid& grid = array->grid();
+  constexpr uint64_t kMaxCellsPerChunk = 1ull << 32;
+  AVM_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> offsets,
+      ReadBlock<uint64_t>(in, kMaxCellsPerChunk, "offset"));
+  AVM_ASSIGN_OR_RETURN(
+      std::vector<int64_t> coords,
+      ReadBlock<int64_t>(in, offsets.size() * num_dims, "coordinate"));
+  AVM_ASSIGN_OR_RETURN(
+      std::vector<double> values,
+      ReadBlock<double>(in, offsets.size() * num_attrs, "value"));
+  if (coords.size() != offsets.size() * num_dims ||
+      values.size() != offsets.size() * num_attrs) {
+    return Status::InvalidArgument(
+        "chunk section lengths disagree in array file");
+  }
+  CellCoord coord(num_dims);
+  for (size_t row = 0; row < offsets.size(); ++row) {
+    coord.assign(coords.begin() + static_cast<ptrdiff_t>(row * num_dims),
+                 coords.begin() + static_cast<ptrdiff_t>((row + 1) * num_dims));
+    if (!array->schema().ContainsCoord(coord)) {
+      return Status::InvalidArgument(
+          "cell coordinate outside the schema's ranges");
+    }
+    const ChunkGrid::CellSlot slot = grid.SlotOfCell(coord);
+    if (slot.id != chunk_id || slot.offset != offsets[row]) {
+      return Status::InvalidArgument(
+          "cell does not linearize to its recorded chunk slot");
+    }
+  }
+  return array->GetOrCreateChunk(chunk_id).AdoptRows(
+      std::move(offsets), std::move(coords), std::move(values));
+}
+
+/// One dense chunk section body (v3 only): the slot volume, then the
+/// validity bitmap and the value lanes as bulk blocks. The chunk box is
+/// *derived from the grid*, not stored, so the only geometry a corrupt file
+/// can forge is the volume (rejected against the grid's extents) and set
+/// bits in the clipped region of an edge chunk (rejected per set bit
+/// below). AdoptDense re-validates the buffer lengths, trailing bitmap
+/// bits, and the zeroed-vacant-lanes invariant.
+Status LoadDenseChunkBody(std::istream& in, SparseArray* array,
+                          ChunkId chunk_id) {
+  const size_t num_attrs = array->schema().num_attrs();
+  const ChunkGrid& grid = array->grid();
+  const std::vector<int64_t>& extents = grid.extents();
+  uint64_t expected_volume = 1;
+  for (const int64_t e : extents) {
+    expected_volume *= static_cast<uint64_t>(e);
+  }
+  AVM_ASSIGN_OR_RETURN(uint64_t volume, ReadU64(in));
+  if (volume != expected_volume || volume > kMaxDenseVolume) {
+    return Status::InvalidArgument(
+        "dense chunk volume disagrees with the grid's chunk extents");
+  }
+  const uint64_t bitmap_words = (volume + 63) / 64;
+  AVM_ASSIGN_OR_RETURN(std::vector<uint64_t> bitmap,
+                       ReadBlock<uint64_t>(in, bitmap_words, "bitmap"));
+  AVM_ASSIGN_OR_RETURN(
+      std::vector<double> lanes,
+      ReadBlock<double>(in, volume * num_attrs, "lane"));
+  if (bitmap.size() != bitmap_words || lanes.size() != volume * num_attrs) {
+    return Status::InvalidArgument(
+        "dense chunk section lengths disagree in array file");
+  }
+  // Edge chunks are clipped at the schema's upper bounds: a set bit in the
+  // clipped region would decode to a coordinate outside the array.
+  const Box box = grid.ChunkBoxOfId(chunk_id);
+  CellCoord coord = box.lo;
+  const size_t num_dims = coord.size();
+  for (uint64_t off = 0; off < volume; ++off) {
+    if ((bitmap[off >> 6] >> (off & 63)) & 1u) {
+      for (size_t d = 0; d < num_dims; ++d) {
+        if (coord[d] > box.hi[d]) {
+          return Status::InvalidArgument(
+              "dense chunk has a set bit outside its clipped box");
+        }
+      }
+    }
+    for (size_t d = num_dims; d-- > 0;) {
+      if (++coord[d] < box.lo[d] + extents[d]) break;
+      coord[d] = box.lo[d];
+    }
+  }
+  return array->GetOrCreateChunk(chunk_id).AdoptDense(
+      box.lo, extents, std::move(bitmap), std::move(lanes));
+}
+
+/// Shared v2/v3 chunk-stream loader. v3 prefixes every chunk section with a
+/// representation tag and loads each chunk *in its stored representation* —
+/// a chunk saved dense comes back dense without a re-densification pass (and
+/// without consulting the process densification policy).
+Result<SparseArray> LoadChunks(std::istream& in, SparseArray array,
+                               int version) {
   const ChunkGrid& grid = array.grid();
   AVM_ASSIGN_OR_RETURN(uint64_t num_chunks, ReadU64(in));
   if (num_chunks > static_cast<uint64_t>(grid.TotalChunkSlots())) {
     return Status::InvalidArgument("implausible chunk count in array file");
   }
-  constexpr uint64_t kMaxCellsPerChunk = 1ull << 32;
-  CellCoord coord(num_dims);
   for (uint64_t c = 0; c < num_chunks; ++c) {
     AVM_ASSIGN_OR_RETURN(uint64_t id, ReadU64(in));
     if (id >= static_cast<uint64_t>(grid.TotalChunkSlots())) {
@@ -216,35 +314,19 @@ Result<SparseArray> LoadChunksV2(std::istream& in, SparseArray array) {
     if (array.GetChunk(chunk_id) != nullptr) {
       return Status::InvalidArgument("duplicate chunk in array file");
     }
-    AVM_ASSIGN_OR_RETURN(
-        std::vector<uint64_t> offsets,
-        ReadBlock<uint64_t>(in, kMaxCellsPerChunk, "offset"));
-    AVM_ASSIGN_OR_RETURN(
-        std::vector<int64_t> coords,
-        ReadBlock<int64_t>(in, offsets.size() * num_dims, "coordinate"));
-    AVM_ASSIGN_OR_RETURN(
-        std::vector<double> values,
-        ReadBlock<double>(in, offsets.size() * num_attrs, "value"));
-    if (coords.size() != offsets.size() * num_dims ||
-        values.size() != offsets.size() * num_attrs) {
-      return Status::InvalidArgument(
-          "chunk section lengths disagree in array file");
-    }
-    for (size_t row = 0; row < offsets.size(); ++row) {
-      coord.assign(coords.begin() + static_cast<ptrdiff_t>(row * num_dims),
-                   coords.begin() + static_cast<ptrdiff_t>((row + 1) * num_dims));
-      if (!array.schema().ContainsCoord(coord)) {
+    uint64_t rep = kRepTagSparse;
+    if (version >= 3) {
+      AVM_ASSIGN_OR_RETURN(rep, ReadU64(in));
+      if (rep != kRepTagSparse && rep != kRepTagDense) {
         return Status::InvalidArgument(
-            "cell coordinate outside the schema's ranges");
-      }
-      const ChunkGrid::CellSlot slot = grid.SlotOfCell(coord);
-      if (slot.id != chunk_id || slot.offset != offsets[row]) {
-        return Status::InvalidArgument(
-            "cell does not linearize to its recorded chunk slot");
+            "unknown chunk representation tag in array file");
       }
     }
-    AVM_RETURN_IF_ERROR(array.GetOrCreateChunk(chunk_id).AdoptRows(
-        std::move(offsets), std::move(coords), std::move(values)));
+    if (rep == kRepTagSparse) {
+      AVM_RETURN_IF_ERROR(LoadSparseChunkBody(in, &array, chunk_id));
+    } else {
+      AVM_RETURN_IF_ERROR(LoadDenseChunkBody(in, &array, chunk_id));
+    }
   }
   return array;
 }
@@ -252,14 +334,60 @@ Result<SparseArray> LoadChunksV2(std::istream& in, SparseArray array) {
 }  // namespace
 
 Status SaveArray(const SparseArray& array, std::ostream& out) {
+  out.write(kMagicV3, sizeof(kMagicV3));
+  WriteSchema(out, array.schema());
+  WriteU64(out, array.NumChunks());
+  array.ForEachChunk([&](ChunkId id, const Chunk& chunk) {
+    WriteU64(out, id);
+    if (chunk.rep() == ChunkRep::kSparse) {
+      WriteU64(out, kRepTagSparse);
+      WriteBlock<uint64_t>(out, chunk.RowOffsets());
+      WriteBlock<int64_t>(out, chunk.RowCoords());
+      WriteBlock<double>(out, chunk.RowValues());
+    } else {
+      // Dense block: volume + bitmap + lanes, still bulk writes. The box
+      // geometry is reconstructed from the grid at load time.
+      const DenseChunkView dv = chunk.dense_view();
+      WriteU64(out, kRepTagDense);
+      WriteU64(out, dv.volume);
+      WriteBlock<uint64_t>(out, {dv.bitmap, (dv.volume + 63) / 64});
+      WriteBlock<double>(out, {dv.lanes, dv.volume * chunk.num_attrs()});
+    }
+  });
+  if (!out.good()) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+Status SaveArrayV2(const SparseArray& array, std::ostream& out) {
   out.write(kMagicV2, sizeof(kMagicV2));
   WriteSchema(out, array.schema());
   WriteU64(out, array.NumChunks());
   array.ForEachChunk([&](ChunkId id, const Chunk& chunk) {
     WriteU64(out, id);
-    WriteBlock<uint64_t>(out, chunk.RowOffsets());
-    WriteBlock<int64_t>(out, chunk.RowCoords());
-    WriteBlock<double>(out, chunk.RowValues());
+    if (chunk.rep() == ChunkRep::kSparse) {
+      WriteBlock<uint64_t>(out, chunk.RowOffsets());
+      WriteBlock<int64_t>(out, chunk.RowCoords());
+      WriteBlock<double>(out, chunk.RowValues());
+      return;
+    }
+    // v2 has no dense section; materialize row buffers (ascending offset
+    // order, which round-trips to the same logical content).
+    std::vector<uint64_t> offsets;
+    std::vector<int64_t> coords;
+    std::vector<double> values;
+    offsets.reserve(chunk.num_cells());
+    coords.reserve(chunk.num_cells() * chunk.num_dims());
+    values.reserve(chunk.num_cells() * chunk.num_attrs());
+    chunk.ForEachCellWithOffset([&](uint64_t offset,
+                                    std::span<const int64_t> coord,
+                                    std::span<const double> vals) {
+      offsets.push_back(offset);
+      coords.insert(coords.end(), coord.begin(), coord.end());
+      values.insert(values.end(), vals.begin(), vals.end());
+    });
+    WriteBlock<uint64_t>(out, offsets);
+    WriteBlock<int64_t>(out, coords);
+    WriteBlock<double>(out, values);
   });
   if (!out.good()) return Status::Internal("write failed");
   return Status::OK();
@@ -279,7 +407,7 @@ Status SaveArrayV1(const SparseArray& array, std::ostream& out) {
 }
 
 Result<SparseArray> LoadArray(std::istream& in) {
-  char magic[sizeof(kMagicV2)];
+  char magic[sizeof(kMagicV3)];
   in.read(magic, sizeof(magic));
   if (in.gcount() != sizeof(magic)) {
     return Status::InvalidArgument("not an avm array file (bad magic)");
@@ -287,13 +415,14 @@ Result<SparseArray> LoadArray(std::istream& in) {
   int version = 0;
   if (std::memcmp(magic, kMagicV1, sizeof(magic)) == 0) version = 1;
   if (std::memcmp(magic, kMagicV2, sizeof(magic)) == 0) version = 2;
+  if (std::memcmp(magic, kMagicV3, sizeof(magic)) == 0) version = 3;
   if (version == 0) {
     return Status::InvalidArgument("not an avm array file (bad magic)");
   }
   AVM_ASSIGN_OR_RETURN(ArraySchema schema, ReadSchema(in));
   SparseArray array(std::move(schema));
   return version == 1 ? LoadCellsV1(in, std::move(array))
-                      : LoadChunksV2(in, std::move(array));
+                      : LoadChunks(in, std::move(array), version);
 }
 
 Status SaveArrayToFile(const SparseArray& array, const std::string& path) {

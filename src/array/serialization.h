@@ -14,19 +14,26 @@ namespace avm {
 /// be reloaded without external metadata. Integers are written
 /// little-endian, fixed-width; doubles as their IEEE-754 bits.
 ///
-/// Two on-disk versions exist:
+/// Three on-disk versions exist:
 ///  - AVMARR01 (legacy): per-cell interleaved coord/values stream. Still
 ///    readable; no longer written.
-///  - AVMARR02 (current): per chunk, the three row buffers
+///  - AVMARR02 (legacy): per chunk, the three sparse row buffers
 ///    (offsets/coords/values) each as one length-prefixed bulk block, so
 ///    save and load are a handful of large stream operations per chunk
-///    instead of one formatted read/write per value.
+///    instead of one formatted read/write per value. Still readable.
+///  - AVMARR03 (current): v2's chunk stream plus a per-chunk representation
+///    tag. A sparse chunk writes the three row blocks as in v2; a dense
+///    chunk writes its slot volume, validity bitmap, and value lanes as
+///    bulk blocks (the chunk box is derived from the grid at load time,
+///    never trusted from the file). Loading restores each chunk in its
+///    stored representation — a dense chunk comes back dense without a
+///    re-densification pass.
 ///
 /// This is single-array, single-file persistence for checkpointing and data
 /// exchange — distributed on-disk chunk storage is out of scope (the
 /// simulated cluster keeps chunks in memory).
 
-/// Writes `array` to the stream in the current (AVMARR02) format. The
+/// Writes `array` to the stream in the current (AVMARR03) format. The
 /// stream must be binary.
 Status SaveArray(const SparseArray& array, std::ostream& out);
 
@@ -34,7 +41,12 @@ Status SaveArray(const SparseArray& array, std::ostream& out);
 /// backward-compat read path stays testable; new code uses SaveArray.
 Status SaveArrayV1(const SparseArray& array, std::ostream& out);
 
-/// Reads an array previously written by SaveArray (either version). Fails
+/// Writes `array` in the legacy AVMARR02 sparse-rows format (dense chunks
+/// are materialized as row buffers in ascending offset order). Kept so the
+/// backward-compat read path stays testable; new code uses SaveArray.
+Status SaveArrayV2(const SparseArray& array, std::ostream& out);
+
+/// Reads an array previously written by SaveArray (any version). Fails
 /// with InvalidArgument on a bad magic/version or structurally corrupt
 /// contents and with Internal on truncation.
 Result<SparseArray> LoadArray(std::istream& in);

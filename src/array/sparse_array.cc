@@ -16,8 +16,10 @@ Status SparseArray::Set(const CellCoord& coord,
                                    std::to_string(schema_.num_attrs()) +
                                    " attribute values");
   }
-  Chunk& chunk = GetOrCreateChunk(grid_.IdOfCell(coord));
+  const ChunkId id = grid_.IdOfCell(coord);
+  Chunk& chunk = GetOrCreateChunk(id);
   chunk.UpsertCell(grid_.InChunkOffset(coord), coord, values);
+  chunk.MaybeAdaptRepresentation(grid_, id);
   return Status::OK();
 }
 
@@ -32,17 +34,26 @@ Status SparseArray::Accumulate(const CellCoord& coord,
                                    std::to_string(schema_.num_attrs()) +
                                    " attribute values");
   }
-  Chunk& chunk = GetOrCreateChunk(grid_.IdOfCell(coord));
+  const ChunkId id = grid_.IdOfCell(coord);
+  Chunk& chunk = GetOrCreateChunk(id);
   chunk.AccumulateCell(grid_.InChunkOffset(coord), coord, values);
+  chunk.MaybeAdaptRepresentation(grid_, id);
   return Status::OK();
 }
 
 bool SparseArray::Erase(const CellCoord& coord) {
   if (!schema_.ContainsCoord(coord)) return false;
-  auto it = chunks_.find(grid_.IdOfCell(coord));
+  const ChunkId id = grid_.IdOfCell(coord);
+  auto it = chunks_.find(id);
   if (it == chunks_.end()) return false;
   const bool erased = it->second.EraseCell(grid_.InChunkOffset(coord));
-  if (erased && it->second.empty()) chunks_.erase(it);
+  if (erased) {
+    if (it->second.empty()) {
+      chunks_.erase(it);
+    } else {
+      it->second.MaybeAdaptRepresentation(grid_, id);
+    }
+  }
   return erased;
 }
 

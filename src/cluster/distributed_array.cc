@@ -60,15 +60,11 @@ Status DistributedArray::PutChunk(
   uint64_t bytes;
   if (existing != nullptr) {
     // Upsert-merge cell-wise into the resident copy.
-    CellCoord coord(data.num_dims());
-    for (size_t row = 0; row < data.num_cells(); ++row) {
-      auto c = data.CoordOfRow(row);
-      coord.assign(c.begin(), c.end());
-      existing->UpsertCell(data.OffsetOfRow(row), coord,
-                           data.ValuesOfRow(row));
-    }
+    AVM_RETURN_IF_ERROR(existing->UpsertChunk(data));
+    existing->MaybeAdaptRepresentation(grid(), chunk);
     bytes = existing->SizeBytes();
   } else {
+    data.MaybeAdaptRepresentation(grid(), chunk);
     bytes = store.Put(id_, chunk, std::move(data));
   }
   catalog_->AssignChunk(id_, chunk, node);
@@ -89,20 +85,22 @@ Status DistributedArray::AccumulateIntoChunk(ChunkId chunk, const Chunk& delta,
   Chunk& target = cluster_->store(node).GetOrCreate(
       id_, chunk, delta.num_dims(), delta.num_attrs());
   AVM_RETURN_IF_ERROR(target.AccumulateChunk(delta));
+  target.MaybeAdaptRepresentation(grid(), chunk);
   catalog_->SetChunkBytes(id_, chunk, target.SizeBytes());
   return Status::OK();
 }
 
 Result<SparseArray> DistributedArray::Gather() const {
   SparseArray out(schema());
+  CellCoord coord;
   for (ChunkId id : catalog_->ChunkIdsOf(id_)) {
     AVM_ASSIGN_OR_RETURN(const Chunk* chunk, GetPrimaryChunk(id));
-    CellCoord coord(chunk->num_dims());
-    for (size_t row = 0; row < chunk->num_cells(); ++row) {
-      auto c = chunk->CoordOfRow(row);
-      coord.assign(c.begin(), c.end());
-      AVM_RETURN_IF_ERROR(out.Set(coord, chunk->ValuesOfRow(row)));
-    }
+    AVM_RETURN_IF_ERROR(chunk->VisitCells(
+        [&](uint64_t, std::span<const int64_t> c,
+            std::span<const double> values) {
+          coord.assign(c.begin(), c.end());
+          return out.Set(coord, values);
+        }));
   }
   return out;
 }

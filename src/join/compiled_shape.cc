@@ -41,8 +41,22 @@ Result<CompiledShape> CompiledShape::Create(const Shape& shape,
     deltas.push_back(delta);
   }
 
+  // Coalesce consecutive deltas into maximal runs, preserving delta order
+  // (the concatenation of the runs is exactly `deltas`, so the dense kernel
+  // folds matches in the same order as the per-offset path).
+  std::vector<DenseRun> runs;
+  for (const int64_t delta : deltas) {
+    if (!runs.empty() &&
+        runs.back().start + runs.back().length == delta) {
+      ++runs.back().length;
+    } else {
+      runs.push_back(DenseRun{delta, 1});
+    }
+  }
+
   return CompiledShape(shape, mapping, extents, std::move(deltas),
-                       std::move(components), shape.BoundingBox());
+                       std::move(components), std::move(runs),
+                       shape.BoundingBox());
 }
 
 Box CompiledShape::InteriorBox(const Box& right_chunk_box) const {

@@ -54,6 +54,23 @@ class CompiledShape {
   /// contiguously for the boundary path.
   const int64_t* offset_components() const { return components_.data(); }
 
+  /// One maximal run of consecutive in-chunk offset deltas. Shape offsets
+  /// are lex-ordered with the last dimension fastest, so offsets adjacent
+  /// along that dimension linearize to consecutive deltas; a solid shape
+  /// (e.g. a Chebyshev ball) of k^d offsets collapses to k^(d-1) runs.
+  struct DenseRun {
+    int64_t start = 0;   // linear delta of the run's first offset
+    int64_t length = 0;  // number of consecutive offsets in the run
+  };
+
+  /// The linear deltas coalesced into maximal consecutive runs, in delta
+  /// order (concatenating the runs reproduces linear_deltas() exactly, so a
+  /// kernel walking runs folds matches in the same deterministic order as
+  /// one walking per-offset deltas). The dense interior fast path turns
+  /// each run into one contiguous bitmap/lane segment: a masked popcount
+  /// and a unit-stride lane walk instead of per-offset hash probes.
+  const std::vector<DenseRun>& dense_runs() const { return dense_runs_; }
+
   /// The per-dim window of base coordinates whose whole probe neighborhood
   /// stays inside `right_chunk_box`: [box.lo - bbox.lo, box.hi - bbox.hi].
   /// May be empty (lo > hi) when the shape spans more than a chunk.
@@ -75,12 +92,13 @@ class CompiledShape {
  private:
   CompiledShape(Shape shape, DimMapping mapping, std::vector<int64_t> extents,
                 std::vector<int64_t> deltas, std::vector<int64_t> components,
-                Box bounding_box)
+                std::vector<DenseRun> dense_runs, Box bounding_box)
       : shape_(std::move(shape)),
         mapping_(std::move(mapping)),
         extents_(std::move(extents)),
         linear_deltas_(std::move(deltas)),
         components_(std::move(components)),
+        dense_runs_(std::move(dense_runs)),
         bounding_box_(std::move(bounding_box)) {}
 
   Shape shape_;
@@ -88,6 +106,7 @@ class CompiledShape {
   std::vector<int64_t> extents_;        // right grid chunk extents
   std::vector<int64_t> linear_deltas_;  // per offset, row-major delta
   std::vector<int64_t> components_;     // |σ| x num_dims offsets, flat
+  std::vector<DenseRun> dense_runs_;    // deltas coalesced into runs
   Box bounding_box_;                    // shape bbox (degenerate if empty)
 };
 

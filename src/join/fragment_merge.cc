@@ -25,19 +25,17 @@ Status MergeStateFragment(DistributedArray* target, ChunkId v,
 
   std::vector<double> identity(layout.num_state_slots());
   layout.InitState(identity);
-  CellCoord coord(fragment.num_dims());
-  for (size_t row = 0; row < fragment.num_cells(); ++row) {
-    const uint64_t offset = fragment.OffsetOfRow(row);
+  fragment.ForEachCellWithOffset([&](uint64_t offset,
+                                     std::span<const int64_t> coord,
+                                     std::span<const double> values) {
     double* state = dst.GetMutableCell(offset);
     if (state == nullptr) {
-      auto c = fragment.CoordOfRow(row);
-      coord.assign(c.begin(), c.end());
       dst.UpsertCell(offset, coord, identity);
       state = dst.GetMutableCell(offset);
     }
-    layout.MergeState({state, layout.num_state_slots()},
-                      fragment.ValuesOfRow(row));
-  }
+    layout.MergeState({state, layout.num_state_slots()}, values);
+  });
+  dst.MaybeAdaptRepresentation(target->grid(), v);
   target->catalog()->SetChunkBytes(target->id(), v, dst.SizeBytes());
   return Status::OK();
 }

@@ -1,5 +1,6 @@
 #include "join/join_kernel.h"
 
+#include <bit>
 #include <vector>
 
 #include "array/chunk_pool.h"
@@ -14,15 +15,21 @@ namespace {
 /// cell is a pure function of the left cell (its projection onto the group
 /// dimensions), so the builder resolves the destination slot once per left
 /// cell — and reuses it across left cells whose projections coincide — while
-/// every match folds straight into the cached row. Slot creation stays lazy:
-/// a left cell with no matches emits nothing, exactly like the per-pair
-/// map/hash lookups this replaces.
+/// every match folds straight into the cached cell ref. Slot creation stays
+/// lazy: a left cell with no matches emits nothing, exactly like the
+/// per-pair map/hash lookups this replaces.
 class FragmentBuilder {
  public:
+  /// `reserve_hint` bounds the cells one fragment can receive from this
+  /// pair (the kernel passes the left chunk's cell count: each left cell
+  /// creates at most one view cell). Fresh fragments pre-size their row
+  /// buffers and offset index to it, so per-pair accumulation grows and
+  /// rehashes once instead of logarithmically many times.
   FragmentBuilder(const AggregateLayout& layout, const ViewTarget& target,
-                  std::map<ChunkId, Chunk>* out)
+                  size_t reserve_hint, std::map<ChunkId, Chunk>* out)
       : layout_(layout),
         target_(target),
+        reserve_hint_(reserve_hint),
         identity_(layout.num_state_slots()),
         view_coord_(target.group_dims->size()),
         out_(out) {
@@ -49,8 +56,11 @@ class FragmentBuilder {
     located_ = false;
   }
 
-  /// Folds one matched right cell into the current view cell's state.
-  Status Fold(std::span<const double> right_values, int multiplicity) {
+  /// Aggregate state of the current view cell, creating it (identity-
+  /// initialized) on first use. The pointer is valid until the next cell
+  /// creation in the same fragment; the vectorized fast path calls this
+  /// once per left cell and folds a whole probe neighborhood through it.
+  double* Locate() {
     if (!located_) {
       if (chunk_ == nullptr || chunk_id_ != view_chunk_) {
         auto it = out_->find(view_chunk_);
@@ -62,33 +72,100 @@ class FragmentBuilder {
                              ChunkPool::Acquire(view_coord_.size(),
                                                 layout_.num_state_slots()))
                    .first;
+          it->second.Reserve(reserve_hint_);
         }
         chunk_ = &it->second;
         chunk_id_ = view_chunk_;
       }
-      row_ = chunk_->GetOrCreateRow(view_offset_, view_coord_, identity_);
+      ref_ = chunk_->GetOrCreateCell(view_offset_, view_coord_, identity_);
       located_ = true;
     }
-    return layout_.UpdateState(
-        {chunk_->MutableValuesOfRow(row_), layout_.num_state_slots()},
-        right_values, multiplicity);
+    return chunk_->StateOfCellRef(ref_);
+  }
+
+  /// Folds one matched right cell into the current view cell's state.
+  Status Fold(std::span<const double> right_values, int multiplicity) {
+    return layout_.UpdateState({Locate(), layout_.num_state_slots()},
+                               right_values, multiplicity);
   }
 
  private:
   const AggregateLayout& layout_;
   const ViewTarget& target_;
+  size_t reserve_hint_ = 0;
   std::vector<double> identity_;
   CellCoord view_coord_;
   std::map<ChunkId, Chunk>* out_;
 
   bool have_key_ = false;    // view_coord_/view_chunk_/view_offset_ valid
-  bool located_ = false;     // row_ resolved for the current key
+  bool located_ = false;     // ref_ resolved for the current key
   ChunkId view_chunk_ = 0;
   uint64_t view_offset_ = 0;
   Chunk* chunk_ = nullptr;   // cached fragment (map nodes are stable)
   ChunkId chunk_id_ = 0;
-  size_t row_ = 0;           // rows are stable: fragments only append
+  Chunk::CellRef ref_ = 0;   // stable under appends (see Chunk::CellRef)
 };
+
+/// The aggregate layout decomposed for the branch-free dense fold: a layout
+/// is *linear* when every spec is COUNT/SUM/AVG, i.e. one fold is
+/// `state[slot] += m` (count terms) or `state[slot] += m * value[attr]`
+/// (sum terms). MIN/MAX are not linear (their fold branches on the value)
+/// and take the bitmap-tested per-probe path instead.
+struct LinearTerms {
+  struct SumTerm {
+    size_t slot = 0;
+    size_t attr = 0;
+  };
+  std::vector<size_t> count_slots;
+  std::vector<SumTerm> sum_terms;
+  bool linear = false;
+};
+
+LinearTerms AnalyzeLayout(const AggregateLayout& layout) {
+  LinearTerms terms;
+  terms.linear = true;
+  for (size_t i = 0; i < layout.num_specs(); ++i) {
+    const AggregateSpec& spec = layout.specs()[i];
+    const size_t s = layout.slot_of(i);
+    switch (spec.fn) {
+      case AggregateFunction::kCount:
+        terms.count_slots.push_back(s);
+        break;
+      case AggregateFunction::kSum:
+        terms.sum_terms.push_back({s, spec.attr_index});
+        break;
+      case AggregateFunction::kAvg:
+        terms.sum_terms.push_back({s, spec.attr_index});
+        terms.count_slots.push_back(s + 1);
+        break;
+      case AggregateFunction::kMin:
+      case AggregateFunction::kMax:
+        terms.linear = false;
+        return terms;
+    }
+  }
+  return terms;
+}
+
+/// Set bits of `bitmap` in the slot range [begin, begin + length). Whole
+/// words reduce with hardware popcount; the word loop is associative integer
+/// arithmetic, so vectorizing it cannot perturb any floating-point result.
+inline uint64_t CountBitsInRange(const uint64_t* __restrict bitmap,
+                                 uint64_t begin, uint64_t length) {
+  const uint64_t end = begin + length;
+  const uint64_t first_word = begin >> 6;
+  const uint64_t end_word = (end + 63) >> 6;  // exclusive
+  uint64_t n = 0;
+#pragma omp simd reduction(+ : n)
+  for (uint64_t w = first_word; w < end_word; ++w) {
+    uint64_t word = bitmap[w];
+    const uint64_t word_lo = w << 6;
+    if (begin > word_lo) word &= ~uint64_t{0} << (begin - word_lo);
+    if (end < word_lo + 64) word &= (uint64_t{1} << (end - word_lo)) - 1;
+    n += static_cast<uint64_t>(std::popcount(word));
+  }
+  return n;
+}
 
 }  // namespace
 
@@ -107,7 +184,7 @@ Status JoinAggregateChunkPair(const Chunk& left, const RightOperand& right,
     return Status::OK();
   }
 
-  FragmentBuilder builder(layout, target, out_fragments);
+  FragmentBuilder builder(layout, target, left.num_cells(), out_fragments);
   const DimMapping& mapping = compiled.mapping();
   const Box right_box = right.grid->ChunkBoxOfId(right.chunk_id);
   const size_t nd = compiled.num_dims();
@@ -120,16 +197,36 @@ Status JoinAggregateChunkPair(const Chunk& left, const RightOperand& right,
   uint64_t boundary_cells = 0;
   uint64_t probes = 0;
   uint64_t scanned_cells = 0;
+  const bool right_dense = right.chunk->rep() == ChunkRep::kDense;
   const bool probe_strategy =
-      ChooseJoinStrategy(compiled.num_offsets(), right.chunk->num_cells()) ==
-      JoinStrategy::kProbeOffsets;
+      ChooseJoinStrategy(compiled.num_offsets(), right.chunk->num_cells(),
+                         right.chunk->rep()) == JoinStrategy::kProbeOffsets;
 
   if (probe_strategy) {
     const Box interior = compiled.InteriorBox(right_box);
     const std::vector<int64_t>& deltas = compiled.linear_deltas();
     const int64_t* components = compiled.offset_components();
-    for (size_t row = 0; row < left.num_cells(); ++row) {
-      const auto left_coord = left.CoordOfRow(row);
+    // Dense interior fast path setup: with a linear layout every probe is a
+    // blind multiply-accumulate over the contiguous lanes (vacant slots
+    // carry zeroed lanes, and adding m*0.0 can never change an additive
+    // state that started from +0.0 — a sum only lands on -0.0 when both
+    // addends are -0.0, so states never become -0.0 and x + ±0.0 == x
+    // bitwise). MIN/MAX layouts branch on the bitmap instead.
+    const LinearTerms terms =
+        right_dense ? AnalyzeLayout(layout) : LinearTerms{};
+    DenseChunkView dv;
+    if (right_dense) dv = right.chunk->dense_view();
+    const std::vector<CompiledShape::DenseRun>& runs = compiled.dense_runs();
+    const double m = static_cast<double>(multiplicity);
+    // Scratch for the dense boundary path: the occupied probe offsets of
+    // one left cell, in delta order. Hoisted so the per-cell loop never
+    // allocates once the high-water capacity is reached.
+    std::vector<uint64_t> matched;
+    if (right_dense && terms.linear) matched.reserve(deltas.size());
+
+    Status status = left.VisitCells([&](uint64_t, std::span<const int64_t>
+                                                      left_coord,
+                                        std::span<const double>) -> Status {
       mapping.ApplyInto(left_coord, &base);
       builder.BeginLeftCell(left_coord);
       bool is_interior = true;
@@ -145,19 +242,78 @@ Status JoinAggregateChunkPair(const Chunk& left, const RightOperand& right,
         // Fast path: every probe is base_offset + precomputed delta.
         const int64_t base_offset =
             static_cast<int64_t>(compiled.OffsetInChunk(base, right_box));
-        for (const int64_t delta : deltas) {
-          const double* values = right.chunk->GetCell(
-              static_cast<uint64_t>(base_offset + delta));
-          if (values == nullptr) continue;
-          AVM_RETURN_IF_ERROR(
-              builder.Fold({values, num_attrs}, multiplicity));
+        if (right_dense && terms.linear) {
+          // Vectorized interior: one masked popcount per delta run finds
+          // the match count (and preserves create-on-first-match — a left
+          // cell with zero matches emits nothing), then count terms fold
+          // in closed form and sum terms stream over the lanes.
+          uint64_t matches = 0;
+          for (const CompiledShape::DenseRun& run : runs) {
+            matches += CountBitsInRange(
+                dv.bitmap, static_cast<uint64_t>(base_offset + run.start),
+                static_cast<uint64_t>(run.length));
+          }
+          if (matches == 0) return Status::OK();
+          double* __restrict state = builder.Locate();
+          // COUNT-type slots: the reference folds `state += m` once per
+          // match; states are integer-valued doubles, so the closed form
+          // `state += m * matches` is exact and bit-identical (no
+          // intermediate leaves [-2^53, 2^53]).
+          for (const size_t slot : terms.count_slots) {
+            state[slot] += m * static_cast<double>(matches);
+          }
+          // SUM-type slots: the reference folds `state += m * lane` per
+          // match *in delta order*; floating-point addition does not
+          // reassociate, so this chain must stay sequential — the win is
+          // the hash-free unit-stride walk, not SIMD over the reduction.
+          // Vacant slots contribute m * 0.0, which is bit-neutral (above).
+          for (const LinearTerms::SumTerm& term : terms.sum_terms) {
+            double acc = state[term.slot];
+            for (const CompiledShape::DenseRun& run : runs) {
+              const double* __restrict lane =
+                  dv.lanes +
+                  static_cast<uint64_t>(base_offset + run.start) * num_attrs +
+                  term.attr;
+              for (int64_t j = 0; j < run.length; ++j) {
+                acc += m * lane[static_cast<uint64_t>(j) * num_attrs];
+              }
+            }
+            state[term.slot] = acc;
+          }
+          return Status::OK();
         }
-      } else {
-        ++boundary_cells;
-        // Boundary path: per-dimension checks against the chunk box; probes
-        // that stay inside linearize against the box origin directly.
-        const std::vector<int64_t>& extents = right.grid->extents();
-        const int64_t* offset = components;
+        if (right_dense) {
+          // Dense interior, non-linear layout (MIN/MAX): bitmap-tested
+          // per-probe folds in delta order — still hash-free.
+          for (const int64_t delta : deltas) {
+            const uint64_t off = static_cast<uint64_t>(base_offset + delta);
+            if (((dv.bitmap[off >> 6] >> (off & 63)) & 1u) == 0) continue;
+            AVM_RETURN_IF_ERROR(builder.Fold(
+                {dv.lanes + off * num_attrs, num_attrs}, multiplicity));
+          }
+          return Status::OK();
+        }
+        for (const int64_t delta : deltas) {
+          const double* values =
+              right.chunk->GetCell(static_cast<uint64_t>(base_offset + delta));
+          if (values == nullptr) continue;
+          AVM_RETURN_IF_ERROR(builder.Fold({values, num_attrs}, multiplicity));
+        }
+        return Status::OK();
+      }
+      ++boundary_cells;
+      // Boundary path: per-dimension checks against the chunk box; probes
+      // that stay inside linearize against the box origin directly.
+      // GetCell dispatches on the right chunk's representation.
+      const std::vector<int64_t>& extents = right.grid->extents();
+      const int64_t* offset = components;
+      if (right_dense && terms.linear) {
+        // Dense boundary, linear layout: collect the occupied in-box probe
+        // offsets (bitmap-tested, in delta order), then fold them exactly
+        // like the interior — count terms in closed form, sum terms as a
+        // sequential chain over the same offsets in the same order, so the
+        // result stays bit-identical to the per-probe reference folds.
+        matched.clear();
         for (size_t k = 0; k < deltas.size(); ++k, offset += nd) {
           uint64_t probe_offset = 0;
           bool inside = true;
@@ -171,31 +327,66 @@ Status JoinAggregateChunkPair(const Chunk& left, const RightOperand& right,
                            static_cast<uint64_t>(p - right_box.lo[d]);
           }
           if (!inside) continue;
-          const double* values = right.chunk->GetCell(probe_offset);
-          if (values == nullptr) continue;
-          AVM_RETURN_IF_ERROR(
-              builder.Fold({values, num_attrs}, multiplicity));
+          if (((dv.bitmap[probe_offset >> 6] >> (probe_offset & 63)) & 1u) ==
+              0) {
+            continue;
+          }
+          matched.push_back(probe_offset);
         }
+        if (matched.empty()) return Status::OK();
+        double* __restrict state = builder.Locate();
+        for (const size_t slot : terms.count_slots) {
+          state[slot] += m * static_cast<double>(matched.size());
+        }
+        for (const LinearTerms::SumTerm& term : terms.sum_terms) {
+          double acc = state[term.slot];
+          for (const uint64_t probe_offset : matched) {
+            acc += m * dv.lanes[probe_offset * num_attrs + term.attr];
+          }
+          state[term.slot] = acc;
+        }
+        return Status::OK();
       }
-    }
+      for (size_t k = 0; k < deltas.size(); ++k, offset += nd) {
+        uint64_t probe_offset = 0;
+        bool inside = true;
+        for (size_t d = 0; d < nd; ++d) {
+          const int64_t p = base[d] + offset[d];
+          if (p < right_box.lo[d] || p > right_box.hi[d]) {
+            inside = false;
+            break;
+          }
+          probe_offset = probe_offset * static_cast<uint64_t>(extents[d]) +
+                         static_cast<uint64_t>(p - right_box.lo[d]);
+        }
+        if (!inside) continue;
+        const double* values = right.chunk->GetCell(probe_offset);
+        if (values == nullptr) continue;
+        AVM_RETURN_IF_ERROR(builder.Fold({values, num_attrs}, multiplicity));
+      }
+      return Status::OK();
+    });
+    AVM_RETURN_IF_ERROR(status);
   } else {
     const Shape& shape = compiled.shape();
     CellCoord delta(nd);
-    for (size_t row = 0; row < left.num_cells(); ++row) {
-      const auto left_coord = left.CoordOfRow(row);
+    Status status = left.VisitCells([&](uint64_t, std::span<const int64_t>
+                                                      left_coord,
+                                        std::span<const double>) -> Status {
       mapping.ApplyInto(left_coord, &base);
       builder.BeginLeftCell(left_coord);
       scanned_cells += right.chunk->num_cells();
-      for (size_t rrow = 0; rrow < right.chunk->num_cells(); ++rrow) {
-        const auto right_coord = right.chunk->CoordOfRow(rrow);
-        for (size_t d = 0; d < nd; ++d) {
-          delta[d] = right_coord[d] - base[d];
-        }
-        if (!shape.Contains(delta)) continue;
-        AVM_RETURN_IF_ERROR(
-            builder.Fold(right.chunk->ValuesOfRow(rrow), multiplicity));
-      }
-    }
+      return right.chunk->VisitCells(
+          [&](uint64_t, std::span<const int64_t> right_coord,
+              std::span<const double> right_values) -> Status {
+            for (size_t d = 0; d < nd; ++d) {
+              delta[d] = right_coord[d] - base[d];
+            }
+            if (!shape.Contains(delta)) return Status::OK();
+            return builder.Fold(right_values, multiplicity);
+          });
+    });
+    AVM_RETURN_IF_ERROR(status);
   }
   if (TelemetryEnabled()) {
     CountAdd(probe_strategy ? CounterId::kJoinProbePairs

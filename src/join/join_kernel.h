@@ -38,24 +38,43 @@ enum class JoinStrategy {
 };
 
 /// Measured relative inner-operation costs of the two strategies (unit: one
-/// probe). A probe is a single add plus a flat-index lookup; a scan step
-/// builds the per-dimension delta vector and tests it against the shape's
-/// coordinate hash set. The ratio comes from microbench_join's sparse
-/// calibration configs (2% density, low hit rate, so the strategy-
-/// independent per-match fold cost stays out of the numbers): ~6 ns per
-/// probe vs ~14-16 ns per scanned cell, i.e. ~2.5 probes per scan step.
+/// sparse probe). A sparse probe is a single add plus a flat-index hash
+/// lookup; a scan step builds the per-dimension delta vector and tests it
+/// against the shape's coordinate hash set. The ratio comes from
+/// microbench_join's sparse calibration configs (2% density, low hit rate,
+/// so the strategy-independent per-match fold cost stays out of the
+/// numbers): ~6 ns per probe vs ~14-16 ns per scanned cell, i.e. ~2.5
+/// probes per scan step.
 inline constexpr double kProbeCostPerOffset = 1.0;
 inline constexpr double kScanCostPerRightCell = 2.5;
+
+/// Dense-path cost terms, same unit. Probing a dense chunk replaces the
+/// hash lookup with a bitmap test plus an array load (and, on the interior
+/// fast path, whole runs of probes collapse into one masked popcount and a
+/// unit-stride lane walk); the forced-dense column of microbench_join's
+/// calibration configs (measured_costs.dense_probe_ns in BENCH_join.json)
+/// puts it at ~1-1.5 ns per probed offset, i.e. ~4x under the sparse
+/// probe. A dense scan step skips the coordinate materialization the sparse
+/// scan pays for, but still tests shape membership per cell. These terms
+/// are what shifts the probe/scan break-even for dense right chunks —
+/// probing stays profitable against chunks ~4x fuller — and what the
+/// densification thresholds in array/chunk.h were chosen against.
+inline constexpr double kDenseProbeCostPerOffset = 0.25;
+inline constexpr double kDenseScanCostPerRightCell = 2.0;
 
 /// Picks the cheaper strategy for one chunk pair by comparing
 /// |σ|·cost_probe against right_cells·cost_scan. Deterministic, so the
 /// accumulation order — and therefore every floating-point sum — is a pure
-/// function of the operands.
-inline JoinStrategy ChooseJoinStrategy(size_t shape_size, size_t right_cells) {
+/// function of the operands (the right chunk's representation included).
+inline JoinStrategy ChooseJoinStrategy(size_t shape_size, size_t right_cells,
+                                       ChunkRep right_rep = ChunkRep::kSparse) {
+  const bool dense = right_rep == ChunkRep::kDense;
   const double probe_cost =
-      static_cast<double>(shape_size) * kProbeCostPerOffset;
+      static_cast<double>(shape_size) *
+      (dense ? kDenseProbeCostPerOffset : kProbeCostPerOffset);
   const double scan_cost =
-      static_cast<double>(right_cells) * kScanCostPerRightCell;
+      static_cast<double>(right_cells) *
+      (dense ? kDenseScanCostPerRightCell : kScanCostPerRightCell);
   return probe_cost <= scan_cost ? JoinStrategy::kProbeOffsets
                                  : JoinStrategy::kScanRight;
 }

@@ -24,9 +24,9 @@ Status MergeRetractions(
   const ArrayId view_id = view->array().id();
   for (auto& [producer, fragments] : *fragments_by_node) {
     for (auto& [v, fragment] : fragments) {
-      for (size_t row = 0; row < fragment.num_cells(); ++row) {
-        touched->insert({v, fragment.OffsetOfRow(row)});
-      }
+      fragment.ForEachCellWithOffset(
+          [&](uint64_t offset, std::span<const int64_t>,
+              std::span<const double>) { touched->insert({v, offset}); });
       auto home_result = catalog->NodeOf(view_id, v);
       const NodeId home =
           home_result.ok() ? home_result.value()
@@ -156,13 +156,15 @@ Result<DeletionStats> ApplyDeletionBatch(MaterializedView* view,
         status = Status::Internal("victim chunk missing from its store");
         return;
       }
-      for (size_t row = 0; row < victim_chunk.num_cells(); ++row) {
-        chunk->EraseCell(victim_chunk.OffsetOfRow(row));
-      }
+      victim_chunk.ForEachCellWithOffset(
+          [&](uint64_t offset, std::span<const int64_t>,
+              std::span<const double>) { chunk->EraseCell(offset); });
       if (chunk->empty()) {
         cluster->store(node.value()).Erase(base.id(), m);
         catalog->RemoveChunk(base.id(), m);
       } else {
+        // Deletions may drop a dense chunk below the sparsify floor.
+        chunk->MaybeAdaptRepresentation(grid, m);
         catalog->SetChunkBytes(base.id(), m, chunk->SizeBytes());
       }
     });
@@ -219,6 +221,7 @@ Result<DeletionStats> ApplyDeletionBatch(MaterializedView* view,
       cluster->store(node.value()).Erase(view_id, v);
       catalog->RemoveChunk(view_id, v);
     } else {
+      chunk->MaybeAdaptRepresentation(view->array().grid(), v);
       catalog->SetChunkBytes(view_id, v, chunk->SizeBytes());
     }
   }

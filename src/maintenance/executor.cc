@@ -84,13 +84,11 @@ Status ValidateJoinNode(NodeId node, int num_workers) {
 /// (upsert semantics: new detections are inserts/overwrites of raw data).
 void UpsertCells(const Chunk& delta_chunk, Chunk* base_chunk) {
   base_chunk->Reserve(base_chunk->num_cells() + delta_chunk.num_cells());
-  CellCoord coord(delta_chunk.num_dims());
-  for (size_t row = 0; row < delta_chunk.num_cells(); ++row) {
-    auto c = delta_chunk.CoordOfRow(row);
-    coord.assign(c.begin(), c.end());
-    base_chunk->UpsertCell(delta_chunk.OffsetOfRow(row), coord,
-                           delta_chunk.ValuesOfRow(row));
-  }
+  delta_chunk.ForEachCellWithOffset(
+      [&](uint64_t offset, std::span<const int64_t> coord,
+          std::span<const double> values) {
+        base_chunk->UpsertCell(offset, coord, values);
+      });
 }
 
 /// All join work one worker node executes, plus its outputs. One NodeJoinWork
@@ -413,6 +411,7 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
   struct UpsertJob {
     const Chunk* delta_chunk = nullptr;
     Chunk* base_chunk = nullptr;
+    const ChunkGrid* grid = nullptr;
     ArrayId base_id = 0;
     ChunkId chunk_id = 0;
   };
@@ -459,7 +458,8 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
         // only replaced via same-key Put/PutHandle, and no later iteration
         // re-puts a key fetched here (transfers are guarded by a presence
         // check, and each delta / base id is visited exactly once).
-        upserts.push_back({delta_handle.get(), base_chunk, base.id(), d});
+        upserts.push_back(
+            {delta_handle.get(), base_chunk, &base.grid(), base.id(), d});
       } else {
         // The delta chunk *becomes* the base chunk: alias it instead of
         // copying. Step 6 erases the transient delta entry; the base entry's
@@ -475,6 +475,11 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
   }
   cluster->pool()->ParallelFor(upserts.size(), [&](size_t i) {
     UpsertCells(*upserts[i].delta_chunk, upserts[i].base_chunk);
+    // Adapt in the parallel task: a first conversion scatters O(volume)
+    // cells, which amortizes like the upsert itself. Jobs touch disjoint
+    // base chunks, so this races with nothing.
+    upserts[i].base_chunk->MaybeAdaptRepresentation(*upserts[i].grid,
+                                                    upserts[i].chunk_id);
   });
   for (const UpsertJob& job : upserts) {
     catalog->SetChunkBytes(job.base_id, job.chunk_id,

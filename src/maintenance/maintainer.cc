@@ -11,6 +11,7 @@
 #include "maintenance/plan_validator.h"
 #include "maintenance/triple_gen.h"
 #include "maintenance/view_reassigner.h"
+#include "storage/chunk_store.h"
 #include "telemetry/metrics.h"
 #include "telemetry/stopwatch.h"
 #include "telemetry/trace.h"
@@ -278,6 +279,30 @@ Result<MaintenanceReport> ViewMaintainer::ApplyBatch(
                           delta.counter(CounterId::kPlanStage3Accepts);
     report.shape_cache_hits = delta.counter(CounterId::kShapeCacheHits);
     report.shape_cache_misses = delta.counter(CounterId::kShapeCacheMisses);
+    report.chunks_densified = delta.counter(CounterId::kChunksDensified);
+    report.chunks_sparsified = delta.counter(CounterId::kChunksSparsified);
+    // Post-batch physical residency by representation, across every node's
+    // store (workers + coordinator). Scanned here — once per batch — rather
+    // than delta-tracked at every mutation site.
+    ChunkStore::FormatResidency residency;
+    for (NodeId n = 0; n < cluster->num_workers(); ++n) {
+      const ChunkStore::FormatResidency r =
+          cluster->store(n).ResidencyByFormat();
+      residency.sparse_bytes += r.sparse_bytes;
+      residency.dense_bytes += r.dense_bytes;
+    }
+    {
+      const ChunkStore::FormatResidency r =
+          cluster->store(kCoordinatorNode).ResidencyByFormat();
+      residency.sparse_bytes += r.sparse_bytes;
+      residency.dense_bytes += r.dense_bytes;
+    }
+    report.resident_sparse_bytes = residency.sparse_bytes;
+    report.resident_dense_bytes = residency.dense_bytes;
+    GaugeSet(GaugeId::kStoreSparseBytes,
+             static_cast<int64_t>(residency.sparse_bytes));
+    GaugeSet(GaugeId::kStoreDenseBytes,
+             static_cast<int64_t>(residency.dense_bytes));
     CountAdd(CounterId::kBatchesMaintained);
     HistogramRecord(HistogramId::kBatchApplySeconds,
                     batch_clock.ElapsedSeconds());

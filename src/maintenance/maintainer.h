@@ -76,6 +76,15 @@ struct MaintenanceReport {
   uint64_t plan_accepts = 0;       // Algorithms 1-3 committed decisions
   uint64_t shape_cache_hits = 0;
   uint64_t shape_cache_misses = 0;
+  /// Chunk representation conversions during this batch (counter deltas;
+  /// telemetry-gated like the fields above).
+  uint64_t chunks_densified = 0;
+  uint64_t chunks_sparsified = 0;
+  /// Physical buffer bytes resident across all cluster stores at batch end,
+  /// split by chunk representation (also mirrored to the
+  /// store.resident_{sparse,dense}_bytes gauges). Telemetry-gated.
+  uint64_t resident_sparse_bytes = 0;
+  uint64_t resident_dense_bytes = 0;
   /// Epoch id published at this batch's commit; 0 when no EpochManager is
   /// attached (batch-only mode, no concurrent serving).
   uint64_t published_epoch = 0;

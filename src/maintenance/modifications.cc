@@ -40,13 +40,9 @@ Status UpsertModifiedValues(DistributedArray* base,
       status = Status::Internal("base chunk missing from its primary store");
       return;
     }
-    CellCoord coord(chunk.num_dims());
-    for (size_t row = 0; row < chunk.num_cells(); ++row) {
-      auto c = chunk.CoordOfRow(row);
-      coord.assign(c.begin(), c.end());
-      target->UpsertCell(chunk.OffsetOfRow(row), coord,
-                         chunk.ValuesOfRow(row));
-    }
+    status = target->UpsertChunk(chunk);
+    if (!status.ok()) return;
+    target->MaybeAdaptRepresentation(base->grid(), id);
     catalog->SetChunkBytes(base->id(), id, target->SizeBytes());
   });
   return status;

@@ -147,6 +147,20 @@ uint64_t ChunkStore::SizeBytes() const {
   return total;
 }
 
+ChunkStore::FormatResidency ChunkStore::ResidencyByFormat() const {
+  FormatResidency r;
+  for (const auto& [key, chunk] : chunks_) {
+    if (chunk->rep() == ChunkRep::kSparse) {
+      ++r.sparse_chunks;
+      r.sparse_bytes += chunk->PhysicalSizeBytes();
+    } else {
+      ++r.dense_chunks;
+      r.dense_bytes += chunk->PhysicalSizeBytes();
+    }
+  }
+  return r;
+}
+
 void ChunkStore::ForEach(
     const std::function<void(ArrayId, ChunkId, const Chunk&)>& fn) const {
   for (const auto& [key, chunk] : chunks_) fn(key.first, key.second, *chunk);

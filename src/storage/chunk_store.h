@@ -147,6 +147,17 @@ class ChunkStore {
   /// model charges for, not host RSS.
   uint64_t SizeBytes() const;
 
+  /// Resident chunks and *physical* buffer bytes split by representation.
+  /// Unlike SizeBytes, these are actual footprints (PhysicalSizeBytes), the
+  /// quantity the store.resident_{sparse,dense}_bytes gauges report.
+  struct FormatResidency {
+    size_t sparse_chunks = 0;
+    size_t dense_chunks = 0;
+    uint64_t sparse_bytes = 0;
+    uint64_t dense_bytes = 0;
+  };
+  FormatResidency ResidencyByFormat() const;
+
   /// Invokes fn(array, chunk_id, chunk) for every stored chunk in key order.
   void ForEach(const std::function<void(ArrayId, ChunkId, const Chunk&)>& fn)
       const;

@@ -59,6 +59,8 @@ const char* CounterName(CounterId id) {
     case CounterId::kStoreCowBreaks: return "store.cow_breaks";
     case CounterId::kChunkPoolHits: return "chunk_pool.hits";
     case CounterId::kChunkPoolMisses: return "chunk_pool.misses";
+    case CounterId::kChunksDensified: return "chunk.densified";
+    case CounterId::kChunksSparsified: return "chunk.sparsified";
     case CounterId::kPoolTasksRun: return "pool.tasks_run";
     case CounterId::kBatchesMaintained: return "maint.batches";
     case CounterId::kTraceEventsDropped: return "trace.events_dropped";
@@ -79,6 +81,8 @@ const char* GaugeName(GaugeId id) {
     case GaugeId::kChunkPoolBytes: return "chunk_pool.bytes";
     case GaugeId::kStoreEpochsLive: return "store.epochs_live";
     case GaugeId::kServeSnapshotsOpen: return "serve.snapshots_open";
+    case GaugeId::kStoreSparseBytes: return "store.resident_sparse_bytes";
+    case GaugeId::kStoreDenseBytes: return "store.resident_dense_bytes";
     case GaugeId::kNumGaugeIds: break;
   }
   return "unknown";

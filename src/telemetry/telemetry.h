@@ -69,6 +69,8 @@ enum class CounterId : uint16_t {
   kStoreCowBreaks,         // mutations of a shared chunk that forced a copy
   kChunkPoolHits,          // ChunkPool acquires served from the free list
   kChunkPoolMisses,        // ChunkPool acquires that allocated a fresh chunk
+  kChunksDensified,        // sparse -> dense representation conversions
+  kChunksSparsified,       // dense -> sparse representation conversions
   kPoolTasksRun,           // thread-pool tasks executed
   kBatchesMaintained,      // ViewMaintainer::ApplyBatch completions
   kTraceEventsDropped,     // span events overwritten in a full ring buffer
@@ -87,6 +89,8 @@ enum class GaugeId : uint16_t {
   kChunkPoolBytes,       // row-buffer capacity parked in ChunkPool free lists
   kStoreEpochsLive,      // view epochs currently pinning chunk handles
   kServeSnapshotsOpen,   // ReadSnapshots currently held by readers
+  kStoreSparseBytes,     // physical bytes in sparse-representation chunks
+  kStoreDenseBytes,      // physical bytes in dense-representation chunks
   kNumGaugeIds,
 };
 

@@ -1,0 +1,503 @@
+// Contract and differential tests for the dual chunk representation:
+// sparse<->dense conversions, representation-dispatched mutation, the
+// densification policy (hysteresis + forced modes), AdoptDense input
+// validation, and bit-equivalence of the vectorized dense join path against
+// the sparse reference kernel.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "agg/aggregates.h"
+#include "array/chunk.h"
+#include "array/chunk_grid.h"
+#include "array/chunk_pool.h"
+#include "array/schema.h"
+#include "array/sparse_array.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "join/compiled_shape.h"
+#include "join/join_kernel.h"
+#include "join/mapping.h"
+#include "maintenance/maintainer.h"
+#include "shape/shape.h"
+#include "telemetry/telemetry.h"
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+using testing_util::Make2DSchema;
+using testing_util::MakeCountViewFixture;
+using testing_util::RandomDisjointDelta;
+
+class ScopedDensificationMode {
+ public:
+  explicit ScopedDensificationMode(DensificationMode mode)
+      : saved_(GetDensificationMode()) {
+    SetDensificationMode(mode);
+  }
+  ~ScopedDensificationMode() { SetDensificationMode(saved_); }
+  ScopedDensificationMode(const ScopedDensificationMode&) = delete;
+  ScopedDensificationMode& operator=(const ScopedDensificationMode&) = delete;
+
+ private:
+  DensificationMode saved_;
+};
+
+/// Single-chunk schema [0, extent)^2 with `num_attrs` double attributes.
+ArraySchema MakeOneChunkSchema(int64_t extent, size_t num_attrs = 1) {
+  std::vector<Attribute> attrs;
+  for (size_t i = 0; i < num_attrs; ++i) {
+    attrs.push_back({"a" + std::to_string(i), AttributeType::kDouble});
+  }
+  auto schema = ArraySchema::Create(
+      "one", {{"x", 0, extent - 1, extent}, {"y", 0, extent - 1, extent}},
+      std::move(attrs));
+  AVM_CHECK(schema.ok()) << schema.status().ToString();
+  return std::move(schema).value();
+}
+
+/// Fills `chunk` (on chunk 0 of `grid`) to roughly `density` with
+/// deterministic Bernoulli draws, in row-major cell order.
+void FillChunk(const ChunkGrid& grid, double density, uint64_t seed,
+               Chunk* chunk) {
+  Rng rng(seed);
+  const Box box = grid.ChunkBoxOfId(0);
+  std::vector<double> values(chunk->num_attrs());
+  CellCoord coord = box.lo;
+  for (;;) {
+    if (rng.Bernoulli(density)) {
+      for (auto& v : values) v = rng.UniformDouble() * 100.0 - 50.0;
+      chunk->UpsertCell(grid.InChunkOffset(coord), coord, values);
+    }
+    size_t d = coord.size();
+    while (d-- > 0) {
+      if (++coord[d] <= box.hi[d]) break;
+      coord[d] = box.lo[d];
+      if (d == 0) return;
+    }
+  }
+}
+
+TEST(ChunkRepTest, DensifySparsifyRoundTripsRandomizedContent) {
+  ChunkGrid grid(MakeOneChunkSchema(16, 2));
+  for (const double density : {0.05, 0.3, 0.7, 1.0}) {
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      Chunk chunk(2, 2);
+      FillChunk(grid, density, seed * 31 + static_cast<uint64_t>(density * 10),
+                &chunk);
+      const Chunk reference(chunk);
+      chunk.Densify(grid, 0);
+      EXPECT_EQ(chunk.rep(), ChunkRep::kDense);
+      EXPECT_EQ(chunk.num_cells(), reference.num_cells());
+      EXPECT_TRUE(chunk.ContentEquals(reference, 0.0));
+      chunk.CheckInvariants(&grid, 0);
+      chunk.Sparsify();
+      EXPECT_EQ(chunk.rep(), ChunkRep::kSparse);
+      EXPECT_TRUE(chunk.ContentEquals(reference, 0.0));
+      chunk.CheckInvariants(&grid, 0);
+    }
+  }
+}
+
+TEST(ChunkRepTest, MutationsDispatchIdenticallyOnBothRepresentations) {
+  ChunkGrid grid(MakeOneChunkSchema(12, 1));
+  Chunk sparse(2, 1);
+  FillChunk(grid, 0.4, 77, &sparse);
+  Chunk dense(sparse);
+  dense.Densify(grid, 0);
+
+  // Drive the same randomized upsert/accumulate/erase stream into both and
+  // require equality (and intact invariants) after every operation.
+  Rng rng(1234);
+  const Box box = grid.ChunkBoxOfId(0);
+  for (int step = 0; step < 500; ++step) {
+    CellCoord coord = {rng.UniformInt(box.lo[0], box.hi[0]),
+                       rng.UniformInt(box.lo[1], box.hi[1])};
+    const uint64_t offset = grid.InChunkOffset(coord);
+    const double value = rng.UniformDouble() * 10.0 - 5.0;
+    switch (rng.UniformInt(0, 2)) {
+      case 0:
+        sparse.UpsertCell(offset, coord, {&value, 1});
+        dense.UpsertCell(offset, coord, {&value, 1});
+        break;
+      case 1:
+        sparse.AccumulateCell(offset, coord, {&value, 1});
+        dense.AccumulateCell(offset, coord, {&value, 1});
+        break;
+      default:
+        EXPECT_EQ(sparse.EraseCell(offset), dense.EraseCell(offset));
+        break;
+    }
+    ASSERT_EQ(sparse.HasCell(offset), dense.HasCell(offset));
+    const double* sv = sparse.GetCell(offset);
+    const double* dv = dense.GetCell(offset);
+    ASSERT_EQ(sv == nullptr, dv == nullptr);
+    if (sv != nullptr) {
+      ASSERT_EQ(sv[0], dv[0]);
+    }
+  }
+  EXPECT_EQ(dense.rep(), ChunkRep::kDense);
+  EXPECT_TRUE(sparse.ContentEquals(dense, 0.0));
+  sparse.CheckInvariants(&grid, 0);
+  dense.CheckInvariants(&grid, 0);
+}
+
+TEST(ChunkRepTest, AutoPolicyDensifiesAndSparsifiesWithHysteresis) {
+  ScopedDensificationMode pin(DensificationMode::kAuto);
+  ChunkGrid grid(MakeOneChunkSchema(10, 1));  // volume 100
+  Chunk chunk(2, 1);
+  const double value = 1.0;
+  // Fill to just under the densify threshold: stays sparse.
+  const auto upsert_cells = [&](uint64_t from, uint64_t to) {
+    for (uint64_t off = from; off < to; ++off) {
+      const CellCoord coord = {static_cast<int64_t>(off / 10),
+                               static_cast<int64_t>(off % 10)};
+      chunk.UpsertCell(off, coord, {&value, 1});
+    }
+  };
+  upsert_cells(0, 44);
+  EXPECT_FALSE(chunk.MaybeAdaptRepresentation(grid, 0));
+  EXPECT_EQ(chunk.rep(), ChunkRep::kSparse);
+  // Cross the threshold (>= 45/100): densifies.
+  upsert_cells(44, 45);
+  EXPECT_TRUE(chunk.MaybeAdaptRepresentation(grid, 0));
+  EXPECT_EQ(chunk.rep(), ChunkRep::kDense);
+  // Inside the hysteresis band (21..44 cells): stays dense, no flapping.
+  for (uint64_t off = 44; off >= 21; --off) {
+    ASSERT_TRUE(chunk.EraseCell(off));
+  }
+  EXPECT_FALSE(chunk.MaybeAdaptRepresentation(grid, 0));
+  EXPECT_EQ(chunk.rep(), ChunkRep::kDense);
+  // At or under the sparsify floor (<= 20/100): reverts to sparse.
+  ASSERT_TRUE(chunk.EraseCell(20));
+  EXPECT_TRUE(chunk.MaybeAdaptRepresentation(grid, 0));
+  EXPECT_EQ(chunk.rep(), ChunkRep::kSparse);
+  chunk.CheckInvariants(&grid, 0);
+  EXPECT_EQ(chunk.num_cells(), 20u);
+}
+
+TEST(ChunkRepTest, ForcedModesPinTheRepresentation) {
+  ChunkGrid grid(MakeOneChunkSchema(8, 1));
+  Chunk chunk(2, 1);
+  FillChunk(grid, 0.1, 9, &chunk);  // far below the auto threshold
+  ASSERT_FALSE(chunk.empty());
+  {
+    ScopedDensificationMode pin(DensificationMode::kForceDense);
+    EXPECT_TRUE(chunk.MaybeAdaptRepresentation(grid, 0));
+    EXPECT_EQ(chunk.rep(), ChunkRep::kDense);
+    // Idempotent: already dense.
+    EXPECT_FALSE(chunk.MaybeAdaptRepresentation(grid, 0));
+  }
+  {
+    ScopedDensificationMode pin(DensificationMode::kForceSparse);
+    EXPECT_TRUE(chunk.MaybeAdaptRepresentation(grid, 0));
+    EXPECT_EQ(chunk.rep(), ChunkRep::kSparse);
+    EXPECT_FALSE(chunk.MaybeAdaptRepresentation(grid, 0));
+  }
+  chunk.CheckInvariants(&grid, 0);
+}
+
+TEST(ChunkRepTest, OversizedChunkBoxNeverDensifies) {
+  // Chunk volume 2^14 * 2^13 = 2^27 > kMaxDenseVolume: even kForceDense
+  // must refuse rather than allocate a 1GB lane buffer.
+  auto schema = ArraySchema::Create(
+      "huge",
+      {{"x", 0, (int64_t{1} << 14) - 1, int64_t{1} << 14},
+       {"y", 0, (int64_t{1} << 13) - 1, int64_t{1} << 13}},
+      {{"a", AttributeType::kDouble}});
+  ASSERT_OK(schema.status());
+  ChunkGrid grid(schema.value());
+  Chunk chunk(2, 1);
+  const double value = 3.0;
+  chunk.UpsertCell(0, {0, 0}, {&value, 1});
+  ScopedDensificationMode pin(DensificationMode::kForceDense);
+  EXPECT_FALSE(chunk.MaybeAdaptRepresentation(grid, 0));
+  EXPECT_EQ(chunk.rep(), ChunkRep::kSparse);
+}
+
+TEST(ChunkRepTest, CellRefsStayValidAcrossGrowthOnBothRepresentations) {
+  ChunkGrid grid(MakeOneChunkSchema(10, 1));
+  for (const bool densify : {false, true}) {
+    Chunk chunk(2, 1);
+    if (densify) chunk.Densify(grid, 0);
+    const std::vector<double> identity = {0.0};
+    const CellCoord first = {1, 2};
+    const Chunk::CellRef ref = chunk.GetOrCreateCell(
+        grid.InChunkOffset(first), first, identity);
+    chunk.StateOfCellRef(ref)[0] = 7.0;
+    // Insert enough further cells to force sparse buffer reallocation.
+    for (int64_t x = 0; x < 10; ++x) {
+      for (int64_t y = 0; y < 10; ++y) {
+        const CellCoord coord = {x, y};
+        chunk.GetOrCreateCell(grid.InChunkOffset(coord), coord, identity);
+      }
+    }
+    chunk.StateOfCellRef(ref)[0] += 1.0;
+    const double* cell = chunk.GetCell(grid.InChunkOffset(first));
+    ASSERT_NE(cell, nullptr);
+    EXPECT_EQ(cell[0], 8.0) << (densify ? "dense" : "sparse");
+  }
+}
+
+TEST(ChunkRepTest, PooledChunkComesBackSparse) {
+  ChunkGrid grid(MakeOneChunkSchema(8, 1));
+  Chunk chunk = ChunkPool::Acquire(2, 1);
+  FillChunk(grid, 0.9, 5, &chunk);
+  chunk.Densify(grid, 0);
+  ASSERT_EQ(chunk.rep(), ChunkRep::kDense);
+  ChunkPool::Release(std::move(chunk));
+  // Reuse (or a fresh allocation if the shard was full): either way the
+  // layout contract says sparse and empty.
+  Chunk reused = ChunkPool::Acquire(2, 1);
+  EXPECT_EQ(reused.rep(), ChunkRep::kSparse);
+  EXPECT_TRUE(reused.empty());
+  reused.CheckInvariants();
+  ChunkPool::DrainForTesting();
+}
+
+TEST(ChunkRepTest, AdoptDenseRejectsCorruptBlocks) {
+  const std::vector<int64_t> origin = {0, 0};
+  const std::vector<int64_t> extents = {4, 4};  // volume 16, 1 bitmap word
+  std::vector<uint64_t> bitmap = {0x3};         // cells at offsets 0 and 1
+  std::vector<double> lanes(16, 0.0);
+  lanes[0] = 1.5;
+  lanes[1] = 2.5;
+
+  {
+    Chunk chunk(2, 1);
+    ASSERT_OK(chunk.AdoptDense(origin, extents, bitmap, lanes));
+    EXPECT_EQ(chunk.rep(), ChunkRep::kDense);
+    EXPECT_EQ(chunk.num_cells(), 2u);
+  }
+  {  // Wrong bitmap length.
+    Chunk chunk(2, 1);
+    EXPECT_FALSE(
+        chunk.AdoptDense(origin, extents, {0x3, 0x0}, lanes).ok());
+    EXPECT_EQ(chunk.rep(), ChunkRep::kSparse);  // unchanged on failure
+  }
+  {  // Wrong lane length.
+    Chunk chunk(2, 1);
+    std::vector<double> short_lanes(15, 0.0);
+    EXPECT_FALSE(chunk.AdoptDense(origin, extents, bitmap, short_lanes).ok());
+  }
+  {  // Trailing bitmap bits past the volume must be clear.
+    Chunk chunk(2, 1);
+    EXPECT_FALSE(
+        chunk.AdoptDense(origin, extents, {uint64_t{1} << 16}, lanes).ok());
+  }
+  {  // Vacant slots must keep zeroed lanes.
+    Chunk chunk(2, 1);
+    std::vector<double> dirty = lanes;
+    dirty[7] = 9.0;  // offset 7 is vacant under bitmap 0x3
+    EXPECT_FALSE(chunk.AdoptDense(origin, extents, bitmap, dirty).ok());
+  }
+  {  // Mismatched geometry vector lengths.
+    Chunk chunk(2, 1);
+    EXPECT_FALSE(chunk.AdoptDense({0}, extents, bitmap, lanes).ok());
+  }
+}
+
+TEST(ChunkRepTest, SizeBytesIsRepresentationIndependent) {
+  ChunkGrid grid(MakeOneChunkSchema(10, 2));
+  Chunk chunk(2, 2);
+  FillChunk(grid, 0.6, 21, &chunk);
+  const uint64_t logical = chunk.SizeBytes();
+  const uint64_t sparse_physical = chunk.PhysicalSizeBytes();
+  chunk.Densify(grid, 0);
+  EXPECT_EQ(chunk.SizeBytes(), logical);
+  const uint64_t dense_physical = chunk.PhysicalSizeBytes();
+  // Dense buffers are sized by the box volume, not the cell count.
+  const auto dv = chunk.dense_view();
+  EXPECT_EQ(dense_physical,
+            ((dv.volume + 63) / 64) * sizeof(uint64_t) +
+                dv.volume * 2 * sizeof(double) + 4 * sizeof(int64_t));
+  EXPECT_NE(dense_physical, sparse_physical);
+}
+
+// ---------------------------------------------------------------------------
+// Dense join path: bit-equivalence against the sparse reference kernel.
+// ---------------------------------------------------------------------------
+
+/// Runs the compiled-shape kernel for a single-chunk self-join and returns
+/// the view fragments.
+std::map<ChunkId, Chunk> RunKernel(const Chunk& chunk, const ChunkGrid& grid,
+                                   const AggregateLayout& layout,
+                                   const Shape& shape, int multiplicity) {
+  const DimMapping mapping = DimMapping::Identity(2);
+  std::vector<size_t> group_dims = {0, 1};
+  const RightOperand rop{&chunk, 0, &grid};
+  const ViewTarget target{&group_dims, &grid};
+  auto compiled = CompiledShapeCache::Global().Get(shape, mapping, grid);
+  AVM_CHECK(compiled.ok()) << compiled.status().ToString();
+  std::map<ChunkId, Chunk> fragments;
+  AVM_CHECK(JoinAggregateChunkPair(chunk, rop, *compiled.value(), layout,
+                                   target, multiplicity, &fragments)
+                .ok());
+  return fragments;
+}
+
+TEST(DenseKernelTest, BitIdenticalToSparseReferenceAcrossSweep) {
+  const ChunkGrid grid(MakeOneChunkSchema(14, 1));
+  const struct {
+    const char* name;
+    std::vector<AggregateSpec> specs;
+    bool retractable;
+  } layouts[] = {
+      {"count_sum",
+       {{AggregateFunction::kCount, 0, "cnt"},
+        {AggregateFunction::kSum, 0, "sum"}},
+       true},
+      {"avg", {{AggregateFunction::kAvg, 0, "avg"}}, true},
+      {"min_max",
+       {{AggregateFunction::kMin, 0, "mn"},
+        {AggregateFunction::kMax, 0, "mx"}},
+       false},
+  };
+  for (const auto& lt : layouts) {
+    auto layout_result = AggregateLayout::Create(lt.specs, 1);
+    ASSERT_OK(layout_result.status());
+    const AggregateLayout layout = std::move(layout_result).value();
+    for (const int64_t radius : {int64_t{1}, int64_t{2}}) {
+      const Shape shape = Shape::LinfBall(2, radius);
+      for (const double density : {0.1, 0.5, 0.95}) {
+        Chunk sparse(2, 1);
+        FillChunk(grid, density, 400 + static_cast<uint64_t>(density * 100),
+                  &sparse);
+        Chunk dense(sparse);
+        dense.Densify(grid, 0);
+        for (const int multiplicity : lt.retractable ? std::vector<int>{1, -1}
+                                                     : std::vector<int>{1}) {
+          const auto ref =
+              RunKernel(sparse, grid, layout, shape, multiplicity);
+          const auto got = RunKernel(dense, grid, layout, shape, multiplicity);
+          ASSERT_EQ(ref.size(), got.size())
+              << lt.name << " r=" << radius << " d=" << density;
+          for (const auto& [id, frag] : ref) {
+            auto it = got.find(id);
+            ASSERT_NE(it, got.end());
+            // Tolerance 0: the dense interior must preserve the sparse
+            // kernel's floating-point fold order bit for bit.
+            EXPECT_TRUE(frag.ContentEquals(it->second, 0.0))
+                << lt.name << " r=" << radius << " d=" << density
+                << " m=" << multiplicity;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DenseKernelTest, ScanStrategyAgreesOnDenseChunks) {
+  // A shape far past the probe/scan crossover forces the scan path; dense
+  // right chunks must produce the same fragments there too.
+  const ChunkGrid grid(MakeOneChunkSchema(14, 1));
+  auto layout_result = AggregateLayout::Create(
+      {{AggregateFunction::kCount, 0, "cnt"},
+       {AggregateFunction::kSum, 0, "sum"}},
+      1);
+  ASSERT_OK(layout_result.status());
+  const AggregateLayout layout = std::move(layout_result).value();
+  const Shape shape = Shape::LinfBall(2, 12);
+  Chunk sparse(2, 1);
+  FillChunk(grid, 0.15, 88, &sparse);
+  Chunk dense(sparse);
+  dense.Densify(grid, 0);
+  ASSERT_EQ(ChooseJoinStrategy(shape.size(), dense.num_cells(),
+                               ChunkRep::kDense),
+            JoinStrategy::kScanRight);
+  const auto ref = RunKernel(sparse, grid, layout, shape, 1);
+  const auto got = RunKernel(dense, grid, layout, shape, 1);
+  ASSERT_EQ(ref.size(), got.size());
+  for (const auto& [id, frag] : ref) {
+    auto it = got.find(id);
+    ASSERT_NE(it, got.end());
+    EXPECT_TRUE(frag.ContentEquals(it->second, 0.0));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance oracle under forced densification modes.
+// ---------------------------------------------------------------------------
+
+TEST(DensificationMaintenanceTest, ViewMatchesRecomputeUnderForcedModes) {
+  // The same batch series maintained with densification forced on, forced
+  // off, and automatic must all converge to the recomputed truth and to
+  // each other.
+  const uint64_t kSeed = 6100;
+  std::vector<SparseArray> gathers;
+  for (const DensificationMode mode :
+       {DensificationMode::kForceSparse, DensificationMode::kForceDense,
+        DensificationMode::kAuto}) {
+    ScopedDensificationMode pin(mode);
+    ASSERT_OK_AND_ASSIGN(
+        testing_util::ViewFixture fixture,
+        MakeCountViewFixture(3, 120, Shape::L1Ball(2, 1), kSeed,
+                             /*with_sum=*/true));
+    ViewMaintainer maintainer(fixture.view.get(),
+                              MaintenanceMethod::kReassign);
+    SparseArray mirror(fixture.local_base.schema());
+    Status seed_copy = Status::OK();
+    fixture.local_base.ForEachCell([&](std::span<const int64_t> coord,
+                                       std::span<const double> values) {
+      if (seed_copy.ok()) {
+        seed_copy = mirror.Set(CellCoord(coord.begin(), coord.end()), values);
+      }
+    });
+    ASSERT_OK(seed_copy);
+    for (int batch = 0; batch < 3; ++batch) {
+      Rng rng(kSeed + 7 * static_cast<uint64_t>(batch));
+      SparseArray delta = RandomDisjointDelta(mirror, 40, &rng);
+      ASSERT_OK(maintainer.ApplyBatch(delta).status());
+      Status merge = Status::OK();
+      delta.ForEachCell([&](std::span<const int64_t> coord,
+                            std::span<const double> values) {
+        if (merge.ok()) merge = mirror.Set(CellCoord(coord.begin(), coord.end()), values);
+      });
+      ASSERT_OK(merge);
+    }
+    EXPECT_TRUE(testing_util::ViewMatchesRecompute(*fixture.view));
+    ASSERT_OK_AND_ASSIGN(SparseArray gathered, fixture.view->array().Gather());
+    gathers.push_back(std::move(gathered));
+  }
+  ASSERT_EQ(gathers.size(), 3u);
+  EXPECT_TRUE(gathers[0].ContentEquals(gathers[1], 1e-9));
+  EXPECT_TRUE(gathers[0].ContentEquals(gathers[2], 1e-9));
+}
+
+TEST(DensificationMaintenanceTest, ReportsConversionCountersAndResidency) {
+  ScopedDensificationMode pin(DensificationMode::kForceDense);
+  EnableTelemetry();
+  ASSERT_OK_AND_ASSIGN(
+      testing_util::ViewFixture fixture,
+      MakeCountViewFixture(2, 150, Shape::L1Ball(2, 1), 6200));
+  ViewMaintainer maintainer(fixture.view.get(),
+                            MaintenanceMethod::kDifferential);
+  Rng rng(6201);
+  SparseArray delta = RandomDisjointDelta(fixture.local_base, 50, &rng);
+  ASSERT_OK_AND_ASSIGN(MaintenanceReport report, maintainer.ApplyBatch(delta));
+  EXPECT_TRUE(report.telemetry_collected);
+  // Forcing dense on freshly mutated base/view chunks must convert at least
+  // one chunk and leave dense bytes resident somewhere in the cluster.
+  EXPECT_GT(report.chunks_densified, 0u);
+  EXPECT_GT(report.resident_dense_bytes, 0u);
+
+  // Flip the policy: the next batch sparsifies the chunks it touches (ones
+  // no delta lands on keep their old representation), so dense residency
+  // shrinks and sparse residency appears.
+  SetDensificationMode(DensificationMode::kForceSparse);
+  SparseArray delta2 = RandomDisjointDelta(fixture.local_base, 50, &rng);
+  ASSERT_OK_AND_ASSIGN(MaintenanceReport report2,
+                       maintainer.ApplyBatch(delta2));
+  EXPECT_GT(report2.chunks_sparsified, 0u);
+  EXPECT_LT(report2.resident_dense_bytes, report.resident_dense_bytes);
+  EXPECT_GT(report2.resident_sparse_bytes, 0u);
+  DisableTelemetry();
+  EXPECT_TRUE(testing_util::ViewMatchesRecompute(*fixture.view));
+}
+
+}  // namespace
+}  // namespace avm

@@ -23,6 +23,12 @@ struct ChunkTestPeer {
   static std::vector<uint64_t>& offsets(Chunk& c) { return c.offsets_; }
   static std::vector<int64_t>& coords(Chunk& c) { return c.coords_; }
   static std::vector<double>& values(Chunk& c) { return c.values_; }
+  static std::vector<uint64_t>& bitmap(Chunk& c) { return c.bitmap_; }
+  static std::vector<double>& lanes(Chunk& c) { return c.lanes_; }
+  static std::vector<int64_t>& dense_origin(Chunk& c) {
+    return c.dense_origin_;
+  }
+  static size_t& dense_cells(Chunk& c) { return c.dense_cells_; }
 };
 
 namespace {
@@ -85,6 +91,67 @@ TEST(ChunkInvariantsTest, CellOutsideChunkBoxIsCaught) {
   // Structurally intact, geometrically wrong: the coordinate now lies in a
   // different chunk, so only the grid-aware check can see the damage.
   ChunkTestPeer::coords(t.chunk)[0] += 100;
+  t.chunk.CheckInvariants();
+  EXPECT_THROW(t.chunk.CheckInvariants(&t.grid, t.id), CheckFailedError);
+}
+
+/// The populated chunk converted to the dense representation.
+ChunkOnGrid MakePopulatedDenseChunk() {
+  ChunkOnGrid t = MakePopulatedChunk();
+  t.chunk.Densify(t.grid, t.id);
+  AVM_CHECK(t.chunk.rep() == ChunkRep::kDense);
+  return t;
+}
+
+TEST(ChunkInvariantsTest, HealthyDenseChunkPasses) {
+  ScopedThrowingCheckHandler guard;
+  ChunkOnGrid t = MakePopulatedDenseChunk();
+  t.chunk.CheckInvariants();
+  t.chunk.CheckInvariants(&t.grid, t.id);
+}
+
+TEST(ChunkInvariantsTest, DensePopulationDriftIsCaught) {
+  ScopedThrowingCheckHandler guard;
+  ChunkOnGrid t = MakePopulatedDenseChunk();
+  // Stored cell count no longer matches the bitmap population.
+  ChunkTestPeer::dense_cells(t.chunk) += 1;
+  EXPECT_THROW(t.chunk.CheckInvariants(), CheckFailedError);
+}
+
+TEST(ChunkInvariantsTest, NonzeroVacantLaneIsCaught) {
+  ScopedThrowingCheckHandler guard;
+  ChunkOnGrid t = MakePopulatedDenseChunk();
+  // Find a vacant slot and dirty its value lane: the branch-free kernel
+  // would silently fold this phantom value, so the audit must catch it.
+  const auto dv = t.chunk.dense_view();
+  uint64_t vacant = dv.volume;
+  for (uint64_t off = 0; off < dv.volume; ++off) {
+    if (!((dv.bitmap[off >> 6] >> (off & 63)) & 1u)) {
+      vacant = off;
+      break;
+    }
+  }
+  ASSERT_LT(vacant, dv.volume);
+  ChunkTestPeer::lanes(t.chunk)[vacant] = 123.0;
+  EXPECT_THROW(t.chunk.CheckInvariants(), CheckFailedError);
+}
+
+TEST(ChunkInvariantsTest, TrailingBitmapBitsAreCaught) {
+  ScopedThrowingCheckHandler guard;
+  ChunkOnGrid t = MakePopulatedDenseChunk();
+  const auto dv = t.chunk.dense_view();
+  ASSERT_NE(dv.volume % 64, 0u) << "test needs a partial trailing word";
+  ChunkTestPeer::bitmap(t.chunk).back() |= uint64_t{1} << 63;
+  // Keep the population consistent so only the trailing-bit clause fires.
+  ChunkTestPeer::dense_cells(t.chunk) += 1;
+  EXPECT_THROW(t.chunk.CheckInvariants(), CheckFailedError);
+}
+
+TEST(ChunkInvariantsTest, DenseBoxDriftIsCaughtByTheGridAwareCheck) {
+  ScopedThrowingCheckHandler guard;
+  ChunkOnGrid t = MakePopulatedDenseChunk();
+  ChunkTestPeer::dense_origin(t.chunk)[0] += 8;
+  // Structurally self-consistent, geometrically wrong for this grid slot.
   t.chunk.CheckInvariants();
   EXPECT_THROW(t.chunk.CheckInvariants(&t.grid, t.id), CheckFailedError);
 }

@@ -82,11 +82,11 @@ TEST(SerializationTest, MissingFileIsNotFound) {
       LoadArrayFromFile("/nonexistent/path.arr").status().IsNotFound());
 }
 
-TEST(SerializationTest, WritesTheV2Magic) {
+TEST(SerializationTest, WritesTheV3Magic) {
   SparseArray original(Make2DSchema("magic"));
   std::stringstream buffer;
   ASSERT_OK(SaveArray(original, buffer));
-  EXPECT_EQ(buffer.str().substr(0, 8), "AVMARR02");
+  EXPECT_EQ(buffer.str().substr(0, 8), "AVMARR03");
 }
 
 TEST(SerializationTest, ReadsTheLegacyV1Format) {
@@ -148,6 +148,132 @@ TEST(SerializationTest, RejectsCorruptedChunkGeometry) {
     if (loaded.ok()) {
       // A flip in a value byte is legal — the payload doubles carry no
       // structure. The array must still be structurally sound.
+      loaded.value().CheckInvariants();
+    }
+  }
+}
+
+/// Pins the densification policy while building fixtures.
+class ScopedDensificationMode {
+ public:
+  explicit ScopedDensificationMode(DensificationMode mode)
+      : saved_(GetDensificationMode()) {
+    SetDensificationMode(mode);
+  }
+  ~ScopedDensificationMode() { SetDensificationMode(saved_); }
+
+ private:
+  DensificationMode saved_;
+};
+
+/// A populated array whose chunks are all dense, on a grid with clipped
+/// edge chunks (39 % 8 != 0, 22 % 6 != 0) so the loader's clipped-box
+/// validation runs against real geometry.
+SparseArray MakeForcedDenseArray(uint64_t seed, size_t cells = 150) {
+  ScopedDensificationMode pin(DensificationMode::kForceDense);
+  SparseArray array(Make2DSchema("dense", 39, 8, 22, 6, 2));
+  Rng rng(seed);
+  testing_util::FillRandom(&array, cells, &rng);
+  return array;
+}
+
+TEST(SerializationTest, DenseChunksRoundTripInTheirRepresentation) {
+  SparseArray original = MakeForcedDenseArray(960);
+  size_t dense_chunks = 0;
+  original.ForEachChunk([&](ChunkId, const Chunk& chunk) {
+    if (chunk.rep() == ChunkRep::kDense) ++dense_chunks;
+  });
+  ASSERT_GT(dense_chunks, 0u);
+
+  std::stringstream buffer;
+  ASSERT_OK(SaveArray(original, buffer));
+  // Keep the loader on the stored representation, not the live policy.
+  ScopedDensificationMode pin(DensificationMode::kAuto);
+  ASSERT_OK_AND_ASSIGN(SparseArray loaded, LoadArray(buffer));
+  EXPECT_TRUE(loaded.ContentEquals(original));
+  loaded.CheckInvariants();
+  loaded.ForEachChunk([&](ChunkId id, const Chunk& chunk) {
+    const Chunk* source = original.GetChunk(id);
+    ASSERT_NE(source, nullptr);
+    EXPECT_EQ(chunk.rep(), source->rep()) << "chunk " << id;
+  });
+}
+
+TEST(SerializationTest, MixedRepresentationsArePreservedPerChunk) {
+  SparseArray original(Make2DSchema("mixed", 39, 8, 22, 6, 2));
+  Rng rng(961);
+  {
+    ScopedDensificationMode pin(DensificationMode::kForceSparse);
+    testing_util::FillRandom(&original, 80, &rng);
+  }
+  {
+    // Densify a subset by touching them again under the forced-dense
+    // policy: only chunks that receive a mutation convert.
+    ScopedDensificationMode pin(DensificationMode::kForceDense);
+    testing_util::FillRandom(&original, 20, &rng);
+  }
+  size_t dense_chunks = 0;
+  size_t sparse_chunks = 0;
+  original.ForEachChunk([&](ChunkId, const Chunk& chunk) {
+    ++(chunk.rep() == ChunkRep::kDense ? dense_chunks : sparse_chunks);
+  });
+  ASSERT_GT(dense_chunks, 0u);
+  ASSERT_GT(sparse_chunks, 0u);
+
+  std::stringstream buffer;
+  ASSERT_OK(SaveArray(original, buffer));
+  ScopedDensificationMode pin(DensificationMode::kAuto);
+  ASSERT_OK_AND_ASSIGN(SparseArray loaded, LoadArray(buffer));
+  EXPECT_TRUE(loaded.ContentEquals(original));
+  loaded.ForEachChunk([&](ChunkId id, const Chunk& chunk) {
+    EXPECT_EQ(chunk.rep(), original.GetChunk(id)->rep()) << "chunk " << id;
+  });
+}
+
+TEST(SerializationTest, LegacyV2WriterFlattensDenseChunks) {
+  SparseArray original = MakeForcedDenseArray(962);
+  std::stringstream buffer;
+  ASSERT_OK(SaveArrayV2(original, buffer));
+  ASSERT_EQ(buffer.str().substr(0, 8), "AVMARR02");
+  ScopedDensificationMode pin(DensificationMode::kAuto);
+  ASSERT_OK_AND_ASSIGN(SparseArray loaded, LoadArray(buffer));
+  EXPECT_TRUE(loaded.ContentEquals(original));
+  // The v2 format has no representation tag: everything loads sparse.
+  loaded.ForEachChunk([&](ChunkId, const Chunk& chunk) {
+    EXPECT_EQ(chunk.rep(), ChunkRep::kSparse);
+  });
+}
+
+TEST(SerializationTest, DetectsTruncationInsideDenseBlocks) {
+  SparseArray original = MakeForcedDenseArray(963);
+  std::stringstream buffer;
+  ASSERT_OK(SaveArray(original, buffer));
+  const std::string full = buffer.str();
+  ScopedDensificationMode pin(DensificationMode::kAuto);
+  for (size_t frac = 1; frac < 16; ++frac) {
+    std::stringstream cut(full.substr(0, full.size() * frac / 16));
+    EXPECT_FALSE(LoadArray(cut).ok()) << "prefix of " << frac << "/16 loaded";
+  }
+}
+
+TEST(SerializationTest, RejectsCorruptedDenseBlocks) {
+  SparseArray original = MakeForcedDenseArray(964);
+  std::stringstream buffer;
+  ASSERT_OK(SaveArray(original, buffer));
+  const std::string full = buffer.str();
+  ScopedDensificationMode pin(DensificationMode::kAuto);
+  // Flip one byte at every 8-byte step through the chunk data (past the
+  // schema block). Each flip lands in a representation tag, a volume, a
+  // bitmap word, or a value lane; the loader must reject the first three
+  // classes (unknown tag / volume mismatch / bit outside the clipped box or
+  // under a short population) or, for pure value damage, still produce a
+  // structurally sound array.
+  for (size_t pos = full.size() / 3; pos < full.size(); pos += 8) {
+    std::string flipped = full;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x5A);
+    std::stringstream in(flipped);
+    auto loaded = LoadArray(in);
+    if (loaded.ok()) {
       loaded.value().CheckInvariants();
     }
   }

@@ -10,10 +10,12 @@
 #include <utility>
 #include <vector>
 
+#include "array/chunk.h"
 #include "maintenance/deletions.h"
 #include "serve/epoch_manager.h"
 #include "serve/snapshot_query.h"
 #include "shape/shape.h"
+#include "storage/chunk_store.h"
 #include "tests/test_util.h"
 
 namespace avm {
@@ -21,6 +23,18 @@ namespace {
 
 using testing_util::MakeCountViewFixture;
 using testing_util::ViewFixture;
+
+class ScopedDensificationMode {
+ public:
+  explicit ScopedDensificationMode(DensificationMode mode)
+      : saved_(GetDensificationMode()) {
+    SetDensificationMode(mode);
+  }
+  ~ScopedDensificationMode() { SetDensificationMode(saved_); }
+
+ private:
+  DensificationMode saved_;
+};
 
 // The concurrency stress oracle of the serve layer: M reader threads open
 // snapshots and evaluate a fixed probe query while the control thread commits
@@ -35,16 +49,21 @@ using testing_util::ViewFixture;
 // about to publish, and only then publishes. A reader can therefore never
 // observe an epoch whose expectation is not yet registered.
 //
-// The whole schedule runs under TSan in the serve-smoke CI job.
-TEST(ServeStressTest, ConcurrentReadersBitMatchSomePublishedEpoch) {
+// The whole schedule runs under TSan in the serve-smoke CI job. The
+// densification mode is part of the schedule: under kForceDense every
+// pinned epoch holds dense chunks, so mutations behind a live pin exercise
+// the COW deep copy of the dense representation.
+void RunConcurrentReaderStress(DensificationMode mode, uint64_t seed) {
+  ScopedDensificationMode pin(mode);
   constexpr int kReaders = 3;
   constexpr int kBatches = 6;
   constexpr size_t kBatchCells = 24;
+  const int num_workers = 2;
 
   ASSERT_OK_AND_ASSIGN(
       ViewFixture fixture,
-      MakeCountViewFixture(/*num_workers=*/2, /*base_cells=*/120,
-                           Shape::LinfBall(2, 1), /*seed=*/11,
+      MakeCountViewFixture(num_workers, /*base_cells=*/120,
+                           Shape::LinfBall(2, 1), seed,
                            /*with_sum=*/true));
   MaterializedView* view = fixture.view.get();
   ViewMaintainer maintainer(view, MaintenanceMethod::kReassign);
@@ -66,6 +85,23 @@ TEST(ServeStressTest, ConcurrentReadersBitMatchSomePublishedEpoch) {
         << "published id " << id << " skipped the registered expectation";
   };
   publish_with_oracle();  // epoch 1: the initial materialization
+
+  // Representation preconditions: the epoch just pinned must actually hold
+  // chunks in the representation under test.
+  {
+    ChunkStore::FormatResidency residency;
+    for (int n = 0; n < num_workers; ++n) {
+      const auto r = fixture.cluster->store(n).ResidencyByFormat();
+      residency.sparse_chunks += r.sparse_chunks;
+      residency.dense_chunks += r.dense_chunks;
+    }
+    if (mode == DensificationMode::kForceDense) {
+      ASSERT_GT(residency.dense_chunks, 0u)
+          << "forced-dense fixture pinned no dense chunks";
+    } else {
+      ASSERT_GT(residency.sparse_chunks, 0u);
+    }
+  }
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> queries_served{0};
@@ -169,6 +205,18 @@ TEST(ServeStressTest, ConcurrentReadersBitMatchSomePublishedEpoch) {
                             SnapshotQuery{"view", {}, {}}));
   ASSERT_OK_AND_ASSIGN(SparseArray now, view->GatherFinalized());
   EXPECT_TRUE(last.finalized.ContentEquals(now, 0.0));
+}
+
+TEST(ServeStressTest, ConcurrentReadersBitMatchSomePublishedEpoch) {
+  RunConcurrentReaderStress(DensificationMode::kAuto, /*seed=*/11);
+}
+
+// Same schedule with every chunk forced dense: snapshot readers hold pins
+// on epochs of dense chunks while maintenance mutates them, so every COW
+// break deep-copies the dense buffers under concurrency (TSan-checked in
+// the serve-smoke CI job).
+TEST(ServeStressTest, ConcurrentReadersPinEpochsOfDenseChunks) {
+  RunConcurrentReaderStress(DensificationMode::kForceDense, /*seed=*/13);
 }
 
 // Bounded (regioned) snapshot queries prune by the pinned grid geometry and

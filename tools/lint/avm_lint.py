@@ -46,6 +46,18 @@ chunk-by-value        a ``Chunk`` passed by value (function parameter) or
                       usually an accidental deep copy of the row buffers.
                       Intentional first-owner sinks (e.g. ChunkStore::Put)
                       carry an explicit allow().
+chunk-rep-access      sparse-row / OffsetIndex access (OffsetOfRow,
+                      CoordOfRow, ValuesOfRow, MutableValuesOfRow,
+                      GetOrCreateRow, RowOffsets/RowCoords/RowValues,
+                      OffsetIndex) in ``src/`` outside ``src/array/``.
+                      Chunks have two physical representations (sparse rows
+                      and dense slot buffers); row accessors silently assume
+                      the sparse one and DCHECK-fail — or read garbage in
+                      Release — on a densified chunk. Use the dispatching
+                      API instead: GetCell/GetOrCreateCell/StateOfCellRef,
+                      ForEachCellWithOffset/VisitCells, UpsertChunk/
+                      AccumulateChunk, dense_view(). tests/ and bench/ stay
+                      exempt (they exercise both representations directly).
 """
 
 from __future__ import annotations
@@ -167,6 +179,11 @@ CHUNK_BYVAL_PARAM_RE = re.compile(
 # A Chunk deep-copied out of a pointer or handle: `Chunk x = *p;`.
 CHUNK_DEREF_COPY_RE = re.compile(
     r"(?<![\w_:])Chunk\s+\w+\s*=\s*\*")
+# Sparse-representation-only chunk internals, banned outside src/array/
+# (see the chunk-rep-access rule docstring).
+CHUNK_REP_ACCESS_RE = re.compile(
+    r"(?<![\w_])(?:OffsetOfRow|CoordOfRow|ValuesOfRow|MutableValuesOfRow|"
+    r"GetOrCreateRow|RowOffsets|RowCoords|RowValues|OffsetIndex)(?![\w_])")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 
 # A bare call statement: optional qualification, a harvested name, an open
@@ -302,6 +319,15 @@ def lint_file(path: str, status_functions: set[str]) -> list[Finding]:
                    "Chunk passed or copied by value; chunk movement is "
                    "copy-free — pass const Chunk& / ChunkHandle, or mutate "
                    "through ChunkStore::GetMutable (COW)")
+
+        if (rel.startswith("src/") and not rel.startswith("src/array/")
+                and CHUNK_REP_ACCESS_RE.search(code)):
+            report(i, "chunk-rep-access",
+                   "sparse-row/OffsetIndex access outside src/array/; this "
+                   "assumes the sparse representation — use the dispatching "
+                   "Chunk API (GetCell/GetOrCreateCell, "
+                   "ForEachCellWithOffset/VisitCells, UpsertChunk, "
+                   "dense_view)")
 
         # discarded-status: a statement that is exactly a call to a
         # Status/Result-returning function. Only lines that *begin* a
