@@ -1,9 +1,9 @@
 #include "array/chunk_pool.h"
 
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "telemetry/metrics.h"
 
 namespace avm {
@@ -36,8 +36,8 @@ LocalShard& Local() {
 }
 
 struct Overflow {
-  std::mutex mu;
-  std::vector<Chunk> chunks;
+  Mutex mu{"ChunkPool.overflow", LockRank::kChunkPool};
+  std::vector<Chunk> chunks AVM_GUARDED_BY(mu);
 };
 
 Overflow& GlobalOverflow() {
@@ -51,7 +51,7 @@ Chunk ChunkPool::Acquire(size_t num_dims, size_t num_attrs) {
   LocalShard& shard = Local();
   if (shard.chunks.empty()) {
     Overflow& overflow = GlobalOverflow();
-    std::lock_guard<std::mutex> lock(overflow.mu);
+    MutexLock lock(overflow.mu);
     if (!overflow.chunks.empty()) {
       shard.chunks.push_back(std::move(overflow.chunks.back()));
       overflow.chunks.pop_back();
@@ -80,7 +80,7 @@ void ChunkPool::Release(Chunk&& chunk) {
     return;
   }
   Overflow& overflow = GlobalOverflow();
-  std::lock_guard<std::mutex> lock(overflow.mu);
+  MutexLock lock(overflow.mu);
   if (overflow.chunks.size() < kOverflowCapacity) {
     overflow.chunks.push_back(std::move(chunk));
     GaugeAdd(GaugeId::kChunkPoolBytes, bytes);
@@ -99,7 +99,7 @@ void ChunkPool::DrainForTesting() {
   }
   shard.chunks.clear();
   Overflow& overflow = GlobalOverflow();
-  std::lock_guard<std::mutex> lock(overflow.mu);
+  MutexLock lock(overflow.mu);
   for (const Chunk& c : overflow.chunks) {
     bytes += static_cast<int64_t>(c.CapacityBytes());
   }

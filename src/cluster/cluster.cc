@@ -10,7 +10,7 @@ Cluster::Cluster(int num_workers, CostModel cost_model, int num_threads)
     : cost_model_(cost_model),
       pool_(std::make_unique<ThreadPool>(num_threads)) {
   AVM_CHECK_GE(num_workers, 1);
-  workers_ = std::vector<Node>(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) workers_.emplace_back();
 }
 
 ChunkStore& Cluster::store(NodeId node) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -87,7 +88,9 @@ class Cluster {
   };
 
   CostModel cost_model_;
-  std::vector<Node> workers_;
+  /// A deque because Node embeds a ChunkStore, whose internal mutex makes it
+  /// non-movable; deque constructs nodes in place and never relocates them.
+  std::deque<Node> workers_;
   Node coordinator_;
   std::unique_ptr<ThreadPool> pool_;
 };

@@ -1,0 +1,75 @@
+#include "common/mutex.h"
+
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace avm {
+namespace mutex_internal {
+
+namespace {
+
+/// The calling thread's held locks in acquisition order. Function-local so
+/// the first lock on a fresh thread constructs it lazily; never shrinks
+/// below its high-water capacity (lock nesting is shallow, a handful of
+/// pointers per thread).
+std::vector<const Mutex*>& HeldStack() {
+  thread_local std::vector<const Mutex*> held;
+  return held;
+}
+
+/// "\"name\" (rank N)" — the diagnostic spelling of one lock.
+void AppendLock(std::ostringstream* out, const Mutex& mu) {
+  *out << '"' << mu.name() << "\" (rank " << static_cast<int>(mu.rank())
+       << ')';
+}
+
+}  // namespace
+
+void CheckRankOnAcquire(const Mutex& acquiring) {
+  const std::vector<const Mutex*>& held = HeldStack();
+  const Mutex* violated = nullptr;
+  for (const Mutex* mu : held) {
+    // Strict ordering: equal ranks are a violation too, both because two
+    // same-rank locks nested form an ABBA candidate and because
+    // re-acquiring the same (non-recursive) mutex would deadlock outright.
+    if (static_cast<int>(mu->rank()) >= static_cast<int>(acquiring.rank())) {
+      violated = mu;
+      break;
+    }
+  }
+  if (violated == nullptr) return;
+  std::ostringstream msg;
+  msg << "acquiring ";
+  AppendLock(&msg, acquiring);
+  msg << " while holding ";
+  AppendLock(&msg, *violated);
+  msg << "; this thread's held locks in acquisition order: ";
+  for (size_t i = 0; i < held.size(); ++i) {
+    if (i != 0) msg << " -> ";
+    AppendLock(&msg, *held[i]);
+  }
+  AVM_CHECK(false) << "lock rank order violation: " << msg.str()
+                   << ". Locks must be acquired in strictly increasing "
+                      "LockRank order (see DESIGN.md lock hierarchy).";
+}
+
+void RecordAcquire(const Mutex& mu) { HeldStack().push_back(&mu); }
+
+void RecordRelease(const Mutex& mu) {
+  std::vector<const Mutex*>& held = HeldStack();
+  // Search from the back: releases are almost always LIFO, and a CondVar
+  // wait releasing out of stack order still finds its entry.
+  for (size_t i = held.size(); i > 0; --i) {
+    if (held[i - 1] == &mu) {
+      held.erase(held.begin() + static_cast<ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+  AVM_CHECK(false) << "releasing lock \"" << mu.name()
+                   << "\" this thread does not hold";
+}
+
+}  // namespace mutex_internal
+}  // namespace avm

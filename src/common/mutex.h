@@ -1,0 +1,169 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+/// Annotated mutex wrappers: the only way code outside src/common/ may lock.
+///
+/// Why wrappers instead of raw std::mutex (enforced by the `raw-mutex` lint
+/// rule): Clang Thread Safety Analysis only sees acquisitions that go
+/// through types carrying capability annotations, and libstdc++'s std::mutex
+/// carries none — a raw lock_guard is invisible to the analysis, so every
+/// AVM_GUARDED_BY contract it was supposed to discharge silently stops being
+/// checked. avm::Mutex/avm::MutexLock put the annotations on the one choke
+/// point, and add two things std::mutex lacks:
+///
+///   - a name, so diagnostics (and the trace of a deadlock) say
+///     "ChunkStore.mu", not an address;
+///   - a LockRank, checked at runtime in Debug builds: acquiring a mutex
+///     whose rank is not strictly greater than every lock the thread already
+///     holds AVM_CHECK-fails with the full held-lock list. The static
+///     analysis proves per-function lock protocols; the rank checker catches
+///     cross-translation-unit acquisition *order* cycles TSA cannot see.
+///     Release builds compile the tracking out entirely.
+///
+/// Condition variables go through avm::CondVar, whose Wait(mu) takes the
+/// annotated mutex (AVM_REQUIRES) so waiting call sites stay visible to the
+/// analysis. Write waits as explicit loops —
+///     while (!ready_) cv_.Wait(mu_);
+/// — not predicate lambdas: TSA analyzes a lambda body as a separate
+/// function that cannot see the capability is held.
+
+namespace avm {
+
+class Mutex;
+
+/// Acquisition-order ranks, lowest first: a thread may only acquire a mutex
+/// whose rank is strictly greater than every lock it already holds. The
+/// table mirrors the call graph (pool → store → epoch manager → telemetry);
+/// DESIGN.md "Lock hierarchy & thread-safety annotations" documents each
+/// edge. kLeaf is the default for locks that never nest inside anything
+/// (test oracles, per-call wait states); two kLeaf locks can never be held
+/// together, which is exactly the property a leaf lock promises.
+enum class LockRank : int {
+  kThreadPool = 10,      // ThreadPool::mu_ — task queue; tasks run unlocked
+  kChunkPool = 20,       // ChunkPool global overflow free list
+  kChunkStore = 30,      // ChunkStore::mu_ — one store's chunk map
+  kEpochManager = 40,    // EpochManager::mu_ — current-epoch slot
+  kEpochStats = 50,      // EpochManager stats block (nests inside mu_)
+  kShapeCache = 60,      // CompiledShapeCache (telemetry nests inside it)
+  kTraceCollector = 70,  // TraceCollector buffer registry
+  kTraceBuffer = 80,     // per-thread trace ring (nests inside collector)
+  kMetricsRegistry = 90, // metrics shard registry — the leaf-most named lock
+  kLeaf = 100,           // default: must be the last lock acquired
+};
+
+namespace mutex_internal {
+
+/// Debug-only acquisition-order bookkeeping (defined in mutex.cc; the
+/// per-thread held-lock stack lives there). No-ops never emitted in Release:
+/// callers compile the calls out under NDEBUG.
+void CheckRankOnAcquire(const Mutex& acquiring);
+void RecordAcquire(const Mutex& mu);
+void RecordRelease(const Mutex& mu);
+
+}  // namespace mutex_internal
+
+/// A std::mutex carrying thread-safety annotations, a diagnostic name, and a
+/// LockRank. Non-movable (like std::mutex); classes embedding one become
+/// pinned, which every lock-owning class should be anyway.
+class AVM_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const char* name = "avm::Mutex",
+                 LockRank rank = LockRank::kLeaf)
+      : name_(name), rank_(rank) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() AVM_ACQUIRE() {
+#ifndef NDEBUG
+    mutex_internal::CheckRankOnAcquire(*this);
+#endif
+    mu_.lock();
+#ifndef NDEBUG
+    mutex_internal::RecordAcquire(*this);
+#endif
+  }
+
+  void Unlock() AVM_RELEASE() {
+#ifndef NDEBUG
+    mutex_internal::RecordRelease(*this);
+#endif
+    mu_.unlock();
+  }
+
+  /// Acquires without blocking; true (with the lock held) on success. Rank
+  /// order is enforced on success only — a failed try holds nothing.
+  bool TryLock() AVM_TRY_ACQUIRE(true) {
+#ifndef NDEBUG
+    mutex_internal::CheckRankOnAcquire(*this);
+#endif
+    const bool locked = mu_.try_lock();
+#ifndef NDEBUG
+    if (locked) mutex_internal::RecordAcquire(*this);
+#endif
+    return locked;
+  }
+
+  const char* name() const { return name_; }
+  LockRank rank() const { return rank_; }
+
+  /// The wrapped std::mutex, for CondVar's wait plumbing only.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+  const char* const name_;
+  const LockRank rank_;
+};
+
+/// RAII lock. The scoped-capability annotation lets TSA treat the guarded
+/// region as the constructor-to-destructor extent, exactly like lock_guard.
+class AVM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AVM_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() AVM_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over avm::Mutex. Wait releases `mu`, blocks, and
+/// reacquires before returning — the rank bookkeeping mirrors that, so a
+/// thread parked in Wait holds (for ordering purposes) only the locks below
+/// `mu` in its stack.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) AVM_REQUIRES(mu) {
+#ifndef NDEBUG
+    mutex_internal::RecordRelease(mu);
+#endif
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock's ownership claim so the Mutex wrapper stays the owner.
+    std::unique_lock<std::mutex> native(mu.native_handle(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+#ifndef NDEBUG
+    mutex_internal::CheckRankOnAcquire(mu);
+    mutex_internal::RecordAcquire(mu);
+#endif
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace avm

@@ -1,0 +1,93 @@
+#pragma once
+
+/// Clang Thread Safety Analysis annotations, AVM_-prefixed so the codebase
+/// owns its spelling. On clang these expand to the `thread_safety` attribute
+/// family and are checked by `-Wthread-safety` (the CI thread-safety leg
+/// builds with `-Wthread-safety -Wthread-safety-beta -Werror`); on every
+/// other compiler they expand to nothing, so GCC builds see plain code.
+///
+/// The vocabulary (see also DESIGN.md "Lock hierarchy & thread-safety
+/// annotations"):
+///
+///   AVM_CAPABILITY("mutex")   — marks a class as a lockable capability
+///                               (avm::Mutex is the one capability type
+///                               in this codebase).
+///   AVM_SCOPED_CAPABILITY     — marks an RAII lock holder (avm::MutexLock).
+///   AVM_GUARDED_BY(mu)        — a data member that may only be read or
+///                               written while `mu` is held.
+///   AVM_PT_GUARDED_BY(mu)     — a pointer member whose *pointee* is
+///                               protected by `mu`.
+///   AVM_REQUIRES(mu)          — a function that must be called with `mu`
+///                               already held (and does not release it).
+///   AVM_ACQUIRE(mu)/AVM_RELEASE(mu)
+///                             — a function that acquires / releases `mu`.
+///   AVM_TRY_ACQUIRE(b, mu)    — a function that acquires `mu` iff it
+///                               returns `b`.
+///   AVM_EXCLUDES(mu)          — a function that must NOT be called with
+///                               `mu` held (self-deadlock guard).
+///   AVM_ACQUIRED_BEFORE/AFTER — declared acquisition order between two
+///                               mutexes (the static half of what the
+///                               runtime LockRank checker enforces
+///                               dynamically across translation units).
+///   AVM_ASSERT_CAPABILITY(mu) — a function that dynamically checks `mu`
+///                               is held and aborts otherwise.
+///   AVM_RETURN_CAPABILITY(mu) — a function returning a reference to `mu`.
+///   AVM_NO_THREAD_SAFETY_ANALYSIS
+///                             — opts one function out of the analysis;
+///                               every use needs a comment saying why.
+
+#if defined(__clang__)
+#define AVM_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define AVM_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op off clang
+#endif
+
+#define AVM_CAPABILITY(x) AVM_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+#define AVM_SCOPED_CAPABILITY AVM_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+#define AVM_GUARDED_BY(x) AVM_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+#define AVM_PT_GUARDED_BY(x) AVM_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+#define AVM_ACQUIRED_BEFORE(...) \
+  AVM_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+
+#define AVM_ACQUIRED_AFTER(...) \
+  AVM_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+#define AVM_REQUIRES(...) \
+  AVM_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+#define AVM_REQUIRES_SHARED(...) \
+  AVM_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+#define AVM_ACQUIRE(...) \
+  AVM_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+#define AVM_ACQUIRE_SHARED(...) \
+  AVM_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+#define AVM_RELEASE(...) \
+  AVM_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+#define AVM_RELEASE_SHARED(...) \
+  AVM_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+
+#define AVM_RELEASE_GENERIC(...) \
+  AVM_THREAD_ANNOTATION_ATTRIBUTE_(release_generic_capability(__VA_ARGS__))
+
+#define AVM_TRY_ACQUIRE(...) \
+  AVM_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+#define AVM_EXCLUDES(...) \
+  AVM_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+#define AVM_ASSERT_CAPABILITY(x) \
+  AVM_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+#define AVM_RETURN_CAPABILITY(x) \
+  AVM_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+#define AVM_NO_THREAD_SAFETY_ANALYSIS \
+  AVM_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)

@@ -37,10 +37,10 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
@@ -48,8 +48,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) task_ready_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -57,8 +57,8 @@ void ThreadPool::WorkerLoop() {
     GaugeAdd(GaugeId::kPoolQueueDepth, -1);
     RunTimed(task);
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--pending_ == 0) all_idle_.notify_all();
+      MutexLock lock(mu_);
+      if (--pending_ == 0) all_idle_.NotifyAll();
     }
   }
 }
@@ -69,18 +69,18 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     ++pending_;
   }
   GaugeAdd(GaugeId::kPoolQueueDepth, 1);
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
   if (workers_.empty()) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  all_idle_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_ != 0) all_idle_.Wait(mu_);
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -94,8 +94,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   struct ForState {
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
-    std::mutex mu;
-    std::condition_variable finished;
+    Mutex mu{"ThreadPool.ParallelFor", LockRank::kLeaf};
+    CondVar finished;
   };
   auto state = std::make_shared<ForState>();
   auto drain = [state, n, &fn] {
@@ -107,17 +107,16 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     }
     if (completed > 0 &&
         state->done.fetch_add(completed) + completed == n) {
-      std::unique_lock<std::mutex> lock(state->mu);
-      state->finished.notify_all();
+      MutexLock lock(state->mu);
+      state->finished.NotifyAll();
     }
   };
   const size_t helpers =
       std::min(n - 1, workers_.size());  // the caller drains too
   for (size_t i = 0; i < helpers; ++i) Submit(drain);
   drain();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->finished.wait(lock,
-                       [&] { return state->done.load() == n; });
+  MutexLock lock(state->mu);
+  while (state->done.load() != n) state->finished.Wait(state->mu);
 }
 
 }  // namespace avm

@@ -1,12 +1,12 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace avm {
 
@@ -54,15 +54,17 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  int num_threads_;
-  std::vector<std::thread> workers_;
+  const int num_threads_;
+  /// Written only by the constructor and joined by the destructor; workers
+  /// never touch it, so it needs no lock.
+  std::vector<std::thread> workers_;  // avm-lint: allow(unguarded-mutex-member)
 
-  std::mutex mu_;
-  std::condition_variable task_ready_;   // signalled when queue_ grows/stops
-  std::condition_variable all_idle_;     // signalled when pending_ hits zero
-  std::deque<std::function<void()>> queue_;
-  size_t pending_ = 0;  // queued + currently running tasks
-  bool stop_ = false;
+  Mutex mu_{"ThreadPool.mu", LockRank::kThreadPool};
+  CondVar task_ready_;  // signalled when queue_ grows/stops
+  CondVar all_idle_;    // signalled when pending_ hits zero
+  std::deque<std::function<void()>> queue_ AVM_GUARDED_BY(mu_);
+  size_t pending_ AVM_GUARDED_BY(mu_) = 0;  // queued + running tasks
+  bool stop_ AVM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace avm

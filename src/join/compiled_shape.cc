@@ -97,7 +97,7 @@ Result<std::shared_ptr<const CompiledShape>> CompiledShapeCache::Get(
     key.insert(key.end(), offset.begin(), offset.end());
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++hits_;
@@ -115,17 +115,17 @@ Result<std::shared_ptr<const CompiledShape>> CompiledShapeCache::Get(
 }
 
 size_t CompiledShapeCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cache_.size();
 }
 
 uint64_t CompiledShapeCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 uint64_t CompiledShapeCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 

@@ -2,12 +2,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "array/chunk_grid.h"
 #include "array/coords.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "join/mapping.h"
 #include "shape/shape.h"
@@ -144,12 +144,12 @@ class CompiledShapeCache {
   // shapes; real workloads hold a handful of entries.
   static constexpr size_t kMaxEntries = 256;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_{"CompiledShapeCache.mu", LockRank::kShapeCache};
   std::unordered_map<std::vector<int64_t>,
                      std::shared_ptr<const CompiledShape>, KeyHash>
-      cache_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+      cache_ AVM_GUARDED_BY(mu_);
+  uint64_t hits_ AVM_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ AVM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace avm

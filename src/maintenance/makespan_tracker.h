@@ -20,6 +20,12 @@ class Cluster;
 /// evaluated as small per-node deltas; a multiset of per-node scores makes
 /// each evaluation O(|affected| log N) — the binary-heap trick behind the
 /// paper's O(|U0| N log N) complexity claim for Algorithm 1.
+///
+/// Threading: deliberately lock-free *by exclusion* — this class lives on
+/// the planners' single-threaded control path and holds no mutex, so it sits
+/// outside the lock hierarchy (DESIGN.md "Lock hierarchy"). Concurrent
+/// accumulation during parallel execution goes through ConcurrentClockBank
+/// below instead.
 class MakespanTracker {
  public:
   explicit MakespanTracker(int num_workers);
@@ -75,6 +81,10 @@ class MakespanTracker {
 /// (per-node work is the unit of parallelism), so per-slot addition order is
 /// fixed; the atomics make the cross-thread publication race-free for TSan
 /// and for any future work-stealing scheduler.
+///
+/// Because the bank is all atomics it takes no lock and has no LockRank:
+/// tasks may charge it while holding any mutex without affecting the lock
+/// hierarchy (DESIGN.md "Lock hierarchy").
 class ConcurrentClockBank {
  public:
   /// Slots for `num_workers` workers plus the coordinator.

@@ -37,14 +37,14 @@ ViewPin EpochManager::PinView(const MaterializedView& view) {
 
 uint64_t EpochManager::Publish(std::vector<ViewPin> views) {
   ScopedSpan span("serve.publish", "serve");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t id = ++last_id_;
   auto epoch = std::make_shared<ViewEpoch>(id, std::move(views));
   // The retire hook captures only the shared stats block: it may fire on a
   // reader thread after this manager is gone.
   epoch->set_retire_hook([stats = stats_](const ViewEpoch& retired) {
     const int64_t now_ns = TraceNowNs();
-    std::lock_guard<std::mutex> stats_lock(stats->mu);
+    MutexLock stats_lock(stats->mu);
     ++stats->retired;
     auto it = stats->superseded_at_ns.find(retired.id());
     if (it != stats->superseded_at_ns.end()) {
@@ -57,7 +57,7 @@ uint64_t EpochManager::Publish(std::vector<ViewPin> views) {
     }
   });
   {
-    std::lock_guard<std::mutex> stats_lock(stats_->mu);
+    MutexLock stats_lock(stats_->mu);
     ++stats_->published;
     if (current_ != nullptr) {
       stats_->superseded_at_ns.emplace(current_->id(), TraceNowNs());
@@ -70,25 +70,25 @@ uint64_t EpochManager::Publish(std::vector<ViewPin> views) {
 }
 
 ReadSnapshot EpochManager::OpenSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (current_ == nullptr) return ReadSnapshot();
   return ReadSnapshot(current_);
 }
 
 uint64_t EpochManager::current_epoch_id() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return current_ == nullptr ? 0 : current_->id();
 }
 
 uint64_t EpochManager::epochs_live() const {
-  std::lock_guard<std::mutex> lock(stats_->mu);
+  MutexLock lock(stats_->mu);
   AVM_CHECK(stats_->published >= stats_->retired)
       << "retired more epochs than were published";
   return stats_->published - stats_->retired;
 }
 
 EpochManager::RetirementStats EpochManager::retirement() const {
-  std::lock_guard<std::mutex> lock(stats_->mu);
+  MutexLock lock(stats_->mu);
   RetirementStats out;
   out.published = stats_->published;
   out.retired = stats_->retired;

@@ -2,10 +2,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "serve/view_epoch.h"
 #include "view/materialized_view.h"
 
@@ -70,21 +70,26 @@ class EpochManager {
 
  private:
   /// Shared with every published epoch's retire hook; outlives the manager.
+  /// Ranked after the manager's own mutex: Publish nests stats updates (and
+  /// the superseded epoch's retire hook) inside its critical section.
   struct Stats {
-    std::mutex mu;
-    uint64_t published = 0;
-    uint64_t retired = 0;
-    uint64_t lagged = 0;
-    double total_lag_seconds = 0.0;
-    double max_lag_seconds = 0.0;
+    Mutex mu{"EpochManager.stats", LockRank::kEpochStats};
+    uint64_t published AVM_GUARDED_BY(mu) = 0;
+    uint64_t retired AVM_GUARDED_BY(mu) = 0;
+    uint64_t lagged AVM_GUARDED_BY(mu) = 0;
+    double total_lag_seconds AVM_GUARDED_BY(mu) = 0.0;
+    double max_lag_seconds AVM_GUARDED_BY(mu) = 0.0;
     /// Publish-of-successor timestamp per superseded epoch id.
-    std::unordered_map<uint64_t, int64_t> superseded_at_ns;
+    std::unordered_map<uint64_t, int64_t> superseded_at_ns
+        AVM_GUARDED_BY(mu);
   };
 
-  mutable std::mutex mu_;
-  std::shared_ptr<const ViewEpoch> current_;
-  uint64_t last_id_ = 0;
-  std::shared_ptr<Stats> stats_;
+  mutable Mutex mu_{"EpochManager.mu", LockRank::kEpochManager};
+  std::shared_ptr<const ViewEpoch> current_ AVM_GUARDED_BY(mu_);
+  uint64_t last_id_ AVM_GUARDED_BY(mu_) = 0;
+  /// The pointer is set once in the constructor and never reseated; the
+  /// pointee is guarded by its own Stats::mu.
+  const std::shared_ptr<Stats> stats_;
 };
 
 }  // namespace avm

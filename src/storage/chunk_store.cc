@@ -1,5 +1,8 @@
 #include "storage/chunk_store.h"
 
+#include <utility>
+#include <vector>
+
 #include "common/check.h"
 #include "telemetry/metrics.h"
 
@@ -36,6 +39,7 @@ void ReleaseEpochPin() {
 uint64_t ChunkStore::Put(ArrayId array, ChunkId chunk,
                          Chunk data) {  // avm-lint: allow(chunk-by-value)
   const uint64_t bytes = data.SizeBytes();
+  MutexLock lock(mu_);
   if (TelemetryEnabled()) {
     auto it = chunks_.find(Key{array, chunk});
     const bool existed = it != chunks_.end();
@@ -53,6 +57,7 @@ uint64_t ChunkStore::PutHandle(ArrayId array, ChunkId chunk,
                                ChunkHandle data) {
   AVM_CHECK(data != nullptr) << "PutHandle of a null chunk handle";
   const uint64_t bytes = data->SizeBytes();
+  MutexLock lock(mu_);
   if (TelemetryEnabled()) {
     auto it = chunks_.find(Key{array, chunk});
     const bool existed = it != chunks_.end();
@@ -74,16 +79,19 @@ uint64_t ChunkStore::PutHandle(ArrayId array, ChunkId chunk,
 }
 
 const Chunk* ChunkStore::Get(ArrayId array, ChunkId chunk) const {
+  MutexLock lock(mu_);
   auto it = chunks_.find(Key{array, chunk});
   return it == chunks_.end() ? nullptr : it->second.get();
 }
 
 ChunkHandle ChunkStore::GetHandle(ArrayId array, ChunkId chunk) const {
+  MutexLock lock(mu_);
   auto it = chunks_.find(Key{array, chunk});
   return it == chunks_.end() ? nullptr : it->second;
 }
 
 Chunk* ChunkStore::GetMutable(ArrayId array, ChunkId chunk) {
+  MutexLock lock(mu_);
   auto it = chunks_.find(Key{array, chunk});
   if (it == chunks_.end()) return nullptr;
   if (it->second.use_count() > 1 || EpochPinsActive() > 0) {
@@ -103,6 +111,7 @@ Chunk* ChunkStore::GetMutable(ArrayId array, ChunkId chunk) {
 
 Chunk& ChunkStore::GetOrCreate(ArrayId array, ChunkId chunk, size_t num_dims,
                                size_t num_attrs) {
+  MutexLock lock(mu_);
   auto it = chunks_.find(Key{array, chunk});
   if (it == chunks_.end()) {
     it = chunks_
@@ -122,15 +131,18 @@ Chunk& ChunkStore::GetOrCreate(ArrayId array, ChunkId chunk, size_t num_dims,
 }
 
 bool ChunkStore::Contains(ArrayId array, ChunkId chunk) const {
+  MutexLock lock(mu_);
   return chunks_.find(Key{array, chunk}) != chunks_.end();
 }
 
 bool ChunkStore::IsAliased(ArrayId array, ChunkId chunk) const {
+  MutexLock lock(mu_);
   auto it = chunks_.find(Key{array, chunk});
   return it != chunks_.end() && it->second.use_count() > 1;
 }
 
 bool ChunkStore::Erase(ArrayId array, ChunkId chunk) {
+  MutexLock lock(mu_);
   if (TelemetryEnabled()) {
     auto it = chunks_.find(Key{array, chunk});
     if (it == chunks_.end()) return false;
@@ -142,12 +154,14 @@ bool ChunkStore::Erase(ArrayId array, ChunkId chunk) {
 }
 
 uint64_t ChunkStore::SizeBytes() const {
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& [key, chunk] : chunks_) total += chunk->SizeBytes();
   return total;
 }
 
 ChunkStore::FormatResidency ChunkStore::ResidencyByFormat() const {
+  MutexLock lock(mu_);
   FormatResidency r;
   for (const auto& [key, chunk] : chunks_) {
     if (chunk->rep() == ChunkRep::kSparse) {
@@ -163,10 +177,21 @@ ChunkStore::FormatResidency ChunkStore::ResidencyByFormat() const {
 
 void ChunkStore::ForEach(
     const std::function<void(ArrayId, ChunkId, const Chunk&)>& fn) const {
-  for (const auto& [key, chunk] : chunks_) fn(key.first, key.second, *chunk);
+  // Snapshot the entries (handles keep the chunks alive) so fn runs outside
+  // the lock and may call back into this store without self-deadlocking.
+  std::vector<std::pair<Key, ChunkHandle>> entries;
+  {
+    MutexLock lock(mu_);
+    entries.reserve(chunks_.size());
+    for (const auto& [key, chunk] : chunks_) entries.emplace_back(key, chunk);
+  }
+  for (const auto& [key, chunk] : entries) {
+    fn(key.first, key.second, *chunk);
+  }
 }
 
 void ChunkStore::CheckInvariants() const {
+  MutexLock lock(mu_);
   for (const auto& [key, chunk] : chunks_) {
     AVM_CHECK(chunk != nullptr)
         << "store entry (" << key.first << ", " << key.second
@@ -176,6 +201,7 @@ void ChunkStore::CheckInvariants() const {
 }
 
 size_t ChunkStore::EraseArray(ArrayId array) {
+  MutexLock lock(mu_);
   size_t dropped = 0;
   int64_t bytes_dropped = 0;
   const bool telemetry = TelemetryEnabled();

@@ -9,6 +9,7 @@
 
 #include "array/chunk.h"
 #include "array/coords.h"
+#include "common/mutex.h"
 #include "common/result.h"
 
 namespace avm {
@@ -67,13 +68,17 @@ inline void SetChunkAliasingEnabled(bool enabled) {
 /// the same Chunk — copy-on-write, so moving a chunk is a refcount bump and
 /// the bytes are duplicated only when a store mutates its copy.
 ///
-/// Concurrency contract: all mutating entry points (Put/PutHandle/
-/// GetMutable/GetOrCreate/Erase) must be called with the store's *map*
-/// externally quiesced — in this codebase, from the executor's control
-/// thread or from a parallel phase in which each task owns disjoint chunks.
-/// Concurrent *readers of other stores* aliasing the same Chunk are always
-/// safe: a COW break replaces this store's handle with a fresh deep copy and
-/// never touches the shared original.
+/// Concurrency contract: the chunk *map* is protected by an internal
+/// annotated mutex (LockRank::kChunkStore), so concurrent map lookups and
+/// handle puts are safe as such. What the lock deliberately does NOT cover
+/// is the *chunk data* a Get/GetMutable/GetOrCreate result points at: those
+/// escape the critical section by design (mutation happens outside the
+/// lock), so mutating entry points still require the chunk to be externally
+/// quiesced — in this codebase, the executor's control thread or a parallel
+/// phase in which each task owns disjoint chunks. Concurrent *readers of
+/// other stores* aliasing the same Chunk are always safe: a COW break
+/// replaces this store's handle with a fresh deep copy and never touches
+/// the shared original.
 ///
 /// Snapshot serving (src/serve) adds concurrent readers that hold chunk
 /// handles *without* touching any store: a published ViewEpoch pins a set of
@@ -94,8 +99,10 @@ class ChunkStore {
   ChunkStore() = default;
   ChunkStore(const ChunkStore&) = delete;
   ChunkStore& operator=(const ChunkStore&) = delete;
-  ChunkStore(ChunkStore&&) = default;
-  ChunkStore& operator=(ChunkStore&&) = default;
+  // Non-movable: the internal mutex pins the store (Cluster keeps nodes in
+  // a deque for exactly this reason).
+  ChunkStore(ChunkStore&&) = delete;
+  ChunkStore& operator=(ChunkStore&&) = delete;
 
   /// Stores (or replaces) a chunk by value (fresh data the store becomes the
   /// first owner of). Returns the stored chunk's size in bytes.
@@ -140,7 +147,10 @@ class ChunkStore {
   bool Erase(ArrayId array, ChunkId chunk);
 
   /// Number of chunks held (all arrays).
-  size_t NumChunks() const { return chunks_.size(); }
+  size_t NumChunks() const {
+    MutexLock lock(mu_);
+    return chunks_.size();
+  }
 
   /// Total bytes held (all arrays). Aliased replicas count in full on every
   /// store holding them: this is the *logical* residency the simulated cost
@@ -159,8 +169,10 @@ class ChunkStore {
   FormatResidency ResidencyByFormat() const;
 
   /// Invokes fn(array, chunk_id, chunk) for every stored chunk in key order.
+  /// Iterates over a snapshot of the entries taken under the lock, with fn
+  /// invoked outside it, so fn may call back into this store.
   void ForEach(const std::function<void(ArrayId, ChunkId, const Chunk&)>& fn)
-      const;
+      const AVM_EXCLUDES(mu_);
 
   /// Removes every chunk belonging to `array`; returns how many were dropped.
   size_t EraseArray(ArrayId array);
@@ -174,11 +186,15 @@ class ChunkStore {
   void CheckInvariants() const;
 
  private:
+  /// Protects the map (entries and their handle slots), not the pointed-to
+  /// chunk bytes — see the class concurrency contract.
+  mutable Mutex mu_{"ChunkStore.mu", LockRank::kChunkStore};
+
   /// Entries are non-const internally; Get/GetHandle project constness out.
   /// Every stored Chunk was created by a ChunkStore via make_shared<Chunk>
   /// (never from a genuinely const object), so PutHandle's
   /// const_pointer_cast back to the mutable type is sound.
-  std::map<Key, std::shared_ptr<Chunk>> chunks_;
+  std::map<Key, std::shared_ptr<Chunk>> chunks_ AVM_GUARDED_BY(mu_);
 };
 
 }  // namespace avm

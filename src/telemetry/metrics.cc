@@ -64,7 +64,7 @@ MetricsRegistry::MetricShard* MetricsRegistry::LocalShard() {
   if (shard == nullptr) {
     auto owned = std::make_unique<MetricShard>();
     shard = owned.get();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shards_.push_back(std::move(owned));
   }
   return shard;
@@ -95,7 +95,7 @@ void MetricsRegistry::Record(HistogramId id, double seconds) {
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& shard : shards_) {
     for (size_t i = 0; i < kNumCounters; ++i) {
       snapshot.counters[i] +=
@@ -115,7 +115,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetForTesting() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& shard : shards_) {
     for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
     for (auto& hist : shard->histograms) {
@@ -126,7 +126,7 @@ void MetricsRegistry::ResetForTesting() {
 }
 
 size_t MetricsRegistry::NumShardsForTesting() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return shards_.size();
 }
 

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "telemetry/telemetry.h"
 
 /// Metrics registry: monotonic counters and latency histograms on a
@@ -94,8 +94,10 @@ class MetricsRegistry {
 
   MetricShard* LocalShard();
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<MetricShard>> shards_;
+  /// Protects shard registration and enumeration only; the shard *contents*
+  /// are relaxed atomics written lock-free by their owning threads.
+  mutable Mutex mu_{"MetricsRegistry.mu", LockRank::kMetricsRegistry};
+  std::vector<std::unique_ptr<MetricShard>> shards_ AVM_GUARDED_BY(mu_);
   std::array<std::atomic<int64_t>, kNumGauges> gauges_{};
 };
 

@@ -43,8 +43,13 @@ TraceCollector::ThreadBuffer* TraceCollector::LocalBuffer() {
     // threads that emit a handful of events never pay for a full buffer.
     auto owned = std::make_unique<ThreadBuffer>();
     buffer = owned.get();
-    std::lock_guard<std::mutex> lock(mu_);
-    buffer->tid = next_tid_++;
+    MutexLock lock(mu_);
+    {
+      // Nobody else can reach the buffer yet, but tid is guarded by the
+      // buffer lock; collector mutex (rank 70) before buffer (rank 80).
+      MutexLock buffer_lock(buffer->mu);
+      buffer->tid = next_tid_++;
+    }
     buffers_.push_back(std::move(owned));
   }
   return buffer;
@@ -52,7 +57,7 @@ TraceCollector::ThreadBuffer* TraceCollector::LocalBuffer() {
 
 void TraceCollector::Emit(const TraceEvent& event) {
   ThreadBuffer* buffer = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buffer->mu);
+  MutexLock lock(buffer->mu);
   TraceEvent stamped = event;
   if (stamped.tid < 0) stamped.tid = buffer->tid;
   if (buffer->ring.size() < kTraceBufferCapacity) {
@@ -66,9 +71,9 @@ void TraceCollector::Emit(const TraceEvent& event) {
 
 std::vector<TraceEvent> TraceCollector::Collect() const {
   std::vector<TraceEvent> events;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(buffer->mu);
     events.insert(events.end(), buffer->ring.begin(), buffer->ring.end());
   }
   std::sort(events.begin(), events.end(),
@@ -81,16 +86,16 @@ std::vector<TraceEvent> TraceCollector::Collect() const {
 }
 
 void TraceCollector::ResetForTesting() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(buffer->mu);
     buffer->ring.clear();
     buffer->appended = 0;
   }
 }
 
 size_t TraceCollector::NumBuffersForTesting() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return buffers_.size();
 }
 

@@ -2,10 +2,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "telemetry/telemetry.h"
 
 /// Tracing layer: RAII spans collected into per-thread ring buffers and
@@ -86,18 +86,23 @@ class TraceCollector {
  private:
   TraceCollector() = default;
 
+  /// Each buffer carries its own lock, ranked after the collector's: export
+  /// holds the collector mutex while visiting every buffer, and registration
+  /// holds it while stamping the new buffer's tid under the buffer lock.
   struct ThreadBuffer {
-    mutable std::mutex mu;
-    int32_t tid = 0;
-    uint64_t appended = 0;  // total ever; size = min(appended, capacity)
-    std::vector<TraceEvent> ring;
+    mutable Mutex mu{"TraceCollector.buffer", LockRank::kTraceBuffer};
+    int32_t tid AVM_GUARDED_BY(mu) = 0;
+    /// Total ever appended; ring size = min(appended, capacity).
+    uint64_t appended AVM_GUARDED_BY(mu) = 0;
+    std::vector<TraceEvent> ring AVM_GUARDED_BY(mu);
   };
 
   ThreadBuffer* LocalBuffer();
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
-  int32_t next_tid_ = 1;
+  /// Protects buffer registration/enumeration and tid assignment.
+  mutable Mutex mu_{"TraceCollector.mu", LockRank::kTraceCollector};
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ AVM_GUARDED_BY(mu_);
+  int32_t next_tid_ AVM_GUARDED_BY(mu_) = 1;
 };
 
 /// RAII span. Records [construction, destruction) as one complete event on

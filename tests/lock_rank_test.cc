@@ -1,0 +1,112 @@
+#include "common/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/check.h"
+
+// ThreadSanitizer has its own lock-order-inversion detector, which
+// (correctly) flags the deliberately inverted schedules in the Release
+// branches below. Those branches exist to prove the rank checker compiles
+// out, not to exercise TSan, so they skip under it.
+#if defined(__SANITIZE_THREAD__)
+#define AVM_TEST_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define AVM_TEST_UNDER_TSAN 1
+#endif
+#endif
+#ifndef AVM_TEST_UNDER_TSAN
+#define AVM_TEST_UNDER_TSAN 0
+#endif
+
+namespace avm {
+namespace {
+
+constexpr bool kUnderTsan = AVM_TEST_UNDER_TSAN != 0;
+
+// The runtime half of the concurrency-correctness story (the static half is
+// the clang -Wthread-safety CI leg): in Debug builds every acquisition must
+// have a rank strictly greater than every lock the thread already holds.
+// Release builds compile the tracking out, so the same schedules must run
+// silently there — these tests assert both behaviors from one source.
+
+TEST(LockRankTest, AscendingAcquisitionPassesInEveryBuildMode) {
+  Mutex low{"rank_test.low", LockRank::kChunkStore};
+  Mutex high{"rank_test.high", LockRank::kEpochManager};
+  MutexLock outer(low);
+  MutexLock inner(high);
+  SUCCEED();
+}
+
+TEST(LockRankTest, RankResetsOnceTheLockIsReleased) {
+  Mutex low{"rank_test.low", LockRank::kChunkStore};
+  Mutex high{"rank_test.high", LockRank::kEpochManager};
+  // high then low is fine when they are never held together.
+  {
+    MutexLock lock(high);
+  }
+  {
+    MutexLock lock(low);
+  }
+  SUCCEED();
+}
+
+TEST(LockRankTest, DescendingAcquisitionFiresWithBothLockNames) {
+  Mutex low{"rank_test.low", LockRank::kChunkStore};
+  Mutex high{"rank_test.high", LockRank::kEpochManager};
+  MutexLock hold(high);
+  if constexpr (kDebugChecksEnabled) {
+    ScopedThrowingCheckHandler guard;
+    try {
+      low.Lock();
+      low.Unlock();
+      FAIL() << "descending-rank acquisition did not fire";
+    } catch (const CheckFailedError& error) {
+      // The diagnostic must identify the offending acquisition AND what the
+      // thread already held — that pair is the whole debugging value.
+      const std::string what = error.what();
+      EXPECT_NE(what.find("rank_test.low"), std::string::npos) << what;
+      EXPECT_NE(what.find("rank_test.high"), std::string::npos) << what;
+    }
+  } else if (!kUnderTsan) {
+    // Release: the bookkeeping is compiled out; the same schedule is silent.
+    low.Lock();
+    low.Unlock();
+  }
+}
+
+TEST(LockRankTest, EqualRankIsAnOrderViolation) {
+  // Two leaf locks promise they are each the *last* lock acquired; holding
+  // both at once breaks that promise (and is how ABBA deadlocks start).
+  Mutex first{"rank_test.leaf_a"};
+  Mutex second{"rank_test.leaf_b"};
+  MutexLock hold(first);
+  if constexpr (kDebugChecksEnabled) {
+    ScopedThrowingCheckHandler guard;
+    try {
+      second.Lock();
+      second.Unlock();
+      FAIL() << "equal-rank acquisition did not fire";
+    } catch (const CheckFailedError& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find("rank_test.leaf_a"), std::string::npos) << what;
+      EXPECT_NE(what.find("rank_test.leaf_b"), std::string::npos) << what;
+    }
+  } else if (!kUnderTsan) {
+    second.Lock();
+    second.Unlock();
+  }
+}
+
+TEST(LockRankTest, ReleasingAnUnheldLockFiresInDebug) {
+  Mutex mu{"rank_test.unheld"};
+  if constexpr (kDebugChecksEnabled) {
+    ScopedThrowingCheckHandler guard;
+    EXPECT_THROW(mutex_internal::RecordRelease(mu), CheckFailedError);
+  }
+}
+
+}  // namespace
+}  // namespace avm

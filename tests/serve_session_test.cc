@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -10,6 +9,7 @@
 #include <vector>
 
 #include "aql/session.h"
+#include "common/mutex.h"
 #include "tests/test_util.h"
 
 namespace avm::aql {
@@ -133,7 +133,7 @@ TEST_F(ServeSessionTest, ReadersNeverObserveATornViewSet) {
     SparseArray va;
     SparseArray vb;
   };
-  std::mutex mu;
+  Mutex mu{"test.torn_view_oracle"};
   std::map<uint64_t, Pair> expected;   // control thread, post-statement
   std::map<uint64_t, Pair> observed;   // reader, first observation per epoch
   std::atomic<bool> stop{false};
@@ -144,7 +144,7 @@ TEST_F(ServeSessionTest, ReadersNeverObserveATornViewSet) {
                          session_.GetView("VA")->GatherFinalized());
     ASSERT_OK_AND_ASSIGN(SparseArray vb,
                          session_.GetView("VB")->GatherFinalized());
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     expected.emplace(epoch, Pair{std::move(va), std::move(vb)});
   };
   record_expected(session_.epoch_manager().current_epoch_id());
@@ -158,7 +158,7 @@ TEST_F(ServeSessionTest, ReadersNeverObserveATornViewSet) {
           session_.Query(snapshot, SnapshotQuery{"VB", {}, {}});
       if (!va.ok() || !vb.ok()) continue;
       reads.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       if (observed.count(va.value().epoch_id) == 0) {
         observed.emplace(va.value().epoch_id,
                          Pair{std::move(va.value().finalized),

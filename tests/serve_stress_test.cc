@@ -3,7 +3,6 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -11,6 +10,7 @@
 #include <vector>
 
 #include "array/chunk.h"
+#include "common/mutex.h"
 #include "maintenance/deletions.h"
 #include "serve/epoch_manager.h"
 #include "serve/snapshot_query.h"
@@ -70,17 +70,20 @@ void RunConcurrentReaderStress(DensificationMode mode, uint64_t seed) {
   EpochManager manager;
 
   // Expected finalized content per published epoch, registered pre-publish.
-  std::mutex oracle_mu;
+  // Test mutexes rank kLeaf (the default): acquired last, so they must not
+  // be held across manager calls — the manager's own locks rank lower.
+  Mutex oracle_mu{"test.oracle"};
   std::map<uint64_t, SparseArray> expected;
 
   auto publish_with_oracle = [&]() {
     ASSERT_OK_AND_ASSIGN(SparseArray finalized, view->GatherFinalized());
+    const uint64_t next_id = manager.current_epoch_id() + 1;
     {
-      std::lock_guard<std::mutex> lock(oracle_mu);
-      expected.emplace(manager.current_epoch_id() + 1, std::move(finalized));
+      MutexLock lock(oracle_mu);
+      expected.emplace(next_id, std::move(finalized));
     }
     const uint64_t id = manager.Publish({EpochManager::PinView(*view)});
-    std::lock_guard<std::mutex> lock(oracle_mu);
+    MutexLock lock(oracle_mu);
     ASSERT_TRUE(expected.count(id) == 1)
         << "published id " << id << " skipped the registered expectation";
   };
@@ -105,10 +108,10 @@ void RunConcurrentReaderStress(DensificationMode mode, uint64_t seed) {
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> queries_served{0};
-  std::mutex failures_mu;
+  Mutex failures_mu{"test.failures"};
   std::vector<std::string> failures;
   auto fail = [&](std::string message) {
-    std::lock_guard<std::mutex> lock(failures_mu);
+    MutexLock lock(failures_mu);
     failures.push_back(std::move(message));
   };
 
@@ -133,22 +136,27 @@ void RunConcurrentReaderStress(DensificationMode mode, uint64_t seed) {
           return;
         }
         last_seen = epoch;
+        // The oracle check runs under oracle_mu; fail() takes the (equally
+        // leaf-ranked) failures mutex, so report only after releasing.
+        std::string mismatch;
         {
-          std::lock_guard<std::mutex> lock(oracle_mu);
+          MutexLock lock(oracle_mu);
           auto it = expected.find(epoch);
           if (it == expected.end()) {
-            fail("reader " + std::to_string(r) + ": observed epoch " +
-                 std::to_string(epoch) + " was never registered");
-            return;
+            mismatch = "reader " + std::to_string(r) + ": observed epoch " +
+                       std::to_string(epoch) + " was never registered";
+          } else if (!result.value().finalized.ContentEquals(it->second,
+                                                             0.0)) {
+            // Bit-match (tolerance 0): the result must be exactly the
+            // finalized content of the published epoch, not a torn blend.
+            mismatch = "reader " + std::to_string(r) +
+                       ": result diverged from epoch " +
+                       std::to_string(epoch) + " (torn read?)";
           }
-          // Bit-match (tolerance 0): the result must be exactly the
-          // finalized content of the published epoch, not a torn blend.
-          if (!result.value().finalized.ContentEquals(it->second, 0.0)) {
-            fail("reader " + std::to_string(r) +
-                 ": result diverged from epoch " + std::to_string(epoch) +
-                 " (torn read?)");
-            return;
-          }
+        }
+        if (!mismatch.empty()) {
+          fail(std::move(mismatch));
+          return;
         }
         queries_served.fetch_add(1, std::memory_order_relaxed);
       }

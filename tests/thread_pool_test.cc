@@ -3,10 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace avm {
 namespace {
@@ -73,10 +74,10 @@ TEST(ThreadPoolTest, ParallelForReusableAcrossCalls) {
 
 TEST(ThreadPoolTest, ParallelForUsesMultipleThreadsWhenAvailable) {
   ThreadPool pool(4);
-  std::mutex mu;
+  Mutex mu;
   std::set<std::thread::id> ids;
   pool.ParallelFor(256, [&](size_t) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     ids.insert(std::this_thread::get_id());
   });
   // The caller thread always participates; with 3 workers more may join. On

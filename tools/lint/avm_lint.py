@@ -58,6 +58,29 @@ chunk-rep-access      sparse-row / OffsetIndex access (OffsetOfRow,
                       ForEachCellWithOffset/VisitCells, UpsertChunk/
                       AccumulateChunk, dense_view(). tests/ and bench/ stay
                       exempt (they exercise both representations directly).
+raw-mutex             ``std::mutex`` / ``lock_guard`` / ``unique_lock`` /
+                      ``condition_variable`` (or their headers) anywhere
+                      outside ``src/common/``. Locking goes through
+                      avm::Mutex / MutexLock / CondVar (common/mutex.h):
+                      those carry Clang Thread Safety annotations — so the
+                      CI ``-Wthread-safety`` leg can prove lock discipline —
+                      and a LockRank the Debug deadlock checker enforces; a
+                      raw std::mutex is invisible to both.
+unguarded-mutex-member  a mutable data member of a class that owns an
+                      avm::Mutex but carries no AVM_GUARDED_BY /
+                      AVM_PT_GUARDED_BY annotation. Atomic, const, static,
+                      Mutex/CondVar members and nested type definitions are
+                      exempt; a member genuinely protected by something
+                      else (single-writer protocol, external quiescence)
+                      documents that with an explicit allow(). This is also
+                      the check that makes deleting an existing
+                      AVM_GUARDED_BY fail CI even on compilers without the
+                      analysis.
+stale-allow           an ``avm-lint: allow(<rule>)`` comment that
+                      suppressed nothing in this run: the finding was
+                      fixed, the rule renamed, or it never applied here.
+                      Stale allows rot — they silently disable the rule for
+                      whatever lands on that line next. Not suppressible.
 """
 
 from __future__ import annotations
@@ -185,6 +208,32 @@ CHUNK_REP_ACCESS_RE = re.compile(
     r"(?<![\w_])(?:OffsetOfRow|CoordOfRow|ValuesOfRow|MutableValuesOfRow|"
     r"GetOrCreateRow|RowOffsets|RowCoords|RowValues|OffsetIndex)(?![\w_])")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+# Raw standard-library locking, invisible to thread-safety analysis and the
+# lock-rank checker (see the raw-mutex rule docstring).
+RAW_MUTEX_RE = re.compile(
+    r"std\s*::\s*(?:recursive_|timed_|recursive_timed_|shared_)?mutex(?![\w_])"
+    r"|std\s*::\s*(?:lock_guard|unique_lock|scoped_lock|shared_lock)(?![\w_])"
+    r"|std\s*::\s*condition_variable(?:_any)?(?![\w_])"
+    r"|#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>")
+# A data member of avm::Mutex type: marks the enclosing class as subject to
+# the unguarded-mutex-member rule.
+MUTEX_MEMBER_RE = re.compile(r"^(?:mutable\s+)?Mutex\s+\w+")
+GUARD_ANNOT_RE = re.compile(r"AVM_(?:PT_)?GUARDED_BY\s*\(")
+CLASS_INTRO_RE = re.compile(r"(?<![\w_])(?:class|struct|union)\s+\w")
+ENUM_INTRO_RE = re.compile(r"(?<![\w_])enum(?![\w_])")
+# Member statements never checked for a guard: immutable or self-
+# synchronized kinds, nested type definitions, and the locks themselves.
+MEMBER_EXEMPT_RE = re.compile(
+    r"(?<![\w_])(?:static|constexpr|using|typedef|friend|operator|template|"
+    r"class|struct|enum|union|Mutex|CondVar)(?![\w_])"
+    r"|atomic\s*<"
+    r"|^const(?![\w_])")
+# `[mutable] Type name [= init]` after template args / brace inits are
+# stripped; anything with parentheses left is a function declaration.
+MEMBER_DECL_RE = re.compile(
+    r"^(?:mutable\s+)?[A-Za-z_][\w:]*(?:\s*[*&]+\s*|\s+)"
+    r"[A-Za-z_]\w*(?:\s*\[[^\]]*\])?\s*(?:=[^;]*)?$")
+ACCESS_LABEL_RE = re.compile(r"^\s*(?:public|private|protected)\s*:")
 
 # A bare call statement: optional qualification, a harvested name, an open
 # paren, and no '=', 'return', or other consuming context on the line.
@@ -192,6 +241,109 @@ STMT_PREFIX_BLOCKERS = re.compile(
     r"(?<![\w_])(return|if|while|for|switch|case|co_return|throw)(?![\w_])"
     r"|=|\breinterpret_cast\b|\(void\)"
 )
+
+
+def strip_all_comments(raw_lines: list[str]) -> list[str]:
+    """Comment/string-stripped lines (block comments included), structure
+    preserved, for brace-level scanning."""
+    stripped: list[str] = []
+    in_block = False
+    for raw in raw_lines:
+        line = raw
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                stripped.append("")
+                continue
+            line = " " * (end + 2) + line[end + 2:]
+            in_block = False
+        # Block comments first (a // inside /* */ must not win), then the
+        # existing //-and-literal stripper.
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + " " * (end + 2 - start) + line[end + 2:]
+        stripped.append(strip_comments_and_strings(line))
+    return stripped
+
+
+class _Scope:
+    def __init__(self, classlike: bool):
+        self.classlike = classlike
+        self.has_mutex = False
+        # (start_line, end_line, text) per top-level member statement.
+        self.stmts: list[tuple[int, int, str]] = []
+        self.text = ""
+        self.start: int | None = None
+
+
+def harvest_class_members(
+        raw_lines: list[str]) -> list[tuple[bool, list[tuple[int, int, str]]]]:
+    """Member-declaration statements of every class/struct scope.
+
+    Returns one (has_avm_mutex_member, statements) entry per class-like
+    scope. Statements are the text between `;`/brace boundaries at that
+    scope's own level — function bodies and nested types are deeper scopes
+    and excluded (nested classes get entries of their own).
+    """
+    out: list[tuple[bool, list[tuple[int, int, str]]]] = []
+    stack = [_Scope(False)]
+
+    def finalize(scope: _Scope, line_no: int) -> None:
+        text = scope.text.strip()
+        start = scope.start if scope.start is not None else line_no
+        scope.text = ""
+        scope.start = None
+        while True:
+            m = ACCESS_LABEL_RE.match(text)
+            if not m:
+                break
+            text = text[m.end():].lstrip()
+        if not text:
+            return
+        if MUTEX_MEMBER_RE.match(text):
+            scope.has_mutex = True
+        scope.stmts.append((start, line_no, text))
+
+    for line_no, line in enumerate(strip_all_comments(raw_lines), start=1):
+        for ch in line:
+            cur = stack[-1]
+            if ch == "{":
+                intro = cur.text
+                classlike = bool(CLASS_INTRO_RE.search(intro)
+                                 ) and not ENUM_INTRO_RE.search(intro)
+                stack.append(_Scope(classlike))
+            elif ch == "}":
+                done = stack.pop()
+                finalize(done, line_no)
+                if done.classlike:
+                    out.append((done.has_mutex, done.stmts))
+                if not stack:  # unbalanced; keep scanning sanely
+                    stack = [_Scope(False)]
+                    continue
+                parent = stack[-1]
+                if "(" in parent.text:
+                    # The popped scope was a function body; drop the
+                    # signature so it does not leak into the next member.
+                    parent.text = ""
+                    parent.start = None
+            elif ch == ";":
+                finalize(cur, line_no)
+            else:
+                if cur.text or not ch.isspace():
+                    if not cur.text:
+                        cur.start = line_no
+                    cur.text += ch
+        for s in stack:  # newline acts as whitespace between tokens
+            if s.text and not s.text.endswith(" "):
+                s.text += " "
+    return out
 
 
 def lint_file(path: str, status_functions: set[str]) -> list[Finding]:
@@ -205,10 +357,24 @@ def lint_file(path: str, status_functions: set[str]) -> list[Finding]:
     pending_static = False  # previous code line opened `static ... =`
     prev_code = ""  # previous non-comment code line, stripped
 
+    # (line, rule) pairs an allow() actually suppressed — the complement
+    # feeds stale-allow at the end.
+    fired: set[tuple[int, str]] = set()
+
     def report(line_no: int, rule: str, message: str) -> None:
         if rule in allowed_rules(raw_lines[line_no - 1]):
+            fired.add((line_no, rule))
             return
         findings.append(Finding(rel, line_no, rule, message))
+
+    def report_span(start: int, end: int, rule: str, message: str) -> None:
+        """Like report, but the allow may sit on any line of a multi-line
+        statement; the finding anchors to the first."""
+        for ln in range(start, min(end, len(raw_lines)) + 1):
+            if rule in allowed_rules(raw_lines[ln - 1]):
+                fired.add((ln, rule))
+                return
+        findings.append(Finding(rel, start, rule, message))
 
     # --- missing-pragma-once -------------------------------------------
     if is_header:
@@ -307,13 +473,25 @@ def lint_file(path: str, status_functions: set[str]) -> list[Finding]:
                    "std::function in a join/index hot path; use a template "
                    "parameter or compiled plan")
 
+        if RAW_MUTEX_RE.search(code) and not rel.startswith("src/common/"):
+            report(i, "raw-mutex",
+                   "raw std:: locking primitive; use avm::Mutex / MutexLock "
+                   "/ CondVar (common/mutex.h) so thread-safety analysis "
+                   "and the lock-rank checker see the lock")
+
         if (rel.startswith("src/") and not rel.startswith("src/telemetry/")
                 and CHRONO_RE.search(code)):
             report(i, "chrono",
                    "raw std::chrono outside src/telemetry/; time through "
                    "telemetry's Stopwatch / TraceNowNs / ScopedSpan")
 
-        if rel.startswith("src/") and (CHUNK_BYVAL_PARAM_RE.search(code)
+        # A parameter list wrapped by the formatter can put `Chunk name` at
+        # the start of a continuation line; re-attach the previous line's
+        # trailing '(' or ',' so the by-value pattern still sees it.
+        byval_code = code
+        if prev_code.endswith(("(", ",")):
+            byval_code = prev_code[-1] + code.lstrip()
+        if rel.startswith("src/") and (CHUNK_BYVAL_PARAM_RE.search(byval_code)
                                        or CHUNK_DEREF_COPY_RE.search(code)):
             report(i, "chunk-by-value",
                    "Chunk passed or copied by value; chunk movement is "
@@ -347,6 +525,41 @@ def lint_file(path: str, status_functions: set[str]) -> list[Finding]:
 
         if code.strip():
             prev_code = code.strip()
+
+    # --- unguarded-mutex-member ----------------------------------------
+    if rel.startswith("src/"):
+        for has_mutex, stmts in harvest_class_members(raw_lines):
+            if not has_mutex:
+                continue
+            for start, end, text in stmts:
+                if GUARD_ANNOT_RE.search(text):
+                    continue
+                if MEMBER_EXEMPT_RE.search(text):
+                    continue
+                t = re.sub(r"\{[^{}]*\}", "", text)
+                prev = None
+                while prev != t:  # peel nested template args inside out
+                    prev = t
+                    t = re.sub(r"<[^<>]*>", "", t)
+                if "(" in t or ")" in t:
+                    continue  # function declaration
+                t = re.sub(r"\s+", " ", t).strip()
+                if not MEMBER_DECL_RE.match(t):
+                    continue
+                report_span(
+                    start, end, "unguarded-mutex-member",
+                    f"member `{t}` of a mutex-owning class has no "
+                    "AVM_GUARDED_BY; annotate it (or document the actual "
+                    "protection with an allow)")
+
+    # --- stale-allow -----------------------------------------------------
+    for i, raw in enumerate(raw_lines, start=1):
+        for rule in allowed_rules(raw):
+            if (i, rule) not in fired:
+                findings.append(Finding(
+                    rel, i, "stale-allow",
+                    f"allow({rule}) suppressed nothing in this run; "
+                    "remove it"))
 
     return findings
 

@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""Self-test for avm_lint: every rule driven against positive and negative
+fixtures.
+
+Runnable two ways:
+
+    python3 tools/lint/test_avm_lint.py   # plain runner, no dependencies
+    pytest tools/lint/test_avm_lint.py    # each test_* collected normally
+
+Each fixture is a tiny virtual source tree (path -> contents) linted from a
+temporary directory, because several rules key off the path (src/ vs tests/,
+src/common/ vs the rest, hot-path files, own-header lookup).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import traceback
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import avm_lint  # noqa: E402
+
+
+def run_lint(tree: dict[str, str]) -> list[tuple[str, int, str]]:
+    """Lints a virtual source tree; returns (path, line, rule) triples."""
+    with tempfile.TemporaryDirectory() as tmp:
+        for rel, contents in tree.items():
+            path = os.path.join(tmp, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(contents)
+        cwd = os.getcwd()
+        os.chdir(tmp)
+        try:
+            roots = sorted({rel.split("/", 1)[0] for rel in tree})
+            status_functions = avm_lint.harvest_status_functions(roots)
+            findings: list[avm_lint.Finding] = []
+            for path in avm_lint.iter_files(roots):
+                findings.extend(avm_lint.lint_file(path, status_functions))
+            return [(f.path, f.line, f.rule) for f in findings]
+        finally:
+            os.chdir(cwd)
+
+
+def rules_of(findings: list[tuple[str, int, str]]) -> set[str]:
+    return {rule for (_path, _line, rule) in findings}
+
+
+HEADER = "#pragma once\n"
+
+
+def test_raw_assert():
+    bad = HEADER + "inline void F(int x) { assert(x > 0); }\n"
+    good = HEADER + "static_assert(sizeof(int) == 4);\n"
+    assert rules_of(run_lint({"src/a.h": bad})) == {"raw-assert"}
+    assert run_lint({"src/a.h": good}) == []
+
+
+def test_naked_new_allows_leaky_singleton():
+    bad = HEADER + "inline int* F() { return new int(3); }\n"
+    singleton = HEADER + "inline int& G() { static int* g = new int(3); return *g; }\n"
+    wrapped = HEADER + ("inline int& H() {\n"
+                        "  static int* h =\n"
+                        "      new int(4);\n"
+                        "  return *h;\n"
+                        "}\n")
+    assert rules_of(run_lint({"src/a.h": bad})) == {"naked-new"}
+    assert run_lint({"src/a.h": singleton}) == []
+    assert run_lint({"src/a.h": wrapped}) == []
+
+
+def test_naked_delete_vs_deleted_function():
+    bad = HEADER + "inline void F(int* p) { delete p; }\n"
+    good = HEADER + "struct S { S(const S&) = delete; };\n"
+    assert rules_of(run_lint({"src/a.h": bad})) == {"naked-delete"}
+    assert run_lint({"src/a.h": good}) == []
+
+
+def test_std_function_hot_path_only():
+    body = HEADER + "#include <functional>\ninline std::function<void()> f;\n"
+    hot = next(iter(avm_lint.HOT_PATH_FILES))
+    assert "std-function-hot-path" in rules_of(run_lint({hot: body}))
+    assert "std-function-hot-path" not in rules_of(
+        run_lint({"src/other/cold.h": body}))
+
+
+def test_missing_pragma_once():
+    assert rules_of(run_lint({"src/a.h": "inline int x = 1;\n"})) == {
+        "missing-pragma-once"}
+    assert run_lint({"src/a.cc": "int x = 1;\n"}) == []
+
+
+def test_discarded_status():
+    header = HEADER + "Status DoThing();\n"
+    bad_cc = '#include "a.h"\n\nvoid F() {\n  DoThing();\n}\n'
+    good_cc = ('#include "a.h"\n\nvoid F() {\n'
+               "  Status s = DoThing();\n  (void)s;\n}\n")
+    assert rules_of(run_lint({"src/a.h": header, "src/b.cc": bad_cc})) == {
+        "discarded-status"}
+    assert run_lint({"src/a.h": header, "src/b.cc": good_cc}) == []
+
+
+def test_include_order():
+    own_header_last = ('#include <vector>\n\n#include "a.h"\n\nint x;\n')
+    unsorted_block = ("#pragma once\n#include <vector>\n#include <array>\n")
+    relative = HEADER + '#include "../up.h"\n'
+    assert rules_of(run_lint({
+        "src/a.h": HEADER, "src/a.cc": own_header_last})) == {"include-order"}
+    assert rules_of(run_lint({"src/b.h": unsorted_block})) == {
+        "include-order"}
+    assert rules_of(run_lint({"src/c.h": relative})) == {"include-order"}
+    clean = '#include "a.h"\n\n#include <array>\n#include <vector>\n\nint x;\n'
+    assert run_lint({"src/a.h": HEADER, "src/a.cc": clean}) == []
+
+
+def test_chrono_outside_telemetry():
+    body = HEADER + "#include <chrono>\n"
+    assert rules_of(run_lint({"src/join/t.h": body})) == {"chrono"}
+    assert run_lint({"src/telemetry/t.h": body}) == []
+    assert run_lint({"tests/t.h": body}) == []
+
+
+def test_chunk_by_value():
+    param = HEADER + "void F(Chunk c);\n"
+    multiline = HEADER + ("void G(int array,\n"
+                          "       Chunk data);\n")
+    deref = HEADER + "inline void H(const Chunk* p) { Chunk c = *p; }\n"
+    byref = HEADER + "void I(const Chunk& c, ChunkId id);\n"
+    assert rules_of(run_lint({"src/a.h": param})) == {"chunk-by-value"}
+    assert rules_of(run_lint({"src/a.h": multiline})) == {"chunk-by-value"}
+    assert rules_of(run_lint({"src/a.h": deref})) == {"chunk-by-value"}
+    assert run_lint({"src/a.h": byref}) == []
+    assert run_lint({"tests/a.h": param}) == []
+
+
+def test_chunk_rep_access_outside_array():
+    body = HEADER + "inline auto F(const Chunk& c) { return c.RowOffsets(); }\n"
+    assert rules_of(run_lint({"src/join/a.h": body})) == {"chunk-rep-access"}
+    assert run_lint({"src/array/a.h": body}) == []
+    assert run_lint({"tests/a.h": body}) == []
+
+
+def test_raw_mutex_everywhere_but_common():
+    uses = [
+        HEADER + "#include <mutex>\n",
+        HEADER + "inline std::mutex g_mu;\n",
+        HEADER + "inline void F() { std::lock_guard<std::mutex> l(g); }\n",
+        HEADER + "inline std::condition_variable g_cv;\n",
+        HEADER + "#include <shared_mutex>\n",
+    ]
+    for body in uses:
+        assert "raw-mutex" in rules_of(run_lint({"src/serve/a.h": body})), body
+        assert "raw-mutex" in rules_of(run_lint({"tests/a.h": body})), body
+        assert "raw-mutex" in rules_of(run_lint({"bench/a.h": body})), body
+        assert "raw-mutex" not in rules_of(
+            run_lint({"src/common/mutex2.h": body})), body
+    wrapped = HEADER + ('#include "common/mutex.h"\n'
+                        "inline Mutex g_mu;\n"
+                        "inline void F() { MutexLock lock(g_mu); }\n")
+    assert run_lint({"src/serve/a.h": wrapped}) == []
+
+
+GUARDED_CLASS = HEADER + """
+class Good {
+ public:
+  int Get() const;
+
+ private:
+  mutable Mutex mu_{"Good.mu", LockRank::kLeaf};
+  std::vector<int> items_ AVM_GUARDED_BY(mu_);
+  std::map<int, std::shared_ptr<Thing>> lookup_
+      AVM_GUARDED_BY(mu_);
+  uint64_t hits_ AVM_GUARDED_BY(mu_) = 0;
+  std::atomic<int> counter_{0};
+  const int capacity_ = 4;
+  static constexpr int kLimit = 8;
+  CondVar ready_;
+  struct Nested {
+    int not_checked_here = 0;
+  };
+};
+"""
+
+UNGUARDED_CLASS = HEADER + """
+class Bad {
+ private:
+  Mutex mu_;
+  std::vector<int> items_;
+};
+"""
+
+
+def test_unguarded_mutex_member():
+    assert run_lint({"src/a.h": GUARDED_CLASS}) == []
+    findings = run_lint({"src/a.h": UNGUARDED_CLASS})
+    assert rules_of(findings) == {"unguarded-mutex-member"}
+    assert len(findings) == 1
+    # No mutex in the class -> members need no annotation.
+    no_mutex = UNGUARDED_CLASS.replace("  Mutex mu_;\n", "")
+    assert run_lint({"src/a.h": no_mutex}) == []
+    # tests/ and bench/ are out of scope for this rule.
+    assert run_lint({"tests/a.h": UNGUARDED_CLASS}) == []
+    # An allow() on the member documents external protection.
+    allowed = UNGUARDED_CLASS.replace(
+        "std::vector<int> items_;",
+        "std::vector<int> items_;"
+        "  // avm-lint: allow(unguarded-mutex-member)")
+    assert run_lint({"src/a.h": allowed}) == []
+    # ... including on the continuation line of a wrapped declaration.
+    wrapped = UNGUARDED_CLASS.replace(
+        "std::vector<int> items_;",
+        "std::vector<int>\n"
+        "      items_;  // avm-lint: allow(unguarded-mutex-member)")
+    assert run_lint({"src/a.h": wrapped}) == []
+
+
+def test_unguarded_mutex_member_reports_annotation_removal():
+    """Deleting an AVM_GUARDED_BY from a guarded member must be caught —
+    this is the CI tripwire for annotation rot."""
+    stripped = GUARDED_CLASS.replace(" AVM_GUARDED_BY(mu_)", "", 1)
+    findings = run_lint({"src/a.h": stripped})
+    assert rules_of(findings) == {"unguarded-mutex-member"}
+
+
+def test_stale_allow():
+    stale = HEADER + "inline int x = 1;  // avm-lint: allow(raw-assert)\n"
+    findings = run_lint({"src/a.h": stale})
+    assert rules_of(findings) == {"stale-allow"}
+    # A live allow is not stale (and suppresses its finding).
+    live = HEADER + ("inline void F(int x) "
+                     "{ assert(x); }  // avm-lint: allow(raw-assert)\n")
+    assert run_lint({"src/a.h": live}) == []
+    # A misspelled rule name can never fire -> stale.
+    typo = HEADER + ("inline void F(int x) "
+                     "{ assert(x); }  // avm-lint: allow(raw-asert)\n")
+    assert rules_of(run_lint({"src/a.h": typo})) == {"raw-assert",
+                                                     "stale-allow"}
+
+
+def main() -> int:
+    tests = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    failed = 0
+    for name, fn in tests:
+        try:
+            fn()
+            print(f"PASS {name}")
+        except Exception:  # noqa: BLE001 — report and keep going
+            failed += 1
+            print(f"FAIL {name}")
+            traceback.print_exc()
+    print(f"{len(tests) - failed}/{len(tests)} lint self-tests passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
