@@ -441,4 +441,96 @@ Result<SparseArray> LoadArrayFromFile(const std::string& path) {
   return LoadArray(in);
 }
 
+namespace {
+constexpr char kMagicChunk[8] = {'A', 'V', 'M', 'C', 'H', 'K', '0', '1'};
+}  // namespace
+
+Status SaveChunk(const Chunk& chunk, std::ostream& out) {
+  out.write(kMagicChunk, sizeof(kMagicChunk));
+  WriteU64(out, chunk.num_dims());
+  WriteU64(out, chunk.num_attrs());
+  if (chunk.rep() == ChunkRep::kSparse) {
+    WriteU64(out, kRepTagSparse);
+    WriteBlock<uint64_t>(out, chunk.RowOffsets());
+    WriteBlock<int64_t>(out, chunk.RowCoords());
+    WriteBlock<double>(out, chunk.RowValues());
+  } else {
+    const DenseChunkView dv = chunk.dense_view();
+    WriteU64(out, kRepTagDense);
+    WriteBlock<int64_t>(out, {dv.origin, chunk.num_dims()});
+    WriteBlock<int64_t>(out, {dv.extents, chunk.num_dims()});
+    WriteU64(out, dv.volume);
+    WriteBlock<uint64_t>(out, {dv.bitmap, (dv.volume + 63) / 64});
+    WriteBlock<double>(out, {dv.lanes, dv.volume * chunk.num_attrs()});
+  }
+  if (!out.good()) return Status::Internal("chunk write failed");
+  return Status::OK();
+}
+
+Result<Chunk> LoadChunk(std::istream& in) {
+  char magic[sizeof(kMagicChunk)];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagicChunk, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("not an avm chunk section (bad magic)");
+  }
+  AVM_ASSIGN_OR_RETURN(uint64_t num_dims, ReadU64(in));
+  AVM_ASSIGN_OR_RETURN(uint64_t num_attrs, ReadU64(in));
+  if (num_dims == 0 || num_dims > 64) {
+    return Status::InvalidArgument("implausible chunk dimensionality");
+  }
+  if (num_attrs == 0 || num_attrs > 4096) {
+    return Status::InvalidArgument("implausible chunk attribute count");
+  }
+  AVM_ASSIGN_OR_RETURN(uint64_t rep, ReadU64(in));
+  Chunk chunk(static_cast<size_t>(num_dims), static_cast<size_t>(num_attrs));
+  if (rep == kRepTagSparse) {
+    constexpr uint64_t kMaxCellsPerChunk = 1ull << 32;
+    AVM_ASSIGN_OR_RETURN(
+        std::vector<uint64_t> offsets,
+        ReadBlock<uint64_t>(in, kMaxCellsPerChunk, "offset"));
+    AVM_ASSIGN_OR_RETURN(
+        std::vector<int64_t> coords,
+        ReadBlock<int64_t>(in, offsets.size() * num_dims, "coordinate"));
+    AVM_ASSIGN_OR_RETURN(
+        std::vector<double> values,
+        ReadBlock<double>(in, offsets.size() * num_attrs, "value"));
+    AVM_RETURN_IF_ERROR(chunk.AdoptRows(std::move(offsets), std::move(coords),
+                                        std::move(values)));
+    return chunk;
+  }
+  if (rep != kRepTagDense) {
+    return Status::InvalidArgument(
+        "unknown representation tag in chunk section");
+  }
+  AVM_ASSIGN_OR_RETURN(std::vector<int64_t> origin,
+                       ReadBlock<int64_t>(in, num_dims, "origin"));
+  AVM_ASSIGN_OR_RETURN(std::vector<int64_t> extents,
+                       ReadBlock<int64_t>(in, num_dims, "extent"));
+  if (origin.size() != num_dims || extents.size() != num_dims) {
+    return Status::InvalidArgument("chunk box block lengths disagree");
+  }
+  uint64_t expected_volume = 1;
+  for (const int64_t e : extents) {
+    if (e <= 0) return Status::InvalidArgument("non-positive chunk extent");
+    expected_volume *= static_cast<uint64_t>(e);
+    if (expected_volume > kMaxDenseVolume) {
+      return Status::InvalidArgument("implausible dense chunk volume");
+    }
+  }
+  AVM_ASSIGN_OR_RETURN(uint64_t volume, ReadU64(in));
+  if (volume != expected_volume) {
+    return Status::InvalidArgument(
+        "dense chunk volume disagrees with its stored extents");
+  }
+  const uint64_t bitmap_words = (volume + 63) / 64;
+  AVM_ASSIGN_OR_RETURN(std::vector<uint64_t> bitmap,
+                       ReadBlock<uint64_t>(in, bitmap_words, "bitmap"));
+  AVM_ASSIGN_OR_RETURN(std::vector<double> lanes,
+                       ReadBlock<double>(in, volume * num_attrs, "lane"));
+  AVM_RETURN_IF_ERROR(chunk.AdoptDense(std::move(origin), std::move(extents),
+                                       std::move(bitmap), std::move(lanes)));
+  return chunk;
+}
+
 }  // namespace avm

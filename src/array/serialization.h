@@ -55,5 +55,17 @@ Result<SparseArray> LoadArray(std::istream& in);
 Status SaveArrayToFile(const SparseArray& array, const std::string& path);
 Result<SparseArray> LoadArrayFromFile(const std::string& path);
 
+/// Single-chunk spill persistence (AVMCHK01): a self-describing section —
+/// magic, dimensionality, attribute count, representation tag — followed by
+/// the same bulk blocks AVMARR03 writes per chunk. Unlike the array format,
+/// a dense section stores its own box origin and extents, because a spilled
+/// chunk is reloaded without a grid in hand. Structural invariants are
+/// re-validated on load (AdoptRows/AdoptDense reject inconsistent buffers);
+/// geometry against a grid remains the caller's check, exactly as it was
+/// when the chunk first entered its store. This is the buffer manager's
+/// spill format (src/buffer).
+Status SaveChunk(const Chunk& chunk, std::ostream& out);
+Result<Chunk> LoadChunk(std::istream& in);
+
 }  // namespace avm
 

@@ -1,0 +1,245 @@
+#include "buffer/buffer_manager.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "common/check.h"
+#include "telemetry/metrics.h"
+
+namespace avm {
+
+/// Per-store BufferBackend: routes spill I/O to the store's own file and
+/// residency notifications to the owning manager. Immutable after
+/// construction, so the store may call through it with no coordination
+/// beyond the file's and manager's own locks.
+class BufferManager::StoreBinding final : public BufferBackend {
+ public:
+  StoreBinding(BufferManager* manager, ChunkStore* store,
+               std::unique_ptr<SpillFile> file)
+      : manager_(manager), store_(store), file_(std::move(file)) {}
+
+  Result<SpillTicket> WriteSpill(const std::string& bytes) override {
+    return file_->Write(bytes);
+  }
+  Result<std::string> ReadSpill(const SpillTicket& ticket) override {
+    return file_->Read(ticket);
+  }
+  void FreeSpill(const SpillTicket& ticket) override { file_->Free(ticket); }
+  void NoteResident(ArrayId array, ChunkId chunk, uint64_t bytes,
+                    std::shared_ptr<std::atomic<uint64_t>> stamp) override {
+    manager_->NoteResident(store_, array, chunk, bytes, std::move(stamp));
+  }
+  void NoteDropped(ArrayId array, ChunkId chunk) override {
+    manager_->NoteDropped(store_, array, chunk);
+  }
+
+  ChunkStore* store() const { return store_; }
+  const SpillFile& file() const { return *file_; }
+
+ private:
+  BufferManager* const manager_;
+  ChunkStore* const store_;
+  const std::unique_ptr<SpillFile> file_;
+};
+
+BufferManager::BufferManager(BufferOptions options)
+    : options_(std::move(options)) {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.spill_dir, ec);
+  AVM_CHECK(!ec) << "cannot create spill directory '" << options_.spill_dir
+                 << "': " << ec.message();
+}
+
+BufferManager::~BufferManager() {
+  {
+    MutexLock lock(mu_);
+    // Detach every store first: this faults all spilled chunks back in
+    // (through the bindings, whose files are still alive), then the
+    // bindings — and with them the spill files — are destroyed.
+    for (const auto& binding : bindings_) {
+      binding->store()->DetachBufferBackend();
+    }
+    bindings_.clear();
+    slots_.clear();
+    index_.clear();
+    resident_bytes_ = 0;
+  }
+  GaugeSet(GaugeId::kBufferResidentBytes, 0);
+  std::error_code ec;
+  std::filesystem::remove(options_.spill_dir, ec);  // only if empty; best-effort
+}
+
+void BufferManager::Register(ChunkStore* store) {
+  AVM_CHECK(store != nullptr) << "Register(nullptr)";
+  MutexLock lock(mu_);
+  for (const auto& binding : bindings_) {
+    AVM_CHECK(binding->store() != store) << "store registered twice";
+  }
+  const std::string path = options_.spill_dir + "/spill_" +
+                           std::to_string(next_file_id_++) + ".bin";
+  Result<std::unique_ptr<SpillFile>> file = SpillFile::Create(path);
+  AVM_CHECK(file.ok()) << file.status().ToString();
+  auto binding =
+      std::make_unique<StoreBinding>(this, store, std::move(*file));
+  // Rank order allows attaching under our lock (25 -> 30), and attach makes
+  // no callbacks; notes the store delivers from other threads once the
+  // backend is visible simply queue behind us and upsert idempotently.
+  std::vector<ChunkStore::ResidentChunkInfo> infos =
+      store->AttachBufferBackend(binding.get());
+  bindings_.push_back(std::move(binding));
+  for (auto& info : infos) {
+    UpsertSlotLocked(store, info.array, info.chunk, info.bytes,
+                     std::move(info.stamp));
+  }
+  EnsureBudgetLocked(nullptr);
+  GaugeSet(GaugeId::kBufferResidentBytes,
+           static_cast<int64_t>(resident_bytes_));
+}
+
+void BufferManager::NoteResident(ChunkStore* store, ArrayId array,
+                                 ChunkId chunk, uint64_t bytes,
+                                 std::shared_ptr<std::atomic<uint64_t>> stamp) {
+  AVM_CHECK(stamp != nullptr) << "residency note without an access stamp";
+  MutexLock lock(mu_);
+  UpsertSlotLocked(store, array, chunk, bytes, std::move(stamp));
+  const SlotKey skip{store, array, chunk};
+  EnsureBudgetLocked(&skip);
+  GaugeSet(GaugeId::kBufferResidentBytes,
+           static_cast<int64_t>(resident_bytes_));
+}
+
+void BufferManager::NoteDropped(ChunkStore* store, ArrayId array,
+                                ChunkId chunk) {
+  MutexLock lock(mu_);
+  auto it = index_.find(SlotKey{store, array, chunk});
+  if (it == index_.end()) return;
+  const Slot& slot = slots_[it->second];
+  resident_bytes_ -= std::min(resident_bytes_, slot.bytes);
+  RemoveSlotLocked(it->second);
+  GaugeSet(GaugeId::kBufferResidentBytes,
+           static_cast<int64_t>(resident_bytes_));
+}
+
+void BufferManager::UpsertSlotLocked(
+    ChunkStore* store, ArrayId array, ChunkId chunk, uint64_t bytes,
+    std::shared_ptr<std::atomic<uint64_t>> stamp) {
+  const SlotKey key{store, array, chunk};
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    Slot& slot = slots_[it->second];
+    resident_bytes_ -= std::min(resident_bytes_, slot.bytes);
+    resident_bytes_ += bytes;
+    slot.bytes = bytes;
+    slot.stamp = std::move(stamp);
+    slot.last_seen = slot.stamp->load(std::memory_order_relaxed);
+    slot.hot = true;
+    return;
+  }
+  Slot slot;
+  slot.store = store;
+  slot.array = array;
+  slot.chunk = chunk;
+  slot.bytes = bytes;
+  slot.stamp = std::move(stamp);
+  slot.last_seen = slot.stamp->load(std::memory_order_relaxed);
+  slot.hot = true;
+  index_.emplace(key, slots_.size());
+  slots_.push_back(std::move(slot));
+  resident_bytes_ += bytes;
+}
+
+void BufferManager::RemoveSlotLocked(size_t idx) {
+  const Slot& victim = slots_[idx];
+  index_.erase(SlotKey{victim.store, victim.array, victim.chunk});
+  if (idx + 1 != slots_.size()) {
+    slots_[idx] = std::move(slots_.back());
+    const Slot& moved = slots_[idx];
+    index_[SlotKey{moved.store, moved.array, moved.chunk}] = idx;
+  }
+  slots_.pop_back();
+  if (hand_ >= slots_.size()) hand_ = 0;
+}
+
+void BufferManager::EnsureBudgetLocked(const SlotKey* skip) {
+  size_t since_progress = 0;
+  while (resident_bytes_ > options_.budget_bytes && !slots_.empty() &&
+         since_progress < 2 * slots_.size()) {
+    if (hand_ >= slots_.size()) hand_ = 0;
+    Slot& slot = slots_[hand_];
+    const SlotKey key{slot.store, slot.array, slot.chunk};
+    if (skip != nullptr && key == *skip) {
+      // Never evict the entry whose accessor is mid-return: the raw pointer
+      // it hands out must stay valid past this note.
+      ++hand_;
+      ++since_progress;
+      continue;
+    }
+    const uint64_t seen = slot.stamp->load(std::memory_order_relaxed);
+    if (seen != slot.last_seen) {
+      // Touched since the hand last came around: promote.
+      slot.last_seen = seen;
+      slot.hot = true;
+      ++hand_;
+      ++since_progress;
+      continue;
+    }
+    if (slot.hot) {
+      // Second chance: demote and keep sweeping.
+      slot.hot = false;
+      ++hand_;
+      ++since_progress;
+      continue;
+    }
+    const uint64_t freed = slot.store->TrySpill(slot.array, slot.chunk);
+    if (freed > 0 || !slot.store->Contains(slot.array, slot.chunk)) {
+      // Evicted — or the entry vanished without a drop note reaching us
+      // yet; either way the slot is dead.
+      resident_bytes_ -= std::min(resident_bytes_, slot.bytes);
+      if (freed > 0) ++evictions_;
+      RemoveSlotLocked(hand_);
+      since_progress = 0;
+      continue;
+    }
+    // Pinned (handle, replica alias, or epoch): stays resident; move on.
+    ++hand_;
+    ++since_progress;
+  }
+}
+
+void BufferManager::Rebalance() {
+  MutexLock lock(mu_);
+  uint64_t total = 0;
+  for (size_t i = 0; i < slots_.size();) {
+    Slot& slot = slots_[i];
+    // Peek leaves `bytes` untouched for pinned chunks (they may be under
+    // mutation by the pin holder); the slot then keeps its last-known size.
+    uint64_t bytes = slot.bytes;
+    if (!slot.store->PeekResidentBytes(slot.array, slot.chunk, &bytes)) {
+      // Erased or spilled without a note landing yet: drop the slot (it
+      // re-registers on next access).
+      RemoveSlotLocked(i);
+      continue;
+    }
+    slot.bytes = bytes;
+    total += bytes;
+    ++i;
+  }
+  resident_bytes_ = total;
+  EnsureBudgetLocked(nullptr);
+  GaugeSet(GaugeId::kBufferResidentBytes,
+           static_cast<int64_t>(resident_bytes_));
+}
+
+BufferManager::Stats BufferManager::GetStats() const {
+  MutexLock lock(mu_);
+  Stats stats;
+  stats.resident_bytes = resident_bytes_;
+  stats.evictions = evictions_;
+  stats.tracked_chunks = slots_.size();
+  for (const auto& binding : bindings_) {
+    stats.disk_bytes += binding->file().LiveBytes();
+  }
+  return stats;
+}
+
+}  // namespace avm

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "buffer/spill_file.h"
+#include "common/mutex.h"
+#include "storage/chunk_store.h"
+
+namespace avm {
+
+struct BufferOptions {
+  /// Resident-set target across all registered stores, in physical chunk
+  /// bytes. The clock hand evicts cold unpinned chunks until tracked
+  /// residency is at or under this.
+  uint64_t budget_bytes = 256ull << 20;
+
+  /// Directory for the per-store spill files; created if absent, removed on
+  /// destruction if it ends up empty.
+  std::string spill_dir = "avm_spill";
+};
+
+/// The out-of-core layer: owns a bounded resident-set budget over every
+/// registered ChunkStore and transparently spills cold chunks to disk.
+/// Registering a store binds it a BufferBackend (per-store spill file plus
+/// residency callbacks); from then on the store reports chunks entering and
+/// leaving residency, and the manager answers over-budget reports by
+/// sweeping a clock/second-chance hand over its slot ring:
+///
+///   - a slot whose access stamp moved since the last visit is promoted hot;
+///   - a hot slot is demoted cold (its second chance);
+///   - a cold slot is evicted via ChunkStore::TrySpill — which refuses when
+///     the chunk is pinned (any outstanding handle, replica alias, or live
+///     view-epoch pin holds its shared_ptr, keeping use_count above 1).
+///
+/// The sweep gives up after two full revolutions without progress, so an
+/// all-pinned working set larger than the budget degrades to fully resident
+/// instead of live-locking.
+///
+/// Accounting is event-driven and therefore drifts when chunks grow in
+/// place through GetMutable (no notification fires); Rebalance() resamples
+/// every slot's actual footprint and re-enforces the budget — callers with
+/// batch structure (the maintainer loop, benches) invoke it once per batch.
+///
+/// Lock order: BufferManager::mu_ ranks at 25, below ChunkStore (30) and
+/// SpillFile (35), so the eviction path bm -> store -> file acquires
+/// strictly upward, and a store delivering a residency note does so after
+/// releasing its own lock. Stores must be registered from the control
+/// thread; destruction detaches every store (faulting all spilled chunks
+/// back in) and deletes the spill files.
+class BufferManager {
+ public:
+  explicit BufferManager(BufferOptions options);
+  ~BufferManager();
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  /// Binds `store` (not owned; must outlive this manager) to a fresh spill
+  /// file and seeds the clock ring with its current chunks. May immediately
+  /// evict if the store alone exceeds the budget.
+  void Register(ChunkStore* store);
+
+  /// Resamples every tracked chunk's physical footprint and re-enforces the
+  /// budget. The drift-correction entry point (see class comment).
+  void Rebalance();
+
+  struct Stats {
+    uint64_t resident_bytes = 0;  // tracked physical bytes across stores
+    uint64_t disk_bytes = 0;      // live spill-extent bytes across files
+    uint64_t evictions = 0;       // successful spills driven by this manager
+    size_t tracked_chunks = 0;    // resident chunks in the clock ring
+  };
+  Stats GetStats() const;
+
+  uint64_t budget_bytes() const { return options_.budget_bytes; }
+
+ private:
+  class StoreBinding;
+
+  struct SlotKey {
+    const ChunkStore* store = nullptr;
+    ArrayId array = 0;
+    ChunkId chunk = 0;
+    bool operator==(const SlotKey& o) const {
+      return store == o.store && array == o.array && chunk == o.chunk;
+    }
+  };
+  struct SlotKeyHash {
+    size_t operator()(const SlotKey& k) const {
+      size_t h = std::hash<const void*>()(k.store);
+      h = h * 1000003u ^ std::hash<uint64_t>()(k.array);
+      h = h * 1000003u ^ std::hash<uint64_t>()(k.chunk);
+      return h;
+    }
+  };
+
+  /// One resident chunk under clock management. `stamp` is shared with the
+  /// store entry (bumped on every access there); the hand compares it to
+  /// `last_seen` to detect activity since its previous visit.
+  struct Slot {
+    ChunkStore* store = nullptr;
+    ArrayId array = 0;
+    ChunkId chunk = 0;
+    uint64_t bytes = 0;
+    std::shared_ptr<std::atomic<uint64_t>> stamp;
+    uint64_t last_seen = 0;
+    bool hot = true;
+  };
+
+  // BufferBackend plumbing, invoked by bound stores via their binding.
+  void NoteResident(ChunkStore* store, ArrayId array, ChunkId chunk,
+                    uint64_t bytes,
+                    std::shared_ptr<std::atomic<uint64_t>> stamp)
+      AVM_EXCLUDES(mu_);
+  void NoteDropped(ChunkStore* store, ArrayId array, ChunkId chunk)
+      AVM_EXCLUDES(mu_);
+
+  void UpsertSlotLocked(ChunkStore* store, ArrayId array, ChunkId chunk,
+                        uint64_t bytes,
+                        std::shared_ptr<std::atomic<uint64_t>> stamp)
+      AVM_REQUIRES(mu_);
+  void RemoveSlotLocked(size_t idx) AVM_REQUIRES(mu_);
+
+  /// The clock sweep; `skip` (if set) names the one entry the current
+  /// operation just made resident, which must not be evicted out from under
+  /// the raw pointer its accessor is about to return.
+  void EnsureBudgetLocked(const SlotKey* skip) AVM_REQUIRES(mu_);
+
+  const BufferOptions options_;
+
+  mutable Mutex mu_{"BufferManager.mu", LockRank::kBufferManager};
+  std::vector<std::unique_ptr<StoreBinding>> bindings_ AVM_GUARDED_BY(mu_);
+  std::vector<Slot> slots_ AVM_GUARDED_BY(mu_);
+  std::unordered_map<SlotKey, size_t, SlotKeyHash> index_ AVM_GUARDED_BY(mu_);
+  size_t hand_ AVM_GUARDED_BY(mu_) = 0;
+  uint64_t resident_bytes_ AVM_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ AVM_GUARDED_BY(mu_) = 0;
+  int next_file_id_ AVM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace avm

@@ -1,0 +1,123 @@
+#include "buffer/spill_file.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+#include "telemetry/metrics.h"
+
+namespace avm {
+
+Result<std::unique_ptr<SpillFile>> SpillFile::Create(const std::string& path) {
+  std::fstream stream(path, std::ios::in | std::ios::out | std::ios::binary |
+                                std::ios::trunc);
+  if (!stream.is_open()) {
+    return Status::Internal("cannot create spill file '" + path + "'");
+  }
+  return std::make_unique<SpillFile>(path, std::move(stream));
+}
+
+SpillFile::SpillFile(std::string path, std::fstream stream)
+    : path_(std::move(path)), stream_(std::move(stream)) {}
+
+SpillFile::~SpillFile() {
+  // Single-threaded teardown by contract (the buffer manager detaches every
+  // store first), so no lock: close and remove the backing file.
+  stream_.close();
+  std::remove(path_.c_str());
+  GaugeAdd(GaugeId::kBufferDiskBytes, -static_cast<int64_t>(live_bytes_));
+}
+
+Result<SpillTicket> SpillFile::Write(const std::string& bytes) {
+  AVM_CHECK(!bytes.empty()) << "spilling an empty chunk serialization";
+  MutexLock lock(mu_);
+  SpillTicket ticket;
+  ticket.length = bytes.size();
+  // First fit over the free list; fall back to appending at the end.
+  auto chosen = free_extents_.end();
+  for (auto it = free_extents_.begin(); it != free_extents_.end(); ++it) {
+    if (it->second >= ticket.length) {
+      chosen = it;
+      break;
+    }
+  }
+  if (chosen != free_extents_.end()) {
+    ticket.offset = chosen->first;
+    const uint64_t leftover = chosen->second - ticket.length;
+    free_extents_.erase(chosen);
+    if (leftover > 0) {
+      free_extents_.emplace(ticket.offset + ticket.length, leftover);
+    }
+  } else {
+    ticket.offset = end_;
+    end_ += ticket.length;
+  }
+  stream_.clear();
+  stream_.seekp(static_cast<std::streamoff>(ticket.offset));
+  stream_.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  stream_.flush();
+  if (!stream_.good()) {
+    return Status::Internal("spill write failed at offset " +
+                            std::to_string(ticket.offset) + " in '" + path_ +
+                            "'");
+  }
+  live_bytes_ += ticket.length;
+  GaugeAdd(GaugeId::kBufferDiskBytes, static_cast<int64_t>(ticket.length));
+  return ticket;
+}
+
+Result<std::string> SpillFile::Read(const SpillTicket& ticket) {
+  MutexLock lock(mu_);
+  std::string bytes(ticket.length, '\0');
+  stream_.clear();
+  stream_.seekg(static_cast<std::streamoff>(ticket.offset));
+  stream_.read(bytes.data(), static_cast<std::streamsize>(ticket.length));
+  if (static_cast<uint64_t>(stream_.gcount()) != ticket.length) {
+    return Status::Internal("spill read truncated at offset " +
+                            std::to_string(ticket.offset) + " in '" + path_ +
+                            "'");
+  }
+  return bytes;
+}
+
+void SpillFile::Free(const SpillTicket& ticket) {
+  if (ticket.length == 0) return;
+  MutexLock lock(mu_);
+  AVM_CHECK(live_bytes_ >= ticket.length) << "spill free-list underflow";
+  live_bytes_ -= ticket.length;
+  GaugeAdd(GaugeId::kBufferDiskBytes, -static_cast<int64_t>(ticket.length));
+  uint64_t offset = ticket.offset;
+  uint64_t length = ticket.length;
+  auto next = free_extents_.lower_bound(offset);
+  if (next != free_extents_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == offset) {
+      offset = prev->first;
+      length += prev->second;
+      free_extents_.erase(prev);
+    }
+  }
+  if (next != free_extents_.end() && offset + length == next->first) {
+    length += next->second;
+    free_extents_.erase(next);
+  }
+  if (offset + length == end_) {
+    // Trailing run: give the space back to the file end instead of parking
+    // it on the free list, so a drained store converges to an empty file.
+    end_ = offset;
+  } else {
+    free_extents_.emplace(offset, length);
+  }
+}
+
+uint64_t SpillFile::LiveBytes() const {
+  MutexLock lock(mu_);
+  return live_bytes_;
+}
+
+uint64_t SpillFile::FileBytes() const {
+  MutexLock lock(mu_);
+  return end_;
+}
+
+}  // namespace avm

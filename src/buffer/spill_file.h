@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/result.h"
+#include "storage/chunk_store.h"
+
+namespace avm {
+
+/// One store's spill backing: a flat file of serialized-chunk (AVMCHK01)
+/// extents managed by a first-fit free-extent allocator. Write hands out a
+/// SpillTicket naming the extent; Free returns it, coalescing with adjacent
+/// free extents and shrinking the file's logical end when the freed run is
+/// trailing, so a fully reloaded store converges back to an empty file.
+///
+/// Thread safety: all operations serialize on an internal mutex at
+/// LockRank::kSpillFile (35) — above both the buffer manager (25) and the
+/// chunk store (30), so spill I/O may be issued from under either lock.
+/// The file is created on construction and deleted on destruction; spilled
+/// bytes never outlive the process.
+class SpillFile {
+ public:
+  /// Creates (truncating) the backing file. Fails if the path cannot be
+  /// opened read-write.
+  static Result<std::unique_ptr<SpillFile>> Create(const std::string& path);
+
+  ~SpillFile();
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// Writes one serialized chunk into a free (or appended) extent.
+  Result<SpillTicket> Write(const std::string& bytes);
+
+  /// Reads a previously written extent back in full.
+  Result<std::string> Read(const SpillTicket& ticket);
+
+  /// Returns the extent to the free list (no-op for an empty ticket).
+  void Free(const SpillTicket& ticket);
+
+  /// Bytes currently held by live (written, not yet freed) extents.
+  uint64_t LiveBytes() const;
+
+  /// Logical end of the file — the allocator's high-water mark. Live plus
+  /// free-list bytes; fragmentation is the gap to LiveBytes.
+  uint64_t FileBytes() const;
+
+  const std::string& path() const { return path_; }
+
+  /// Use Create(): this constructor is public only for make_unique and
+  /// expects an already-opened, validated stream.
+  SpillFile(std::string path, std::fstream stream);
+
+ private:
+  mutable Mutex mu_{"SpillFile.mu", LockRank::kSpillFile};
+  const std::string path_;
+  std::fstream stream_ AVM_GUARDED_BY(mu_);
+  /// offset -> length of each free extent, non-adjacent by construction
+  /// (Free coalesces neighbors on insert).
+  std::map<uint64_t, uint64_t> free_extents_ AVM_GUARDED_BY(mu_);
+  uint64_t end_ AVM_GUARDED_BY(mu_) = 0;
+  uint64_t live_bytes_ AVM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace avm

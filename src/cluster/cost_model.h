@@ -20,12 +20,23 @@ struct CostModel {
   /// Seconds per byte of join input processed (default: a 500 MB/s
   /// in-memory join kernel — the example's Tntwk = 4, Tcpu = 1).
   double t_cpu_per_byte = 1.0 / (500.0 * 1024 * 1024);
+  /// Seconds per byte faulted in from a node's local spill storage — the
+  /// out-of-core extension to the paper's model: a plan that touches a
+  /// non-resident chunk first pays its reload at the holding node. Disk
+  /// reload serializes with that node's other I/O, so the charge lands on
+  /// the ntwk lane. Zero (the default) reproduces the fully-resident model
+  /// bit-for-bit; set it to the measured spill-device rate when running
+  /// under a BufferManager.
+  double t_disk_per_byte = 0.0;
 
   double TransferSeconds(uint64_t bytes) const {
     return static_cast<double>(bytes) * t_ntwk_per_byte;
   }
   double JoinSeconds(uint64_t bytes) const {
     return static_cast<double>(bytes) * t_cpu_per_byte;
+  }
+  double DiskSeconds(uint64_t bytes) const {
+    return static_cast<double>(bytes) * t_disk_per_byte;
   }
 };
 

@@ -59,6 +59,10 @@ Status DistributedArray::PutChunk(
   Chunk* existing = store.GetMutable(id_, chunk);
   uint64_t bytes;
   if (existing != nullptr) {
+    // Pin-while-mutating: the handle keeps the chunk evict-proof across
+    // the merge (GetHandle never COW-breaks, so it aliases the post-break
+    // chunk GetMutable just returned).
+    const ChunkHandle pin = store.GetHandle(id_, chunk);
     // Upsert-merge cell-wise into the resident copy.
     AVM_RETURN_IF_ERROR(existing->UpsertChunk(data));
     existing->MaybeAdaptRepresentation(grid(), chunk);
@@ -82,8 +86,10 @@ Status DistributedArray::AccumulateIntoChunk(ChunkId chunk, const Chunk& delta,
     node = fallback_node;
     catalog_->AssignChunk(id_, chunk, node);
   }
-  Chunk& target = cluster_->store(node).GetOrCreate(
-      id_, chunk, delta.num_dims(), delta.num_attrs());
+  ChunkStore& store = cluster_->store(node);
+  Chunk& target =
+      store.GetOrCreate(id_, chunk, delta.num_dims(), delta.num_attrs());
+  const ChunkHandle pin = store.GetHandle(id_, chunk);  // pin-while-mutating
   AVM_RETURN_IF_ERROR(target.AccumulateChunk(delta));
   target.MaybeAdaptRepresentation(grid(), chunk);
   catalog_->SetChunkBytes(id_, chunk, target.SizeBytes());
@@ -94,7 +100,7 @@ Result<SparseArray> DistributedArray::Gather() const {
   SparseArray out(schema());
   CellCoord coord;
   for (ChunkId id : catalog_->ChunkIdsOf(id_)) {
-    AVM_ASSIGN_OR_RETURN(const Chunk* chunk, GetPrimaryChunk(id));
+    AVM_ASSIGN_OR_RETURN(const ChunkHandle chunk, GetPrimaryChunk(id));
     AVM_RETURN_IF_ERROR(chunk->VisitCells(
         [&](uint64_t, std::span<const int64_t> c,
             std::span<const double> values) {
@@ -105,9 +111,9 @@ Result<SparseArray> DistributedArray::Gather() const {
   return out;
 }
 
-Result<const Chunk*> DistributedArray::GetPrimaryChunk(ChunkId chunk) const {
+Result<ChunkHandle> DistributedArray::GetPrimaryChunk(ChunkId chunk) const {
   AVM_ASSIGN_OR_RETURN(NodeId node, catalog_->NodeOf(id_, chunk));
-  const Chunk* data = cluster_->store(node).Get(id_, chunk);
+  ChunkHandle data = cluster_->store(node).GetHandle(id_, chunk);
   if (data == nullptr) {
     return Status::Internal(
         "catalog says chunk " + std::to_string(chunk) + " of array " +

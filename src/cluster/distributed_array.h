@@ -56,8 +56,11 @@ class DistributedArray {
   /// tests and examples to compare against reference computations).
   Result<SparseArray> Gather() const;
 
-  /// The primary copy of a chunk, or NotFound.
-  Result<const Chunk*> GetPrimaryChunk(ChunkId chunk) const;
+  /// The primary copy of a chunk, or NotFound. Returns a handle, not a raw
+  /// pointer: a materialized handle is a pin, so the chunk stays resident
+  /// (and alive) for as long as the caller holds it even while a buffer
+  /// manager is evicting concurrently.
+  Result<ChunkHandle> GetPrimaryChunk(ChunkId chunk) const;
 
   /// Total non-empty cells across primary chunks.
   uint64_t NumCells() const;

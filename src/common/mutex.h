@@ -45,7 +45,9 @@ class Mutex;
 enum class LockRank : int {
   kThreadPool = 10,      // ThreadPool::mu_ — task queue; tasks run unlocked
   kChunkPool = 20,       // ChunkPool global overflow free list
+  kBufferManager = 25,   // BufferManager::mu_ — residency registry + clock hand
   kChunkStore = 30,      // ChunkStore::mu_ — one store's chunk map
+  kSpillFile = 35,       // SpillFile::mu_ — spill I/O + free-extent allocator
   kEpochManager = 40,    // EpochManager::mu_ — current-epoch slot
   kEpochStats = 50,      // EpochManager stats block (nests inside mu_)
   kShapeCache = 60,      // CompiledShapeCache (telemetry nests inside it)

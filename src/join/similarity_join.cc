@@ -58,14 +58,18 @@ Result<JoinExecutionStats> ExecuteDistributedJoinAggregate(
             cluster->TransferChunk(left.id(), p, p_node, join_node));
         stats.bytes_shipped += catalog->ChunkBytes(left.id(), p);
       }
-      const Chunk* left_chunk = cluster->store(join_node).Get(left.id(), p);
-      const Chunk* right_chunk = cluster->store(join_node).Get(right.id(), q);
+      // Handles pin both operands across the kernel run: a concurrently
+      // rebalancing buffer manager must not evict them mid-join.
+      const ChunkHandle left_chunk =
+          cluster->store(join_node).GetHandle(left.id(), p);
+      const ChunkHandle right_chunk =
+          cluster->store(join_node).GetHandle(right.id(), q);
       if (left_chunk == nullptr || right_chunk == nullptr) {
         return Status::Internal("operand chunk missing from its node store");
       }
       cluster->ChargeJoin(join_node, left_chunk->SizeBytes() +
                                          right_chunk->SizeBytes());
-      const RightOperand rop{right_chunk, q, &rgrid};
+      const RightOperand rop{right_chunk.get(), q, &rgrid};
       AVM_RETURN_IF_ERROR(JoinAggregateChunkPair(
           *left_chunk, rop, *compiled, spec.layout, target,
           /*multiplicity=*/1, &fragments_by_node[join_node]));

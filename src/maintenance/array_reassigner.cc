@@ -21,7 +21,7 @@ using ScoreKey = std::pair<ChunkKey, ChunkId>;
 Status ReassignArrayChunks(
     const MaterializedView& view, const TripleSet& triples,
     const BatchHistory& history, int num_workers,
-    const PlannerOptions& options,
+    const PlannerOptions& options, const CostModel& cost,
     const std::unordered_map<MChunkRef, std::set<NodeId>, MChunkRefHash>&
         replicas,
     MaintenancePlan* plan) {
@@ -51,17 +51,39 @@ Status ReassignArrayChunks(
       options.cpu_threshold_slack * weighted_pair_bytes /
           static_cast<double>(num_workers));
 
+  const Catalog* catalog = view.left_base().catalog();
+  const ArrayId left_id = view.left_base().id();
+  const ArrayId right_id = view.right_base().id();
+  const ArrayId view_id = view.array().id();
+
+  // Disk awareness: boost every score of a chunk that is spilled at its
+  // current location by 1 + T_disk/T_cpu, so it sorts earlier and claims
+  // budget first — moving it to a node with a fresh resident replica
+  // retires its reload charge. Identity when t_disk_per_byte is 0.
+  const double spill_boost =
+      cost.t_cpu_per_byte > 0.0
+          ? 1.0 + cost.t_disk_per_byte / cost.t_cpu_per_byte
+          : 1.0;
+  if (spill_boost != 1.0 && !triples.spilled.empty()) {
+    for (auto& [key, s] : score) {
+      const ChunkKey& a = key.first;
+      const bool has_base =
+          catalog->HasChunk(a.first ? right_id : left_id, a.second);
+      const MChunkRef ref{
+          has_base ? (a.first ? ChunkSide::kRightBase : ChunkSide::kLeftBase)
+                   : (a.first ? ChunkSide::kRightDelta
+                              : ChunkSide::kLeftDelta),
+          a.second};
+      if (triples.spilled.count(ref) > 0) s *= spill_boost;
+    }
+  }
+
   // Descending score, deterministic tie-break on the key.
   std::vector<std::pair<ScoreKey, double>> ordered(score.begin(), score.end());
   std::stable_sort(ordered.begin(), ordered.end(),
                    [](const auto& x, const auto& y) {
                      return x.second > y.second;
                    });
-
-  const Catalog* catalog = view.left_base().catalog();
-  const ArrayId left_id = view.left_base().id();
-  const ArrayId right_id = view.right_base().id();
-  const ArrayId view_id = view.array().id();
 
   // Resolves y_v: the home chosen by stage 2, else the current location.
   auto home_of_view_chunk = [&](ChunkId v) -> Result<NodeId> {

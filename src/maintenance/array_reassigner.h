@@ -3,6 +3,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "cluster/cost_model.h"
 #include "common/status.h"
 #include "maintenance/history.h"
 #include "maintenance/types.h"
@@ -26,12 +27,20 @@ namespace avm {
 /// placed under the budget goes to the home of its highest-score view chunk
 /// (the paper's fallback). NP-hard via quadratic knapsack (Appendix A.3).
 ///
+/// Disk awareness (out-of-core extension): a chunk whose bytes are spilled
+/// at its current location has its scores scaled by
+/// 1 + T_disk/T_cpu — under a nonzero CostModel::t_disk_per_byte, spilled
+/// chunks sort earlier, claim the per-node budget first, and so end up
+/// moved onto nodes where maintenance just materialized a fresh resident
+/// replica, retiring their future reload charge. With the default
+/// t_disk_per_byte of 0 the multiplier is 1 and the ordering is unchanged.
+///
 /// Moves are appended to `plan->array_moves`; they carry no simulated cost
 /// (only storage is redistributed).
 Status ReassignArrayChunks(
     const MaterializedView& view, const TripleSet& triples,
     const BatchHistory& history, int num_workers,
-    const PlannerOptions& options,
+    const PlannerOptions& options, const CostModel& cost,
     const std::unordered_map<MChunkRef, std::set<NodeId>, MChunkRefHash>&
         replicas,
     MaintenancePlan* plan);

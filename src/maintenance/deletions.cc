@@ -78,8 +78,8 @@ Result<DeletionStats> ApplyDeletionBatch(MaterializedView* view,
       coord.assign(c.begin(), c.end());
       auto node = catalog->NodeOf(base.id(), grid.IdOfCell(coord));
       if (!node.ok()) return;
-      const Chunk* chunk =
-          cluster->store(node.value()).Get(base.id(), grid.IdOfCell(coord));
+      const ChunkHandle chunk = cluster->store(node.value())
+                                    .GetHandle(base.id(), grid.IdOfCell(coord));
       const double* values =
           chunk == nullptr ? nullptr
                            : chunk->GetCell(grid.InChunkOffset(coord));
@@ -122,7 +122,8 @@ Result<DeletionStats> ApplyDeletionBatch(MaterializedView* view,
            EnumerateJoinPartnersExact(grid, m, footprint, base_exists)) {
         auto node = catalog->NodeOf(base.id(), q);
         if (!node.ok()) continue;
-        const Chunk* right = cluster->store(node.value()).Get(base.id(), q);
+        const ChunkHandle right =
+            cluster->store(node.value()).GetHandle(base.id(), q);
         if (right == nullptr) {
           status = Status::Internal("base chunk missing from its store");
           return;
@@ -130,7 +131,7 @@ Result<DeletionStats> ApplyDeletionBatch(MaterializedView* view,
         cluster->ChargeNetwork(kCoordinatorNode, victim_chunk.SizeBytes());
         cluster->ChargeJoin(node.value(),
                             victim_chunk.SizeBytes() + right->SizeBytes());
-        const RightOperand rop{right, q, &grid};
+        const RightOperand rop{right.get(), q, &grid};
         status = JoinAggregateChunkPair(victim_chunk, rop, *compiled, layout,
                                         target, /*multiplicity=*/-1,
                                         &fragments_by_node[node.value()]);
@@ -151,11 +152,16 @@ Result<DeletionStats> ApplyDeletionBatch(MaterializedView* view,
         status = Status::Internal("victim chunk vanished from the catalog");
         return;
       }
-      Chunk* chunk = cluster->store(node.value()).GetMutable(base.id(), m);
+      ChunkStore& store = cluster->store(node.value());
+      Chunk* chunk = store.GetMutable(base.id(), m);
       if (chunk == nullptr) {
         status = Status::Internal("victim chunk missing from its store");
         return;
       }
+      // Pin-while-mutating: the handle keeps the chunk evict-proof for the
+      // duration of the erase (GetHandle never COW-breaks, so it aliases
+      // the post-break chunk GetMutable just returned).
+      const ChunkHandle pin = store.GetHandle(base.id(), m);
       victim_chunk.ForEachCellWithOffset(
           [&](uint64_t offset, std::span<const int64_t>,
               std::span<const double>) { chunk->EraseCell(offset); });
@@ -182,7 +188,8 @@ Result<DeletionStats> ApplyDeletionBatch(MaterializedView* view,
            EnumerateJoinPartnersExact(grid, m, reflected, base_exists)) {
         auto node = catalog->NodeOf(base.id(), q);
         if (!node.ok()) continue;
-        const Chunk* left = cluster->store(node.value()).Get(base.id(), q);
+        const ChunkHandle left =
+            cluster->store(node.value()).GetHandle(base.id(), q);
         if (left == nullptr) {
           status = Status::Internal("base chunk missing from its store");
           return;
@@ -209,8 +216,10 @@ Result<DeletionStats> ApplyDeletionBatch(MaterializedView* view,
   for (const auto& [v, offset] : touched) {
     auto node = catalog->NodeOf(view_id, v);
     if (!node.ok()) continue;
-    Chunk* chunk = cluster->store(node.value()).GetMutable(view_id, v);
+    ChunkStore& store = cluster->store(node.value());
+    Chunk* chunk = store.GetMutable(view_id, v);
     if (chunk == nullptr) continue;
+    const ChunkHandle pin = store.GetHandle(view_id, v);  // pin-while-mutating
     const double* state = chunk->GetCell(offset);
     if (state != nullptr &&
         layout.IsIdentity({state, layout.num_state_slots()})) {

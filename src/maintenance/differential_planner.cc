@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
@@ -36,9 +37,18 @@ Result<DifferentialPlanResult> PlanDifferentialView(
 
   plan.joins.reserve(triples.pairs.size());
   std::vector<MakespanTracker::Delta> deltas;
+  // Spilled operands already faulted in (charged) earlier in this plan.
+  // Charging rule for the T_disk term: every spilled operand pays
+  // DiskSeconds exactly once, always on its original holder's ntwk lane —
+  // the reload happens where the bytes sit, whatever node the join lands
+  // on. Order-independent, so the greedy's running total matches the
+  // objective replay.
+  std::unordered_set<MChunkRef, MChunkRefHash> faulted;
   for (size_t index : order) {
     const JoinPair& pair = triples.pairs[index];
     const bool same_operand = pair.a == pair.b;
+    const MChunkRef operands[2] = {pair.a, pair.b};
+    const size_t num_operands = same_operand ? 1 : 2;
     // Candidates are ranked by the global makespan first (the paper's
     // opt_now); ties — common once some node saturates the max — break
     // toward less added communication, then the least busy candidate, so
@@ -66,6 +76,14 @@ Result<DifferentialPlanResult> PlanDifferentialView(
             cost.TransferSeconds(triples.bytes.at(pair.b));
         deltas.push_back({from, seconds, 0.0});
         if (from != kCoordinatorNode) added += seconds;
+      }
+      for (size_t o = 0; o < num_operands; ++o) {
+        if (faulted.count(operands[o]) == 0 &&
+            triples.spilled.count(operands[o]) > 0) {
+          deltas.push_back({triples.location.at(operands[o]),
+                            cost.DiskSeconds(triples.bytes.at(operands[o])),
+                            0.0});
+        }
       }
       deltas.push_back({j, 0.0, cost.JoinSeconds(pair.bytes)});
       const double candidate = tracker.EvalWithDeltas(deltas);
@@ -97,6 +115,15 @@ Result<DifferentialPlanResult> PlanDifferentialView(
           {from, cost.TransferSeconds(triples.bytes.at(pair.b)), 0.0});
       plan.transfers.push_back({pair.b, from, best});
       replicas.at(pair.b).insert(best);
+    }
+    for (size_t o = 0; o < num_operands; ++o) {
+      if (faulted.count(operands[o]) == 0 &&
+          triples.spilled.count(operands[o]) > 0) {
+        deltas.push_back({triples.location.at(operands[o]),
+                          cost.DiskSeconds(triples.bytes.at(operands[o])),
+                          0.0});
+        faulted.insert(operands[o]);
+      }
     }
     deltas.push_back({best, 0.0, cost.JoinSeconds(pair.bytes)});
     tracker.Commit(deltas);

@@ -275,8 +275,12 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
       // Operand arrays were validated before the fan-out; value() is safe.
       DistributedArray* a_array = resolver.ArrayOf(pair.a.side).value();
       DistributedArray* b_array = resolver.ArrayOf(pair.b.side).value();
-      const Chunk* a_chunk = store.Get(a_array->id(), pair.a.id);
-      const Chunk* b_chunk = store.Get(b_array->id(), pair.b.id);
+      // Handles, not raw pointers: with a buffer manager attached, any
+      // store access on a concurrent task could evict an unpinned chunk;
+      // the handle pins both operands for the kernel's duration (and
+      // faults them in if the planner left them spilled).
+      const ChunkHandle a_chunk = store.GetHandle(a_array->id(), pair.a.id);
+      const ChunkHandle b_chunk = store.GetHandle(b_array->id(), pair.b.id);
       if (a_chunk == nullptr || b_chunk == nullptr) {
         work.status = Status::Internal(
             "plan did not co-locate both operands of a join at node " +
@@ -286,7 +290,7 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
       clock_bank.AddCpu(k, cost_model.JoinSeconds(pair.bytes), pair.bytes);
       work.bytes_joined += pair.bytes;
       if (pair.dir_ab) {
-        const RightOperand rop{b_chunk, pair.b.id, &b_array->grid()};
+        const RightOperand rop{b_chunk.get(), pair.b.id, &b_array->grid()};
         work.status = JoinAggregateChunkPair(
             *a_chunk, rop, *compiled_by_array.at(b_array), layout, target,
             /*multiplicity=*/1, &work.fragments);
@@ -294,7 +298,7 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
         ++work.joins_executed;
       }
       if (pair.dir_ba) {
-        const RightOperand rop{a_chunk, pair.a.id, &a_array->grid()};
+        const RightOperand rop{a_chunk.get(), pair.a.id, &a_array->grid()};
         work.status = JoinAggregateChunkPair(
             *b_chunk, rop, *compiled_by_array.at(a_array), layout, target,
             /*multiplicity=*/1, &work.fragments);
@@ -386,7 +390,7 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
                          resolver.ArrayOf(move.chunk.side));
     auto current = catalog->NodeOf(array->id(), move.chunk.id);
     if (!current.ok() || current.value() == move.node) continue;
-    if (cluster->store(move.node).Get(array->id(), move.chunk.id) == nullptr) {
+    if (!cluster->store(move.node).Contains(array->id(), move.chunk.id)) {
       // The planner promised a replica here; pay for the move otherwise.
       AVM_RETURN_IF_ERROR(cluster->TransferChunk(
           array->id(), move.chunk.id, current.value(), move.node));
@@ -409,7 +413,11 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
     planned_delta_home[move.chunk] = move.node;
   }
   struct UpsertJob {
-    const Chunk* delta_chunk = nullptr;
+    // Handles pin both operands: with a buffer manager attached, any store
+    // access between here and the ParallelFor below could otherwise evict
+    // an unpinned chunk out from under the raw pointers.
+    ChunkHandle delta;
+    ChunkHandle base_pin;
     Chunk* base_chunk = nullptr;
     const ChunkGrid* grid = nullptr;
     ArrayId base_id = 0;
@@ -436,10 +444,10 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
       // Make sure the delta data is at the merge site; ship from the
       // nearest existing replica (join co-location often already paid for
       // one) rather than always re-sending from the coordinator.
-      if (cluster->store(home).Get(delta->id(), d) == nullptr) {
+      if (!cluster->store(home).Contains(delta->id(), d)) {
         NodeId source = kCoordinatorNode;
         for (NodeId n = 0; n < cluster->num_workers(); ++n) {
-          if (cluster->store(n).Get(delta->id(), d) != nullptr) {
+          if (cluster->store(n).Contains(delta->id(), d)) {
             source = n;
             break;
           }
@@ -454,12 +462,12 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
           return Status::Internal(
               "base chunk missing from its primary node during delta merge");
         }
-        // Both raw pointers stay valid across the loop: store entries are
-        // only replaced via same-key Put/PutHandle, and no later iteration
-        // re-puts a key fetched here (transfers are guarded by a presence
-        // check, and each delta / base id is visited exactly once).
-        upserts.push_back(
-            {delta_handle.get(), base_chunk, &base.grid(), base.id(), d});
+        // Pin the base AFTER GetMutable: GetHandle never COW-breaks, so it
+        // aliases the post-break chunk GetMutable just returned, and the
+        // extra refcount blocks eviction until the job is done.
+        ChunkHandle base_pin = cluster->store(home).GetHandle(base.id(), d);
+        upserts.push_back({std::move(delta_handle), std::move(base_pin),
+                           base_chunk, &base.grid(), base.id(), d});
       } else {
         // The delta chunk *becomes* the base chunk: alias it instead of
         // copying. Step 6 erases the transient delta entry; the base entry's
@@ -474,7 +482,7 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
     }
   }
   cluster->pool()->ParallelFor(upserts.size(), [&](size_t i) {
-    UpsertCells(*upserts[i].delta_chunk, upserts[i].base_chunk);
+    UpsertCells(*upserts[i].delta, upserts[i].base_chunk);
     // Adapt in the parallel task: a first conversion scatters O(volume)
     // cells, which amortizes like the upsert itself. Jobs touch disjoint
     // base chunks, so this races with nothing.
@@ -502,7 +510,9 @@ Result<ExecutionStats> ExecuteMaintenancePlan(const MaintenancePlan& plan,
   auto cleanup_store = [&](NodeId node) {
     ChunkStore& store = cluster->store(node);
     std::vector<std::pair<ArrayId, ChunkId>> drop;
-    store.ForEach([&](ArrayId array, ChunkId chunk, const Chunk&) {
+    // Key-only walk: ForEach would fault every spilled chunk back in just
+    // to decide whether to erase it.
+    store.ForEachKey([&](ArrayId array, ChunkId chunk) {
       for (ArrayId t : transient) {
         if (array == t) {
           drop.push_back({array, chunk});

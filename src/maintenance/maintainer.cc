@@ -199,7 +199,7 @@ Result<MaintenanceReport> ViewMaintainer::ApplyBatch(
       {
         ScopedSpan stage_span("plan.stage3", "plan");
         AVM_RETURN_IF_ERROR(ReassignArrayChunks(*view_, triples, history_,
-                                                num_workers, options_,
+                                                num_workers, options_, *cost,
                                                 replicas, &plan));
       }
       break;
@@ -290,15 +290,18 @@ Result<MaintenanceReport> ViewMaintainer::ApplyBatch(
           cluster->store(n).ResidencyByFormat();
       residency.sparse_bytes += r.sparse_bytes;
       residency.dense_bytes += r.dense_bytes;
+      residency.spilled_bytes += r.spilled_bytes;
     }
     {
       const ChunkStore::FormatResidency r =
           cluster->store(kCoordinatorNode).ResidencyByFormat();
       residency.sparse_bytes += r.sparse_bytes;
       residency.dense_bytes += r.dense_bytes;
+      residency.spilled_bytes += r.spilled_bytes;
     }
     report.resident_sparse_bytes = residency.sparse_bytes;
     report.resident_dense_bytes = residency.dense_bytes;
+    report.spilled_bytes = residency.spilled_bytes;
     GaugeSet(GaugeId::kStoreSparseBytes,
              static_cast<int64_t>(residency.sparse_bytes));
     GaugeSet(GaugeId::kStoreDenseBytes,

@@ -85,6 +85,10 @@ struct MaintenanceReport {
   /// store.resident_{sparse,dense}_bytes gauges). Telemetry-gated.
   uint64_t resident_sparse_bytes = 0;
   uint64_t resident_dense_bytes = 0;
+  /// Spill-file bytes held by chunks evicted out-of-core at batch end,
+  /// across all cluster stores (mirrored to store.spilled_bytes). Zero
+  /// unless a BufferManager is attached. Telemetry-gated.
+  uint64_t spilled_bytes = 0;
   /// Epoch id published at this batch's commit; 0 when no EpochManager is
   /// attached (batch-only mode, no concurrent serving).
   uint64_t published_epoch = 0;

@@ -35,11 +35,14 @@ Status UpsertModifiedValues(DistributedArray* base,
       status = Status::Internal("modified cell's base chunk disappeared");
       return;
     }
-    Chunk* target = cluster->store(node.value()).GetMutable(base->id(), id);
+    ChunkStore& store = cluster->store(node.value());
+    Chunk* target = store.GetMutable(base->id(), id);
     if (target == nullptr) {
       status = Status::Internal("base chunk missing from its primary store");
       return;
     }
+    const ChunkHandle pin =
+        store.GetHandle(base->id(), id);  // pin-while-mutating
     status = target->UpsertChunk(chunk);
     if (!status.ok()) return;
     target->MaybeAdaptRepresentation(base->grid(), id);
@@ -68,9 +71,12 @@ Result<ModificationStats> SplitInsertsAndModifications(
     coord.assign(c.begin(), c.end());
     const ChunkId id = grid.IdOfCell(coord);
     const double* existing = nullptr;
+    // The handle outlives every use of `existing` below: the raw cell
+    // pointer stays valid only while the chunk is pinned.
+    ChunkHandle chunk;
     auto node = catalog->NodeOf(base.id(), id);
     if (node.ok()) {
-      const Chunk* chunk = cluster->store(node.value()).Get(base.id(), id);
+      chunk = cluster->store(node.value()).GetHandle(base.id(), id);
       if (chunk != nullptr) {
         existing = chunk->GetCell(grid.InChunkOffset(coord));
       }
@@ -145,8 +151,8 @@ Result<ModificationStats> ApplyRightSideModifications(
         if (!status.ok()) return;
         auto node = catalog->NodeOf(left.id(), l);
         if (!node.ok()) return;  // empty left chunk
-        const Chunk* left_chunk =
-            cluster->store(node.value()).Get(left.id(), l);
+        const ChunkHandle left_chunk =
+            cluster->store(node.value()).GetHandle(left.id(), l);
         if (left_chunk == nullptr) {
           status = Status::Internal("left chunk missing from its store");
           return;

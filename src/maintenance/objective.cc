@@ -23,9 +23,22 @@ Result<ObjectiveBreakdown> EvaluateCurrentBatchObjective(
   const size_t slots = static_cast<size_t>(num_workers) + 1;
   breakdown.ntwk.assign(slots, 0.0);
   breakdown.cpu.assign(slots, 0.0);
+  breakdown.disk.assign(slots, 0.0);
   auto slot = [&](NodeId node) -> size_t {
     return node == kCoordinatorNode ? slots - 1 : static_cast<size_t>(node);
   };
+  // T_disk: each spilled chunk the plan touches pays its reload once, at
+  // the node holding the spilled bytes, folded into that node's ntwk lane
+  // (and mirrored in `disk`). Matches the greedy planner's first-touch
+  // charging rule, which is order-independent by the same construction.
+  auto charge_disk = [&](NodeId holder, uint64_t bytes) {
+    const double seconds = cost.DiskSeconds(bytes);
+    breakdown.ntwk[slot(holder)] += seconds;
+    breakdown.disk[slot(holder)] += seconds;
+  };
+  for (const MChunkRef& ref : triples.spilled) {
+    charge_disk(triples.location.at(ref), triples.bytes.at(ref));
+  }
 
   for (const auto& t : plan.transfers) {
     auto it = triples.bytes.find(t.chunk);
@@ -66,6 +79,13 @@ Result<ObjectiveBreakdown> EvaluateCurrentBatchObjective(
             cost.TransferSeconds(triples.view_bytes.at(v));
       }
     }
+  }
+  // Spilled existing view chunks: merging differential results in (or
+  // moving the chunk) faults it in at its current home.
+  for (const ChunkId v : triples.view_spilled) {
+    auto current = triples.view_location.find(v);
+    if (current == triples.view_location.end()) continue;
+    charge_disk(current->second, triples.view_bytes.at(v));
   }
   return breakdown;
 }

@@ -15,6 +15,11 @@ struct ObjectiveBreakdown {
   std::vector<double> ntwk;
   /// Seconds of join computation per worker (coordinator slot always 0).
   std::vector<double> cpu;
+  /// Seconds of spill-reload I/O per node — the T_disk term, charged to the
+  /// holder of every spilled chunk the plan touches. Informational mirror:
+  /// the same seconds are already folded into `ntwk` (reload serializes
+  /// with the holder's outgoing I/O), so Makespan() needs no extra lane.
+  std::vector<double> disk;
 
   /// max_k max(ntwk[k], cpu[k]) over the workers — the value of Eq. (1)'s
   /// current-batch term (the coordinator slot is informational only).
@@ -29,7 +34,10 @@ struct ObjectiveBreakdown {
 ///     (p, q, v) whose view home y_v differs from the join node (the MIP's
 ///     z_pqk * y_vj coupling, with B_pq as the differential-result proxy),
 ///   - relocating an existing view chunk to a new home charges its current
-///     node (an x-transfer).
+///     node (an x-transfer),
+///   - every spilled chunk appearing as a pair operand charges its holder
+///     B_c * T_disk exactly once (the out-of-core reload), as does every
+///     spilled existing view chunk the plan merges results into or moves.
 /// This is the model the planners optimize and the query integrator's Eq.
 /// (3) compares; the executor independently charges *actual* bytes, and the
 /// tests check the two agree on method ordering.

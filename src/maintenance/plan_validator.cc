@@ -190,7 +190,8 @@ void ValidateCatalogStoreConsistency(const Catalog& catalog,
       AVM_CHECK(IsWorker(node.value(), num_workers))
           << "chunk " << id << " of array " << array
           << " registered at unknown node " << node.value();
-      const Chunk* chunk = cluster.store(node.value()).Get(array, id);
+      const ChunkHandle chunk =
+          cluster.store(node.value()).GetHandle(array, id);
       AVM_CHECK(chunk != nullptr)
           << "catalog places chunk " << id << " of array " << array
           << " on node " << node.value() << " but the store lacks it";

@@ -81,6 +81,12 @@ class PairCollector {
                          array.catalog()->NodeOf(array.id(), ref.id));
     set->location[ref] = node;
     set->bytes[ref] = array.catalog()->ChunkBytes(array.id(), ref.id);
+    // Residency snapshot for the disk-aware cost terms: a chunk spilled at
+    // its holding node pays DiskSeconds on first touch. Planning-time only;
+    // the probe never faults the chunk in.
+    if (array.cluster()->store(node).IsSpilled(array.id(), ref.id)) {
+      set->spilled.insert(ref);
+    }
     return Status::OK();
   }
 
@@ -93,6 +99,9 @@ class PairCollector {
     if (node.ok()) {
       set->view_location[v] = node.value();
       set->view_bytes[v] = va.catalog()->ChunkBytes(va.id(), v);
+      if (va.cluster()->store(node.value()).IsSpilled(va.id(), v)) {
+        set->view_spilled.insert(v);
+      }
     } else {
       recorded_missing_.insert(v);
     }

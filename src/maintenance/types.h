@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "array/coords.h"
@@ -88,6 +89,13 @@ struct TripleSet {
   std::unordered_map<ChunkId, NodeId> view_location;
   /// Size of every existing affected view chunk.
   std::unordered_map<ChunkId, uint64_t> view_bytes;
+  /// Referenced chunks whose bytes are currently spilled to disk at their
+  /// holding node (out-of-core operation under a BufferManager; empty when
+  /// everything is resident). The planners charge CostModel::DiskSeconds
+  /// for the first touch of each.
+  std::unordered_set<MChunkRef, MChunkRefHash> spilled;
+  /// Affected existing view chunks currently spilled at their home node.
+  std::unordered_set<ChunkId> view_spilled;
 
   size_t num_triples() const {
     size_t n = 0;

@@ -183,13 +183,15 @@ Result<OptimizedJoinStats> ExecuteOptimizedJoinAggregate(
   for (size_t i = 0; i < pairs.size(); ++i) {
     const QueryPair& pair = pairs[i];
     const NodeId k = placement[i];
-    const Chunk* lhs = cluster->store(k).Get(left.id(), pair.p);
-    const Chunk* rhs = cluster->store(k).Get(right.id(), pair.q);
+    // Handles, not raw pointers: the pin keeps both operands resident for
+    // the kernel even if a buffer manager is evicting concurrently.
+    const ChunkHandle lhs = cluster->store(k).GetHandle(left.id(), pair.p);
+    const ChunkHandle rhs = cluster->store(k).GetHandle(right.id(), pair.q);
     if (lhs == nullptr || rhs == nullptr) {
       return Status::Internal("operands not co-located after transfers");
     }
     cluster->ChargeJoin(k, pair.bytes);
-    const RightOperand rop{rhs, pair.q, &right.grid()};
+    const RightOperand rop{rhs.get(), pair.q, &right.grid()};
     AVM_RETURN_IF_ERROR(JoinAggregateChunkPair(*lhs, rop, *compiled,
                                                spec.layout, target,
                                                multiplicity,

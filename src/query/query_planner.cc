@@ -119,7 +119,7 @@ Result<SimilarityQueryPlanner::QueryOutcome> SimilarityQueryPlanner::Execute(
     const ArrayId view_id = view_->array().id();
     for (ChunkId v : catalog->ChunkIdsOf(view_id)) {
       AVM_ASSIGN_OR_RETURN(NodeId node, catalog->NodeOf(view_id, v));
-      AVM_ASSIGN_OR_RETURN(const Chunk* chunk,
+      AVM_ASSIGN_OR_RETURN(const ChunkHandle chunk,
                            view_->array().GetPrimaryChunk(v));
       AVM_RETURN_IF_ERROR(result.PutChunk(v, *chunk, node));
     }

@@ -5,7 +5,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "array/chunk.h"
 #include "array/coords.h"
@@ -27,6 +29,10 @@ using ChunkHandle = std::shared_ptr<const Chunk>;
 namespace chunk_store_internal {
 inline std::atomic<bool> g_aliasing_enabled{true};
 inline std::atomic<int64_t> g_epoch_pins{0};
+/// Process-wide access clock for eviction recency: every store access that
+/// touches an entry stamps it with the next tick. A plain counter (not a
+/// time source) — the buffer manager's clock hand only compares stamps.
+inline std::atomic<uint64_t> g_access_tick{1};
 }  // namespace chunk_store_internal
 
 /// Number of live view epochs (src/serve) currently pinning chunk handles,
@@ -60,6 +66,51 @@ inline void SetChunkAliasingEnabled(bool enabled) {
                                                  std::memory_order_relaxed);
 }
 
+/// Location of one spilled chunk inside its store's spill file: a byte
+/// extent handed out by the backend's allocator. Opaque to the store beyond
+/// round-tripping it; length is the serialized (AVMCHK01) size.
+struct SpillTicket {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+/// What a ChunkStore needs from the out-of-core layer (implemented by
+/// src/buffer, which links storage — this interface exists so storage does
+/// not link back). One backend instance is bound per store and is immutable
+/// after AttachBufferBackend, so the store may call it at any time without
+/// further coordination.
+///
+/// Locking contract, mirroring the rank order kBufferManager(25) <
+/// kChunkStore(30) < kSpillFile(35): the spill-I/O entry points are called
+/// with the store's mutex HELD (they may lock the spill file, rank above),
+/// while the residency notifications are called with NO store mutex held
+/// (they lock the buffer manager, rank below).
+class BufferBackend {
+ public:
+  virtual ~BufferBackend() = default;
+
+  /// Appends one serialized chunk to the spill file; returns its extent.
+  virtual Result<SpillTicket> WriteSpill(const std::string& bytes) = 0;
+
+  /// Reads back a previously written extent (the full serialized chunk).
+  virtual Result<std::string> ReadSpill(const SpillTicket& ticket) = 0;
+
+  /// Returns an extent to the free list (chunk reloaded or erased).
+  virtual void FreeSpill(const SpillTicket& ticket) = 0;
+
+  /// A chunk became (or re-became, or changed size while) resident in the
+  /// bound store. `stamp` is the entry's shared access stamp; the buffer
+  /// manager keeps it in the corresponding clock slot. May trigger eviction
+  /// of *other* unpinned chunks to hold the budget — never of this one.
+  virtual void NoteResident(ArrayId array, ChunkId chunk, uint64_t bytes,
+                            std::shared_ptr<std::atomic<uint64_t>> stamp) = 0;
+
+  /// A resident chunk left the bound store (Erase/EraseArray). Not called
+  /// for spill (the manager drives TrySpill and unregisters the slot
+  /// itself) nor for spilled entries being erased (no slot exists).
+  virtual void NoteDropped(ArrayId array, ChunkId chunk) = 0;
+};
+
 /// The physical chunk container of one node: chunks of any array, keyed by
 /// (array, chunk id). This models a node's local attached storage in the
 /// shared-nothing architecture; a chunk "lives" on node k when k's store
@@ -91,6 +142,27 @@ inline void SetChunkAliasingEnabled(bool enabled) {
 /// epoch's whole lifetime; the sole-owner in-place fast path applies only in
 /// the quiesced, epoch-free configuration.
 ///
+/// Out-of-core operation (src/buffer): with a BufferBackend attached, an
+/// entry may be *spilled* — its bytes serialized into the backend's spill
+/// file and the in-memory Chunk dropped. The entry stays in the map
+/// (Contains/SizeBytes still see it; a chunk spilled on node k still lives
+/// on node k), and any access that needs the data faults it back in
+/// transparently. Pinning is implicit in the handle design: TrySpill only
+/// evicts entries whose shared_ptr use_count is exactly 1 under the store
+/// lock, and that observation is sound even while epochs are live — an
+/// epoch (or any other holder) pinning THIS entry holds a handle to it, so
+/// the count reads at least 2 and the count can only be inflated, never
+/// deflated, by concurrent readers (cloning requires this lock or an
+/// already-counted handle). An outstanding handle to a since-spilled chunk
+/// stays valid: the shared_ptr keeps those bytes alive independently of the
+/// spill copy.
+///
+/// Raw-pointer caveat with a backend attached: a `const Chunk*` from Get
+/// (or Chunk* / Chunk& from the mutable accessors) is only stable until the
+/// next store operation on any thread may trigger eviction. Code that holds
+/// a chunk across such a window must hold a ChunkHandle (which is a pin),
+/// not a raw pointer.
+///
 /// Keys are kept in an ordered map for deterministic iteration.
 class ChunkStore {
  public:
@@ -103,6 +175,7 @@ class ChunkStore {
   // a deque for exactly this reason).
   ChunkStore(ChunkStore&&) = delete;
   ChunkStore& operator=(ChunkStore&&) = delete;
+  ~ChunkStore();
 
   /// Stores (or replaces) a chunk by value (fresh data the store becomes the
   /// first owner of). Returns the stored chunk's size in bytes.
@@ -114,11 +187,16 @@ class ChunkStore {
   /// (the measurement baseline). Returns the chunk's size in bytes.
   uint64_t PutHandle(ArrayId array, ChunkId chunk, ChunkHandle data);
 
-  /// The chunk if present, else nullptr. Never triggers a copy.
+  /// The chunk if present, else nullptr. Never triggers a copy; faults a
+  /// spilled entry back in. The raw pointer is NOT a pin: with a buffer
+  /// manager attached and any other thread able to drive eviction, use
+  /// GetHandle instead — an unpinned chunk may be spilled (and freed) the
+  /// moment this call returns.
   const Chunk* Get(ArrayId array, ChunkId chunk) const;
 
   /// The owning handle if present, else nullptr — the source side of a
-  /// copy-free transfer. The handle keeps the Chunk alive past Erase/Put.
+  /// copy-free transfer. The handle keeps the Chunk alive past Erase/Put,
+  /// and doubles as an eviction pin while held.
   ChunkHandle GetHandle(ArrayId array, ChunkId chunk) const;
 
   /// Mutable access with copy-on-write: if this store's entry aliases a
@@ -127,65 +205,165 @@ class ChunkStore {
   /// never reaches the other replicas. Returns nullptr if absent. Any
   /// previously obtained raw pointer or handle for this key keeps observing
   /// the pre-break chunk.
+  ///
+  /// Pin-while-mutating: with a buffer manager attached and any other
+  /// thread able to drive eviction, the caller must take a GetHandle pin
+  /// for this key and hold it for the duration of the mutation — the
+  /// eviction sweep treats use_count() == 1 as proof that nobody is
+  /// reading OR WRITING the buffers it is about to serialize. GetHandle
+  /// never COW-breaks, so taking the pin after this call aliases exactly
+  /// the chunk returned here.
   Chunk* GetMutable(ArrayId array, ChunkId chunk);
 
   /// The chunk, creating an empty one with the given layout if absent.
   /// Applies the same copy-on-write rule as GetMutable when the existing
-  /// entry is shared.
+  /// entry is shared, and the same pin-while-mutating rule under a buffer
+  /// manager.
   Chunk& GetOrCreate(ArrayId array, ChunkId chunk, size_t num_dims,
                      size_t num_attrs);
 
+  /// True if the entry exists, resident or spilled. Never faults anything
+  /// in — the presence test for code that must not touch the bytes.
   bool Contains(ArrayId array, ChunkId chunk) const;
 
   /// True if the entry shares its Chunk with at least one other handle
-  /// (another store's entry or an outstanding ChunkHandle).
+  /// (another store's entry or an outstanding ChunkHandle). A spilled entry
+  /// is by construction unshared: false.
   bool IsAliased(ArrayId array, ChunkId chunk) const;
 
   /// Drops the chunk; true if it was present. Dropping a primary copy is the
   /// caller's responsibility to coordinate with the catalog. The bytes are
-  /// freed only when the last aliasing handle goes away.
+  /// freed only when the last aliasing handle goes away; a spilled entry's
+  /// extent is returned to the spill file's free list.
   bool Erase(ArrayId array, ChunkId chunk);
 
-  /// Number of chunks held (all arrays).
+  /// Number of chunks held (all arrays), resident and spilled.
   size_t NumChunks() const {
     MutexLock lock(mu_);
     return chunks_.size();
   }
 
   /// Total bytes held (all arrays). Aliased replicas count in full on every
-  /// store holding them: this is the *logical* residency the simulated cost
-  /// model charges for, not host RSS.
+  /// store holding them, and spilled entries count at their spill-time
+  /// logical size: this is the *logical* residency the simulated cost model
+  /// charges for, not host RSS.
   uint64_t SizeBytes() const;
 
-  /// Resident chunks and *physical* buffer bytes split by representation.
-  /// Unlike SizeBytes, these are actual footprints (PhysicalSizeBytes), the
-  /// quantity the store.resident_{sparse,dense}_bytes gauges report.
+  /// Resident chunks and *physical* buffer bytes split by representation,
+  /// plus the spilled remainder. The sparse/dense split covers resident
+  /// entries only (actual footprints, PhysicalSizeBytes — the quantity the
+  /// store.resident_{sparse,dense}_bytes gauges report); spilled_bytes is
+  /// serialized on-disk size.
   struct FormatResidency {
     size_t sparse_chunks = 0;
     size_t dense_chunks = 0;
     uint64_t sparse_bytes = 0;
     uint64_t dense_bytes = 0;
+    size_t spilled_chunks = 0;
+    uint64_t spilled_bytes = 0;
   };
   FormatResidency ResidencyByFormat() const;
 
   /// Invokes fn(array, chunk_id, chunk) for every stored chunk in key order.
   /// Iterates over a snapshot of the entries taken under the lock, with fn
-  /// invoked outside it, so fn may call back into this store.
+  /// invoked outside it, so fn may call back into this store. Faults every
+  /// spilled entry in first (the snapshot pins the whole store — callers
+  /// that only need keys should use ForEachKey).
   void ForEach(const std::function<void(ArrayId, ChunkId, const Chunk&)>& fn)
       const AVM_EXCLUDES(mu_);
+
+  /// Invokes fn(array, chunk_id) for every entry in key order, resident or
+  /// spilled, over a key snapshot. Never faults anything in.
+  void ForEachKey(const std::function<void(ArrayId, ChunkId)>& fn) const
+      AVM_EXCLUDES(mu_);
 
   /// Removes every chunk belonging to `array`; returns how many were dropped.
   size_t EraseArray(ArrayId array);
 
+  // --- Out-of-core hooks (src/buffer) --------------------------------------
+
+  /// A resident entry at attach time, reported so the buffer manager can
+  /// seed its clock ring without holding the store lock.
+  struct ResidentChunkInfo {
+    ArrayId array = 0;
+    ChunkId chunk = 0;
+    uint64_t bytes = 0;  // PhysicalSizeBytes
+    std::shared_ptr<std::atomic<uint64_t>> stamp;
+  };
+
+  /// Binds `backend` (not owned; must outlive the binding) and creates
+  /// access stamps for the current entries. Returns one record per resident
+  /// chunk. At most one backend may be attached at a time; attach/detach
+  /// happen on the control thread while no spills are in flight.
+  std::vector<ResidentChunkInfo> AttachBufferBackend(BufferBackend* backend);
+
+  /// Faults every spilled entry back in, drops the stamps, and unbinds the
+  /// backend. After this the store is an ordinary in-memory store again.
+  void DetachBufferBackend();
+
+  /// True if the entry exists and its bytes currently live in the spill
+  /// file. The planner's residency probe — never faults in.
+  bool IsSpilled(ArrayId array, ChunkId chunk) const;
+
+  /// If the entry is resident, writes its current PhysicalSizeBytes to
+  /// `bytes` and returns true; false if absent or spilled. Never faults in —
+  /// the buffer manager's resampling probe (in-place mutation through
+  /// GetMutable can change a chunk's footprint without the manager seeing
+  /// a notification; Rebalance uses this to catch up).
+  bool PeekResidentBytes(ArrayId array, ChunkId chunk, uint64_t* bytes) const;
+
+  /// Attempts to evict one entry: serialize, write to the backend, drop the
+  /// in-memory chunk. Returns the physical bytes freed, or 0 if the entry
+  /// is absent, already spilled, or pinned (use_count > 1 — some handle,
+  /// replica, or live epoch still references it). Called by the buffer
+  /// manager, typically under its own lock (rank below this store's).
+  uint64_t TrySpill(ArrayId array, ChunkId chunk);
+
   /// Debug structural audit: every entry holds a live chunk that passes its
-  /// internal row-storage/index contract. Aliased replicas are legal (they
-  /// are the point of the handle design); each shared Chunk is still checked
-  /// from every store referencing it. Geometry is not checked here (a store
-  /// holds chunks of many arrays; pass the grid at the call sites that have
-  /// it). Violations fire AVM_CHECK; O(total cells).
+  /// internal row-storage/index contract, or a well-formed spill ticket.
+  /// Aliased replicas are legal (they are the point of the handle design);
+  /// each shared Chunk is still checked from every store referencing it.
+  /// Geometry is not checked here (a store holds chunks of many arrays;
+  /// pass the grid at the call sites that have it). Violations fire
+  /// AVM_CHECK; O(total resident cells). Never faults spilled entries in.
   void CheckInvariants() const;
 
  private:
+  /// One slot of the map: a resident chunk, or (with a backend attached) a
+  /// ticket for its serialized bytes. Exactly one of `chunk` / a nonempty
+  /// ticket is active; `spilled_logical_bytes` preserves SizeBytes across
+  /// the gap so logical residency accounting never dips.
+  struct Entry {
+    std::shared_ptr<Chunk> chunk;
+    SpillTicket ticket;
+    uint64_t spilled_logical_bytes = 0;
+    std::shared_ptr<std::atomic<uint64_t>> stamp;
+
+    bool spilled() const { return chunk == nullptr; }
+  };
+
+  /// Deferred NoteResident: reload/insert happens under mu_, but the buffer
+  /// manager's lock ranks below it, so the notification is delivered by the
+  /// public entry points after unlocking.
+  struct ResidencyNote {
+    BufferBackend* backend = nullptr;
+    ArrayId array = 0;
+    ChunkId chunk = 0;
+    uint64_t bytes = 0;
+    std::shared_ptr<std::atomic<uint64_t>> stamp;
+  };
+  static void Deliver(const ResidencyNote& note);
+
+  /// Stamps the entry with the next global access tick (no-op without a
+  /// backend — stamps exist only while one is attached).
+  void TouchLocked(Entry& entry) const AVM_REQUIRES(mu_);
+
+  /// Reloads a spilled entry's chunk from the backend (AVM_CHECK on I/O or
+  /// format failure — the file is ours) and queues the NoteResident. No-op
+  /// for resident entries.
+  void FaultInLocked(const Key& key, Entry& entry, ResidencyNote* note) const
+      AVM_REQUIRES(mu_);
+
   /// Protects the map (entries and their handle slots), not the pointed-to
   /// chunk bytes — see the class concurrency contract.
   mutable Mutex mu_{"ChunkStore.mu", LockRank::kChunkStore};
@@ -193,8 +371,12 @@ class ChunkStore {
   /// Entries are non-const internally; Get/GetHandle project constness out.
   /// Every stored Chunk was created by a ChunkStore via make_shared<Chunk>
   /// (never from a genuinely const object), so PutHandle's
-  /// const_pointer_cast back to the mutable type is sound.
-  std::map<Key, std::shared_ptr<Chunk>> chunks_ AVM_GUARDED_BY(mu_);
+  /// const_pointer_cast back to the mutable type is sound. Mutable because
+  /// const accessors fault spilled entries back in.
+  mutable std::map<Key, Entry> chunks_ AVM_GUARDED_BY(mu_);
+
+  /// The bound out-of-core backend, or null for a plain in-memory store.
+  BufferBackend* backend_ AVM_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace avm

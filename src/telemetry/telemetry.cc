@@ -68,6 +68,10 @@ const char* CounterName(CounterId id) {
     case CounterId::kServeEpochsRetired: return "serve.epochs_retired";
     case CounterId::kServeSnapshotsOpened: return "serve.snapshots_opened";
     case CounterId::kServeQueries: return "serve.queries";
+    case CounterId::kBufferEvictions: return "buffer.evictions";
+    case CounterId::kBufferReloads: return "buffer.reloads";
+    case CounterId::kBufferBytesSpilled: return "buffer.spilled_bytes";
+    case CounterId::kBufferBytesReloaded: return "buffer.reloaded_bytes";
     case CounterId::kNumCounterIds: break;
   }
   return "unknown";
@@ -83,6 +87,10 @@ const char* GaugeName(GaugeId id) {
     case GaugeId::kServeSnapshotsOpen: return "serve.snapshots_open";
     case GaugeId::kStoreSparseBytes: return "store.resident_sparse_bytes";
     case GaugeId::kStoreDenseBytes: return "store.resident_dense_bytes";
+    case GaugeId::kStoreSpilledChunks: return "store.spilled_chunks";
+    case GaugeId::kStoreSpilledBytes: return "store.spilled_bytes";
+    case GaugeId::kBufferResidentBytes: return "buffer.resident_bytes";
+    case GaugeId::kBufferDiskBytes: return "buffer.disk_bytes";
     case GaugeId::kNumGaugeIds: break;
   }
   return "unknown";

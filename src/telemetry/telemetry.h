@@ -78,6 +78,10 @@ enum class CounterId : uint16_t {
   kServeEpochsRetired,     // view epochs whose last reader dropped
   kServeSnapshotsOpened,   // ReadSnapshots handed out
   kServeQueries,           // snapshot queries evaluated
+  kBufferEvictions,        // chunks spilled to disk by the buffer manager
+  kBufferReloads,          // spilled chunks faulted back into a store
+  kBufferBytesSpilled,     // cumulative serialized bytes written to spill files
+  kBufferBytesReloaded,    // cumulative serialized bytes read back from spill
   kNumCounterIds,
 };
 
@@ -91,6 +95,10 @@ enum class GaugeId : uint16_t {
   kServeSnapshotsOpen,   // ReadSnapshots currently held by readers
   kStoreSparseBytes,     // physical bytes in sparse-representation chunks
   kStoreDenseBytes,      // physical bytes in dense-representation chunks
+  kStoreSpilledChunks,   // chunks whose bytes currently live in a spill file
+  kStoreSpilledBytes,    // serialized on-disk bytes of spilled entries
+  kBufferResidentBytes,  // physical bytes the buffer manager counts resident
+  kBufferDiskBytes,      // live spill-extent bytes across all spill files
   kNumGaugeIds,
 };
 

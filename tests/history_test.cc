@@ -108,6 +108,7 @@ TEST(ArrayReassignerTest, MovesOnlyToReplicatedNodes) {
                            fixture.cluster->cost_model(), options));
   BatchHistory history(options.history_window);
   ASSERT_OK(ReassignArrayChunks(*fixture.view, triples, history, 4, options,
+                                fixture.cluster->cost_model(),
                                 stage1.replicas, &stage1.plan));
   // Every planned move of a base chunk must target a node holding a
   // replica; delta moves must target a real worker.
@@ -149,6 +150,7 @@ TEST(ArrayReassignerTest, ZeroCpuBudgetBlocksBaseMoves) {
                            fixture.cluster->cost_model(), options));
   BatchHistory history(options.history_window);
   ASSERT_OK(ReassignArrayChunks(*fixture.view, triples, history, 4, options,
+                                fixture.cluster->cost_model(),
                                 stage1.replicas, &stage1.plan));
   // Only the delta fallback rule may fire; base chunks stay put.
   for (const auto& move : stage1.plan.array_moves) {

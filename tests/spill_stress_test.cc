@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "array/chunk.h"
+#include "buffer/buffer_manager.h"
+#include "common/mutex.h"
+#include "serve/epoch_manager.h"
+#include "serve/snapshot_query.h"
+#include "shape/shape.h"
+#include "storage/chunk_store.h"
+#include "tests/test_util.h"
+
+namespace avm {
+namespace {
+
+using testing_util::MakeCountViewFixture;
+using testing_util::ViewFixture;
+
+// The out-of-core concurrency stress oracle: snapshot readers evaluate a
+// probe query against pinned view epochs while (a) the control thread runs
+// maintenance batches and (b) a dedicated churn thread keeps driving the
+// buffer manager's clock hand, so unpinned chunks spill to disk and fault
+// back in continuously under the readers' feet. The invariants are the
+// serve layer's, unchanged by spilling: every observed result bit-matches
+// the finalized content of some published epoch (an epoch's pins are
+// handles, i.e. eviction-proof), epoch ids are monotone per reader, and the
+// maintained view always equals from-scratch recomputation.
+//
+// Runs under TSan in the spill-smoke CI job: the schedule crosses the
+// BufferManager(25) -> ChunkStore(30) -> SpillFile(35) lock path with the
+// store-access path on every fault-in, so races in the residency-note
+// plumbing or the clock ring surface here.
+TEST(SpillStressTest, ReadersBitMatchEpochsWhileBufferManagerChurns) {
+  constexpr int kReaders = 3;
+  constexpr int kBatches = 6;
+  constexpr size_t kBatchCells = 24;
+  const int num_workers = 2;
+
+  ASSERT_OK_AND_ASSIGN(
+      ViewFixture fixture,
+      MakeCountViewFixture(num_workers, /*base_cells=*/150,
+                           Shape::LinfBall(2, 1), /*seed=*/17,
+                           /*with_sum=*/true));
+  MaterializedView* view = fixture.view.get();
+
+  // Budget: a quarter of the post-materialization footprint, so the
+  // maintenance loop and the readers themselves generate constant
+  // spill/reload traffic.
+  uint64_t footprint = 0;
+  auto add_store = [&](NodeId n) {
+    const ChunkStore::FormatResidency r =
+        fixture.cluster->store(n).ResidencyByFormat();
+    footprint += r.sparse_bytes + r.dense_bytes;
+  };
+  for (NodeId n = 0; n < num_workers; ++n) add_store(n);
+  add_store(kCoordinatorNode);
+  ASSERT_GT(footprint, 0u);
+
+  BufferOptions options;
+  options.budget_bytes = footprint / 4;
+  options.spill_dir = "spill_stress_tmp";
+  BufferManager manager(options);
+  for (NodeId n = 0; n < num_workers; ++n) {
+    manager.Register(&fixture.cluster->store(n));
+  }
+  manager.Register(&fixture.cluster->store(kCoordinatorNode));
+  ASSERT_GT(manager.GetStats().evictions, 0u)
+      << "the budget must actually force spills before the stress starts";
+
+  ViewMaintainer maintainer(view, MaintenanceMethod::kReassign);
+  EpochManager epochs;
+
+  // Expected finalized content per published epoch, registered pre-publish
+  // (see serve_stress_test.cc for the protocol).
+  Mutex oracle_mu{"test.oracle"};
+  std::map<uint64_t, SparseArray> expected;
+  auto publish_with_oracle = [&]() {
+    ASSERT_OK_AND_ASSIGN(SparseArray finalized, view->GatherFinalized());
+    const uint64_t next_id = epochs.current_epoch_id() + 1;
+    {
+      MutexLock lock(oracle_mu);
+      expected.emplace(next_id, std::move(finalized));
+    }
+    const uint64_t id = epochs.Publish({EpochManager::PinView(*view)});
+    MutexLock lock(oracle_mu);
+    ASSERT_TRUE(expected.count(id) == 1);
+  };
+  publish_with_oracle();  // epoch 1: the initial materialization
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries_served{0};
+  Mutex failures_mu{"test.failures"};
+  std::vector<std::string> failures;
+  auto fail = [&](std::string message) {
+    MutexLock lock(failures_mu);
+    failures.push_back(std::move(message));
+  };
+
+  // The churn thread: re-enforces the budget in a tight loop, so the clock
+  // hand keeps sweeping (and evicting whatever the readers and the
+  // maintainer just unpinned) concurrently with everything else.
+  std::thread churn([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      manager.Rebalance();
+    }
+  });
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t last_seen = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        ReadSnapshot snapshot = epochs.OpenSnapshot();
+        Result<SnapshotQueryResult> result =
+            EvaluateSnapshotQuery(snapshot, SnapshotQuery{"view", {}, {}});
+        if (!result.ok()) {
+          fail("reader " + std::to_string(r) +
+               ": query failed: " + result.status().ToString());
+          return;
+        }
+        const uint64_t epoch = result.value().epoch_id;
+        if (epoch < last_seen) {
+          fail("reader " + std::to_string(r) + ": epoch went backwards");
+          return;
+        }
+        last_seen = epoch;
+        std::string mismatch;
+        {
+          MutexLock lock(oracle_mu);
+          auto it = expected.find(epoch);
+          if (it == expected.end()) {
+            mismatch = "reader " + std::to_string(r) + ": observed epoch " +
+                       std::to_string(epoch) + " was never registered";
+          } else if (!result.value().finalized.ContentEquals(it->second,
+                                                             0.0)) {
+            mismatch = "reader " + std::to_string(r) +
+                       ": result diverged from epoch " +
+                       std::to_string(epoch) +
+                       " (torn read under spill churn?)";
+          }
+        }
+        if (!mismatch.empty()) {
+          fail(std::move(mismatch));
+          return;
+        }
+        queries_served.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  Rng rng(45);
+  for (int batch = 0; batch < kBatches; ++batch) {
+    const SparseArray delta = testing_util::RandomDisjointDelta(
+        fixture.local_base, kBatchCells, &rng);
+    delta.ForEachCell(
+        [&](std::span<const int64_t> c, std::span<const double> v) {
+          const CellCoord coord(c.begin(), c.end());
+          ASSERT_OK(fixture.local_base.Set(coord, v));
+        });
+    ASSERT_OK(maintainer.ApplyBatch(delta));
+    ASSERT_TRUE(testing_util::ViewMatchesRecompute(*view));
+    publish_with_oracle();
+  }
+
+  stop.store(true, std::memory_order_release);
+  churn.join();
+  for (std::thread& reader : readers) reader.join();
+
+  for (const std::string& message : failures) ADD_FAILURE() << message;
+  EXPECT_GT(queries_served.load(), 0u) << "readers never completed a query";
+  EXPECT_EQ(epochs.current_epoch_id(), static_cast<uint64_t>(kBatches) + 1);
+
+  // Quiesced cross-check: the last epoch's pinned (eviction-proof) content
+  // must equal a fresh gather of the live view, which faults whatever is
+  // currently spilled back in — the spilled and resident halves of the
+  // view agree bit for bit.
+  ASSERT_OK_AND_ASSIGN(
+      SnapshotQueryResult last,
+      EvaluateSnapshotQuery(epochs.OpenSnapshot(),
+                            SnapshotQuery{"view", {}, {}}));
+  ASSERT_OK_AND_ASSIGN(SparseArray now, view->GatherFinalized());
+  EXPECT_TRUE(last.finalized.ContentEquals(now, 0.0));
+}
+
+}  // namespace
+}  // namespace avm

@@ -225,6 +225,22 @@ def test_unguarded_mutex_member_reports_annotation_removal():
     assert rules_of(findings) == {"unguarded-mutex-member"}
 
 
+def test_buffer_subsystem_in_scope():
+    """src/buffer/ must get the full src/ rule set: the path-keyed rules
+    exempt only src/common/ (raw-mutex) and src/array/ (chunk-rep-access),
+    so the out-of-core subsystem is covered — this pins that down against
+    someone widening an exemption."""
+    raw = HEADER + "#include <mutex>\n"
+    assert "raw-mutex" in rules_of(run_lint({"src/buffer/a.h": raw}))
+    assert "unguarded-mutex-member" in rules_of(
+        run_lint({"src/buffer/a.h": UNGUARDED_CLASS}))
+    by_value = HEADER + "void F(Chunk c);\n"
+    assert rules_of(run_lint({"src/buffer/a.h": by_value})) == {
+        "chunk-by-value"}
+    rep = HEADER + "inline auto F(const Chunk& c) { return c.RowOffsets(); }\n"
+    assert rules_of(run_lint({"src/buffer/a.h": rep})) == {"chunk-rep-access"}
+
+
 def test_stale_allow():
     stale = HEADER + "inline int x = 1;  // avm-lint: allow(raw-assert)\n"
     findings = run_lint({"src/a.h": stale})
